@@ -1,0 +1,59 @@
+"""Ablation — Elastic update-rule variants and response strengths.
+
+DESIGN.md §4 calls out the update-rule choice: the §VI-A anchored
+proportional rule ("paper") contracts at rate k per round (larger k =
+slower), while the exponentially smoothed variant ("relaxation")
+converges faster for stronger responses — the behaviour Table IV
+reports.  This ablation quantifies both rules across k, plus the
+distance of the Stackelberg discretized solution from the Elastic
+interactive equilibrium.
+"""
+
+import numpy as np
+
+from repro.core.stackelberg import linear_response_fixed_point
+from repro.experiments import format_table
+from repro.experiments.cost import roundwise_cost
+
+from conftest import once
+
+STRENGTHS = (0.1, 0.3, 0.5, 0.7)
+ROUNDS = 30
+
+
+def _sweep():
+    rows = []
+    for k in STRENGTHS:
+        t_star, a_star = linear_response_fixed_point(0.9, k)
+        rows.append(
+            (
+                k,
+                roundwise_cost(0.9, k, ROUNDS, rule="paper"),
+                roundwise_cost(0.9, k, ROUNDS, rule="relaxation"),
+                t_star,
+                a_star,
+            )
+        )
+    return rows
+
+
+def test_ablation_elastic_rules(benchmark, report):
+    rows = once(benchmark, _sweep)
+
+    text = format_table(
+        ["k", "paper-rule cost", "relaxation cost", "T*", "A*"],
+        rows,
+        title=f"Ablation: Elastic update rules, roundwise cost over {ROUNDS} rounds",
+    )
+    report("ablation_elastic_rules", text)
+
+    paper_costs = [r[1] for r in rows]
+    relax_costs = [r[2] for r in rows]
+    # Relaxation: stronger response -> cheaper (Table IV's direction).
+    assert relax_costs[-1] < relax_costs[0]
+    # Paper rule: stronger response -> slower contraction -> costlier.
+    assert paper_costs[-1] > paper_costs[0]
+    # Both rules share the same interactive equilibrium.
+    for k in STRENGTHS:
+        t1, a1 = linear_response_fixed_point(0.9, k)
+        assert np.isfinite(t1) and np.isfinite(a1)

@@ -1,0 +1,57 @@
+"""Fig. 1 / Fig. 2 — the payoff trade-off and the strategy space.
+
+Regenerates the curves behind the definitional figures: the poison
+payoff P(x) and trimming overhead T(x) across the percentile domain, the
+balance point x_L where they cross (Fig. 1a / Fig. 2), the right
+boundary x_R, and the mixed-strategy reduction of an arbitrary poison
+distribution onto the [x_L, x_R] endpoints (Fig. 1b).
+"""
+
+import numpy as np
+
+from repro.core.mixed import reduce_distribution
+from repro.core.payoffs import PayoffModel
+from repro.experiments import format_table
+
+from conftest import once
+
+
+def _run():
+    model = PayoffModel()
+    x_l, x_r = model.strategy_interval()
+    grid = np.linspace(0.0, 1.0, 11)
+    curve = [
+        (x, model.poison_payoff(x), model.trim_overhead(x)) for x in grid
+    ]
+    rng = np.random.default_rng(0)
+    samples = rng.beta(5, 2, size=400) * (x_r - x_l) + x_l
+    mixture = reduce_distribution(samples, x_l, x_r)
+    return model, x_l, x_r, curve, samples, mixture
+
+
+def test_fig1_payoff_tradeoff(benchmark, report):
+    model, x_l, x_r, curve, samples, mixture = once(benchmark, _run)
+
+    text = format_table(
+        ["x (percentile)", "P(x) poison payoff", "T(x) trim overhead"],
+        curve,
+        title=(
+            "Fig. 1a / Fig. 2: the payoff trade-off — "
+            f"x_L = {x_l:.4f}, x_R = {x_r:.4f}\n"
+            f"Fig. 1b: arbitrary distribution (mean {np.mean(samples):.4f}) "
+            f"reduces to the mixed strategy p_L = {mixture.p_left:.4f} "
+            f"on x_L, p_R = {mixture.p_right:.4f} on x_R "
+            f"(mean {mixture.mean:.4f})"
+        ),
+    )
+    report("fig1_payoff_curves", text)
+
+    # The crossing defines the balance point.
+    assert abs(model.poison_payoff(x_l) - model.trim_overhead(x_l)) < 1e-9
+    # The reduction preserves the distribution's mean exactly.
+    assert abs(mixture.mean - float(np.mean(samples))) < 1e-9
+    # P increases and T decreases across the domain.
+    p_values = [row[1] for row in curve]
+    t_values = [row[2] for row in curve]
+    assert all(b >= a for a, b in zip(p_values, p_values[1:]))
+    assert all(b <= a for a, b in zip(t_values, t_values[1:]))

@@ -1,0 +1,63 @@
+"""Fig. 4 — k-means clustering quality under equilibrium play, T_th = 0.9.
+
+Regenerates the SSE and centroid-Distance series over Control, Vehicle
+and Letter for every scheme, with attack ratios drawn from the paper's
+three intervals ([0, 0.01], [0.05, 0.15], [0.2, 0.5]).  Scaled down
+(fewer repetitions/ratios, Letter subsampled) for benchmark runtime —
+the paper averages 100 repetitions of 20 rounds.
+
+Paper shapes asserted: Ostrich is (near-)optimal at negligible attack
+ratios but degrades to the worst as poison dominates, while Tit-for-tat
+absorbs the attack at a constant trimming overhead.
+"""
+
+import pytest
+
+from repro.experiments import (
+    EquilibriumConfig,
+    format_table,
+    run_kmeans_experiment,
+)
+
+from conftest import once
+
+RATIOS = (0.002, 0.01, 0.1, 0.2, 0.35, 0.5)
+
+CONFIGS = {
+    "control": EquilibriumConfig(
+        dataset="control", t_th=0.9, attack_ratios=RATIOS,
+        repetitions=2, rounds=10, seed=1,
+    ),
+    "vehicle": EquilibriumConfig(
+        dataset="vehicle", t_th=0.9, attack_ratios=RATIOS,
+        repetitions=2, rounds=10, seed=2,
+    ),
+    "letter": EquilibriumConfig(
+        dataset="letter", t_th=0.9, attack_ratios=RATIOS,
+        repetitions=1, rounds=10, dataset_size=3000, batch_size=300, seed=3,
+    ),
+}
+
+
+def _render(dataset, cells):
+    return format_table(
+        ["scheme", "attack ratio", "SSE", "Distance"],
+        [(c.scheme, c.attack_ratio, c.sse, c.distance) for c in cells],
+        title=f"Fig. 4 ({dataset}, T_th=0.9): SSE and centroid distance",
+    )
+
+
+@pytest.mark.parametrize("dataset", ["control", "vehicle", "letter"])
+def test_fig4_kmeans(dataset, benchmark, report):
+    cells = once(benchmark, run_kmeans_experiment, CONFIGS[dataset])
+    report(f"fig4_kmeans_t90_{dataset}", _render(dataset, cells))
+
+    table = {(c.scheme, c.attack_ratio): c for c in cells}
+    low, high = RATIOS[0], RATIOS[-1]
+    # Ostrich: near-optimal with few poison values, worst when dominant.
+    assert table[("ostrich", high)].distance > table[("ostrich", low)].distance
+    # Tit-for-tat pays a constant overhead but resists the heavy attack.
+    assert (
+        table[("titfortat", high)].sse
+        < table[("ostrich", high)].sse
+    )

@@ -1,0 +1,55 @@
+"""Fig. 5 — k-means clustering quality under equilibrium play, T_th = 0.97.
+
+The conservative-threshold counterpart of Fig. 4: trimming is gentler,
+so overhead shrinks at low attack ratios while high-ratio protection
+weakens (the paper: "the trimming method adopted is more conservative,
+thus diminishing the overhead at lower attack ratios ... less distinct
+at higher attack ratios").  Control only, to bound the bench runtime —
+the Fig. 4 bench covers all three datasets.
+"""
+
+from repro.experiments import (
+    EquilibriumConfig,
+    format_table,
+    run_kmeans_experiment,
+)
+
+from conftest import once
+
+RATIOS = (0.002, 0.01, 0.1, 0.2, 0.35, 0.5)
+
+CONFIG_T97 = EquilibriumConfig(
+    dataset="control", t_th=0.97, attack_ratios=RATIOS,
+    repetitions=2, rounds=10, seed=1,
+)
+CONFIG_T90 = EquilibriumConfig(
+    dataset="control", t_th=0.9, attack_ratios=RATIOS,
+    repetitions=2, rounds=10, seed=1,
+)
+
+
+def test_fig5_kmeans_conservative_threshold(benchmark, report):
+    cells = once(benchmark, run_kmeans_experiment, CONFIG_T97)
+    text = format_table(
+        ["scheme", "attack ratio", "SSE", "Distance"],
+        [(c.scheme, c.attack_ratio, c.sse, c.distance) for c in cells],
+        title="Fig. 5 (control, T_th=0.97): SSE and centroid distance",
+    )
+    report("fig5_kmeans_t97_control", text)
+
+    table97 = {(c.scheme, c.attack_ratio): c for c in cells}
+    table90 = {
+        (c.scheme, c.attack_ratio): c
+        for c in run_kmeans_experiment(CONFIG_T90)
+    }
+    low = RATIOS[0]
+    # Conservative trimming diminishes overhead at low attack ratios:
+    # the Tit-for-tat SSE at T_th=0.97 is below its T_th=0.9 SSE.
+    assert (
+        table97[("titfortat", low)].sse <= table90[("titfortat", low)].sse + 1e-6
+    )
+    # Ostrich still collapses at heavy ratios regardless of T_th.
+    assert (
+        table97[("ostrich", RATIOS[-1])].distance
+        > table97[("ostrich", low)].distance
+    )

@@ -1,0 +1,57 @@
+"""Meta-game — the empirical strategy tournament (beyond the paper).
+
+Plays every collector strategy against every adversary strategy in full
+collection games, scores each cell with the §III-B payoff reading
+(position-weighted surviving poison vs zero-sum loss plus trimming
+overhead), and solves the resulting matrix with the minimax LP.
+
+Asserted headline: the empirical minimax collector is the Elastic
+scheme — the analytical interactive equilibrium of the paper emerges
+from pure simulation — while static trimming is exploited by the ideal
+just-below attack and no-defense is exploited by extreme injection.
+"""
+
+from repro.experiments import TournamentConfig, format_table, run_tournament
+
+from conftest import once
+
+CONFIG = TournamentConfig(repetitions=2, rounds=10)
+
+
+def test_metagame_tournament(benchmark, report):
+    result = once(benchmark, run_tournament, CONFIG)
+
+    rows = []
+    for i, aname in enumerate(result.adversary_names):
+        for j, cname in enumerate(result.collector_names):
+            rows.append(
+                (
+                    aname,
+                    cname,
+                    result.adversary_payoffs[i, j],
+                    result.collector_payoffs[i, j],
+                )
+            )
+    mixtures = ", ".join(
+        f"{name}={weight:.2f}"
+        for name, weight in zip(result.collector_names, result.collector_mixture)
+        if weight > 1e-6
+    )
+    text = format_table(
+        ["adversary", "collector", "adversary payoff", "collector payoff"],
+        rows,
+        title="Meta-game: empirical payoff matrix over full collection games\n"
+        f"minimax collector mixture: {mixtures}; "
+        f"game value {result.game_value:.4f}",
+    )
+    report("metagame_tournament", text)
+
+    assert result.best_collector() == "elastic0.5"
+    # The ideal evasion exploits the static threshold...
+    i = result.adversary_names.index("just-below")
+    j = result.collector_names.index("static")
+    assert result.adversary_payoffs[i, j] > 0.1
+    # ...and extreme injection exploits the undefended collector.
+    i = result.adversary_names.index("extreme@0.99")
+    j = result.collector_names.index("ostrich")
+    assert result.adversary_payoffs[i, j] > 0.15

@@ -1,0 +1,44 @@
+"""Table I — the ultimatum-game payoff matrix and its unique equilibrium.
+
+Regenerates the payoff matrix of §III-D (adversary rows Soft/Hard,
+collector columns Soft/Hard) and verifies the prisoner's-dilemma
+structure: a unique (Hard, Hard) equilibrium despite (Soft, Soft) being
+mutually preferable — the motivation for the infinite repeated game.
+"""
+
+from repro.core.game import HARD, UltimatumPayoffs, build_ultimatum_game
+from repro.experiments import format_table
+
+from conftest import once
+
+
+def _run():
+    payoffs = UltimatumPayoffs()
+    game = build_ultimatum_game(payoffs)
+    equilibria = game.pure_nash_equilibria()
+    return game, equilibria
+
+
+def test_table1_ultimatum_game(benchmark, report):
+    game, equilibria = once(benchmark, _run)
+
+    rows = []
+    for i, row_label in enumerate(game.row_labels):
+        for j, col_label in enumerate(game.col_labels):
+            rows.append(
+                (
+                    row_label,
+                    col_label,
+                    game.row_payoffs[i, j],
+                    game.col_payoffs[i, j],
+                    "yes" if (i, j) in equilibria else "",
+                )
+            )
+    text = format_table(
+        ["adversary", "collector", "adversary payoff", "collector payoff", "Nash"],
+        rows,
+        title="Table I: ultimatum game payoff matrix (p_high>t_high>>p_low>t_low>0)",
+    )
+    report("table1_ultimatum", text)
+
+    assert equilibria == [(HARD, HARD)]

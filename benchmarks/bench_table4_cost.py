@@ -1,0 +1,30 @@
+"""Table IV — roundwise cost of Elastic 0.1 and Elastic 0.5.
+
+Regenerates the cost table: the mean distance-from-equilibrium of the
+coupled Elastic dynamics over Round_no rounds.  Paper shape: roundwise
+cost decays like C(k)/Round_no and the stronger response (k = 0.5)
+converges faster, hence cheaper per round, than k = 0.1.
+"""
+
+from repro.experiments import CostConfig, format_table, run_cost_analysis
+
+from conftest import once
+
+
+def test_table4_elastic_cost(benchmark, report):
+    rows = once(benchmark, run_cost_analysis, CostConfig())
+
+    text = format_table(
+        ["Round_no", "k=0.5 (%)", "k=0.1 (%)"],
+        [(r.round_no, 100 * r.cost_k_high, 100 * r.cost_k_low) for r in rows],
+        title="Table IV: roundwise cost of the Elastic scheme "
+        "(distance from interactive equilibrium, percent)",
+    )
+    report("table4_cost", text)
+
+    # Paper shapes: decreasing in Round_no; k = 0.5 cheaper than k = 0.1.
+    costs_high = [r.cost_k_high for r in rows]
+    costs_low = [r.cost_k_low for r in rows]
+    assert all(a > b for a, b in zip(costs_high, costs_high[1:]))
+    assert all(a > b for a, b in zip(costs_low, costs_low[1:]))
+    assert all(r.cost_k_high < r.cost_k_low for r in rows)

@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it times the
+scaled-down experiment via pytest-benchmark and renders the same
+rows/series the paper reports, both to stdout (visible with ``-s``) and to
+``benchmarks/results/<artifact>.txt`` so EXPERIMENTS.md can reference the
+measured numbers.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a rendered table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _report(artifact: str, text: str) -> None:
+        print()
+        print(text)
+        path = os.path.join(RESULTS_DIR, f"{artifact}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+
+    return _report
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    The experiments are end-to-end simulations (seconds each); a single
+    timed round keeps the harness honest without repeating hours of work.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)

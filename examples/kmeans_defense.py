@@ -1,0 +1,42 @@
+"""Defending k-means clustering against online poisoning (mini Fig. 4).
+
+Compares the six §VI-A schemes on the Control dataset at light, moderate
+and heavy attack ratios, reporting the clustering SSE on clean data and
+the centroid drift from the clean ground truth.  Run with::
+
+    python examples/kmeans_defense.py
+"""
+
+from repro.experiments import (
+    EquilibriumConfig,
+    format_table,
+    run_kmeans_experiment,
+)
+
+
+def main() -> None:
+    config = EquilibriumConfig(
+        dataset="control",
+        t_th=0.9,
+        attack_ratios=(0.01, 0.15, 0.4),
+        repetitions=2,
+        rounds=10,
+    )
+    cells = run_kmeans_experiment(config)
+
+    print(
+        format_table(
+            ["scheme", "attack ratio", "SSE (clean data)", "centroid distance"],
+            [(c.scheme, c.attack_ratio, c.sse, c.distance) for c in cells],
+            title="k-means under online poisoning (Control, T_th = 0.9)",
+        )
+    )
+    print()
+    print("Reading the table: Ostrich (no defense) is fine at ratio 0.01 and")
+    print("collapses at 0.4; Tit-for-tat pays a flat trimming overhead and")
+    print("absorbs the heavy attack; Baseline static is always evaded by the")
+    print("ideal sub-threshold attack.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Quickstart: play one 20-round collection game and inspect the outcome.
+
+An Elastic(k=0.5) collector faces its §VI-A interactive adversary on the
+Control dataset with a 20% attack ratio.  Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import CollectionGame, make_scheme
+from repro.core.trimming import RadialTrimmer
+from repro.datasets import load_dataset
+from repro.streams import ArrayStream, PoisonInjector
+
+
+def main() -> None:
+    data, _ = load_dataset("control")
+
+    collector, adversary = make_scheme("elastic0.5", t_th=0.9, seed=0)
+    game = CollectionGame(
+        source=ArrayStream(data, batch_size=100, seed=0),
+        collector=collector,
+        adversary=adversary,
+        injector=PoisonInjector(attack_ratio=0.2, seed=0),
+        trimmer=RadialTrimmer(),
+        reference=data,
+        rounds=20,
+    )
+    result = game.run()
+
+    print(f"scheme:                {result.collector_name} vs {result.adversary_name}")
+    print(f"rounds played:         {result.rounds}")
+    print(f"data retained:         {result.retained_data().shape[0]} points")
+    print(f"trimmed fraction:      {result.trimmed_fraction():.3f}")
+    print(f"surviving poison:      {result.poison_retained_fraction():.3f}")
+    print()
+    print("round  trim position  injection position")
+    thresholds = result.threshold_path()
+    injections = result.injection_path()
+    for i in range(result.rounds):
+        print(f"{i + 1:5d}  {thresholds[i]:13.4f}  {injections[i]:18.4f}")
+    print()
+    print("The two positions converge to the interactive equilibrium of the")
+    print("coupled Elastic responses (T* ~ 0.873, A* ~ 0.857 for k = 0.5).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All real metadata lives in ``pyproject.toml``; this file only enables the
+legacy ``pip install -e . --no-use-pep517`` editable path used in offline
+environments where PEP 517 build isolation cannot fetch build deps.
+"""
+
+from setuptools import setup
+
+setup()

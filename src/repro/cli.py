@@ -1,0 +1,270 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro list
+    python -m repro run table4
+    python -m repro run fig9 --scale full
+    python -m repro run all --scale quick
+
+``--scale quick`` (default) uses the scaled-down configurations of the
+benchmark harness; ``--scale full`` moves toward the paper's settings
+(more repetitions, full attack-ratio grids) at a correspondingly longer
+runtime.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict, List, Optional
+
+from .core.game import UltimatumPayoffs, build_ultimatum_game
+from .datasets import DATASETS, dataset_info
+from .experiments import (
+    CostConfig,
+    TournamentConfig,
+    EquilibriumConfig,
+    LDPConfig,
+    NonEquilibriumConfig,
+    SOMConfig,
+    SVMConfig,
+    format_table,
+    run_cost_analysis,
+    run_kmeans_experiment,
+    run_ldp_experiment,
+    run_nonequilibrium,
+    run_som_experiment,
+    run_svm_experiment,
+    run_tournament,
+)
+
+__all__ = ["ARTIFACTS", "main"]
+
+
+def _table1(scale: str) -> str:
+    game = build_ultimatum_game(UltimatumPayoffs())
+    equilibria = game.pure_nash_equilibria()
+    rows = []
+    for i, row_label in enumerate(game.row_labels):
+        for j, col_label in enumerate(game.col_labels):
+            rows.append(
+                (
+                    row_label,
+                    col_label,
+                    game.row_payoffs[i, j],
+                    game.col_payoffs[i, j],
+                    "yes" if (i, j) in equilibria else "",
+                )
+            )
+    return format_table(
+        ["adversary", "collector", "adv payoff", "col payoff", "Nash"],
+        rows,
+        title="Table I: ultimatum game",
+    )
+
+
+def _table2(scale: str) -> str:
+    verified = dataset_info(generate=(scale == "full"))
+    rows = [
+        (info.name, DATASETS[key].instances, info.features, info.clusters)
+        for key, info in verified.items()
+    ]
+    return format_table(
+        ["Dataset", "Instances", "Features", "Clusters"],
+        rows,
+        title="Table II: dataset information",
+    )
+
+
+def _kmeans(t_th: float, scale: str) -> str:
+    if scale == "full":
+        ratios = (0.002, 0.006, 0.01, 0.05, 0.1, 0.15, 0.2, 0.35, 0.5)
+        reps, rounds = 5, 20
+    else:
+        ratios = (0.002, 0.01, 0.1, 0.35)
+        reps, rounds = 1, 10
+    cells = run_kmeans_experiment(
+        EquilibriumConfig(
+            dataset="control", t_th=t_th, attack_ratios=ratios,
+            repetitions=reps, rounds=rounds,
+        )
+    )
+    return format_table(
+        ["scheme", "attack ratio", "SSE", "Distance"],
+        [(c.scheme, c.attack_ratio, c.sse, c.distance) for c in cells],
+        title=f"k-means (control, T_th={t_th})",
+    )
+
+
+def _fig4(scale: str) -> str:
+    return _kmeans(0.9, scale)
+
+
+def _fig5(scale: str) -> str:
+    return _kmeans(0.97, scale)
+
+
+def _fig7(scale: str) -> str:
+    config = SVMConfig() if scale == "full" else SVMConfig(svm_iterations=10_000)
+    results = run_svm_experiment(config)
+    return format_table(
+        ["scheme", "accuracy %"],
+        [(r.scheme, 100 * r.accuracy) for r in results],
+        title="Fig. 7: SVM comparison (Control, T_th=0.95, ratio 0.4)",
+    )
+
+
+def _fig8(scale: str) -> str:
+    config = (
+        SOMConfig(bulk_size=3000, som_iterations=6000, grid=(20, 20))
+        if scale == "full"
+        else SOMConfig(bulk_size=1200, som_iterations=2500, rounds=6)
+    )
+    results = run_som_experiment(config)
+    return format_table(
+        ["scheme", "minority kept", "poison share", "clusters", "QE"],
+        [
+            (
+                r.scheme,
+                r.minority_retained,
+                r.poison_retained_fraction,
+                r.cluster_count,
+                r.quantization_error,
+            )
+            for r in results
+        ],
+        title="Fig. 8: SOM comparison (Creditcard)",
+    )
+
+
+def _table3(scale: str) -> str:
+    config = (
+        NonEquilibriumConfig(repetitions=25)
+        if scale == "full"
+        else NonEquilibriumConfig(
+            repetitions=4, p_values=(0.0, 0.25, 0.5, 0.75, 1.0)
+        )
+    )
+    rows = run_nonequilibrium(config)
+    return format_table(
+        ["p", "avg termination", "Titfortat", "Elastic"],
+        [
+            (
+                r.p,
+                r.average_termination_rounds,
+                r.titfortat_poison_fraction,
+                r.elastic_poison_fraction,
+            )
+            for r in rows
+        ],
+        title="Table III: non-equilibrium results",
+    )
+
+
+def _table4(scale: str) -> str:
+    rows = run_cost_analysis(CostConfig())
+    return format_table(
+        ["Round_no", "k=0.5 (%)", "k=0.1 (%)"],
+        [(r.round_no, 100 * r.cost_k_high, 100 * r.cost_k_low) for r in rows],
+        title="Table IV: roundwise Elastic cost",
+    )
+
+
+def _fig9(scale: str) -> str:
+    if scale == "full":
+        config = LDPConfig(
+            attack_ratios=(0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45),
+            repetitions=5,
+        )
+    else:
+        config = LDPConfig(
+            epsilons=(1.0, 2.0, 3.0, 5.0),
+            attack_ratios=(0.05, 0.2),
+            n_users=1000,
+            rounds=3,
+            repetitions=2,
+            reference_size=2000,
+        )
+    cells = run_ldp_experiment(config)
+    return format_table(
+        ["attack ratio", "epsilon", "scheme", "MSE"],
+        [(c.attack_ratio, c.epsilon, c.scheme, c.mse) for c in cells],
+        title="Fig. 9: LDP comparison",
+    )
+
+
+def _metagame(scale: str) -> str:
+    config = (
+        TournamentConfig(repetitions=4, rounds=20)
+        if scale == "full"
+        else TournamentConfig(repetitions=2, rounds=10)
+    )
+    result = run_tournament(config)
+    rows = []
+    for i, aname in enumerate(result.adversary_names):
+        for j, cname in enumerate(result.collector_names):
+            rows.append(
+                (aname, cname, result.adversary_payoffs[i, j])
+            )
+    mixtures = ", ".join(
+        f"{n}={w:.2f}"
+        for n, w in zip(result.collector_names, result.collector_mixture)
+        if w > 1e-6
+    )
+    return format_table(
+        ["adversary", "collector", "adversary payoff"],
+        rows,
+        title=f"Meta-game tournament — minimax collector: {mixtures}",
+    )
+
+
+#: Artifact name -> (description, runner).
+ARTIFACTS: Dict[str, tuple] = {
+    "table1": ("ultimatum game payoff matrix (Table I)", _table1),
+    "table2": ("dataset information (Table II)", _table2),
+    "table3": ("non-equilibrium results (Table III)", _table3),
+    "table4": ("Elastic roundwise cost (Table IV)", _table4),
+    "fig4": ("k-means comparison, T_th=0.9 (Fig. 4)", _fig4),
+    "fig5": ("k-means comparison, T_th=0.97 (Fig. 5)", _fig5),
+    "fig7": ("SVM comparison (Fig. 7, includes Fig. 6a ground truth)", _fig7),
+    "fig8": ("SOM comparison (Fig. 8, includes Fig. 6b ground truth)", _fig8),
+    "fig9": ("LDP trimming vs EMF (Fig. 9)", _fig9),
+    "metagame": ("empirical strategy tournament (beyond the paper)", _metagame),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available artifacts")
+
+    run = sub.add_parser("run", help="run one artifact (or 'all')")
+    run.add_argument("artifact", choices=sorted(ARTIFACTS) + ["all"])
+    run.add_argument(
+        "--scale",
+        choices=("quick", "full"),
+        default="quick",
+        help="quick = benchmark-sized, full = closer to the paper's settings",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        rows = [(name, desc) for name, (desc, _) in sorted(ARTIFACTS.items())]
+        print(format_table(["artifact", "description"], rows))
+        return 0
+
+    names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    for name in names:
+        _, runner = ARTIFACTS[name]
+        print(runner(args.scale))
+        print()
+    return 0

@@ -1,0 +1,129 @@
+"""Input-domain and percentile-coordinate utilities.
+
+The paper expresses every strategy — both the collector's trimming position
+and the adversary's injection position — in *percentile coordinates* of the
+observed data (Section VI-A).  This module provides the small algebra the
+rest of the library builds on: empirical quantiles, the inverse map from a
+value back to its percentile, and a bounded :class:`Domain` describing the
+input space the game is played on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Domain",
+    "empirical_quantile",
+    "percentile_of",
+    "clip_percentile",
+    "percentile_grid",
+]
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A bounded 1-D input domain ``[low, high]``.
+
+    The LDP case study uses ``Domain(-1.0, 1.0)``; percentile positions are
+    always relative to observed data, but poison values and perturbed
+    reports must remain inside (an enlarged version of) the domain.
+    """
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.low) or not np.isfinite(self.high):
+            raise ValueError("domain bounds must be finite")
+        if self.low >= self.high:
+            raise ValueError(
+                f"domain low ({self.low}) must be < high ({self.high})"
+            )
+
+    @property
+    def width(self) -> float:
+        """Length of the domain interval."""
+        return self.high - self.low
+
+    @property
+    def center(self) -> float:
+        """Midpoint of the domain."""
+        return 0.5 * (self.low + self.high)
+
+    def contains(self, values) -> np.ndarray:
+        """Elementwise membership test, inclusive of the endpoints."""
+        arr = np.asarray(values, dtype=float)
+        return (arr >= self.low) & (arr <= self.high)
+
+    def clip(self, values) -> np.ndarray:
+        """Clip ``values`` into the domain."""
+        return np.clip(np.asarray(values, dtype=float), self.low, self.high)
+
+    def normalize(self, values) -> np.ndarray:
+        """Affinely map ``values`` from this domain onto ``[-1, 1]``."""
+        arr = np.asarray(values, dtype=float)
+        return 2.0 * (arr - self.low) / self.width - 1.0
+
+    def denormalize(self, values) -> np.ndarray:
+        """Inverse of :meth:`normalize`."""
+        arr = np.asarray(values, dtype=float)
+        return (arr + 1.0) * 0.5 * self.width + self.low
+
+    def scale(self, factor: float) -> "Domain":
+        """Return a domain enlarged about its center by ``factor``."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        half = 0.5 * self.width * factor
+        return Domain(self.center - half, self.center + half)
+
+
+def empirical_quantile(values, q) -> np.ndarray:
+    """Empirical quantile(s) of ``values`` at fraction(s) ``q`` in [0, 1].
+
+    Thin wrapper over :func:`numpy.quantile` with linear interpolation,
+    kept in one place so every component of the library agrees on the
+    quantile convention.
+    """
+    arr = np.asarray(values, dtype=float).ravel()
+    if arr.size == 0:
+        raise ValueError("cannot take a quantile of empty data")
+    q_arr = np.asarray(q, dtype=float)
+    if np.any((q_arr < 0.0) | (q_arr > 1.0)):
+        raise ValueError("quantile fractions must lie in [0, 1]")
+    return np.quantile(arr, q)
+
+
+def percentile_of(values, x) -> float:
+    """Fraction of ``values`` that are strictly below ``x``.
+
+    This is the (left-continuous) empirical CDF and acts as the inverse of
+    :func:`empirical_quantile` up to interpolation: it recovers the
+    percentile coordinate of a concrete value, e.g. of an injected poison
+    point inside the combined round batch.
+    """
+    arr = np.asarray(values, dtype=float).ravel()
+    if arr.size == 0:
+        raise ValueError("cannot locate a percentile in empty data")
+    return float(np.count_nonzero(arr < x)) / float(arr.size)
+
+
+def clip_percentile(q: float) -> float:
+    """Clamp a percentile coordinate into the valid [0, 1] range."""
+    return float(min(1.0, max(0.0, q)))
+
+
+def percentile_grid(low: float, high: float, n: int) -> np.ndarray:
+    """An inclusive, evenly spaced grid of ``n`` percentile coordinates.
+
+    Used to discretize the strategy space ``[x_L, x_R]`` when solving the
+    matrix / Stackelberg games numerically.
+    """
+    if n < 2:
+        raise ValueError("a strategy grid needs at least two points")
+    lo, hi = clip_percentile(low), clip_percentile(high)
+    if lo >= hi:
+        raise ValueError("grid low must be < high after clipping")
+    return np.linspace(lo, hi, n)

@@ -1,0 +1,355 @@
+"""The multi-round collection game engine (Fig. 3).
+
+Each round the engine
+
+1. draws a benign batch from the stream (step ③),
+2. asks the adversary strategy for an injection percentile and
+   materializes the poison (step ②),
+3. asks the collector strategy for a trimming percentile and trims the
+   combined batch (step ④),
+4. evaluates the public quality standard and the compliance judgement,
+5. records everything on the public board (steps ① ⑥), which both
+   strategies observe when choosing the next round's positions (step ⑤).
+
+The engine also keeps ground-truth bookkeeping (which retained points are
+poison) that strategies never see but experiments report on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..streams.board import BoardEntry, PublicBoard
+from ..streams.injection import PoisonInjector
+from ..streams.source import StreamSource
+from .quality import QualityEvaluator, TailMassEvaluator
+from .strategies.base import AdversaryStrategy, CollectorStrategy, RoundObservation
+from .trimming import Trimmer
+
+__all__ = [
+    "BandExcessJudge",
+    "NoisyPositionJudge",
+    "GameResult",
+    "CollectionGame",
+]
+
+
+class BandExcessJudge:
+    """Noisy per-round compliance judgement (§V, §VI-D).
+
+    Betrayal in the §VI-D sense is *sub-threshold* poisoning: mass parked
+    just under the soft trim position where it survives.  The judge
+    measures the retained batch's score mass inside a reference band
+    (default: between the 85th and 95th reference percentiles — the
+    corridor between the balance point and the soft threshold), compares
+    it against the clean band mass, and adds Gaussian noise modeling the
+    non-deterministic utility of §V.  The false-positive rate this noise
+    induces is what eventually terminates even fully compliant play
+    (§V-B).
+    """
+
+    def __init__(
+        self,
+        band: tuple = (0.85, 0.95),
+        margin: float = 0.04,
+        noise_sigma: float = 0.02,
+        seed: Optional[int] = None,
+    ):
+        lo, hi = band
+        if not 0.0 <= lo < hi <= 1.0:
+            raise ValueError("band must satisfy 0 <= lo < hi <= 1")
+        if margin < 0.0 or noise_sigma < 0.0:
+            raise ValueError("margin and noise_sigma must be non-negative")
+        self.band = (float(lo), float(hi))
+        self.margin = float(margin)
+        self.noise_sigma = float(noise_sigma)
+        self._rng = np.random.default_rng(seed)
+        self._band_values: Optional[tuple] = None
+        self._clean_mass = hi - lo
+
+    def fit(self, reference_scores: np.ndarray) -> "BandExcessJudge":
+        """Calibrate the band value cutoffs on clean reference scores."""
+        scores = np.asarray(reference_scores, dtype=float).ravel()
+        if scores.size == 0:
+            raise ValueError("reference scores must be non-empty")
+        lo_v, hi_v = np.quantile(scores, self.band)
+        self._band_values = (float(lo_v), float(hi_v))
+        return self
+
+    def judge(self, retained_scores: np.ndarray) -> bool:
+        """True when the retained band mass exceeds clean mass + margin."""
+        if self._band_values is None:
+            raise RuntimeError("judge must be fit on reference scores first")
+        scores = np.asarray(retained_scores, dtype=float).ravel()
+        if scores.size == 0:
+            return False
+        lo_v, hi_v = self._band_values
+        mass = float(np.mean((scores > lo_v) & (scores <= hi_v)))
+        excess = mass - self._clean_mass
+        if self.noise_sigma > 0.0:
+            excess += float(self._rng.normal(0.0, self.noise_sigma))
+        return excess > self.margin
+
+    def judge_round(self, injection_percentile, retained_scores) -> bool:
+        """Engine entry point; the band judge only inspects the scores."""
+        return self.judge(retained_scores)
+
+
+class NoisyPositionJudge:
+    """Noisy compliance judgement on the observed injection position (§V).
+
+    Under the white-box / complete-information model both parties can
+    reconstruct the previous round's positions from the public board, so
+    the collector can in principle *see* whether the adversary betrayed —
+    injected below the agreed boundary where poison survives the soft
+    trim.  Non-deterministic utility (LDP noise, §V) makes the judgement
+    probabilistic: a true betrayal is missed with ``miss_rate`` (the
+    paper's "judges compliance with probability p" when the adversary
+    defects), and compliant play is falsely flagged with
+    ``false_positive_rate`` (the benign jitter that eventually terminates
+    even honest cooperation, §V-B).
+    """
+
+    def __init__(
+        self,
+        boundary: float,
+        miss_rate: float = 0.15,
+        false_positive_rate: float = 0.075,
+        seed: Optional[int] = None,
+    ):
+        if not 0.0 < boundary < 1.0:
+            raise ValueError("boundary must be a percentile in (0, 1)")
+        for rate in (miss_rate, false_positive_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("rates must be probabilities")
+        self.boundary = float(boundary)
+        self.miss_rate = float(miss_rate)
+        self.false_positive_rate = float(false_positive_rate)
+        self._rng = np.random.default_rng(seed)
+
+    def fit(self, reference_scores) -> "NoisyPositionJudge":
+        """Stateless; present for engine-interface uniformity."""
+        return self
+
+    def judge_round(self, injection_percentile, retained_scores) -> bool:
+        """Noisy verdict on whether the round's injection was a betrayal."""
+        if injection_percentile is None:
+            truly_betrayed = False
+        else:
+            truly_betrayed = float(injection_percentile) < self.boundary
+        if truly_betrayed:
+            return bool(self._rng.random() >= self.miss_rate)
+        return bool(self._rng.random() < self.false_positive_rate)
+
+
+@dataclass
+class GameResult:
+    """Outcome of one full collection game."""
+
+    board: PublicBoard
+    collector_name: str
+    adversary_name: str
+    termination_round: Optional[int]
+
+    @property
+    def rounds(self) -> int:
+        """Number of completed rounds."""
+        return len(self.board)
+
+    def retained_data(self) -> np.ndarray:
+        """All data surviving trimming, across every round."""
+        return self.board.retained_data()
+
+    def poison_retained_fraction(self) -> float:
+        """Fraction of retained points that are poison (Table III metric)."""
+        return self.board.poison_retained_fraction()
+
+    def trimmed_fraction(self) -> float:
+        """Fraction of all collected points that were trimmed."""
+        return self.board.trimmed_fraction()
+
+    def threshold_path(self) -> np.ndarray:
+        """Per-round trimming percentiles the collector played."""
+        return np.array([o.trim_percentile for o in self.board.observations])
+
+    def injection_path(self) -> np.ndarray:
+        """Per-round injection percentiles (NaN where no injection)."""
+        return np.array(
+            [
+                np.nan if o.injection_percentile is None else o.injection_percentile
+                for o in self.board.observations
+            ]
+        )
+
+    def to_records(self) -> list:
+        """Per-round summary dicts for external analysis/plotting.
+
+        One dict per round with the public observation fields plus the
+        ground-truth bookkeeping (counts of collected/retained/poison) —
+        ready for ``csv.DictWriter`` or a dataframe constructor.
+        """
+        records = []
+        for entry in self.board.entries:
+            obs = entry.observation
+            records.append(
+                {
+                    "round": obs.index,
+                    "trim_percentile": obs.trim_percentile,
+                    "injection_percentile": obs.injection_percentile,
+                    "quality": obs.quality,
+                    "observed_poison_ratio": obs.observed_poison_ratio,
+                    "betrayal": obs.betrayal,
+                    "n_collected": entry.n_collected,
+                    "n_retained": int(entry.retained.shape[0]),
+                    "n_poison_injected": entry.n_poison_injected,
+                    "n_poison_retained": entry.n_poison_retained,
+                }
+            )
+        return records
+
+
+class CollectionGame:
+    """Orchestrates the repeated trimming game between two strategies.
+
+    Parameters
+    ----------
+    source:
+        Benign stream (one batch per round).
+    collector / adversary:
+        The two strategies.
+    injector:
+        Poison materializer carrying the attack ratio.
+    trimmer:
+        Trimming operator.  If ``reference`` is given and the trimmer has
+        not been fitted yet, the engine fits it (reference anchoring);
+        pass a plain unfitted trimmer and ``anchor="batch"`` for
+        batch-percentile trimming.
+    reference:
+        Clean calibration data ``X0`` for the quality standard, the
+        trimmer (under reference anchoring) and the judge.
+    quality_evaluator:
+        The public ``Quality_Evaluation()``; defaults to a
+        :class:`~repro.core.quality.TailMassEvaluator` at the 0.9
+        reference quantile.
+    judge:
+        Per-round compliance judge; defaults to a noiseless
+        :class:`BandExcessJudge`.
+    rounds:
+        Number of rounds to play.
+    anchor:
+        ``"reference"`` (default) or ``"batch"`` trimming anchoring, see
+        :mod:`repro.core.trimming`.
+    """
+
+    def __init__(
+        self,
+        source: StreamSource,
+        collector: CollectorStrategy,
+        adversary: AdversaryStrategy,
+        injector: PoisonInjector,
+        trimmer: Trimmer,
+        reference,
+        quality_evaluator: Optional[QualityEvaluator] = None,
+        judge: Optional[BandExcessJudge] = None,
+        rounds: int = 20,
+        anchor: str = "reference",
+    ):
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        if anchor not in ("reference", "batch"):
+            raise ValueError("anchor must be 'reference' or 'batch'")
+        self.source = source
+        self.collector = collector
+        self.adversary = adversary
+        self.injector = injector
+        self.trimmer = trimmer
+        self.rounds = int(rounds)
+        self.reference = np.asarray(reference, dtype=float)
+
+        # The score center always comes from the public reference (a
+        # batch-local center is evadable — see trimming module docs);
+        # ``anchor`` only selects the cutoff-quantile source.  The
+        # injector is calibrated on the same reference: the white-box
+        # adversary knows the public standard too.
+        self.trimmer.anchor = anchor
+        self.trimmer.fit_reference(self.reference)
+        self.injector.fit_reference(self.reference)
+
+        self.quality_evaluator = quality_evaluator or TailMassEvaluator()
+        self.quality_evaluator.fit(self.reference)
+
+        self.judge = judge or BandExcessJudge(noise_sigma=0.0)
+        self.judge.fit(self.trimmer.scores(self.reference))
+
+    # ------------------------------------------------------------------ #
+    def _combine(self, benign: np.ndarray, poison: np.ndarray) -> np.ndarray:
+        if poison.shape[0] == 0:
+            return benign
+        return np.concatenate([benign, poison], axis=0)
+
+    def run(self) -> GameResult:
+        """Play all rounds and return the game outcome."""
+        self.source.reset()
+        self.collector.reset()
+        self.adversary.reset()
+        board = PublicBoard()
+        last_obs: Optional[RoundObservation] = None
+
+        for index in range(1, self.rounds + 1):
+            benign = self.source.next_batch()
+
+            if last_obs is None:
+                trim_q = self.collector.first()
+                inject_q = self.adversary.first()
+            else:
+                trim_q = self.collector.react(last_obs)
+                inject_q = self.adversary.react(last_obs)
+
+            if inject_q is None:
+                poison = benign[:0]
+            else:
+                poison = self.injector.materialize(benign, inject_q)
+
+            combined = self._combine(benign, poison)
+            poison_mask = np.zeros(combined.shape[0], dtype=bool)
+            poison_mask[benign.shape[0]:] = True
+
+            report = self.trimmer.trim(combined, trim_q)
+            retained = combined[report.kept]
+            retained_scores = self.trimmer.scores(combined)[report.kept]
+
+            quality = self.quality_evaluator.normalized(combined)
+            observed_ratio = self.quality_evaluator.score(combined)
+            betrayal = self.judge.judge_round(inject_q, retained_scores)
+
+            observation = RoundObservation(
+                index=index,
+                trim_percentile=float(trim_q),
+                injection_percentile=None if inject_q is None else float(inject_q),
+                quality=quality,
+                observed_poison_ratio=float(observed_ratio),
+                betrayal=bool(betrayal),
+            )
+            board.record(
+                BoardEntry(
+                    observation=observation,
+                    retained=retained,
+                    n_collected=combined.shape[0],
+                    n_poison_injected=int(poison.shape[0]),
+                    n_poison_retained=int(
+                        np.count_nonzero(report.kept & poison_mask)
+                    ),
+                )
+            )
+            last_obs = observation
+
+        termination = getattr(self.collector, "terminated_round", None)
+        return GameResult(
+            board=board,
+            collector_name=self.collector.name,
+            adversary_name=self.adversary.name,
+            termination_round=termination,
+        )

@@ -1,0 +1,89 @@
+"""Mixed-strategy reduction of arbitrary poison distributions (§III-C2).
+
+The paper's completeness argument: any poison-value distribution supported
+on the strategy interval ``[x_L, x_R]`` is, in expectation, equivalent to a
+*mixed strategy* that plays the left endpoint ``x_L`` with probability
+``p_L`` and the right endpoint ``x_R`` with probability ``p_R = 1 - p_L``
+(Fig. 1b).  Because payoffs are additive over injected values, matching the
+first moment of the distribution suffices for the game analysis, which
+collapses the infinite-dimensional distribution space onto a single point
+of the two-endpoint simplex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .domain import clip_percentile
+
+__all__ = ["MixedStrategy", "reduce_distribution"]
+
+
+@dataclass(frozen=True)
+class MixedStrategy:
+    """A two-endpoint mixed strategy ``p_L·x_L + p_R·x_R``.
+
+    ``p_left`` is the probability mass on the soft endpoint ``x_L``; the
+    complement sits on the hard endpoint ``x_R``.
+    """
+
+    x_left: float
+    x_right: float
+    p_left: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_left <= 1.0:
+            raise ValueError("p_left must be a probability")
+        if self.x_left > self.x_right:
+            raise ValueError("x_left must not exceed x_right")
+
+    @property
+    def p_right(self) -> float:
+        """Probability mass on the hard endpoint ``x_R``."""
+        return 1.0 - self.p_left
+
+    @property
+    def mean(self) -> float:
+        """Expected injection position ``p_L·x_L + p_R·x_R``."""
+        return self.p_left * self.x_left + self.p_right * self.x_right
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` injection positions from the mixed strategy."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        hard = rng.random(size) >= self.p_left
+        out = np.full(size, self.x_left, dtype=float)
+        out[hard] = self.x_right
+        return out
+
+    def expected_payoff(self, payoff) -> float:
+        """Expectation of a pointwise payoff function under the mixture."""
+        return self.p_left * float(payoff(self.x_left)) + self.p_right * float(
+            payoff(self.x_right)
+        )
+
+
+def reduce_distribution(samples, x_left: float, x_right: float) -> MixedStrategy:
+    """Reduce an arbitrary poison-position distribution to a mixed strategy.
+
+    Given empirical injection positions ``samples`` (percentile
+    coordinates), returns the unique two-endpoint mixture on
+    ``[x_left, x_right]`` with the same mean.  Samples outside the interval
+    are clipped first — by Definition 1 no rational play falls outside the
+    strategy space, and clipping is how the collector would perceive such
+    positions anyway (below ``x_L`` poison is indistinguishable from benign
+    mass, above ``x_R`` it is trimmed unconditionally).
+    """
+    arr = np.asarray(samples, dtype=float).ravel()
+    if arr.size == 0:
+        raise ValueError("cannot reduce an empty distribution")
+    x_l = clip_percentile(x_left)
+    x_r = clip_percentile(x_right)
+    if x_l >= x_r:
+        raise ValueError("x_left must be strictly below x_right")
+    clipped = np.clip(arr, x_l, x_r)
+    mean = float(np.mean(clipped))
+    p_left = (x_r - mean) / (x_r - x_l)
+    return MixedStrategy(x_left=x_l, x_right=x_r, p_left=float(np.clip(p_left, 0.0, 1.0)))

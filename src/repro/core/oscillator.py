@@ -1,0 +1,179 @@
+"""Closed-form coupled oscillator solution of the Elastic system (Theorem 4).
+
+Plugging the Elastic interaction ``U = k (u_a - u_c)² / 2`` into the
+Euler–Lagrange equations yields
+
+    ``m_a ü_a = -k (u_a - u_c)``,   ``m_c ü_c = +k (u_a - u_c)``,
+
+the equations of two masses joined by a spring.  In normal-mode
+coordinates the *utility center of mass* drifts uniformly (a remnant of
+Theorem 1) while the *relative utility* ``y = u_a - u_c`` oscillates
+harmonically,
+
+    ``y(r) = A cos(ω r + φ)``,   ``ω = sqrt(k (m_a + m_c) / (m_a m_c))``,
+
+which is the "periodic oscillation with respect to r" conclusion of
+Theorem 4: under the Elastic strategy the two parties' utilities breathe
+around a shared drift instead of diverging or terminating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["CoupledUtilityOscillator"]
+
+
+@dataclass(frozen=True)
+class CoupledUtilityOscillator:
+    """Exact dynamics of the Elastic two-party utility system.
+
+    Parameters
+    ----------
+    stiffness:
+        Spring constant ``k`` of the elastic interaction (Definition 2).
+    mass_adversary, mass_collector:
+        The intrinsic factors ``m_a``, ``m_c`` of Theorem 2.
+    u_adversary0, u_collector0:
+        Initial utilities ``u_a(0)``, ``u_c(0)``.
+    v_adversary0, v_collector0:
+        Initial utility velocities ``u̇_a(0)``, ``u̇_c(0)``.
+    """
+
+    stiffness: float
+    mass_adversary: float = 1.0
+    mass_collector: float = 1.0
+    u_adversary0: float = 0.0
+    u_collector0: float = 0.0
+    v_adversary0: float = 0.0
+    v_collector0: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.stiffness <= 0.0:
+            raise ValueError("stiffness k must be positive")
+        if self.mass_adversary <= 0.0 or self.mass_collector <= 0.0:
+            raise ValueError("masses must be positive")
+
+    # ------------------------------------------------------------------ #
+    # derived constants
+    # ------------------------------------------------------------------ #
+    @property
+    def total_mass(self) -> float:
+        """``M = m_a + m_c``."""
+        return self.mass_adversary + self.mass_collector
+
+    @property
+    def reduced_mass(self) -> float:
+        """``μ = m_a m_c / (m_a + m_c)`` governing the relative motion."""
+        return self.mass_adversary * self.mass_collector / self.total_mass
+
+    @property
+    def angular_frequency(self) -> float:
+        """``ω = sqrt(k / μ) = sqrt(k (m_a + m_c) / (m_a m_c))``."""
+        return float(np.sqrt(self.stiffness / self.reduced_mass))
+
+    @property
+    def period(self) -> float:
+        """Oscillation period ``2π / ω`` of the relative utility."""
+        return 2.0 * np.pi / self.angular_frequency
+
+    @property
+    def amplitude(self) -> float:
+        """Amplitude ``A`` of ``y(r) = A cos(ω r + φ)``."""
+        y0 = self.u_adversary0 - self.u_collector0
+        vy0 = self.v_adversary0 - self.v_collector0
+        return float(np.hypot(y0, vy0 / self.angular_frequency))
+
+    @property
+    def phase(self) -> float:
+        """Phase ``φ`` of ``y(r) = A cos(ω r + φ)``."""
+        y0 = self.u_adversary0 - self.u_collector0
+        vy0 = self.v_adversary0 - self.v_collector0
+        return float(np.arctan2(-vy0 / self.angular_frequency, y0))
+
+    # ------------------------------------------------------------------ #
+    # trajectories
+    # ------------------------------------------------------------------ #
+    def center_of_utility(self, r) -> np.ndarray:
+        """The mass-weighted mean utility, drifting uniformly in ``r``.
+
+        ``X(r) = X(0) + V r`` with ``V = (m_a v_a0 + m_c v_c0) / M`` — the
+        free normal mode in which the joint system still obeys the
+        equilibrium law ``u̇ = const`` of Theorem 1.
+        """
+        r = np.asarray(r, dtype=float)
+        x0 = (
+            self.mass_adversary * self.u_adversary0
+            + self.mass_collector * self.u_collector0
+        ) / self.total_mass
+        v = (
+            self.mass_adversary * self.v_adversary0
+            + self.mass_collector * self.v_collector0
+        ) / self.total_mass
+        return x0 + v * r
+
+    def relative_utility(self, r) -> np.ndarray:
+        """The oscillating mode ``y(r) = A cos(ω r + φ)`` of Theorem 4."""
+        r = np.asarray(r, dtype=float)
+        return self.amplitude * np.cos(self.angular_frequency * r + self.phase)
+
+    def solve(self, r) -> Tuple[np.ndarray, np.ndarray]:
+        """Utilities ``(u_a(r), u_c(r))`` reconstructed from normal modes.
+
+        ``u_a = X + (m_c / M) y`` and ``u_c = X - (m_a / M) y``.
+        """
+        x = self.center_of_utility(r)
+        y = self.relative_utility(r)
+        u_a = x + (self.mass_collector / self.total_mass) * y
+        u_c = x - (self.mass_adversary / self.total_mass) * y
+        return u_a, u_c
+
+    def velocities(self, r) -> Tuple[np.ndarray, np.ndarray]:
+        """Utility velocities ``(u̇_a(r), u̇_c(r))``."""
+        r = np.asarray(r, dtype=float)
+        v_cm = (
+            self.mass_adversary * self.v_adversary0
+            + self.mass_collector * self.v_collector0
+        ) / self.total_mass
+        dy = (
+            -self.amplitude
+            * self.angular_frequency
+            * np.sin(self.angular_frequency * r + self.phase)
+        )
+        v_a = v_cm + (self.mass_collector / self.total_mass) * dy
+        v_c = v_cm - (self.mass_adversary / self.total_mass) * dy
+        return v_a, v_c
+
+    def energy(self, r) -> np.ndarray:
+        """Total mechanical energy along the trajectory.
+
+        ``E = m_a u̇_a²/2 + m_c u̇_c²/2 + k (u_a - u_c)²/2`` — conserved
+        because the Lagrangian has no explicit ``r`` dependence; tests use
+        this as the variational sanity invariant.
+        """
+        u_a, u_c = self.solve(r)
+        v_a, v_c = self.velocities(r)
+        kinetic = 0.5 * (self.mass_adversary * v_a**2 + self.mass_collector * v_c**2)
+        potential = 0.5 * self.stiffness * (u_a - u_c) ** 2
+        return kinetic + potential
+
+    def acceleration_residual(self, r, eps: float = 1e-5) -> np.ndarray:
+        """Residual of the equations of motion at rounds ``r``.
+
+        Finite-difference accelerations are compared against the spring
+        forces; exact solutions give residuals at the discretization-error
+        level.  Returns shape ``(len(r), 2)``.
+        """
+        r = np.atleast_1d(np.asarray(r, dtype=float))
+        ua_p, uc_p = self.solve(r + eps)
+        ua_m, uc_m = self.solve(r - eps)
+        ua_0, uc_0 = self.solve(r)
+        acc_a = (ua_p - 2 * ua_0 + ua_m) / eps**2
+        acc_c = (uc_p - 2 * uc_0 + uc_m) / eps**2
+        rel = ua_0 - uc_0
+        res_a = self.mass_adversary * acc_a + self.stiffness * rel
+        res_c = self.mass_collector * acc_c - self.stiffness * rel
+        return np.stack([res_a, res_c], axis=-1)

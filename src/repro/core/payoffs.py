@@ -1,0 +1,187 @@
+"""Payoff functions of the trimming game (Section III-B of the paper).
+
+The game between a data collector and an adversary is zero-sum in the
+poisoning payoff ``P`` — whatever deviation the adversary manages to inject
+is utility lost by the collector — while the collector additionally pays a
+trimming overhead ``T`` for the honest values she removes.  Working in
+percentile coordinates ``x`` of the benign distribution:
+
+* ``P(x)`` — payoff of a poison value injected at percentile ``x`` that
+  *survives* trimming.  Increasing in ``x``: the further into the upper tail
+  a surviving poison value sits, the more it skews the estimate.
+* ``T(x)`` — overhead of trimming *at* percentile ``x``: the mass of benign
+  data removed is ``1 - x``, so ``T`` decreases in ``x``.
+
+The balance point ``x_L`` solves ``P(x_L) = T(x_L)`` (Fig. 1a): below it
+trimming costs more than the poison it prevents, so a rational collector
+never trims below ``x_L``.  The right boundary ``x_R`` (Fig. 2) is the
+largest injection position a rational adversary would use, because beyond
+it the collector trims unconditionally.  Together ``[x_L, x_R]`` is the
+complete strategy space of Definition 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Tuple
+
+import numpy as np
+from scipy.optimize import brentq
+
+from .domain import clip_percentile
+
+__all__ = ["PayoffModel", "power_poison_gain", "power_trim_cost"]
+
+
+def power_poison_gain(scale: float = 1.0, exponent: float = 2.0) -> Callable[[float], float]:
+    """A convex poison-gain family ``P(x) = scale * x**exponent``.
+
+    The default quadratic growth encodes that deviation impact accelerates
+    toward the tail of the distribution (extreme values move means,
+    centroids and separating hyperplanes superlinearly).
+    """
+    if scale <= 0 or exponent <= 0:
+        raise ValueError("scale and exponent must be positive")
+
+    def gain(x: float) -> float:
+        return scale * float(x) ** exponent
+
+    return gain
+
+
+def power_trim_cost(scale: float = 1.0, exponent: float = 1.0) -> Callable[[float], float]:
+    """A trimming-overhead family ``T(x) = scale * (1 - x)**exponent``.
+
+    ``1 - x`` is exactly the benign mass removed when trimming at
+    percentile ``x``; the exponent models how quickly accuracy loss grows
+    with removed mass.
+    """
+    if scale <= 0 or exponent <= 0:
+        raise ValueError("scale and exponent must be positive")
+
+    def cost(x: float) -> float:
+        return scale * (1.0 - float(x)) ** exponent
+
+    return cost
+
+
+@dataclass
+class PayoffModel:
+    """Payoff structure of the single-round trimming game.
+
+    Parameters
+    ----------
+    poison_gain:
+        ``P(x)`` — payoff of a surviving poison value at percentile ``x``.
+        Must be non-decreasing on [0, 1].
+    trim_cost:
+        ``T(x)`` — collector overhead for trimming at percentile ``x``.
+        Must be non-increasing on [0, 1].
+    tolerance:
+        Tail-mass tolerance used to place the right boundary ``x_R``: the
+        collector definitely trims once the remaining benign tail mass is
+        at most ``tolerance``, so no rational adversary injects beyond
+        ``x_R = 1 - tolerance``.
+    """
+
+    poison_gain: Callable[[float], float] = field(default_factory=power_poison_gain)
+    trim_cost: Callable[[float], float] = field(default_factory=power_trim_cost)
+    tolerance: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.tolerance < 0.5:
+            raise ValueError("tolerance must lie in (0, 0.5)")
+
+    # ------------------------------------------------------------------ #
+    # elementary payoffs
+    # ------------------------------------------------------------------ #
+    def poison_payoff(self, x: float) -> float:
+        """``P(x)``: adversary gain from a surviving poison value at ``x``."""
+        return float(self.poison_gain(clip_percentile(x)))
+
+    def trim_overhead(self, x: float) -> float:
+        """``T(x)``: collector loss from trimming benign mass above ``x``."""
+        return float(self.trim_cost(clip_percentile(x)))
+
+    # ------------------------------------------------------------------ #
+    # the strategy-space boundaries of Definition 1
+    # ------------------------------------------------------------------ #
+    def balance_point(self) -> float:
+        """The balance point ``x_L`` with ``P(x_L) = T(x_L)`` (Fig. 1a).
+
+        Found by bracketed root finding on ``P - T``, which is monotone
+        increasing under the model assumptions (P up, T down), hence the
+        root is unique when it exists.
+        """
+
+        def diff(x: float) -> float:
+            return self.poison_payoff(x) - self.trim_overhead(x)
+
+        lo, hi = 0.0, 1.0
+        d_lo, d_hi = diff(lo), diff(hi)
+        if d_lo > 0.0:
+            # Poison beats overhead everywhere: trimming always pays.
+            return lo
+        if d_hi < 0.0:
+            # Overhead dominates everywhere: never worth trimming.
+            return hi
+        return float(brentq(diff, lo, hi, xtol=1e-12))
+
+    def right_boundary(self) -> float:
+        """The right boundary ``x_R = 1 - tolerance`` (Fig. 2).
+
+        Beyond ``x_R`` the benign tail mass is within the collector's
+        tolerance, so she trims unconditionally and a rational adversary
+        gains nothing by injecting there.
+        """
+        return 1.0 - self.tolerance
+
+    def strategy_interval(self) -> Tuple[float, float]:
+        """The complete strategy space ``[x_L, x_R]`` of Definition 1."""
+        x_l = self.balance_point()
+        x_r = self.right_boundary()
+        if x_l >= x_r:
+            raise ValueError(
+                "degenerate strategy space: balance point "
+                f"{x_l:.4f} >= right boundary {x_r:.4f}"
+            )
+        return x_l, x_r
+
+    # ------------------------------------------------------------------ #
+    # strategy-profile payoffs
+    # ------------------------------------------------------------------ #
+    def profile_payoffs(self, x_a: float, x_c: float) -> Tuple[float, float]:
+        """Payoffs ``(adversary, collector)`` for profile ``(x_a, x_c)``.
+
+        ``x_a`` is the adversary's injection percentile and ``x_c`` the
+        collector's trimming percentile.  A poison value at or above the
+        trimming point is removed, so the adversary gains only when
+        ``x_a < x_c``.  The collector always pays the trimming overhead
+        ``T(x_c)`` and additionally the poisoning loss when the poison
+        survives — the zero-sum structure of Section III-B:
+        ``payoff_collector = -P·[survives] - T``.
+        """
+        x_a = clip_percentile(x_a)
+        x_c = clip_percentile(x_c)
+        survives = x_a < x_c
+        p = self.poison_payoff(x_a) if survives else 0.0
+        t = self.trim_overhead(x_c)
+        return p, -p - t
+
+    def payoff_matrix(
+        self, adversary_grid, collector_grid
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense payoff matrices over discretized strategy grids.
+
+        Returns ``(A, C)`` where ``A[i, j]`` is the adversary payoff and
+        ``C[i, j]`` the collector payoff when the adversary plays
+        ``adversary_grid[i]`` against trimming point ``collector_grid[j]``.
+        """
+        a_grid = np.asarray(adversary_grid, dtype=float)
+        c_grid = np.asarray(collector_grid, dtype=float)
+        adv = np.empty((a_grid.size, c_grid.size))
+        col = np.empty_like(adv)
+        for i, x_a in enumerate(a_grid):
+            for j, x_c in enumerate(c_grid):
+                adv[i, j], col[i, j] = self.profile_payoffs(x_a, x_c)
+        return adv, col

@@ -1,0 +1,166 @@
+"""Quality_Evaluation() implementations (§III-B, Algorithms 1 and 2).
+
+The game-theoretic model presupposes a *publicly recognized data quality
+standard* both parties can evaluate.  The collector uses it to gauge the
+intensity of poisoning in a round's batch, the Tit-for-tat strategy uses
+it as a trigger, and the Elastic strategy uses its normalized value to set
+the next threshold.  Three concrete evaluators are provided; all follow
+the convention **higher score = worse quality (more poisoning)** so that
+triggers and elastic responses read uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .domain import empirical_quantile
+
+__all__ = [
+    "QualityEvaluator",
+    "TailMassEvaluator",
+    "KolmogorovSmirnovEvaluator",
+    "MeanShiftEvaluator",
+]
+
+
+class QualityEvaluator:
+    """Interface of a ``Quality_Evaluation()`` standard.
+
+    Subclasses are first fit on clean reference data ``X0`` (the
+    "triggering condition" input of Algorithm 1) and then score subsequent
+    round batches.  :meth:`normalized` maps scores onto [0, 1] — the
+    ``QE_i = QE(X_i)/max(QE(·))`` normalization of Algorithm 2.
+    """
+
+    def fit(self, reference) -> "QualityEvaluator":
+        """Calibrate the evaluator on clean reference data."""
+        raise NotImplementedError
+
+    def score(self, batch) -> float:
+        """Poisoning-intensity score of a batch (higher = worse)."""
+        raise NotImplementedError
+
+    def max_score(self) -> float:
+        """The maximum attainable score, for normalization."""
+        raise NotImplementedError
+
+    def normalized(self, batch) -> float:
+        """``QE_i`` in [0, 1]: score divided by the evaluator's maximum."""
+        peak = self.max_score()
+        if peak <= 0.0:
+            raise RuntimeError("evaluator maximum must be positive")
+        return float(np.clip(self.score(batch) / peak, 0.0, 1.0))
+
+    @staticmethod
+    def _as_scores(batch) -> np.ndarray:
+        """Flatten a batch to 1-D scores (multivariate: row L2 norms)."""
+        arr = np.asarray(batch, dtype=float)
+        if arr.size == 0:
+            raise ValueError("cannot evaluate an empty batch")
+        if arr.ndim == 1:
+            return arr
+        if arr.ndim == 2:
+            return np.linalg.norm(arr, axis=1)
+        raise ValueError("batches must be 1-D or 2-D")
+
+
+@dataclass
+class TailMassEvaluator(QualityEvaluator):
+    """Excess upper-tail mass relative to the clean reference.
+
+    Measures the fraction of a batch lying above the reference's
+    ``reference_quantile`` (default: 0.9) — under tail-injection attacks
+    this directly estimates the observed poison ratio, which is the
+    quantity the Table III trigger thresholds (``1 - p + Red``) compare
+    against.
+    """
+
+    reference_quantile: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.reference_quantile < 1.0:
+            raise ValueError("reference_quantile must lie in (0, 1)")
+        self._cutoff: float | None = None
+
+    def fit(self, reference) -> "TailMassEvaluator":
+        scores = self._as_scores(reference)
+        self._cutoff = float(empirical_quantile(scores, self.reference_quantile))
+        return self
+
+    def score(self, batch) -> float:
+        if self._cutoff is None:
+            raise RuntimeError("evaluator must be fit on reference data first")
+        scores = self._as_scores(batch)
+        excess = float(np.mean(scores > self._cutoff)) - (1.0 - self.reference_quantile)
+        return max(0.0, excess)
+
+    def max_score(self) -> float:
+        return self.reference_quantile  # all mass above the cutoff
+
+
+@dataclass
+class KolmogorovSmirnovEvaluator(QualityEvaluator):
+    """Kolmogorov–Smirnov distance between batch and reference scores.
+
+    A distribution-free quality standard: the KS statistic between the
+    empirical CDFs, insensitive to where the manipulation sits in the
+    domain, with a natural maximum of 1.
+    """
+
+    def __init__(self) -> None:
+        self._reference: np.ndarray | None = None
+
+    def fit(self, reference) -> "KolmogorovSmirnovEvaluator":
+        self._reference = np.sort(self._as_scores(reference))
+        return self
+
+    def score(self, batch) -> float:
+        if self._reference is None:
+            raise RuntimeError("evaluator must be fit on reference data first")
+        sample = np.sort(self._as_scores(batch))
+        grid = np.union1d(self._reference, sample)
+        cdf_ref = np.searchsorted(self._reference, grid, side="right") / self._reference.size
+        cdf_smp = np.searchsorted(sample, grid, side="right") / sample.size
+        return float(np.max(np.abs(cdf_ref - cdf_smp)))
+
+    def max_score(self) -> float:
+        return 1.0
+
+
+@dataclass
+class MeanShiftEvaluator(QualityEvaluator):
+    """Standardized mean shift of a batch against the reference.
+
+    ``|mean(batch) - mean(reference)| / std(reference)``, clipped by
+    ``cap`` for normalization.  Sensitive to exactly the estimator the
+    opportunistic attacker of the threat model targets (deviation of the
+    aggregate statistic).
+    """
+
+    cap: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.cap <= 0.0:
+            raise ValueError("cap must be positive")
+        self._mean: float | None = None
+        self._std: float | None = None
+
+    def fit(self, reference) -> "MeanShiftEvaluator":
+        scores = self._as_scores(reference)
+        self._mean = float(np.mean(scores))
+        self._std = float(np.std(scores))
+        if self._std <= 0.0:
+            self._std = 1.0  # degenerate constant reference
+        return self
+
+    def score(self, batch) -> float:
+        if self._mean is None or self._std is None:
+            raise RuntimeError("evaluator must be fit on reference data first")
+        scores = self._as_scores(batch)
+        shift = abs(float(np.mean(scores)) - self._mean) / self._std
+        return min(shift, self.cap)
+
+    def max_score(self) -> float:
+        return self.cap

@@ -1,0 +1,135 @@
+"""Repeated-game analysis with non-deterministic utility (Section V).
+
+When the collection system's utility is probabilistic (e.g. under LDP
+noise), a rigid Tit-for-tat trigger can terminate cooperation on benign
+jitter.  The collector therefore concedes a *compromise* ``δ`` of roundwise
+data utility, expecting ``g0 = g_ac - δ`` instead of the full cooperative
+gain ``g_ac``.  Theorem 3 characterizes when a rational adversary still
+complies:
+
+    comply  ⇔  δ < (d - d·p) / (1 - d·p) · g_ac
+
+where ``d`` is the common discount rate of future data utility and ``p``
+the probability that a defecting adversary is *not* flagged (the judge
+errs toward compliance) due to the noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RepeatedGameModel"]
+
+
+@dataclass(frozen=True)
+class RepeatedGameModel:
+    """Discounted repeated trimming game with noisy compliance judgement.
+
+    Parameters
+    ----------
+    adversary_gain:
+        ``g_a`` — the adversary's roundwise gain from cooperation (payoff
+        of compliance minus betrayal).
+    collector_gain:
+        ``g_c`` — the collector's roundwise cooperation gain.
+    discount:
+        ``d`` — the roundwise discount rate of data utility acknowledged by
+        both parties, in (0, 1).
+    """
+
+    adversary_gain: float
+    collector_gain: float
+    discount: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.discount < 1.0:
+            raise ValueError("discount must lie strictly in (0, 1)")
+        if self.adversary_gain < 0.0 or self.collector_gain < 0.0:
+            raise ValueError("cooperation gains must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    # the symmetric cooperative gain and compromise
+    # ------------------------------------------------------------------ #
+    @property
+    def symmetric_gain(self) -> float:
+        """``g_ac = (g_a + g_c) / 2`` — the symmetry axiom of Section V."""
+        return 0.5 * (self.adversary_gain + self.collector_gain)
+
+    def expected_gain(self, delta: float) -> float:
+        """``g0 = g_ac - δ``: the collector's compromised roundwise target."""
+        if delta < 0.0:
+            raise ValueError("the compromise delta must be non-negative")
+        return self.symmetric_gain - delta
+
+    # ------------------------------------------------------------------ #
+    # Eq. 10 / Eq. 11: discounted values of compliance and defection
+    # ------------------------------------------------------------------ #
+    def compliance_value(self, delta: float) -> float:
+        """``g_com = g0 / (1 - d)`` — Eq. 10.
+
+        The total discounted gain of an adversary who complies forever:
+        compliance is observed deterministically (utility below ``g0`` has
+        negligible probability when both parties cooperate), so the stream
+        of ``g0`` gains recurs with discount ``d``.
+        """
+        return self.expected_gain(delta) / (1.0 - self.discount)
+
+    def defection_value(self, flag_miss_probability: float) -> float:
+        """``g_def = g_ac / (1 - d·p)`` — Eq. 11.
+
+        A defector grabs the full ``g_ac`` each round but is flagged as
+        defecting with probability ``1 - p`` (after which cooperation — and
+        his gain stream — ends), so the continuation recurs with ``d·p``.
+        """
+        p = float(flag_miss_probability)
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("flag_miss_probability must be a probability")
+        return self.symmetric_gain / (1.0 - self.discount * p)
+
+    # ------------------------------------------------------------------ #
+    # Theorem 3
+    # ------------------------------------------------------------------ #
+    def max_compromise(self, flag_miss_probability: float) -> float:
+        """The Theorem 3 bound ``δ_max = (d - d·p) / (1 - d·p) · g_ac``.
+
+        Any ``δ`` strictly below this keeps compliance optimal; as
+        ``p → 1`` (defection never flagged) the bound collapses to zero —
+        no concession sustains cooperation — and as ``p → 0`` it rises to
+        ``d·g_ac``.
+        """
+        p = float(flag_miss_probability)
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("flag_miss_probability must be a probability")
+        d = self.discount
+        return (d - d * p) / (1.0 - d * p) * self.symmetric_gain
+
+    def adversary_complies(self, delta: float, flag_miss_probability: float) -> bool:
+        """Theorem 3: does a rational adversary comply under compromise δ?
+
+        Equivalent to ``compliance_value(δ) > defection_value(p)``.
+        """
+        return delta < self.max_compromise(flag_miss_probability)
+
+    # ------------------------------------------------------------------ #
+    # threshold selection
+    # ------------------------------------------------------------------ #
+    def threshold_from_delta(
+        self, delta: float, soft_threshold: float, hard_threshold: float
+    ) -> float:
+        """Map a utility compromise δ onto a Tit-for-tat trimming threshold.
+
+        The compromise is spent as trimming slack: δ = 0 keeps the soft
+        (lenient) threshold, δ = δ_max(p=0) = d·g_ac moves all the way to
+        the hard threshold, and intermediate values interpolate linearly.
+        This is the "given T̄, T̲, P̄, P̲, p, d one can ascertain T_th by
+        selecting a δ according to their preference" recipe of Section V-A.
+        """
+        if delta < 0.0:
+            raise ValueError("delta must be non-negative")
+        if not 0.0 <= hard_threshold <= 1.0 or not 0.0 <= soft_threshold <= 1.0:
+            raise ValueError("thresholds are percentile coordinates in [0, 1]")
+        full_scale = self.discount * self.symmetric_gain
+        if full_scale <= 0.0:
+            return soft_threshold
+        frac = min(1.0, delta / full_scale)
+        return soft_threshold + frac * (hard_threshold - soft_threshold)

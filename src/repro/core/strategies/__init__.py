@@ -1,0 +1,35 @@
+"""Collector and adversary strategies of the online trimming game."""
+
+from .adversaries import (
+    FixedAdversary,
+    JustBelowAdversary,
+    MixedAdversary,
+    NullAdversary,
+    UniformRangeAdversary,
+)
+from .base import AdversaryStrategy, CollectorStrategy, RoundObservation
+from .baselines import OstrichCollector, StaticCollector
+from .elastic import ElasticAdversary, ElasticCollector
+from .titfortat import MixedStrategyTrigger, QualityTrigger, TitForTatCollector
+from .variants import GenerousCollector, MirrorCollector, TitForTwoTatsCollector
+
+__all__ = [
+    "AdversaryStrategy",
+    "CollectorStrategy",
+    "RoundObservation",
+    "OstrichCollector",
+    "StaticCollector",
+    "TitForTatCollector",
+    "QualityTrigger",
+    "MixedStrategyTrigger",
+    "ElasticCollector",
+    "ElasticAdversary",
+    "NullAdversary",
+    "FixedAdversary",
+    "UniformRangeAdversary",
+    "JustBelowAdversary",
+    "MixedAdversary",
+    "MirrorCollector",
+    "GenerousCollector",
+    "TitForTwoTatsCollector",
+]

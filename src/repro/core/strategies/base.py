@@ -1,0 +1,99 @@
+"""Strategy protocols for the online collection game.
+
+Both parties play in percentile coordinates (§VI-A).  After every round the
+public board (Fig. 3) exposes a :class:`RoundObservation` to both sides —
+the complete-information / white-box setting of the threat model: each
+party knows the other's previous-round position and the public quality
+standard's verdict.
+
+Collector strategies map the last observation to the next trimming
+percentile; adversary strategies map it to the next injection percentile
+(or ``None`` for no injection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["RoundObservation", "CollectorStrategy", "AdversaryStrategy"]
+
+
+@dataclass(frozen=True)
+class RoundObservation:
+    """Public-board record of one completed round.
+
+    Attributes
+    ----------
+    index:
+        1-based round number.
+    trim_percentile:
+        The trimming position the collector used this round.
+    injection_percentile:
+        The adversary's injection position (``None`` when no poison was
+        injected).  Visible under the white-box/complete-information
+        model — both parties can reconstruct it from the board.
+    quality:
+        ``Quality_Evaluation()`` score of the round's batch (higher =
+        worse quality).
+    observed_poison_ratio:
+        The collector's (noisy) estimate of the fraction of the batch
+        that was poisoned, as measured by the public quality standard.
+    betrayal:
+        The round-level compliance judgement: True when the observed
+        behaviour deviated from the agreed standard.  Under
+        non-deterministic utility this judgement is itself noisy (§V).
+    """
+
+    index: int
+    trim_percentile: float
+    injection_percentile: Optional[float]
+    quality: float
+    observed_poison_ratio: float
+    betrayal: bool
+
+
+class CollectorStrategy:
+    """A trimming policy for the data collector.
+
+    Lifecycle: :meth:`reset` at the start of a game, :meth:`first` for the
+    opening round's threshold, then :meth:`react` once per subsequent
+    round with the previous round's observation.
+    """
+
+    #: Human-readable scheme name used by experiment reports.
+    name: str = "collector"
+
+    def reset(self) -> None:
+        """Clear internal state before a new game."""
+
+    def first(self) -> float:
+        """Trimming percentile for round 1."""
+        raise NotImplementedError
+
+    def react(self, last: RoundObservation) -> float:
+        """Trimming percentile for the round after ``last``."""
+        raise NotImplementedError
+
+
+class AdversaryStrategy:
+    """A poison-injection policy for the adversary.
+
+    Mirrors :class:`CollectorStrategy`; returning ``None`` from
+    :meth:`first`/:meth:`react` means no poison is injected that round
+    (the Groundtruth scenario).
+    """
+
+    #: Human-readable scheme name used by experiment reports.
+    name: str = "adversary"
+
+    def reset(self) -> None:
+        """Clear internal state before a new game."""
+
+    def first(self) -> Optional[float]:
+        """Injection percentile for round 1 (``None`` = no injection)."""
+        raise NotImplementedError
+
+    def react(self, last: RoundObservation) -> Optional[float]:
+        """Injection percentile for the round after ``last``."""
+        raise NotImplementedError

@@ -1,0 +1,46 @@
+"""Baseline collector schemes of §VI-A.
+
+* **Ostrich** — no defensive measures: accepts every value (trimming
+  percentile 1.0).  Named after the bird; optimal when almost nothing is
+  poisoned, catastrophic otherwise.
+* **Static threshold** — trims at a fixed percentile every round; the
+  collector side of both ``Baseline 0.9`` and ``Baseline static``.  Static
+  defenses are exactly what evasive adversaries circumvent (§I), which the
+  ``Baseline static`` ideal attack demonstrates.
+"""
+
+from __future__ import annotations
+
+from .base import CollectorStrategy, RoundObservation
+
+__all__ = ["OstrichCollector", "StaticCollector"]
+
+
+class OstrichCollector(CollectorStrategy):
+    """Accept everything: trimming percentile pinned to 1.0."""
+
+    name = "ostrich"
+
+    def first(self) -> float:
+        return 1.0
+
+    def react(self, last: RoundObservation) -> float:
+        return 1.0
+
+
+class StaticCollector(CollectorStrategy):
+    """Trim at a fixed percentile ``threshold`` every round."""
+
+    name = "static"
+
+    def __init__(self, threshold: float):
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be a percentile in (0, 1]")
+        self.threshold = float(threshold)
+        self.name = f"static@{self.threshold:.2f}"
+
+    def first(self) -> float:
+        return self.threshold
+
+    def react(self, last: RoundObservation) -> float:
+        return self.threshold

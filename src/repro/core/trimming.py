@@ -1,0 +1,187 @@
+"""Distance-based trimming operators (the classic defense of §I, [14]).
+
+Trimming computes a score ``d_i`` per data point and removes every point
+whose score exceeds a threshold — here expressed in *percentile*
+coordinates, matching §VI-A.  Two score families are provided:
+
+* :class:`ValueTrimmer` — 1-D upper-tail trimming on raw values, the
+  natural choice for scalar streams (Taxi, LDP reports) where attacks
+  inflate the upper tail;
+* :class:`RadialTrimmer` — multivariate trimming on distances from the
+  coordinate-wise median, the distance-based sanitization of Kloft &
+  Laskov used for the k-means / SVM / SOM experiments.
+
+The percentile can be *anchored* two ways (see DESIGN.md §4):
+
+* ``reference`` anchoring (after :meth:`Trimmer.fit_reference`): the score
+  cutoff is the quantile of a clean public reference — the "publicly
+  recognized data quality standard" of §III-B.  Poison inflation of the
+  current batch cannot move the cutoff.
+* ``batch`` anchoring (default without a reference): the cutoff is the
+  quantile of the current batch's own scores, realizing the paper's
+  "collects and trims the same amount of data in each round" (Fig. 3 ④).
+
+Both return a :class:`TrimReport` carrying the retained mask so the engine
+can track exactly which poison values survived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .domain import clip_percentile, empirical_quantile
+
+__all__ = ["TrimReport", "Trimmer", "ValueTrimmer", "RadialTrimmer"]
+
+
+@dataclass(frozen=True)
+class TrimReport:
+    """Outcome of one trimming pass.
+
+    ``kept`` is a boolean mask over the input batch (True = retained);
+    ``threshold_score`` is the score cutoff that realized the percentile;
+    ``percentile`` echoes the requested trimming position.
+    """
+
+    kept: np.ndarray
+    threshold_score: float
+    percentile: float
+
+    @property
+    def n_kept(self) -> int:
+        """Number of retained points."""
+        return int(np.count_nonzero(self.kept))
+
+    @property
+    def n_trimmed(self) -> int:
+        """Number of removed points."""
+        return int(self.kept.size - self.n_kept)
+
+    @property
+    def trimmed_fraction(self) -> float:
+        """Fraction of the batch that was removed."""
+        if self.kept.size == 0:
+            return 0.0
+        return self.n_trimmed / self.kept.size
+
+
+class Trimmer:
+    """Base class: percentile trimming on subclass-defined scores.
+
+    ``anchor`` selects where the cutoff quantile comes from:
+    ``"reference"`` uses the fitted clean reference's score distribution
+    (requires :meth:`fit_reference`; falls back to the batch before
+    fitting), ``"batch"`` always uses the current batch's own scores —
+    trimming a fixed *fraction* each round.  Score *centers* (for radial
+    trimming) always come from the reference once fitted: a batch-local
+    center would let colluding poison drag the center toward itself and
+    evade the trim entirely.
+    """
+
+    def __init__(self, anchor: str = "reference") -> None:
+        if anchor not in ("reference", "batch"):
+            raise ValueError("anchor must be 'reference' or 'batch'")
+        self.anchor = anchor
+        self._reference_scores: Optional[np.ndarray] = None
+
+    def scores(self, batch: np.ndarray) -> np.ndarray:
+        """Per-point trimming scores ``d_i`` (higher = more suspicious)."""
+        raise NotImplementedError
+
+    def fit_reference(self, reference) -> "Trimmer":
+        """Calibrate score centers/quantiles on a clean reference."""
+        arr = np.asarray(reference, dtype=float)
+        if arr.size == 0:
+            raise ValueError("reference must be non-empty")
+        self._reference_scores = self.scores(arr)
+        return self
+
+    @property
+    def is_reference_anchored(self) -> bool:
+        """Whether cutoffs come from a fitted reference."""
+        return self.anchor == "reference" and self._reference_scores is not None
+
+    def _cutoff(self, batch_scores: np.ndarray, q: float) -> float:
+        if self.is_reference_anchored:
+            source = self._reference_scores
+        else:
+            source = batch_scores
+        return float(empirical_quantile(source, q))
+
+    def trim(self, batch, percentile: float) -> TrimReport:
+        """Remove points whose score exceeds the percentile cutoff.
+
+        ``percentile`` = 1.0 keeps everything (the Ostrich behaviour);
+        smaller values trim scores above the anchored quantile.
+        """
+        arr = np.asarray(batch, dtype=float)
+        if arr.size == 0:
+            raise ValueError("cannot trim an empty batch")
+        q = clip_percentile(percentile)
+        batch_scores = self.scores(arr)
+        if q >= 1.0:
+            kept = np.ones(batch_scores.shape, dtype=bool)
+            return TrimReport(kept=kept, threshold_score=float("inf"), percentile=q)
+        cutoff = self._cutoff(batch_scores, q)
+        kept = batch_scores <= cutoff
+        if not kept.any():
+            # Degenerate batch (every score above the cutoff); keep the
+            # minimum-score point so downstream estimators stay defined.
+            kept[int(np.argmin(batch_scores))] = True
+        return TrimReport(kept=kept, threshold_score=cutoff, percentile=q)
+
+    def apply(self, batch, percentile: float) -> np.ndarray:
+        """Convenience: trim and return only the retained rows/values."""
+        arr = np.asarray(batch, dtype=float)
+        report = self.trim(arr, percentile)
+        return arr[report.kept]
+
+
+class ValueTrimmer(Trimmer):
+    """Upper-tail trimming of scalar values (score = value itself)."""
+
+    def scores(self, batch: np.ndarray) -> np.ndarray:
+        arr = np.asarray(batch, dtype=float)
+        if arr.ndim != 1:
+            raise ValueError("ValueTrimmer expects 1-D batches")
+        return arr
+
+
+class RadialTrimmer(Trimmer):
+    """Distance-from-median trimming for multivariate batches.
+
+    Scores are Euclidean distances from the coordinate-wise median —
+    robust to the poisoning itself (tail injections at realistic attack
+    ratios barely move the median), so a poison point placed at extreme
+    per-feature percentiles receives an extreme score.  When reference
+    anchoring is active, the median of the *reference* is used as center
+    so batch and reference scores are commensurable.  Accepts 1-D input
+    as a single-feature special case.
+    """
+
+    def __init__(self, anchor: str = "reference") -> None:
+        super().__init__(anchor)
+        self._center: Optional[np.ndarray] = None
+
+    def fit_reference(self, reference) -> "RadialTrimmer":
+        arr = np.asarray(reference, dtype=float)
+        if arr.size == 0:
+            raise ValueError("reference must be non-empty")
+        self._center = (
+            np.median(arr, axis=0) if arr.ndim == 2 else np.asarray(np.median(arr))
+        )
+        self._reference_scores = self.scores(arr)
+        return self
+
+    def scores(self, batch: np.ndarray) -> np.ndarray:
+        arr = np.asarray(batch, dtype=float)
+        if arr.ndim == 1:
+            center = np.median(arr) if self._center is None else float(self._center)
+            return np.abs(arr - center)
+        if arr.ndim != 2:
+            raise ValueError("RadialTrimmer expects 1-D or 2-D batches")
+        center = np.median(arr, axis=0) if self._center is None else self._center
+        return np.linalg.norm(arr - center, axis=1)

@@ -1,0 +1,24 @@
+"""Synthetic stand-in datasets (Table II) — see DESIGN.md §3 for substitutions."""
+
+from .control import CLASS_NAMES as CONTROL_CLASS_NAMES, generate_control
+from .creditcard import CLASS_NAMES as CREDITCARD_CLASS_NAMES, generate_creditcard
+from .gaussians import generate_gaussian_mixture, generate_letter, generate_vehicle
+from .registry import DATASETS, DatasetInfo, dataset_info, load_dataset
+from .taxi import SECONDS_MAX, generate_taxi, taxi_batch_factory
+
+__all__ = [
+    "CONTROL_CLASS_NAMES",
+    "generate_control",
+    "CREDITCARD_CLASS_NAMES",
+    "generate_creditcard",
+    "generate_gaussian_mixture",
+    "generate_vehicle",
+    "generate_letter",
+    "DATASETS",
+    "DatasetInfo",
+    "dataset_info",
+    "load_dataset",
+    "SECONDS_MAX",
+    "generate_taxi",
+    "taxi_batch_factory",
+]

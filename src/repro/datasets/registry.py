@@ -1,0 +1,108 @@
+"""Dataset registry and the Table II summary.
+
+``load_dataset(name)`` returns ``(X, y)`` for the five stand-in datasets;
+``dataset_info()`` regenerates the Table II inventory (instances,
+features, clusters) from the registered generators, which the Table II
+benchmark prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .control import generate_control
+from .creditcard import generate_creditcard
+from .gaussians import generate_letter, generate_vehicle
+from .taxi import generate_taxi
+
+__all__ = ["DatasetInfo", "DATASETS", "load_dataset", "dataset_info"]
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """One row of Table II."""
+
+    name: str
+    instances: int
+    features: int
+    clusters: int
+
+
+#: Table II of the paper: the advertised shape of each dataset.
+DATASETS: Dict[str, DatasetInfo] = {
+    "control": DatasetInfo("CONTROL", 600, 60, 6),
+    "vehicle": DatasetInfo("VEHICLE", 752, 18, 4),
+    "letter": DatasetInfo("LETTER", 20000, 16, 26),
+    "taxi": DatasetInfo("TAXI", 1048575, 1, 1),
+    "creditcard": DatasetInfo("CREDITCARD", 284807, 31, 4),
+}
+
+
+def load_dataset(
+    name: str,
+    n_samples: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Load a stand-in dataset by (case-insensitive) name.
+
+    Returns ``(X, y)``; for Taxi, which is unlabeled single-feature data,
+    ``y`` is an all-zero label vector and ``X`` has shape ``(n, 1)``.
+    ``n_samples`` subsamples/regenerates at a smaller size where the
+    generator supports it (letter, taxi, creditcard) — used by tests and
+    quick examples.
+    """
+    key = name.strip().lower()
+    if key not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; options: {sorted(DATASETS)}")
+
+    if key == "control":
+        data, labels = generate_control(seed=7 if seed is None else seed)
+    elif key == "vehicle":
+        data, labels = generate_vehicle(seed=11 if seed is None else seed)
+    elif key == "letter":
+        data, labels = generate_letter(
+            n_samples=20000 if n_samples is None else n_samples,
+            seed=13 if seed is None else seed,
+        )
+        return data, labels
+    elif key == "taxi":
+        values = generate_taxi(
+            n_samples=1_048_575 if n_samples is None else n_samples,
+            seed=17 if seed is None else seed,
+        )
+        return values[:, None], np.zeros(values.size, dtype=int)
+    else:  # creditcard
+        data, labels = generate_creditcard(
+            n_samples=284_807 if n_samples is None else n_samples,
+            seed=23 if seed is None else seed,
+        )
+        return data, labels
+
+    if n_samples is not None and n_samples < data.shape[0]:
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(data.shape[0], size=n_samples, replace=False)
+        return data[idx], labels[idx]
+    return data, labels
+
+
+def dataset_info(generate: bool = False) -> Dict[str, DatasetInfo]:
+    """The Table II inventory.
+
+    With ``generate=True`` each generator is actually run (at full size
+    except taxi/creditcard, which are verified at reduced size for speed
+    by the tests) — the benchmark uses the advertised values.
+    """
+    if not generate:
+        return dict(DATASETS)
+    verified: Dict[str, DatasetInfo] = {}
+    for key, info in DATASETS.items():
+        size = None if info.instances <= 20000 else 20000
+        data, labels = load_dataset(key, n_samples=size)
+        clusters = int(np.unique(labels).size) if key != "taxi" else 1
+        verified[key] = DatasetInfo(
+            info.name, data.shape[0], data.shape[1], clusters
+        )
+    return verified

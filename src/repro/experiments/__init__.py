@@ -1,0 +1,52 @@
+"""Experiment runners regenerating every table and figure of the paper."""
+
+from .classifiers import (
+    LabelAwareRadialTrimmer,
+    SOMConfig,
+    SOMResult,
+    SVMConfig,
+    SVMResult,
+    run_som_experiment,
+    run_svm_experiment,
+)
+from .cost import CostConfig, CostRow, elastic_trajectory, run_cost_analysis
+from .equilibrium import EquilibriumCell, EquilibriumConfig, run_kmeans_experiment
+from .ldp_experiment import LDPCell, LDPConfig, run_ldp_experiment
+from .nonequilibrium import (
+    NonEquilibriumConfig,
+    NonEquilibriumRow,
+    run_nonequilibrium,
+)
+from .reporting import format_table, format_value
+from .schemes import SCHEMES, make_scheme
+from .tournament import TournamentConfig, TournamentResult, run_tournament
+
+__all__ = [
+    "SCHEMES",
+    "make_scheme",
+    "format_table",
+    "format_value",
+    "EquilibriumConfig",
+    "EquilibriumCell",
+    "run_kmeans_experiment",
+    "SVMConfig",
+    "SVMResult",
+    "run_svm_experiment",
+    "SOMConfig",
+    "SOMResult",
+    "run_som_experiment",
+    "LabelAwareRadialTrimmer",
+    "NonEquilibriumConfig",
+    "NonEquilibriumRow",
+    "run_nonequilibrium",
+    "CostConfig",
+    "CostRow",
+    "elastic_trajectory",
+    "run_cost_analysis",
+    "LDPConfig",
+    "LDPCell",
+    "run_ldp_experiment",
+    "TournamentConfig",
+    "TournamentResult",
+    "run_tournament",
+]

@@ -1,0 +1,114 @@
+"""Table IV runner: roundwise cost of the Elastic scheme.
+
+The Elastic dynamics start away from the interactive equilibrium (the
+collector at ``T_th - 3%``, the adversary at ``T_th + 1%``) and converge
+toward the fixed point of the coupled responses.  The *cost* of a round
+is the remaining distance from equilibrium — how far the collector's soft
+trim and the adversary's injection still are from their converged
+positions — and the *roundwise cost* is its average over ``Round_no``
+rounds.  Because the transient's total cost is finite, the roundwise cost
+decays like ``C(k)/Round_no``; with the relaxation update rule a stronger
+response ``k`` converges faster, so ``k = 0.5`` is cheaper per round than
+``k = 0.1`` — the Table IV finding (see DESIGN.md §4 for the update-rule
+discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.stackelberg import linear_response_fixed_point
+from ..core.strategies import ElasticAdversary, ElasticCollector
+from ..core.strategies.base import RoundObservation
+
+__all__ = ["CostConfig", "CostRow", "elastic_trajectory", "run_cost_analysis"]
+
+
+@dataclass(frozen=True)
+class CostRow:
+    """One Table IV row: roundwise cost for each response strength."""
+
+    round_no: int
+    cost_k_high: float
+    cost_k_low: float
+
+
+@dataclass(frozen=True)
+class CostConfig:
+    """Parameters of the Table IV sweep."""
+
+    t_th: float = 0.9
+    k_high: float = 0.5
+    k_low: float = 0.1
+    round_numbers: Sequence[int] = (5, 10, 15, 20, 25, 30, 35, 40, 45, 50)
+    rule: str = "relaxation"
+
+
+def elastic_trajectory(
+    t_th: float, k: float, rounds: int, rule: str = "relaxation"
+):
+    """Threshold/injection percentile paths of the coupled Elastic play.
+
+    Returns ``(thresholds, injections)`` arrays of length ``rounds``,
+    produced by iterating the two §VI-A response rules against each other
+    (each side reacting to the other's previous position).
+    """
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    collector = ElasticCollector(t_th, k, rule=rule)
+    adversary = ElasticAdversary(t_th, k, rule=rule)
+    collector.reset()
+    adversary.reset()
+
+    thresholds = np.empty(rounds)
+    injections = np.empty(rounds)
+    thresholds[0] = collector.first()
+    injections[0] = adversary.first()
+    for i in range(1, rounds):
+        obs = RoundObservation(
+            index=i,
+            trim_percentile=float(thresholds[i - 1]),
+            injection_percentile=float(injections[i - 1]),
+            quality=0.0,
+            observed_poison_ratio=0.0,
+            betrayal=False,
+        )
+        thresholds[i] = collector.react(obs)
+        injections[i] = adversary.react(obs)
+    return thresholds, injections
+
+
+def roundwise_cost(
+    t_th: float, k: float, rounds: int, rule: str = "relaxation"
+) -> float:
+    """Mean distance-from-equilibrium over ``rounds`` rounds.
+
+    ``cost_i = |T(i) - T*| + |A(i) - A*|`` against the closed-form fixed
+    point of the linear responses; the average decays like
+    ``total_transient / rounds``.
+    """
+    t_star, a_star = linear_response_fixed_point(t_th, k)
+    thresholds, injections = elastic_trajectory(t_th, k, rounds, rule)
+    costs = np.abs(thresholds - t_star) + np.abs(injections - a_star)
+    return float(np.mean(costs))
+
+
+def run_cost_analysis(config: CostConfig) -> List[CostRow]:
+    """Produce the Table IV rows."""
+    rows: List[CostRow] = []
+    for n in config.round_numbers:
+        rows.append(
+            CostRow(
+                round_no=int(n),
+                cost_k_high=roundwise_cost(
+                    config.t_th, config.k_high, int(n), config.rule
+                ),
+                cost_k_low=roundwise_cost(
+                    config.t_th, config.k_low, int(n), config.rule
+                ),
+            )
+        )
+    return rows

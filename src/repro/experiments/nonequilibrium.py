@@ -1,0 +1,129 @@
+"""Table III runner: utility of adversaries deviating from equilibrium.
+
+The adversary plays the two-point mixed strategy of §VI-D: the
+equilibrium position (99th percentile) with probability ``p`` and the
+greedy sub-threshold position (90th) with ``1 - p``.  The Tit-for-tat
+collector uses the running-betrayal-ratio trigger with 5% redundancy;
+once triggered, trimming permanently hardens.  Reported per ``p``:
+
+* the average termination round of Tit-for-tat (non-terminating games
+  are recorded as ``rounds + 5``, matching the paper's ``p = 0`` row of
+  25 for a 20-round game);
+* the proportion of untrimmed poison in the remaining data, for both
+  Tit-for-tat and Elastic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.engine import CollectionGame, NoisyPositionJudge
+from ..core.quality import TailMassEvaluator
+from ..core.strategies import (
+    ElasticCollector,
+    MixedAdversary,
+    MixedStrategyTrigger,
+    TitForTatCollector,
+)
+from ..core.trimming import RadialTrimmer
+from ..datasets.registry import load_dataset
+from ..streams.injection import PoisonInjector
+from ..streams.source import ArrayStream
+
+__all__ = ["NonEquilibriumConfig", "NonEquilibriumRow", "run_nonequilibrium"]
+
+
+@dataclass(frozen=True)
+class NonEquilibriumRow:
+    """One Table III row."""
+
+    p: float
+    average_termination_rounds: float
+    titfortat_poison_fraction: float
+    elastic_poison_fraction: float
+
+
+@dataclass(frozen=True)
+class NonEquilibriumConfig:
+    """Parameters of the Table III experiment (§VI-D defaults)."""
+
+    dataset: str = "control"
+    t_th: float = 0.9
+    attack_ratio: float = 0.2
+    rounds: int = 20
+    repetitions: int = 5
+    batch_size: int = 100
+    redundancy: float = 0.05
+    elastic_k: float = 0.5
+    judge_miss_rate: float = 0.15
+    judge_false_positive_rate: float = 0.075
+    p_values: Sequence[float] = (
+        0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
+    )
+    seed: int = 0
+
+
+def _play(config: NonEquilibriumConfig, data, collector, p: float, seed: int):
+    adversary = MixedAdversary(p, seed=seed + 7)
+    game = CollectionGame(
+        source=ArrayStream(data, batch_size=config.batch_size, seed=seed),
+        collector=collector,
+        adversary=adversary,
+        injector=PoisonInjector(
+            attack_ratio=config.attack_ratio, mode="radial", seed=seed + 1
+        ),
+        trimmer=RadialTrimmer(),
+        reference=data,
+        quality_evaluator=TailMassEvaluator(),
+        judge=NoisyPositionJudge(
+            boundary=config.t_th + 0.005,  # greedy (0.90) is below, eq (0.99) above
+            miss_rate=config.judge_miss_rate,
+            false_positive_rate=config.judge_false_positive_rate,
+            seed=seed + 3,
+        ),
+        rounds=config.rounds,
+        anchor="batch",
+    )
+    return game.run()
+
+
+def run_nonequilibrium(config: NonEquilibriumConfig) -> List[NonEquilibriumRow]:
+    """Run the §VI-D sweep over the mixed-strategy parameter ``p``."""
+    rows: List[NonEquilibriumRow] = []
+    cap = config.rounds + 5  # the paper's never-terminated bookkeeping value
+    data, _ = load_dataset(config.dataset)
+
+    for p in config.p_values:
+        terminations = []
+        tft_fractions = []
+        elastic_fractions = []
+        for rep in range(config.repetitions):
+            seed = config.seed + 10_000 * rep + int(round(p * 100))
+
+            tft = TitForTatCollector(
+                config.t_th,
+                trigger=MixedStrategyTrigger(p, redundancy=config.redundancy),
+            )
+            result_tft = _play(config, data, tft, p, seed)
+            terminations.append(
+                cap if result_tft.termination_round is None
+                else result_tft.termination_round
+            )
+            tft_fractions.append(result_tft.poison_retained_fraction())
+
+            elastic = ElasticCollector(config.t_th, config.elastic_k)
+            result_el = _play(config, data, elastic, p, seed + 17)
+            elastic_fractions.append(result_el.poison_retained_fraction())
+
+        rows.append(
+            NonEquilibriumRow(
+                p=float(p),
+                average_termination_rounds=float(np.mean(terminations)),
+                titfortat_poison_fraction=float(np.mean(tft_fractions)),
+                elastic_poison_fraction=float(np.mean(elastic_fractions)),
+            )
+        )
+    return rows

@@ -1,0 +1,82 @@
+"""Scheme factory: the six §VI-A collector/adversary pairings.
+
+Each scheme of the evaluation is a *pair* of strategies — the collector's
+trimming policy together with the adversary behaviour the paper pits it
+against:
+
+========== ============================== =================================
+scheme      collector                      adversary
+========== ============================== =================================
+groundtruth accept everything              no injection
+ostrich     accept everything              fixed injection at the 99th pct
+baseline0.9 static trim at 0.9             uniform injection on [0.9, 1]
+baseline_s. static trim at ``T_th``        ideal attack at ``T_th - 1%``
+titfortat   Algorithm 1 (soft/hard)        equilibrium injection at 99th
+elastic_k   Algorithm 2 with strength k    elastic responder (§VI-A rules)
+========== ============================== =================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.strategies import (
+    AdversaryStrategy,
+    CollectorStrategy,
+    ElasticAdversary,
+    ElasticCollector,
+    FixedAdversary,
+    JustBelowAdversary,
+    NullAdversary,
+    OstrichCollector,
+    StaticCollector,
+    TitForTatCollector,
+    UniformRangeAdversary,
+)
+
+__all__ = ["SCHEMES", "make_scheme"]
+
+#: Canonical scheme names, in the paper's plotting order.
+SCHEMES = (
+    "groundtruth",
+    "ostrich",
+    "baseline0.9",
+    "baseline_static",
+    "titfortat",
+    "elastic0.1",
+    "elastic0.5",
+)
+
+
+def make_scheme(
+    name: str,
+    t_th: float,
+    seed: Optional[int] = None,
+    elastic_rule: str = "paper",
+) -> Tuple[CollectorStrategy, AdversaryStrategy]:
+    """Instantiate the (collector, adversary) pair for a scheme.
+
+    ``t_th`` is the headline threshold of the experiment (0.9, 0.95 or
+    0.97 in the paper); ``seed`` controls randomized adversaries;
+    ``elastic_rule`` selects the Elastic update variant (DESIGN.md §4).
+    """
+    key = name.strip().lower()
+    if key == "groundtruth":
+        return OstrichCollector(), NullAdversary()
+    if key == "ostrich":
+        return OstrichCollector(), FixedAdversary(0.99)
+    if key == "baseline0.9":
+        return StaticCollector(0.9), UniformRangeAdversary(0.9, 1.0, seed=seed)
+    if key in ("baseline_static", "baselinestatic"):
+        return StaticCollector(t_th), JustBelowAdversary(t_th)
+    if key == "titfortat":
+        return TitForTatCollector(t_th, trigger=None), FixedAdversary(0.99)
+    if key.startswith("elastic"):
+        try:
+            k = float(key[len("elastic"):])
+        except ValueError:
+            raise ValueError(f"cannot parse elastic strength from {name!r}")
+        collector = ElasticCollector(t_th, k, rule=elastic_rule)
+        adversary = ElasticAdversary(t_th, k, rule=elastic_rule)
+        return collector, adversary
+    raise ValueError(f"unknown scheme {name!r}; options: {SCHEMES}")

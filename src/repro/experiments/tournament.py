@@ -1,0 +1,178 @@
+"""Empirical meta-game analysis: simulate the strategy tournament.
+
+The paper's analytical model predicts the interactive equilibrium; this
+module closes the loop empirically.  Every collector strategy is played
+against every adversary strategy in full collection games; each cell of
+the resulting *empirical payoff matrix* is scored the way §III-B defines
+payoffs — the adversary earns the surviving poison mass (weighted by its
+position, the ``P(x)`` reading) and the collector loses that plus the
+trimming overhead (the benign mass she removed).
+
+Solving the matrix as a zero-sum game with the minimax LP then yields an
+*empirical* Stackelberg/minimax profile, which the bench compares against
+the analytic expectations: tolerant collectors are exploited by evasive
+adversaries, the grim trigger dominates against extreme play, and the
+empirical equilibrium concentrates on the adaptive schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.engine import CollectionGame
+from ..core.game import solve_zero_sum
+from ..core.trimming import RadialTrimmer
+from ..datasets.registry import load_dataset
+from ..streams.injection import PoisonInjector
+from ..streams.source import ArrayStream
+
+__all__ = ["TournamentConfig", "TournamentResult", "run_tournament"]
+
+
+def _default_collectors(t_th: float) -> Dict[str, "type_factory"]:
+    from ..core.strategies import (
+        ElasticCollector,
+        OstrichCollector,
+        StaticCollector,
+        TitForTatCollector,
+    )
+
+    return {
+        "ostrich": lambda: OstrichCollector(),
+        "static": lambda: StaticCollector(t_th),
+        "titfortat": lambda: TitForTatCollector(t_th, trigger=None),
+        "elastic0.5": lambda: ElasticCollector(t_th, 0.5),
+    }
+
+
+def _default_adversaries(t_th: float) -> Dict[str, "type_factory"]:
+    from ..core.strategies import (
+        ElasticAdversary,
+        FixedAdversary,
+        JustBelowAdversary,
+        MixedAdversary,
+    )
+
+    return {
+        "extreme@0.99": lambda seed: FixedAdversary(0.99),
+        "just-below": lambda seed: JustBelowAdversary(t_th),
+        "mixed(p=0.5)": lambda seed: MixedAdversary(0.5, seed=seed),
+        "elastic0.5": lambda seed: ElasticAdversary(t_th, 0.5),
+    }
+
+
+@dataclass(frozen=True)
+class TournamentConfig:
+    """Parameters of the empirical meta-game."""
+
+    dataset: str = "control"
+    t_th: float = 0.9
+    attack_ratio: float = 0.2
+    rounds: int = 10
+    repetitions: int = 2
+    batch_size: int = 100
+    overhead_weight: float = 1.0
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class TournamentResult:
+    """Empirical payoff matrices and the solved meta-game."""
+
+    collector_names: Tuple[str, ...]
+    adversary_names: Tuple[str, ...]
+    adversary_payoffs: np.ndarray  # (n_adversaries, n_collectors)
+    collector_payoffs: np.ndarray
+    adversary_mixture: np.ndarray
+    collector_mixture: np.ndarray
+    game_value: float
+
+    def best_collector(self) -> str:
+        """Collector with the largest mass in the minimax mixture."""
+        return self.collector_names[int(np.argmax(self.collector_mixture))]
+
+    def best_adversary(self) -> str:
+        """Adversary with the largest mass in the minimax mixture."""
+        return self.adversary_names[int(np.argmax(self.adversary_mixture))]
+
+
+def _score_game(result, overhead_weight: float) -> Tuple[float, float]:
+    """(adversary, collector) payoffs of one finished game.
+
+    Adversary payoff: surviving poison mass per round, weighted by the
+    injection percentile (a surviving extreme value deviates more —
+    the increasing-``P(x)`` reading of §III-B).  Collector payoff: the
+    zero-sum negation minus the trimming overhead (benign mass removed).
+    """
+    entries = result.board.entries
+    poison_gain = 0.0
+    benign_trimmed = 0.0
+    for entry in entries:
+        obs = entry.observation
+        position = obs.injection_percentile
+        weight = position if position is not None else 0.0
+        n_benign = entry.n_collected - entry.n_poison_injected
+        n_benign_kept = entry.retained.shape[0] - entry.n_poison_retained
+        poison_gain += weight * entry.n_poison_retained / max(1, n_benign)
+        benign_trimmed += (n_benign - n_benign_kept) / max(1, n_benign)
+    n = len(entries)
+    adversary = poison_gain / n
+    collector = -adversary - overhead_weight * benign_trimmed / n
+    return adversary, collector
+
+
+def run_tournament(config: TournamentConfig) -> TournamentResult:
+    """Play the full strategy cross-product and solve the meta-game."""
+    data, _ = load_dataset(config.dataset)
+    collectors = _default_collectors(config.t_th)
+    adversaries = _default_adversaries(config.t_th)
+
+    collector_names = tuple(collectors)
+    adversary_names = tuple(adversaries)
+    adv_matrix = np.zeros((len(adversary_names), len(collector_names)))
+    col_matrix = np.zeros_like(adv_matrix)
+
+    for j, cname in enumerate(collector_names):
+        for i, aname in enumerate(adversary_names):
+            adv_scores = []
+            col_scores = []
+            for rep in range(config.repetitions):
+                seed = config.seed + 101 * rep + 13 * i + 7 * j
+                game = CollectionGame(
+                    source=ArrayStream(
+                        data, batch_size=config.batch_size, seed=seed
+                    ),
+                    collector=collectors[cname](),
+                    adversary=adversaries[aname](seed + 1),
+                    injector=PoisonInjector(
+                        attack_ratio=config.attack_ratio,
+                        mode="radial",
+                        seed=seed + 2,
+                    ),
+                    trimmer=RadialTrimmer(),
+                    reference=data,
+                    rounds=config.rounds,
+                    anchor="reference",
+                )
+                a, c = _score_game(game.run(), config.overhead_weight)
+                adv_scores.append(a)
+                col_scores.append(c)
+            adv_matrix[i, j] = float(np.mean(adv_scores))
+            col_matrix[i, j] = float(np.mean(col_scores))
+
+    # Solve the zero-sum reading of the meta-game (adversary maximizes
+    # surviving weighted poison; the overhead enters the collector's own
+    # matrix but not the adversarial part).
+    adv_mix, col_mix, value = solve_zero_sum(adv_matrix)
+    return TournamentResult(
+        collector_names=collector_names,
+        adversary_names=adversary_names,
+        adversary_payoffs=adv_matrix,
+        collector_payoffs=col_matrix,
+        adversary_mixture=adv_mix,
+        collector_mixture=col_mix,
+        game_value=float(value),
+    )

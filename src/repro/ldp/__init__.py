@@ -1,0 +1,35 @@
+"""LDP substrate: mechanisms, attacks, EM reconstruction, and the EMF baseline."""
+
+from .attacks import InputManipulationAttack, OutputManipulationAttack
+from .emf import EMFResult, ExpectationMaximizationFilter
+from .estimators import TrimmedMeanEstimator, mean_estimate
+from .frequency import (
+    GeneralizedRandomizedResponse,
+    MaximalGainAttack,
+    OptimizedUnaryEncoding,
+)
+from .mechanisms import (
+    DuchiMechanism,
+    LaplaceMechanism,
+    Mechanism,
+    PiecewiseMechanism,
+)
+from .square_wave import SquareWaveMechanism, em_reconstruct
+
+__all__ = [
+    "Mechanism",
+    "LaplaceMechanism",
+    "DuchiMechanism",
+    "PiecewiseMechanism",
+    "SquareWaveMechanism",
+    "em_reconstruct",
+    "InputManipulationAttack",
+    "OutputManipulationAttack",
+    "EMFResult",
+    "ExpectationMaximizationFilter",
+    "TrimmedMeanEstimator",
+    "mean_estimate",
+    "GeneralizedRandomizedResponse",
+    "OptimizedUnaryEncoding",
+    "MaximalGainAttack",
+]

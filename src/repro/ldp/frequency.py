@@ -1,0 +1,203 @@
+"""Categorical LDP frequency oracles and poisoning attacks (§VII context).
+
+The paper's related work ([5] Cao et al., [12] LDPGuard, [29] LDPRecover)
+studies manipulation attacks against *frequency estimation* under LDP,
+where a small fraction of Byzantine users can inflate chosen items.  This
+module provides the two canonical frequency oracles and the standard
+attack, completing the LDP substrate:
+
+* :class:`GeneralizedRandomizedResponse` (GRR / k-RR): report the true
+  item with probability ``p = e^ε / (e^ε + k - 1)``, otherwise a uniform
+  other item.
+* :class:`OptimizedUnaryEncoding` (OUE): one-hot encode, keep the true
+  bit with probability 1/2 and flip others on with ``q = 1/(e^ε + 1)`` —
+  variance-optimal unary encoding.
+* :class:`MaximalGainAttack` (MGA): colluding attackers craft the report
+  that maximizes the estimated frequency of their target items — for GRR
+  the target item itself, for OUE a bit vector with the target bits set
+  plus enough random padding bits to match the expected report weight
+  (the detection-evasion refinement of Cao et al.).
+
+Both oracles expose unbiased frequency estimators, so the attack's
+*frequency gain* has the closed form the tests verify.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "GeneralizedRandomizedResponse",
+    "OptimizedUnaryEncoding",
+    "MaximalGainAttack",
+]
+
+
+class GeneralizedRandomizedResponse:
+    """GRR (k-ary randomized response) over items ``0..k-1``."""
+
+    def __init__(self, domain_size: int, epsilon: float, seed: Optional[int] = None):
+        if domain_size < 2:
+            raise ValueError("domain_size must be >= 2")
+        if epsilon <= 0.0:
+            raise ValueError("epsilon must be positive")
+        self.domain_size = int(domain_size)
+        self.epsilon = float(epsilon)
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def p_true(self) -> float:
+        """Probability of reporting the true item."""
+        e = np.exp(self.epsilon)
+        return float(e / (e + self.domain_size - 1))
+
+    @property
+    def q_false(self) -> float:
+        """Probability of reporting one specific other item."""
+        e = np.exp(self.epsilon)
+        return float(1.0 / (e + self.domain_size - 1))
+
+    def perturb(self, items) -> np.ndarray:
+        """Perturb integer items; returns integer reports."""
+        arr = np.asarray(items, dtype=int).ravel()
+        if arr.size == 0:
+            raise ValueError("cannot perturb an empty batch")
+        if np.any((arr < 0) | (arr >= self.domain_size)):
+            raise ValueError("items must lie in [0, domain_size)")
+        keep = self._rng.random(arr.size) < self.p_true
+        noise = self._rng.integers(0, self.domain_size - 1, size=arr.size)
+        # Map the k-1 noise values onto "every item except the true one".
+        noise = np.where(noise >= arr, noise + 1, noise)
+        return np.where(keep, arr, noise)
+
+    def estimate_frequencies(self, reports) -> np.ndarray:
+        """Unbiased frequency estimate ``(f_obs - q) / (p - q)``."""
+        arr = np.asarray(reports, dtype=int).ravel()
+        if arr.size == 0:
+            raise ValueError("cannot estimate from an empty batch")
+        observed = np.bincount(arr, minlength=self.domain_size) / arr.size
+        return (observed - self.q_false) / (self.p_true - self.q_false)
+
+    def pmf(self, report: int, item: int) -> float:
+        """Report pmf ``P(report | item)`` for the privacy tests."""
+        if not 0 <= report < self.domain_size or not 0 <= item < self.domain_size:
+            raise ValueError("report and item must lie in the domain")
+        return self.p_true if report == item else self.q_false
+
+
+class OptimizedUnaryEncoding:
+    """OUE: one-hot encoding with asymmetric bit perturbation."""
+
+    def __init__(self, domain_size: int, epsilon: float, seed: Optional[int] = None):
+        if domain_size < 2:
+            raise ValueError("domain_size must be >= 2")
+        if epsilon <= 0.0:
+            raise ValueError("epsilon must be positive")
+        self.domain_size = int(domain_size)
+        self.epsilon = float(epsilon)
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def p_keep(self) -> float:
+        """Probability a true bit stays 1 (OUE fixes this at 1/2)."""
+        return 0.5
+
+    @property
+    def q_flip(self) -> float:
+        """Probability a zero bit flips to 1: ``1 / (e^ε + 1)``."""
+        return float(1.0 / (np.exp(self.epsilon) + 1.0))
+
+    def perturb(self, items) -> np.ndarray:
+        """Perturb items into bit matrices of shape ``(n, domain_size)``."""
+        arr = np.asarray(items, dtype=int).ravel()
+        if arr.size == 0:
+            raise ValueError("cannot perturb an empty batch")
+        if np.any((arr < 0) | (arr >= self.domain_size)):
+            raise ValueError("items must lie in [0, domain_size)")
+        bits = self._rng.random((arr.size, self.domain_size)) < self.q_flip
+        true_draw = self._rng.random(arr.size) < self.p_keep
+        bits[np.arange(arr.size), arr] = true_draw
+        return bits.astype(np.int8)
+
+    def estimate_frequencies(self, reports) -> np.ndarray:
+        """Unbiased estimate ``(f_obs - q) / (p - q)`` per bit position."""
+        bits = np.asarray(reports)
+        if bits.ndim != 2 or bits.shape[1] != self.domain_size:
+            raise ValueError("reports must be (n, domain_size) bit rows")
+        if bits.shape[0] == 0:
+            raise ValueError("cannot estimate from an empty batch")
+        observed = bits.mean(axis=0)
+        return (observed - self.q_flip) / (self.p_keep - self.q_flip)
+
+    def expected_report_weight(self) -> float:
+        """Expected number of set bits in an honest report."""
+        return self.p_keep + (self.domain_size - 1) * self.q_flip
+
+
+class MaximalGainAttack:
+    """MGA: craft reports that maximally inflate target items ([5]).
+
+    Attackers collude on a set of target items.  Against GRR the optimal
+    fabricated report is simply a target item; against OUE it is a bit
+    vector with all target bits set, padded with random non-target bits
+    so the report weight matches an honest report's expectation (naively
+    setting only target bits is detectable by a weight test).
+    """
+
+    def __init__(self, targets: Sequence[int], seed: Optional[int] = None):
+        self.targets = tuple(int(t) for t in targets)
+        if not self.targets:
+            raise ValueError("need at least one target item")
+        self._rng = np.random.default_rng(seed)
+
+    def _check_targets(self, domain_size: int) -> None:
+        if any(not 0 <= t < domain_size for t in self.targets):
+            raise ValueError("targets must lie in the oracle's domain")
+
+    def reports_grr(self, oracle: GeneralizedRandomizedResponse, n: int) -> np.ndarray:
+        """Fabricated GRR reports: target items, round-robin."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self._check_targets(oracle.domain_size)
+        idx = self._rng.integers(0, len(self.targets), size=n)
+        return np.asarray(self.targets, dtype=int)[idx]
+
+    def reports_oue(self, oracle: OptimizedUnaryEncoding, n: int) -> np.ndarray:
+        """Fabricated OUE bit rows: target bits set + weight-matched padding."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self._check_targets(oracle.domain_size)
+        d = oracle.domain_size
+        bits = np.zeros((n, d), dtype=np.int8)
+        bits[:, list(self.targets)] = 1
+        pad_total = oracle.expected_report_weight() - len(self.targets)
+        pad_count = max(0, int(round(pad_total)))
+        non_targets = np.setdiff1d(np.arange(d), np.asarray(self.targets))
+        if pad_count > 0 and non_targets.size > 0:
+            pad_count = min(pad_count, non_targets.size)
+            for row in range(n):
+                chosen = self._rng.choice(non_targets, size=pad_count, replace=False)
+                bits[row, chosen] = 1
+        return bits
+
+    def expected_gain_grr(
+        self, oracle: GeneralizedRandomizedResponse, attack_fraction: float
+    ) -> float:
+        """Closed-form per-target frequency gain under GRR.
+
+        With attacker share β splitting fabricated reports evenly over
+        ``|T|`` targets, a target's observed report frequency becomes
+        ``(1-β) f_obs + β/|T|``, so its unbiased estimate rises to
+        ``(1-β)·estimate + β (1/|T| - q) / (p - q)`` — the second term is
+        the attack's frequency gain, verified empirically by the tests.
+        """
+        if not 0.0 <= attack_fraction < 1.0:
+            raise ValueError("attack_fraction must lie in [0, 1)")
+        beta = attack_fraction
+        return (
+            beta
+            * (1.0 / len(self.targets) - oracle.q_false)
+            / (oracle.p_true - oracle.q_false)
+        )

@@ -1,0 +1,30 @@
+"""From-scratch ML evaluation substrates: k-means, linear SVM, SOM, metrics."""
+
+from .kmeans import KMeansResult, kmeans, kmeans_plus_plus_init
+from .metrics import (
+    ConfusionSummary,
+    accuracy,
+    centroid_distance,
+    confusion_matrix,
+    confusion_summary,
+    mse,
+    sse,
+)
+from .som import SelfOrganizingMap
+from .svm import LinearSVM, OneVsRestSVM
+
+__all__ = [
+    "KMeansResult",
+    "kmeans",
+    "kmeans_plus_plus_init",
+    "sse",
+    "centroid_distance",
+    "accuracy",
+    "confusion_matrix",
+    "confusion_summary",
+    "ConfusionSummary",
+    "mse",
+    "SelfOrganizingMap",
+    "LinearSVM",
+    "OneVsRestSVM",
+]

@@ -1,0 +1,209 @@
+"""Self-Organizing Map with U-matrix (evaluation substrate, §VI-C).
+
+A rectangular-grid SOM (the paper uses 20 x 20 = 400 neurons) trained by
+the classic online Kohonen rule with exponentially decaying learning rate
+and Gaussian neighborhood.  The U-matrix — the average distance between a
+neuron's weight vector and its grid neighbors', the quantity rendered as
+"color depth between adjacent neurons" in Figs. 6b/8 — plus quantization
+and topographic errors and a BMU-based cluster count give the quantitative
+handles the SOM comparison benchmark reports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SelfOrganizingMap"]
+
+
+class SelfOrganizingMap:
+    """Kohonen SOM on a rectangular grid.
+
+    Parameters
+    ----------
+    rows, cols:
+        Grid shape (paper: 20 x 20).
+    n_iter:
+        Number of online updates (samples drawn with replacement).
+    learning_rate:
+        Initial learning rate, decayed exponentially to ~1% of itself.
+    sigma:
+        Initial neighborhood radius (defaults to half the larger grid
+        dimension), decayed on the same schedule.
+    seed:
+        RNG seed for weight init and sample order.
+    """
+
+    def __init__(
+        self,
+        rows: int = 20,
+        cols: int = 20,
+        n_iter: int = 10_000,
+        learning_rate: float = 0.5,
+        sigma: Optional[float] = None,
+        seed: Optional[int] = None,
+    ):
+        if rows < 1 or cols < 1:
+            raise ValueError("grid dimensions must be >= 1")
+        if n_iter < 1:
+            raise ValueError("n_iter must be >= 1")
+        if learning_rate <= 0.0:
+            raise ValueError("learning_rate must be positive")
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self.n_iter = int(n_iter)
+        self.learning_rate = float(learning_rate)
+        self.sigma0 = float(sigma) if sigma is not None else max(rows, cols) / 2.0
+        if self.sigma0 <= 0.0:
+            raise ValueError("sigma must be positive")
+        self.seed = seed
+        self.weights: Optional[np.ndarray] = None  # (rows*cols, d)
+        coords = np.indices((self.rows, self.cols)).reshape(2, -1).T
+        self._coords = coords.astype(float)  # grid positions of neurons
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_neurons(self) -> int:
+        """Total number of neurons on the grid."""
+        return self.rows * self.cols
+
+    def _check_fitted(self) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("SOM must be fit before use")
+        return self.weights
+
+    def fit(self, data) -> "SelfOrganizingMap":
+        """Train the map with the online Kohonen rule."""
+        x = np.asarray(data, dtype=float)
+        if x.ndim != 2 or x.shape[0] == 0:
+            raise ValueError("data must be a non-empty 2-D array")
+        rng = np.random.default_rng(self.seed)
+
+        # Initialize weights from the data's bounding box.
+        lo, hi = x.min(axis=0), x.max(axis=0)
+        span = np.where(hi > lo, hi - lo, 1.0)
+        weights = lo + rng.random((self.n_neurons, x.shape[1])) * span
+
+        decay = self.n_iter / 4.6  # rate/sigma shrink to ~1% at the end
+        for t in range(self.n_iter):
+            sample = x[rng.integers(x.shape[0])]
+            factor = np.exp(-t / decay)
+            lr = self.learning_rate * factor
+            sigma = max(self.sigma0 * factor, 0.5)
+
+            bmu = int(np.argmin(np.sum((weights - sample) ** 2, axis=1)))
+            grid_d2 = np.sum((self._coords - self._coords[bmu]) ** 2, axis=1)
+            influence = np.exp(-grid_d2 / (2.0 * sigma * sigma))
+            weights += lr * influence[:, None] * (sample - weights)
+
+        self.weights = weights
+        return self
+
+    # ------------------------------------------------------------------ #
+    def best_matching_units(self, data) -> np.ndarray:
+        """Flat BMU index per sample."""
+        weights = self._check_fitted()
+        x = np.asarray(data, dtype=float)
+        d2 = (
+            np.sum(x**2, axis=1)[:, None]
+            - 2.0 * x @ weights.T
+            + np.sum(weights**2, axis=1)[None, :]
+        )
+        return np.argmin(d2, axis=1)
+
+    def u_matrix(self) -> np.ndarray:
+        """Average distance from each neuron's weights to grid neighbors'.
+
+        The inter-neuron "color depth" of Figs. 6b/8: large values mark
+        cluster boundaries, small values cluster interiors.
+        Shape ``(rows, cols)``.
+        """
+        weights = self._check_fitted().reshape(self.rows, self.cols, -1)
+        out = np.zeros((self.rows, self.cols))
+        counts = np.zeros((self.rows, self.cols))
+        for dr, dc in ((0, 1), (1, 0)):
+            a = weights[: self.rows - dr, : self.cols - dc]
+            b = weights[dr:, dc:]
+            dist = np.linalg.norm(a - b, axis=2)
+            out[: self.rows - dr, : self.cols - dc] += dist
+            out[dr:, dc:] += dist
+            counts[: self.rows - dr, : self.cols - dc] += 1
+            counts[dr:, dc:] += 1
+        return out / counts
+
+    def quantization_error(self, data) -> float:
+        """Mean distance of samples to their BMU weights."""
+        weights = self._check_fitted()
+        x = np.asarray(data, dtype=float)
+        bmus = self.best_matching_units(x)
+        return float(np.mean(np.linalg.norm(x - weights[bmus], axis=1)))
+
+    def topographic_error(self, data) -> float:
+        """Fraction of samples whose two best units are not grid-adjacent."""
+        weights = self._check_fitted()
+        x = np.asarray(data, dtype=float)
+        d2 = (
+            np.sum(x**2, axis=1)[:, None]
+            - 2.0 * x @ weights.T
+            + np.sum(weights**2, axis=1)[None, :]
+        )
+        order = np.argsort(d2, axis=1)[:, :2]
+        first = self._coords[order[:, 0]]
+        second = self._coords[order[:, 1]]
+        grid_dist = np.abs(first - second).sum(axis=1)
+        return float(np.mean(grid_dist > 1.0))
+
+    def cluster_count(self, data, labels=None) -> int:
+        """Number of distinct data groups visible on the trained map.
+
+        Counts connected components of *occupied* neurons (BMUs of at
+        least one sample), merging grid-adjacent occupied neurons whose
+        weight distance is below the U-matrix median — a simple watershed
+        that approximates "how many classes does the map display"
+        (Fig. 8's qualitative comparison).  ``labels`` is accepted for
+        API symmetry but unused.
+        """
+        weights = self._check_fitted()
+        x = np.asarray(data, dtype=float)
+        occupied = np.zeros(self.n_neurons, dtype=bool)
+        occupied[np.unique(self.best_matching_units(x))] = True
+
+        u = self.u_matrix().ravel()
+        threshold = float(np.median(u))
+
+        # Union-find over occupied, similar, grid-adjacent neurons.
+        parent = np.arange(self.n_neurons)
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        def union(i: int, j: int) -> None:
+            ri, rj = find(i), find(j)
+            if ri != rj:
+                parent[rj] = ri
+
+        for r in range(self.rows):
+            for c in range(self.cols):
+                i = r * self.cols + c
+                if not occupied[i]:
+                    continue
+                for dr, dc in ((0, 1), (1, 0)):
+                    rr, cc = r + dr, c + dc
+                    if rr >= self.rows or cc >= self.cols:
+                        continue
+                    j = rr * self.cols + cc
+                    if not occupied[j]:
+                        continue
+                    gap = float(
+                        np.linalg.norm(self.weights[i] - self.weights[j])
+                    )
+                    if gap <= threshold:
+                        union(i, j)
+
+        roots = {find(i) for i in range(self.n_neurons) if occupied[i]}
+        return len(roots)

@@ -1,0 +1,156 @@
+"""Linear SVM trained with Pegasos SGD (evaluation substrate, §VI-C).
+
+A from-scratch linear support vector machine: binary hinge-loss + L2
+training via the Pegasos projected-subgradient schedule, lifted to
+multiclass by one-vs-rest voting on decision margins.  Features are
+standardized internally (fit on the training data) so the regularization
+behaves uniformly across datasets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["LinearSVM", "OneVsRestSVM"]
+
+
+class LinearSVM:
+    """Binary linear SVM: ``min λ/2 ||w||² + mean hinge(y (w·x + b))``.
+
+    Labels must be ±1.  Pegasos: at step ``t`` the learning rate is
+    ``1 / (λ t)``; the update uses a single random sample, followed by the
+    optional ``1/sqrt(λ)``-ball projection that gives the classic
+    convergence guarantee.
+    """
+
+    def __init__(
+        self,
+        lam: float = 1e-3,
+        n_iter: int = 20_000,
+        seed: Optional[int] = None,
+        project: bool = True,
+    ):
+        if lam <= 0.0:
+            raise ValueError("regularization lam must be positive")
+        if n_iter < 1:
+            raise ValueError("n_iter must be >= 1")
+        self.lam = float(lam)
+        self.n_iter = int(n_iter)
+        self.seed = seed
+        self.project = bool(project)
+        self.weights: Optional[np.ndarray] = None
+        self.bias: float = 0.0
+
+    def fit(self, data, labels) -> "LinearSVM":
+        """Train on ±1 labels."""
+        x = np.asarray(data, dtype=float)
+        y = np.asarray(labels, dtype=float).ravel()
+        if x.ndim != 2 or x.shape[0] != y.size or x.shape[0] == 0:
+            raise ValueError("data must be 2-D with one label per row")
+        if not np.all(np.isin(y, (-1.0, 1.0))):
+            raise ValueError("binary labels must be -1/+1")
+
+        rng = np.random.default_rng(self.seed)
+        n = x.shape[0]
+        w = np.zeros(x.shape[1])
+        b = 0.0
+        radius = 1.0 / np.sqrt(self.lam)
+
+        for t in range(1, self.n_iter + 1):
+            i = rng.integers(n)
+            eta = 1.0 / (self.lam * t)
+            margin = y[i] * (x[i] @ w + b)
+            w *= 1.0 - eta * self.lam
+            if margin < 1.0:
+                w += eta * y[i] * x[i]
+                b += eta * y[i]
+            if self.project:
+                norm = np.linalg.norm(w)
+                if norm > radius:
+                    w *= radius / norm
+
+        self.weights = w
+        self.bias = float(b)
+        return self
+
+    def decision_function(self, data) -> np.ndarray:
+        """Signed margins ``w·x + b``."""
+        if self.weights is None:
+            raise RuntimeError("model must be fit before scoring")
+        x = np.asarray(data, dtype=float)
+        return x @ self.weights + self.bias
+
+    def predict(self, data) -> np.ndarray:
+        """±1 predictions."""
+        return np.where(self.decision_function(data) >= 0.0, 1.0, -1.0)
+
+
+class OneVsRestSVM:
+    """Multiclass linear SVM by one-vs-rest margin voting.
+
+    One binary :class:`LinearSVM` per class; prediction takes the argmax
+    of the per-class decision margins.  Inputs are standardized with the
+    training mean/std, matching common practice for margin-based models.
+    """
+
+    def __init__(
+        self,
+        lam: float = 1e-3,
+        n_iter: int = 20_000,
+        seed: Optional[int] = None,
+    ):
+        self.lam = float(lam)
+        self.n_iter = int(n_iter)
+        self.seed = seed
+        self.classes_: Optional[np.ndarray] = None
+        self._models: list = []
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    def _standardize(self, x: np.ndarray) -> np.ndarray:
+        return (x - self._mean) / self._std
+
+    def fit(self, data, labels) -> "OneVsRestSVM":
+        """Train one binary model per distinct label."""
+        x = np.asarray(data, dtype=float)
+        y = np.asarray(labels).ravel()
+        if x.ndim != 2 or x.shape[0] != y.size or x.shape[0] == 0:
+            raise ValueError("data must be 2-D with one label per row")
+        self.classes_ = np.unique(y)
+        if self.classes_.size < 2:
+            raise ValueError("need at least two classes")
+        self._mean = x.mean(axis=0)
+        self._std = x.std(axis=0)
+        self._std = np.where(self._std > 0.0, self._std, 1.0)
+        xs = self._standardize(x)
+
+        self._models = []
+        for idx, cls in enumerate(self.classes_):
+            binary = np.where(y == cls, 1.0, -1.0)
+            model = LinearSVM(
+                lam=self.lam,
+                n_iter=self.n_iter,
+                seed=None if self.seed is None else self.seed + idx,
+            )
+            model.fit(xs, binary)
+            self._models.append(model)
+        return self
+
+    def decision_matrix(self, data) -> np.ndarray:
+        """Margins per class, shape ``(n, n_classes)``."""
+        if self.classes_ is None:
+            raise RuntimeError("model must be fit before scoring")
+        xs = self._standardize(np.asarray(data, dtype=float))
+        return np.column_stack([m.decision_function(xs) for m in self._models])
+
+    def predict(self, data) -> np.ndarray:
+        """Class labels by margin argmax."""
+        margins = self.decision_matrix(data)
+        return self.classes_[np.argmax(margins, axis=1)]
+
+    def score(self, data, labels) -> float:
+        """Mean accuracy on the given data."""
+        y = np.asarray(labels).ravel()
+        return float(np.mean(self.predict(data) == y))

@@ -1,0 +1,99 @@
+"""The public board of the infinite collection game (Fig. 3, steps ① ⑥).
+
+The board is the complete-information channel: the collector records every
+round's retained data and the threshold she used, and the adversary can
+access and verify them.  It is an append-only log of
+:class:`~repro.core.strategies.base.RoundObservation` entries plus the
+retained batches, giving both parties (and the experiment harness) a
+consistent view of the game's history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.strategies.base import RoundObservation
+
+__all__ = ["BoardEntry", "PublicBoard"]
+
+
+@dataclass(frozen=True)
+class BoardEntry:
+    """One round's public record.
+
+    ``retained`` is the untrimmed (kept) data the collector published;
+    ``observation`` the public per-round summary both parties strategize
+    on; ``n_poison_retained``/``n_poison_injected`` are ground-truth
+    bookkeeping available to the experiment harness (not used by
+    strategies, which only see the observation).
+    """
+
+    observation: RoundObservation
+    retained: np.ndarray
+    n_collected: int
+    n_poison_injected: int
+    n_poison_retained: int
+
+
+@dataclass
+class PublicBoard:
+    """Append-only public record of the collection game."""
+
+    entries: List[BoardEntry] = field(default_factory=list)
+
+    def record(self, entry: BoardEntry) -> None:
+        """Append a completed round's record."""
+        expected = len(self.entries) + 1
+        if entry.observation.index != expected:
+            raise ValueError(
+                f"round {entry.observation.index} recorded out of order "
+                f"(expected {expected})"
+            )
+        self.entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def last(self) -> Optional[BoardEntry]:
+        """Most recent entry, or ``None`` before round 1."""
+        return self.entries[-1] if self.entries else None
+
+    @property
+    def observations(self) -> List[RoundObservation]:
+        """All public round observations, in order."""
+        return [e.observation for e in self.entries]
+
+    def retained_data(self) -> np.ndarray:
+        """All retained data concatenated across rounds.
+
+        This is what downstream analytics (k-means, SVM, SOM, mean
+        estimation) consume — the dataset that actually survived the
+        game.
+        """
+        if not self.entries:
+            raise ValueError("board is empty")
+        return np.concatenate([e.retained for e in self.entries], axis=0)
+
+    def poison_retained_fraction(self) -> float:
+        """Ground truth: fraction of retained points that are poison.
+
+        The 'untrimmed poison values in the remaining data' metric of
+        Table III.
+        """
+        kept = sum(e.retained.shape[0] for e in self.entries)
+        if kept == 0:
+            return 0.0
+        poison = sum(e.n_poison_retained for e in self.entries)
+        return poison / kept
+
+    def trimmed_fraction(self) -> float:
+        """Overall fraction of collected data that was trimmed away."""
+        collected = sum(e.n_collected for e in self.entries)
+        if collected == 0:
+            return 0.0
+        kept = sum(e.retained.shape[0] for e in self.entries)
+        return 1.0 - kept / collected

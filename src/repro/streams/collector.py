@@ -1,0 +1,115 @@
+"""Standalone data-collector runtime (deployment-side of Fig. 3).
+
+:class:`~repro.core.engine.CollectionGame` simulates *both* parties; this
+module is the collector's half alone, for driving a strategy against a
+**real** incoming stream where the adversary (if any) is part of the
+data: bind a collector strategy, a trimmer and a quality evaluator, feed
+raw batches to :meth:`DataCollector.collect`, and receive the retained
+data while the strategy adapts round over round.
+
+The injection position is unobservable on a real stream, so strategies
+receive observations with ``injection_percentile=None`` — the Elastic
+collector then uses its Algorithm 2 quality-feedback rule, and
+Tit-for-tat triggers off the quality standard, exactly the §V
+non-deterministic-utility operating mode.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.quality import QualityEvaluator, TailMassEvaluator
+from ..core.strategies.base import CollectorStrategy, RoundObservation
+from ..core.trimming import Trimmer
+
+__all__ = ["DataCollector"]
+
+
+class DataCollector:
+    """Round-wise collector runtime over raw (untrusted) batches.
+
+    Parameters
+    ----------
+    strategy:
+        Any :class:`~repro.core.strategies.base.CollectorStrategy`.
+    trimmer:
+        Trimming operator; fitted on ``reference`` for anchoring.
+    reference:
+        Clean calibration data — the public quality standard.
+    quality_evaluator:
+        Defaults to a :class:`~repro.core.quality.TailMassEvaluator`.
+    betrayal_quality:
+        Normalized-quality level above which a round is judged a
+        betrayal for strategies that key off the judgement (mirror,
+        generous, two-tats, triggers).
+    """
+
+    def __init__(
+        self,
+        strategy: CollectorStrategy,
+        trimmer: Trimmer,
+        reference,
+        quality_evaluator: Optional[QualityEvaluator] = None,
+        betrayal_quality: float = 0.5,
+    ):
+        if not 0.0 <= betrayal_quality <= 1.0:
+            raise ValueError("betrayal_quality must lie in [0, 1]")
+        self.strategy = strategy
+        self.trimmer = trimmer
+        self.reference = np.asarray(reference, dtype=float)
+        self.trimmer.fit_reference(self.reference)
+        self.quality_evaluator = quality_evaluator or TailMassEvaluator()
+        self.quality_evaluator.fit(self.reference)
+        self.betrayal_quality = float(betrayal_quality)
+        self.strategy.reset()
+        self._round = 0
+        self._last: Optional[RoundObservation] = None
+
+    @property
+    def rounds_collected(self) -> int:
+        """Number of batches processed so far."""
+        return self._round
+
+    @property
+    def current_threshold(self) -> float:
+        """The trimming percentile the next batch will receive."""
+        if self._last is None:
+            return self.strategy.first()
+        return self.strategy.react(self._last)
+
+    def collect(self, batch) -> np.ndarray:
+        """Trim one incoming batch and advance the strategy.
+
+        Returns the retained rows/values.  The per-round threshold comes
+        from the strategy's reaction to the previous round's public
+        observation (quality score, betrayal judgement).
+        """
+        arr = np.asarray(batch, dtype=float)
+        if arr.size == 0:
+            raise ValueError("cannot collect an empty batch")
+        self._round += 1
+
+        if self._last is None:
+            threshold = self.strategy.first()
+        else:
+            threshold = self.strategy.react(self._last)
+
+        report = self.trimmer.trim(arr, threshold)
+        quality = self.quality_evaluator.normalized(arr)
+        self._last = RoundObservation(
+            index=self._round,
+            trim_percentile=float(threshold),
+            injection_percentile=None,  # unobservable on a real stream
+            quality=quality,
+            observed_poison_ratio=self.quality_evaluator.score(arr),
+            betrayal=quality > self.betrayal_quality,
+        )
+        return arr[report.kept]
+
+    def reset(self) -> None:
+        """Restart the strategy and round counter for a fresh stream."""
+        self.strategy.reset()
+        self._round = 0
+        self._last = None

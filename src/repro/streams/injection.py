@@ -1,0 +1,171 @@
+"""Poison-value materialization (Fig. 3, step ②).
+
+Adversary strategies decide a *percentile position*; this module turns the
+position into concrete poison points relative to the round's benign batch.
+Two placement modes are provided:
+
+* ``mode="quantile"`` — 1-D batches receive the empirical quantile of the
+  batch at the chosen percentile; 2-D batches receive the per-feature
+  quantile *corner* (every feature at its own q-quantile).
+* ``mode="radial"`` (default for 2-D) — the poison is placed along the
+  upper-tail corner *direction* but scaled so its **radial score**
+  (distance from the coordinate-wise median — exactly what
+  :class:`~repro.core.trimming.RadialTrimmer` measures) equals the batch's
+  radial-score quantile at the chosen percentile.  This makes injection
+  percentiles and trimming percentiles live on the same scale in any
+  dimension, so the game-theoretic percentile algebra of §VI-A carries
+  over exactly (see DESIGN.md §4).  For 1-D input it reduces to the plain
+  quantile placement on the upper tail.
+
+A thin uniform jitter band spreads colluding Sybil values over
+``[q, q + jitter]`` so they do not collapse onto a single tied value,
+which would make percentile trimming degenerate.
+
+The number of poison points follows the attack ratio: ``round(ratio · n)``
+poison values accompany ``n`` benign ones, i.e. the adversary controls a
+``ratio/(1+ratio)`` fraction of the round's traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["PoisonInjector"]
+
+_MODES = ("quantile", "radial")
+
+
+class PoisonInjector:
+    """Materializes poison batches at percentile positions.
+
+    Parameters
+    ----------
+    attack_ratio:
+        Poison-to-benign count ratio per round (``0.2`` = one poison value
+        per five benign).
+    jitter:
+        Width of the percentile band the poison is spread over, e.g.
+        ``0.01`` spreads Sybil values uniformly over ``[q, q + 0.01]``
+        (clipped at 1.0).  ``0.0`` places all poison exactly at the
+        quantile.
+    mode:
+        ``"radial"`` (default) or ``"quantile"`` — see module docstring.
+        The modes coincide for 1-D data.
+    seed:
+        RNG seed for the jitter draws.
+    """
+
+    def __init__(
+        self,
+        attack_ratio: float,
+        jitter: float = 0.01,
+        mode: str = "radial",
+        seed: Optional[int] = None,
+    ):
+        if attack_ratio < 0.0:
+            raise ValueError("attack_ratio must be non-negative")
+        if jitter < 0.0:
+            raise ValueError("jitter must be non-negative")
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}")
+        self.attack_ratio = float(attack_ratio)
+        self.jitter = float(jitter)
+        self.mode = mode
+        self._rng = np.random.default_rng(seed)
+        self._ref_center: Optional[np.ndarray] = None
+        self._ref_scores: Optional[np.ndarray] = None
+        self._ref_values: Optional[np.ndarray] = None
+        self._ref_corner: Optional[np.ndarray] = None
+
+    def fit_reference(self, reference) -> "PoisonInjector":
+        """Calibrate percentile positions on the public reference.
+
+        The white-box adversary knows the collector's public quality
+        standard (§III-A), so it can place poison against the *reference*
+        score quantiles instead of the noisy per-batch estimates — making
+        the percentile coordinates of injection and (reference-anchored)
+        trimming exactly commensurable.
+        """
+        arr = np.asarray(reference, dtype=float)
+        if arr.size == 0:
+            raise ValueError("reference must be non-empty")
+        if arr.ndim == 1:
+            self._ref_values = np.sort(arr)
+            self._ref_center = None
+            self._ref_scores = None
+            self._ref_corner = None
+        elif arr.ndim == 2:
+            self._ref_center = np.median(arr, axis=0)
+            self._ref_scores = np.linalg.norm(arr - self._ref_center, axis=1)
+            self._ref_corner = np.quantile(arr, 0.99, axis=0)
+            self._ref_values = None
+        else:
+            raise ValueError("reference must be 1-D or 2-D")
+        return self
+
+    def poison_count(self, n_benign: int) -> int:
+        """Number of poison points injected alongside ``n_benign`` rows."""
+        return int(round(self.attack_ratio * n_benign))
+
+    def _positions(self, percentile: float, count: int) -> np.ndarray:
+        low = min(1.0, max(0.0, percentile))
+        high = min(1.0, low + self.jitter)
+        if high <= low:
+            return np.full(count, low)
+        return self._rng.uniform(low, high, size=count)
+
+    def _materialize_1d(self, benign: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        source = self._ref_values if self._ref_values is not None else benign
+        return np.quantile(source, positions)
+
+    def _materialize_corner(
+        self, benign: np.ndarray, positions: np.ndarray
+    ) -> np.ndarray:
+        # np.quantile with axis=0 over a (count,) position vector gives
+        # shape (count, d): one per-feature quantile corner per position.
+        return np.quantile(benign, positions, axis=0)
+
+    def _materialize_radial(
+        self, benign: np.ndarray, positions: np.ndarray
+    ) -> np.ndarray:
+        if self._ref_center is not None and self._ref_scores is not None:
+            center = self._ref_center
+            scores = self._ref_scores
+            corner = self._ref_corner
+        else:
+            center = np.median(benign, axis=0)
+            scores = np.linalg.norm(benign - center, axis=1)
+            corner = np.quantile(benign, 0.99, axis=0)
+        targets = np.quantile(scores, positions)
+
+        # Colluding direction: toward the upper-tail quantile corner.
+        direction = corner - center
+        norm = float(np.linalg.norm(direction))
+        if norm <= 0.0:
+            # Degenerate batch: fall back to the first axis direction.
+            direction = np.zeros(benign.shape[1])
+            direction[0] = 1.0
+            norm = 1.0
+        direction = direction / norm
+        return center[None, :] + targets[:, None] * direction[None, :]
+
+    def materialize(self, benign: np.ndarray, percentile: float) -> np.ndarray:
+        """Poison rows for one round, at a percentile of ``benign``.
+
+        Returns an array shaped like ``benign`` rows: ``(m,)`` for 1-D
+        input, ``(m, d)`` for 2-D, with ``m = poison_count(len(benign))``.
+        """
+        arr = np.asarray(benign, dtype=float)
+        if arr.ndim not in (1, 2):
+            raise ValueError("benign batches must be 1-D or 2-D")
+        count = self.poison_count(arr.shape[0])
+        if count == 0:
+            return arr[:0].copy()
+        positions = self._positions(percentile, count)
+        if arr.ndim == 1:
+            return self._materialize_1d(arr, positions)
+        if self.mode == "radial":
+            return self._materialize_radial(arr, positions)
+        return self._materialize_corner(arr, positions)

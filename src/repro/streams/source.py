@@ -1,0 +1,111 @@
+"""Benign data stream sources (Fig. 3, step ③).
+
+The collection game is played over a data stream with a fixed number of
+samples per round.  Sources wrap a dataset (or a generator) and hand the
+engine one benign batch per round; users of the stream never mutate the
+backing data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = ["StreamSource", "ArrayStream", "GeneratorStream"]
+
+
+class StreamSource:
+    """Interface: one benign batch per call to :meth:`next_batch`."""
+
+    def reset(self) -> None:
+        """Rewind the stream to its initial state."""
+
+    def next_batch(self) -> np.ndarray:
+        """The next round's benign batch (1-D values or 2-D rows)."""
+        raise NotImplementedError
+
+
+class ArrayStream(StreamSource):
+    """Replayable stream over a fixed array.
+
+    Each round draws ``batch_size`` rows.  With ``shuffle=True`` (the
+    default) rows are sampled without replacement per epoch and the
+    epoch order is reshuffled when exhausted, so an arbitrary number of
+    rounds can be served from a finite dataset — the paper's "streaming
+    process with a fixed number of samples gathered in each round"
+    (§IV-B).
+    """
+
+    def __init__(
+        self,
+        data,
+        batch_size: int,
+        shuffle: bool = True,
+        seed: Optional[int] = None,
+    ):
+        arr = np.asarray(data, dtype=float)
+        if arr.ndim not in (1, 2) or arr.shape[0] == 0:
+            raise ValueError("data must be a non-empty 1-D or 2-D array")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if batch_size > arr.shape[0]:
+            raise ValueError("batch_size exceeds the dataset size")
+        self._data = arr
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._order = np.arange(arr.shape[0])
+        self._cursor = 0
+        if self.shuffle:
+            self._rng.shuffle(self._order)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+        self._order = np.arange(self._data.shape[0])
+        self._cursor = 0
+        if self.shuffle:
+            self._rng.shuffle(self._order)
+
+    def next_batch(self) -> np.ndarray:
+        n = self._data.shape[0]
+        if self._cursor + self.batch_size > n:
+            if self.shuffle:
+                self._rng.shuffle(self._order)
+            self._cursor = 0
+        idx = self._order[self._cursor : self._cursor + self.batch_size]
+        self._cursor += self.batch_size
+        return self._data[idx].copy()
+
+
+class GeneratorStream(StreamSource):
+    """Stream backed by a callable ``factory(rng, batch_size) -> array``.
+
+    Supports genuinely infinite streams (e.g. the synthetic Taxi
+    generator) without materializing the full dataset.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[np.random.Generator, int], np.ndarray],
+        batch_size: int,
+        seed: Optional[int] = None,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self._factory = factory
+        self.batch_size = int(batch_size)
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+
+    def next_batch(self) -> np.ndarray:
+        batch = np.asarray(self._factory(self._rng, self.batch_size), dtype=float)
+        if batch.shape[0] != self.batch_size:
+            raise ValueError(
+                f"factory returned {batch.shape[0]} rows, expected {self.batch_size}"
+            )
+        return batch

@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_control
+
+
+@pytest.fixture(scope="session")
+def control_data():
+    """The control-chart dataset (600 x 60) used across integration tests."""
+    data, labels = generate_control(seed=7)
+    return data, labels
+
+
+@pytest.fixture(scope="session")
+def small_gaussian():
+    """A small, well-separated 2-D Gaussian mixture for fast ML tests."""
+    rng = np.random.default_rng(0)
+    centers = np.array([[0.0, 0.0], [8.0, 8.0], [-8.0, 8.0]])
+    rows = [c + rng.normal(0, 1.0, size=(50, 2)) for c in centers]
+    data = np.vstack(rows)
+    labels = np.repeat(np.arange(3), 50)
+    return data, labels
+
+
+@pytest.fixture()
+def rng():
+    """A fresh seeded generator per test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,140 @@
+"""Cross-checks between independent implementations of the same theory.
+
+The analytical model is implemented twice on purpose — closed form
+(:mod:`repro.core.oscillator`) and variationally
+(:mod:`repro.core.lagrangian`) — and the game dynamics three ways
+(strategy objects, :class:`BestResponseDynamics`, closed-form fixed
+point).  These tests pin the implementations against each other.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import CollectionGame
+from repro.core.lagrangian import (
+    ElasticLagrangian,
+    action,
+    euler_lagrange_residual,
+    least_action_path,
+)
+from repro.core.oscillator import CoupledUtilityOscillator
+from repro.core.stackelberg import BestResponseDynamics, linear_response_fixed_point
+from repro.core.strategies import ElasticAdversary, ElasticCollector, FixedAdversary, StaticCollector
+from repro.core.strategies.base import RoundObservation
+from repro.core.trimming import RadialTrimmer
+from repro.streams import ArrayStream, PoisonInjector
+
+
+class TestOscillatorVsLeastAction:
+    def test_closed_form_is_variationally_stationary(self):
+        osc = CoupledUtilityOscillator(
+            stiffness=1.5,
+            mass_adversary=1.0,
+            mass_collector=2.0,
+            u_adversary0=0.5,
+            v_collector0=0.1,
+        )
+        dr = 0.02
+        r = np.arange(0.0, 3.0 + dr / 2, dr)
+        path = np.column_stack(osc.solve(r))
+        lag = ElasticLagrangian(
+            stiffness=1.5, mass_adversary=1.0, mass_collector=2.0
+        )
+        residual = euler_lagrange_residual(lag, path, dr)
+        assert np.abs(residual).max() < 2e-2
+
+    def test_least_action_matches_closed_form_endpoints(self):
+        # Fix boundary conditions from the closed-form trajectory and let
+        # the numerical minimizer find the interior: it must recover the
+        # oscillator path.
+        osc = CoupledUtilityOscillator(stiffness=1.0, u_adversary0=0.3)
+        total_r = 1.2  # well under half a period: unique minimizer
+        nodes = 25
+        dr = total_r / (nodes - 1)
+        r = np.linspace(0.0, total_r, nodes)
+        exact = np.column_stack(osc.solve(r))
+        lag = ElasticLagrangian(stiffness=1.0)
+        numeric = least_action_path(
+            lag, tuple(exact[0]), tuple(exact[-1]), nodes=nodes, dr=dr
+        )
+        assert np.abs(numeric - exact).max() < 5e-3
+
+    def test_perturbed_path_has_larger_action(self):
+        osc = CoupledUtilityOscillator(stiffness=2.0, u_adversary0=0.4)
+        dr = 0.01
+        r = np.arange(0.0, 1.0 + dr / 2, dr)
+        exact = np.column_stack(osc.solve(r))
+        lag = ElasticLagrangian(stiffness=2.0)
+        bump = np.zeros_like(exact)
+        bump[1:-1, 0] = 0.05 * np.sin(np.linspace(0, np.pi, exact.shape[0] - 2))
+        assert action(lag, exact, dr) < action(lag, exact + bump, dr)
+
+
+class TestDynamicsConsistency:
+    def test_strategy_objects_match_response_dynamics(self):
+        t_th, k, rounds = 0.9, 0.4, 40
+        collector = ElasticCollector(t_th, k, rule="paper")
+        adversary = ElasticAdversary(t_th, k, rule="paper")
+        collector.reset()
+        adversary.reset()
+        t_strat = [collector.first()]
+        a_strat = [adversary.first()]
+        for i in range(rounds - 1):
+            obs = RoundObservation(
+                index=i + 1,
+                trim_percentile=t_strat[-1],
+                injection_percentile=a_strat[-1],
+                quality=0.0,
+                observed_poison_ratio=0.0,
+                betrayal=False,
+            )
+            t_strat.append(collector.react(obs))
+            a_strat.append(adversary.react(obs))
+
+        dyn = BestResponseDynamics(
+            collector_response=lambda a: t_th + k * (a - t_th - 0.01),
+            adversary_response=lambda t: t_th - 0.03 + k * (t - t_th),
+        )
+        t_dyn, a_dyn = dyn.run(t_strat[0], a_strat[0], rounds)
+        np.testing.assert_allclose(t_strat, t_dyn, atol=1e-12)
+        np.testing.assert_allclose(a_strat, a_dyn, atol=1e-12)
+
+    def test_engine_trajectory_matches_closed_form_fixed_point(self, control_data):
+        data, _ = control_data
+        t_th, k = 0.9, 0.5
+        game = CollectionGame(
+            source=ArrayStream(data, batch_size=100, seed=0),
+            collector=ElasticCollector(t_th, k),
+            adversary=ElasticAdversary(t_th, k),
+            injector=PoisonInjector(0.2, mode="radial", seed=1),
+            trimmer=RadialTrimmer(),
+            reference=data,
+            rounds=30,
+        )
+        result = game.run()
+        t_star, a_star = linear_response_fixed_point(t_th, k)
+        assert result.threshold_path()[-1] == pytest.approx(t_star, abs=1e-6)
+        assert result.injection_path()[-1] == pytest.approx(a_star, abs=1e-6)
+
+
+class TestGameResultRecords:
+    def test_to_records_consistent_with_board(self, control_data):
+        data, _ = control_data
+        game = CollectionGame(
+            source=ArrayStream(data, batch_size=100, seed=0),
+            collector=StaticCollector(0.9),
+            adversary=FixedAdversary(0.95),
+            injector=PoisonInjector(0.2, seed=1),
+            trimmer=RadialTrimmer(),
+            reference=data,
+            rounds=5,
+        )
+        result = game.run()
+        records = result.to_records()
+        assert len(records) == 5
+        assert [r["round"] for r in records] == [1, 2, 3, 4, 5]
+        total_retained = sum(r["n_retained"] for r in records)
+        assert total_retained == result.retained_data().shape[0]
+        for r in records:
+            assert r["n_poison_retained"] <= r["n_poison_injected"]
+            assert r["trim_percentile"] == pytest.approx(0.9)

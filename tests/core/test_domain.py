@@ -1,0 +1,160 @@
+"""Tests for repro.core.domain — percentile coordinate algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.domain import (
+    Domain,
+    clip_percentile,
+    empirical_quantile,
+    percentile_grid,
+    percentile_of,
+)
+
+
+class TestDomain:
+    def test_width_and_center(self):
+        d = Domain(-1.0, 1.0)
+        assert d.width == 2.0
+        assert d.center == 0.0
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            Domain(1.0, -1.0)
+
+    def test_rejects_equal_bounds(self):
+        with pytest.raises(ValueError):
+            Domain(0.5, 0.5)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            Domain(0.0, np.inf)
+
+    def test_contains_endpoints(self):
+        d = Domain(0.0, 1.0)
+        assert d.contains([0.0, 0.5, 1.0]).all()
+
+    def test_contains_excludes_outside(self):
+        d = Domain(0.0, 1.0)
+        assert not d.contains(1.0001)
+        assert not d.contains(-0.0001)
+
+    def test_clip(self):
+        d = Domain(-1.0, 1.0)
+        np.testing.assert_allclose(d.clip([-5.0, 0.3, 5.0]), [-1.0, 0.3, 1.0])
+
+    def test_normalize_maps_bounds_to_unit(self):
+        d = Domain(0.0, 86340.0)
+        np.testing.assert_allclose(d.normalize([0.0, 86340.0]), [-1.0, 1.0])
+
+    def test_normalize_denormalize_roundtrip(self):
+        d = Domain(3.0, 17.0)
+        vals = np.linspace(3.0, 17.0, 11)
+        np.testing.assert_allclose(d.denormalize(d.normalize(vals)), vals)
+
+    def test_scale_enlarges_about_center(self):
+        d = Domain(-1.0, 1.0).scale(2.0)
+        assert d.low == -2.0 and d.high == 2.0
+
+    def test_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Domain(-1.0, 1.0).scale(0.0)
+
+    @given(st.floats(-100, 100), st.floats(0.1, 100))
+    def test_normalize_bounds_property(self, low, width):
+        d = Domain(low, low + width)
+        out = d.normalize([d.low, d.center, d.high])
+        np.testing.assert_allclose(out, [-1.0, 0.0, 1.0], atol=1e-9)
+
+
+class TestEmpiricalQuantile:
+    def test_median(self):
+        assert empirical_quantile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_extremes(self):
+        vals = [5.0, 1.0, 9.0]
+        assert empirical_quantile(vals, 0.0) == 1.0
+        assert empirical_quantile(vals, 1.0) == 9.0
+
+    def test_vector_fractions(self):
+        out = empirical_quantile(np.arange(101.0), [0.0, 0.5, 1.0])
+        np.testing.assert_allclose(out, [0.0, 50.0, 100.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            empirical_quantile([], 0.5)
+
+    def test_out_of_range_fraction_raises(self):
+        with pytest.raises(ValueError):
+            empirical_quantile([1.0], 1.5)
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50),
+        st.floats(0.0, 1.0),
+    )
+    def test_quantile_within_range(self, values, q):
+        out = float(empirical_quantile(values, q))
+        assert min(values) <= out <= max(values)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=30))
+    def test_quantile_monotone_in_fraction(self, values):
+        lo = float(empirical_quantile(values, 0.25))
+        hi = float(empirical_quantile(values, 0.75))
+        assert lo <= hi
+
+
+class TestPercentileOf:
+    def test_inverse_of_quantile(self):
+        values = np.arange(1000.0)
+        x = empirical_quantile(values, 0.73)
+        assert abs(percentile_of(values, x) - 0.73) < 0.01
+
+    def test_below_minimum_is_zero(self):
+        assert percentile_of([1.0, 2.0], 0.0) == 0.0
+
+    def test_above_maximum_is_one(self):
+        assert percentile_of([1.0, 2.0], 5.0) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile_of([], 1.0)
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=1, max_size=40),
+        st.floats(-200, 200),
+    )
+    def test_result_is_probability(self, values, x):
+        p = percentile_of(values, x)
+        assert 0.0 <= p <= 1.0
+
+
+class TestClipPercentile:
+    @pytest.mark.parametrize(
+        "raw, expected", [(-0.5, 0.0), (0.0, 0.0), (0.42, 0.42), (1.0, 1.0), (1.7, 1.0)]
+    )
+    def test_clip_values(self, raw, expected):
+        assert clip_percentile(raw) == expected
+
+
+class TestPercentileGrid:
+    def test_inclusive_endpoints(self):
+        grid = percentile_grid(0.2, 0.8, 7)
+        assert grid[0] == 0.2 and grid[-1] == 0.8
+        assert grid.size == 7
+
+    def test_monotone(self):
+        grid = percentile_grid(0.1, 0.9, 33)
+        assert np.all(np.diff(grid) > 0)
+
+    def test_clips_out_of_range_inputs(self):
+        grid = percentile_grid(-1.0, 2.0, 3)
+        assert grid[0] == 0.0 and grid[-1] == 1.0
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            percentile_grid(0.0, 1.0, 1)
+
+    def test_rejects_degenerate_interval(self):
+        with pytest.raises(ValueError):
+            percentile_grid(0.9, 0.9, 5)

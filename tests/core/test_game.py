@@ -1,0 +1,139 @@
+"""Tests for repro.core.game — matrix games and the Table I ultimatum game."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.game import (
+    HARD,
+    SOFT,
+    BimatrixGame,
+    UltimatumPayoffs,
+    build_ultimatum_game,
+    solve_zero_sum,
+)
+
+
+def _matching_pennies():
+    a = np.array([[1.0, -1.0], [-1.0, 1.0]])
+    return BimatrixGame(row_payoffs=a, col_payoffs=-a)
+
+
+class TestBimatrixGame:
+    def test_shape_and_labels(self):
+        g = _matching_pennies()
+        assert g.shape == (2, 2)
+        assert list(g.row_labels) == ["r0", "r1"]
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            BimatrixGame(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_zero_sum_detection(self):
+        assert _matching_pennies().is_zero_sum()
+
+    def test_non_zero_sum_detection(self):
+        g = BimatrixGame(np.ones((2, 2)), np.ones((2, 2)))
+        assert not g.is_zero_sum()
+
+    def test_matching_pennies_has_no_pure_nash(self):
+        assert _matching_pennies().pure_nash_equilibria() == []
+
+    def test_prisoners_dilemma_equilibrium(self):
+        # Classic PD: defect strictly dominates.
+        row = np.array([[3.0, 0.0], [5.0, 1.0]])
+        g = BimatrixGame(row_payoffs=row, col_payoffs=row.T)
+        assert g.pure_nash_equilibria() == [(1, 1)]
+
+    def test_best_responses(self):
+        row = np.array([[3.0, 0.0], [5.0, 1.0]])
+        g = BimatrixGame(row_payoffs=row, col_payoffs=row.T)
+        assert list(g.row_best_responses(0)) == [1]
+        assert list(g.col_best_responses(0)) == [1]
+
+    def test_strict_dominance(self):
+        row = np.array([[3.0, 0.0], [5.0, 1.0]])
+        g = BimatrixGame(row_payoffs=row, col_payoffs=row.T)
+        assert g.strictly_dominated_rows() == [0]
+        assert g.strictly_dominated_cols() == [0]
+
+
+class TestSolveZeroSum:
+    def test_matching_pennies_value_and_mixtures(self):
+        a = np.array([[1.0, -1.0], [-1.0, 1.0]])
+        row, col, value = solve_zero_sum(a)
+        assert value == pytest.approx(0.0, abs=1e-8)
+        np.testing.assert_allclose(row, [0.5, 0.5], atol=1e-6)
+        np.testing.assert_allclose(col, [0.5, 0.5], atol=1e-6)
+
+    def test_dominant_row_gets_full_mass(self):
+        a = np.array([[2.0, 2.0], [0.0, 0.0]])
+        row, _, value = solve_zero_sum(a)
+        assert value == pytest.approx(2.0, abs=1e-8)
+        assert row[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_value_shift_invariance(self):
+        a = np.array([[1.0, -2.0], [-3.0, 4.0]])
+        _, _, v1 = solve_zero_sum(a)
+        _, _, v2 = solve_zero_sum(a + 10.0)
+        assert v2 - v1 == pytest.approx(10.0, abs=1e-7)
+
+    def test_mixtures_are_distributions(self):
+        a = np.array([[1.0, -2.0, 0.5], [-3.0, 4.0, -1.0]])
+        row, col, _ = solve_zero_sum(a)
+        assert row.sum() == pytest.approx(1.0)
+        assert col.sum() == pytest.approx(1.0)
+        assert (row >= -1e-12).all() and (col >= -1e-12).all()
+
+    def test_invalid_input_rejected(self):
+        with pytest.raises(ValueError):
+            solve_zero_sum(np.zeros((0, 0)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(2, 4),
+        st.integers(2, 4),
+        st.integers(0, 10_000),
+    )
+    def test_minimax_guarantee(self, n_rows, n_cols, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(-5, 5, size=(n_rows, n_cols))
+        row, col, value = solve_zero_sum(a)
+        # Row mixture guarantees at least `value` against every column,
+        # column mixture concedes at most `value` against every row.
+        assert (row @ a >= value - 1e-6).all()
+        assert (a @ col <= value + 1e-6).all()
+
+
+class TestUltimatumGame:
+    def test_default_payoffs_respect_ordering(self):
+        p = UltimatumPayoffs()
+        assert p.p_high > p.t_high > p.p_low > p.t_low > 0
+
+    def test_bad_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            UltimatumPayoffs(p_high=1.0, t_high=2.0, p_low=0.5, t_low=0.1)
+
+    def test_unique_equilibrium_is_hard_hard(self):
+        game = build_ultimatum_game()
+        assert game.pure_nash_equilibria() == [(HARD, HARD)]
+
+    def test_soft_soft_pareto_dominates_equilibrium_for_collector(self):
+        game = build_ultimatum_game()
+        # (Soft, Soft) is better for the collector than (Hard, Hard):
+        # the prisoner's-dilemma tension motivating the repeated game.
+        assert game.col_payoffs[SOFT, SOFT] > game.col_payoffs[HARD, HARD]
+
+    def test_adversary_prefers_hard_against_soft(self):
+        game = build_ultimatum_game()
+        assert game.row_payoffs[HARD, SOFT] > game.row_payoffs[SOFT, SOFT]
+
+    def test_hard_trim_nullifies_poison_payoff(self):
+        game = build_ultimatum_game()
+        assert game.row_payoffs[SOFT, HARD] == 0.0
+        assert game.row_payoffs[HARD, HARD] == 0.0
+
+    def test_labels(self):
+        game = build_ultimatum_game()
+        assert tuple(game.row_labels) == ("soft", "hard")
+        assert tuple(game.col_labels) == ("soft", "hard")

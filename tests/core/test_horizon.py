@@ -1,0 +1,75 @@
+"""Tests for repro.core.horizon — finite vs infinite horizon analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.game import BimatrixGame, build_ultimatum_game
+from repro.core.horizon import InfiniteHorizonAnalysis, backward_induction
+
+
+class TestBackwardInduction:
+    def test_ultimatum_game_unravels(self):
+        game = build_ultimatum_game()
+        path = backward_induction(game, rounds=10)
+        assert len(path) == 10
+        # Every round plays the unique (Hard, Hard) stage equilibrium.
+        assert all(profile == (1, 1) for profile in path)
+
+    def test_single_round(self):
+        game = build_ultimatum_game()
+        assert backward_induction(game, 1) == [(1, 1)]
+
+    def test_invalid_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            backward_induction(build_ultimatum_game(), 0)
+
+    def test_no_pure_equilibrium_rejected(self):
+        a = np.array([[1.0, -1.0], [-1.0, 1.0]])
+        pennies = BimatrixGame(row_payoffs=a, col_payoffs=-a)
+        with pytest.raises(ValueError):
+            backward_induction(pennies, 5)
+
+
+class TestInfiniteHorizonAnalysis:
+    @pytest.fixture()
+    def analysis(self):
+        # Ultimatum-game reading: R = p_low, T = p_high, P = 0.
+        return InfiniteHorizonAnalysis(reward=1.0, temptation=10.0, punishment=0.0)
+
+    def test_critical_discount_formula(self, analysis):
+        assert analysis.critical_discount == pytest.approx(9.0 / 10.0)
+
+    def test_cooperation_above_threshold(self, analysis):
+        assert analysis.cooperation_sustainable(0.95)
+        assert not analysis.cooperation_sustainable(0.85)
+
+    def test_values_consistent_with_decision(self, analysis):
+        for d in (0.5, 0.89, 0.91, 0.99):
+            sustainable = analysis.cooperation_sustainable(d)
+            by_values = (
+                analysis.cooperation_value(d) >= analysis.defection_value(d)
+            )
+            assert sustainable == by_values
+
+    def test_non_pd_structure_rejected(self):
+        with pytest.raises(ValueError):
+            InfiniteHorizonAnalysis(reward=5.0, temptation=1.0, punishment=0.0)
+
+    def test_invalid_discount_rejected(self, analysis):
+        with pytest.raises(ValueError):
+            analysis.cooperation_sustainable(1.0)
+
+    def test_horizon_comparison_summary(self, analysis):
+        summary = analysis.horizon_comparison(discount=0.95, rounds=20)
+        assert summary["finite_cooperates"] is False
+        assert summary["infinite_cooperates"] is True
+        assert summary["rounds"] == 20
+
+    def test_patient_players_always_cooperate_in_limit(self):
+        analysis = InfiniteHorizonAnalysis(2.0, 3.0, 0.5)
+        assert analysis.cooperation_sustainable(0.99)
+
+    def test_easier_cooperation_with_smaller_temptation(self):
+        greedy = InfiniteHorizonAnalysis(1.0, 10.0, 0.0)
+        mild = InfiniteHorizonAnalysis(1.0, 2.0, 0.0)
+        assert mild.critical_discount < greedy.critical_discount

@@ -1,0 +1,141 @@
+"""Tests for repro.core.lagrangian — least action and Euler–Lagrange."""
+
+import numpy as np
+import pytest
+
+from repro.core.lagrangian import (
+    ElasticLagrangian,
+    FreeLagrangian,
+    TitForTatLagrangian,
+    action,
+    euler_lagrange_residual,
+    least_action_path,
+)
+
+
+class TestLagrangianValues:
+    def test_free_lagrangian_is_kinetic_only(self):
+        lag = FreeLagrangian(mass_adversary=2.0, mass_collector=3.0)
+        value = lag(np.array([1.0, 2.0]), np.array([2.0, 1.0]))
+        assert value == pytest.approx(0.5 * 2 * 4 + 0.5 * 3 * 1)
+
+    def test_elastic_subtracts_spring_potential(self):
+        lag = ElasticLagrangian(stiffness=4.0)
+        value = lag(np.array([1.0, 0.0]), np.array([0.0, 0.0]))
+        assert value == pytest.approx(-0.5 * 4.0 * 1.0)
+
+    def test_elastic_energy_adds_potential(self):
+        lag = ElasticLagrangian(stiffness=4.0)
+        e = lag.energy(np.array([1.0, 0.0]), np.array([1.0, 1.0]))
+        assert e == pytest.approx(0.5 + 0.5 + 2.0)
+
+    def test_elastic_forces_antisymmetric(self):
+        lag = ElasticLagrangian(stiffness=2.0)
+        forces = lag.forces(np.array([1.0, 0.0]))[0]
+        assert forces[0] == pytest.approx(-2.0)
+        assert forces[1] == pytest.approx(2.0)
+
+    def test_titfortat_wall_outside_corridor(self):
+        lag = TitForTatLagrangian(tolerance=0.1, wall=1e6)
+        inside = lag(np.array([0.05, 0.0]), np.zeros(2))
+        outside = lag(np.array([0.5, 0.0]), np.zeros(2))
+        assert inside == pytest.approx(0.0)
+        assert outside <= -1e6 + 1.0
+
+    def test_invalid_masses_rejected(self):
+        with pytest.raises(ValueError):
+            FreeLagrangian(mass_adversary=0.0)
+
+    def test_invalid_stiffness_rejected(self):
+        with pytest.raises(ValueError):
+            ElasticLagrangian(stiffness=-1.0)
+
+
+class TestAction:
+    def test_straight_line_free_action(self):
+        # Constant velocity 1 in both coordinates over r in [0, 1]:
+        # S = (1/2 + 1/2) * 1 = 1.
+        lag = FreeLagrangian()
+        path = np.linspace([0.0, 0.0], [1.0, 1.0], 11)
+        assert action(lag, path, dr=0.1) == pytest.approx(1.0)
+
+    def test_action_additive_in_segments(self):
+        lag = FreeLagrangian()
+        path = np.linspace([0.0, 0.0], [2.0, 0.0], 21)
+        first = action(lag, path[:11], dr=0.1)
+        second = action(lag, path[10:], dr=0.1)
+        total = action(lag, path, dr=0.1)
+        assert total == pytest.approx(first + second)
+
+    def test_rejects_bad_path(self):
+        with pytest.raises(ValueError):
+            action(FreeLagrangian(), np.zeros((1, 2)), dr=0.1)
+        with pytest.raises(ValueError):
+            action(FreeLagrangian(), np.zeros((5, 2)), dr=-1.0)
+
+
+class TestLeastActionPath:
+    def test_free_system_minimizer_is_straight_line(self):
+        # Theorem 1: the stationary path of the free Lagrangian has
+        # constant velocity — a straight line between boundary conditions.
+        lag = FreeLagrangian()
+        path = least_action_path(lag, start=(0.0, 0.0), end=(1.0, 2.0), nodes=17)
+        line = np.linspace([0.0, 0.0], [1.0, 2.0], 17)
+        np.testing.assert_allclose(path, line, atol=1e-4)
+
+    def test_free_system_velocity_constant(self):
+        lag = FreeLagrangian(mass_adversary=2.0)
+        path = least_action_path(lag, (0.0, 1.0), (3.0, -1.0), nodes=21, dr=0.5)
+        velocities = np.diff(path, axis=0) / 0.5
+        assert np.ptp(velocities[:, 0]) < 1e-3
+        assert np.ptp(velocities[:, 1]) < 1e-3
+
+    def test_straight_line_cannot_be_beaten(self):
+        lag = FreeLagrangian()
+        line = np.linspace([0.0, 0.0], [1.0, 1.0], 9)
+        bent = line.copy()
+        bent[4] += np.array([0.3, -0.2])
+        assert action(lag, line, 0.125) < action(lag, bent, 0.125)
+
+    def test_rejects_tiny_node_count(self):
+        with pytest.raises(ValueError):
+            least_action_path(FreeLagrangian(), (0, 0), (1, 1), nodes=2)
+
+    def test_titfortat_path_stays_in_corridor(self):
+        # Leaving the cooperation corridor costs the wall, so the least
+        # action path keeps |u_a - u_c| within tolerance.
+        lag = TitForTatLagrangian(tolerance=0.05, wall=1e9)
+        path = least_action_path(lag, (0.0, 0.0), (1.0, 1.0), nodes=15)
+        gaps = np.abs(path[:, 0] - path[:, 1])
+        assert gaps.max() <= 0.05 + 1e-6
+
+
+class TestEulerLagrangeResidual:
+    def test_free_straight_line_satisfies_el(self):
+        lag = FreeLagrangian()
+        path = np.linspace([0.0, 0.0], [2.0, -1.0], 41)
+        res = euler_lagrange_residual(lag, path, dr=0.05)
+        assert np.abs(res).max() < 1e-6
+
+    def test_elastic_oscillator_solution_satisfies_el(self):
+        # Equal masses, stiffness k: relative coordinate oscillates at
+        # omega = sqrt(2k/m); center of mass stays put.
+        k, m = 1.0, 1.0
+        omega = np.sqrt(2.0 * k / m)
+        dr = 0.01
+        r = np.arange(0.0, 2.0, dr)
+        y = 0.1 * np.cos(omega * r)
+        path = np.column_stack([y / 2.0, -y / 2.0])
+        lag = ElasticLagrangian(stiffness=k)
+        res = euler_lagrange_residual(lag, path, dr=dr)
+        assert np.abs(res).max() < 5e-3
+
+    def test_non_solution_has_large_residual(self):
+        lag = ElasticLagrangian(stiffness=5.0)
+        path = np.column_stack([np.linspace(0, 1, 41), np.zeros(41)])
+        res = euler_lagrange_residual(lag, path, dr=0.05)
+        assert np.abs(res).max() > 0.5
+
+    def test_requires_three_nodes(self):
+        with pytest.raises(ValueError):
+            euler_lagrange_residual(FreeLagrangian(), np.zeros((2, 2)), dr=0.1)

@@ -1,0 +1,104 @@
+"""Tests for repro.core.mixed — mixed-strategy reduction (§III-C2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.mixed import MixedStrategy, reduce_distribution
+
+
+class TestMixedStrategy:
+    def test_mean_interpolates_endpoints(self):
+        m = MixedStrategy(x_left=0.8, x_right=1.0, p_left=0.25)
+        assert m.mean == pytest.approx(0.25 * 0.8 + 0.75 * 1.0)
+
+    def test_p_right_complements(self):
+        m = MixedStrategy(0.8, 1.0, 0.3)
+        assert m.p_left + m.p_right == pytest.approx(1.0)
+
+    def test_pure_left(self):
+        m = MixedStrategy(0.8, 1.0, 1.0)
+        assert m.mean == 0.8
+
+    def test_pure_right(self):
+        m = MixedStrategy(0.8, 1.0, 0.0)
+        assert m.mean == 1.0
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            MixedStrategy(0.8, 1.0, 1.5)
+
+    def test_inverted_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            MixedStrategy(1.0, 0.8, 0.5)
+
+    def test_sample_values_are_endpoints(self, rng):
+        m = MixedStrategy(0.8, 1.0, 0.5)
+        draws = m.sample(rng, 500)
+        assert set(np.unique(draws)) <= {0.8, 1.0}
+
+    def test_sample_frequency_matches_probability(self, rng):
+        m = MixedStrategy(0.8, 1.0, 0.7)
+        draws = m.sample(rng, 8000)
+        assert np.mean(draws == 0.8) == pytest.approx(0.7, abs=0.03)
+
+    def test_sample_negative_size_rejected(self, rng):
+        with pytest.raises(ValueError):
+            MixedStrategy(0.8, 1.0, 0.5).sample(rng, -1)
+
+    def test_expected_payoff_linearity(self):
+        m = MixedStrategy(0.0, 1.0, 0.4)
+        assert m.expected_payoff(lambda x: x) == pytest.approx(m.mean)
+
+
+class TestReduceDistribution:
+    def test_preserves_mean(self):
+        samples = [0.82, 0.9, 0.95, 0.99]
+        m = reduce_distribution(samples, 0.8, 1.0)
+        assert m.mean == pytest.approx(np.mean(samples))
+
+    def test_point_mass_at_left(self):
+        m = reduce_distribution([0.8] * 5, 0.8, 1.0)
+        assert m.p_left == pytest.approx(1.0)
+
+    def test_point_mass_at_right(self):
+        m = reduce_distribution([1.0] * 5, 0.8, 1.0)
+        assert m.p_left == pytest.approx(0.0)
+
+    def test_clips_outside_support(self):
+        m = reduce_distribution([0.5, 1.5], 0.8, 1.0)
+        # clipped to [0.8, 1.0] -> mean 0.9 -> p_left 0.5
+        assert m.p_left == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            reduce_distribution([], 0.8, 1.0)
+
+    def test_degenerate_interval_rejected(self):
+        with pytest.raises(ValueError):
+            reduce_distribution([0.9], 0.9, 0.9)
+
+    @given(
+        st.lists(st.floats(0.8, 1.0), min_size=1, max_size=60),
+    )
+    def test_reduction_mean_matches_clipped_mean(self, samples):
+        m = reduce_distribution(samples, 0.8, 1.0)
+        assert abs(m.mean - float(np.mean(np.clip(samples, 0.8, 1.0)))) < 1e-9
+
+    @given(st.lists(st.floats(0.0, 2.0), min_size=1, max_size=60))
+    def test_probabilities_always_valid(self, samples):
+        m = reduce_distribution(samples, 0.8, 1.0)
+        assert 0.0 <= m.p_left <= 1.0
+
+    def test_expected_payoff_matches_linear_payoff_of_samples(self, rng):
+        # For payoffs linear in position, the reduced mixture's expected
+        # payoff equals the original distribution's (the completeness
+        # argument of §III-C2).
+        samples = rng.uniform(0.8, 1.0, size=200)
+        m = reduce_distribution(samples, 0.8, 1.0)
+
+        def payoff(x):
+            return 3.0 * x - 1.0
+
+        direct = float(np.mean([payoff(s) for s in samples]))
+        assert m.expected_payoff(payoff) == pytest.approx(direct, abs=1e-9)

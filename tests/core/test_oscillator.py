@@ -1,0 +1,134 @@
+"""Tests for repro.core.oscillator — Theorem 4's coupled oscillation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.oscillator import CoupledUtilityOscillator
+
+
+def _osc(**kwargs):
+    defaults = dict(
+        stiffness=2.0,
+        mass_adversary=1.0,
+        mass_collector=3.0,
+        u_adversary0=1.0,
+        u_collector0=0.0,
+        v_adversary0=0.2,
+        v_collector0=-0.1,
+    )
+    defaults.update(kwargs)
+    return CoupledUtilityOscillator(**defaults)
+
+
+class TestDerivedConstants:
+    def test_reduced_mass(self):
+        osc = _osc()
+        assert osc.reduced_mass == pytest.approx(0.75)
+
+    def test_angular_frequency_formula(self):
+        osc = _osc()
+        expected = np.sqrt(2.0 * 4.0 / 3.0)  # sqrt(k (ma+mc)/(ma mc))
+        assert osc.angular_frequency == pytest.approx(expected)
+
+    def test_period(self):
+        osc = _osc()
+        assert osc.period == pytest.approx(2 * np.pi / osc.angular_frequency)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            _osc(stiffness=0.0)
+        with pytest.raises(ValueError):
+            _osc(mass_adversary=-1.0)
+
+
+class TestTrajectories:
+    def test_initial_conditions_reproduced(self):
+        osc = _osc()
+        u_a, u_c = osc.solve(0.0)
+        assert u_a == pytest.approx(1.0)
+        assert u_c == pytest.approx(0.0)
+        v_a, v_c = osc.velocities(0.0)
+        assert v_a == pytest.approx(0.2, abs=1e-9)
+        assert v_c == pytest.approx(-0.1, abs=1e-9)
+
+    def test_relative_utility_is_cosine(self):
+        # Theorem 4: y(r) = A cos(omega r + phi).
+        osc = _osc(v_adversary0=0.0, v_collector0=0.0)
+        r = np.linspace(0, 10, 301)
+        y = osc.relative_utility(r)
+        expected = 1.0 * np.cos(osc.angular_frequency * r)
+        np.testing.assert_allclose(y, expected, atol=1e-9)
+
+    def test_periodicity(self):
+        osc = _osc()
+        r = np.linspace(0, 3, 57)
+        y1 = osc.relative_utility(r)
+        y2 = osc.relative_utility(r + osc.period)
+        np.testing.assert_allclose(y1, y2, atol=1e-9)
+
+    def test_center_of_utility_drifts_uniformly(self):
+        # The center-of-mass mode keeps Theorem 1's u-dot = const law.
+        osc = _osc()
+        r = np.linspace(0, 5, 11)
+        x = osc.center_of_utility(r)
+        np.testing.assert_allclose(np.diff(x), np.diff(x)[0], atol=1e-12)
+
+    def test_solve_consistent_with_modes(self):
+        osc = _osc()
+        r = np.linspace(0, 7, 50)
+        u_a, u_c = osc.solve(r)
+        m = osc.mass_adversary * u_a + osc.mass_collector * u_c
+        np.testing.assert_allclose(
+            m / osc.total_mass, osc.center_of_utility(r), atol=1e-9
+        )
+        np.testing.assert_allclose(u_a - u_c, osc.relative_utility(r), atol=1e-9)
+
+    def test_equal_utilities_stay_equal_without_relative_motion(self):
+        osc = _osc(u_adversary0=0.5, u_collector0=0.5, v_adversary0=0.1,
+                   v_collector0=0.1)
+        r = np.linspace(0, 5, 20)
+        u_a, u_c = osc.solve(r)
+        np.testing.assert_allclose(u_a, u_c, atol=1e-9)
+
+
+class TestInvariants:
+    def test_energy_conserved(self):
+        osc = _osc()
+        r = np.linspace(0, 20, 400)
+        energy = osc.energy(r)
+        assert np.ptp(energy) < 1e-9 * max(1.0, abs(energy[0]))
+
+    def test_equations_of_motion_residual(self):
+        osc = _osc()
+        r = np.linspace(0.5, 10, 40)
+        res = osc.acceleration_residual(r)
+        assert np.abs(res).max() < 1e-4
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(0.1, 10.0),
+        st.floats(0.1, 10.0),
+        st.floats(0.1, 10.0),
+        st.floats(-2.0, 2.0),
+        st.floats(-2.0, 2.0),
+    )
+    def test_energy_conservation_property(self, k, ma, mc, y0, vy0):
+        osc = CoupledUtilityOscillator(
+            stiffness=k,
+            mass_adversary=ma,
+            mass_collector=mc,
+            u_adversary0=y0,
+            v_adversary0=vy0,
+        )
+        r = np.linspace(0, 5, 50)
+        energy = osc.energy(r)
+        scale = max(1.0, abs(float(energy[0])))
+        assert np.ptp(energy) < 1e-8 * scale
+
+    def test_amplitude_matches_peak_relative_utility(self):
+        osc = _osc()
+        r = np.linspace(0, 4 * osc.period, 4001)
+        assert np.abs(osc.relative_utility(r)).max() == pytest.approx(
+            osc.amplitude, rel=1e-4
+        )

@@ -1,0 +1,145 @@
+"""Tests for repro.core.payoffs — P, T, x_L, x_R, and profile payoffs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.payoffs import PayoffModel, power_poison_gain, power_trim_cost
+
+
+class TestGainCostFamilies:
+    def test_poison_gain_increasing(self):
+        gain = power_poison_gain(scale=2.0, exponent=2.0)
+        xs = np.linspace(0, 1, 11)
+        vals = [gain(x) for x in xs]
+        assert all(b >= a for a, b in zip(vals, vals[1:]))
+
+    def test_trim_cost_decreasing(self):
+        cost = power_trim_cost(scale=1.5, exponent=1.0)
+        xs = np.linspace(0, 1, 11)
+        vals = [cost(x) for x in xs]
+        assert all(b <= a for a, b in zip(vals, vals[1:]))
+
+    def test_trim_cost_zero_at_one(self):
+        assert power_trim_cost()(1.0) == 0.0
+
+    def test_poison_gain_zero_at_zero(self):
+        assert power_poison_gain()(0.0) == 0.0
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_invalid_parameters_rejected(self, bad):
+        with pytest.raises(ValueError):
+            power_poison_gain(scale=bad)
+        with pytest.raises(ValueError):
+            power_trim_cost(exponent=bad)
+
+
+class TestBalancePoint:
+    def test_balance_point_equalizes_payoffs(self):
+        model = PayoffModel()
+        x_l = model.balance_point()
+        assert 0.0 < x_l < 1.0
+        assert abs(model.poison_payoff(x_l) - model.trim_overhead(x_l)) < 1e-9
+
+    def test_balance_point_moves_with_trim_cost(self):
+        cheap_trim = PayoffModel(trim_cost=power_trim_cost(scale=0.1))
+        pricey_trim = PayoffModel(trim_cost=power_trim_cost(scale=10.0))
+        # More expensive trimming pushes the balance point right: the
+        # collector tolerates more poison before trimming pays off.
+        assert cheap_trim.balance_point() < pricey_trim.balance_point()
+
+    def test_dominant_poison_returns_left_edge(self):
+        model = PayoffModel(
+            poison_gain=lambda x: 5.0 + x,
+            trim_cost=power_trim_cost(),
+        )
+        assert model.balance_point() == 0.0
+
+    def test_dominant_overhead_returns_right_edge(self):
+        model = PayoffModel(
+            poison_gain=power_poison_gain(scale=0.001),
+            trim_cost=lambda x: 10.0 + (1 - x),
+        )
+        assert model.balance_point() == 1.0
+
+    @given(st.floats(0.2, 5.0), st.floats(0.2, 5.0))
+    def test_balance_point_root_property(self, gain_scale, cost_scale):
+        model = PayoffModel(
+            poison_gain=power_poison_gain(scale=gain_scale),
+            trim_cost=power_trim_cost(scale=cost_scale),
+        )
+        x_l = model.balance_point()
+        if 0.0 < x_l < 1.0:
+            assert abs(model.poison_payoff(x_l) - model.trim_overhead(x_l)) < 1e-7
+
+
+class TestRightBoundary:
+    def test_right_boundary_from_tolerance(self):
+        model = PayoffModel(tolerance=0.02)
+        assert model.right_boundary() == pytest.approx(0.98)
+
+    def test_strategy_interval_ordering(self):
+        x_l, x_r = PayoffModel().strategy_interval()
+        assert 0.0 <= x_l < x_r <= 1.0
+
+    def test_invalid_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            PayoffModel(tolerance=0.7)
+
+
+class TestProfilePayoffs:
+    def test_surviving_poison_is_zero_sum(self):
+        model = PayoffModel()
+        adv, col = model.profile_payoffs(x_a=0.5, x_c=0.9)
+        assert adv > 0.0
+        # Collector loss = poison + overhead; the poison part is zero-sum.
+        assert col == pytest.approx(-adv - model.trim_overhead(0.9))
+
+    def test_trimmed_poison_gains_nothing(self):
+        model = PayoffModel()
+        adv, col = model.profile_payoffs(x_a=0.95, x_c=0.9)
+        assert adv == 0.0
+        assert col == pytest.approx(-model.trim_overhead(0.9))
+
+    def test_equal_positions_mean_trimmed(self):
+        adv, _ = PayoffModel().profile_payoffs(0.9, 0.9)
+        assert adv == 0.0
+
+    def test_collector_payoff_never_positive(self):
+        model = PayoffModel()
+        for x_a in np.linspace(0, 1, 7):
+            for x_c in np.linspace(0, 1, 7):
+                _, col = model.profile_payoffs(x_a, x_c)
+                assert col <= 0.0
+
+    @given(st.floats(0, 1), st.floats(0, 1))
+    def test_adversary_payoff_bounded_by_gain(self, x_a, x_c):
+        model = PayoffModel()
+        adv, _ = model.profile_payoffs(x_a, x_c)
+        assert 0.0 <= adv <= model.poison_payoff(x_a) + 1e-12
+
+
+class TestPayoffMatrix:
+    def test_shapes(self):
+        model = PayoffModel()
+        adv, col = model.payoff_matrix(np.linspace(0, 1, 4), np.linspace(0, 1, 6))
+        assert adv.shape == (4, 6)
+        assert col.shape == (4, 6)
+
+    def test_matrix_matches_pointwise(self):
+        model = PayoffModel()
+        grid = np.linspace(0.1, 0.9, 5)
+        adv, col = model.payoff_matrix(grid, grid)
+        for i, x_a in enumerate(grid):
+            for j, x_c in enumerate(grid):
+                a, c = model.profile_payoffs(x_a, x_c)
+                assert adv[i, j] == pytest.approx(a)
+                assert col[i, j] == pytest.approx(c)
+
+    def test_adversary_prefers_just_below_threshold(self):
+        model = PayoffModel()
+        grid = np.linspace(0.0, 1.0, 101)
+        adv, _ = model.payoff_matrix(grid, np.array([0.9]))
+        best = grid[int(np.argmax(adv[:, 0]))]
+        # Best response to trimming at 0.9 sits just below 0.9.
+        assert 0.85 <= best < 0.9

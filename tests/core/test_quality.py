@@ -1,0 +1,142 @@
+"""Tests for repro.core.quality — Quality_Evaluation() implementations."""
+
+import numpy as np
+import pytest
+
+from repro.core.quality import (
+    KolmogorovSmirnovEvaluator,
+    MeanShiftEvaluator,
+    TailMassEvaluator,
+)
+
+
+@pytest.fixture()
+def reference(rng):
+    return rng.normal(0.0, 1.0, size=5000)
+
+
+class TestTailMassEvaluator:
+    def test_clean_batch_scores_near_zero(self, reference, rng):
+        ev = TailMassEvaluator().fit(reference)
+        batch = rng.normal(0.0, 1.0, size=2000)
+        assert ev.score(batch) < 0.02
+
+    def test_tail_injection_detected(self, reference, rng):
+        ev = TailMassEvaluator().fit(reference)
+        benign = rng.normal(0.0, 1.0, size=1000)
+        poison = np.full(200, 10.0)
+        score = ev.score(np.concatenate([benign, poison]))
+        assert score == pytest.approx(200 / 1200, abs=0.03)
+
+    def test_low_injection_not_flagged(self, reference, rng):
+        ev = TailMassEvaluator().fit(reference)
+        benign = rng.normal(0.0, 1.0, size=1000)
+        poison = np.full(200, -10.0)  # lower tail: not upper-tail excess
+        assert ev.score(np.concatenate([benign, poison])) == 0.0
+
+    def test_score_never_negative(self, reference, rng):
+        ev = TailMassEvaluator().fit(reference)
+        # A batch with an unusually light tail must not go negative.
+        batch = rng.normal(-3.0, 0.1, size=500)
+        assert ev.score(batch) >= 0.0
+
+    def test_normalized_in_unit_interval(self, reference, rng):
+        ev = TailMassEvaluator().fit(reference)
+        batch = np.concatenate([rng.normal(size=100), np.full(500, 9.0)])
+        assert 0.0 <= ev.normalized(batch) <= 1.0
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            TailMassEvaluator().score([1.0, 2.0])
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            TailMassEvaluator(reference_quantile=1.0)
+
+    def test_multivariate_batches_use_norms(self, rng):
+        ref = rng.normal(size=(2000, 5))
+        ev = TailMassEvaluator().fit(ref)
+        poison = np.full((100, 5), 8.0)
+        batch = np.vstack([rng.normal(size=(400, 5)), poison])
+        assert ev.score(batch) > 0.1
+
+
+class TestKolmogorovSmirnovEvaluator:
+    def test_identical_distribution_scores_low(self, reference, rng):
+        ev = KolmogorovSmirnovEvaluator().fit(reference)
+        assert ev.score(rng.normal(0.0, 1.0, size=3000)) < 0.05
+
+    def test_shifted_distribution_scores_high(self, reference, rng):
+        ev = KolmogorovSmirnovEvaluator().fit(reference)
+        assert ev.score(rng.normal(3.0, 1.0, size=3000)) > 0.8
+
+    def test_score_bounded_by_one(self, reference):
+        ev = KolmogorovSmirnovEvaluator().fit(reference)
+        assert ev.score(np.full(100, 1e9)) <= 1.0
+
+    def test_max_score_is_one(self, reference):
+        ev = KolmogorovSmirnovEvaluator().fit(reference)
+        assert ev.max_score() == 1.0
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            KolmogorovSmirnovEvaluator().score([0.0])
+
+    def test_exact_same_sample_scores_zero(self, reference):
+        ev = KolmogorovSmirnovEvaluator().fit(reference)
+        assert ev.score(reference) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestMeanShiftEvaluator:
+    def test_clean_batch_scores_near_zero(self, reference, rng):
+        ev = MeanShiftEvaluator().fit(reference)
+        assert ev.score(rng.normal(0.0, 1.0, size=5000)) < 0.1
+
+    def test_shift_measured_in_reference_sigmas(self, reference, rng):
+        ev = MeanShiftEvaluator().fit(reference)
+        batch = rng.normal(2.0, 1.0, size=5000)
+        assert ev.score(batch) == pytest.approx(2.0, abs=0.15)
+
+    def test_cap_applied(self, reference):
+        ev = MeanShiftEvaluator(cap=3.0).fit(reference)
+        assert ev.score(np.full(10, 1e6)) == 3.0
+
+    def test_normalized_uses_cap(self, reference):
+        ev = MeanShiftEvaluator(cap=4.0).fit(reference)
+        assert ev.normalized(np.full(10, 1e6)) == pytest.approx(1.0)
+
+    def test_degenerate_reference_handled(self):
+        ev = MeanShiftEvaluator().fit(np.full(100, 2.0))
+        assert ev.score(np.full(10, 3.0)) == pytest.approx(1.0)
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            MeanShiftEvaluator(cap=0.0)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            MeanShiftEvaluator().score([1.0])
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize(
+        "evaluator",
+        [TailMassEvaluator(), KolmogorovSmirnovEvaluator(), MeanShiftEvaluator()],
+    )
+    def test_empty_batch_rejected(self, evaluator, reference):
+        evaluator.fit(reference)
+        with pytest.raises(ValueError):
+            evaluator.score(np.array([]))
+
+    @pytest.mark.parametrize(
+        "evaluator",
+        [TailMassEvaluator(), KolmogorovSmirnovEvaluator(), MeanShiftEvaluator()],
+    )
+    def test_higher_poison_ratio_scores_worse(self, evaluator, reference, rng):
+        evaluator.fit(reference)
+        benign = rng.normal(0.0, 1.0, size=1000)
+        scores = []
+        for n_poison in (0, 100, 300):
+            batch = np.concatenate([benign, np.full(n_poison, 8.0)])
+            scores.append(evaluator.score(batch))
+        assert scores[0] <= scores[1] <= scores[2]

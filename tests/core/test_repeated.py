@@ -1,0 +1,117 @@
+"""Tests for repro.core.repeated — Theorem 3 and discounted values."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.repeated import RepeatedGameModel
+
+
+def _model(d=0.9):
+    return RepeatedGameModel(adversary_gain=4.0, collector_gain=2.0, discount=d)
+
+
+class TestConstruction:
+    def test_symmetric_gain(self):
+        assert _model().symmetric_gain == pytest.approx(3.0)
+
+    @pytest.mark.parametrize("d", [0.0, 1.0, -0.1, 1.5])
+    def test_invalid_discount_rejected(self, d):
+        with pytest.raises(ValueError):
+            RepeatedGameModel(1.0, 1.0, d)
+
+    def test_negative_gains_rejected(self):
+        with pytest.raises(ValueError):
+            RepeatedGameModel(-1.0, 1.0, 0.5)
+
+
+class TestDiscountedValues:
+    def test_compliance_value_geometric_series(self):
+        m = _model(d=0.5)
+        # g0 = 3 - 1 = 2; sum of 2 * 0.5^i = 4.
+        assert m.compliance_value(delta=1.0) == pytest.approx(4.0)
+
+    def test_defection_value_eq_11(self):
+        m = _model(d=0.5)
+        # g_def = g_ac / (1 - d p) with p = 0.5 -> 3 / 0.75 = 4.
+        assert m.defection_value(0.5) == pytest.approx(4.0)
+
+    def test_defection_value_p_zero(self):
+        m = _model(d=0.9)
+        assert m.defection_value(0.0) == pytest.approx(m.symmetric_gain)
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            _model().compliance_value(-0.1)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            _model().defection_value(1.2)
+
+
+class TestTheorem3:
+    def test_max_compromise_formula(self):
+        m = _model(d=0.8)
+        p = 0.5
+        expected = (0.8 - 0.8 * 0.5) / (1.0 - 0.8 * 0.5) * 3.0
+        assert m.max_compromise(p) == pytest.approx(expected)
+
+    def test_p_one_gives_zero_compromise(self):
+        # Never-flagged defection leaves no room for compromise.
+        assert _model().max_compromise(1.0) == pytest.approx(0.0)
+
+    def test_p_zero_gives_full_discount_compromise(self):
+        m = _model(d=0.9)
+        assert m.max_compromise(0.0) == pytest.approx(0.9 * m.symmetric_gain)
+
+    def test_compliance_decision_consistent_with_values(self):
+        m = _model(d=0.9)
+        for p in (0.0, 0.3, 0.7, 0.95):
+            for delta in (0.0, 0.5, 1.0, 2.0, 2.6):
+                by_theorem = m.adversary_complies(delta, p)
+                by_values = m.compliance_value(delta) > m.defection_value(p)
+                assert by_theorem == by_values
+
+    @given(st.floats(0.05, 0.95), st.floats(0.0, 0.999))
+    def test_max_compromise_bounds(self, d, p):
+        m = RepeatedGameModel(4.0, 2.0, d)
+        delta_max = m.max_compromise(p)
+        assert 0.0 <= delta_max <= d * m.symmetric_gain + 1e-12
+
+    @given(st.floats(0.05, 0.95))
+    def test_max_compromise_decreasing_in_p(self, d):
+        m = RepeatedGameModel(4.0, 2.0, d)
+        values = [m.max_compromise(p) for p in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_boundary_delta_prefers_defection(self):
+        # At delta exactly equal to the bound, compliance is not strict.
+        m = _model(d=0.9)
+        delta = m.max_compromise(0.5)
+        assert not m.adversary_complies(delta, 0.5)
+
+
+class TestThresholdFromDelta:
+    def test_zero_delta_keeps_soft(self):
+        m = _model()
+        assert m.threshold_from_delta(0.0, 0.91, 0.87) == pytest.approx(0.91)
+
+    def test_full_delta_reaches_hard(self):
+        m = _model(d=0.9)
+        full = 0.9 * m.symmetric_gain
+        assert m.threshold_from_delta(full, 0.91, 0.87) == pytest.approx(0.87)
+
+    def test_interpolation_midpoint(self):
+        m = _model(d=0.9)
+        half = 0.45 * m.symmetric_gain
+        assert m.threshold_from_delta(half, 0.91, 0.87) == pytest.approx(0.89)
+
+    def test_oversized_delta_clamps(self):
+        m = _model(d=0.9)
+        assert m.threshold_from_delta(100.0, 0.91, 0.87) == pytest.approx(0.87)
+
+    def test_invalid_inputs_rejected(self):
+        m = _model()
+        with pytest.raises(ValueError):
+            m.threshold_from_delta(-1.0, 0.91, 0.87)
+        with pytest.raises(ValueError):
+            m.threshold_from_delta(0.1, 1.2, 0.87)

@@ -1,0 +1,127 @@
+"""Tests for repro.core.stackelberg — leader-follower equilibria and dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.core.payoffs import PayoffModel
+from repro.core.stackelberg import (
+    BestResponseDynamics,
+    linear_response_fixed_point,
+    solve_stackelberg,
+)
+
+
+class TestSolveStackelberg:
+    def test_solution_in_strategy_interval(self):
+        model = PayoffModel()
+        sol = solve_stackelberg(model, grid_size=101)
+        x_l, x_r = model.strategy_interval()
+        assert x_l <= sol.leader_action <= x_r
+        assert x_l <= sol.follower_action <= x_r
+
+    def test_leader_payoff_is_best_over_grid(self):
+        model = PayoffModel()
+        sol = solve_stackelberg(model, grid_size=51)
+        # Re-derive by brute force: no leader action should beat it.
+        from repro.core.domain import percentile_grid
+
+        x_l, x_r = model.strategy_interval()
+        grid = percentile_grid(x_l, x_r, 51)
+        adv, col = model.payoff_matrix(grid, grid)
+        best = -np.inf
+        for j in range(grid.size):
+            follower = np.flatnonzero(np.isclose(adv[:, j], adv[:, j].max()))
+            best = max(best, col[follower, j].min())
+        assert sol.leader_payoff == pytest.approx(best)
+
+    def test_pessimistic_not_better_than_optimistic(self):
+        model = PayoffModel()
+        pess = solve_stackelberg(model, grid_size=51, tie_break="pessimistic")
+        opt = solve_stackelberg(model, grid_size=51, tie_break="optimistic")
+        assert pess.leader_payoff <= opt.leader_payoff + 1e-12
+
+    def test_invalid_tie_break_rejected(self):
+        with pytest.raises(ValueError):
+            solve_stackelberg(PayoffModel(), tie_break="?")
+
+    def test_follower_best_responds(self):
+        model = PayoffModel()
+        sol = solve_stackelberg(model, grid_size=101)
+        # The follower's payoff at the solution is (weakly) maximal against
+        # the leader's action over the same grid.
+        from repro.core.domain import percentile_grid
+
+        x_l, x_r = model.strategy_interval()
+        grid = percentile_grid(x_l, x_r, 101)
+        payoffs = [model.profile_payoffs(x, sol.leader_action)[0] for x in grid]
+        assert sol.follower_payoff == pytest.approx(max(payoffs), abs=1e-9)
+
+
+class TestBestResponseDynamics:
+    @staticmethod
+    def _linear(t_th=0.9, k=0.5):
+        return BestResponseDynamics(
+            collector_response=lambda a: t_th + k * (a - t_th - 0.01),
+            adversary_response=lambda t: t_th - 0.03 + k * (t - t_th),
+        )
+
+    def test_run_shapes(self):
+        dyn = self._linear()
+        coll, adv = dyn.run(0.87, 0.91, rounds=10)
+        assert coll.shape == (10,) and adv.shape == (10,)
+        assert coll[0] == 0.87 and adv[0] == 0.91
+
+    def test_run_rejects_zero_rounds(self):
+        with pytest.raises(ValueError):
+            self._linear().run(0.87, 0.91, rounds=0)
+
+    def test_fixed_point_matches_closed_form(self):
+        for k in (0.1, 0.5, 0.9):
+            dyn = self._linear(k=k)
+            t_star, a_star = dyn.fixed_point(0.87, 0.91)
+            t_expect, a_expect = linear_response_fixed_point(0.9, k)
+            assert t_star == pytest.approx(t_expect, abs=1e-8)
+            assert a_star == pytest.approx(a_expect, abs=1e-8)
+
+    def test_fixed_point_is_stationary(self):
+        dyn = self._linear(k=0.3)
+        t_star, a_star = dyn.fixed_point(0.87, 0.91)
+        assert dyn.collector_response(a_star) == pytest.approx(t_star)
+        assert dyn.adversary_response(t_star) == pytest.approx(a_star)
+
+    def test_divergent_map_raises(self):
+        dyn = BestResponseDynamics(
+            collector_response=lambda a: 2.0 * a + 1.0,
+            adversary_response=lambda t: 2.0 * t - 1.0,
+        )
+        with pytest.raises(RuntimeError):
+            dyn.fixed_point(0.0, 1.0, max_iter=50)
+
+
+class TestLinearResponseFixedPoint:
+    def test_paper_defaults_k_05(self):
+        t_star, a_star = linear_response_fixed_point(0.9, 0.5)
+        # t* = k(-0.04)/(1-k^2) = -0.02/0.75
+        assert t_star == pytest.approx(0.9 - 0.0266667, abs=1e-6)
+        assert a_star == pytest.approx(0.9 - 0.0433333, abs=1e-6)
+
+    def test_paper_defaults_k_01(self):
+        t_star, a_star = linear_response_fixed_point(0.9, 0.1)
+        assert t_star == pytest.approx(0.9 - 0.0040404, abs=1e-6)
+        assert a_star == pytest.approx(0.9 - 0.0304040, abs=1e-6)
+
+    def test_zero_strength_pins_to_offsets(self):
+        t_star, a_star = linear_response_fixed_point(0.9, 0.0)
+        assert t_star == pytest.approx(0.9)
+        assert a_star == pytest.approx(0.87)
+
+    def test_equilibrium_injection_below_threshold(self):
+        # At equilibrium the adversary parks below the collector's trim —
+        # surviving but bounded poison (the cooperative outcome).
+        for k in (0.1, 0.3, 0.5, 0.7):
+            t_star, a_star = linear_response_fixed_point(0.9, k)
+            assert a_star < t_star < 0.9
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            linear_response_fixed_point(0.9, 1.0)

@@ -1,0 +1,146 @@
+"""Tests for repro.core.trimming — percentile trimming operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.trimming import RadialTrimmer, TrimReport, ValueTrimmer
+
+
+class TestTrimReport:
+    def test_counts(self):
+        report = TrimReport(
+            kept=np.array([True, False, True, True]),
+            threshold_score=1.0,
+            percentile=0.75,
+        )
+        assert report.n_kept == 3
+        assert report.n_trimmed == 1
+        assert report.trimmed_fraction == pytest.approx(0.25)
+
+
+class TestValueTrimmer:
+    def test_full_percentile_keeps_all(self, rng):
+        batch = rng.normal(size=100)
+        report = ValueTrimmer().trim(batch, 1.0)
+        assert report.n_kept == 100
+
+    def test_trims_expected_fraction(self, rng):
+        batch = rng.normal(size=1000)
+        report = ValueTrimmer().trim(batch, 0.9)
+        assert report.trimmed_fraction == pytest.approx(0.1, abs=0.01)
+
+    def test_keeps_lowest_values(self, rng):
+        batch = rng.normal(size=500)
+        trimmer = ValueTrimmer()
+        report = trimmer.trim(batch, 0.8)
+        assert batch[report.kept].max() <= batch[~report.kept].min()
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            ValueTrimmer().trim(np.zeros((3, 2)), 0.9)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ValueTrimmer().trim(np.array([]), 0.9)
+
+    def test_apply_returns_values(self, rng):
+        batch = rng.normal(size=50)
+        kept = ValueTrimmer().apply(batch, 0.5)
+        assert kept.size < 50
+
+    def test_reference_anchored_cutoff_resists_inflation(self, rng):
+        # Poison inflating the batch must not move a reference cutoff.
+        reference = rng.normal(size=5000)
+        trimmer = ValueTrimmer(anchor="reference").fit_reference(reference)
+        cutoff = np.quantile(reference, 0.9)
+        batch = np.concatenate([rng.normal(size=500), np.full(300, 50.0)])
+        report = trimmer.trim(batch, 0.9)
+        assert report.threshold_score == pytest.approx(cutoff)
+        # All poison sits above the reference cutoff -> all removed.
+        assert batch[report.kept].max() <= cutoff
+
+    def test_batch_anchor_trims_fixed_fraction_despite_reference(self, rng):
+        reference = rng.normal(size=5000)
+        trimmer = ValueTrimmer(anchor="batch").fit_reference(reference)
+        batch = np.concatenate([rng.normal(size=500), np.full(500, 50.0)])
+        report = trimmer.trim(batch, 0.5)
+        assert report.trimmed_fraction == pytest.approx(0.5, abs=0.01)
+
+    def test_degenerate_batch_keeps_one_point(self):
+        trimmer = ValueTrimmer(anchor="reference").fit_reference(
+            np.linspace(0, 1, 100)
+        )
+        report = trimmer.trim(np.full(10, 99.0), 0.5)
+        assert report.n_kept == 1
+
+    @given(st.floats(0.0, 1.0))
+    def test_trimmed_fraction_bounded_by_percentile(self, q):
+        batch = np.arange(200.0)
+        report = ValueTrimmer().trim(batch, q)
+        assert report.trimmed_fraction <= 1.0 - q + 0.01
+
+    @settings(max_examples=30)
+    @given(st.floats(0.1, 0.9), st.floats(0.1, 0.9))
+    def test_monotone_in_percentile(self, q1, q2):
+        lo, hi = min(q1, q2), max(q1, q2)
+        batch = np.arange(300.0)
+        trimmer = ValueTrimmer()
+        kept_lo = trimmer.trim(batch, lo).n_kept
+        kept_hi = trimmer.trim(batch, hi).n_kept
+        assert kept_lo <= kept_hi
+
+
+class TestRadialTrimmer:
+    def test_scores_are_distances_from_median(self, rng):
+        batch = rng.normal(size=(200, 3))
+        scores = RadialTrimmer().scores(batch)
+        center = np.median(batch, axis=0)
+        np.testing.assert_allclose(
+            scores, np.linalg.norm(batch - center, axis=1)
+        )
+
+    def test_1d_special_case(self, rng):
+        batch = rng.normal(size=100)
+        scores = RadialTrimmer().scores(batch)
+        np.testing.assert_allclose(scores, np.abs(batch - np.median(batch)))
+
+    def test_outliers_trimmed_first(self, rng):
+        bulk = rng.normal(0, 1, size=(500, 4))
+        outliers = np.full((20, 4), 10.0)
+        batch = np.vstack([bulk, outliers])
+        trimmer = RadialTrimmer()
+        report = trimmer.trim(batch, 0.95)
+        assert not report.kept[-20:].any()
+
+    def test_reference_center_used_after_fit(self, rng):
+        reference = rng.normal(0, 1, size=(1000, 3))
+        trimmer = RadialTrimmer().fit_reference(reference)
+        ref_center = np.median(reference, axis=0)
+        # A batch with a wildly different median: scores still use the
+        # reference center, so colluding mass cannot drag the center.
+        batch = rng.normal(5, 1, size=(100, 3))
+        scores = trimmer.scores(batch)
+        np.testing.assert_allclose(
+            scores, np.linalg.norm(batch - ref_center, axis=1)
+        )
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            RadialTrimmer().scores(np.zeros((2, 2, 2)))
+
+    def test_invalid_anchor_rejected(self):
+        with pytest.raises(ValueError):
+            RadialTrimmer(anchor="weird")
+
+    def test_fit_empty_reference_rejected(self):
+        with pytest.raises(ValueError):
+            RadialTrimmer().fit_reference(np.array([]))
+
+    def test_is_reference_anchored_flag(self, rng):
+        trimmer = RadialTrimmer(anchor="reference")
+        assert not trimmer.is_reference_anchored
+        trimmer.fit_reference(rng.normal(size=(50, 2)))
+        assert trimmer.is_reference_anchored
+        trimmer.anchor = "batch"
+        assert not trimmer.is_reference_anchored

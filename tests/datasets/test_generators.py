@@ -1,0 +1,193 @@
+"""Tests for repro.datasets — the Table II stand-in generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CONTROL_CLASS_NAMES,
+    CREDITCARD_CLASS_NAMES,
+    DATASETS,
+    dataset_info,
+    generate_control,
+    generate_creditcard,
+    generate_gaussian_mixture,
+    generate_letter,
+    generate_taxi,
+    generate_vehicle,
+    load_dataset,
+    taxi_batch_factory,
+)
+
+
+class TestControl:
+    def test_default_shape_matches_table2(self):
+        data, labels = generate_control()
+        assert data.shape == (600, 60)
+        assert labels.shape == (600,)
+        assert np.unique(labels).size == 6
+
+    def test_class_structure(self):
+        data, labels = generate_control(seed=0)
+        # Increasing trend ends higher than it starts; decreasing lower.
+        inc = data[labels == 2]
+        dec = data[labels == 3]
+        assert (inc[:, -5:].mean(axis=1) > inc[:, :5].mean(axis=1)).all()
+        assert (dec[:, -5:].mean(axis=1) < dec[:, :5].mean(axis=1)).all()
+
+    def test_shift_classes_jump(self):
+        data, labels = generate_control(seed=0)
+        up = data[labels == 4]
+        assert (up[:, -5:].mean(axis=1) - up[:, :5].mean(axis=1) > 3.0).all()
+
+    def test_cyclic_has_larger_variance_than_normal(self):
+        data, labels = generate_control(seed=0)
+        cyc = data[labels == 1].std(axis=1).mean()
+        base = data[labels == 0].std(axis=1).mean()
+        assert cyc > 1.5 * base
+
+    def test_reproducible(self):
+        a, _ = generate_control(seed=5)
+        b, _ = generate_control(seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            generate_control(n_per_class=0)
+
+    def test_class_names(self):
+        assert len(CONTROL_CLASS_NAMES) == 6
+
+
+class TestGaussians:
+    def test_mixture_shapes(self):
+        data, labels = generate_gaussian_mixture(100, 5, 4, seed=0)
+        assert data.shape == (100, 5)
+        assert np.unique(labels).size == 4
+
+    def test_cluster_sizes_balanced(self):
+        _, labels = generate_gaussian_mixture(103, 3, 4, seed=0)
+        counts = np.bincount(labels)
+        assert counts.max() - counts.min() <= 1
+
+    def test_vehicle_table2_shape(self):
+        data, labels = generate_vehicle()
+        assert data.shape == (752, 18)
+        assert np.unique(labels).size == 4
+
+    def test_letter_table2_shape(self):
+        data, labels = generate_letter(n_samples=2600)
+        assert data.shape == (2600, 16)
+        assert np.unique(labels).size == 26
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            generate_gaussian_mixture(3, 2, 5)
+        with pytest.raises(ValueError):
+            generate_gaussian_mixture(10, 2, 2, noise=0.0)
+
+    def test_clusters_separated(self):
+        data, labels = generate_gaussian_mixture(
+            300, 8, 3, separation=8.0, noise=0.5, seed=1
+        )
+        centers = np.array([data[labels == c].mean(axis=0) for c in range(3)])
+        gaps = np.linalg.norm(centers[:, None] - centers[None, :], axis=2)
+        assert gaps[np.triu_indices(3, 1)].min() > 3.0
+
+
+class TestTaxi:
+    def test_normalized_domain(self):
+        values = generate_taxi(10_000, seed=0)
+        assert values.min() >= -1.0 and values.max() <= 1.0
+
+    def test_raw_seconds_domain(self):
+        values = generate_taxi(10_000, seed=0, normalized=False)
+        assert values.min() >= 0 and values.max() <= 86_340
+        assert np.allclose(values, np.floor(values))
+
+    def test_rush_hours_present(self):
+        seconds = generate_taxi(200_000, seed=1, normalized=False)
+        hours = seconds / 3600.0
+        morning = np.mean((hours > 7.5) & (hours < 9.5))
+        night = np.mean((hours > 2.0) & (hours < 4.0))
+        assert morning > 2.0 * night
+
+    def test_batch_factory_shapes(self, rng):
+        factory = taxi_batch_factory()
+        batch = factory(rng, 123)
+        assert batch.shape == (123,)
+        assert np.abs(batch).max() <= 1.0
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            generate_taxi(0)
+
+
+class TestCreditcard:
+    def test_structure(self):
+        data, labels = generate_creditcard(n_samples=1000, seed=0)
+        assert data.shape == (1000, 31)
+        counts = np.bincount(labels)
+        assert counts[1] == 1 and counts[2] == 1 and counts[3] == 5
+        assert counts[0] == 993
+
+    def test_minority_is_far_from_bulk(self):
+        data, labels = generate_creditcard(n_samples=2000, seed=0)
+        bulk_center = data[labels == 0].mean(axis=0)
+        bulk_radius = np.linalg.norm(
+            data[labels == 0] - bulk_center, axis=1
+        ).max()
+        for minority_label in (1, 2, 3):
+            dists = np.linalg.norm(
+                data[labels == minority_label] - bulk_center, axis=1
+            )
+            assert (dists > 0.9 * bulk_radius).all()
+
+    def test_fraud_premium_opposite_sides(self):
+        data, labels = generate_creditcard(n_samples=1000, seed=0)
+        fraud = data[labels == 1][0]
+        premium = data[labels == 2][0]
+        assert np.dot(fraud, premium) < 0
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            generate_creditcard(n_samples=50)
+
+    def test_class_names(self):
+        assert len(CREDITCARD_CLASS_NAMES) == 4
+
+
+class TestRegistry:
+    def test_table2_entries(self):
+        assert set(DATASETS) == {"control", "vehicle", "letter", "taxi", "creditcard"}
+        assert DATASETS["taxi"].instances == 1_048_575
+
+    def test_load_by_name(self):
+        data, labels = load_dataset("control")
+        assert data.shape == (600, 60)
+
+    def test_load_case_insensitive(self):
+        data, _ = load_dataset("  CONTROL ")
+        assert data.shape == (600, 60)
+
+    def test_load_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("mnist")
+
+    def test_subsampling(self):
+        data, labels = load_dataset("control", n_samples=100, seed=0)
+        assert data.shape == (100, 60)
+
+    def test_taxi_loads_as_column(self):
+        data, labels = load_dataset("taxi", n_samples=500)
+        assert data.shape == (500, 1)
+        assert (labels == 0).all()
+
+    def test_dataset_info_static(self):
+        info = dataset_info()
+        assert info["letter"].clusters == 26
+
+    def test_dataset_info_generated_matches_advertised(self):
+        verified = dataset_info(generate=True)
+        assert verified["control"].instances == 600
+        assert verified["control"].features == 60
+        assert verified["vehicle"].clusters == 4

@@ -1,0 +1,161 @@
+"""Integration tests: the experiment runners on scaled-down configs.
+
+These exercise the full stack (datasets -> streams -> engine ->
+strategies -> analytics) and assert the paper's headline *shapes*, not
+absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    CostConfig,
+    EquilibriumConfig,
+    LDPConfig,
+    NonEquilibriumConfig,
+    SOMConfig,
+    SVMConfig,
+    run_cost_analysis,
+    run_kmeans_experiment,
+    run_ldp_experiment,
+    run_nonequilibrium,
+    run_som_experiment,
+    run_svm_experiment,
+)
+from repro.experiments.cost import elastic_trajectory, roundwise_cost
+
+
+@pytest.mark.slow
+class TestEquilibriumRunner:
+    def test_fig4_shapes(self):
+        config = EquilibriumConfig(
+            dataset="control",
+            attack_ratios=(0.0, 0.3),
+            schemes=("ostrich", "titfortat"),
+            repetitions=1,
+            rounds=8,
+        )
+        cells = {(c.scheme, c.attack_ratio): c for c in run_kmeans_experiment(config)}
+        # Ostrich degrades sharply with the attack ratio...
+        assert cells[("ostrich", 0.3)].distance > cells[("ostrich", 0.0)].distance
+        # ...while Tit-for-tat absorbs it (reference trim removes the 99th
+        # percentile poison entirely).
+        tft_low = cells[("titfortat", 0.0)].sse
+        tft_high = cells[("titfortat", 0.3)].sse
+        assert abs(tft_high - tft_low) / tft_low < 0.05
+        # At high ratio the defense beats no-defense.
+        assert cells[("titfortat", 0.3)].sse < cells[("ostrich", 0.3)].sse
+
+
+class TestCostRunner:
+    def test_roundwise_cost_decreases_with_rounds(self):
+        rows = run_cost_analysis(CostConfig(round_numbers=(5, 20, 50)))
+        costs_high = [r.cost_k_high for r in rows]
+        costs_low = [r.cost_k_low for r in rows]
+        assert costs_high[0] > costs_high[1] > costs_high[2]
+        assert costs_low[0] > costs_low[1] > costs_low[2]
+
+    def test_stronger_response_is_cheaper(self):
+        rows = run_cost_analysis(CostConfig())
+        for row in rows:
+            assert row.cost_k_high < row.cost_k_low
+
+    def test_roundwise_cost_scales_inverse_rounds(self):
+        # Total transient cost is finite: cost(n) * n converges.
+        totals = [roundwise_cost(0.9, 0.5, n) * n for n in (20, 40, 80)]
+        assert abs(totals[-1] - totals[-2]) < 0.05 * totals[-1]
+
+    def test_trajectory_converges_to_fixed_point(self):
+        from repro.core.stackelberg import linear_response_fixed_point
+
+        thresholds, injections = elastic_trajectory(0.9, 0.5, 300)
+        t_star, a_star = linear_response_fixed_point(0.9, 0.5)
+        assert thresholds[-1] == pytest.approx(t_star, abs=1e-6)
+        assert injections[-1] == pytest.approx(a_star, abs=1e-6)
+
+    def test_paper_rule_also_converges(self):
+        thresholds, injections = elastic_trajectory(0.9, 0.3, 200, rule="paper")
+        assert abs(thresholds[-1] - thresholds[-2]) < 1e-9
+
+
+@pytest.mark.slow
+class TestNonEquilibriumRunner:
+    def test_table3_shapes(self):
+        config = NonEquilibriumConfig(
+            repetitions=3, p_values=(0.0, 1.0), rounds=15
+        )
+        rows = {r.p: r for r in run_nonequilibrium(config)}
+        # p = 0 (declared greedy) never triggers: termination at the cap.
+        assert rows[0.0].average_termination_rounds == pytest.approx(20.0)
+        # The compliant adversary is eventually false-flagged: earlier.
+        assert rows[1.0].average_termination_rounds < 20.0
+        # Greedy play leaves more surviving poison than equilibrium play.
+        assert (
+            rows[0.0].titfortat_poison_fraction
+            > rows[1.0].titfortat_poison_fraction
+        )
+        assert (
+            rows[0.0].elastic_poison_fraction
+            > rows[1.0].elastic_poison_fraction
+        )
+
+
+@pytest.mark.slow
+class TestClassifierRunners:
+    def test_fig7_shapes(self):
+        # Full round count: the retained training set must cover the
+        # dataset, otherwise Pegasos underfits and orderings are noise.
+        config = SVMConfig(
+            schemes=("ostrich", "baseline_static", "titfortat"),
+        )
+        results = {r.scheme: r for r in run_svm_experiment(config)}
+        assert results["groundtruth"].accuracy > 0.95
+        # Ground truth beats every defended/undefended variant.
+        for name, res in results.items():
+            assert res.accuracy <= results["groundtruth"].accuracy + 1e-9
+        # The ideal sub-threshold attack survives and hurts: worse than
+        # the fully-trimmed Tit-for-tat defense.
+        assert (
+            results["baseline_static"].accuracy
+            < results["titfortat"].accuracy
+        )
+        # Tit-for-tat (poison fully trimmed) stays close to ground truth.
+        assert results["titfortat"].accuracy > results["groundtruth"].accuracy - 0.05
+
+    def test_fig8_shapes(self):
+        config = SOMConfig(
+            bulk_size=600,
+            rounds=4,
+            som_iterations=1200,
+            grid=(8, 8),
+            schemes=("ostrich", "baseline_static", "titfortat"),
+        )
+        results = {r.scheme: r for r in run_som_experiment(config)}
+        # Ostrich keeps everything: all 7 minority points and all poison.
+        assert results["groundtruth"].minority_retained == 7
+        assert results["ostrich"].minority_retained == 7
+        assert results["ostrich"].poison_retained_fraction > 0.2
+        # Defenses cut the poison share below Ostrich's.
+        assert (
+            results["titfortat"].poison_retained_fraction
+            < results["ostrich"].poison_retained_fraction
+        )
+
+
+@pytest.mark.slow
+class TestLDPRunner:
+    def test_fig9_shapes(self):
+        config = LDPConfig(
+            epsilons=(2.0, 4.0),
+            attack_ratios=(0.2,),
+            n_users=800,
+            rounds=2,
+            repetitions=2,
+            reference_size=1600,
+        )
+        cells = {(c.scheme, c.epsilon): c.mse for c in run_ldp_experiment(config)}
+        # Trimming defenses beat EMF once the noise is moderate (eps >= 2):
+        # the input-manipulation attack is channel-consistent, so EMF
+        # cannot separate it while trimming removes its upper-tail mass.
+        assert cells[("titfortat", 2.0)] < cells[("emf", 2.0)]
+        assert cells[("elastic0.5", 4.0)] < cells[("emf", 4.0)]

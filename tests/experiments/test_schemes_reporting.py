@@ -1,0 +1,94 @@
+"""Tests for repro.experiments.schemes and .reporting."""
+
+import pytest
+
+from repro.core.strategies import (
+    ElasticAdversary,
+    ElasticCollector,
+    FixedAdversary,
+    JustBelowAdversary,
+    NullAdversary,
+    OstrichCollector,
+    StaticCollector,
+    TitForTatCollector,
+    UniformRangeAdversary,
+)
+from repro.experiments import SCHEMES, format_table, format_value, make_scheme
+
+
+class TestMakeScheme:
+    def test_all_canonical_schemes_construct(self):
+        for name in SCHEMES:
+            collector, adversary = make_scheme(name, t_th=0.9, seed=0)
+            assert collector is not None and adversary is not None
+
+    def test_groundtruth(self):
+        collector, adversary = make_scheme("groundtruth", 0.9)
+        assert isinstance(collector, OstrichCollector)
+        assert isinstance(adversary, NullAdversary)
+
+    def test_ostrich_faces_99th_percentile(self):
+        collector, adversary = make_scheme("ostrich", 0.9)
+        assert isinstance(collector, OstrichCollector)
+        assert isinstance(adversary, FixedAdversary)
+        assert adversary.percentile == 0.99
+
+    def test_baseline09(self):
+        collector, adversary = make_scheme("baseline0.9", 0.97)
+        assert isinstance(collector, StaticCollector)
+        assert collector.threshold == 0.9  # fixed at 0.9 regardless of t_th
+        assert isinstance(adversary, UniformRangeAdversary)
+
+    def test_baseline_static_ideal_attack(self):
+        collector, adversary = make_scheme("baseline_static", 0.95)
+        assert collector.threshold == 0.95
+        assert isinstance(adversary, JustBelowAdversary)
+        assert adversary.first() == pytest.approx(0.94)
+
+    def test_titfortat_untriggered(self):
+        collector, adversary = make_scheme("titfortat", 0.9)
+        assert isinstance(collector, TitForTatCollector)
+        assert collector.trigger is None
+
+    def test_elastic_parses_strength(self):
+        collector, adversary = make_scheme("elastic0.5", 0.9)
+        assert isinstance(collector, ElasticCollector)
+        assert isinstance(adversary, ElasticAdversary)
+        assert collector.k == 0.5
+
+    def test_elastic_rule_forwarded(self):
+        collector, _ = make_scheme("elastic0.1", 0.9, elastic_rule="relaxation")
+        assert collector.rule == "relaxation"
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            make_scheme("magic", 0.9)
+
+    def test_unparseable_elastic_rejected(self):
+        with pytest.raises(ValueError):
+            make_scheme("elasticxx", 0.9)
+
+
+class TestReporting:
+    def test_format_value_floats(self):
+        assert format_value(0.5) == "0.5"
+        assert format_value(float("nan")) == "nan"
+        assert format_value(0.0) == "0"
+
+    def test_format_value_bool_and_str(self):
+        assert format_value(True) == "yes"
+        assert format_value("abc") == "abc"
+
+    def test_table_alignment(self):
+        table = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # aligned
+
+    def test_table_title(self):
+        table = format_table(["x"], [[1]], title="Table I")
+        assert table.splitlines()[0] == "Table I"
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])

@@ -1,0 +1,63 @@
+"""Tests for repro.experiments.tournament — the empirical meta-game."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import TournamentConfig, run_tournament
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_tournament(TournamentConfig(repetitions=1, rounds=6))
+
+
+@pytest.mark.slow
+class TestTournament:
+    def test_matrix_shapes(self, result):
+        n_a = len(result.adversary_names)
+        n_c = len(result.collector_names)
+        assert result.adversary_payoffs.shape == (n_a, n_c)
+        assert result.collector_payoffs.shape == (n_a, n_c)
+
+    def test_mixtures_are_distributions(self, result):
+        assert result.adversary_mixture.sum() == pytest.approx(1.0)
+        assert result.collector_mixture.sum() == pytest.approx(1.0)
+        assert (result.adversary_mixture >= -1e-12).all()
+        assert (result.collector_mixture >= -1e-12).all()
+
+    def test_adversary_payoffs_nonnegative(self, result):
+        assert (result.adversary_payoffs >= 0.0).all()
+
+    def test_collector_pays_at_least_the_poison(self, result):
+        # Collector payoff = -poison - overhead <= -poison.
+        assert (
+            result.collector_payoffs <= -result.adversary_payoffs + 1e-12
+        ).all()
+
+    def test_extreme_adversary_zeroed_by_trimming_collectors(self, result):
+        i = result.adversary_names.index("extreme@0.99")
+        j = result.collector_names.index("titfortat")
+        assert result.adversary_payoffs[i, j] == pytest.approx(0.0, abs=0.01)
+
+    def test_extreme_adversary_survives_ostrich(self, result):
+        i = result.adversary_names.index("extreme@0.99")
+        j = result.collector_names.index("ostrich")
+        assert result.adversary_payoffs[i, j] > 0.15
+
+    def test_just_below_exploits_static(self, result):
+        i = result.adversary_names.index("just-below")
+        j = result.collector_names.index("static")
+        assert result.adversary_payoffs[i, j] > 0.1
+
+    def test_empirical_equilibrium_is_adaptive(self, result):
+        # The headline: the minimax solution concentrates on the Elastic
+        # scheme — the paper's interactive equilibrium found empirically.
+        assert result.best_collector() == "elastic0.5"
+
+    def test_game_value_consistent_with_matrix(self, result):
+        value = float(
+            result.adversary_mixture
+            @ result.adversary_payoffs
+            @ result.collector_mixture
+        )
+        assert value == pytest.approx(result.game_value, abs=1e-6)

@@ -1,0 +1,147 @@
+"""Tests for repro.ldp.frequency — GRR, OUE, and the maximal gain attack."""
+
+import numpy as np
+import pytest
+
+from repro.ldp.frequency import (
+    GeneralizedRandomizedResponse,
+    MaximalGainAttack,
+    OptimizedUnaryEncoding,
+)
+
+
+@pytest.fixture()
+def items(rng):
+    # Skewed categorical distribution over 8 items.
+    return rng.choice(8, size=40_000, p=[0.3, 0.2, 0.15, 0.1, 0.1, 0.07, 0.05, 0.03])
+
+
+class TestGRR:
+    def test_probability_formulas(self):
+        grr = GeneralizedRandomizedResponse(8, 1.0)
+        e = np.exp(1.0)
+        assert grr.p_true == pytest.approx(e / (e + 7))
+        assert grr.q_false == pytest.approx(1 / (e + 7))
+
+    def test_privacy_ratio_is_e_epsilon(self):
+        grr = GeneralizedRandomizedResponse(10, 2.0)
+        assert grr.pmf(3, 3) / grr.pmf(3, 5) == pytest.approx(np.exp(2.0))
+
+    def test_pmf_normalized(self):
+        grr = GeneralizedRandomizedResponse(6, 1.5)
+        total = sum(grr.pmf(r, 2) for r in range(6))
+        assert total == pytest.approx(1.0)
+
+    def test_frequency_estimation_unbiased(self, items):
+        grr = GeneralizedRandomizedResponse(8, 2.0, seed=0)
+        reports = grr.perturb(items)
+        estimate = grr.estimate_frequencies(reports)
+        truth = np.bincount(items, minlength=8) / items.size
+        np.testing.assert_allclose(estimate, truth, atol=0.02)
+
+    def test_estimates_sum_to_one(self, items):
+        grr = GeneralizedRandomizedResponse(8, 1.0, seed=1)
+        estimate = grr.estimate_frequencies(grr.perturb(items))
+        assert estimate.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            GeneralizedRandomizedResponse(1, 1.0)
+        with pytest.raises(ValueError):
+            GeneralizedRandomizedResponse(4, 0.0)
+        grr = GeneralizedRandomizedResponse(4, 1.0, seed=0)
+        with pytest.raises(ValueError):
+            grr.perturb([5])
+
+    def test_noise_never_reports_identity_by_accident(self):
+        # The off-item noise map must cover every item except the true one
+        # uniformly — verified by conditional frequencies.
+        grr = GeneralizedRandomizedResponse(5, 0.5, seed=2)
+        reports = grr.perturb(np.zeros(60_000, dtype=int))
+        counts = np.bincount(reports, minlength=5) / reports.size
+        # Items 1..4 should be (almost) equally likely.
+        assert np.ptp(counts[1:]) < 0.01
+
+
+class TestOUE:
+    def test_probability_formulas(self):
+        oue = OptimizedUnaryEncoding(8, 1.0)
+        assert oue.p_keep == 0.5
+        assert oue.q_flip == pytest.approx(1 / (np.exp(1.0) + 1))
+
+    def test_report_shape(self, items):
+        oue = OptimizedUnaryEncoding(8, 1.0, seed=0)
+        reports = oue.perturb(items[:100])
+        assert reports.shape == (100, 8)
+        assert set(np.unique(reports)) <= {0, 1}
+
+    def test_frequency_estimation_unbiased(self, items):
+        oue = OptimizedUnaryEncoding(8, 2.0, seed=0)
+        estimate = oue.estimate_frequencies(oue.perturb(items))
+        truth = np.bincount(items, minlength=8) / items.size
+        np.testing.assert_allclose(estimate, truth, atol=0.02)
+
+    def test_expected_report_weight_matches_empirical(self, items):
+        oue = OptimizedUnaryEncoding(8, 1.0, seed=3)
+        reports = oue.perturb(items[:20_000])
+        assert reports.sum(axis=1).mean() == pytest.approx(
+            oue.expected_report_weight(), abs=0.05
+        )
+
+    def test_invalid_reports_rejected(self):
+        oue = OptimizedUnaryEncoding(4, 1.0)
+        with pytest.raises(ValueError):
+            oue.estimate_frequencies(np.zeros((3, 5)))
+
+
+class TestMaximalGainAttack:
+    def test_grr_gain_matches_closed_form(self, items):
+        grr = GeneralizedRandomizedResponse(8, 1.0, seed=0)
+        attack = MaximalGainAttack(targets=[7], seed=1)
+        n_attack = 4000
+        honest_reports = grr.perturb(items)
+        fake = attack.reports_grr(grr, n_attack)
+        reports = np.concatenate([honest_reports, fake])
+
+        clean = grr.estimate_frequencies(honest_reports)[7]
+        poisoned = grr.estimate_frequencies(reports)[7]
+        beta = n_attack / reports.size
+        expected_gain = attack.expected_gain_grr(grr, beta)
+        # The fabricated reports replace a β share of the mixture, so the
+        # realized gain is β/(p-q) minus the diluted clean share.
+        assert poisoned - (1 - beta) * clean == pytest.approx(
+            expected_gain, abs=0.03
+        )
+
+    def test_oue_targets_inflated(self, items):
+        oue = OptimizedUnaryEncoding(8, 1.0, seed=0)
+        attack = MaximalGainAttack(targets=[6, 7], seed=1)
+        honest = oue.perturb(items)
+        fake = attack.reports_oue(oue, 6000)
+        estimate = oue.estimate_frequencies(np.vstack([honest, fake]))
+        clean = oue.estimate_frequencies(honest)
+        assert estimate[6] > clean[6] + 0.05
+        assert estimate[7] > clean[7] + 0.05
+
+    def test_oue_attack_matches_honest_weight(self):
+        oue = OptimizedUnaryEncoding(16, 1.0)
+        attack = MaximalGainAttack(targets=[0], seed=2)
+        fake = attack.reports_oue(oue, 500)
+        weights = fake.sum(axis=1)
+        assert abs(weights.mean() - oue.expected_report_weight()) < 1.0
+
+    def test_targets_validated(self):
+        grr = GeneralizedRandomizedResponse(4, 1.0)
+        attack = MaximalGainAttack(targets=[9])
+        with pytest.raises(ValueError):
+            attack.reports_grr(grr, 10)
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ValueError):
+            MaximalGainAttack(targets=[])
+
+    def test_gain_decreases_with_more_targets(self):
+        grr = GeneralizedRandomizedResponse(8, 1.0)
+        one = MaximalGainAttack(targets=[0]).expected_gain_grr(grr, 0.1)
+        two = MaximalGainAttack(targets=[0, 1]).expected_gain_grr(grr, 0.1)
+        assert two < one

@@ -1,0 +1,110 @@
+"""Tests for repro.ldp.mechanisms — numeric LDP mechanisms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ldp import DuchiMechanism, LaplaceMechanism, PiecewiseMechanism
+
+MECHANISMS = (LaplaceMechanism, DuchiMechanism, PiecewiseMechanism)
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("cls", MECHANISMS)
+    def test_invalid_epsilon_rejected(self, cls):
+        with pytest.raises(ValueError):
+            cls(0.0)
+
+    @pytest.mark.parametrize("cls", MECHANISMS)
+    def test_out_of_domain_inputs_rejected(self, cls):
+        with pytest.raises(ValueError):
+            cls(1.0, seed=0).perturb([1.5])
+
+    @pytest.mark.parametrize("cls", MECHANISMS)
+    def test_empty_batch_rejected(self, cls):
+        with pytest.raises(ValueError):
+            cls(1.0, seed=0).perturb([])
+
+    @pytest.mark.parametrize("cls", MECHANISMS)
+    def test_unbiasedness_at_zero(self, cls):
+        mech = cls(2.0, seed=0)
+        reports = mech.perturb(np.zeros(60_000))
+        tolerance = 4.0 * np.sqrt(mech.variance(0.0) / 60_000)
+        assert abs(reports.mean()) < tolerance
+
+    @pytest.mark.parametrize("cls", MECHANISMS)
+    @pytest.mark.parametrize("x", [-0.7, 0.3, 1.0])
+    def test_unbiasedness_at_nonzero_inputs(self, cls, x):
+        mech = cls(2.0, seed=1)
+        reports = mech.perturb(np.full(60_000, x))
+        tolerance = 4.0 * np.sqrt(mech.variance(x) / 60_000)
+        assert abs(reports.mean() - x) < tolerance
+
+    @pytest.mark.parametrize("cls", MECHANISMS)
+    def test_variance_shrinks_with_epsilon(self, cls):
+        assert cls(4.0).variance(0.0) < cls(1.0).variance(0.0)
+
+    @pytest.mark.parametrize("cls", (DuchiMechanism, PiecewiseMechanism))
+    def test_reports_within_output_bound(self, cls):
+        mech = cls(1.5, seed=2)
+        reports = mech.perturb(np.linspace(-1, 1, 5000))
+        assert np.abs(reports).max() <= mech.output_bound() + 1e-9
+
+
+class TestLaplace:
+    def test_scale(self):
+        assert LaplaceMechanism(2.0).scale == 1.0
+
+    def test_variance_formula(self):
+        mech = LaplaceMechanism(1.0)
+        assert mech.variance() == pytest.approx(2.0 * 4.0)
+
+    def test_empirical_variance_matches(self):
+        mech = LaplaceMechanism(1.0, seed=3)
+        reports = mech.perturb(np.zeros(100_000))
+        assert np.var(reports) == pytest.approx(mech.variance(), rel=0.05)
+
+
+class TestDuchi:
+    def test_two_point_support(self):
+        mech = DuchiMechanism(1.0, seed=0)
+        reports = mech.perturb(np.linspace(-1, 1, 1000))
+        b = mech.magnitude
+        assert set(np.round(np.unique(reports), 10)) == {-round(b, 10), round(b, 10)}
+
+    def test_magnitude_formula(self):
+        e = np.exp(1.0)
+        assert DuchiMechanism(1.0).magnitude == pytest.approx((e + 1) / (e - 1))
+
+    def test_probability_monotone_in_input(self):
+        mech = DuchiMechanism(1.0, seed=4)
+        low = (mech.perturb(np.full(30_000, -0.9)) > 0).mean()
+        high = (mech.perturb(np.full(30_000, 0.9)) > 0).mean()
+        assert high > low + 0.3
+
+
+class TestPiecewise:
+    def test_c_bound_formula(self):
+        t = np.exp(0.5)
+        assert PiecewiseMechanism(1.0).c_bound == pytest.approx((t + 1) / (t - 1))
+
+    def test_reports_concentrate_near_input(self):
+        mech = PiecewiseMechanism(4.0, seed=5)
+        reports = mech.perturb(np.full(20_000, 0.5))
+        # High epsilon: most reports inside the high-density band around 0.5.
+        band = np.abs(reports - 0.5) < (mech.c_bound - 1)
+        assert band.mean() > 0.75
+
+    def test_empirical_variance_matches_formula(self):
+        mech = PiecewiseMechanism(2.0, seed=6)
+        for x in (0.0, 0.6):
+            reports = mech.perturb(np.full(150_000, x))
+            assert np.var(reports) == pytest.approx(mech.variance(x), rel=0.05)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(0.5, 5.0), st.floats(-1.0, 1.0))
+    def test_unbiasedness_property(self, epsilon, x):
+        mech = PiecewiseMechanism(epsilon, seed=7)
+        reports = mech.perturb(np.full(40_000, x))
+        tolerance = 5.0 * np.sqrt(mech.variance(x) / 40_000)
+        assert abs(reports.mean() - x) < tolerance

@@ -1,0 +1,122 @@
+"""Tests for repro.ldp.square_wave — SW mechanism and EM reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.ldp import SquareWaveMechanism, em_reconstruct
+
+
+class TestSquareWaveMechanism:
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            SquareWaveMechanism(0.0)
+
+    def test_b_positive(self):
+        for eps in (0.5, 1.0, 3.0):
+            assert SquareWaveMechanism(eps).b > 0.0
+
+    def test_density_ratio_is_e_epsilon(self):
+        mech = SquareWaveMechanism(1.7)
+        assert mech.p_density / mech.q_density == pytest.approx(np.exp(1.7))
+
+    def test_densities_integrate_to_one(self):
+        mech = SquareWaveMechanism(1.0)
+        # window mass 2 b p + outside mass (length 1) * q = 1.
+        total = 2 * mech.b * mech.p_density + 1.0 * mech.q_density
+        assert total == pytest.approx(1.0)
+
+    def test_reports_in_output_domain(self):
+        mech = SquareWaveMechanism(1.0, seed=0)
+        reports = mech.perturb(np.linspace(0, 1, 5000))
+        assert reports.min() >= -mech.b - 1e-12
+        assert reports.max() <= 1.0 + mech.b + 1e-12
+
+    def test_out_of_domain_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            SquareWaveMechanism(1.0, seed=0).perturb([-0.1])
+
+    def test_window_mass_matches_theory(self):
+        mech = SquareWaveMechanism(2.0, seed=1)
+        x = 0.5
+        reports = mech.perturb(np.full(50_000, x))
+        inside = np.abs(reports - x) <= mech.b
+        assert inside.mean() == pytest.approx(
+            2 * mech.b * mech.p_density, abs=0.01
+        )
+
+    def test_transition_matrix_columns_are_distributions(self):
+        mech = SquareWaveMechanism(1.0)
+        m = mech.transition_matrix(16, 32)
+        assert m.shape == (32, 16)
+        np.testing.assert_allclose(m.sum(axis=0), 1.0)
+        assert (m >= 0).all()
+
+    def test_transition_matrix_peaks_near_input(self):
+        mech = SquareWaveMechanism(3.0)
+        m = mech.transition_matrix(8, 64)
+        b = mech.b
+        edges = np.linspace(-b, 1 + b, 65)
+        centers = 0.5 * (edges[:-1] + edges[1:])
+        for i in range(8):
+            x = (i + 0.5) / 8
+            peak = centers[int(np.argmax(m[:, i]))]
+            assert abs(peak - x) < 2 * b + 0.1
+
+    def test_invalid_bins_rejected(self):
+        with pytest.raises(ValueError):
+            SquareWaveMechanism(1.0).transition_matrix(0, 8)
+
+
+class TestEMReconstruction:
+    def _roundtrip(self, inputs, epsilon=2.0, bins=24, out_bins=48, seed=0,
+                   smoothing=True):
+        mech = SquareWaveMechanism(epsilon, seed=seed)
+        reports = mech.perturb(inputs)
+        b = mech.b
+        edges = np.linspace(-b, 1 + b, out_bins + 1)
+        hist, _ = np.histogram(reports, bins=edges)
+        transition = mech.transition_matrix(bins, out_bins)
+        return em_reconstruct(hist, transition, smoothing=smoothing)
+
+    def test_estimate_is_distribution(self, rng):
+        f = self._roundtrip(rng.uniform(0, 1, 20_000))
+        assert f.sum() == pytest.approx(1.0)
+        assert (f >= 0).all()
+
+    def test_uniform_recovered_roughly_uniform(self, rng):
+        f = self._roundtrip(rng.uniform(0, 1, 50_000))
+        assert f.max() / max(f.min(), 1e-9) < 3.0
+
+    def test_point_mass_localized(self, rng):
+        inputs = np.full(50_000, 0.25)
+        f = self._roundtrip(inputs, epsilon=3.0)
+        centers = (np.arange(f.size) + 0.5) / f.size
+        mean = float((f * centers).sum())
+        assert abs(mean - 0.25) < 0.05
+
+    def test_bimodal_mean_preserved(self, rng):
+        inputs = np.concatenate(
+            [rng.normal(0.25, 0.03, 30_000), rng.normal(0.8, 0.03, 30_000)]
+        )
+        inputs = np.clip(inputs, 0, 1)
+        f = self._roundtrip(inputs, epsilon=2.0)
+        centers = (np.arange(f.size) + 0.5) / f.size
+        assert abs(float((f * centers).sum()) - inputs.mean()) < 0.05
+
+    def test_empty_histogram_rejected(self):
+        mech = SquareWaveMechanism(1.0)
+        transition = mech.transition_matrix(8, 16)
+        with pytest.raises(ValueError):
+            em_reconstruct(np.zeros(16), transition)
+
+    def test_length_mismatch_rejected(self):
+        mech = SquareWaveMechanism(1.0)
+        transition = mech.transition_matrix(8, 16)
+        with pytest.raises(ValueError):
+            em_reconstruct(np.ones(10), transition)
+
+    def test_smoothing_reduces_spikiness(self, rng):
+        inputs = rng.uniform(0, 1, 30_000)
+        rough = self._roundtrip(inputs, epsilon=0.5, smoothing=False, seed=4)
+        smooth = self._roundtrip(inputs, epsilon=0.5, smoothing=True, seed=4)
+        assert np.abs(np.diff(smooth)).sum() <= np.abs(np.diff(rough)).sum() + 1e-9

@@ -1,0 +1,97 @@
+"""Tests for repro.ml.som — Self-Organizing Map."""
+
+import numpy as np
+import pytest
+
+from repro.ml import SelfOrganizingMap
+
+
+@pytest.fixture(scope="module")
+def trained_som():
+    rng = np.random.default_rng(0)
+    data = np.vstack(
+        [rng.normal(-5, 0.5, (150, 2)), rng.normal(5, 0.5, (150, 2))]
+    )
+    som = SelfOrganizingMap(rows=8, cols=8, n_iter=3000, seed=1).fit(data)
+    return som, data
+
+
+class TestTraining:
+    def test_weight_shape(self, trained_som):
+        som, _ = trained_som
+        assert som.weights.shape == (64, 2)
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ValueError):
+            SelfOrganizingMap(rows=0, cols=5)
+
+    def test_invalid_learning_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SelfOrganizingMap(learning_rate=0.0)
+
+    def test_unfitted_usage_rejected(self):
+        with pytest.raises(RuntimeError):
+            SelfOrganizingMap().u_matrix()
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            SelfOrganizingMap().fit(np.zeros((0, 2)))
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(100, 2))
+        w1 = SelfOrganizingMap(rows=4, cols=4, n_iter=500, seed=9).fit(data).weights
+        w2 = SelfOrganizingMap(rows=4, cols=4, n_iter=500, seed=9).fit(data).weights
+        np.testing.assert_array_equal(w1, w2)
+
+
+class TestMapQuality:
+    def test_quantization_error_reasonable(self, trained_som):
+        som, data = trained_som
+        # Neurons should approximate the data well within cluster scale.
+        assert som.quantization_error(data) < 1.0
+
+    def test_quantization_error_worse_on_shifted_data(self, trained_som):
+        som, data = trained_som
+        shifted = data + 20.0
+        assert som.quantization_error(shifted) > som.quantization_error(data)
+
+    def test_topographic_error_low_for_smooth_map(self, trained_som):
+        som, data = trained_som
+        assert som.topographic_error(data) < 0.35
+
+    def test_bmus_in_range(self, trained_som):
+        som, data = trained_som
+        bmus = som.best_matching_units(data)
+        assert bmus.min() >= 0 and bmus.max() < som.n_neurons
+
+
+class TestUMatrix:
+    def test_shape(self, trained_som):
+        som, _ = trained_som
+        assert som.u_matrix().shape == (8, 8)
+
+    def test_nonnegative(self, trained_som):
+        som, _ = trained_som
+        assert (som.u_matrix() >= 0).all()
+
+    def test_boundary_between_clusters_visible(self, trained_som):
+        # Two far clusters: the largest U-matrix value (cluster border)
+        # should clearly exceed the median (cluster interiors).
+        som, _ = trained_som
+        u = som.u_matrix()
+        assert u.max() > 3.0 * np.median(u)
+
+
+class TestClusterCount:
+    def test_two_blobs_counted(self, trained_som):
+        som, data = trained_som
+        count = som.cluster_count(data)
+        assert 2 <= count <= 6  # coarse watershed; two dominant groups
+
+    def test_single_blob_fewer_components(self, rng):
+        # A coarse watershed over-segments an unstructured blob; the test
+        # only bounds the fragmentation, not an exact count.
+        data = rng.normal(size=(200, 2))
+        som = SelfOrganizingMap(rows=6, cols=6, n_iter=2000, seed=2).fit(data)
+        assert som.cluster_count(data) <= som.n_neurons // 2

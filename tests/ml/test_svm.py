@@ -1,0 +1,97 @@
+"""Tests for repro.ml.svm — Pegasos linear SVM."""
+
+import numpy as np
+import pytest
+
+from repro.ml import LinearSVM, OneVsRestSVM
+
+
+@pytest.fixture()
+def linearly_separable(rng):
+    pos = rng.normal(loc=[3.0, 3.0], scale=0.5, size=(60, 2))
+    neg = rng.normal(loc=[-3.0, -3.0], scale=0.5, size=(60, 2))
+    data = np.vstack([pos, neg])
+    labels = np.concatenate([np.ones(60), -np.ones(60)])
+    return data, labels
+
+
+class TestLinearSVM:
+    def test_separable_problem_solved(self, linearly_separable):
+        data, labels = linearly_separable
+        model = LinearSVM(lam=1e-3, n_iter=5000, seed=0).fit(data, labels)
+        assert np.mean(model.predict(data) == labels) == 1.0
+
+    def test_decision_function_sign_matches_predict(self, linearly_separable):
+        data, labels = linearly_separable
+        model = LinearSVM(lam=1e-3, n_iter=3000, seed=0).fit(data, labels)
+        scores = model.decision_function(data)
+        np.testing.assert_array_equal(
+            np.sign(scores) >= 0, model.predict(data) > 0
+        )
+
+    def test_non_pm1_labels_rejected(self, linearly_separable):
+        data, _ = linearly_separable
+        with pytest.raises(ValueError):
+            LinearSVM().fit(data, np.zeros(data.shape[0]))
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            LinearSVM().predict(np.zeros((2, 2)))
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(ValueError):
+            LinearSVM(lam=0.0)
+        with pytest.raises(ValueError):
+            LinearSVM(n_iter=0)
+
+    def test_projection_bounds_weight_norm(self, linearly_separable):
+        data, labels = linearly_separable
+        model = LinearSVM(lam=1.0, n_iter=2000, seed=0, project=True)
+        model.fit(data, labels)
+        assert np.linalg.norm(model.weights) <= 1.0 / np.sqrt(1.0) + 1e-9
+
+    def test_deterministic_given_seed(self, linearly_separable):
+        data, labels = linearly_separable
+        m1 = LinearSVM(n_iter=1000, seed=5).fit(data, labels)
+        m2 = LinearSVM(n_iter=1000, seed=5).fit(data, labels)
+        np.testing.assert_array_equal(m1.weights, m2.weights)
+
+
+class TestOneVsRestSVM:
+    def test_multiclass_separable(self, small_gaussian):
+        data, labels = small_gaussian
+        model = OneVsRestSVM(lam=1e-3, n_iter=6000, seed=0).fit(data, labels)
+        assert model.score(data, labels) > 0.95
+
+    def test_decision_matrix_shape(self, small_gaussian):
+        data, labels = small_gaussian
+        model = OneVsRestSVM(n_iter=2000, seed=0).fit(data, labels)
+        assert model.decision_matrix(data).shape == (data.shape[0], 3)
+
+    def test_predict_returns_original_labels(self, rng):
+        data = np.vstack(
+            [rng.normal(-5, 0.3, (30, 2)), rng.normal(5, 0.3, (30, 2))]
+        )
+        labels = np.array([7] * 30 + [42] * 30)
+        model = OneVsRestSVM(n_iter=3000, seed=0).fit(data, labels)
+        assert set(np.unique(model.predict(data))) <= {7, 42}
+
+    def test_single_class_rejected(self, rng):
+        data = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            OneVsRestSVM().fit(data, np.zeros(10))
+
+    def test_constant_feature_handled(self, rng):
+        data = np.hstack(
+            [rng.normal(size=(60, 1)), np.ones((60, 1))]
+        )
+        data[:30, 0] += 8.0
+        labels = np.array([0] * 30 + [1] * 30)
+        model = OneVsRestSVM(n_iter=3000, seed=0).fit(data, labels)
+        assert model.score(data, labels) > 0.9
+
+    def test_control_dataset_accuracy(self, control_data):
+        data, labels = control_data
+        model = OneVsRestSVM(lam=1e-4, n_iter=20_000, seed=0).fit(data, labels)
+        # The Fig. 6a ballpark: the paper reports 96.8% on Control.
+        assert model.score(data, labels) > 0.93

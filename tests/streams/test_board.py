@@ -1,0 +1,75 @@
+"""Tests for repro.streams.board — the public board."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies.base import RoundObservation
+from repro.streams import BoardEntry, PublicBoard
+
+
+def _entry(index, retained, n_collected, n_poison_injected=0, n_poison_retained=0):
+    return BoardEntry(
+        observation=RoundObservation(
+            index=index,
+            trim_percentile=0.9,
+            injection_percentile=None,
+            quality=0.0,
+            observed_poison_ratio=0.0,
+            betrayal=False,
+        ),
+        retained=np.asarray(retained, dtype=float),
+        n_collected=n_collected,
+        n_poison_injected=n_poison_injected,
+        n_poison_retained=n_poison_retained,
+    )
+
+
+class TestPublicBoard:
+    def test_record_and_len(self):
+        board = PublicBoard()
+        board.record(_entry(1, np.zeros((5, 2)), 6))
+        assert len(board) == 1
+        assert board.last.n_collected == 6
+
+    def test_out_of_order_rejected(self):
+        board = PublicBoard()
+        with pytest.raises(ValueError):
+            board.record(_entry(2, np.zeros((5, 2)), 6))
+
+    def test_empty_board_has_no_last(self):
+        assert PublicBoard().last is None
+
+    def test_retained_data_concatenates(self):
+        board = PublicBoard()
+        board.record(_entry(1, np.ones((3, 2)), 3))
+        board.record(_entry(2, 2 * np.ones((4, 2)), 4))
+        data = board.retained_data()
+        assert data.shape == (7, 2)
+        assert data[:3].sum() == 6.0
+
+    def test_retained_data_empty_board_raises(self):
+        with pytest.raises(ValueError):
+            PublicBoard().retained_data()
+
+    def test_poison_retained_fraction(self):
+        board = PublicBoard()
+        board.record(_entry(1, np.zeros((8, 1)), 10, 4, 2))
+        board.record(_entry(2, np.zeros((12, 1)), 14, 4, 4))
+        assert board.poison_retained_fraction() == pytest.approx(6 / 20)
+
+    def test_trimmed_fraction(self):
+        board = PublicBoard()
+        board.record(_entry(1, np.zeros((8, 1)), 10))
+        board.record(_entry(2, np.zeros((6, 1)), 10))
+        assert board.trimmed_fraction() == pytest.approx(1 - 14 / 20)
+
+    def test_observations_in_order(self):
+        board = PublicBoard()
+        board.record(_entry(1, np.zeros((1, 1)), 1))
+        board.record(_entry(2, np.zeros((1, 1)), 1))
+        assert [o.index for o in board.observations] == [1, 2]
+
+    def test_fractions_of_empty_board_are_zero(self):
+        board = PublicBoard()
+        assert board.poison_retained_fraction() == 0.0
+        assert board.trimmed_fraction() == 0.0

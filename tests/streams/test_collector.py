@@ -1,0 +1,78 @@
+"""Tests for repro.streams.collector — the standalone collector runtime."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import (
+    ElasticCollector,
+    MirrorCollector,
+    StaticCollector,
+)
+from repro.core.trimming import ValueTrimmer
+from repro.streams.collector import DataCollector
+
+
+@pytest.fixture()
+def reference(rng):
+    return rng.normal(size=5000)
+
+
+class TestDataCollector:
+    def test_collect_trims_reference_tail(self, reference, rng):
+        dc = DataCollector(StaticCollector(0.9), ValueTrimmer(), reference)
+        batch = rng.normal(size=1000)
+        kept = dc.collect(batch)
+        cutoff = np.quantile(reference, 0.9)
+        assert kept.max() <= cutoff
+        assert dc.rounds_collected == 1
+
+    def test_poisoned_batch_cleaned(self, reference, rng):
+        dc = DataCollector(StaticCollector(0.95), ValueTrimmer(), reference)
+        batch = np.concatenate([rng.normal(size=500), np.full(100, 50.0)])
+        kept = dc.collect(batch)
+        assert kept.max() < 10.0
+        assert kept.size >= 450
+
+    def test_elastic_uses_quality_feedback(self, reference, rng):
+        dc = DataCollector(ElasticCollector(0.9, 0.5), ValueTrimmer(), reference)
+        # Clean round: next threshold relaxes toward the soft endpoint.
+        dc.collect(rng.normal(size=800))
+        relaxed = dc.current_threshold
+        dc.reset()
+        # Heavily poisoned round: next threshold hardens.
+        dc.collect(np.concatenate([rng.normal(size=800), np.full(700, 9.0)]))
+        hardened = dc.current_threshold
+        assert hardened < relaxed
+
+    def test_mirror_punishes_bad_quality_round(self, reference, rng):
+        dc = DataCollector(
+            MirrorCollector(0.9),
+            ValueTrimmer(),
+            reference,
+            betrayal_quality=0.3,
+        )
+        dc.collect(np.concatenate([rng.normal(size=300), np.full(400, 9.0)]))
+        assert dc.current_threshold == pytest.approx(0.87)
+        dc.collect(rng.normal(size=300))
+        assert dc.current_threshold == pytest.approx(0.91)
+
+    def test_reset_restores_initial_state(self, reference, rng):
+        dc = DataCollector(StaticCollector(0.9), ValueTrimmer(), reference)
+        dc.collect(rng.normal(size=100))
+        dc.reset()
+        assert dc.rounds_collected == 0
+        assert dc.current_threshold == pytest.approx(0.9)
+
+    def test_empty_batch_rejected(self, reference):
+        dc = DataCollector(StaticCollector(0.9), ValueTrimmer(), reference)
+        with pytest.raises(ValueError):
+            dc.collect(np.array([]))
+
+    def test_invalid_betrayal_quality_rejected(self, reference):
+        with pytest.raises(ValueError):
+            DataCollector(
+                StaticCollector(0.9),
+                ValueTrimmer(),
+                reference,
+                betrayal_quality=2.0,
+            )

@@ -1,0 +1,110 @@
+"""Tests for repro.streams.injection — poison materialization."""
+
+import numpy as np
+import pytest
+
+from repro.streams import PoisonInjector
+
+
+class TestPoisonCount:
+    def test_rounding(self):
+        assert PoisonInjector(0.2).poison_count(100) == 20
+        assert PoisonInjector(0.25).poison_count(10) == 2  # round(2.5) banker's
+        assert PoisonInjector(0.0).poison_count(100) == 0
+
+    def test_negative_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            PoisonInjector(-0.1)
+
+
+class TestScalarInjection:
+    def test_positions_at_quantile(self, rng):
+        benign = rng.normal(size=1000)
+        inj = PoisonInjector(0.1, jitter=0.0, seed=0)
+        poison = inj.materialize(benign, 0.9)
+        assert poison.shape == (100,)
+        np.testing.assert_allclose(poison, np.quantile(benign, 0.9))
+
+    def test_jitter_band(self, rng):
+        benign = np.sort(rng.normal(size=1000))
+        inj = PoisonInjector(0.1, jitter=0.05, seed=0)
+        poison = inj.materialize(benign, 0.9)
+        lo = np.quantile(benign, 0.9)
+        hi = np.quantile(benign, 0.95)
+        assert (poison >= lo - 1e-12).all() and (poison <= hi + 1e-12).all()
+
+    def test_zero_ratio_returns_empty(self, rng):
+        inj = PoisonInjector(0.0)
+        assert inj.materialize(rng.normal(size=50), 0.9).shape == (0,)
+
+    def test_reference_calibration_overrides_batch(self, rng):
+        reference = rng.normal(0.0, 1.0, size=10_000)
+        inj = PoisonInjector(0.1, jitter=0.0, seed=0).fit_reference(reference)
+        # A weird batch no longer matters: positions come from the reference.
+        batch = rng.normal(100.0, 1.0, size=100)
+        poison = inj.materialize(batch, 0.9)
+        np.testing.assert_allclose(poison, np.quantile(reference, 0.9))
+
+
+class TestMultivariateInjection:
+    def test_corner_mode_per_feature_quantiles(self, rng):
+        benign = rng.normal(size=(500, 3))
+        inj = PoisonInjector(0.1, jitter=0.0, mode="quantile", seed=0)
+        poison = inj.materialize(benign, 0.99)
+        assert poison.shape == (50, 3)
+        np.testing.assert_allclose(
+            poison[0], np.quantile(benign, 0.99, axis=0)
+        )
+
+    def test_radial_mode_matches_score_quantile(self, rng):
+        benign = rng.normal(size=(1000, 4))
+        inj = PoisonInjector(0.1, jitter=0.0, mode="radial", seed=0)
+        poison = inj.materialize(benign, 0.95)
+        center = np.median(benign, axis=0)
+        scores = np.linalg.norm(benign - center, axis=1)
+        target = np.quantile(scores, 0.95)
+        dists = np.linalg.norm(poison - center, axis=1)
+        np.testing.assert_allclose(dists, target, rtol=1e-9)
+
+    def test_radial_poison_is_colluding(self, rng):
+        # All poison lies along one ray: pairwise directions are parallel.
+        benign = rng.normal(size=(500, 5))
+        inj = PoisonInjector(0.2, jitter=0.0, mode="radial", seed=0)
+        poison = inj.materialize(benign, 0.9)
+        center = np.median(benign, axis=0)
+        units = (poison - center) / np.linalg.norm(
+            poison - center, axis=1, keepdims=True
+        )
+        assert np.allclose(units, units[0])
+
+    def test_radial_reference_calibration(self, rng):
+        reference = rng.normal(size=(5000, 3))
+        inj = PoisonInjector(0.1, jitter=0.0, mode="radial", seed=0)
+        inj.fit_reference(reference)
+        batch = rng.normal(10.0, 1.0, size=(100, 3))
+        poison = inj.materialize(batch, 0.99)
+        ref_center = np.median(reference, axis=0)
+        ref_scores = np.linalg.norm(reference - ref_center, axis=1)
+        dists = np.linalg.norm(poison - ref_center, axis=1)
+        np.testing.assert_allclose(dists, np.quantile(ref_scores, 0.99))
+
+    def test_higher_percentile_is_farther(self, rng):
+        benign = rng.normal(size=(1000, 4))
+        inj = PoisonInjector(0.05, jitter=0.0, mode="radial", seed=0)
+        center = np.median(benign, axis=0)
+        near = np.linalg.norm(inj.materialize(benign, 0.5) - center, axis=1)
+        far = np.linalg.norm(inj.materialize(benign, 0.99) - center, axis=1)
+        assert far.mean() > near.mean()
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            PoisonInjector(0.1, mode="diagonal")
+
+    def test_3d_batch_rejected(self, rng):
+        inj = PoisonInjector(0.1)
+        with pytest.raises(ValueError):
+            inj.materialize(rng.normal(size=(2, 2, 2)), 0.9)
+
+    def test_empty_reference_rejected(self):
+        with pytest.raises(ValueError):
+            PoisonInjector(0.1).fit_reference(np.array([]))

@@ -1,0 +1,46 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import ARTIFACTS, main
+
+
+class TestList:
+    def test_list_prints_all_artifacts(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ARTIFACTS:
+            assert name in out
+
+
+class TestRun:
+    def test_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "hard" in out
+
+    def test_table2_quick_uses_advertised_values(self, capsys):
+        assert main(["run", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "CONTROL" in out and "1048575" in out
+
+    def test_table4(self, capsys):
+        assert main(["run", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Round_no" in out
+        assert "k=0.5" in out
+
+    @pytest.mark.slow
+    def test_fig9_quick(self, capsys):
+        assert main(["run", "fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "emf" in out and "titfortat" in out
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
