@@ -13,9 +13,13 @@ just-below attack and no-defense is exploited by extreme injection.
 
 from repro.experiments import TournamentConfig, format_table, run_tournament
 
-from conftest import once
+from conftest import available_cpus, once
 
-CONFIG = TournamentConfig(repetitions=2, rounds=10)
+#: Fan the grid out when the hardware allows; results are identical to
+#: the serial run either way (see repro.runtime).
+_WORKERS = min(4, available_cpus())
+
+CONFIG = TournamentConfig(repetitions=2, rounds=10, workers=_WORKERS)
 
 
 def test_metagame_tournament(benchmark, report):

@@ -1,0 +1,105 @@
+"""Sweep-runner micro-benchmark: serial vs parallel tournament grid.
+
+Times the default meta-game tournament grid (4 collectors x 4
+adversaries x 2 repetitions of 10-round games) through the
+:mod:`repro.runtime` sweep runner, once serially (``workers=1``) and
+once on a 4-process pool (``workers=4``), asserts the two payoff
+matrices are byte-identical, and persists the wall-clock trajectory to
+``benchmarks/results/BENCH_sweep.json`` so later performance PRs have a
+baseline to beat.
+
+The parallel speedup is hardware-bound: the assertion only requires
+>= 2x when at least 4 CPUs are actually available (on a single-core
+container the pool can't beat the serial loop — determinism is still
+asserted).  Run standalone with ``python benchmarks/bench_sweep_runner.py``.
+"""
+
+import dataclasses
+import json
+import os
+import time
+
+from repro.experiments import TournamentConfig, run_tournament
+
+from conftest import available_cpus
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+BENCH_PATH = os.path.join(RESULTS_DIR, "BENCH_sweep.json")
+
+#: The default tournament grid (32 games of 10 rounds each).
+BASE = TournamentConfig()
+PARALLEL_WORKERS = 4
+
+
+def run_sweep_benchmark() -> dict:
+    """Time the grid serially and in parallel; return the measurements."""
+    t0 = time.perf_counter()
+    serial = run_tournament(BASE)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_tournament(
+        dataclasses.replace(BASE, workers=PARALLEL_WORKERS)
+    )
+    parallel_s = time.perf_counter() - t0
+
+    identical = bool(
+        serial.adversary_payoffs.tobytes() == parallel.adversary_payoffs.tobytes()
+        and serial.collector_payoffs.tobytes()
+        == parallel.collector_payoffs.tobytes()
+    )
+    n_games = (
+        len(serial.collector_names)
+        * len(serial.adversary_names)
+        * BASE.repetitions
+    )
+    return {
+        "grid": {
+            "collectors": list(serial.collector_names),
+            "adversaries": list(serial.adversary_names),
+            "repetitions": BASE.repetitions,
+            "rounds": BASE.rounds,
+            "n_games": n_games,
+        },
+        "workers": PARALLEL_WORKERS,
+        "available_cpus": available_cpus(),
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else float("inf"),
+        "serial_games_per_second": n_games / serial_s,
+        "matrices_byte_identical": identical,
+    }
+
+
+def _persist(payload: dict) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def test_sweep_runner_parallelism(report):
+    payload = run_sweep_benchmark()
+    _persist(payload)
+    report(
+        "sweep_runner",
+        "Sweep runner: default tournament grid "
+        f"({payload['grid']['n_games']} games)\n"
+        f"serial {payload['serial_seconds']:.3f}s | "
+        f"{PARALLEL_WORKERS} workers {payload['parallel_seconds']:.3f}s | "
+        f"speedup {payload['speedup']:.2f}x on "
+        f"{payload['available_cpus']} CPU(s)",
+    )
+
+    # Correctness gate: parallel execution must not change a single bit.
+    assert payload["matrices_byte_identical"]
+    # Performance gate: only meaningful when the hardware can parallelize.
+    if payload["available_cpus"] >= PARALLEL_WORKERS:
+        assert payload["speedup"] >= 2.0
+
+
+if __name__ == "__main__":
+    result = run_sweep_benchmark()
+    _persist(result)
+    print(json.dumps(result, indent=2))
+    print(f"written to {BENCH_PATH}")

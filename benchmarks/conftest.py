@@ -14,6 +14,14 @@ import pytest
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
+def available_cpus() -> int:
+    """CPUs usable by this process (affinity-aware, cross-platform)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
 @pytest.fixture(scope="session")
 def report():
     """Print a rendered table and persist it under benchmarks/results/."""

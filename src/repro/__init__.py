@@ -74,9 +74,17 @@ from .core.strategies import (
     TitForTatCollector,
     UniformRangeAdversary,
 )
-from .experiments import SCHEMES, make_scheme
+from .experiments import SCHEMES, make_scheme, scheme_specs
+from .runtime import (
+    ComponentSpec,
+    GameRecord,
+    GameSpec,
+    StrategyPair,
+    SweepGrid,
+    SweepRunner,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -122,4 +130,12 @@ __all__ = [
     # experiments
     "SCHEMES",
     "make_scheme",
+    "scheme_specs",
+    # sweep runtime
+    "ComponentSpec",
+    "GameSpec",
+    "GameRecord",
+    "StrategyPair",
+    "SweepGrid",
+    "SweepRunner",
 ]

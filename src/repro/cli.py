@@ -6,11 +6,15 @@ Usage::
     python -m repro run table4
     python -m repro run fig9 --scale full
     python -m repro run all --scale quick
+    python -m repro sweep --schemes titfortat,elastic0.5 \
+        --ratios 0.1,0.2,0.4 --reps 5 --workers 4
 
 ``--scale quick`` (default) uses the scaled-down configurations of the
 benchmark harness; ``--scale full`` moves toward the paper's settings
 (more repetitions, full attack-ratio grids) at a correspondingly longer
-runtime.
+runtime.  ``sweep`` runs an ad-hoc scheme × attack-ratio × repetition
+grid on the :mod:`repro.runtime` sweep runner — ``--workers N`` fans the
+games out over N processes with results identical to a serial run.
 """
 
 from __future__ import annotations
@@ -218,6 +222,82 @@ def _metagame(scale: str) -> str:
     )
 
 
+def _parse_csv(text: str) -> List[str]:
+    items = [item.strip() for item in text.split(",") if item.strip()]
+    if not items:
+        raise argparse.ArgumentTypeError("expected a comma-separated list")
+    return items
+
+
+def _parse_floats(text: str) -> List[float]:
+    try:
+        return [float(item) for item in _parse_csv(text)]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a float list: {text!r}")
+
+
+def _sweep(args: argparse.Namespace) -> str:
+    """Run a scheme × ratio × repetition grid on the sweep runner."""
+    from .experiments.schemes import scheme_specs
+    from .runtime import StrategyPair, SweepGrid, SweepRunner
+
+    pairs = tuple(
+        StrategyPair(scheme, *scheme_specs(scheme, args.t_th))
+        for scheme in args.schemes
+    )
+    grid = SweepGrid(
+        pairs=pairs,
+        datasets=tuple(args.datasets),
+        attack_ratios=tuple(args.ratios),
+        repetitions=args.reps,
+        rounds=args.rounds,
+        batch_size=args.batch_size,
+        seed=args.seed,
+    )
+    records = SweepRunner(workers=args.workers).run_grid(grid)
+
+    grouped: Dict[tuple, list] = {}
+    for record in records:
+        key = (record["dataset"], record["pair"], record["attack_ratio"])
+        grouped.setdefault(key, []).append(record)
+
+    import numpy as np
+
+    rows = []
+    for (dataset, scheme, ratio), reps in sorted(grouped.items()):
+        terminations = [
+            r.termination_round for r in reps if r.termination_round is not None
+        ]
+        rows.append(
+            (
+                dataset,
+                scheme,
+                ratio,
+                float(np.mean([r.poison_retained_fraction for r in reps])),
+                float(np.mean([r.trimmed_fraction for r in reps])),
+                float(np.mean(terminations)) if terminations else "-",
+            )
+        )
+    title = (
+        f"Sweep: {grid.n_cells} games "
+        f"({len(args.schemes)} schemes x {len(args.ratios)} ratios x "
+        f"{args.reps} reps x {len(args.datasets)} datasets), "
+        f"workers={args.workers}, seed={args.seed}"
+    )
+    return format_table(
+        [
+            "dataset",
+            "scheme",
+            "attack ratio",
+            "poison kept",
+            "trimmed",
+            "avg termination",
+        ],
+        rows,
+        title=title,
+    )
+
+
 #: Artifact name -> (description, runner).
 ARTIFACTS: Dict[str, tuple] = {
     "table1": ("ultimatum game payoff matrix (Table I)", _table1),
@@ -250,6 +330,40 @@ def _build_parser() -> argparse.ArgumentParser:
         default="quick",
         help="quick = benchmark-sized, full = closer to the paper's settings",
     )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="play a scheme x ratio x repetition grid on the sweep runner",
+    )
+    sweep.add_argument(
+        "--schemes",
+        type=_parse_csv,
+        default=["titfortat", "elastic0.5"],
+        help="comma-separated scheme names (see repro.experiments.SCHEMES)",
+    )
+    sweep.add_argument(
+        "--datasets",
+        type=_parse_csv,
+        default=["control"],
+        help="comma-separated dataset registry names",
+    )
+    sweep.add_argument(
+        "--ratios",
+        type=_parse_floats,
+        default=[0.1, 0.2, 0.4],
+        help="comma-separated attack ratios",
+    )
+    sweep.add_argument("--reps", type=int, default=3, help="repetitions per cell")
+    sweep.add_argument("--rounds", type=int, default=20, help="rounds per game")
+    sweep.add_argument("--batch-size", type=int, default=100)
+    sweep.add_argument("--t-th", type=float, default=0.9, help="headline threshold")
+    sweep.add_argument("--seed", type=int, default=0, help="root seed entropy")
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial; results identical either way)",
+    )
     return parser
 
 
@@ -260,6 +374,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         rows = [(name, desc) for name, (desc, _) in sorted(ARTIFACTS.items())]
         print(format_table(["artifact", "description"], rows))
+        return 0
+
+    if args.command == "sweep":
+        try:
+            print(_sweep(args))
+        except (ValueError, KeyError) as exc:  # unknown scheme/dataset, bad workers, ...
+            print(f"repro sweep: error: {exc}")
+            return 2
         return 0
 
     names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]

@@ -66,9 +66,14 @@ class BandExcessJudge:
         self.band = (float(lo), float(hi))
         self.margin = float(margin)
         self.noise_sigma = float(noise_sigma)
+        self._seed = seed
         self._rng = np.random.default_rng(seed)
         self._band_values: Optional[tuple] = None
         self._clean_mass = hi - lo
+
+    def reset(self) -> None:
+        """Rewind the noise stream so a reused judge replays identically."""
+        self._rng = np.random.default_rng(self._seed)
 
     def fit(self, reference_scores: np.ndarray) -> "BandExcessJudge":
         """Calibrate the band value cutoffs on clean reference scores."""
@@ -128,7 +133,12 @@ class NoisyPositionJudge:
         self.boundary = float(boundary)
         self.miss_rate = float(miss_rate)
         self.false_positive_rate = float(false_positive_rate)
+        self._seed = seed
         self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        """Rewind the noise stream so a reused judge replays identically."""
+        self._rng = np.random.default_rng(self._seed)
 
     def fit(self, reference_scores) -> "NoisyPositionJudge":
         """Stateless; present for engine-interface uniformity."""
@@ -291,10 +301,19 @@ class CollectionGame:
         return np.concatenate([benign, poison], axis=0)
 
     def run(self) -> GameResult:
-        """Play all rounds and return the game outcome."""
+        """Play all rounds and return the game outcome.
+
+        Every stochastic component is rewound first, so calling ``run``
+        again on the same engine replays the identical game — the
+        contract sweep repetitions and regression tests rely on.
+        """
         self.source.reset()
         self.collector.reset()
         self.adversary.reset()
+        self.injector.reset()
+        judge_reset = getattr(self.judge, "reset", None)
+        if callable(judge_reset):  # custom judges may be stateless
+            judge_reset()
         board = PublicBoard()
         last_obs: Optional[RoundObservation] = None
 
@@ -319,7 +338,13 @@ class CollectionGame:
 
             report = self.trimmer.trim(combined, trim_q)
             retained = combined[report.kept]
-            retained_scores = self.trimmer.scores(combined)[report.kept]
+            # Single-pass scoring: the trim report carries the batch
+            # scores, so the judge reuses them instead of a second
+            # ``Trimmer.scores`` sweep (custom trimmers may omit them).
+            if report.scores is not None:
+                retained_scores = report.kept_scores
+            else:
+                retained_scores = self.trimmer.scores(combined)[report.kept]
 
             quality = self.quality_evaluator.normalized(combined)
             observed_ratio = self.quality_evaluator.score(combined)

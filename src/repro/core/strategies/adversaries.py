@@ -76,13 +76,16 @@ class UniformRangeAdversary(AdversaryStrategy):
             raise ValueError("need 0 <= low < high <= 1")
         self.low = float(low)
         self.high = float(high)
+        self._seed = seed
         self._rng = np.random.default_rng(seed)
         self.name = f"uniform[{self.low:.2f},{self.high:.2f}]"
 
     def reset(self) -> None:
-        # Deliberately keep the RNG stream: repeated games draw fresh
-        # positions; reproducibility is controlled by the seed.
-        pass
+        # Rewind the position stream: the engine resets every component
+        # at the start of run(), so a reused seeded instance replays the
+        # identical game.  Sweeps wanting fresh positions per repetition
+        # build fresh instances with per-cell derived seeds.
+        self._rng = np.random.default_rng(self._seed)
 
     def _draw(self) -> float:
         return float(self._rng.uniform(self.low, self.high))
@@ -149,12 +152,16 @@ class MixedAdversary(AdversaryStrategy):
         self.p = float(p)
         self.equilibrium_position = float(equilibrium_position)
         self.greedy_position = float(greedy_position)
+        self._seed = seed
         self._rng = np.random.default_rng(seed)
         self.name = f"mixed(p={self.p:g})"
         self.last_was_greedy = False
 
     def reset(self) -> None:
         self.last_was_greedy = False
+        # Rewind the draw stream so a reused seeded instance replays
+        # identically (see UniformRangeAdversary.reset).
+        self._rng = np.random.default_rng(self._seed)
 
     def _draw(self) -> float:
         if self._rng.random() < self.p:

@@ -82,7 +82,9 @@ class ElasticCollector(CollectorStrategy):
         self.soft_offset = float(soft_offset)
         self.hard_offset = float(hard_offset)
         self.name = f"elastic{self.k:g}"
-        self._current = self.first()
+        # Initialize through reset() so construction and game-over-game
+        # reuse share one state path (the engine replays reset + first).
+        self.reset()
 
     def _clip(self, q: float) -> float:
         return min(1.0, max(0.0, q))
@@ -151,7 +153,7 @@ class ElasticAdversary(AdversaryStrategy):
         self.init_offset = float(init_offset)
         self.base_offset = float(base_offset)
         self.name = f"elastic-adversary{self.k:g}"
-        self._current = self.first()
+        self.reset()
 
     def _clip(self, q: float) -> float:
         return min(1.0, max(0.0, q))

@@ -147,6 +147,7 @@ class TitForTatCollector(CollectorStrategy):
         self.hard_offset = float(hard_offset)
         self._triggered = False
         self._terminated_round: Optional[int] = None
+        self.reset()
 
     # ------------------------------------------------------------------ #
     @property

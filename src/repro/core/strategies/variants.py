@@ -92,8 +92,14 @@ class GenerousCollector(_TwoLevelCollector):
         if not 0.0 <= generosity <= 1.0:
             raise ValueError("generosity must be a probability")
         self.generosity = float(generosity)
+        self._seed = seed
         self._rng = np.random.default_rng(seed)
         self.name = f"generous{self.generosity:g}"
+
+    def reset(self) -> None:
+        # Rewind the forgiveness stream so a reused (seeded) instance
+        # replays identically game over game.
+        self._rng = np.random.default_rng(self._seed)
 
     def react(self, last: RoundObservation) -> float:
         if last.betrayal and self._rng.random() >= self.generosity:

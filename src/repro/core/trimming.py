@@ -43,12 +43,23 @@ class TrimReport:
 
     ``kept`` is a boolean mask over the input batch (True = retained);
     ``threshold_score`` is the score cutoff that realized the percentile;
-    ``percentile`` echoes the requested trimming position.
+    ``percentile`` echoes the requested trimming position; ``scores``
+    carries the per-point scores the decision was made on, so callers
+    (the game engine's hot loop in particular) never need a second
+    ``Trimmer.scores`` pass over the same batch.
     """
 
     kept: np.ndarray
     threshold_score: float
     percentile: float
+    scores: Optional[np.ndarray] = None
+
+    @property
+    def kept_scores(self) -> np.ndarray:
+        """Scores of the retained points (requires ``scores``)."""
+        if self.scores is None:
+            raise ValueError("this report was built without batch scores")
+        return self.scores[self.kept]
 
     @property
     def n_kept(self) -> int:
@@ -124,14 +135,24 @@ class Trimmer:
         batch_scores = self.scores(arr)
         if q >= 1.0:
             kept = np.ones(batch_scores.shape, dtype=bool)
-            return TrimReport(kept=kept, threshold_score=float("inf"), percentile=q)
+            return TrimReport(
+                kept=kept,
+                threshold_score=float("inf"),
+                percentile=q,
+                scores=batch_scores,
+            )
         cutoff = self._cutoff(batch_scores, q)
         kept = batch_scores <= cutoff
         if not kept.any():
             # Degenerate batch (every score above the cutoff); keep the
             # minimum-score point so downstream estimators stay defined.
             kept[int(np.argmin(batch_scores))] = True
-        return TrimReport(kept=kept, threshold_score=cutoff, percentile=q)
+        return TrimReport(
+            kept=kept,
+            threshold_score=cutoff,
+            percentile=q,
+            scores=batch_scores,
+        )
 
     def apply(self, batch, percentile: float) -> np.ndarray:
         """Convenience: trim and return only the retained rows/values."""

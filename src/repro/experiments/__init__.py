@@ -18,12 +18,13 @@ from .nonequilibrium import (
     run_nonequilibrium,
 )
 from .reporting import format_table, format_value
-from .schemes import SCHEMES, make_scheme
+from .schemes import SCHEMES, make_scheme, scheme_specs
 from .tournament import TournamentConfig, TournamentResult, run_tournament
 
 __all__ = [
     "SCHEMES",
     "make_scheme",
+    "scheme_specs",
     "format_table",
     "format_value",
     "EquilibriumConfig",

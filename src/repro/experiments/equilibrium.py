@@ -4,24 +4,36 @@ For each dataset, attack ratio and scheme, play the 20-round collection
 game, cluster the retained data with k-means, and report the two series
 the figures plot: the clustering SSE and the Distance between the fitted
 centroids and the clean ground-truth centroids (Hungarian-matched).
+
+The (scheme × attack ratio × repetition) grid runs on the
+:mod:`repro.runtime` sweep runner: per-cell seeds are derived with
+``SeedSequence`` spawn keys (the previous ``hash(scheme)``-based mixing
+was not even stable across interpreter runs), the k-means fit happens
+*inside* the worker so only the two scalars cross the process boundary,
+and ``EquilibriumConfig.workers > 1`` parallelizes the panel.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from functools import partial
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..core.engine import CollectionGame
 from ..core.quality import TailMassEvaluator
-from ..core.trimming import RadialTrimmer
-from ..datasets.registry import DATASETS, load_dataset
+from ..datasets.registry import DATASETS
 from ..ml.kmeans import kmeans
 from ..ml.metrics import centroid_distance, sse as metric_sse
-from ..streams.injection import PoisonInjector
-from ..streams.source import ArrayStream
-from .schemes import SCHEMES, make_scheme
+from ..runtime import (
+    ComponentSpec,
+    StrategyPair,
+    SweepGrid,
+    SweepRunner,
+    USER_CHANNEL,
+    load_reference,
+)
+from .schemes import SCHEMES, scheme_specs
 
 __all__ = ["EquilibriumConfig", "EquilibriumCell", "run_kmeans_experiment"]
 
@@ -44,6 +56,7 @@ class EquilibriumConfig:
     batch_size: int = 100
     dataset_size: Optional[int] = None
     seed: int = 0
+    workers: int = 1
 
 
 @dataclass(frozen=True)
@@ -61,8 +74,13 @@ def _ground_truth_centroids(data: np.ndarray, n_clusters: int, seed: int):
     return result.centroids
 
 
-def run_kmeans_experiment(config: EquilibriumConfig) -> List[EquilibriumCell]:
-    """Run one full panel and return all (scheme, ratio) cells.
+def _kmeans_reduce(
+    spec,
+    result,
+    n_clusters: int,
+    reference_centroids: np.ndarray,
+) -> dict:
+    """In-worker reducer: fit k-means on the retained data, score it.
 
     The fitted model is initialized from the clean ground-truth centroids
     (a warm start), so the reported SSE and Distance measure how far the
@@ -72,58 +90,70 @@ def run_kmeans_experiment(config: EquilibriumConfig) -> List[EquilibriumCell]:
     effects visible: surviving poison drags centroids (SSE up) and
     over-trimming shrinks the represented tail (SSE up).
     """
-    data, _ = load_dataset(config.dataset, n_samples=config.dataset_size)
+    data = load_reference(spec.dataset, spec.dataset_size)
+    fit = kmeans(
+        result.retained_data(),
+        n_clusters,
+        seed=spec.child_seed(USER_CHANNEL),
+        init=reference_centroids,
+    )
+    return {
+        "scheme": spec.tags["pair"],
+        "attack_ratio": spec.tags["attack_ratio"],
+        "rep": spec.tags["rep"],
+        "sse": metric_sse(data, fit.centroids),
+        "distance": centroid_distance(fit.centroids, reference_centroids),
+    }
+
+
+def run_kmeans_experiment(config: EquilibriumConfig) -> List[EquilibriumCell]:
+    """Run one full panel and return all (scheme, ratio) cells."""
+    data = load_reference(config.dataset, config.dataset_size)
     n_clusters = DATASETS[config.dataset].clusters
     reference_centroids = _ground_truth_centroids(data, n_clusters, config.seed)
 
+    grid = SweepGrid(
+        pairs=tuple(
+            StrategyPair(scheme, *scheme_specs(scheme, config.t_th))
+            for scheme in config.schemes
+        ),
+        datasets=(config.dataset,),
+        dataset_size=config.dataset_size,
+        attack_ratios=tuple(config.attack_ratios),
+        repetitions=config.repetitions,
+        rounds=config.rounds,
+        batch_size=config.batch_size,
+        anchor="reference",
+        quality=ComponentSpec(TailMassEvaluator),
+        seed=config.seed,
+    )
+    runner = SweepRunner(
+        workers=config.workers,
+        reduce=partial(
+            _kmeans_reduce,
+            n_clusters=n_clusters,
+            reference_centroids=reference_centroids,
+        ),
+    )
+    records = runner.run_grid(grid)
+
+    # Average repetitions per (scheme, ratio) in grid order; emit cells
+    # in the scheme-major order the figures plot.
+    grouped: dict = {}
+    for record in records:
+        grouped.setdefault(
+            (record["scheme"], record["attack_ratio"]), []
+        ).append(record)
     cells: List[EquilibriumCell] = []
     for scheme in config.schemes:
         for ratio in config.attack_ratios:
-            sse_values = []
-            dist_values = []
-            for rep in range(config.repetitions):
-                rep_seed = (
-                    config.seed
-                    + 1000 * rep
-                    + hash(scheme) % 997
-                    + int(ratio * 10_000)
-                )
-                collector, adversary = make_scheme(
-                    scheme, config.t_th, seed=rep_seed
-                )
-                game = CollectionGame(
-                    source=ArrayStream(
-                        data, batch_size=config.batch_size, seed=rep_seed
-                    ),
-                    collector=collector,
-                    adversary=adversary,
-                    injector=PoisonInjector(
-                        attack_ratio=ratio, mode="radial", seed=rep_seed + 1
-                    ),
-                    trimmer=RadialTrimmer(),
-                    reference=data,
-                    quality_evaluator=TailMassEvaluator(),
-                    rounds=config.rounds,
-                    anchor="reference",
-                )
-                result = game.run()
-                retained = result.retained_data()
-                fit = kmeans(
-                    retained,
-                    n_clusters,
-                    seed=rep_seed + 2,
-                    init=reference_centroids,
-                )
-                sse_values.append(metric_sse(data, fit.centroids))
-                dist_values.append(
-                    centroid_distance(fit.centroids, reference_centroids)
-                )
+            reps = grouped[(scheme, float(ratio))]
             cells.append(
                 EquilibriumCell(
                     scheme=scheme,
                     attack_ratio=float(ratio),
-                    sse=float(np.mean(sse_values)),
-                    distance=float(np.mean(dist_values)),
+                    sse=float(np.mean([r["sse"] for r in reps])),
+                    distance=float(np.mean([r["distance"] for r in reps])),
                 )
             )
     return cells

@@ -11,6 +11,12 @@ once triggered, trimming permanently hardens.  Reported per ``p``:
   25 for a 20-round game);
 * the proportion of untrimmed poison in the remaining data, for both
   Tit-for-tat and Elastic.
+
+The (p × scheme × repetition) grid runs on the :mod:`repro.runtime`
+sweep runner with ``SeedSequence``-derived per-cell seeds; the default
+:class:`~repro.runtime.runner.GameRecord` reducer already carries the
+termination round and poison fraction, so no custom reducer is needed
+and ``NonEquilibriumConfig.workers > 1`` parallelizes the sweep.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from ..core.engine import CollectionGame, NoisyPositionJudge
+from ..core.engine import NoisyPositionJudge
 from ..core.quality import TailMassEvaluator
 from ..core.strategies import (
     ElasticCollector,
@@ -28,10 +34,7 @@ from ..core.strategies import (
     MixedStrategyTrigger,
     TitForTatCollector,
 )
-from ..core.trimming import RadialTrimmer
-from ..datasets.registry import load_dataset
-from ..streams.injection import PoisonInjector
-from ..streams.source import ArrayStream
+from ..runtime import ComponentSpec, StrategyPair, SweepGrid, SweepRunner
 
 __all__ = ["NonEquilibriumConfig", "NonEquilibriumRow", "run_nonequilibrium"]
 
@@ -64,66 +67,101 @@ class NonEquilibriumConfig:
         0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
     )
     seed: int = 0
+    workers: int = 1
 
 
-def _play(config: NonEquilibriumConfig, data, collector, p: float, seed: int):
-    adversary = MixedAdversary(p, seed=seed + 7)
-    game = CollectionGame(
-        source=ArrayStream(data, batch_size=config.batch_size, seed=seed),
-        collector=collector,
-        adversary=adversary,
-        injector=PoisonInjector(
-            attack_ratio=config.attack_ratio, mode="radial", seed=seed + 1
-        ),
-        trimmer=RadialTrimmer(),
-        reference=data,
-        quality_evaluator=TailMassEvaluator(),
-        judge=NoisyPositionJudge(
-            boundary=config.t_th + 0.005,  # greedy (0.90) is below, eq (0.99) above
-            miss_rate=config.judge_miss_rate,
-            false_positive_rate=config.judge_false_positive_rate,
-            seed=seed + 3,
-        ),
-        rounds=config.rounds,
-        anchor="batch",
-    )
-    return game.run()
+def _pairs(config: NonEquilibriumConfig) -> tuple:
+    """Two pairs per ``p``: the triggered Tit-for-tat and the Elastic."""
+    pairs = []
+    for p in config.p_values:
+        adversary = ComponentSpec(MixedAdversary, {"p": float(p)}, seeded=True)
+        pairs.append(
+            StrategyPair(
+                name=f"titfortat@p={p:g}",
+                collector=ComponentSpec(
+                    TitForTatCollector,
+                    {
+                        "t_th": config.t_th,
+                        "trigger": ComponentSpec(
+                            MixedStrategyTrigger,
+                            {
+                                "equilibrium_probability": float(p),
+                                "redundancy": config.redundancy,
+                            },
+                        ),
+                    },
+                ),
+                adversary=adversary,
+                collector_name="titfortat",
+                adversary_name=f"mixed(p={p:g})",
+                tags={"p": float(p), "scheme": "titfortat"},
+            )
+        )
+        pairs.append(
+            StrategyPair(
+                name=f"elastic@p={p:g}",
+                collector=ComponentSpec(
+                    ElasticCollector,
+                    {"t_th": config.t_th, "k": config.elastic_k},
+                ),
+                adversary=adversary,
+                collector_name="elastic",
+                adversary_name=f"mixed(p={p:g})",
+                tags={"p": float(p), "scheme": "elastic"},
+            )
+        )
+    return tuple(pairs)
 
 
 def run_nonequilibrium(config: NonEquilibriumConfig) -> List[NonEquilibriumRow]:
     """Run the §VI-D sweep over the mixed-strategy parameter ``p``."""
-    rows: List[NonEquilibriumRow] = []
+    grid = SweepGrid(
+        pairs=_pairs(config),
+        datasets=(config.dataset,),
+        attack_ratios=(config.attack_ratio,),
+        repetitions=config.repetitions,
+        rounds=config.rounds,
+        batch_size=config.batch_size,
+        anchor="batch",
+        quality=ComponentSpec(TailMassEvaluator),
+        judge=ComponentSpec(
+            NoisyPositionJudge,
+            {
+                # greedy (0.90) is below the boundary, equilibrium (0.99)
+                # above it
+                "boundary": config.t_th + 0.005,
+                "miss_rate": config.judge_miss_rate,
+                "false_positive_rate": config.judge_false_positive_rate,
+            },
+            seeded=True,
+        ),
+        seed=config.seed,
+    )
+    records = SweepRunner(workers=config.workers).run_grid(grid)
+
     cap = config.rounds + 5  # the paper's never-terminated bookkeeping value
-    data, _ = load_dataset(config.dataset)
+    grouped: dict = {}
+    for record in records:
+        grouped.setdefault((record["p"], record["scheme"]), []).append(record)
 
+    rows: List[NonEquilibriumRow] = []
     for p in config.p_values:
-        terminations = []
-        tft_fractions = []
-        elastic_fractions = []
-        for rep in range(config.repetitions):
-            seed = config.seed + 10_000 * rep + int(round(p * 100))
-
-            tft = TitForTatCollector(
-                config.t_th,
-                trigger=MixedStrategyTrigger(p, redundancy=config.redundancy),
-            )
-            result_tft = _play(config, data, tft, p, seed)
-            terminations.append(
-                cap if result_tft.termination_round is None
-                else result_tft.termination_round
-            )
-            tft_fractions.append(result_tft.poison_retained_fraction())
-
-            elastic = ElasticCollector(config.t_th, config.elastic_k)
-            result_el = _play(config, data, elastic, p, seed + 17)
-            elastic_fractions.append(result_el.poison_retained_fraction())
-
+        tft = grouped[(float(p), "titfortat")]
+        elastic = grouped[(float(p), "elastic")]
+        terminations = [
+            cap if r.termination_round is None else r.termination_round
+            for r in tft
+        ]
         rows.append(
             NonEquilibriumRow(
                 p=float(p),
                 average_termination_rounds=float(np.mean(terminations)),
-                titfortat_poison_fraction=float(np.mean(tft_fractions)),
-                elastic_poison_fraction=float(np.mean(elastic_fractions)),
+                titfortat_poison_fraction=float(
+                    np.mean([r.poison_retained_fraction for r in tft])
+                ),
+                elastic_poison_fraction=float(
+                    np.mean([r.poison_retained_fraction for r in elastic])
+                ),
             )
         )
     return rows

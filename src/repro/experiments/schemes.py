@@ -33,8 +33,9 @@ from ..core.strategies import (
     TitForTatCollector,
     UniformRangeAdversary,
 )
+from ..runtime.spec import ComponentSpec
 
-__all__ = ["SCHEMES", "make_scheme"]
+__all__ = ["SCHEMES", "make_scheme", "scheme_specs"]
 
 #: Canonical scheme names, in the paper's plotting order.
 SCHEMES = (
@@ -46,6 +47,59 @@ SCHEMES = (
     "elastic0.1",
     "elastic0.5",
 )
+
+
+def scheme_specs(
+    name: str,
+    t_th: float,
+    elastic_rule: str = "paper",
+) -> Tuple[ComponentSpec, ComponentSpec]:
+    """Picklable (collector, adversary) factory specs for a scheme.
+
+    The sweep runtime builds a *fresh* pair per game cell from these
+    recipes, so concurrent games never share mutable strategy state.
+    Randomized components are flagged ``seeded`` and receive their
+    per-game seed from the spec's derivation channels.
+    """
+    key = name.strip().lower()
+    if key == "groundtruth":
+        return ComponentSpec(OstrichCollector), ComponentSpec(NullAdversary)
+    if key == "ostrich":
+        return (
+            ComponentSpec(OstrichCollector),
+            ComponentSpec(FixedAdversary, {"percentile": 0.99}),
+        )
+    if key == "baseline0.9":
+        return (
+            ComponentSpec(StaticCollector, {"threshold": 0.9}),
+            ComponentSpec(
+                UniformRangeAdversary, {"low": 0.9, "high": 1.0}, seeded=True
+            ),
+        )
+    if key in ("baseline_static", "baselinestatic"):
+        return (
+            ComponentSpec(StaticCollector, {"threshold": t_th}),
+            ComponentSpec(JustBelowAdversary, {"initial_threshold": t_th}),
+        )
+    if key == "titfortat":
+        return (
+            ComponentSpec(TitForTatCollector, {"t_th": t_th, "trigger": None}),
+            ComponentSpec(FixedAdversary, {"percentile": 0.99}),
+        )
+    if key.startswith("elastic"):
+        try:
+            k = float(key[len("elastic"):])
+        except ValueError:
+            raise ValueError(f"cannot parse elastic strength from {name!r}")
+        return (
+            ComponentSpec(
+                ElasticCollector, {"t_th": t_th, "k": k, "rule": elastic_rule}
+            ),
+            ComponentSpec(
+                ElasticAdversary, {"t_th": t_th, "k": k, "rule": elastic_rule}
+            ),
+        )
+    raise ValueError(f"unknown scheme {name!r}; options: {SCHEMES}")
 
 
 def make_scheme(
@@ -60,23 +114,5 @@ def make_scheme(
     0.97 in the paper); ``seed`` controls randomized adversaries;
     ``elastic_rule`` selects the Elastic update variant (DESIGN.md §4).
     """
-    key = name.strip().lower()
-    if key == "groundtruth":
-        return OstrichCollector(), NullAdversary()
-    if key == "ostrich":
-        return OstrichCollector(), FixedAdversary(0.99)
-    if key == "baseline0.9":
-        return StaticCollector(0.9), UniformRangeAdversary(0.9, 1.0, seed=seed)
-    if key in ("baseline_static", "baselinestatic"):
-        return StaticCollector(t_th), JustBelowAdversary(t_th)
-    if key == "titfortat":
-        return TitForTatCollector(t_th, trigger=None), FixedAdversary(0.99)
-    if key.startswith("elastic"):
-        try:
-            k = float(key[len("elastic"):])
-        except ValueError:
-            raise ValueError(f"cannot parse elastic strength from {name!r}")
-        collector = ElasticCollector(t_th, k, rule=elastic_rule)
-        adversary = ElasticAdversary(t_th, k, rule=elastic_rule)
-        return collector, adversary
-    raise ValueError(f"unknown scheme {name!r}; options: {SCHEMES}")
+    collector_spec, adversary_spec = scheme_specs(name, t_th, elastic_rule)
+    return collector_spec.build(seed), adversary_spec.build(seed)

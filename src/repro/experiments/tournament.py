@@ -13,54 +13,59 @@ Solving the matrix as a zero-sum game with the minimax LP then yields an
 the analytic expectations: tolerant collectors are exploited by evasive
 adversaries, the grim trigger dominates against extreme play, and the
 empirical equilibrium concentrates on the adaptive schemes.
+
+Execution goes through the :mod:`repro.runtime` sweep runner: the
+(collector × adversary × repetition) grid expands into self-contained
+:class:`~repro.runtime.spec.GameSpec` cells with collision-free
+``SeedSequence``-derived seeds (the previous ``seed + 101*rep + 13*i +
+7*j`` arithmetic collided across cells, silently correlating
+repetitions), and ``TournamentConfig.workers > 1`` plays the grid on a
+process pool — byte-identical to the serial run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from functools import partial
+from typing import Dict, Tuple
 
 import numpy as np
 
-from ..core.engine import CollectionGame
 from ..core.game import solve_zero_sum
-from ..core.trimming import RadialTrimmer
-from ..datasets.registry import load_dataset
-from ..streams.injection import PoisonInjector
-from ..streams.source import ArrayStream
+from ..core.strategies import (
+    ElasticAdversary,
+    ElasticCollector,
+    FixedAdversary,
+    JustBelowAdversary,
+    MixedAdversary,
+    OstrichCollector,
+    StaticCollector,
+    TitForTatCollector,
+)
+from ..runtime import ComponentSpec, SweepGrid, SweepRunner, cross_pairs
 
 __all__ = ["TournamentConfig", "TournamentResult", "run_tournament"]
 
 
-def _default_collectors(t_th: float) -> Dict[str, "type_factory"]:
-    from ..core.strategies import (
-        ElasticCollector,
-        OstrichCollector,
-        StaticCollector,
-        TitForTatCollector,
-    )
-
+def _default_collectors(t_th: float) -> Dict[str, ComponentSpec]:
     return {
-        "ostrich": lambda: OstrichCollector(),
-        "static": lambda: StaticCollector(t_th),
-        "titfortat": lambda: TitForTatCollector(t_th, trigger=None),
-        "elastic0.5": lambda: ElasticCollector(t_th, 0.5),
+        "ostrich": ComponentSpec(OstrichCollector),
+        "static": ComponentSpec(StaticCollector, {"threshold": t_th}),
+        "titfortat": ComponentSpec(
+            TitForTatCollector, {"t_th": t_th, "trigger": None}
+        ),
+        "elastic0.5": ComponentSpec(ElasticCollector, {"t_th": t_th, "k": 0.5}),
     }
 
 
-def _default_adversaries(t_th: float) -> Dict[str, "type_factory"]:
-    from ..core.strategies import (
-        ElasticAdversary,
-        FixedAdversary,
-        JustBelowAdversary,
-        MixedAdversary,
-    )
-
+def _default_adversaries(t_th: float) -> Dict[str, ComponentSpec]:
     return {
-        "extreme@0.99": lambda seed: FixedAdversary(0.99),
-        "just-below": lambda seed: JustBelowAdversary(t_th),
-        "mixed(p=0.5)": lambda seed: MixedAdversary(0.5, seed=seed),
-        "elastic0.5": lambda seed: ElasticAdversary(t_th, 0.5),
+        "extreme@0.99": ComponentSpec(FixedAdversary, {"percentile": 0.99}),
+        "just-below": ComponentSpec(
+            JustBelowAdversary, {"initial_threshold": t_th}
+        ),
+        "mixed(p=0.5)": ComponentSpec(MixedAdversary, {"p": 0.5}, seeded=True),
+        "elastic0.5": ComponentSpec(ElasticAdversary, {"t_th": t_th, "k": 0.5}),
     }
 
 
@@ -76,6 +81,7 @@ class TournamentConfig:
     batch_size: int = 100
     overhead_weight: float = 1.0
     seed: int = 0
+    workers: int = 1
 
 
 @dataclass(frozen=True)
@@ -124,44 +130,60 @@ def _score_game(result, overhead_weight: float) -> Tuple[float, float]:
     return adversary, collector
 
 
+def _payoff_reduce(spec, result, overhead_weight: float) -> dict:
+    """In-worker reducer: tags plus the two §III-B payoffs."""
+    adversary, collector = _score_game(result, overhead_weight)
+    return {
+        "collector": spec.tags["collector"],
+        "adversary": spec.tags["adversary"],
+        "rep": spec.tags["rep"],
+        "adversary_payoff": adversary,
+        "collector_payoff": collector,
+    }
+
+
 def run_tournament(config: TournamentConfig) -> TournamentResult:
     """Play the full strategy cross-product and solve the meta-game."""
-    data, _ = load_dataset(config.dataset)
     collectors = _default_collectors(config.t_th)
     adversaries = _default_adversaries(config.t_th)
-
     collector_names = tuple(collectors)
     adversary_names = tuple(adversaries)
+
+    grid = SweepGrid(
+        pairs=cross_pairs(collectors, adversaries),
+        datasets=(config.dataset,),
+        attack_ratios=(config.attack_ratio,),
+        repetitions=config.repetitions,
+        rounds=config.rounds,
+        batch_size=config.batch_size,
+        anchor="reference",
+        seed=config.seed,
+    )
+    runner = SweepRunner(
+        workers=config.workers,
+        reduce=partial(_payoff_reduce, overhead_weight=config.overhead_weight),
+    )
+    records = runner.run_grid(grid)
+
+    # Aggregate repetitions in grid order: the per-cell means are summed
+    # in a fixed sequence, so the matrices are byte-identical for any
+    # worker count.
+    cells: Dict[Tuple[str, str], list] = {}
+    for record in records:
+        key = (record["adversary"], record["collector"])
+        cells.setdefault(key, []).append(record)
+
     adv_matrix = np.zeros((len(adversary_names), len(collector_names)))
     col_matrix = np.zeros_like(adv_matrix)
-
-    for j, cname in enumerate(collector_names):
-        for i, aname in enumerate(adversary_names):
-            adv_scores = []
-            col_scores = []
-            for rep in range(config.repetitions):
-                seed = config.seed + 101 * rep + 13 * i + 7 * j
-                game = CollectionGame(
-                    source=ArrayStream(
-                        data, batch_size=config.batch_size, seed=seed
-                    ),
-                    collector=collectors[cname](),
-                    adversary=adversaries[aname](seed + 1),
-                    injector=PoisonInjector(
-                        attack_ratio=config.attack_ratio,
-                        mode="radial",
-                        seed=seed + 2,
-                    ),
-                    trimmer=RadialTrimmer(),
-                    reference=data,
-                    rounds=config.rounds,
-                    anchor="reference",
-                )
-                a, c = _score_game(game.run(), config.overhead_weight)
-                adv_scores.append(a)
-                col_scores.append(c)
-            adv_matrix[i, j] = float(np.mean(adv_scores))
-            col_matrix[i, j] = float(np.mean(col_scores))
+    for i, aname in enumerate(adversary_names):
+        for j, cname in enumerate(collector_names):
+            reps = cells[(aname, cname)]
+            adv_matrix[i, j] = float(
+                np.mean([r["adversary_payoff"] for r in reps])
+            )
+            col_matrix[i, j] = float(
+                np.mean([r["collector_payoff"] for r in reps])
+            )
 
     # Solve the zero-sum reading of the meta-game (adversary maximizes
     # surviving weighted poison; the overhead enters the collector's own

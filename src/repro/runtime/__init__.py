@@ -1,0 +1,76 @@
+"""Parallel sweep runtime: declarative game specs and grid execution.
+
+The paper's experiments (Figs. 4–9, Tables I–IV) are all sweeps over
+repeated collection games.  This subsystem factors the shared mechanics
+out of the individual experiment runners:
+
+* :mod:`repro.runtime.spec` — :class:`ComponentSpec` (picklable factory
+  recipes) and :class:`GameSpec` (one fully-described game cell with
+  deterministic ``SeedSequence`` seed derivation);
+* :mod:`repro.runtime.runner` — :class:`SweepGrid` (cross-product
+  expansion with collision-free per-cell seeds) and :class:`SweepRunner`
+  (serial or process-parallel execution with in-worker reduction).
+
+Quickstart::
+
+    from repro.runtime import (
+        ComponentSpec, StrategyPair, SweepGrid, SweepRunner,
+    )
+    from repro.core.strategies import ElasticCollector, FixedAdversary
+
+    grid = SweepGrid(
+        pairs=(
+            StrategyPair(
+                "elastic-vs-extreme",
+                ComponentSpec(ElasticCollector, {"t_th": 0.9, "k": 0.5}),
+                ComponentSpec(FixedAdversary, {"percentile": 0.99}),
+            ),
+        ),
+        attack_ratios=(0.1, 0.2, 0.4),
+        repetitions=5,
+        seed=0,
+    )
+    records = SweepRunner(workers=4).run_grid(grid)
+"""
+
+from .runner import (
+    GameRecord,
+    StrategyPair,
+    SweepGrid,
+    SweepRunner,
+    cross_pairs,
+    play_game,
+    summarize_game,
+)
+from .spec import (
+    ADVERSARY_CHANNEL,
+    COLLECTOR_CHANNEL,
+    ComponentSpec,
+    GameSpec,
+    INJECTOR_CHANNEL,
+    JUDGE_CHANNEL,
+    QUALITY_CHANNEL,
+    SOURCE_CHANNEL,
+    USER_CHANNEL,
+    load_reference,
+)
+
+__all__ = [
+    "ComponentSpec",
+    "GameSpec",
+    "GameRecord",
+    "StrategyPair",
+    "SweepGrid",
+    "SweepRunner",
+    "cross_pairs",
+    "play_game",
+    "summarize_game",
+    "load_reference",
+    "SOURCE_CHANNEL",
+    "COLLECTOR_CHANNEL",
+    "ADVERSARY_CHANNEL",
+    "INJECTOR_CHANNEL",
+    "JUDGE_CHANNEL",
+    "QUALITY_CHANNEL",
+    "USER_CHANNEL",
+]

@@ -1,0 +1,280 @@
+"""Sweep execution: grid expansion and (optionally parallel) game runs.
+
+The runner is the shared execution layer the paper's experiments sit on:
+
+1. :class:`SweepGrid` expands a declarative cross-product — datasets ×
+   attack ratios × strategy pairs × repetitions — into a flat list of
+   :class:`~repro.runtime.spec.GameSpec` cells, deriving one
+   collision-free :class:`numpy.random.SeedSequence` per cell from the
+   cell's *coordinates* (``spawn_key=(dataset, ratio, pair, rep)``), so
+   results are reproducible and independent of expansion or execution
+   order.
+2. :class:`SweepRunner` plays the cells — serially, or fanned out over a
+   ``ProcessPoolExecutor`` with a configurable ``chunksize`` — and
+   returns one record per cell *in grid order*.  Because every spec is
+   self-contained (own seeds, own component recipes) and records are
+   collected in submission order, ``workers=1`` and ``workers=N``
+   produce byte-identical results.
+3. A *reducer* — any picklable ``f(spec, result) -> record`` — turns the
+   heavy in-worker :class:`~repro.core.engine.GameResult` (boards carry
+   every retained row) into the small record that crosses the process
+   boundary.  The default :func:`summarize_game` reducer emits a
+   :class:`GameRecord` with the bookkeeping totals every experiment
+   reports.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.engine import GameResult
+from ..core.trimming import RadialTrimmer
+from .spec import ComponentSpec, GameSpec
+
+__all__ = [
+    "GameRecord",
+    "StrategyPair",
+    "SweepGrid",
+    "SweepRunner",
+    "cross_pairs",
+    "play_game",
+    "summarize_game",
+]
+
+
+@dataclass(frozen=True)
+class GameRecord:
+    """Per-game summary record (the default reducer's output)."""
+
+    tags: Mapping[str, Any]
+    collector: str
+    adversary: str
+    rounds: int
+    termination_round: Optional[int]
+    n_collected: int
+    n_retained: int
+    n_poison_injected: int
+    n_poison_retained: int
+    poison_retained_fraction: float
+    trimmed_fraction: float
+    mean_trim_percentile: float
+
+    def __getitem__(self, key: str) -> Any:
+        """Dict-style access to tags, for aggregation convenience."""
+        return self.tags[key]
+
+
+def summarize_game(spec: GameSpec, result: GameResult) -> GameRecord:
+    """The default reducer: compress a game into its bookkeeping totals."""
+    entries = result.board.entries
+    n_collected = sum(e.n_collected for e in entries)
+    n_retained = sum(int(e.retained.shape[0]) for e in entries)
+    return GameRecord(
+        tags=dict(spec.tags),
+        collector=result.collector_name,
+        adversary=result.adversary_name,
+        rounds=result.rounds,
+        termination_round=result.termination_round,
+        n_collected=n_collected,
+        n_retained=n_retained,
+        n_poison_injected=sum(e.n_poison_injected for e in entries),
+        n_poison_retained=sum(e.n_poison_retained for e in entries),
+        poison_retained_fraction=result.poison_retained_fraction(),
+        trimmed_fraction=result.trimmed_fraction(),
+        mean_trim_percentile=float(np.mean(result.threshold_path())),
+    )
+
+
+def play_game(spec: GameSpec) -> GameResult:
+    """Module-level (picklable) entry point: build and play one spec."""
+    return spec.play()
+
+
+def _run_cell(spec: GameSpec, reduce: Optional[Callable] = None) -> Any:
+    """Play one cell and reduce it in-process (worker-side)."""
+    result = spec.play()
+    if reduce is None:
+        return summarize_game(spec, result)
+    return reduce(spec, result)
+
+
+@dataclass(frozen=True)
+class StrategyPair:
+    """One named (collector, adversary) pairing of a sweep.
+
+    ``tags`` are merged into every cell spawned from the pair — use them
+    to carry scheme parameters (e.g. the mixed-strategy ``p``) into
+    reducers and aggregation.
+    """
+
+    name: str
+    collector: ComponentSpec
+    adversary: ComponentSpec
+    collector_name: Optional[str] = None
+    adversary_name: Optional[str] = None
+    tags: Mapping[str, Any] = field(default_factory=dict)
+
+
+def cross_pairs(
+    collectors: Mapping[str, ComponentSpec],
+    adversaries: Mapping[str, ComponentSpec],
+) -> Tuple[StrategyPair, ...]:
+    """Full cross-product of named collector and adversary specs."""
+    return tuple(
+        StrategyPair(
+            name=f"{cname}|{aname}",
+            collector=cspec,
+            adversary=aspec,
+            collector_name=cname,
+            adversary_name=aname,
+        )
+        for cname, cspec in collectors.items()
+        for aname, aspec in adversaries.items()
+    )
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """Declarative sweep: datasets × attack ratios × pairs × repetitions.
+
+    ``seed`` is the root entropy; each cell receives
+    ``SeedSequence(seed, spawn_key=(dataset_i, ratio_i, pair_i, rep))``,
+    which is what ``SeedSequence.spawn`` would produce for that
+    coordinate — deterministic, collision-free, and stable under
+    re-expansion (unlike arithmetic seed mixing, which silently
+    correlates cells whenever the linear combinations coincide).
+    """
+
+    pairs: Sequence[StrategyPair]
+    datasets: Sequence[str] = ("control",)
+    attack_ratios: Sequence[float] = (0.2,)
+    repetitions: int = 1
+    rounds: int = 20
+    batch_size: int = 100
+    dataset_size: Optional[int] = None
+    anchor: str = "reference"
+    injection_mode: str = "radial"
+    injection_jitter: float = 0.01
+    trimmer: ComponentSpec = field(
+        default_factory=lambda: ComponentSpec(RadialTrimmer)
+    )
+    quality: Optional[ComponentSpec] = None
+    judge: Optional[ComponentSpec] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.pairs:
+            raise ValueError("grid needs at least one strategy pair")
+        if not self.datasets or not self.attack_ratios:
+            raise ValueError("grid needs at least one dataset and one ratio")
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+
+    @property
+    def n_cells(self) -> int:
+        """Number of games the grid expands to."""
+        return (
+            len(self.datasets)
+            * len(self.attack_ratios)
+            * len(self.pairs)
+            * self.repetitions
+        )
+
+    def expand(self) -> List[GameSpec]:
+        """Flatten the grid into per-cell :class:`GameSpec` objects."""
+        specs: List[GameSpec] = []
+        for d_i, dataset in enumerate(self.datasets):
+            for r_i, ratio in enumerate(self.attack_ratios):
+                for p_i, pair in enumerate(self.pairs):
+                    for rep in range(self.repetitions):
+                        tags = {
+                            "dataset": dataset,
+                            "attack_ratio": float(ratio),
+                            "pair": pair.name,
+                            "collector": pair.collector_name or pair.name,
+                            "adversary": pair.adversary_name or pair.name,
+                            "rep": rep,
+                        }
+                        tags.update(pair.tags)
+                        specs.append(
+                            GameSpec(
+                                collector=pair.collector,
+                                adversary=pair.adversary,
+                                dataset=dataset,
+                                dataset_size=self.dataset_size,
+                                attack_ratio=float(ratio),
+                                injection_mode=self.injection_mode,
+                                injection_jitter=self.injection_jitter,
+                                trimmer=self.trimmer,
+                                quality=self.quality,
+                                judge=self.judge,
+                                rounds=self.rounds,
+                                batch_size=self.batch_size,
+                                anchor=self.anchor,
+                                seed=np.random.SeedSequence(
+                                    self.seed, spawn_key=(d_i, r_i, p_i, rep)
+                                ),
+                                tags=tags,
+                            )
+                        )
+        return specs
+
+
+class SweepRunner:
+    """Executes sweep cells serially or across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        ``1`` (default) plays every game in-process; ``N > 1`` fans the
+        cells out over a ``ProcessPoolExecutor``.  Results are identical
+        either way — specs are self-contained and collected in order.
+    chunksize:
+        Cells handed to a worker per dispatch; defaults to
+        ``ceil(n_cells / (4 * workers))`` so each worker sees a few
+        chunks (amortizing IPC) while the tail stays balanced.
+    reduce:
+        Picklable ``f(spec, result) -> record`` applied *inside* the
+        worker, so only the (small) record crosses the process boundary.
+        Defaults to :func:`summarize_game`.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        chunksize: Optional[int] = None,
+        reduce: Optional[Callable[[GameSpec, GameResult], Any]] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
+        self.workers = int(workers)
+        self.chunksize = chunksize
+        self.reduce = reduce
+
+    def run(self, specs: Sequence[GameSpec]) -> List[Any]:
+        """Play every spec and return one record per spec, in order."""
+        specs = list(specs)
+        if not specs:
+            return []
+        if self.workers == 1:
+            return [_run_cell(spec, self.reduce) for spec in specs]
+        call = partial(_run_cell, reduce=self.reduce)
+        chunksize = self.chunksize or max(
+            1, math.ceil(len(specs) / (4 * self.workers))
+        )
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(specs))
+        ) as pool:
+            return list(pool.map(call, specs, chunksize=chunksize))
+
+    def run_grid(self, grid: SweepGrid) -> List[Any]:
+        """Expand and run a :class:`SweepGrid`."""
+        return self.run(grid.expand())

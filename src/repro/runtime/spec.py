@@ -1,0 +1,240 @@
+"""Declarative, picklable game descriptions (the sweep runtime's unit).
+
+Every experiment in the paper is a *sweep*: a cross-product of seeds,
+strategy pairings, attack ratios and datasets, each cell of which is one
+full :class:`~repro.core.engine.CollectionGame`.  A :class:`GameSpec` is
+the self-contained description of one such cell — everything needed to
+*build and play* the game, expressed as data rather than live objects so
+it can cross a process boundary:
+
+* components (strategies, trimmer, judge, quality evaluator) are carried
+  as :class:`ComponentSpec` — an importable factory plus constructor
+  kwargs — instead of instances, so no game ever shares mutable strategy
+  state with another;
+* the dataset is carried by registry *name* (plus optional subsample
+  size) and loaded lazily — per worker process, through a small cache —
+  instead of being pickled into every cell;
+* randomness is carried as a :class:`numpy.random.SeedSequence`; every
+  stochastic component (stream shuffle, adversary, injector, judge,
+  collector) receives its own deterministic child derived with a fixed
+  *channel* index, so two specs with distinct spawn keys can never
+  collide the way ad-hoc ``seed + 13*i + 7*j`` arithmetic does.
+
+Because the spec fully determines the game, ``spec.play()`` returns the
+same :class:`~repro.core.engine.GameResult` whether it runs in the parent
+process or a worker — the property the parallel
+:class:`~repro.runtime.runner.SweepRunner` relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
+from typing import Any, Callable, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.engine import CollectionGame, GameResult
+from ..core.trimming import RadialTrimmer
+from ..datasets.registry import load_dataset
+from ..streams.injection import PoisonInjector
+from ..streams.source import ArrayStream
+
+__all__ = [
+    "ComponentSpec",
+    "GameSpec",
+    "SeedLike",
+    "load_reference",
+    "SOURCE_CHANNEL",
+    "COLLECTOR_CHANNEL",
+    "ADVERSARY_CHANNEL",
+    "INJECTOR_CHANNEL",
+    "JUDGE_CHANNEL",
+    "QUALITY_CHANNEL",
+    "USER_CHANNEL",
+]
+
+#: Fixed seed-derivation channels.  Each stochastic component of a game
+#: draws its seed from ``GameSpec.child_seed(<channel>)``; the indices
+#: are part of the reproducibility contract — reordering them changes
+#: every downstream stream.
+SOURCE_CHANNEL = 0
+COLLECTOR_CHANNEL = 1
+ADVERSARY_CHANNEL = 2
+INJECTOR_CHANNEL = 3
+JUDGE_CHANNEL = 4
+QUALITY_CHANNEL = 5
+#: First channel index reserved for user code (reducers, analytics).
+USER_CHANNEL = 8
+
+SeedLike = Union[int, np.random.SeedSequence]
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """An importable factory plus kwargs — a picklable recipe for one object.
+
+    ``factory`` must be a module-level callable (a class or function);
+    lambdas and closures cannot cross process boundaries.  ``kwargs``
+    values may themselves be :class:`ComponentSpec` instances (e.g. a
+    trigger inside a collector), which are built recursively.  With
+    ``seeded=True`` the build seed — a :class:`numpy.random.SeedSequence`
+    accepted verbatim by ``numpy.random.default_rng`` — is passed as the
+    ``seed`` keyword.
+    """
+
+    factory: Callable[..., Any]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    seeded: bool = False
+
+    def __post_init__(self) -> None:
+        if self.seeded and "seed" in self.kwargs:
+            raise ValueError(
+                "a seeded ComponentSpec derives its own 'seed' at build "
+                "time; remove the explicit 'seed' kwarg"
+            )
+
+    @staticmethod
+    def _nested_seed(
+        seed: Optional[SeedLike], index: int
+    ) -> Optional[np.random.SeedSequence]:
+        """A distinct child seed per nested component (never the parent's)."""
+        if seed is None:
+            return None
+        root = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
+        return np.random.SeedSequence(
+            entropy=root.entropy,
+            spawn_key=tuple(root.spawn_key) + (int(index),),
+        )
+
+    def build(self, seed: Optional[SeedLike] = None) -> Any:
+        """Instantiate the component (fresh object every call)."""
+        built = {}
+        for index, (key, value) in enumerate(self.kwargs.items()):
+            if isinstance(value, ComponentSpec):
+                built[key] = value.build(self._nested_seed(seed, index))
+            else:
+                built[key] = value
+        if self.seeded:
+            built["seed"] = seed
+        return self.factory(**built)
+
+    @property
+    def name(self) -> str:
+        """Best-effort display name of the component."""
+        return getattr(self.factory, "__name__", str(self.factory))
+
+
+@lru_cache(maxsize=8)
+def _load_reference_cached(name: str, size: Optional[int]) -> np.ndarray:
+    data, _ = load_dataset(name, n_samples=size)
+    data.setflags(write=False)  # shared across every game in this process
+    return data
+
+
+def load_reference(name: str, size: Optional[int] = None) -> np.ndarray:
+    """Load a registry dataset's feature matrix, cached per process.
+
+    Workers replaying many :class:`GameSpec` cells over the same dataset
+    hit the cache instead of regenerating it per game; the array is
+    marked read-only because it is shared.
+    """
+    return _load_reference_cached(name, None if size is None else int(size))
+
+
+@dataclass(frozen=True)
+class GameSpec:
+    """Complete, picklable description of one collection game.
+
+    Parameters mirror :class:`~repro.core.engine.CollectionGame`, with
+    live objects replaced by :class:`ComponentSpec` recipes and the
+    benign stream replaced by a dataset registry name.  ``tags`` is
+    free-form labeling (scheme name, attack ratio, repetition index …)
+    that sweep reducers use to place the cell in an aggregate table.
+    """
+
+    collector: ComponentSpec
+    adversary: ComponentSpec
+    dataset: str = "control"
+    dataset_size: Optional[int] = None
+    attack_ratio: float = 0.2
+    injection_mode: str = "radial"
+    injection_jitter: float = 0.01
+    trimmer: ComponentSpec = field(
+        default_factory=lambda: ComponentSpec(RadialTrimmer)
+    )
+    quality: Optional[ComponentSpec] = None
+    judge: Optional[ComponentSpec] = None
+    rounds: int = 20
+    batch_size: int = 100
+    anchor: str = "reference"
+    seed: SeedLike = 0
+    tags: Mapping[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def seed_sequence(self) -> np.random.SeedSequence:
+        """The spec's root :class:`~numpy.random.SeedSequence`."""
+        if isinstance(self.seed, np.random.SeedSequence):
+            return self.seed
+        return np.random.SeedSequence(self.seed)
+
+    def child_seed(self, channel: int) -> np.random.SeedSequence:
+        """Deterministic, collision-free child seed for one channel.
+
+        Equivalent to ``SeedSequence.spawn`` — the channel index extends
+        the spawn key — but stateless, so the same channel always yields
+        the same child no matter how many were derived before it.
+        """
+        root = self.seed_sequence()
+        return np.random.SeedSequence(
+            entropy=root.entropy,
+            spawn_key=tuple(root.spawn_key) + (int(channel),),
+        )
+
+    def with_tags(self, **tags: Any) -> "GameSpec":
+        """A copy of the spec with extra tags merged in."""
+        merged = dict(self.tags)
+        merged.update(tags)
+        return replace(self, tags=merged)
+
+    # ------------------------------------------------------------------ #
+    def build(self) -> CollectionGame:
+        """Materialize the game: load data, build components, wire engine."""
+        data = load_reference(self.dataset, self.dataset_size)
+        quality = (
+            None if self.quality is None
+            else self.quality.build(self.child_seed(QUALITY_CHANNEL))
+        )
+        judge = (
+            None if self.judge is None
+            else self.judge.build(self.child_seed(JUDGE_CHANNEL))
+        )
+        return CollectionGame(
+            source=ArrayStream(
+                data,
+                batch_size=self.batch_size,
+                seed=self.child_seed(SOURCE_CHANNEL),
+            ),
+            collector=self.collector.build(self.child_seed(COLLECTOR_CHANNEL)),
+            adversary=self.adversary.build(self.child_seed(ADVERSARY_CHANNEL)),
+            injector=PoisonInjector(
+                attack_ratio=self.attack_ratio,
+                jitter=self.injection_jitter,
+                mode=self.injection_mode,
+                seed=self.child_seed(INJECTOR_CHANNEL),
+            ),
+            trimmer=self.trimmer.build(),
+            reference=data,
+            quality_evaluator=quality,
+            judge=judge,
+            rounds=self.rounds,
+            anchor=self.anchor,
+        )
+
+    def play(self) -> GameResult:
+        """Build and run the game to completion."""
+        return self.build().run()

@@ -66,18 +66,37 @@ class DataCollector:
         self.strategy.reset()
         self._round = 0
         self._last: Optional[RoundObservation] = None
+        self._pending: Optional[float] = None
 
     @property
     def rounds_collected(self) -> int:
         """Number of batches processed so far."""
         return self._round
 
+    def _next_threshold(self) -> float:
+        """Compute-and-cache the next round's threshold.
+
+        ``strategy.react`` may mutate strategy state (Elastic's
+        ``_current``, trigger counters), so it must run exactly once per
+        round: the first caller — property read or :meth:`collect` —
+        computes it, and :meth:`collect` consumes the cached value.
+        """
+        if self._pending is None:
+            if self._last is None:
+                self._pending = float(self.strategy.first())
+            else:
+                self._pending = float(self.strategy.react(self._last))
+        return self._pending
+
     @property
     def current_threshold(self) -> float:
-        """The trimming percentile the next batch will receive."""
-        if self._last is None:
-            return self.strategy.first()
-        return self.strategy.react(self._last)
+        """The trimming percentile the next batch will receive.
+
+        Side-effect free with respect to the round protocol: reading it
+        any number of times leaves the retained data of the following
+        :meth:`collect` unchanged.
+        """
+        return self._next_threshold()
 
     def collect(self, batch) -> np.ndarray:
         """Trim one incoming batch and advance the strategy.
@@ -91,10 +110,8 @@ class DataCollector:
             raise ValueError("cannot collect an empty batch")
         self._round += 1
 
-        if self._last is None:
-            threshold = self.strategy.first()
-        else:
-            threshold = self.strategy.react(self._last)
+        threshold = self._next_threshold()
+        self._pending = None  # next round recomputes from the new state
 
         report = self.trimmer.trim(arr, threshold)
         quality = self.quality_evaluator.normalized(arr)
@@ -113,3 +130,4 @@ class DataCollector:
         self.strategy.reset()
         self._round = 0
         self._last = None
+        self._pending = None

@@ -73,6 +73,7 @@ class PoisonInjector:
         self.attack_ratio = float(attack_ratio)
         self.jitter = float(jitter)
         self.mode = mode
+        self._seed = seed
         self._rng = np.random.default_rng(seed)
         self._ref_center: Optional[np.ndarray] = None
         self._ref_scores: Optional[np.ndarray] = None
@@ -104,6 +105,10 @@ class PoisonInjector:
         else:
             raise ValueError("reference must be 1-D or 2-D")
         return self
+
+    def reset(self) -> None:
+        """Rewind the jitter stream so a reused injector replays identically."""
+        self._rng = np.random.default_rng(self._seed)
 
     def poison_count(self, n_benign: int) -> int:
         """Number of poison points injected alongside ``n_benign`` rows."""

@@ -6,6 +6,12 @@ import pytest
 from repro.datasets import generate_control
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: integration tests playing full collection games"
+    )
+
+
 @pytest.fixture(scope="session")
 def control_data():
     """The control-chart dataset (600 x 60) used across integration tests."""

@@ -6,10 +6,16 @@ import pytest
 from repro.core.engine import BandExcessJudge, CollectionGame, NoisyPositionJudge
 from repro.core.quality import TailMassEvaluator
 from repro.core.strategies import (
+    ElasticAdversary,
+    ElasticCollector,
     FixedAdversary,
+    GenerousCollector,
+    MixedStrategyTrigger,
     NullAdversary,
     OstrichCollector,
     StaticCollector,
+    TitForTatCollector,
+    TitForTwoTatsCollector,
 )
 from repro.core.trimming import RadialTrimmer, ValueTrimmer
 from repro.streams import ArrayStream, PoisonInjector
@@ -111,6 +117,45 @@ class TestCollectionGame:
         r2 = _game(data, StaticCollector(0.9), FixedAdversary(0.95)).run()
         assert r1.poison_retained_fraction() == r2.poison_retained_fraction()
         np.testing.assert_array_equal(r1.retained_data(), r2.retained_data())
+
+
+class TestStrategyReplay:
+    """Reused strategy objects must replay identically after reset().
+
+    ``CollectionGame.run`` resets both strategies, so playing the same
+    game twice on the *same* instances is the engine-level contract the
+    per-strategy ``reset`` implementations have to honor.
+    """
+
+    @pytest.mark.parametrize(
+        "make_collector",
+        [
+            lambda: ElasticCollector(0.9, 0.5, rule="relaxation"),
+            lambda: TitForTatCollector(
+                0.9, trigger=MixedStrategyTrigger(0.5, warmup=2)
+            ),
+            lambda: GenerousCollector(0.9, generosity=0.5, seed=11),
+            lambda: TitForTwoTatsCollector(0.9),
+        ],
+    )
+    def test_same_game_twice_identical_paths(self, rng, make_collector):
+        data = rng.normal(size=(500, 4))
+        collector = make_collector()
+        adversary = ElasticAdversary(0.9, 0.5, rule="relaxation")
+        game = _game(data, collector, adversary, rounds=8)
+        first = game.run()
+        second = game.run()
+        np.testing.assert_array_equal(
+            first.threshold_path(), second.threshold_path()
+        )
+        np.testing.assert_array_equal(
+            first.injection_path(), second.injection_path()
+        )
+        assert first.termination_round == second.termination_round
+        assert (
+            first.poison_retained_fraction()
+            == second.poison_retained_fraction()
+        )
 
 
 class TestBandExcessJudge:

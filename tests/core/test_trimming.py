@@ -18,6 +18,70 @@ class TestTrimReport:
         assert report.n_trimmed == 1
         assert report.trimmed_fraction == pytest.approx(0.25)
 
+    def test_kept_scores_requires_scores(self):
+        report = TrimReport(
+            kept=np.array([True, False]),
+            threshold_score=1.0,
+            percentile=0.5,
+        )
+        with pytest.raises(ValueError):
+            report.kept_scores
+
+    def test_kept_scores_masks_scores(self):
+        report = TrimReport(
+            kept=np.array([True, False, True]),
+            threshold_score=1.0,
+            percentile=0.5,
+            scores=np.array([0.1, 2.0, 0.3]),
+        )
+        np.testing.assert_array_equal(report.kept_scores, [0.1, 0.3])
+
+
+class TestReportScoresSinglePass:
+    """The report's ``scores`` must equal a separate ``scores()`` pass.
+
+    This is the contract that lets the engine's hot loop skip its second
+    per-round scoring sweep.
+    """
+
+    @given(
+        percentile=st.floats(min_value=0.0, max_value=1.0),
+        n=st.integers(min_value=1, max_value=200),
+        anchored=st.booleans(),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_value_trimmer_scores_match(self, percentile, n, anchored, seed):
+        rng = np.random.default_rng(seed)
+        batch = rng.normal(size=n)
+        trimmer = ValueTrimmer()
+        if anchored:
+            trimmer.fit_reference(rng.normal(size=300))
+        report = trimmer.trim(batch, percentile)
+        assert report.scores is not None
+        np.testing.assert_array_equal(report.scores, trimmer.scores(batch))
+        np.testing.assert_array_equal(
+            report.kept_scores, trimmer.scores(batch)[report.kept]
+        )
+
+    @given(
+        percentile=st.floats(min_value=0.0, max_value=1.0),
+        n=st.integers(min_value=1, max_value=120),
+        d=st.integers(min_value=1, max_value=6),
+        anchored=st.booleans(),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_radial_trimmer_scores_match(self, percentile, n, d, anchored, seed):
+        rng = np.random.default_rng(seed)
+        batch = rng.normal(size=(n, d))
+        trimmer = RadialTrimmer()
+        if anchored:
+            trimmer.fit_reference(rng.normal(size=(200, d)))
+        report = trimmer.trim(batch, percentile)
+        assert report.scores is not None
+        np.testing.assert_array_equal(report.scores, trimmer.scores(batch))
+
 
 class TestValueTrimmer:
     def test_full_percentile_keeps_all(self, rng):

@@ -71,6 +71,15 @@ class TestGenerousCollector:
         with pytest.raises(ValueError):
             GenerousCollector(0.9, generosity=1.5)
 
+    def test_reset_replays_the_forgiveness_stream(self):
+        # Regression: reset() must rewind the RNG so a reused seeded
+        # instance makes identical forgiveness decisions game over game.
+        c = GenerousCollector(0.9, generosity=0.5, seed=5)
+        first = [c.react(obs(betrayal=True)) for _ in range(30)]
+        c.reset()
+        second = [c.react(obs(betrayal=True)) for _ in range(30)]
+        assert first == second
+
 
 class TestTitForTwoTats:
     def test_single_betrayal_absorbed(self):

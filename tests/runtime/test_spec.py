@@ -1,0 +1,168 @@
+"""Tests for repro.runtime.spec — picklable game descriptions."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.engine import CollectionGame
+from repro.core.strategies import (
+    ElasticCollector,
+    FixedAdversary,
+    MixedAdversary,
+    MixedStrategyTrigger,
+    TitForTatCollector,
+)
+from repro.core.trimming import RadialTrimmer, ValueTrimmer
+from repro.runtime import (
+    ADVERSARY_CHANNEL,
+    ComponentSpec,
+    GameSpec,
+    SOURCE_CHANNEL,
+    load_reference,
+)
+
+
+class TestComponentSpec:
+    def test_builds_fresh_instances(self):
+        spec = ComponentSpec(ElasticCollector, {"t_th": 0.9, "k": 0.5})
+        a, b = spec.build(), spec.build()
+        assert isinstance(a, ElasticCollector)
+        assert a is not b
+        assert a.k == 0.5
+
+    def test_nested_specs_built_recursively(self):
+        spec = ComponentSpec(
+            TitForTatCollector,
+            {
+                "t_th": 0.9,
+                "trigger": ComponentSpec(
+                    MixedStrategyTrigger, {"equilibrium_probability": 0.5}
+                ),
+            },
+        )
+        a, b = spec.build(), spec.build()
+        assert isinstance(a.trigger, MixedStrategyTrigger)
+        # Each build owns its trigger: no shared mutable state.
+        assert a.trigger is not b.trigger
+
+    def test_seeded_spec_passes_seed_kwarg(self):
+        spec = ComponentSpec(MixedAdversary, {"p": 0.5}, seeded=True)
+        seed = np.random.SeedSequence(3)
+        a = spec.build(seed)
+        b = spec.build(seed)
+        draws_a = [a.first() for _ in range(10)]
+        draws_b = [b.first() for _ in range(10)]
+        assert draws_a == draws_b
+
+    def test_name_is_factory_name(self):
+        assert ComponentSpec(ValueTrimmer).name == "ValueTrimmer"
+
+    def test_seeded_spec_rejects_explicit_seed_kwarg(self):
+        with pytest.raises(ValueError):
+            ComponentSpec(MixedAdversary, {"p": 0.5, "seed": 42}, seeded=True)
+
+    def test_nested_seeded_specs_get_distinct_child_seeds(self):
+        # Two seeded components in one recipe must not share the parent's
+        # stream (identical seeds would correlate their draws).
+        class Carrier:
+            def __init__(self, a, b, seed=None):
+                self.a, self.b = a, b
+
+        inner = ComponentSpec(MixedAdversary, {"p": 0.5}, seeded=True)
+        spec = ComponentSpec(Carrier, {"a": inner, "b": inner})
+        carrier = spec.build(np.random.SeedSequence(0))
+        draws_a = [carrier.a.first() for _ in range(40)]
+        draws_b = [carrier.b.first() for _ in range(40)]
+        assert draws_a != draws_b
+
+    def test_nested_seed_derivation_is_deterministic(self):
+        inner = ComponentSpec(MixedAdversary, {"p": 0.5}, seeded=True)
+        seed = np.random.SeedSequence(9)
+        first = ComponentSpec(dict, {"x": inner}).build(seed)["x"]
+        second = ComponentSpec(dict, {"x": inner}).build(seed)["x"]
+        assert [first.first() for _ in range(20)] == [
+            second.first() for _ in range(20)
+        ]
+
+
+@pytest.fixture()
+def spec():
+    return GameSpec(
+        collector=ComponentSpec(ElasticCollector, {"t_th": 0.9, "k": 0.5}),
+        adversary=ComponentSpec(FixedAdversary, {"percentile": 0.99}),
+        dataset="control",
+        attack_ratio=0.2,
+        rounds=4,
+        batch_size=60,
+        seed=42,
+        tags={"scheme": "elastic0.5"},
+    )
+
+
+class TestGameSpec:
+    def test_child_seeds_are_deterministic_and_distinct(self, spec):
+        a = spec.child_seed(SOURCE_CHANNEL)
+        b = spec.child_seed(SOURCE_CHANNEL)
+        c = spec.child_seed(ADVERSARY_CHANNEL)
+        assert a.generate_state(4).tolist() == b.generate_state(4).tolist()
+        assert a.generate_state(4).tolist() != c.generate_state(4).tolist()
+
+    def test_seed_sequence_accepts_seedsequence(self, spec):
+        from dataclasses import replace
+
+        ss = np.random.SeedSequence(7, spawn_key=(1, 2))
+        derived = replace(spec, seed=ss).child_seed(0)
+        assert derived.spawn_key == (1, 2, 0)
+
+    def test_build_wires_a_collection_game(self, spec):
+        game = spec.build()
+        assert isinstance(game, CollectionGame)
+        assert game.rounds == 4
+        assert isinstance(game.trimmer, RadialTrimmer)
+
+    def test_play_is_reproducible(self, spec):
+        r1 = spec.play()
+        r2 = spec.play()
+        np.testing.assert_array_equal(r1.threshold_path(), r2.threshold_path())
+        np.testing.assert_array_equal(r1.injection_path(), r2.injection_path())
+        assert r1.poison_retained_fraction() == r2.poison_retained_fraction()
+
+    def test_pickle_round_trip_plays_identically(self, spec):
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        r1, r2 = spec.play(), clone.play()
+        np.testing.assert_array_equal(r1.threshold_path(), r2.threshold_path())
+        assert r1.poison_retained_fraction() == r2.poison_retained_fraction()
+
+    def test_with_tags_merges(self, spec):
+        tagged = spec.with_tags(rep=3)
+        assert tagged.tags["rep"] == 3
+        assert tagged.tags["scheme"] == "elastic0.5"
+        assert "rep" not in spec.tags
+
+    def test_different_seeds_differ(self, spec):
+        from dataclasses import replace
+
+        # A seeded adversary draws from the spec's adversary channel, so
+        # two different root seeds must yield different injection paths.
+        mixed = replace(
+            spec,
+            adversary=ComponentSpec(MixedAdversary, {"p": 0.5}, seeded=True),
+            rounds=12,
+        )
+        r1 = mixed.play()
+        r2 = replace(mixed, seed=43).play()
+        assert not np.array_equal(r1.injection_path(), r2.injection_path())
+
+
+class TestLoadReference:
+    def test_cached_and_read_only(self):
+        a = load_reference("control")
+        b = load_reference("control")
+        assert a is b
+        assert not a.flags.writeable
+
+    def test_subsample_size(self):
+        small = load_reference("letter", 500)
+        assert small.shape[0] == 500

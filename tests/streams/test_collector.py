@@ -56,6 +56,41 @@ class TestDataCollector:
         dc.collect(rng.normal(size=300))
         assert dc.current_threshold == pytest.approx(0.91)
 
+    def test_current_threshold_is_side_effect_free(self, reference, rng):
+        """Regression: property reads must not advance stateful strategies.
+
+        ``current_threshold`` used to call ``strategy.react`` on every
+        read, double-advancing e.g. the Elastic collector's ``_current``
+        before ``collect`` ran.  Reading it any number of times must
+        leave the retained data identical to never reading it.
+        """
+        batches = [
+            np.concatenate([rng.normal(size=500), np.full(80, 6.0)])
+            for _ in range(4)
+        ]
+
+        watched = DataCollector(
+            ElasticCollector(0.9, 0.5), ValueTrimmer(), reference
+        )
+        unwatched = DataCollector(
+            ElasticCollector(0.9, 0.5), ValueTrimmer(), reference
+        )
+        for batch in batches:
+            for _ in range(5):  # hammer the property between rounds
+                watched.current_threshold
+            kept_watched = watched.collect(batch)
+            kept_unwatched = unwatched.collect(batch)
+            np.testing.assert_array_equal(kept_watched, kept_unwatched)
+
+    def test_current_threshold_reads_are_stable_within_a_round(
+        self, reference, rng
+    ):
+        dc = DataCollector(ElasticCollector(0.9, 0.5), ValueTrimmer(), reference)
+        dc.collect(np.concatenate([rng.normal(size=400), np.full(200, 8.0)]))
+        announced = dc.current_threshold
+        # Repeated reads return the same pending value, not a re-reaction.
+        assert all(dc.current_threshold == announced for _ in range(5))
+
     def test_reset_restores_initial_state(self, reference, rng):
         dc = DataCollector(StaticCollector(0.9), ValueTrimmer(), reference)
         dc.collect(rng.normal(size=100))

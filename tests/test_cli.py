@@ -37,6 +37,51 @@ class TestRun:
         out = capsys.readouterr().out
         assert "emf" in out and "titfortat" in out
 
+    def test_sweep_runs_grid(self, capsys):
+        assert main([
+            "sweep",
+            "--schemes", "titfortat,elastic0.5",
+            "--ratios", "0.1,0.4",
+            "--reps", "2",
+            "--rounds", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "8 games" in out
+        assert "titfortat" in out and "elastic0.5" in out
+        assert "0.4" in out
+
+    @pytest.mark.slow
+    def test_sweep_workers_output_matches_serial(self, capsys):
+        argv = [
+            "sweep",
+            "--schemes", "titfortat",
+            "--ratios", "0.2",
+            "--reps", "2",
+            "--rounds", "3",
+        ]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out.replace("workers=1", "workers=*")
+        assert main(argv + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out.replace("workers=2", "workers=*")
+        assert serial == parallel
+
+    def test_sweep_rejects_bad_ratio_list(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--ratios", "abc"])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["sweep", "--schemes", "bogus"],
+            ["sweep", "--datasets", "bogus"],
+            ["sweep", "--workers", "0"],
+        ],
+    )
+    def test_sweep_reports_input_errors_cleanly(self, argv, capsys):
+        assert main(argv) == 2
+        out = capsys.readouterr().out
+        assert out.startswith("repro sweep: error:")
+
     def test_unknown_artifact_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "fig99"])
