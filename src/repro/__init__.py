@@ -47,6 +47,7 @@ from .core import (
     GameResult,
     MixedStrategy,
     PayoffModel,
+    QuantileTable,
     RadialTrimmer,
     RepeatedGameModel,
     StackelbergSolution,
@@ -84,12 +85,13 @@ from .runtime import (
     SweepRunner,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
     # game-theoretic core
     "Domain",
+    "QuantileTable",
     "PayoffModel",
     "MixedStrategy",
     "BimatrixGame",

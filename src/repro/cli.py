@@ -252,6 +252,9 @@ def _sweep(args: argparse.Namespace) -> str:
         repetitions=args.reps,
         rounds=args.rounds,
         batch_size=args.batch_size,
+        # The summary table below only needs GameRecord counts: play
+        # every cell on a lean board.
+        store_retained=False,
         seed=args.seed,
     )
     records = SweepRunner(workers=args.workers).run_grid(grid)

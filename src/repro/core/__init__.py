@@ -1,6 +1,12 @@
 """Core game-theoretic model: payoffs, games, analytics, strategies, engine."""
 
-from .domain import Domain, empirical_quantile, percentile_grid, percentile_of
+from .domain import (
+    Domain,
+    QuantileTable,
+    empirical_quantile,
+    percentile_grid,
+    percentile_of,
+)
 from .engine import (
     BandExcessJudge,
     CollectionGame,
@@ -44,6 +50,7 @@ from .trimming import RadialTrimmer, TrimReport, Trimmer, ValueTrimmer
 
 __all__ = [
     "Domain",
+    "QuantileTable",
     "empirical_quantile",
     "percentile_of",
     "percentile_grid",

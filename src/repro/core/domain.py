@@ -11,11 +11,13 @@ input space the game is played on.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Union
 
 import numpy as np
 
 __all__ = [
     "Domain",
+    "QuantileTable",
     "empirical_quantile",
     "percentile_of",
     "clip_percentile",
@@ -80,12 +82,101 @@ class Domain:
         return Domain(self.center - half, self.center + half)
 
 
-def empirical_quantile(values, q) -> np.ndarray:
+class QuantileTable:
+    """A sort-once quantile / empirical-CDF table over a fixed 1-D sample.
+
+    Components that repeatedly query quantiles of the *same* reference
+    data (the per-round trimming cutoff, LDP report cutoffs, judge band
+    calibration) previously paid an :func:`numpy.quantile` partition over
+    the full sample on every call.  The table sorts once at construction
+    and then answers
+
+    * :meth:`quantile` — interpolated quantiles by direct fractional
+      indexing into the sorted sample, O(1) per query and bit-identical
+      to ``numpy.quantile(values, q)`` with the default linear
+      interpolation;
+    * :meth:`cdf` / :meth:`tail_mass` — empirical CDF queries via
+      :func:`numpy.searchsorted`, O(log n) per query and matching the
+      :func:`percentile_of` convention (fraction *strictly* below).
+    """
+
+    def __init__(self, values) -> None:
+        arr = np.asarray(values, dtype=float).ravel()
+        if arr.size == 0:
+            raise ValueError("cannot build a quantile table from empty data")
+        self._sorted = np.sort(arr)
+        self._sorted.setflags(write=False)
+        self._n = int(self._sorted.size)
+
+    @property
+    def n(self) -> int:
+        """Sample size the table was built from."""
+        return self._n
+
+    @property
+    def values(self) -> np.ndarray:
+        """The sorted sample (read-only view)."""
+        return self._sorted
+
+    def quantile(self, q) -> Union[float, np.ndarray]:
+        """Interpolated quantile(s) at fraction(s) ``q`` in [0, 1].
+
+        Scalar ``q`` yields a float, array ``q`` an ndarray.  Replicates
+        ``numpy.quantile``'s linear method exactly — the virtual index is
+        ``q * (n - 1)`` and interpolation uses numpy's two-sided lerp —
+        so switching a caller from :func:`empirical_quantile` onto a
+        table changes nothing but the complexity.
+        """
+        q_arr = np.asarray(q, dtype=float)
+        if np.any((q_arr < 0.0) | (q_arr > 1.0)):
+            raise ValueError("quantile fractions must lie in [0, 1]")
+        virtual = q_arr * (self._n - 1)
+        lower = np.floor(virtual)
+        gamma = virtual - lower
+        lo = lower.astype(np.intp)
+        hi = np.minimum(lo + 1, self._n - 1)
+        a = self._sorted[lo]
+        b = self._sorted[hi]
+        diff = b - a
+        # numpy's _lerp: interpolate from whichever endpoint is nearer,
+        # which is what makes the result bit-identical to np.quantile.
+        out = np.where(gamma >= 0.5, b - diff * (1.0 - gamma), a + diff * gamma)
+        if q_arr.ndim == 0:
+            return float(out)
+        return out
+
+    def cdf(self, x) -> Union[float, np.ndarray]:
+        """Fraction of the sample strictly below ``x`` (left-continuous).
+
+        Matches :func:`percentile_of` on the same sample; scalar ``x``
+        yields a float, array ``x`` an ndarray.
+        """
+        x_arr = np.asarray(x, dtype=float)
+        counts = np.searchsorted(self._sorted, x_arr, side="left")
+        out = counts / self._n
+        if x_arr.ndim == 0:
+            return float(out)
+        return out
+
+    def tail_mass(self, x) -> Union[float, np.ndarray]:
+        """Fraction of the sample strictly above ``x``."""
+        x_arr = np.asarray(x, dtype=float)
+        counts = np.searchsorted(self._sorted, x_arr, side="right")
+        out = 1.0 - counts / self._n
+        if x_arr.ndim == 0:
+            return float(out)
+        return out
+
+
+def empirical_quantile(values, q) -> Union[float, np.ndarray]:
     """Empirical quantile(s) of ``values`` at fraction(s) ``q`` in [0, 1].
 
     Thin wrapper over :func:`numpy.quantile` with linear interpolation,
     kept in one place so every component of the library agrees on the
-    quantile convention.
+    quantile convention.  Scalar ``q`` yields a plain float (every
+    threshold-style caller treats the result as one), array ``q`` an
+    ndarray of the same shape.  Repeated queries against fixed data
+    should go through a :class:`QuantileTable` instead.
     """
     arr = np.asarray(values, dtype=float).ravel()
     if arr.size == 0:
@@ -93,7 +184,10 @@ def empirical_quantile(values, q) -> np.ndarray:
     q_arr = np.asarray(q, dtype=float)
     if np.any((q_arr < 0.0) | (q_arr > 1.0)):
         raise ValueError("quantile fractions must lie in [0, 1]")
-    return np.quantile(arr, q)
+    result = np.quantile(arr, q)
+    if q_arr.ndim == 0:
+        return float(result)
+    return result
 
 
 def percentile_of(values, x) -> float:

@@ -25,6 +25,7 @@ import numpy as np
 from ..streams.board import BoardEntry, PublicBoard
 from ..streams.injection import PoisonInjector
 from ..streams.source import StreamSource
+from .domain import QuantileTable
 from .quality import QualityEvaluator, TailMassEvaluator
 from .strategies.base import AdversaryStrategy, CollectorStrategy, RoundObservation
 from .trimming import Trimmer
@@ -75,12 +76,22 @@ class BandExcessJudge:
         """Rewind the noise stream so a reused judge replays identically."""
         self._rng = np.random.default_rng(self._seed)
 
-    def fit(self, reference_scores: np.ndarray) -> "BandExcessJudge":
-        """Calibrate the band value cutoffs on clean reference scores."""
-        scores = np.asarray(reference_scores, dtype=float).ravel()
-        if scores.size == 0:
-            raise ValueError("reference scores must be non-empty")
-        lo_v, hi_v = np.quantile(scores, self.band)
+    def fit(self, reference_scores) -> "BandExcessJudge":
+        """Calibrate the band value cutoffs on clean reference scores.
+
+        Accepts either the raw scores or an already-built
+        :class:`~repro.core.domain.QuantileTable` over them — the engine
+        passes the trimmer's table so the shared reference is sorted
+        exactly once per game.
+        """
+        if isinstance(reference_scores, QuantileTable):
+            table = reference_scores
+        else:
+            scores = np.asarray(reference_scores, dtype=float).ravel()
+            if scores.size == 0:
+                raise ValueError("reference scores must be non-empty")
+            table = QuantileTable(scores)
+        lo_v, hi_v = table.quantile(np.asarray(self.band))
         self._band_values = (float(lo_v), float(hi_v))
         return self
 
@@ -213,7 +224,7 @@ class GameResult:
                     "observed_poison_ratio": obs.observed_poison_ratio,
                     "betrayal": obs.betrayal,
                     "n_collected": entry.n_collected,
-                    "n_retained": int(entry.retained.shape[0]),
+                    "n_retained": int(entry.n_retained),
                     "n_poison_injected": entry.n_poison_injected,
                     "n_poison_retained": entry.n_poison_retained,
                 }
@@ -252,6 +263,13 @@ class CollectionGame:
     anchor:
         ``"reference"`` (default) or ``"batch"`` trimming anchoring, see
         :mod:`repro.core.trimming`.
+    store_retained:
+        ``True`` (default) keeps every round's retained array on the
+        public board; ``False`` plays the game on a lean board that
+        keeps only running counts — callers that consume the result
+        through summary records (sweep reducers in particular) save the
+        O(rounds × batch) retained storage.  ``retained_data()`` is
+        unavailable on a lean result.
     """
 
     def __init__(
@@ -266,6 +284,7 @@ class CollectionGame:
         judge: Optional[BandExcessJudge] = None,
         rounds: int = 20,
         anchor: str = "reference",
+        store_retained: bool = True,
     ):
         if rounds < 1:
             raise ValueError("rounds must be >= 1")
@@ -278,6 +297,7 @@ class CollectionGame:
         self.trimmer = trimmer
         self.rounds = int(rounds)
         self.reference = np.asarray(reference, dtype=float)
+        self.store_retained = bool(store_retained)
 
         # The score center always comes from the public reference (a
         # batch-local center is evadable — see trimming module docs);
@@ -290,9 +310,26 @@ class CollectionGame:
 
         self.quality_evaluator = quality_evaluator or TailMassEvaluator()
         self.quality_evaluator.fit(self.reference)
+        # Whether the evaluator can score rounds straight off the trim
+        # report's batch scores (commensurable score families) instead
+        # of running its own sweep over the combined batch.
+        self._share_scores = self.quality_evaluator.accepts_scores(
+            getattr(self.trimmer, "score_kind", None)
+        )
 
         self.judge = judge or BandExcessJudge(noise_sigma=0.0)
-        self.judge.fit(self.trimmer.scores(self.reference))
+        # fit_reference above already scored the reference; reuse those
+        # scores rather than running a second sweep for the judge, and
+        # hand a BandExcessJudge the trimmer's quantile table outright
+        # so the shared reference is sorted exactly once per game.
+        reference_scores = getattr(self.trimmer, "reference_scores", None)
+        if reference_scores is None:
+            reference_scores = self.trimmer.scores(self.reference)
+        if isinstance(self.judge, BandExcessJudge):
+            table = getattr(self.trimmer, "reference_table", None)
+            self.judge.fit(table if table is not None else reference_scores)
+        else:
+            self.judge.fit(reference_scores)
 
     # ------------------------------------------------------------------ #
     def _combine(self, benign: np.ndarray, poison: np.ndarray) -> np.ndarray:
@@ -314,7 +351,7 @@ class CollectionGame:
         judge_reset = getattr(self.judge, "reset", None)
         if callable(judge_reset):  # custom judges may be stateless
             judge_reset()
-        board = PublicBoard()
+        board = PublicBoard(store_retained=self.store_retained)
         last_obs: Optional[RoundObservation] = None
 
         for index in range(1, self.rounds + 1):
@@ -337,17 +374,22 @@ class CollectionGame:
             poison_mask[benign.shape[0]:] = True
 
             report = self.trimmer.trim(combined, trim_q)
-            retained = combined[report.kept]
             # Single-pass scoring: the trim report carries the batch
             # scores, so the judge reuses them instead of a second
-            # ``Trimmer.scores`` sweep (custom trimmers may omit them).
+            # ``Trimmer.scores`` sweep (custom trimmers may omit them),
+            # and the quality evaluator computes score and normalized
+            # value from one sweep — reusing the trimmer's scores too
+            # when the families are commensurable.
             if report.scores is not None:
                 retained_scores = report.kept_scores
+                shared_scores = report.scores if self._share_scores else None
             else:
                 retained_scores = self.trimmer.scores(combined)[report.kept]
+                shared_scores = None
 
-            quality = self.quality_evaluator.normalized(combined)
-            observed_ratio = self.quality_evaluator.score(combined)
+            observed_ratio, quality = self.quality_evaluator.evaluate(
+                combined, scores=shared_scores
+            )
             betrayal = self.judge.judge_round(inject_q, retained_scores)
 
             observation = RoundObservation(
@@ -358,6 +400,9 @@ class CollectionGame:
                 observed_poison_ratio=float(observed_ratio),
                 betrayal=bool(betrayal),
             )
+            # In lean mode the retained rows are never materialized —
+            # the board only needs the count.
+            retained = combined[report.kept] if self.store_retained else None
             board.record(
                 BoardEntry(
                     observation=observation,
@@ -367,6 +412,7 @@ class CollectionGame:
                     n_poison_retained=int(
                         np.count_nonzero(report.kept & poison_mask)
                     ),
+                    n_retained=report.n_kept,
                 )
             )
             last_obs = observation

@@ -38,13 +38,19 @@ def power_poison_gain(scale: float = 1.0, exponent: float = 2.0) -> Callable[[fl
 
     The default quadratic growth encodes that deviation impact accelerates
     toward the tail of the distribution (extreme values move means,
-    centroids and separating hyperplanes superlinearly).
+    centroids and separating hyperplanes superlinearly).  The returned
+    callable is ndarray-aware: scalar in, float out; array in, array out —
+    scalar and vectorized evaluations share the same :func:`numpy.power`
+    kernel, so they agree bit-for-bit.
     """
     if scale <= 0 or exponent <= 0:
         raise ValueError("scale and exponent must be positive")
 
-    def gain(x: float) -> float:
-        return scale * float(x) ** exponent
+    def gain(x):
+        value = scale * np.power(np.asarray(x, dtype=float), exponent)
+        if np.ndim(x) == 0:
+            return float(value)
+        return value
 
     return gain
 
@@ -54,13 +60,16 @@ def power_trim_cost(scale: float = 1.0, exponent: float = 1.0) -> Callable[[floa
 
     ``1 - x`` is exactly the benign mass removed when trimming at
     percentile ``x``; the exponent models how quickly accuracy loss grows
-    with removed mass.
+    with removed mass.  Ndarray-aware like :func:`power_poison_gain`.
     """
     if scale <= 0 or exponent <= 0:
         raise ValueError("scale and exponent must be positive")
 
-    def cost(x: float) -> float:
-        return scale * (1.0 - float(x)) ** exponent
+    def cost(x):
+        value = scale * np.power(1.0 - np.asarray(x, dtype=float), exponent)
+        if np.ndim(x) == 0:
+            return float(value)
+        return value
 
     return cost
 
@@ -95,13 +104,45 @@ class PayoffModel:
     # ------------------------------------------------------------------ #
     # elementary payoffs
     # ------------------------------------------------------------------ #
-    def poison_payoff(self, x: float) -> float:
-        """``P(x)``: adversary gain from a surviving poison value at ``x``."""
-        return float(self.poison_gain(clip_percentile(x)))
+    @staticmethod
+    def _eval_kernel(fn: Callable, grid: np.ndarray) -> np.ndarray:
+        """Evaluate a payoff kernel over a percentile grid, vectorized.
 
-    def trim_overhead(self, x: float) -> float:
-        """``T(x)``: collector loss from trimming benign mass above ``x``."""
-        return float(self.trim_cost(clip_percentile(x)))
+        Tries one ndarray call first; when the user supplied a
+        scalar-only callable (raises on arrays, or returns something of
+        the wrong shape) falls back to a per-point Python loop.  Even the
+        fallback is O(n) in the grid size — never O(n²) — because both
+        payoff components depend on a single coordinate each.
+        """
+        try:
+            value = np.asarray(fn(grid), dtype=float)
+        except (TypeError, ValueError):
+            value = None
+        if value is not None and value.shape == grid.shape:
+            return value
+        return np.array([float(fn(float(x))) for x in grid])
+
+    def poison_payoff(self, x):
+        """``P(x)``: adversary gain from a surviving poison value at ``x``.
+
+        Scalar ``x`` yields a float; an ndarray yields the elementwise
+        gains (clipped into [0, 1] first), falling back to a scalar loop
+        for non-vectorizable user kernels.
+        """
+        if np.ndim(x) == 0:
+            return float(self.poison_gain(clip_percentile(x)))
+        grid = np.clip(np.asarray(x, dtype=float), 0.0, 1.0)
+        return self._eval_kernel(self.poison_gain, grid)
+
+    def trim_overhead(self, x):
+        """``T(x)``: collector loss from trimming benign mass above ``x``.
+
+        Ndarray-aware like :meth:`poison_payoff`.
+        """
+        if np.ndim(x) == 0:
+            return float(self.trim_cost(clip_percentile(x)))
+        grid = np.clip(np.asarray(x, dtype=float), 0.0, 1.0)
+        return self._eval_kernel(self.trim_cost, grid)
 
     # ------------------------------------------------------------------ #
     # the strategy-space boundaries of Definition 1
@@ -177,11 +218,17 @@ class PayoffModel:
         ``C[i, j]`` the collector payoff when the adversary plays
         ``adversary_grid[i]`` against trimming point ``collector_grid[j]``.
         """
-        a_grid = np.asarray(adversary_grid, dtype=float)
-        c_grid = np.asarray(collector_grid, dtype=float)
-        adv = np.empty((a_grid.size, c_grid.size))
-        col = np.empty_like(adv)
-        for i, x_a in enumerate(a_grid):
-            for j, x_c in enumerate(c_grid):
-                adv[i, j], col[i, j] = self.profile_payoffs(x_a, x_c)
+        a_grid = np.clip(np.asarray(adversary_grid, dtype=float).ravel(), 0.0, 1.0)
+        c_grid = np.clip(np.asarray(collector_grid, dtype=float).ravel(), 0.0, 1.0)
+        # One kernel evaluation per grid *point* (vectorized when the
+        # kernels allow, scalar fallback otherwise) instead of one
+        # Python call per matrix *cell*; the survives-indicator and the
+        # zero-sum combination then broadcast.  Matches the scalar
+        # ``profile_payoffs`` double loop bit-for-bit, including the
+        # ``-0.0 - T`` signed zero of trimmed-poison cells.
+        gains = self.poison_payoff(a_grid)[:, np.newaxis]
+        overheads = self.trim_overhead(c_grid)[np.newaxis, :]
+        survives = a_grid[:, np.newaxis] < c_grid[np.newaxis, :]
+        adv = np.where(survives, gains, 0.0)
+        col = np.where(survives, -gains, -0.0) - overheads
         return adv, col

@@ -11,11 +11,13 @@ triggers and elastic responses read uniformly.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import numpy as np
 
-from .domain import empirical_quantile
+from .domain import QuantileTable, empirical_quantile
 
 __all__ = [
     "QualityEvaluator",
@@ -34,28 +36,95 @@ class QualityEvaluator:
     ``QE_i = QE(X_i)/max(QE(·))`` normalization of Algorithm 2.
     """
 
+    #: Trimmer score families whose per-point scores coincide with
+    #: :meth:`_as_scores` and may therefore be reused verbatim.  A
+    #: ``"value"`` trimmer's scores *are* the raw 1-D values — exactly
+    #: what ``_as_scores`` returns for a 1-D batch.
+    _COMPATIBLE_SCORE_KINDS: Tuple[str, ...] = ("value",)
+
     def fit(self, reference) -> "QualityEvaluator":
         """Calibrate the evaluator on clean reference data."""
         raise NotImplementedError
 
-    def score(self, batch) -> float:
-        """Poisoning-intensity score of a batch (higher = worse)."""
+    def score(self, batch, scores: Optional[np.ndarray] = None) -> float:
+        """Poisoning-intensity score of a batch (higher = worse).
+
+        ``scores`` optionally carries precomputed per-point scores of the
+        same batch under a commensurable convention (see
+        :meth:`accepts_scores`); implementations may use them to skip
+        their own scoring sweep.
+        """
         raise NotImplementedError
 
     def max_score(self) -> float:
         """The maximum attainable score, for normalization."""
         raise NotImplementedError
 
-    def normalized(self, batch) -> float:
-        """``QE_i`` in [0, 1]: score divided by the evaluator's maximum."""
+    def normalize_score(self, score: float) -> float:
+        """Map a raw score onto the Algorithm 2 ``QE_i`` scale in [0, 1]."""
         peak = self.max_score()
         if peak <= 0.0:
             raise RuntimeError("evaluator maximum must be positive")
-        return float(np.clip(self.score(batch) / peak, 0.0, 1.0))
+        return float(np.clip(score / peak, 0.0, 1.0))
+
+    def normalized(self, batch) -> float:
+        """``QE_i`` in [0, 1]: score divided by the evaluator's maximum."""
+        return self.normalize_score(self.score(batch))
+
+    def evaluate(
+        self, batch, scores: Optional[np.ndarray] = None
+    ) -> Tuple[float, float]:
+        """``(score, normalized)`` of one batch from a single scoring sweep.
+
+        This is the engine's per-round entry point: it replaces the
+        previous ``normalized(batch)`` + ``score(batch)`` pair, which
+        scored the whole batch twice.  Subclasses that override
+        :meth:`normalized` with bespoke logic keep their semantics: the
+        override is detected and routed through (at the old two-sweep
+        cost); override :meth:`evaluate` itself to regain single-pass.
+        """
+        if scores is not None:
+            raw = float(self.score(batch, scores=scores))
+        else:
+            raw = float(self.score(batch))
+        if type(self).normalized is not QualityEvaluator.normalized:
+            return raw, float(self.normalized(batch))
+        return raw, self.normalize_score(raw)
+
+    def accepts_scores(self, score_kind: Optional[str]) -> bool:
+        """Whether :meth:`evaluate` can reuse a trimmer's batch scores.
+
+        True only when the trimmer's score family (its ``score_kind``
+        tag) is commensurable with :meth:`_as_scores` *and* the concrete
+        :meth:`score` implementation actually takes the ``scores``
+        keyword (user subclasses may predate it).
+        """
+        if score_kind not in self._COMPATIBLE_SCORE_KINDS:
+            return False
+        try:
+            return "scores" in inspect.signature(self.score).parameters
+        except (TypeError, ValueError):  # builtins / exotic callables
+            return False
 
     @staticmethod
-    def _as_scores(batch) -> np.ndarray:
-        """Flatten a batch to 1-D scores (multivariate: row L2 norms)."""
+    def _as_scores(batch, scores: Optional[np.ndarray] = None) -> np.ndarray:
+        """Flatten a batch to 1-D scores (multivariate: row L2 norms).
+
+        ``scores`` short-circuits the computation with precomputed
+        commensurable scores (the trimmer's single-pass sweep).
+        """
+        if scores is not None:
+            arr = np.asarray(scores, dtype=float).ravel()
+            if arr.size == 0:
+                raise ValueError("cannot evaluate an empty batch")
+            n_batch = np.asarray(batch).shape[0] if np.ndim(batch) > 0 else 1
+            if arr.size != n_batch:
+                raise ValueError(
+                    f"precomputed scores carry {arr.size} entries for a "
+                    f"batch of {n_batch} points — pass the *full* batch "
+                    "scores (e.g. TrimReport.scores, not kept_scores)"
+                )
+            return arr
         arr = np.asarray(batch, dtype=float)
         if arr.size == 0:
             raise ValueError("cannot evaluate an empty batch")
@@ -85,15 +154,20 @@ class TailMassEvaluator(QualityEvaluator):
         self._cutoff: float | None = None
 
     def fit(self, reference) -> "TailMassEvaluator":
-        scores = self._as_scores(reference)
-        self._cutoff = float(empirical_quantile(scores, self.reference_quantile))
+        # One-shot single quantile: np.quantile's O(n) partition beats
+        # building a throwaway sort-once table.
+        self._cutoff = float(
+            empirical_quantile(self._as_scores(reference), self.reference_quantile)
+        )
         return self
 
-    def score(self, batch) -> float:
+    def score(self, batch, scores=None) -> float:
         if self._cutoff is None:
             raise RuntimeError("evaluator must be fit on reference data first")
-        scores = self._as_scores(batch)
-        excess = float(np.mean(scores > self._cutoff)) - (1.0 - self.reference_quantile)
+        batch_scores = self._as_scores(batch, scores)
+        excess = float(np.mean(batch_scores > self._cutoff)) - (
+            1.0 - self.reference_quantile
+        )
         return max(0.0, excess)
 
     def max_score(self) -> float:
@@ -113,13 +187,15 @@ class KolmogorovSmirnovEvaluator(QualityEvaluator):
         self._reference: np.ndarray | None = None
 
     def fit(self, reference) -> "KolmogorovSmirnovEvaluator":
-        self._reference = np.sort(self._as_scores(reference))
+        # The table sorts once; its sorted view doubles as the reference
+        # CDF support, so per-round scoring never re-sorts the reference.
+        self._reference = QuantileTable(self._as_scores(reference)).values
         return self
 
-    def score(self, batch) -> float:
+    def score(self, batch, scores=None) -> float:
         if self._reference is None:
             raise RuntimeError("evaluator must be fit on reference data first")
-        sample = np.sort(self._as_scores(batch))
+        sample = np.sort(self._as_scores(batch, scores))
         grid = np.union1d(self._reference, sample)
         cdf_ref = np.searchsorted(self._reference, grid, side="right") / self._reference.size
         cdf_smp = np.searchsorted(sample, grid, side="right") / sample.size
@@ -155,11 +231,11 @@ class MeanShiftEvaluator(QualityEvaluator):
             self._std = 1.0  # degenerate constant reference
         return self
 
-    def score(self, batch) -> float:
+    def score(self, batch, scores=None) -> float:
         if self._mean is None or self._std is None:
             raise RuntimeError("evaluator must be fit on reference data first")
-        scores = self._as_scores(batch)
-        shift = abs(float(np.mean(scores)) - self._mean) / self._std
+        batch_scores = self._as_scores(batch, scores)
+        shift = abs(float(np.mean(batch_scores)) - self._mean) / self._std
         return min(shift, self.cap)
 
     def max_score(self) -> float:

@@ -67,28 +67,28 @@ def solve_stackelberg(
     grid = percentile_grid(x_l, x_r, grid_size)
     adv_payoffs, col_payoffs = model.payoff_matrix(grid, grid)
 
-    best_leader_payoff = -np.inf
-    best: Tuple[float, float, float, float] | None = None
-    for j, x_c in enumerate(grid):
-        column = adv_payoffs[:, j]
-        follower_set = np.flatnonzero(np.isclose(column, column.max()))
-        leader_outcomes = col_payoffs[follower_set, j]
-        if tie_break == "pessimistic":
-            idx = follower_set[int(np.argmin(leader_outcomes))]
-        else:
-            idx = follower_set[int(np.argmax(leader_outcomes))]
-        leader_payoff = col_payoffs[idx, j]
-        if leader_payoff > best_leader_payoff:
-            best_leader_payoff = leader_payoff
-            best = (float(x_c), float(grid[idx]), float(leader_payoff), float(adv_payoffs[idx, j]))
-
-    assert best is not None  # grid is non-empty by construction
-    x_c, x_a, col_pay, adv_pay = best
+    # Vectorized best-response selection over all columns at once.  Per
+    # column: the follower set is every row within isclose() of the
+    # column max; the tie-break picks the leader-worst (pessimistic) or
+    # leader-best (optimistic) member.  Masked argmin/argmax return the
+    # *first* extremal row, exactly like flatnonzero + argmin over the
+    # follower subset, so this matches the per-column loop bit-for-bit.
+    follower_mask = np.isclose(adv_payoffs, adv_payoffs.max(axis=0, keepdims=True))
+    if tie_break == "pessimistic":
+        masked = np.where(follower_mask, col_payoffs, np.inf)
+        follower_rows = masked.argmin(axis=0)
+    else:
+        masked = np.where(follower_mask, col_payoffs, -np.inf)
+        follower_rows = masked.argmax(axis=0)
+    columns = np.arange(grid.size)
+    leader_payoffs = col_payoffs[follower_rows, columns]
+    j = int(np.argmax(leader_payoffs))
+    idx = int(follower_rows[j])
     return StackelbergSolution(
-        leader_action=x_c,
-        follower_action=x_a,
-        leader_payoff=col_pay,
-        follower_payoff=adv_pay,
+        leader_action=float(grid[j]),
+        follower_action=float(grid[idx]),
+        leader_payoff=float(leader_payoffs[j]),
+        follower_payoff=float(adv_payoffs[idx, j]),
     )
 
 

@@ -32,7 +32,7 @@ from typing import Optional
 
 import numpy as np
 
-from .domain import clip_percentile, empirical_quantile
+from .domain import QuantileTable, clip_percentile, empirical_quantile
 
 __all__ = ["TrimReport", "Trimmer", "ValueTrimmer", "RadialTrimmer"]
 
@@ -92,23 +92,64 @@ class Trimmer:
     evade the trim entirely.
     """
 
+    #: Score-family tag (``"value"`` = scores are the raw 1-D values,
+    #: ``"radial"`` = distances from a center).  Lets consumers such as
+    #: the quality evaluators decide whether a trimmer's batch scores are
+    #: commensurable with their own scoring and can be reused.
+    score_kind: Optional[str] = None
+
     def __init__(self, anchor: str = "reference") -> None:
         if anchor not in ("reference", "batch"):
             raise ValueError("anchor must be 'reference' or 'batch'")
         self.anchor = anchor
         self._reference_scores: Optional[np.ndarray] = None
+        self._reference_table: Optional[QuantileTable] = None
 
     def scores(self, batch: np.ndarray) -> np.ndarray:
         """Per-point trimming scores ``d_i`` (higher = more suspicious)."""
         raise NotImplementedError
+
+    def _set_reference_scores(self, scores: np.ndarray) -> None:
+        """Store reference scores; their quantile table builds lazily.
+
+        Deferring the sort to the first reference-anchored cutoff keeps
+        ``anchor="batch"`` trimmers (which never query the table) from
+        paying an O(n log n) sort per fit, and guarantees a stale table
+        can never outlive a refit.
+        """
+        self._reference_scores = scores
+        self._reference_table = None
 
     def fit_reference(self, reference) -> "Trimmer":
         """Calibrate score centers/quantiles on a clean reference."""
         arr = np.asarray(reference, dtype=float)
         if arr.size == 0:
             raise ValueError("reference must be non-empty")
-        self._reference_scores = self.scores(arr)
+        self._set_reference_scores(self.scores(arr))
         return self
+
+    @property
+    def reference_scores(self) -> Optional[np.ndarray]:
+        """The fitted reference's scores (None before fitting).
+
+        Exposed so consumers calibrated on the same reference (the
+        engine's compliance judge in particular) can reuse them instead
+        of running a second scoring pass.
+        """
+        return self._reference_scores
+
+    @property
+    def reference_table(self) -> Optional[QuantileTable]:
+        """Sort-once quantile table of the reference scores.
+
+        Built lazily on first access (or first reference-anchored
+        cutoff) and cached until the next :meth:`fit_reference`; None
+        before fitting.  Consumers calibrated on the same reference
+        (the engine's band judge) share it instead of re-sorting.
+        """
+        if self._reference_table is None and self._reference_scores is not None:
+            self._reference_table = QuantileTable(self._reference_scores)
+        return self._reference_table
 
     @property
     def is_reference_anchored(self) -> bool:
@@ -117,10 +158,10 @@ class Trimmer:
 
     def _cutoff(self, batch_scores: np.ndarray, q: float) -> float:
         if self.is_reference_anchored:
-            source = self._reference_scores
-        else:
-            source = batch_scores
-        return float(empirical_quantile(source, q))
+            # O(1) against the sorted-once reference instead of an
+            # O(n) numpy.quantile partition every round (bit-identical).
+            return float(self.reference_table.quantile(q))
+        return float(empirical_quantile(batch_scores, q))
 
     def trim(self, batch, percentile: float) -> TrimReport:
         """Remove points whose score exceeds the percentile cutoff.
@@ -164,6 +205,8 @@ class Trimmer:
 class ValueTrimmer(Trimmer):
     """Upper-tail trimming of scalar values (score = value itself)."""
 
+    score_kind = "value"
+
     def scores(self, batch: np.ndarray) -> np.ndarray:
         arr = np.asarray(batch, dtype=float)
         if arr.ndim != 1:
@@ -183,6 +226,8 @@ class RadialTrimmer(Trimmer):
     as a single-feature special case.
     """
 
+    score_kind = "radial"
+
     def __init__(self, anchor: str = "reference") -> None:
         super().__init__(anchor)
         self._center: Optional[np.ndarray] = None
@@ -194,13 +239,23 @@ class RadialTrimmer(Trimmer):
         self._center = (
             np.median(arr, axis=0) if arr.ndim == 2 else np.asarray(np.median(arr))
         )
-        self._reference_scores = self.scores(arr)
+        self._set_reference_scores(self.scores(arr))
         return self
 
     def scores(self, batch: np.ndarray) -> np.ndarray:
         arr = np.asarray(batch, dtype=float)
         if arr.ndim == 1:
-            center = np.median(arr) if self._center is None else float(self._center)
+            if self._center is None:
+                center = np.median(arr)
+            elif np.size(self._center) == 1:
+                center = float(np.reshape(self._center, ()))
+            else:
+                raise ValueError(
+                    "dimension mismatch: RadialTrimmer was fit on "
+                    f"{np.size(self._center)}-dimensional reference data but "
+                    "received a 1-D batch; refit on 1-D data or pass 2-D "
+                    "batches with matching dimensionality"
+                )
             return np.abs(arr - center)
         if arr.ndim != 2:
             raise ValueError("RadialTrimmer expects 1-D or 2-D batches")

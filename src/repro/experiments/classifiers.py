@@ -98,7 +98,9 @@ class LabelAwareRadialTrimmer(RadialTrimmer):
             raise ValueError("labeled reference must be 2-D with >= 2 columns")
         features = arr[:, :-1]
         self._center = np.median(features, axis=0)
-        self._reference_scores = np.linalg.norm(features - self._center, axis=1)
+        self._set_reference_scores(
+            np.linalg.norm(features - self._center, axis=1)
+        )
         return self
 
 

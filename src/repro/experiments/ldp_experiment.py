@@ -113,12 +113,13 @@ def _trimming_scheme_mse(
         )
         estimates.append(estimator.estimate(reports, threshold))
 
+        observed_ratio, quality = evaluator.evaluate(reports)
         observation = RoundObservation(
             index=round_index,
             trim_percentile=float(threshold),
             injection_percentile=None,  # unobservable under LDP
-            quality=evaluator.normalized(reports),
-            observed_poison_ratio=evaluator.score(reports),
+            quality=quality,
+            observed_poison_ratio=observed_ratio,
             betrayal=False,
         )
         threshold = collector.react(observation)

@@ -123,6 +123,8 @@ def run_nonequilibrium(config: NonEquilibriumConfig) -> List[NonEquilibriumRow]:
         rounds=config.rounds,
         batch_size=config.batch_size,
         anchor="batch",
+        # The default GameRecord reducer is summary-only: lean boards.
+        store_retained=False,
         quality=ComponentSpec(TailMassEvaluator),
         judge=ComponentSpec(
             NoisyPositionJudge,

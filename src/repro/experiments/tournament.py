@@ -121,7 +121,7 @@ def _score_game(result, overhead_weight: float) -> Tuple[float, float]:
         position = obs.injection_percentile
         weight = position if position is not None else 0.0
         n_benign = entry.n_collected - entry.n_poison_injected
-        n_benign_kept = entry.retained.shape[0] - entry.n_poison_retained
+        n_benign_kept = entry.n_retained - entry.n_poison_retained
         poison_gain += weight * entry.n_poison_retained / max(1, n_benign)
         benign_trimmed += (n_benign - n_benign_kept) / max(1, n_benign)
     n = len(entries)
@@ -157,6 +157,9 @@ def run_tournament(config: TournamentConfig) -> TournamentResult:
         rounds=config.rounds,
         batch_size=config.batch_size,
         anchor="reference",
+        # The payoff reducer only reads per-round counts, so the games
+        # run on lean boards — no per-round retained arrays are kept.
+        store_retained=False,
         seed=config.seed,
     )
     runner = SweepRunner(

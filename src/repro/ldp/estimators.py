@@ -11,11 +11,9 @@ upper-tail attack mass.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
-from ..core.domain import empirical_quantile
+from ..core.domain import QuantileTable
 
 __all__ = ["mean_estimate", "TrimmedMeanEstimator"]
 
@@ -44,27 +42,31 @@ class TrimmedMeanEstimator:
         ref = np.asarray(reference_reports, dtype=float).ravel()
         if ref.size < 10:
             raise ValueError("need at least 10 reference reports to calibrate")
-        self._reference = np.sort(ref)
+        # Sort-once table: cutoffs become O(1) quantile lookups and the
+        # bias correction a searchsorted prefix instead of a full scan.
+        self._table = QuantileTable(ref)
+        self._reference = self._table.values
         self._reference_mean = float(np.mean(ref))
 
     def cutoff(self, percentile: float) -> float:
         """The report-value cutoff realizing a trim percentile."""
         if percentile >= 1.0:
             return float("inf")
-        return float(empirical_quantile(self._reference, percentile))
+        return float(self._table.quantile(percentile))
 
     def bias_correction(self, percentile: float) -> float:
         """Mean shift trimming at ``percentile`` induces on clean data.
 
         ``correction = mean(reference) - mean(reference below cutoff)`` —
         added back to the trimmed estimate so the estimator stays
-        calibrated when no attack is present.
+        calibrated when no attack is present.  The kept mass is a prefix
+        of the sorted reference, located by binary search.
         """
         cut = self.cutoff(percentile)
-        kept = self._reference[self._reference <= cut]
-        if kept.size == 0:
+        kept_count = int(np.searchsorted(self._reference, cut, side="right"))
+        if kept_count == 0:
             return 0.0
-        return self._reference_mean - float(np.mean(kept))
+        return self._reference_mean - float(np.mean(self._reference[:kept_count]))
 
     def estimate(self, reports, percentile: float) -> float:
         """Trim reports above the cutoff, average, and de-bias."""

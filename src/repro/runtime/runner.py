@@ -74,7 +74,7 @@ def summarize_game(spec: GameSpec, result: GameResult) -> GameRecord:
     """The default reducer: compress a game into its bookkeeping totals."""
     entries = result.board.entries
     n_collected = sum(e.n_collected for e in entries)
-    n_retained = sum(int(e.retained.shape[0]) for e in entries)
+    n_retained = sum(int(e.n_retained) for e in entries)
     return GameRecord(
         tags=dict(spec.tags),
         collector=result.collector_name,
@@ -149,6 +149,12 @@ class SweepGrid:
     coordinate — deterministic, collision-free, and stable under
     re-expansion (unlike arithmetic seed mixing, which silently
     correlates cells whenever the linear combinations coincide).
+
+    ``store_retained=False`` plays every cell on a lean board (running
+    counts instead of per-round retained arrays) — the right choice
+    whenever the reducer only emits summary records, e.g. the default
+    :func:`summarize_game`.  Reducers that call ``retained_data()``
+    need the default ``True``.
     """
 
     pairs: Sequence[StrategyPair]
@@ -159,6 +165,7 @@ class SweepGrid:
     batch_size: int = 100
     dataset_size: Optional[int] = None
     anchor: str = "reference"
+    store_retained: bool = True
     injection_mode: str = "radial"
     injection_jitter: float = 0.01
     trimmer: ComponentSpec = field(
@@ -217,6 +224,7 @@ class SweepGrid:
                                 rounds=self.rounds,
                                 batch_size=self.batch_size,
                                 anchor=self.anchor,
+                                store_retained=self.store_retained,
                                 seed=np.random.SeedSequence(
                                     self.seed, spawn_key=(d_i, r_i, p_i, rep)
                                 ),

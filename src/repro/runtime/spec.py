@@ -172,6 +172,7 @@ class GameSpec:
     rounds: int = 20
     batch_size: int = 100
     anchor: str = "reference"
+    store_retained: bool = True
     seed: SeedLike = 0
     tags: Mapping[str, Any] = field(default_factory=dict)
 
@@ -233,6 +234,7 @@ class GameSpec:
             judge=judge,
             rounds=self.rounds,
             anchor=self.anchor,
+            store_retained=self.store_retained,
         )
 
     def play(self) -> GameResult:

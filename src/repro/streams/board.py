@@ -6,11 +6,17 @@ access and verify them.  It is an append-only log of
 :class:`~repro.core.strategies.base.RoundObservation` entries plus the
 retained batches, giving both parties (and the experiment harness) a
 consistent view of the game's history.
+
+Long games and large sweep grids mostly consume the board through
+*summary* reducers that never touch the per-round retained arrays; the
+lean mode (``PublicBoard(store_retained=False)``) drops those payloads at
+record time and keeps only running counts and aggregates, cutting peak
+memory from O(rounds × batch) to O(rounds).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
 import numpy as np
@@ -24,25 +30,42 @@ __all__ = ["BoardEntry", "PublicBoard"]
 class BoardEntry:
     """One round's public record.
 
-    ``retained`` is the untrimmed (kept) data the collector published;
-    ``observation`` the public per-round summary both parties strategize
-    on; ``n_poison_retained``/``n_poison_injected`` are ground-truth
-    bookkeeping available to the experiment harness (not used by
-    strategies, which only see the observation).
+    ``retained`` is the untrimmed (kept) data the collector published
+    (``None`` on a lean board, which keeps only its row count in
+    ``n_retained``); ``observation`` the public per-round summary both
+    parties strategize on; ``n_poison_retained``/``n_poison_injected``
+    are ground-truth bookkeeping available to the experiment harness
+    (not used by strategies, which only see the observation).
     """
 
     observation: RoundObservation
-    retained: np.ndarray
+    retained: Optional[np.ndarray]
     n_collected: int
     n_poison_injected: int
     n_poison_retained: int
+    n_retained: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_retained is None:
+            if self.retained is None:
+                raise ValueError(
+                    "a lean entry (retained=None) must carry n_retained"
+                )
+            object.__setattr__(self, "n_retained", int(self.retained.shape[0]))
 
 
 @dataclass
 class PublicBoard:
-    """Append-only public record of the collection game."""
+    """Append-only public record of the collection game.
+
+    ``store_retained=False`` selects the lean mode: recorded entries are
+    stripped of their ``retained`` payload at record time, keeping only
+    the per-round counts (``n_retained`` et al.) the aggregate queries
+    need — peak memory drops from O(rounds × batch) to O(rounds).
+    """
 
     entries: List[BoardEntry] = field(default_factory=list)
+    store_retained: bool = True
 
     def record(self, entry: BoardEntry) -> None:
         """Append a completed round's record."""
@@ -52,6 +75,8 @@ class PublicBoard:
                 f"round {entry.observation.index} recorded out of order "
                 f"(expected {expected})"
             )
+        if not self.store_retained and entry.retained is not None:
+            entry = replace(entry, retained=None, n_retained=entry.n_retained)
         self.entries.append(entry)
 
     def __len__(self) -> int:
@@ -76,6 +101,12 @@ class PublicBoard:
         """
         if not self.entries:
             raise ValueError("board is empty")
+        if any(e.retained is None for e in self.entries):
+            raise ValueError(
+                "board is lean (store_retained=False): per-round retained "
+                "arrays were not stored; replay the game with "
+                "store_retained=True to collect them"
+            )
         return np.concatenate([e.retained for e in self.entries], axis=0)
 
     def poison_retained_fraction(self) -> float:
@@ -84,7 +115,7 @@ class PublicBoard:
         The 'untrimmed poison values in the remaining data' metric of
         Table III.
         """
-        kept = sum(e.retained.shape[0] for e in self.entries)
+        kept = sum(e.n_retained for e in self.entries)
         if kept == 0:
             return 0.0
         poison = sum(e.n_poison_retained for e in self.entries)
@@ -95,5 +126,5 @@ class PublicBoard:
         collected = sum(e.n_collected for e in self.entries)
         if collected == 0:
             return 0.0
-        kept = sum(e.retained.shape[0] for e in self.entries)
+        kept = sum(e.n_retained for e in self.entries)
         return 1.0 - kept / collected

@@ -62,6 +62,9 @@ class DataCollector:
         self.trimmer.fit_reference(self.reference)
         self.quality_evaluator = quality_evaluator or TailMassEvaluator()
         self.quality_evaluator.fit(self.reference)
+        self._share_scores = self.quality_evaluator.accepts_scores(
+            getattr(self.trimmer, "score_kind", None)
+        )
         self.betrayal_quality = float(betrayal_quality)
         self.strategy.reset()
         self._round = 0
@@ -114,13 +117,22 @@ class DataCollector:
         self._pending = None  # next round recomputes from the new state
 
         report = self.trimmer.trim(arr, threshold)
-        quality = self.quality_evaluator.normalized(arr)
+        # One scoring sweep per round: score and normalized quality come
+        # from a single evaluate() call, reusing the trimmer's batch
+        # scores when the score families are commensurable.
+        shared = (
+            report.scores if self._share_scores and report.scores is not None
+            else None
+        )
+        observed_ratio, quality = self.quality_evaluator.evaluate(
+            arr, scores=shared
+        )
         self._last = RoundObservation(
             index=self._round,
             trim_percentile=float(threshold),
             injection_percentile=None,  # unobservable on a real stream
             quality=quality,
-            observed_poison_ratio=self.quality_evaluator.score(arr),
+            observed_poison_ratio=observed_ratio,
             betrayal=quality > self.betrayal_quality,
         )
         return arr[report.kept]

@@ -4,8 +4,11 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
+from hypothesis import settings
+
 from repro.core.domain import (
     Domain,
+    QuantileTable,
     clip_percentile,
     empirical_quantile,
     percentile_grid,
@@ -102,6 +105,102 @@ class TestEmpiricalQuantile:
         lo = float(empirical_quantile(values, 0.25))
         hi = float(empirical_quantile(values, 0.75))
         assert lo <= hi
+
+
+class TestEmpiricalQuantileReturnTypes:
+    """Scalar ``q`` must yield a plain float, array ``q`` an ndarray."""
+
+    def test_scalar_fraction_returns_float(self):
+        out = empirical_quantile([3.0, 1.0, 2.0], 0.5)
+        assert type(out) is float
+        assert out == 2.0
+
+    def test_zero_d_array_fraction_returns_float(self):
+        out = empirical_quantile([3.0, 1.0, 2.0], np.float64(0.5))
+        assert type(out) is float
+
+    def test_array_fraction_returns_ndarray(self):
+        out = empirical_quantile(np.arange(11.0), np.array([0.1, 0.9]))
+        assert isinstance(out, np.ndarray)
+        assert out.shape == (2,)
+
+    def test_list_fraction_returns_ndarray(self):
+        out = empirical_quantile(np.arange(11.0), [0.0, 0.5, 1.0])
+        assert isinstance(out, np.ndarray)
+        assert out.shape == (3,)
+
+
+class TestQuantileTable:
+    @given(
+        n=st.integers(min_value=1, max_value=400),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_quantile_bit_identical_to_numpy(self, n, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=n) * rng.lognormal()
+        table = QuantileTable(values)
+        qs = np.concatenate([rng.random(64), [0.0, 0.25, 0.5, 0.75, 1.0]])
+        np.testing.assert_array_equal(table.quantile(qs), np.quantile(values, qs))
+        for q in (0.0, 0.5, 0.9, 1.0, float(rng.random())):
+            assert table.quantile(q) == float(np.quantile(values, q))
+
+    def test_scalar_query_returns_float(self):
+        table = QuantileTable([3.0, 1.0, 2.0])
+        out = table.quantile(0.5)
+        assert type(out) is float
+        assert out == 2.0
+
+    def test_array_query_returns_ndarray(self):
+        table = QuantileTable(np.arange(10.0))
+        out = table.quantile(np.array([0.0, 1.0]))
+        assert isinstance(out, np.ndarray)
+        np.testing.assert_array_equal(out, [0.0, 9.0])
+
+    def test_single_element_table(self):
+        table = QuantileTable([7.0])
+        assert table.quantile(0.0) == 7.0
+        assert table.quantile(1.0) == 7.0
+
+    def test_values_sorted_and_read_only(self):
+        table = QuantileTable([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(table.values, [1.0, 2.0, 3.0])
+        assert table.n == 3
+        with pytest.raises(ValueError):
+            table.values[0] = -1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileTable([])
+
+    def test_out_of_range_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileTable([1.0, 2.0]).quantile(1.5)
+
+    @given(
+        n=st.integers(min_value=1, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cdf_matches_percentile_of(self, n, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=n)
+        table = QuantileTable(values)
+        probes = np.concatenate([values[: min(n, 5)], rng.normal(size=5)])
+        for x in probes:
+            assert table.cdf(float(x)) == percentile_of(values, float(x))
+
+    def test_tail_mass_counts_strictly_above(self):
+        table = QuantileTable([1.0, 2.0, 2.0, 3.0])
+        assert table.tail_mass(2.0) == pytest.approx(0.25)
+        assert table.tail_mass(0.0) == 1.0
+        assert table.tail_mass(3.0) == 0.0
+
+    def test_cdf_array_query(self):
+        table = QuantileTable([1.0, 2.0, 3.0, 4.0])
+        out = table.cdf(np.array([1.0, 2.5, 10.0]))
+        assert isinstance(out, np.ndarray)
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0])
 
 
 class TestPercentileOf:

@@ -211,3 +211,113 @@ class TestNoisyPositionJudge:
             NoisyPositionJudge(0.0)
         with pytest.raises(ValueError):
             NoisyPositionJudge(0.9, miss_rate=1.5)
+
+
+class TestLeanMode:
+    """store_retained=False must change memory, never results."""
+
+    def test_records_byte_identical_to_full_mode(self, control_data):
+        data, _ = control_data
+
+        def build(store_retained):
+            return CollectionGame(
+                source=ArrayStream(data, batch_size=100, seed=0),
+                collector=ElasticCollector(t_th=0.9, k=0.5),
+                adversary=ElasticAdversary(t_th=0.9, k=0.5),
+                injector=PoisonInjector(attack_ratio=0.2, seed=1),
+                trimmer=RadialTrimmer(),
+                reference=data,
+                quality_evaluator=TailMassEvaluator(),
+                judge=BandExcessJudge(noise_sigma=0.02, seed=3),
+                rounds=6,
+                store_retained=store_retained,
+            )
+
+        import json
+
+        full = build(True).run()
+        lean = build(False).run()
+        assert json.dumps(full.to_records(), sort_keys=True) == json.dumps(
+            lean.to_records(), sort_keys=True
+        )
+        assert lean.poison_retained_fraction() == full.poison_retained_fraction()
+        assert lean.trimmed_fraction() == full.trimmed_fraction()
+
+    def test_lean_result_has_no_retained_data(self, control_data):
+        data, _ = control_data
+        game = CollectionGame(
+            source=ArrayStream(data, batch_size=100, seed=0),
+            collector=OstrichCollector(),
+            adversary=NullAdversary(),
+            injector=PoisonInjector(attack_ratio=0.2, seed=1),
+            trimmer=RadialTrimmer(),
+            reference=data,
+            rounds=3,
+            store_retained=False,
+        )
+        result = game.run()
+        with pytest.raises(ValueError, match="lean"):
+            result.retained_data()
+        assert all(e.retained is None for e in result.board.entries)
+
+
+class TestSharedScoreSweep:
+    """With a ValueTrimmer on 1-D data the evaluator reuses the trim
+    report's scores — results must match an unshared evaluation."""
+
+    def test_value_trimmer_shares_scores_with_tailmass(self, rng):
+        data = rng.lognormal(size=2000)
+
+        class NoShareEvaluator(TailMassEvaluator):
+            def accepts_scores(self, score_kind):
+                return False
+
+        def build(evaluator):
+            return CollectionGame(
+                source=ArrayStream(data, batch_size=200, seed=0),
+                collector=ElasticCollector(t_th=0.9, k=0.5),
+                adversary=FixedAdversary(0.93),
+                injector=PoisonInjector(attack_ratio=0.2, mode="quantile", seed=1),
+                trimmer=ValueTrimmer(),
+                reference=data,
+                quality_evaluator=evaluator,
+                rounds=5,
+            )
+
+        shared_game = build(TailMassEvaluator())
+        assert shared_game._share_scores
+        unshared_game = build(NoShareEvaluator())
+        assert not unshared_game._share_scores
+
+        import json
+
+        shared = shared_game.run().to_records()
+        unshared = unshared_game.run().to_records()
+        assert json.dumps(shared, sort_keys=True) == json.dumps(
+            unshared, sort_keys=True
+        )
+
+    def test_radial_trimmer_does_not_share(self, control_data):
+        data, _ = control_data
+        game = _game(data, OstrichCollector(), NullAdversary())
+        assert not game._share_scores
+
+
+class TestJudgeTableSharing:
+    def test_band_judge_fit_accepts_quantile_table(self, rng):
+        from repro.core.domain import QuantileTable
+
+        scores = rng.normal(size=1000)
+        from_scores = BandExcessJudge(noise_sigma=0.0).fit(scores)
+        from_table = BandExcessJudge(noise_sigma=0.0).fit(QuantileTable(scores))
+        assert from_scores._band_values == from_table._band_values
+
+    def test_engine_shares_trimmer_table_with_band_judge(self, control_data):
+        data, _ = control_data
+        game = _game(data, OstrichCollector(), NullAdversary())
+        # The judge's band cutoffs must equal quantiles of the trimmer's
+        # reference scores (the single shared sorted table).
+        expected = np.quantile(
+            game.trimmer.reference_scores, game.judge.band
+        )
+        assert game.judge._band_values == (float(expected[0]), float(expected[1]))

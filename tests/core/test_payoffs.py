@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.core.payoffs import PayoffModel, power_poison_gain, power_trim_cost
 
@@ -117,6 +117,121 @@ class TestProfilePayoffs:
         model = PayoffModel()
         adv, _ = model.profile_payoffs(x_a, x_c)
         assert 0.0 <= adv <= model.poison_payoff(x_a) + 1e-12
+
+
+def scalar_reference_matrix(model, adversary_grid, collector_grid):
+    """The naive double loop over ``profile_payoffs`` — the ground truth
+    the broadcast ``payoff_matrix`` must reproduce exactly."""
+    a_grid = np.asarray(adversary_grid, dtype=float)
+    c_grid = np.asarray(collector_grid, dtype=float)
+    adv = np.empty((a_grid.size, c_grid.size))
+    col = np.empty_like(adv)
+    for i, x_a in enumerate(a_grid):
+        for j, x_c in enumerate(c_grid):
+            adv[i, j], col[i, j] = model.profile_payoffs(x_a, x_c)
+    return adv, col
+
+
+def _scalar_only_gain(x):
+    """A deliberately non-vectorizable poison gain (truth-tests its input)."""
+    return 2.0 * x * x if x > 0.1 else 0.05 * x
+
+
+def _scalar_only_cost(x):
+    """A deliberately non-vectorizable trim cost."""
+    return (1.0 - x) * (1.5 if x < 0.9 else 0.5)
+
+
+class TestVectorizedKernels:
+    def test_power_kernels_accept_arrays(self):
+        xs = np.linspace(0.0, 1.0, 17)
+        gain = power_poison_gain(scale=1.3, exponent=2.5)
+        cost = power_trim_cost(scale=0.7, exponent=1.5)
+        np.testing.assert_array_equal(gain(xs), [gain(float(x)) for x in xs])
+        np.testing.assert_array_equal(cost(xs), [cost(float(x)) for x in xs])
+
+    def test_power_kernels_scalar_returns_float(self):
+        assert type(power_poison_gain()(0.5)) is float
+        assert type(power_trim_cost()(0.5)) is float
+
+    def test_model_payoffs_accept_arrays(self):
+        model = PayoffModel()
+        xs = np.linspace(-0.2, 1.2, 23)  # clipping exercised
+        gains = model.poison_payoff(xs)
+        overheads = model.trim_overhead(xs)
+        np.testing.assert_array_equal(
+            gains, [model.poison_payoff(float(x)) for x in xs]
+        )
+        np.testing.assert_array_equal(
+            overheads, [model.trim_overhead(float(x)) for x in xs]
+        )
+
+    def test_scalar_only_callable_falls_back(self):
+        model = PayoffModel(
+            poison_gain=_scalar_only_gain, trim_cost=_scalar_only_cost
+        )
+        xs = np.linspace(0.0, 1.0, 11)
+        np.testing.assert_array_equal(
+            model.poison_payoff(xs), [model.poison_payoff(float(x)) for x in xs]
+        )
+        np.testing.assert_array_equal(
+            model.trim_overhead(xs), [model.trim_overhead(float(x)) for x in xs]
+        )
+
+    def test_constant_lambda_kernel_supported(self):
+        # Returns a scalar even for array input: wrong shape -> fallback.
+        model = PayoffModel(poison_gain=lambda x: 0.25, trim_cost=power_trim_cost())
+        out = model.poison_payoff(np.linspace(0, 1, 5))
+        np.testing.assert_array_equal(out, np.full(5, 0.25))
+
+
+class TestBroadcastMatrixEquivalence:
+    """The broadcast matrix must match the scalar double loop bit-for-bit."""
+
+    @given(
+        n_a=st.integers(min_value=1, max_value=24),
+        n_c=st.integers(min_value=1, max_value=24),
+        seed=st.integers(min_value=0, max_value=2**16),
+        gain_scale=st.floats(0.2, 4.0),
+        gain_exp=st.floats(0.5, 3.0),
+        cost_scale=st.floats(0.2, 4.0),
+        cost_exp=st.floats(0.5, 3.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_grids_match_scalar_loop(
+        self, n_a, n_c, seed, gain_scale, gain_exp, cost_scale, cost_exp
+    ):
+        rng = np.random.default_rng(seed)
+        model = PayoffModel(
+            poison_gain=power_poison_gain(gain_scale, gain_exp),
+            trim_cost=power_trim_cost(cost_scale, cost_exp),
+        )
+        a_grid = np.sort(rng.random(n_a))
+        c_grid = np.sort(rng.random(n_c))
+        adv, col = model.payoff_matrix(a_grid, c_grid)
+        ref_adv, ref_col = scalar_reference_matrix(model, a_grid, c_grid)
+        np.testing.assert_array_equal(adv, ref_adv)
+        np.testing.assert_array_equal(col, ref_col)
+
+    def test_scalar_only_kernels_match_scalar_loop(self):
+        model = PayoffModel(
+            poison_gain=_scalar_only_gain, trim_cost=_scalar_only_cost
+        )
+        grid = np.linspace(0.0, 1.0, 31)
+        adv, col = model.payoff_matrix(grid, grid)
+        ref_adv, ref_col = scalar_reference_matrix(model, grid, grid)
+        np.testing.assert_array_equal(adv, ref_adv)
+        np.testing.assert_array_equal(col, ref_col)
+
+    def test_grid_including_unit_endpoint_matches(self):
+        # x_c = 1.0 makes T = 0 in the trimmed branch: the signed-zero
+        # combination -0.0 - 0.0 must match the scalar path bytes too.
+        model = PayoffModel()
+        grid = np.linspace(0.0, 1.0, 9)
+        adv, col = model.payoff_matrix(grid, grid)
+        ref_adv, ref_col = scalar_reference_matrix(model, grid, grid)
+        assert adv.tobytes() == ref_adv.tobytes()
+        assert col.tobytes() == ref_col.tobytes()
 
 
 class TestPayoffMatrix:

@@ -6,6 +6,7 @@ import pytest
 from repro.core.quality import (
     KolmogorovSmirnovEvaluator,
     MeanShiftEvaluator,
+    QualityEvaluator,
     TailMassEvaluator,
 )
 
@@ -140,3 +141,84 @@ class TestCommonBehaviour:
             batch = np.concatenate([benign, np.full(n_poison, 8.0)])
             scores.append(evaluator.score(batch))
         assert scores[0] <= scores[1] <= scores[2]
+
+
+class TestSinglePassEvaluate:
+    """evaluate() must yield the same pair as separate score/normalized
+    calls — from one scoring sweep — and honor precomputed scores."""
+
+    @pytest.mark.parametrize(
+        "evaluator_factory",
+        [TailMassEvaluator, KolmogorovSmirnovEvaluator, MeanShiftEvaluator],
+    )
+    def test_evaluate_matches_separate_calls(
+        self, evaluator_factory, reference, rng
+    ):
+        evaluator = evaluator_factory().fit(reference)
+        batch = np.concatenate([rng.normal(size=800), np.full(150, 7.0)])
+        score, normalized = evaluator.evaluate(batch)
+        assert score == evaluator.score(batch)
+        assert normalized == evaluator.normalized(batch)
+
+    def test_evaluate_counts_scoring_sweeps(self, reference, rng):
+        calls = {"n": 0}
+
+        class CountingEvaluator(TailMassEvaluator):
+            def score(self, batch, scores=None):
+                calls["n"] += 1
+                return super().score(batch, scores=scores)
+
+        evaluator = CountingEvaluator().fit(reference)
+        evaluator.evaluate(rng.normal(size=200))
+        assert calls["n"] == 1
+
+    def test_precomputed_scores_short_circuit(self, reference, rng):
+        evaluator = TailMassEvaluator().fit(reference)
+        batch = rng.normal(size=500)
+        # For a 1-D batch the value scores *are* the batch.
+        direct = evaluator.evaluate(batch)
+        shared = evaluator.evaluate(batch, scores=batch)
+        assert direct == shared
+
+    def test_normalize_score_clips(self, reference):
+        evaluator = TailMassEvaluator().fit(reference)
+        assert evaluator.normalize_score(-1.0) == 0.0
+        assert evaluator.normalize_score(1e9) == 1.0
+
+    def test_accepts_scores_only_for_value_trimmers(self, reference):
+        evaluator = TailMassEvaluator().fit(reference)
+        assert evaluator.accepts_scores("value")
+        assert not evaluator.accepts_scores("radial")
+        assert not evaluator.accepts_scores(None)
+
+    def test_accepts_scores_false_for_legacy_signature(self, reference):
+        class LegacyEvaluator(QualityEvaluator):
+            def fit(self, ref):
+                return self
+
+            def score(self, batch):  # no `scores` kwarg
+                return 0.5
+
+            def max_score(self):
+                return 1.0
+
+        assert not LegacyEvaluator().accepts_scores("value")
+        # evaluate without shared scores must still work.
+        assert LegacyEvaluator().evaluate([1.0, 2.0]) == (0.5, 0.5)
+
+    def test_evaluate_preserves_overridden_normalized(self, reference, rng):
+        class CustomNormalized(TailMassEvaluator):
+            def normalized(self, batch):
+                return 0.123  # bespoke normalization hook
+
+        evaluator = CustomNormalized().fit(reference)
+        batch = rng.normal(size=300)
+        score, normalized = evaluator.evaluate(batch)
+        assert normalized == 0.123
+        assert score == evaluator.score(batch)
+
+    def test_mismatched_precomputed_scores_rejected(self, reference, rng):
+        evaluator = TailMassEvaluator().fit(reference)
+        batch = rng.normal(size=100)
+        with pytest.raises(ValueError, match="full.*batch"):
+            evaluator.evaluate(batch, scores=batch[:40])

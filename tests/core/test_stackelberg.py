@@ -57,6 +57,73 @@ class TestSolveStackelberg:
         assert sol.follower_payoff == pytest.approx(max(payoffs), abs=1e-9)
 
 
+def _reference_solve(model, grid_size, tie_break):
+    """The pre-vectorization per-column loop, kept as ground truth."""
+    from repro.core.domain import percentile_grid
+
+    x_l, x_r = model.strategy_interval()
+    grid = percentile_grid(x_l, x_r, grid_size)
+    adv_payoffs, col_payoffs = model.payoff_matrix(grid, grid)
+    best_leader_payoff = -np.inf
+    best = None
+    for j, x_c in enumerate(grid):
+        column = adv_payoffs[:, j]
+        follower_set = np.flatnonzero(np.isclose(column, column.max()))
+        leader_outcomes = col_payoffs[follower_set, j]
+        if tie_break == "pessimistic":
+            idx = follower_set[int(np.argmin(leader_outcomes))]
+        else:
+            idx = follower_set[int(np.argmax(leader_outcomes))]
+        leader_payoff = col_payoffs[idx, j]
+        if leader_payoff > best_leader_payoff:
+            best_leader_payoff = leader_payoff
+            best = (
+                float(x_c),
+                float(grid[idx]),
+                float(leader_payoff),
+                float(adv_payoffs[idx, j]),
+            )
+    return best
+
+
+class TestVectorizedSolverEquivalence:
+    """The vectorized column selection must match the scalar loop exactly,
+    including isclose-tie handling and first-extremum tie-breaking."""
+
+    @pytest.mark.parametrize("tie_break", ["pessimistic", "optimistic"])
+    @pytest.mark.parametrize("grid_size", [2, 3, 17, 101])
+    def test_matches_reference_loop(self, tie_break, grid_size):
+        from repro.core.payoffs import power_poison_gain, power_trim_cost
+
+        for gain_scale, cost_scale in [(1.0, 1.0), (0.4, 2.5), (3.0, 0.3)]:
+            model = PayoffModel(
+                poison_gain=power_poison_gain(scale=gain_scale),
+                trim_cost=power_trim_cost(scale=cost_scale),
+            )
+            sol = solve_stackelberg(model, grid_size=grid_size, tie_break=tie_break)
+            ref = _reference_solve(model, grid_size, tie_break)
+            assert (
+                sol.leader_action,
+                sol.follower_action,
+                sol.leader_payoff,
+                sol.follower_payoff,
+            ) == ref
+
+    def test_flat_adversary_ties_resolved_identically(self):
+        # A constant poison gain makes *every* row a follower best
+        # response in every column — maximal tie stress.
+        model = PayoffModel(poison_gain=lambda x: 0.5)
+        for tie_break in ("pessimistic", "optimistic"):
+            sol = solve_stackelberg(model, grid_size=31, tie_break=tie_break)
+            ref = _reference_solve(model, 31, tie_break)
+            assert (
+                sol.leader_action,
+                sol.follower_action,
+                sol.leader_payoff,
+                sol.follower_payoff,
+            ) == ref
+
+
 class TestBestResponseDynamics:
     @staticmethod
     def _linear(t_th=0.9, k=0.5):

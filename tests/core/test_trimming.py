@@ -155,6 +155,60 @@ class TestValueTrimmer:
         assert kept_lo <= kept_hi
 
 
+class TestQuantileTableCutoffs:
+    """Reference-anchored cutoffs ride the sort-once table and must be
+    bit-identical to a fresh np.quantile over the reference scores."""
+
+    @given(
+        percentile=st.floats(min_value=0.0, max_value=0.999),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_value_trimmer_cutoff_matches_numpy(self, percentile, seed):
+        rng = np.random.default_rng(seed)
+        reference = rng.normal(size=500)
+        trimmer = ValueTrimmer(anchor="reference").fit_reference(reference)
+        report = trimmer.trim(rng.normal(size=100), percentile)
+        assert report.threshold_score == float(np.quantile(reference, percentile))
+
+    def test_radial_trimmer_cutoff_matches_numpy(self, rng):
+        reference = rng.normal(size=(400, 3))
+        trimmer = RadialTrimmer(anchor="reference").fit_reference(reference)
+        ref_scores = np.linalg.norm(
+            reference - np.median(reference, axis=0), axis=1
+        )
+        report = trimmer.trim(rng.normal(size=(80, 3)), 0.87)
+        assert report.threshold_score == float(np.quantile(ref_scores, 0.87))
+
+    def test_refit_invalidates_cached_table(self, rng):
+        # Regression: a refit on new reference data must not serve
+        # cutoffs from the previous reference's cached quantile table.
+        trimmer = ValueTrimmer(anchor="reference")
+        trimmer.fit_reference(rng.normal(size=500))
+        trimmer.trim(rng.normal(size=50), 0.9)  # builds the lazy table
+        shifted = rng.normal(size=500) + 100.0
+        trimmer.fit_reference(shifted)
+        report = trimmer.trim(rng.normal(size=50) + 100.0, 0.9)
+        assert report.threshold_score == float(np.quantile(shifted, 0.9))
+
+    def test_batch_anchor_never_builds_reference_table(self, rng):
+        trimmer = ValueTrimmer(anchor="batch")
+        trimmer.fit_reference(rng.normal(size=500))
+        trimmer.trim(rng.normal(size=100), 0.9)
+        assert trimmer._reference_table is None  # lazy: never queried
+
+    def test_reference_scores_property(self, rng):
+        trimmer = ValueTrimmer()
+        assert trimmer.reference_scores is None
+        reference = rng.normal(size=100)
+        trimmer.fit_reference(reference)
+        np.testing.assert_array_equal(trimmer.reference_scores, reference)
+
+    def test_score_kind_tags(self):
+        assert ValueTrimmer().score_kind == "value"
+        assert RadialTrimmer().score_kind == "radial"
+
+
 class TestRadialTrimmer:
     def test_scores_are_distances_from_median(self, rng):
         batch = rng.normal(size=(200, 3))
@@ -200,6 +254,24 @@ class TestRadialTrimmer:
     def test_fit_empty_reference_rejected(self):
         with pytest.raises(ValueError):
             RadialTrimmer().fit_reference(np.array([]))
+
+    def test_1d_batch_after_2d_fit_raises_dimension_mismatch(self, rng):
+        # Regression: this used to crash with numpy's cryptic "only
+        # 0-dimensional arrays can be converted to Python scalars" when
+        # float() hit the length-d center vector.
+        trimmer = RadialTrimmer().fit_reference(rng.normal(size=(100, 3)))
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            trimmer.scores(rng.normal(size=50))
+
+    def test_1d_batch_after_single_feature_2d_fit_works(self, rng):
+        # A (n, 1) reference has a commensurable length-1 center.
+        reference = rng.normal(size=(100, 1))
+        trimmer = RadialTrimmer().fit_reference(reference)
+        batch = rng.normal(size=30)
+        scores = trimmer.scores(batch)
+        np.testing.assert_allclose(
+            scores, np.abs(batch - float(np.median(reference, axis=0)[0]))
+        )
 
     def test_is_reference_anchored_flag(self, rng):
         trimmer = RadialTrimmer(anchor="reference")

@@ -197,3 +197,26 @@ class TestTournamentParallelism:
             serial.collector_mixture, parallel.collector_mixture
         )
         assert serial.game_value == parallel.game_value
+
+
+class TestLeanSweeps:
+    """store_retained propagates grid -> spec -> engine, and summary
+    records are identical either way."""
+
+    def test_store_retained_propagates_to_specs(self):
+        specs = _grid(store_retained=False).expand()
+        assert all(not s.store_retained for s in specs)
+        assert all(s.store_retained for s in _grid().expand())
+
+    def test_lean_game_records_match_full(self):
+        lean = SweepRunner().run_grid(_grid(store_retained=False))
+        full = SweepRunner().run_grid(_grid(store_retained=True))
+        assert lean == full
+
+    def test_lean_spec_plays_on_lean_board(self):
+        spec = _grid(store_retained=False).expand()[0]
+        result = play_game(spec)
+        assert all(e.retained is None for e in result.board.entries)
+        # summarize_game must work off the counts alone.
+        record = summarize_game(spec, result)
+        assert record.n_retained > 0

@@ -73,3 +73,65 @@ class TestPublicBoard:
         board = PublicBoard()
         assert board.poison_retained_fraction() == 0.0
         assert board.trimmed_fraction() == 0.0
+
+class TestBoardEntryCounts:
+    def test_n_retained_derived_from_retained(self):
+        entry = _entry(1, np.zeros((5, 2)), 6)
+        assert entry.n_retained == 5
+
+    def test_explicit_n_retained_preserved(self):
+        entry = BoardEntry(
+            observation=_entry(1, np.zeros((1, 1)), 1).observation,
+            retained=None,
+            n_collected=10,
+            n_poison_injected=2,
+            n_poison_retained=1,
+            n_retained=7,
+        )
+        assert entry.n_retained == 7
+        assert entry.retained is None
+
+    def test_lean_entry_without_count_rejected(self):
+        with pytest.raises(ValueError):
+            BoardEntry(
+                observation=_entry(1, np.zeros((1, 1)), 1).observation,
+                retained=None,
+                n_collected=10,
+                n_poison_injected=0,
+                n_poison_retained=0,
+            )
+
+
+class TestLeanBoard:
+    def test_record_drops_retained_payload(self):
+        board = PublicBoard(store_retained=False)
+        board.record(_entry(1, np.ones((5, 2)), 6))
+        assert board.entries[0].retained is None
+        assert board.entries[0].n_retained == 5
+
+    def test_fractions_match_full_board(self):
+        full = PublicBoard()
+        lean = PublicBoard(store_retained=False)
+        for board in (full, lean):
+            board.record(_entry(1, np.zeros((8, 1)), 10, 4, 2))
+            board.record(_entry(2, np.zeros((12, 1)), 14, 4, 4))
+        assert lean.poison_retained_fraction() == full.poison_retained_fraction()
+        assert lean.trimmed_fraction() == full.trimmed_fraction()
+
+    def test_retained_data_raises_with_clear_message(self):
+        board = PublicBoard(store_retained=False)
+        board.record(_entry(1, np.ones((3, 2)), 3))
+        with pytest.raises(ValueError, match="lean"):
+            board.retained_data()
+
+    def test_observations_still_available(self):
+        board = PublicBoard(store_retained=False)
+        board.record(_entry(1, np.zeros((1, 1)), 1))
+        board.record(_entry(2, np.zeros((1, 1)), 1))
+        assert [o.index for o in board.observations] == [1, 2]
+
+    def test_prefilled_entries_counted(self):
+        entries = [_entry(1, np.zeros((8, 1)), 10, 4, 2)]
+        board = PublicBoard(entries=entries)
+        assert board.poison_retained_fraction() == pytest.approx(2 / 8)
+        assert board.trimmed_fraction() == pytest.approx(1 - 8 / 10)
