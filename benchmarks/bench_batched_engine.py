@@ -1,0 +1,148 @@
+"""Batched replication engine benchmark: solo rep loop vs lockstep stacks.
+
+The third layer of the perf stack (PR 1: across cells, PR 2: within
+rounds, PR 3: across reps) collapses the repetition axis of a sweep cell
+into one :class:`~repro.core.engine.BatchedCollectionGame`.  This bench
+plays the tournament workload — the default meta-game's 16 (collector ×
+adversary) pairings of 10-round games — at R ∈ {8, 32, 128} repetitions
+per cell, through the same :class:`~repro.runtime.runner.SweepRunner`
+twice: once with the solo per-spec loop (``rep_batch=None``) and once
+with the repetition axis collapsed (``rep_batch="auto"``).
+
+Correctness gate (non-negotiable): every record of the batched run must
+equal the solo run's record for the same spec — the per-rep
+byte-equality contract of the batched engine — at every R.  Performance:
+~3.5x games/sec at R = 32 on the dev container, with a 2x blocking gate
+that leaves headroom for noisy CI runners.  Results are persisted to
+``benchmarks/results/BENCH_batched.json`` so the perf trajectory stays
+inspectable per commit.
+
+Run standalone with ``python benchmarks/bench_batched_engine.py``.
+"""
+
+import json
+import os
+import time
+
+from repro.experiments.tournament import (
+    TournamentConfig,
+    _default_adversaries,
+    _default_collectors,
+)
+from repro.runtime import SweepGrid, SweepRunner, cross_pairs
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+BENCH_PATH = os.path.join(RESULTS_DIR, "BENCH_batched.json")
+
+#: Repetition counts to sweep; the gate applies at GATED_REPS.
+REP_COUNTS = (8, 32, 128)
+GATED_REPS = 32
+#: CI regression gate.  Measured ~3.5x at R=32 on the dev container
+#: (see results/BENCH_batched.json); the blocking assertion keeps ample
+#: headroom for noisy shared CI runners, like the sibling hot-loop
+#: gates do.
+MIN_SPEEDUP = 2.0
+
+BASE = TournamentConfig()
+
+
+def _grid(repetitions: int) -> SweepGrid:
+    """The tournament grid at a given repetition count."""
+    collectors = _default_collectors(BASE.t_th)
+    adversaries = _default_adversaries(BASE.t_th)
+    return SweepGrid(
+        pairs=cross_pairs(collectors, adversaries),
+        datasets=(BASE.dataset,),
+        attack_ratios=(BASE.attack_ratio,),
+        repetitions=repetitions,
+        rounds=BASE.rounds,
+        batch_size=BASE.batch_size,
+        anchor="reference",
+        store_retained=False,
+        seed=BASE.seed,
+    )
+
+
+def _time_run(runner: SweepRunner, grid: SweepGrid):
+    t0 = time.perf_counter()
+    records = runner.run_grid(grid)
+    return time.perf_counter() - t0, records
+
+
+def run_batched_benchmark() -> dict:
+    """Time solo vs batched at every R; assert record equality; report."""
+    points = []
+    for repetitions in REP_COUNTS:
+        grid = _grid(repetitions)
+        solo_s, solo_records = _time_run(SweepRunner(), grid)
+        batched_s, batched_records = _time_run(
+            SweepRunner(rep_batch="auto"), grid
+        )
+        n_games = grid.n_cells
+        points.append(
+            {
+                "repetitions": repetitions,
+                "n_games": n_games,
+                "rounds": BASE.rounds,
+                "solo_seconds": solo_s,
+                "batched_seconds": batched_s,
+                "solo_games_per_second": n_games / solo_s,
+                "batched_games_per_second": n_games / batched_s,
+                "speedup": solo_s / batched_s,
+                "records_identical": bool(solo_records == batched_records),
+            }
+        )
+    return {
+        "workload": {
+            "pairs": 16,
+            "rounds": BASE.rounds,
+            "batch_size": BASE.batch_size,
+            "dataset": BASE.dataset,
+            "attack_ratio": BASE.attack_ratio,
+        },
+        "gate": {"repetitions": GATED_REPS, "min_speedup": MIN_SPEEDUP},
+        "points": points,
+    }
+
+
+def _persist(payload: dict) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def test_batched_engine(report):
+    payload = run_batched_benchmark()
+    _persist(payload)
+    lines = ["Batched replication engine (solo rep loop vs lockstep stacks)"]
+    for point in payload["points"]:
+        lines.append(
+            f"R={point['repetitions']:>3}: "
+            f"{point['solo_games_per_second']:.0f} -> "
+            f"{point['batched_games_per_second']:.0f} games/s "
+            f"({point['speedup']:.2f}x), records identical: "
+            f"{point['records_identical']}"
+        )
+    report("batched_engine", "\n".join(lines))
+
+    # Correctness gates: the batched engine must not change a single bit.
+    for point in payload["points"]:
+        assert point["records_identical"], (
+            f"rep-batched records diverged at R={point['repetitions']}"
+        )
+    # Performance gate at the headline repetition count.
+    gated = next(
+        p for p in payload["points"] if p["repetitions"] == GATED_REPS
+    )
+    assert gated["speedup"] >= MIN_SPEEDUP, (
+        f"batched speedup {gated['speedup']:.2f}x below the "
+        f"{MIN_SPEEDUP}x gate at R={GATED_REPS}"
+    )
+
+
+if __name__ == "__main__":
+    result = run_batched_benchmark()
+    _persist(result)
+    print(json.dumps(result, indent=2))
+    print(f"written to {BENCH_PATH}")

@@ -36,6 +36,8 @@ Quickstart::
 
 from .core import (
     BandExcessJudge,
+    BatchedCollectionGame,
+    BatchedGameResult,
     InfiniteHorizonAnalysis,
     backward_induction,
     BimatrixGame,
@@ -85,7 +87,7 @@ from .runtime import (
     SweepRunner,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -110,6 +112,8 @@ __all__ = [
     # engine
     "CollectionGame",
     "GameResult",
+    "BatchedCollectionGame",
+    "BatchedGameResult",
     "BandExcessJudge",
     "ValueTrimmer",
     "RadialTrimmer",

@@ -14,7 +14,10 @@ benchmark harness; ``--scale full`` moves toward the paper's settings
 (more repetitions, full attack-ratio grids) at a correspondingly longer
 runtime.  ``sweep`` runs an ad-hoc scheme × attack-ratio × repetition
 grid on the :mod:`repro.runtime` sweep runner — ``--workers N`` fans the
-games out over N processes with results identical to a serial run.
+games out over N processes, and ``--rep-batch auto`` (the default) plays
+each cell's repetitions in one lockstep
+:class:`~repro.core.engine.BatchedCollectionGame`; results are identical
+in every mode.
 """
 
 from __future__ import annotations
@@ -236,6 +239,22 @@ def _parse_floats(text: str) -> List[float]:
         raise argparse.ArgumentTypeError(f"not a float list: {text!r}")
 
 
+def _parse_rep_batch(text: str):
+    """'auto' | 'off' | int >= 2 — the SweepRunner rep_batch argument."""
+    lowered = text.strip().lower()
+    if lowered in ("auto", "off"):
+        return lowered
+    try:
+        width = int(lowered)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected 'auto', 'off' or an integer, got {text!r}"
+        )
+    if width < 1:
+        raise argparse.ArgumentTypeError("rep-batch width must be >= 1")
+    return width
+
+
 def _sweep(args: argparse.Namespace) -> str:
     """Run a scheme × ratio × repetition grid on the sweep runner."""
     from .experiments.schemes import scheme_specs
@@ -257,7 +276,9 @@ def _sweep(args: argparse.Namespace) -> str:
         store_retained=False,
         seed=args.seed,
     )
-    records = SweepRunner(workers=args.workers).run_grid(grid)
+    records = SweepRunner(
+        workers=args.workers, rep_batch=args.rep_batch
+    ).run_grid(grid)
 
     grouped: Dict[tuple, list] = {}
     for record in records:
@@ -366,6 +387,16 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes (1 = serial; results identical either way)",
+    )
+    sweep.add_argument(
+        "--rep-batch",
+        type=_parse_rep_batch,
+        default="auto",
+        help=(
+            "repetition lockstep width: 'auto' (default) plays all reps of "
+            "a cell in one batched game, 'off' plays them one by one, an "
+            "integer >= 2 caps the width; results identical in every mode"
+        ),
     )
     return parser
 

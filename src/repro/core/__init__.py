@@ -9,6 +9,8 @@ from .domain import (
 )
 from .engine import (
     BandExcessJudge,
+    BatchedCollectionGame,
+    BatchedGameResult,
     CollectionGame,
     GameResult,
     NoisyPositionJudge,
@@ -46,7 +48,13 @@ from .stackelberg import (
     linear_response_fixed_point,
     solve_stackelberg,
 )
-from .trimming import RadialTrimmer, TrimReport, Trimmer, ValueTrimmer
+from .trimming import (
+    BatchTrimReport,
+    RadialTrimmer,
+    TrimReport,
+    Trimmer,
+    ValueTrimmer,
+)
 
 __all__ = [
     "Domain",
@@ -91,4 +99,7 @@ __all__ = [
     "NoisyPositionJudge",
     "CollectionGame",
     "GameResult",
+    "BatchedCollectionGame",
+    "BatchedGameResult",
+    "BatchTrimReport",
 ]

@@ -18,23 +18,31 @@ poison) that strategies never see but experiments report on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..streams.board import BoardEntry, PublicBoard
-from ..streams.injection import PoisonInjector
+from ..streams.board import BoardEntry, PublicBoard, StackedBoard
+from ..streams.injection import BatchedInjector, PoisonInjector
 from ..streams.source import StreamSource
 from .domain import QuantileTable
 from .quality import QualityEvaluator, TailMassEvaluator
-from .strategies.base import AdversaryStrategy, CollectorStrategy, RoundObservation
-from .trimming import Trimmer
+from .strategies.base import (
+    AdversaryStrategy,
+    CollectorStrategy,
+    RoundObservation,
+    RoundObservationBatch,
+)
+from .strategies.batched import adversary_lanes, collector_lanes
+from .trimming import BatchTrimReport, RadialTrimmer, Trimmer, ValueTrimmer
 
 __all__ = [
     "BandExcessJudge",
     "NoisyPositionJudge",
     "GameResult",
     "CollectionGame",
+    "BatchedGameResult",
+    "BatchedCollectionGame",
 ]
 
 
@@ -193,40 +201,49 @@ class GameResult:
         return self.board.trimmed_fraction()
 
     def threshold_path(self) -> np.ndarray:
-        """Per-round trimming percentiles the collector played."""
-        return np.array([o.trim_percentile for o in self.board.observations])
+        """Per-round trimming percentiles the collector played.
+
+        Served straight from the board's append-only column arrays —
+        O(1) after the first access, no per-observation iteration.  The
+        returned array is read-only (it aliases the board's cache).
+        """
+        return self.board.columns.trim_percentile
 
     def injection_path(self) -> np.ndarray:
-        """Per-round injection percentiles (NaN where no injection)."""
-        return np.array(
-            [
-                np.nan if o.injection_percentile is None else o.injection_percentile
-                for o in self.board.observations
-            ]
-        )
+        """Per-round injection percentiles (NaN where no injection).
+
+        Column-backed and read-only, like :meth:`threshold_path`.
+        """
+        return self.board.columns.injection_percentile
 
     def to_records(self) -> list:
         """Per-round summary dicts for external analysis/plotting.
 
         One dict per round with the public observation fields plus the
         ground-truth bookkeeping (counts of collected/retained/poison) —
-        ready for ``csv.DictWriter`` or a dataframe constructor.
+        ready for ``csv.DictWriter`` or a dataframe constructor.  Built
+        from the board's column arrays, never from observation objects.
         """
+        cols = self.board.columns
         records = []
-        for entry in self.board.entries:
-            obs = entry.observation
+        for t in range(cols.rounds):
+            injection = cols.injection_percentile[t]
             records.append(
                 {
-                    "round": obs.index,
-                    "trim_percentile": obs.trim_percentile,
-                    "injection_percentile": obs.injection_percentile,
-                    "quality": obs.quality,
-                    "observed_poison_ratio": obs.observed_poison_ratio,
-                    "betrayal": obs.betrayal,
-                    "n_collected": entry.n_collected,
-                    "n_retained": int(entry.n_retained),
-                    "n_poison_injected": entry.n_poison_injected,
-                    "n_poison_retained": entry.n_poison_retained,
+                    "round": int(cols.index[t]),
+                    "trim_percentile": float(cols.trim_percentile[t]),
+                    "injection_percentile": (
+                        None if np.isnan(injection) else float(injection)
+                    ),
+                    "quality": float(cols.quality[t]),
+                    "observed_poison_ratio": float(
+                        cols.observed_poison_ratio[t]
+                    ),
+                    "betrayal": bool(cols.betrayal[t]),
+                    "n_collected": int(cols.n_collected[t]),
+                    "n_retained": int(cols.n_retained[t]),
+                    "n_poison_injected": int(cols.n_poison_injected[t]),
+                    "n_poison_retained": int(cols.n_poison_retained[t]),
                 }
             )
         return records
@@ -423,4 +440,580 @@ class CollectionGame:
             collector_name=self.collector.name,
             adversary_name=self.adversary.name,
             termination_round=termination,
+        )
+
+
+# --------------------------------------------------------------------- #
+# rep-batched engine: play R repetitions of one cell in lockstep
+# --------------------------------------------------------------------- #
+class _SourceLanes:
+    """Adapter: a list of per-rep sources served as one stacked stream."""
+
+    def __init__(self, sources: Sequence[StreamSource]):
+        self.sources = list(sources)
+
+    def reset(self) -> None:
+        for source in self.sources:
+            source.reset()
+
+    def next_batches(self) -> np.ndarray:
+        return np.stack([source.next_batch() for source in self.sources])
+
+
+class _QualityLanes:
+    """Per-rep quality evaluators with a vectorized tail-mass fast path.
+
+    Rep ``r`` keeps its own evaluator instance (solo games do too; a
+    seeded or stateful user evaluator diverges per rep).  When every
+    instance is exactly a :class:`TailMassEvaluator` on the same
+    reference quantile, the whole stack is scored by one
+    ``evaluate_many`` sweep on the lead instance; otherwise the
+    documented per-rep loop runs each instance on its own row.
+    """
+
+    def __init__(self, evaluators: Sequence[QualityEvaluator], trimmer: Trimmer):
+        self.evaluators = list(evaluators)
+        lead = self.evaluators[0]
+        score_kind = getattr(trimmer, "score_kind", None)
+        if all(type(ev) is type(lead) for ev in self.evaluators):
+            # Same concrete class everywhere: the (signature-inspecting)
+            # share probe runs once instead of once per rep.
+            self.share_flags = [lead.accepts_scores(score_kind)] * len(
+                self.evaluators
+            )
+        else:
+            self.share_flags = [
+                evaluator.accepts_scores(score_kind)
+                for evaluator in self.evaluators
+            ]
+        self.vectorized = (
+            all(type(ev) is TailMassEvaluator for ev in self.evaluators)
+            and all(
+                ev.reference_quantile == lead.reference_quantile
+                for ev in self.evaluators
+            )
+        )
+
+    def fit(self, reference) -> "_QualityLanes":
+        """Calibrate every rep's evaluator on the clean reference.
+
+        Fitting is deterministic, so a vectorized (identical TailMass)
+        stack fits the lead once and shares the cutoff — byte-identical
+        to R independent fits at 1/R of the cost.
+        """
+        lead = self.evaluators[0]
+        lead.fit(reference)
+        if self.vectorized:
+            for evaluator in self.evaluators[1:]:
+                evaluator._cutoff = lead._cutoff
+        else:
+            for evaluator in self.evaluators[1:]:
+                evaluator.fit(reference)
+        return self
+
+    def evaluate_many(self, stacks, scores):
+        """(observed_ratio, quality) ``(R,)`` pairs for one round stack.
+
+        ``scores`` is the trimmer's ``(R, n)`` batch-score stack (or
+        ``None``); each rep reuses it only when its own evaluator
+        accepts the trimmer's score family — exactly the solo rule.
+        """
+        if self.vectorized:
+            shared = scores if (scores is not None and self.share_flags[0]) else None
+            return self.evaluators[0].evaluate_many(stacks, scores=shared)
+        raws = np.empty(len(self.evaluators))
+        normalized = np.empty(len(self.evaluators))
+        for r, evaluator in enumerate(self.evaluators):
+            shared = (
+                scores[r]
+                if (scores is not None and self.share_flags[r])
+                else None
+            )
+            raws[r], normalized[r] = evaluator.evaluate(stacks[r], scores=shared)
+        return raws, normalized
+
+
+class _JudgeLanes:
+    """Per-rep compliance judges with vector paths for the shipped two.
+
+    Each rep owns its judge instance (own noise Generator).  Exact-type
+    stacks of :class:`BandExcessJudge` / :class:`NoisyPositionJudge`
+    compute the verdict for all reps in array expressions, drawing each
+    rep's noise from that rep's own Generator under the same conditions
+    as the solo path; anything else loops ``judge_round`` per rep.
+    """
+
+    def __init__(self, judges: Sequence):
+        self.judges = list(judges)
+        lead = self.judges[0]
+        cls = type(lead)
+        self.mode = "loop"
+        if all(type(judge) is cls for judge in self.judges):
+            if cls is BandExcessJudge and all(
+                judge.band == lead.band
+                and judge.margin == lead.margin
+                and judge.noise_sigma == lead.noise_sigma
+                for judge in self.judges
+            ):
+                self.mode = "band"
+            elif cls is NoisyPositionJudge and all(
+                judge.boundary == lead.boundary
+                and judge.miss_rate == lead.miss_rate
+                and judge.false_positive_rate == lead.false_positive_rate
+                for judge in self.judges
+            ):
+                self.mode = "position"
+
+    def reset(self) -> None:
+        for judge in self.judges:
+            judge_reset = getattr(judge, "reset", None)
+            if callable(judge_reset):
+                judge_reset()
+
+    def judge_round_many(
+        self,
+        injections: np.ndarray,
+        scores: np.ndarray,
+        kept: np.ndarray,
+    ) -> np.ndarray:
+        """(R,) betrayal verdicts for one lockstep round."""
+        if self.mode == "band":
+            return self._band_many(scores, kept)
+        if self.mode == "position":
+            return self._position_many(injections)
+        verdicts = np.empty(len(self.judges), dtype=bool)
+        for r, judge in enumerate(self.judges):
+            injection = injections[r]
+            verdicts[r] = judge.judge_round(
+                None if np.isnan(injection) else float(injection),
+                scores[r][kept[r]],
+            )
+        return verdicts
+
+    def _band_many(self, scores: np.ndarray, kept: np.ndarray) -> np.ndarray:
+        lead = self.judges[0]
+        if lead._band_values is None:
+            raise RuntimeError("judge must be fit on reference scores first")
+        lo_v, hi_v = lead._band_values
+        n_kept = np.count_nonzero(kept, axis=1)
+        in_band = (scores > lo_v) & (scores <= hi_v) & kept
+        # Exact 0/1 sums: identical to the solo np.mean over kept scores.
+        mass = np.count_nonzero(in_band, axis=1) / np.maximum(n_kept, 1)
+        excess = mass - lead._clean_mass
+        if lead.noise_sigma > 0.0:
+            noise = np.zeros(len(self.judges))
+            # The solo judge returns early (no draw) on an empty batch.
+            for r in np.flatnonzero(n_kept > 0):
+                noise[r] = float(
+                    self.judges[r]._rng.normal(0.0, lead.noise_sigma)
+                )
+            excess = excess + noise
+        return (excess > lead.margin) & (n_kept > 0)
+
+    def _position_many(self, injections: np.ndarray) -> np.ndarray:
+        lead = self.judges[0]
+        # Exactly one draw per rep per round, as in the solo judge.
+        draws = np.array([float(judge._rng.random()) for judge in self.judges])
+        betrayed = np.zeros(len(self.judges), dtype=bool)
+        observed = ~np.isnan(injections)
+        betrayed[observed] = injections[observed] < lead.boundary
+        return np.where(
+            betrayed, draws >= lead.miss_rate, draws < lead.false_positive_rate
+        )
+
+
+@dataclass
+class BatchedGameResult:
+    """Outcome of R lockstep repetitions of one collection game.
+
+    Per-rep :class:`GameResult` views are sliced on demand; rep ``r`` is
+    byte-identical to the result of the corresponding solo
+    :class:`CollectionGame` run.
+    """
+
+    board: StackedBoard
+    collector_name: str
+    adversary_name: str
+    termination_rounds: List[Optional[int]]
+
+    @property
+    def n_reps(self) -> int:
+        """Number of repetitions played."""
+        return self.board.n_reps
+
+    @property
+    def rounds(self) -> int:
+        """Number of completed rounds (shared by all reps)."""
+        return self.board.n_rounds
+
+    def result(self, rep: int) -> GameResult:
+        """Rep ``rep``'s game as a standalone :class:`GameResult`."""
+        return GameResult(
+            board=self.board.rep_board(rep),
+            collector_name=self.collector_name,
+            adversary_name=self.adversary_name,
+            termination_round=self.termination_rounds[rep],
+        )
+
+    def results(self) -> List[GameResult]:
+        """All per-rep results, in repetition order."""
+        return [self.result(rep) for rep in range(self.n_reps)]
+
+    def poison_retained_fractions(self) -> np.ndarray:
+        """(R,) per-rep poison fractions (Table III metric)."""
+        return self.board.poison_retained_fractions()
+
+    def trimmed_fractions(self) -> np.ndarray:
+        """(R,) per-rep overall trimmed fractions."""
+        return self.board.trimmed_fractions()
+
+
+class BatchedCollectionGame:
+    """Plays R repetitions of one collection game in lockstep.
+
+    The third layer of the performance stack: PR 1 parallelized *across
+    cells*, PR 2 vectorized *within rounds*, this engine vectorizes
+    *across repetitions* — one Python loop over the T rounds total,
+    with every per-round step (stream draws, strategy reactions, poison
+    materialization, trimming, quality evaluation, compliance judgement,
+    board recording) operating on ``(R, batch)`` stacks.
+
+    Reproducibility contract (asserted by the test suite and the
+    ``bench_batched_engine`` gate): every rep of a batched run is
+    **byte-identical** to the corresponding solo :class:`CollectionGame`
+    seeded from the same ``SeedSequence`` children.  The ingredients:
+    per-rep component instances wherever state or randomness lives
+    (strategies, injector jitter, judge noise, stream lanes), shared
+    deterministic calibration (trimmer, reference tables), and
+    vectorized kernels whose per-rep rows are elementwise-identical to
+    the scalar paths.
+
+    Parameters mirror :class:`CollectionGame`, with per-rep sequences
+    where the solo engine takes single components:
+
+    source:
+        A rep-lane :class:`~repro.streams.source.StreamSource`
+        (constructed with one seed per rep) or a sequence of R
+        single-lane sources.
+    collectors / adversaries / injectors:
+        One instance per rep.  Strategies are routed through
+        :func:`~repro.core.strategies.batched.collector_lanes` /
+        ``adversary_lanes``: shipped strategies run array-native, user
+        strategies fall back to a per-rep loop (still byte-identical).
+    trimmer:
+        A single :class:`~repro.core.trimming.Trimmer` shared by all
+        reps (correct for the stateless shipped trimmers), or a
+        sequence of R instances.  With a sequence, custom trimmer
+        classes run rep ``r``'s rounds through rep ``r``'s own instance
+        — the per-rep isolation a *stateful* custom ``trim`` override
+        needs to stay byte-identical to solo play (shipped classes
+        still share the lead instance's vectorized kernel).
+    quality_evaluators / judges:
+        Optional sequences of R instances (defaults: per-rep
+        :class:`~repro.core.quality.TailMassEvaluator` /
+        noiseless :class:`BandExcessJudge`, as in the solo engine).
+    """
+
+    def __init__(
+        self,
+        source,
+        collectors: Sequence[CollectorStrategy],
+        adversaries: Sequence[AdversaryStrategy],
+        injectors: Sequence[PoisonInjector],
+        trimmer: Trimmer,
+        reference,
+        quality_evaluators: Optional[Sequence[QualityEvaluator]] = None,
+        judges: Optional[Sequence] = None,
+        rounds: int = 20,
+        anchor: str = "reference",
+        store_retained: bool = True,
+    ):
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        if anchor not in ("reference", "batch"):
+            raise ValueError("anchor must be 'reference' or 'batch'")
+        n_reps = len(collectors)
+        if n_reps < 1:
+            raise ValueError("need at least one repetition")
+        if len(adversaries) != n_reps or len(injectors) != n_reps:
+            raise ValueError(
+                "collectors, adversaries and injectors must have one entry "
+                "per repetition"
+            )
+        self.n_reps = n_reps
+        self.rounds = int(rounds)
+        self.reference = np.asarray(reference, dtype=float)
+        self.store_retained = bool(store_retained)
+
+        if isinstance(source, StreamSource):
+            if source.lanes != n_reps:
+                raise ValueError(
+                    f"rep-lane source carries {source.lanes} lanes for "
+                    f"{n_reps} repetitions"
+                )
+            self.source = source
+        else:
+            sources = list(source)
+            if len(sources) != n_reps:
+                raise ValueError("need one stream source per repetition")
+            self.source = _SourceLanes(sources)
+
+        self.collectors = list(collectors)
+        self.adversaries = list(adversaries)
+        self._collector_lanes = collector_lanes(self.collectors)
+        self._adversary_lanes = adversary_lanes(self.adversaries)
+
+        if isinstance(trimmer, Trimmer):
+            trimmers = [trimmer]
+        else:
+            trimmers = list(trimmer)
+            if len(trimmers) not in (1, n_reps):
+                raise ValueError(
+                    "trimmer must be a single instance or one per repetition"
+                )
+        # Shipped trimmers are stateless after fitting, so one shared
+        # instance drives the vectorized kernel for every rep.  Any
+        # other class gets per-rep instances when the caller provides
+        # them — the isolation a stateful custom trim()/scores() needs
+        # to match R solo games.
+        per_rep = len(trimmers) == n_reps and type(trimmers[0]) not in (
+            ValueTrimmer,
+            RadialTrimmer,
+        )
+        self._trimmers = trimmers if per_rep else None
+        self.trimmer = trimmers[0]
+
+        # Mirror the solo engine's calibration order exactly.
+        for one_trimmer in trimmers if per_rep else trimmers[:1]:
+            one_trimmer.anchor = anchor
+            one_trimmer.fit_reference(self.reference)
+        self.injector = BatchedInjector(injectors)
+        self.injector.fit_reference(self.reference)
+
+        if quality_evaluators is None:
+            quality_evaluators = [TailMassEvaluator() for _ in range(n_reps)]
+        else:
+            quality_evaluators = list(quality_evaluators)
+            if len(quality_evaluators) != n_reps:
+                raise ValueError("need one quality evaluator per repetition")
+        self._quality = _QualityLanes(quality_evaluators, self.trimmer)
+        self._quality.fit(self.reference)
+
+        if judges is None:
+            judges = [BandExcessJudge(noise_sigma=0.0) for _ in range(n_reps)]
+        else:
+            judges = list(judges)
+            if len(judges) != n_reps:
+                raise ValueError("need one judge per repetition")
+        reference_scores = getattr(self.trimmer, "reference_scores", None)
+        if reference_scores is None:
+            reference_scores = self.trimmer.scores(self.reference)
+        table = getattr(self.trimmer, "reference_table", None)
+        for judge in judges:
+            if isinstance(judge, BandExcessJudge):
+                judge.fit(table if table is not None else reference_scores)
+            else:
+                judge.fit(reference_scores)
+        self._judges = _JudgeLanes(judges)
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> BatchedGameResult:
+        """Play all rounds for every rep and return the stacked outcome.
+
+        As with the solo engine, every stochastic component is rewound
+        first, so running the same engine twice replays all R games
+        identically.
+        """
+        self.source.reset()
+        self._collector_lanes.reset_many()
+        self._adversary_lanes.reset_many()
+        self.injector.reset()
+        self._judges.reset()
+        board = StackedBoard(self.n_reps, store_retained=self.store_retained)
+        last: Optional[RoundObservationBatch] = None
+
+        for index in range(1, self.rounds + 1):
+            benign = self.source.next_batches()
+            if last is None:
+                trim = np.asarray(self._collector_lanes.first_many(), dtype=float)
+                inject = np.asarray(self._adversary_lanes.first_many(), dtype=float)
+            else:
+                trim = np.asarray(self._collector_lanes.react_many(last), dtype=float)
+                inject = np.asarray(self._adversary_lanes.react_many(last), dtype=float)
+
+            observed = ~np.isnan(inject)
+            poison_rows = (
+                self.injector.poison_count(benign.shape[1])
+                if observed.any()
+                else 0
+            )
+            if poison_rows and not observed.all():
+                # Mixed inject/skip across reps (only reachable through
+                # user adversaries): the stack would be ragged, so this
+                # round replays the solo body per rep.
+                last = self._play_round_ragged(board, index, benign, trim, inject)
+                continue
+
+            if poison_rows:
+                poison = self.injector.materialize_many(benign, inject)
+                combined = np.concatenate([benign, poison], axis=1)
+            else:
+                combined = benign
+
+            report = self._trim_stack(combined, trim)
+            scores = report.scores
+            if scores is None:
+                scores = self._scores_stack(combined)
+                shared = None
+            else:
+                shared = scores
+            observed_ratio, quality = self._quality.evaluate_many(
+                combined, shared
+            )
+            betrayal = self._judges.judge_round_many(inject, scores, report.kept)
+
+            n_kept = report.n_kept
+            if poison_rows:
+                n_poison_retained = np.count_nonzero(
+                    report.kept[:, benign.shape[1]:], axis=1
+                )
+            else:
+                n_poison_retained = np.zeros(self.n_reps, dtype=np.int64)
+            retained = (
+                [combined[r][report.kept[r]] for r in range(self.n_reps)]
+                if self.store_retained
+                else None
+            )
+            board.record_round(
+                trim_percentile=trim,
+                injection_percentile=inject,
+                quality=quality,
+                observed_poison_ratio=observed_ratio,
+                betrayal=betrayal,
+                n_collected=np.full(self.n_reps, combined.shape[1], dtype=np.int64),
+                n_poison_injected=np.full(self.n_reps, poison_rows, dtype=np.int64),
+                n_poison_retained=np.asarray(n_poison_retained, dtype=np.int64),
+                n_retained=np.asarray(n_kept, dtype=np.int64),
+                retained=retained,
+            )
+            last = RoundObservationBatch(
+                index=index,
+                trim_percentile=trim,
+                injection_percentile=inject,
+                quality=np.asarray(quality, dtype=float),
+                observed_poison_ratio=np.asarray(observed_ratio, dtype=float),
+                betrayal=np.asarray(betrayal, dtype=bool),
+            )
+
+        self._collector_lanes.finalize()
+        self._adversary_lanes.finalize()
+        return BatchedGameResult(
+            board=board,
+            collector_name=self._collector_lanes.name,
+            adversary_name=self._adversary_lanes.name,
+            termination_rounds=self._collector_lanes.terminated_rounds(),
+        )
+
+    # ------------------------------------------------------------------ #
+    def _rep_trimmer(self, rep: int) -> Trimmer:
+        """Rep ``rep``'s trimmer (per-rep instances for custom classes)."""
+        if self._trimmers is not None:
+            return self._trimmers[rep]
+        return self.trimmer
+
+    def _trim_stack(self, combined: np.ndarray, trim: np.ndarray) -> BatchTrimReport:
+        """One round's trim reports, honouring per-rep trimmer instances."""
+        if self._trimmers is None:
+            return self.trimmer.trim_many(combined, trim)
+        return BatchTrimReport.from_reports(
+            self._trimmers[r].trim(combined[r], float(trim[r]))
+            for r in range(self.n_reps)
+        )
+
+    def _scores_stack(self, combined: np.ndarray) -> np.ndarray:
+        """Batch scores per rep (fallback when reports carry none)."""
+        if self._trimmers is None:
+            return self.trimmer.scores_many(combined)
+        return np.stack(
+            [
+                self._trimmers[r].scores(combined[r])
+                for r in range(self.n_reps)
+            ]
+        )
+
+    def _play_round_ragged(
+        self,
+        board: StackedBoard,
+        index: int,
+        benign: np.ndarray,
+        trim: np.ndarray,
+        inject: np.ndarray,
+    ) -> RoundObservationBatch:
+        """One round where reps disagree on injecting: solo body per rep."""
+        n_reps = self.n_reps
+        quality = np.empty(n_reps)
+        observed_ratio = np.empty(n_reps)
+        betrayal = np.empty(n_reps, dtype=bool)
+        n_collected = np.empty(n_reps, dtype=np.int64)
+        n_poison_injected = np.empty(n_reps, dtype=np.int64)
+        n_poison_retained = np.empty(n_reps, dtype=np.int64)
+        n_kept = np.empty(n_reps, dtype=np.int64)
+        retained = [] if self.store_retained else None
+
+        for r in range(n_reps):
+            rows = benign[r]
+            injection = None if np.isnan(inject[r]) else float(inject[r])
+            if injection is None:
+                poison = rows[:0]
+            else:
+                poison = self.injector.injectors[r].materialize(rows, injection)
+            combined = (
+                rows
+                if poison.shape[0] == 0
+                else np.concatenate([rows, poison], axis=0)
+            )
+            rep_trimmer = self._rep_trimmer(r)
+            report = rep_trimmer.trim(combined, float(trim[r]))
+            if report.scores is not None:
+                retained_scores = report.kept_scores
+                shared = (
+                    report.scores if self._quality.share_flags[r] else None
+                )
+            else:
+                retained_scores = rep_trimmer.scores(combined)[report.kept]
+                shared = None
+            observed_ratio[r], quality[r] = self._quality.evaluators[r].evaluate(
+                combined, scores=shared
+            )
+            betrayal[r] = self._judges.judges[r].judge_round(
+                injection, retained_scores
+            )
+            n_collected[r] = combined.shape[0]
+            n_poison_injected[r] = poison.shape[0]
+            n_poison_retained[r] = int(
+                np.count_nonzero(report.kept[rows.shape[0]:])
+            )
+            n_kept[r] = report.n_kept
+            if retained is not None:
+                retained.append(combined[report.kept])
+
+        board.record_round(
+            trim_percentile=trim,
+            injection_percentile=inject,
+            quality=quality,
+            observed_poison_ratio=observed_ratio,
+            betrayal=betrayal,
+            n_collected=n_collected,
+            n_poison_injected=n_poison_injected,
+            n_poison_retained=n_poison_retained,
+            n_retained=n_kept,
+            retained=retained,
+        )
+        return RoundObservationBatch(
+            index=index,
+            trim_percentile=trim,
+            injection_percentile=inject,
+            quality=quality,
+            observed_poison_ratio=observed_ratio,
+            betrayal=betrayal,
         )

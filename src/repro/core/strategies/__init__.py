@@ -7,8 +7,23 @@ from .adversaries import (
     NullAdversary,
     UniformRangeAdversary,
 )
-from .base import AdversaryStrategy, CollectorStrategy, RoundObservation
+from .base import (
+    AdversaryStrategy,
+    CollectorStrategy,
+    RoundObservation,
+    RoundObservationBatch,
+)
 from .baselines import OstrichCollector, StaticCollector
+from .batched import (
+    AdversaryLanes,
+    CollectorLanes,
+    FallbackAdversaryLanes,
+    FallbackCollectorLanes,
+    adversary_lanes,
+    collector_lanes,
+    register_adversary_lanes,
+    register_collector_lanes,
+)
 from .elastic import ElasticAdversary, ElasticCollector
 from .titfortat import MixedStrategyTrigger, QualityTrigger, TitForTatCollector
 from .variants import GenerousCollector, MirrorCollector, TitForTwoTatsCollector
@@ -17,6 +32,15 @@ __all__ = [
     "AdversaryStrategy",
     "CollectorStrategy",
     "RoundObservation",
+    "RoundObservationBatch",
+    "CollectorLanes",
+    "AdversaryLanes",
+    "FallbackCollectorLanes",
+    "FallbackAdversaryLanes",
+    "collector_lanes",
+    "adversary_lanes",
+    "register_collector_lanes",
+    "register_adversary_lanes",
     "OstrichCollector",
     "StaticCollector",
     "TitForTatCollector",

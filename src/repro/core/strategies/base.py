@@ -16,7 +16,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["RoundObservation", "CollectorStrategy", "AdversaryStrategy"]
+import numpy as np
+
+__all__ = [
+    "RoundObservation",
+    "RoundObservationBatch",
+    "CollectorStrategy",
+    "AdversaryStrategy",
+]
 
 
 @dataclass(frozen=True)
@@ -51,6 +58,48 @@ class RoundObservation:
     quality: float
     observed_poison_ratio: float
     betrayal: bool
+
+
+@dataclass(frozen=True)
+class RoundObservationBatch:
+    """One completed round observed across R lockstep repetitions.
+
+    The column-array counterpart of :class:`RoundObservation`: every
+    public field is an ``(R,)`` array indexed by repetition, with
+    ``injection_percentile`` using ``NaN`` where that rep's adversary
+    injected nothing.  Vectorized strategy lanes
+    (:mod:`repro.core.strategies.batched`) react to these columns in one
+    array expression; :meth:`rep` slices out the scalar observation rep
+    ``r``'s solo game would have seen — byte-identical field for field —
+    which is what the per-rep fallback loop hands to non-vectorizable
+    user strategies.
+    """
+
+    index: int
+    trim_percentile: np.ndarray        # (R,) float
+    injection_percentile: np.ndarray   # (R,) float, NaN = no injection
+    quality: np.ndarray                # (R,) float
+    observed_poison_ratio: np.ndarray  # (R,) float
+    betrayal: np.ndarray               # (R,) bool
+
+    @property
+    def n_reps(self) -> int:
+        """Number of repetition lanes."""
+        return int(self.trim_percentile.shape[0])
+
+    def rep(self, r: int) -> RoundObservation:
+        """The scalar :class:`RoundObservation` of repetition ``r``."""
+        injection = self.injection_percentile[r]
+        return RoundObservation(
+            index=self.index,
+            trim_percentile=float(self.trim_percentile[r]),
+            injection_percentile=(
+                None if np.isnan(injection) else float(injection)
+            ),
+            quality=float(self.quality[r]),
+            observed_poison_ratio=float(self.observed_poison_ratio[r]),
+            betrayal=bool(self.betrayal[r]),
+        )
 
 
 class CollectorStrategy:

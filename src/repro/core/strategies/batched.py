@@ -1,0 +1,626 @@
+"""Vectorized strategy lanes: R repetitions react in one array op.
+
+The batched engine (:class:`~repro.core.engine.BatchedCollectionGame`)
+plays the R repetitions of one sweep cell in lockstep.  Strategies are
+the only per-round Python it cannot vectorize generically — each rep
+carries its own instance (own parameters resolved from the same recipe,
+own RNG seeded with that rep's derivation-channel child, own diverging
+state once the games differ).  This module closes that gap with the
+**lane** protocol:
+
+* :class:`CollectorLanes` / :class:`AdversaryLanes` — the vectorized
+  strategy protocol: ``first_many() -> (R,)`` and
+  ``react_many(observation_batch) -> (R,)`` percentile arrays (adversary
+  lanes use ``NaN`` for "no injection").
+* :func:`collector_lanes` / :func:`adversary_lanes` — dispatch a list of
+  per-rep instances onto an array-native lane implementation.  Every
+  shipped strategy (tit-for-tat, elastic, the baselines, the adversary
+  family, the tit-for-tat variants) has one; anything else — including
+  *subclasses* of shipped strategies, which may override ``react`` —
+  lands on the documented per-rep fallback loop
+  (:class:`FallbackCollectorLanes` / :class:`FallbackAdversaryLanes`)
+  that simply calls each instance round by round.
+
+Byte-identity contract: lane outputs equal, bit for bit, what the R solo
+instances would have returned — vector implementations use the same
+elementwise float64 expressions as the scalar ``react`` bodies, and any
+per-rep RNG draw (mixed/uniform adversaries, generous forgiveness) is
+taken from that rep's own Generator under exactly the solo call
+conditions.  After the game, :meth:`CollectorLanes.finalize` writes
+diverged state (grim-trigger flags, elastic positions) back onto the
+instances so post-game inspection matches solo play.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .adversaries import (
+    FixedAdversary,
+    JustBelowAdversary,
+    MixedAdversary,
+    NullAdversary,
+    UniformRangeAdversary,
+)
+from .base import (
+    AdversaryStrategy,
+    CollectorStrategy,
+    RoundObservationBatch,
+)
+from .baselines import OstrichCollector, StaticCollector
+from .elastic import ElasticAdversary, ElasticCollector
+from .titfortat import MixedStrategyTrigger, QualityTrigger, TitForTatCollector
+from .variants import (
+    GenerousCollector,
+    MirrorCollector,
+    TitForTwoTatsCollector,
+)
+
+__all__ = [
+    "CollectorLanes",
+    "AdversaryLanes",
+    "FallbackCollectorLanes",
+    "FallbackAdversaryLanes",
+    "collector_lanes",
+    "adversary_lanes",
+    "register_collector_lanes",
+    "register_adversary_lanes",
+]
+
+
+def _uniform(instances: Sequence, *attrs: str) -> bool:
+    """True when every instance agrees on every named attribute."""
+    lead = instances[0]
+    return all(
+        getattr(inst, attr) == getattr(lead, attr)
+        for inst in instances[1:]
+        for attr in attrs
+    )
+
+
+class _Lanes:
+    """Shared plumbing: per-rep instances plus the lockstep lifecycle."""
+
+    #: Whether this implementation is a vectorized fast path (False for
+    #: the per-rep fallback loops) — surfaced for tests and diagnostics.
+    vectorized = True
+
+    def __init__(self, instances: Sequence):
+        self.instances = list(instances)
+        if not self.instances:
+            raise ValueError("lanes need at least one instance")
+
+    @property
+    def n_reps(self) -> int:
+        """Number of repetition lanes."""
+        return len(self.instances)
+
+    @property
+    def name(self) -> str:
+        """Display name (the shared strategy name of the lanes)."""
+        return self.instances[0].name
+
+    def reset_many(self) -> None:
+        """Reset every rep's instance (solo ``run()`` parity)."""
+        for inst in self.instances:
+            inst.reset()
+
+    def finalize(self) -> None:
+        """Write diverged lane state back onto the instances (optional)."""
+
+
+class CollectorLanes(_Lanes):
+    """Vectorized collector protocol across R repetition lanes."""
+
+    def first_many(self) -> np.ndarray:
+        """(R,) trimming percentiles for round 1."""
+        raise NotImplementedError
+
+    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+        """(R,) trimming percentiles for the round after ``last``."""
+        raise NotImplementedError
+
+    def terminated_rounds(self) -> List[Optional[int]]:
+        """Per-rep ``terminated_round`` (None where cooperation held)."""
+        return [
+            getattr(inst, "terminated_round", None) for inst in self.instances
+        ]
+
+
+class AdversaryLanes(_Lanes):
+    """Vectorized adversary protocol; ``NaN`` marks "no injection"."""
+
+    def first_many(self) -> np.ndarray:
+        """(R,) injection percentiles for round 1 (NaN = none)."""
+        raise NotImplementedError
+
+    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+        """(R,) injection percentiles for the round after ``last``."""
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------- #
+# fallback loops (any strategy, unconditionally byte-identical)
+# --------------------------------------------------------------------- #
+class FallbackCollectorLanes(CollectorLanes):
+    """Per-rep loop for collectors without an array-native lane.
+
+    Each round, rep ``r``'s instance receives the scalar
+    :class:`~repro.core.strategies.base.RoundObservation` sliced from the
+    observation batch — exactly the object its solo game would have seen
+    — so arbitrary user strategies (stateful, randomized, anything)
+    batch correctly at the cost of R Python calls per round.
+    """
+
+    vectorized = False
+
+    def first_many(self) -> np.ndarray:
+        return np.array([float(inst.first()) for inst in self.instances])
+
+    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+        return np.array(
+            [
+                float(inst.react(last.rep(r)))
+                for r, inst in enumerate(self.instances)
+            ]
+        )
+
+
+class FallbackAdversaryLanes(AdversaryLanes):
+    """Per-rep loop for adversaries without an array-native lane."""
+
+    vectorized = False
+
+    @staticmethod
+    def _as_position(value) -> float:
+        return np.nan if value is None else float(value)
+
+    def first_many(self) -> np.ndarray:
+        return np.array(
+            [self._as_position(inst.first()) for inst in self.instances]
+        )
+
+    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+        return np.array(
+            [
+                self._as_position(inst.react(last.rep(r)))
+                for r, inst in enumerate(self.instances)
+            ]
+        )
+
+
+# --------------------------------------------------------------------- #
+# collectors
+# --------------------------------------------------------------------- #
+class _ConstantCollectorLanes(CollectorLanes):
+    """Ostrich / static: the same position every round, per rep."""
+
+    @classmethod
+    def build(cls, instances) -> Optional["_ConstantCollectorLanes"]:
+        return cls(instances)
+
+    def __init__(self, instances):
+        super().__init__(instances)
+        self._values = np.array([float(inst.first()) for inst in instances])
+
+    def first_many(self) -> np.ndarray:
+        return self._values
+
+    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+        return self._values
+
+
+class _TitForTatLanes(CollectorLanes):
+    """Algorithm 1 vectorized: per-rep grim-trigger state as arrays.
+
+    Supports the shipped triggers: ``None`` (never fires),
+    :class:`QualityTrigger` (stateless vector comparison) and
+    :class:`MixedStrategyTrigger` (per-rep running betrayal counters).
+    Mirroring the solo path, a rep's trigger stops updating once fired.
+    """
+
+    @classmethod
+    def build(cls, instances) -> Optional["_TitForTatLanes"]:
+        if not _uniform(instances, "t_th", "soft_offset", "hard_offset"):
+            return None
+        triggers = [inst.trigger for inst in instances]
+        kinds = {type(t) for t in triggers}
+        if len(kinds) != 1:
+            return None
+        kind = kinds.pop()
+        if kind is type(None):
+            return cls(instances, mode="none")
+        if kind is QualityTrigger and _uniform(
+            triggers, "reference_score", "redundancy"
+        ):
+            return cls(instances, mode="quality")
+        if kind is MixedStrategyTrigger and _uniform(
+            triggers, "equilibrium_probability", "redundancy", "warmup"
+        ):
+            return cls(instances, mode="mixed")
+        return None  # user trigger: per-rep fallback
+
+    def __init__(self, instances, mode: str):
+        super().__init__(instances)
+        self._mode = mode
+        lead = instances[0]
+        self._soft = float(lead.soft_percentile)
+        self._hard = float(lead.hard_percentile)
+        self._triggered = np.zeros(self.n_reps, dtype=bool)
+        self._terminated: List[Optional[int]] = [None] * self.n_reps
+        if mode == "quality":
+            trig = lead.trigger
+            self._fire_level = trig.reference_score + trig.redundancy
+        elif mode == "mixed":
+            trig = lead.trigger
+            self._tolerance = trig.tolerance
+            self._warmup = trig.warmup
+            self._rounds = np.zeros(self.n_reps, dtype=np.int64)
+            self._betrayals = np.zeros(self.n_reps, dtype=np.int64)
+
+    def reset_many(self) -> None:
+        super().reset_many()
+        self._triggered[:] = False
+        self._terminated = [None] * self.n_reps
+        if self._mode == "mixed":
+            self._rounds[:] = 0
+            self._betrayals[:] = 0
+
+    def _fired(self, last: RoundObservationBatch, active: np.ndarray) -> np.ndarray:
+        if self._mode == "none":
+            return np.zeros(self.n_reps, dtype=bool)
+        if self._mode == "quality":
+            return last.quality > self._fire_level
+        # mixed: counters only advance while the rep is untriggered,
+        # matching the solo short-circuit in TitForTatCollector.react.
+        self._rounds[active] += 1
+        self._betrayals[active] += last.betrayal[active]
+        with np.errstate(invalid="ignore"):
+            ratio = self._betrayals / np.maximum(self._rounds, 1)
+        return (self._rounds >= self._warmup) & (ratio > self._tolerance)
+
+    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+        active = ~self._triggered
+        if active.any() and self._mode != "none":
+            newly = active & self._fired(last, active)
+            for r in np.flatnonzero(newly):
+                self._terminated[r] = last.index
+            self._triggered |= newly
+        return np.where(self._triggered, self._hard, self._soft)
+
+    def first_many(self) -> np.ndarray:
+        return np.full(self.n_reps, self._soft)
+
+    def terminated_rounds(self) -> List[Optional[int]]:
+        return list(self._terminated)
+
+    def finalize(self) -> None:
+        for r, inst in enumerate(self.instances):
+            inst._triggered = bool(self._triggered[r])
+            inst._terminated_round = self._terminated[r]
+            if self._mode == "mixed":
+                # Restore the per-rep trigger counters so post-game
+                # inspection (betrayal_ratio etc.) matches solo play.
+                inst.trigger._rounds = int(self._rounds[r])
+                inst.trigger._betrayals = int(self._betrayals[r])
+
+
+class _ElasticCollectorLanes(CollectorLanes):
+    """Algorithm 2 vectorized: the proportional response as array math."""
+
+    @classmethod
+    def build(cls, instances) -> Optional["_ElasticCollectorLanes"]:
+        if not _uniform(
+            instances,
+            "t_th",
+            "k",
+            "rule",
+            "init_offset",
+            "target_offset",
+            "soft_offset",
+            "hard_offset",
+        ):
+            return None
+        return cls(instances)
+
+    def __init__(self, instances):
+        super().__init__(instances)
+        lead = instances[0]
+        self._t_th = lead.t_th
+        self._k = lead.k
+        self._rule = lead.rule
+        self._target_offset = lead.target_offset
+        self._soft = lead.t_th + lead.soft_offset
+        self._hard = lead.t_th + lead.hard_offset
+        self._first = float(lead.first())
+        self._current = np.full(self.n_reps, self._first)
+
+    def reset_many(self) -> None:
+        super().reset_many()
+        self._current = np.full(self.n_reps, self._first)
+
+    def first_many(self) -> np.ndarray:
+        return np.full(self.n_reps, self._first)
+
+    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+        injection = last.injection_percentile
+        observed = ~np.isnan(injection)
+        # Algorithm 2's quality fallback, elementwise identical to the
+        # scalar `_quality_fallback`.
+        qe = np.minimum(1.0, np.maximum(0.0, last.quality))
+        weight = self._k * qe
+        fallback = (1.0 - weight) * self._soft + weight * self._hard
+        target = self._t_th + self._k * (
+            injection - self._t_th + self._target_offset
+        )
+        if self._rule == "paper":
+            responded = target
+        else:  # relaxation: EMA toward the target with weight k
+            responded = (1.0 - self._k) * self._current + self._k * target
+        new = np.where(observed, responded, fallback)
+        self._current = np.minimum(1.0, np.maximum(0.0, new))
+        return self._current
+
+    def finalize(self) -> None:
+        for r, inst in enumerate(self.instances):
+            inst._current = float(self._current[r])
+
+
+class _MirrorLanes(CollectorLanes):
+    """True tit-for-tat: echo the judged betrayal one round."""
+
+    @classmethod
+    def build(cls, instances) -> Optional["_MirrorLanes"]:
+        if not _uniform(instances, "t_th", "soft_offset", "hard_offset"):
+            return None
+        return cls(instances)
+
+    def __init__(self, instances):
+        super().__init__(instances)
+        lead = instances[0]
+        self._soft = float(lead.soft_percentile)
+        self._hard = float(lead.hard_percentile)
+
+    def first_many(self) -> np.ndarray:
+        return np.full(self.n_reps, self._soft)
+
+    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+        return np.where(last.betrayal, self._hard, self._soft)
+
+
+class _GenerousLanes(_MirrorLanes):
+    """Generous tit-for-tat: the forgiveness draw stays per rep.
+
+    The solo path draws from the forgiveness stream **only on judged
+    betrayals** (Python short-circuit), so the lanes replicate exactly
+    that: rep ``r``'s Generator advances iff ``betrayal[r]``.
+    """
+
+    @classmethod
+    def build(cls, instances) -> Optional["_GenerousLanes"]:
+        if not _uniform(
+            instances, "t_th", "soft_offset", "hard_offset", "generosity"
+        ):
+            return None
+        return cls(instances)
+
+    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+        out = np.full(self.n_reps, self._soft)
+        for r in np.flatnonzero(last.betrayal):
+            inst = self.instances[r]
+            if inst._rng.random() >= inst.generosity:
+                out[r] = self._hard
+        return out
+
+
+class _TwoTatsLanes(_MirrorLanes):
+    """Tit-for-two-tats: punish only two consecutive judged betrayals."""
+
+    def __init__(self, instances):
+        super().__init__(instances)
+        self._previous = np.zeros(self.n_reps, dtype=bool)
+
+    def reset_many(self) -> None:
+        super().reset_many()
+        self._previous[:] = False
+
+    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+        punish = last.betrayal & self._previous
+        self._previous = last.betrayal.copy()
+        return np.where(punish, self._hard, self._soft)
+
+    def finalize(self) -> None:
+        for r, inst in enumerate(self.instances):
+            inst._previous_betrayal = bool(self._previous[r])
+
+
+# --------------------------------------------------------------------- #
+# adversaries
+# --------------------------------------------------------------------- #
+class _NullAdversaryLanes(AdversaryLanes):
+    """No injection in any lane, ever."""
+
+    @classmethod
+    def build(cls, instances) -> "_NullAdversaryLanes":
+        return cls(instances)
+
+    def first_many(self) -> np.ndarray:
+        return np.full(self.n_reps, np.nan)
+
+    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+        return np.full(self.n_reps, np.nan)
+
+
+class _FixedAdversaryLanes(AdversaryLanes):
+    """One fixed percentile per lane."""
+
+    @classmethod
+    def build(cls, instances) -> "_FixedAdversaryLanes":
+        return cls(instances)
+
+    def __init__(self, instances):
+        super().__init__(instances)
+        self._values = np.array([float(inst.percentile) for inst in instances])
+
+    def first_many(self) -> np.ndarray:
+        return self._values
+
+    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+        return self._values
+
+
+class _DrawAdversaryLanes(AdversaryLanes):
+    """Uniform-range / mixed adversaries: per-rep Generator draws.
+
+    The draw itself cannot be shared (each rep owns an independent
+    stream), but a draw is O(1); the lanes just skip the observation
+    slicing the fallback loop would pay.
+    """
+
+    @classmethod
+    def build(cls, instances) -> "_DrawAdversaryLanes":
+        return cls(instances)
+
+    def _draw_many(self) -> np.ndarray:
+        return np.array([float(inst._draw()) for inst in self.instances])
+
+    def first_many(self) -> np.ndarray:
+        return self._draw_many()
+
+    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+        return self._draw_many()
+
+
+class _JustBelowLanes(AdversaryLanes):
+    """The ideal evasive attack, vectorized over the observed thresholds."""
+
+    @classmethod
+    def build(cls, instances) -> Optional["_JustBelowLanes"]:
+        if not _uniform(instances, "initial_threshold", "margin"):
+            return None
+        return cls(instances)
+
+    def __init__(self, instances):
+        super().__init__(instances)
+        lead = instances[0]
+        self._margin = lead.margin
+        self._first = float(lead.first())
+
+    def first_many(self) -> np.ndarray:
+        return np.full(self.n_reps, self._first)
+
+    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+        return np.maximum(
+            0.0, np.minimum(1.0, last.trim_percentile - self._margin)
+        )
+
+
+class _ElasticAdversaryLanes(AdversaryLanes):
+    """The elastic responder, vectorized like its collector twin."""
+
+    @classmethod
+    def build(cls, instances) -> Optional["_ElasticAdversaryLanes"]:
+        if not _uniform(
+            instances, "t_th", "k", "rule", "init_offset", "base_offset"
+        ):
+            return None
+        return cls(instances)
+
+    def __init__(self, instances):
+        super().__init__(instances)
+        lead = instances[0]
+        self._t_th = lead.t_th
+        self._k = lead.k
+        self._rule = lead.rule
+        self._base = lead.t_th + lead.base_offset
+        self._first = float(lead.first())
+        self._current = np.full(self.n_reps, self._first)
+
+    def reset_many(self) -> None:
+        super().reset_many()
+        self._current = np.full(self.n_reps, self._first)
+
+    def first_many(self) -> np.ndarray:
+        return np.full(self.n_reps, self._first)
+
+    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+        # Same association as the scalar body: (t_th + base_offset) is
+        # precomputed, then the response term is added.
+        target = self._base + self._k * (last.trim_percentile - self._t_th)
+        if self._rule == "paper":
+            new = target
+        else:
+            new = (1.0 - self._k) * self._current + self._k * target
+        self._current = np.minimum(1.0, np.maximum(0.0, new))
+        return self._current
+
+    def finalize(self) -> None:
+        for r, inst in enumerate(self.instances):
+            inst._current = float(self._current[r])
+
+
+# --------------------------------------------------------------------- #
+# dispatch
+# --------------------------------------------------------------------- #
+#: Exact-type lane registries.  Keyed on the concrete class (``type(x)
+#: is cls``), *not* ``isinstance``: a user subclass may override
+#: ``react`` with arbitrary logic, so it must land on the fallback loop.
+_COLLECTOR_LANES = {
+    OstrichCollector: _ConstantCollectorLanes,
+    StaticCollector: _ConstantCollectorLanes,
+    TitForTatCollector: _TitForTatLanes,
+    ElasticCollector: _ElasticCollectorLanes,
+    MirrorCollector: _MirrorLanes,
+    GenerousCollector: _GenerousLanes,
+    TitForTwoTatsCollector: _TwoTatsLanes,
+}
+
+_ADVERSARY_LANES = {
+    NullAdversary: _NullAdversaryLanes,
+    FixedAdversary: _FixedAdversaryLanes,
+    UniformRangeAdversary: _DrawAdversaryLanes,
+    MixedAdversary: _DrawAdversaryLanes,
+    JustBelowAdversary: _JustBelowLanes,
+    ElasticAdversary: _ElasticAdversaryLanes,
+}
+
+
+def register_collector_lanes(strategy_cls: type, lanes_cls: type) -> None:
+    """Register an array-native lane implementation for a collector class.
+
+    ``lanes_cls`` must provide a ``build(instances)`` classmethod
+    returning the lanes (or ``None`` to decline, e.g. on parameter
+    mismatch).  Registration is exact-type: subclasses still fall back.
+    """
+    _COLLECTOR_LANES[strategy_cls] = lanes_cls
+
+
+def register_adversary_lanes(strategy_cls: type, lanes_cls: type) -> None:
+    """Adversary-side counterpart of :func:`register_collector_lanes`."""
+    _ADVERSARY_LANES[strategy_cls] = lanes_cls
+
+
+def _dispatch(instances, registry, fallback):
+    instances = list(instances)
+    if not instances:
+        raise ValueError("need at least one strategy instance")
+    cls = type(instances[0])
+    if all(type(inst) is cls for inst in instances):
+        lanes_cls = registry.get(cls)
+        if lanes_cls is not None:
+            lanes = lanes_cls.build(instances)
+            if lanes is not None:
+                return lanes
+    return fallback(instances)
+
+
+def collector_lanes(instances: Sequence[CollectorStrategy]) -> CollectorLanes:
+    """Vectorized (or fallback) lanes for R per-rep collector instances."""
+    return _dispatch(instances, _COLLECTOR_LANES, FallbackCollectorLanes)
+
+
+def adversary_lanes(instances: Sequence[AdversaryStrategy]) -> AdversaryLanes:
+    """Vectorized (or fallback) lanes for R per-rep adversary instances."""
+    return _dispatch(instances, _ADVERSARY_LANES, FallbackAdversaryLanes)

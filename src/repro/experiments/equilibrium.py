@@ -57,6 +57,9 @@ class EquilibriumConfig:
     dataset_size: Optional[int] = None
     seed: int = 0
     workers: int = 1
+    #: Lockstep width for the repetition axis ("auto" plays all reps of
+    #: a cell in one BatchedCollectionGame; byte-identical to "off").
+    rep_batch: object = "auto"
 
 
 @dataclass(frozen=True)
@@ -134,6 +137,7 @@ def run_kmeans_experiment(config: EquilibriumConfig) -> List[EquilibriumCell]:
             n_clusters=n_clusters,
             reference_centroids=reference_centroids,
         ),
+        rep_batch=config.rep_batch,
     )
     records = runner.run_grid(grid)
 

@@ -68,6 +68,9 @@ class NonEquilibriumConfig:
     )
     seed: int = 0
     workers: int = 1
+    #: Lockstep width for the repetition axis ("auto" plays all reps of
+    #: a cell in one BatchedCollectionGame; byte-identical to "off").
+    rep_batch: object = "auto"
 
 
 def _pairs(config: NonEquilibriumConfig) -> tuple:
@@ -139,7 +142,9 @@ def run_nonequilibrium(config: NonEquilibriumConfig) -> List[NonEquilibriumRow]:
         ),
         seed=config.seed,
     )
-    records = SweepRunner(workers=config.workers).run_grid(grid)
+    records = SweepRunner(
+        workers=config.workers, rep_batch=config.rep_batch
+    ).run_grid(grid)
 
     cap = config.rounds + 5  # the paper's never-terminated bookkeeping value
     grouped: dict = {}

@@ -82,6 +82,9 @@ class TournamentConfig:
     overhead_weight: float = 1.0
     seed: int = 0
     workers: int = 1
+    #: Lockstep width for the repetition axis ("auto" plays all reps of
+    #: a cell in one BatchedCollectionGame; byte-identical to "off").
+    rep_batch: object = "auto"
 
 
 @dataclass(frozen=True)
@@ -112,19 +115,23 @@ def _score_game(result, overhead_weight: float) -> Tuple[float, float]:
     injection percentile (a surviving extreme value deviates more —
     the increasing-``P(x)`` reading of §III-B).  Collector payoff: the
     zero-sum negation minus the trimming overhead (benign mass removed).
+
+    Works off the board's column arrays — no per-round entry objects are
+    materialized, which keeps rep-batched results cheap to reduce.  The
+    per-round terms are accumulated left to right (``sum`` over the term
+    list), preserving the exact float sequence of the original
+    entry-loop accumulation.
     """
-    entries = result.board.entries
-    poison_gain = 0.0
-    benign_trimmed = 0.0
-    for entry in entries:
-        obs = entry.observation
-        position = obs.injection_percentile
-        weight = position if position is not None else 0.0
-        n_benign = entry.n_collected - entry.n_poison_injected
-        n_benign_kept = entry.n_retained - entry.n_poison_retained
-        poison_gain += weight * entry.n_poison_retained / max(1, n_benign)
-        benign_trimmed += (n_benign - n_benign_kept) / max(1, n_benign)
-    n = len(entries)
+    cols = result.board.columns
+    weight = np.where(
+        np.isnan(cols.injection_percentile), 0.0, cols.injection_percentile
+    )
+    n_benign = cols.n_collected - cols.n_poison_injected
+    n_benign_kept = cols.n_retained - cols.n_poison_retained
+    denom = np.maximum(1, n_benign)
+    poison_gain = float(sum((weight * cols.n_poison_retained / denom).tolist()))
+    benign_trimmed = float(sum(((n_benign - n_benign_kept) / denom).tolist()))
+    n = cols.rounds
     adversary = poison_gain / n
     collector = -adversary - overhead_weight * benign_trimmed / n
     return adversary, collector
@@ -165,6 +172,7 @@ def run_tournament(config: TournamentConfig) -> TournamentResult:
     runner = SweepRunner(
         workers=config.workers,
         reduce=partial(_payoff_reduce, overhead_weight=config.overhead_weight),
+        rep_batch=config.rep_batch,
     )
     records = runner.run_grid(grid)
 

@@ -52,7 +52,10 @@ from .spec import (
     QUALITY_CHANNEL,
     SOURCE_CHANNEL,
     USER_CHANNEL,
+    build_batched_game,
     load_reference,
+    play_rep_batch,
+    rep_group_key,
 )
 
 __all__ = [
@@ -66,6 +69,9 @@ __all__ = [
     "play_game",
     "summarize_game",
     "load_reference",
+    "build_batched_game",
+    "play_rep_batch",
+    "rep_group_key",
     "SOURCE_CHANNEL",
     "COLLECTOR_CHANNEL",
     "ADVERSARY_CHANNEL",

@@ -29,13 +29,19 @@ import math
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..core.engine import GameResult
 from ..core.trimming import RadialTrimmer
-from .spec import ComponentSpec, GameSpec
+from .spec import (
+    ComponentSpec,
+    GameSpec,
+    play_rep_batch,
+    rep_group_key,
+    rep_keys_equal,
+)
 
 __all__ = [
     "GameRecord",
@@ -71,23 +77,26 @@ class GameRecord:
 
 
 def summarize_game(spec: GameSpec, result: GameResult) -> GameRecord:
-    """The default reducer: compress a game into its bookkeeping totals."""
-    entries = result.board.entries
-    n_collected = sum(e.n_collected for e in entries)
-    n_retained = sum(int(e.n_retained) for e in entries)
+    """The default reducer: compress a game into its bookkeeping totals.
+
+    Reads the board's column arrays (never the per-round entry objects),
+    so lockstep-sliced results summarize without materializing a single
+    ``BoardEntry``.
+    """
+    cols = result.board.columns
     return GameRecord(
         tags=dict(spec.tags),
         collector=result.collector_name,
         adversary=result.adversary_name,
         rounds=result.rounds,
         termination_round=result.termination_round,
-        n_collected=n_collected,
-        n_retained=n_retained,
-        n_poison_injected=sum(e.n_poison_injected for e in entries),
-        n_poison_retained=sum(e.n_poison_retained for e in entries),
+        n_collected=int(np.sum(cols.n_collected)),
+        n_retained=int(np.sum(cols.n_retained)),
+        n_poison_injected=int(np.sum(cols.n_poison_injected)),
+        n_poison_retained=int(np.sum(cols.n_poison_retained)),
         poison_retained_fraction=result.poison_retained_fraction(),
         trimmed_fraction=result.trimmed_fraction(),
-        mean_trim_percentile=float(np.mean(result.threshold_path())),
+        mean_trim_percentile=float(np.mean(cols.trim_percentile)),
     )
 
 
@@ -102,6 +111,43 @@ def _run_cell(spec: GameSpec, reduce: Optional[Callable] = None) -> Any:
     if reduce is None:
         return summarize_game(spec, result)
     return reduce(spec, result)
+
+
+def _run_rep_group(
+    specs: Sequence[GameSpec], reduce: Optional[Callable] = None
+) -> List[Any]:
+    """Play one rep group in lockstep and reduce per rep (worker-side)."""
+    results = play_rep_batch(specs)
+    if reduce is None:
+        return [summarize_game(spec, result) for spec, result in zip(specs, results)]
+    return [reduce(spec, result) for spec, result in zip(specs, results)]
+
+
+def _group_reps(
+    specs: Sequence[GameSpec], max_width: Optional[int]
+) -> List[List[GameSpec]]:
+    """Chunk *consecutive* same-cell specs into rep groups.
+
+    Grid expansion keeps a cell's repetitions adjacent, so consecutive
+    grouping recovers exactly the rep axis; arbitrary spec lists degrade
+    gracefully to singleton groups.  ``max_width`` caps the lockstep
+    width (``None`` = unbounded).
+    """
+    groups: List[List[GameSpec]] = []
+    current_key = None
+    for spec in specs:
+        key = rep_group_key(spec)
+        full = (
+            max_width is not None
+            and groups
+            and len(groups[-1]) >= max_width
+        )
+        if groups and not full and rep_keys_equal(key, current_key):
+            groups[-1].append(spec)
+        else:
+            groups.append([spec])
+            current_key = key
+    return groups
 
 
 @dataclass(frozen=True)
@@ -244,13 +290,22 @@ class SweepRunner:
         cells out over a ``ProcessPoolExecutor``.  Results are identical
         either way — specs are self-contained and collected in order.
     chunksize:
-        Cells handed to a worker per dispatch; defaults to
-        ``ceil(n_cells / (4 * workers))`` so each worker sees a few
-        chunks (amortizing IPC) while the tail stays balanced.
+        Cells (or rep groups, under rep batching) handed to a worker per
+        dispatch; defaults to ``ceil(n / (4 * workers))`` so each worker
+        sees a few chunks (amortizing IPC) while the tail stays balanced.
     reduce:
         Picklable ``f(spec, result) -> record`` applied *inside* the
         worker, so only the (small) record crosses the process boundary.
         Defaults to :func:`summarize_game`.
+    rep_batch:
+        Collapse the repetition axis into lockstep
+        :class:`~repro.core.engine.BatchedCollectionGame` runs:
+        consecutive specs that differ only in seed/tags (a sweep cell's
+        repetitions) play as one batched game, byte-identical to the
+        per-spec path.  ``None`` or ``1`` disables (default),
+        ``"auto"`` batches every full rep group, an ``int >= 2`` caps
+        the lockstep width.  Composes with ``workers``: groups — not
+        individual cells — are what the process pool distributes.
     """
 
     def __init__(
@@ -258,6 +313,7 @@ class SweepRunner:
         workers: int = 1,
         chunksize: Optional[int] = None,
         reduce: Optional[Callable[[GameSpec, GameResult], Any]] = None,
+        rep_batch: Union[None, int, str] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -266,12 +322,35 @@ class SweepRunner:
         self.workers = int(workers)
         self.chunksize = chunksize
         self.reduce = reduce
+        self.rep_batch = self._normalize_rep_batch(rep_batch)
+
+    @staticmethod
+    def _normalize_rep_batch(rep_batch) -> Optional[Union[int, str]]:
+        """``None``/``1``/``"off"`` → None; ``"auto"``/int >= 2 pass."""
+        if isinstance(rep_batch, bool):
+            # True == 1 would silently *disable* batching; force the
+            # explicit spellings instead.
+            raise ValueError(
+                "rep_batch takes None, 1, 'off', 'auto' or an int >= 2 — "
+                "use 'auto' (not True) to enable"
+            )
+        if rep_batch in (None, 1, "off"):
+            return None
+        if rep_batch == "auto":
+            return "auto"
+        if isinstance(rep_batch, int) and rep_batch >= 2:
+            return rep_batch
+        raise ValueError(
+            "rep_batch must be None, 1, 'off', 'auto', or an int >= 2"
+        )
 
     def run(self, specs: Sequence[GameSpec]) -> List[Any]:
         """Play every spec and return one record per spec, in order."""
         specs = list(specs)
         if not specs:
             return []
+        if self.rep_batch is not None:
+            return self._run_batched(specs)
         if self.workers == 1:
             return [_run_cell(spec, self.reduce) for spec in specs]
         call = partial(_run_cell, reduce=self.reduce)
@@ -282,6 +361,29 @@ class SweepRunner:
             max_workers=min(self.workers, len(specs))
         ) as pool:
             return list(pool.map(call, specs, chunksize=chunksize))
+
+    def _run_batched(self, specs: Sequence[GameSpec]) -> List[Any]:
+        """Rep-batched execution: one lockstep game per rep group."""
+        max_width = None if self.rep_batch == "auto" else self.rep_batch
+        groups = _group_reps(specs, max_width)
+        if self.workers == 1:
+            return [
+                record
+                for group in groups
+                for record in _run_rep_group(group, self.reduce)
+            ]
+        call = partial(_run_rep_group, reduce=self.reduce)
+        chunksize = self.chunksize or max(
+            1, math.ceil(len(groups) / (4 * self.workers))
+        )
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(groups))
+        ) as pool:
+            return [
+                record
+                for group_records in pool.map(call, groups, chunksize=chunksize)
+                for record in group_records
+            ]
 
     def run_grid(self, grid: SweepGrid) -> List[Any]:
         """Expand and run a :class:`SweepGrid`."""

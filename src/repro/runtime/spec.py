@@ -34,7 +34,11 @@ from typing import Any, Callable, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
-from ..core.engine import CollectionGame, GameResult
+from ..core.engine import (
+    BatchedCollectionGame,
+    CollectionGame,
+    GameResult,
+)
 from ..core.trimming import RadialTrimmer
 from ..datasets.registry import load_dataset
 from ..streams.injection import PoisonInjector
@@ -45,6 +49,10 @@ __all__ = [
     "GameSpec",
     "SeedLike",
     "load_reference",
+    "rep_group_key",
+    "rep_keys_equal",
+    "build_batched_game",
+    "play_rep_batch",
     "SOURCE_CHANNEL",
     "COLLECTOR_CHANNEL",
     "ADVERSARY_CHANNEL",
@@ -240,3 +248,135 @@ class GameSpec:
     def play(self) -> GameResult:
         """Build and run the game to completion."""
         return self.build().run()
+
+
+# --------------------------------------------------------------------- #
+# rep batching: many specs differing only in seed → one lockstep game
+# --------------------------------------------------------------------- #
+def rep_group_key(spec: GameSpec) -> tuple:
+    """Everything about a spec *except* its seed and tags.
+
+    Two specs with equal keys describe the same game cell played under
+    different randomness — exactly the repetitions of one sweep cell —
+    and may be collapsed into a single
+    :class:`~repro.core.engine.BatchedCollectionGame`.  Compare keys
+    with ``==`` (component specs hold dict kwargs, so keys are not
+    hashable).
+    """
+    return (
+        spec.collector,
+        spec.adversary,
+        spec.dataset,
+        spec.dataset_size,
+        spec.attack_ratio,
+        spec.injection_mode,
+        spec.injection_jitter,
+        spec.trimmer,
+        spec.quality,
+        spec.judge,
+        spec.rounds,
+        spec.batch_size,
+        spec.anchor,
+        spec.store_retained,
+    )
+
+
+def rep_keys_equal(a: tuple, b: tuple) -> bool:
+    """Safe equality between two :func:`rep_group_key` tuples.
+
+    Component specs may carry ndarray kwargs (e.g. reference centroids),
+    whose ``==`` yields an elementwise array and makes the tuple
+    comparison raise.  Such specs conservatively compare unequal unless
+    they are the very same objects (which grid expansion guarantees for
+    a cell's repetitions) — the group degrades to singletons instead of
+    crashing.
+    """
+    try:
+        return bool(a == b)
+    except ValueError:  # ambiguous ndarray truth value inside kwargs
+        return all(x is y for x, y in zip(a, b))
+
+
+def build_batched_game(specs) -> BatchedCollectionGame:
+    """Materialize one lockstep engine for R same-cell specs.
+
+    Every per-rep component is built from its own spec's derivation
+    channels — byte-for-byte the seeds the solo ``spec.build()`` would
+    have used — while deterministic calibration (dataset, trimmer) is
+    shared across the reps.
+    """
+    specs = list(specs)
+    if not specs:
+        raise ValueError("need at least one spec")
+    lead = specs[0]
+    key = rep_group_key(lead)
+    for other in specs[1:]:
+        if not rep_keys_equal(rep_group_key(other), key):
+            raise ValueError(
+                "rep-batched specs must agree on everything except seed "
+                "and tags"
+            )
+    data = load_reference(lead.dataset, lead.dataset_size)
+    quality = (
+        None
+        if lead.quality is None
+        else [
+            spec.quality.build(spec.child_seed(QUALITY_CHANNEL))
+            for spec in specs
+        ]
+    )
+    judges = (
+        None
+        if lead.judge is None
+        else [
+            spec.judge.build(spec.child_seed(JUDGE_CHANNEL)) for spec in specs
+        ]
+    )
+    return BatchedCollectionGame(
+        source=ArrayStream(
+            data,
+            batch_size=lead.batch_size,
+            seed=[spec.child_seed(SOURCE_CHANNEL) for spec in specs],
+        ),
+        collectors=[
+            spec.collector.build(spec.child_seed(COLLECTOR_CHANNEL))
+            for spec in specs
+        ],
+        adversaries=[
+            spec.adversary.build(spec.child_seed(ADVERSARY_CHANNEL))
+            for spec in specs
+        ],
+        injectors=[
+            PoisonInjector(
+                attack_ratio=spec.attack_ratio,
+                jitter=spec.injection_jitter,
+                mode=spec.injection_mode,
+                seed=spec.child_seed(INJECTOR_CHANNEL),
+            )
+            for spec in specs
+        ],
+        # One trimmer per rep, exactly as R solo spec.build() calls would
+        # create: the engine shares the lead for the stateless shipped
+        # classes and keeps per-rep isolation for custom trimmers.
+        trimmer=[spec.trimmer.build() for spec in specs],
+        reference=data,
+        quality_evaluators=quality,
+        judges=judges,
+        rounds=lead.rounds,
+        anchor=lead.anchor,
+        store_retained=lead.store_retained,
+    )
+
+
+def play_rep_batch(specs) -> "list[GameResult]":
+    """Play R same-cell specs in lockstep; one result per spec, in order.
+
+    Each returned :class:`~repro.core.engine.GameResult` is
+    byte-identical to the corresponding ``spec.play()`` — the batched
+    engine's reproducibility contract.  A single spec short-circuits to
+    the solo engine.
+    """
+    specs = list(specs)
+    if len(specs) == 1:
+        return [specs[0].play()]
+    return build_batched_game(specs).run().results()

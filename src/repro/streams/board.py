@@ -12,18 +12,32 @@ Long games and large sweep grids mostly consume the board through
 lean mode (``PublicBoard(store_retained=False)``) drops those payloads at
 record time and keeps only running counts and aggregates, cutting peak
 memory from O(rounds × batch) to O(rounds).
+
+Columns
+-------
+Alongside the entry log the board maintains **append-only column
+arrays** — one value per round for every public observation field and
+ground-truth count.  Path queries (``GameResult.threshold_path()``,
+``injection_path()``, ``to_records()``) and the aggregate fractions read
+these columns directly instead of rebuilding Python list comprehensions
+over observation objects on every call.  :class:`StackedBoard` is the
+rep-batched counterpart used by
+:class:`~repro.core.engine.BatchedCollectionGame`: it records ``(R,)``
+column vectors per round for all R repetitions at once and slices out
+per-rep :class:`PublicBoard` views (entry objects materialize lazily,
+only when a consumer actually walks ``entries``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..core.strategies.base import RoundObservation
 
-__all__ = ["BoardEntry", "PublicBoard"]
+__all__ = ["BoardEntry", "BoardColumns", "PublicBoard", "StackedBoard"]
 
 
 @dataclass(frozen=True)
@@ -54,7 +68,76 @@ class BoardEntry:
             object.__setattr__(self, "n_retained", int(self.retained.shape[0]))
 
 
-@dataclass
+@dataclass(frozen=True)
+class BoardColumns:
+    """Per-round column arrays of a board (one entry per round).
+
+    ``injection_percentile`` uses ``NaN`` where no poison was injected
+    (the ``None`` of the observation object).  Arrays are read-only —
+    they are shared with the board's internal cache.
+    """
+
+    index: np.ndarray                 # (T,) int, 1-based round numbers
+    trim_percentile: np.ndarray       # (T,) float
+    injection_percentile: np.ndarray  # (T,) float, NaN = no injection
+    quality: np.ndarray               # (T,) float
+    observed_poison_ratio: np.ndarray  # (T,) float
+    betrayal: np.ndarray              # (T,) bool
+    n_collected: np.ndarray           # (T,) int
+    n_poison_injected: np.ndarray     # (T,) int
+    n_poison_retained: np.ndarray     # (T,) int
+    n_retained: np.ndarray            # (T,) int
+
+    @property
+    def rounds(self) -> int:
+        """Number of recorded rounds."""
+        return int(self.index.size)
+
+
+_COLUMN_FIELDS = (
+    "index",
+    "trim_percentile",
+    "injection_percentile",
+    "quality",
+    "observed_poison_ratio",
+    "betrayal",
+    "n_collected",
+    "n_poison_injected",
+    "n_poison_retained",
+    "n_retained",
+)
+
+_COLUMN_DTYPES = {
+    "index": np.int64,
+    "betrayal": bool,
+    "n_collected": np.int64,
+    "n_poison_injected": np.int64,
+    "n_poison_retained": np.int64,
+    "n_retained": np.int64,
+}
+
+
+def _freeze(arr: np.ndarray) -> np.ndarray:
+    arr.setflags(write=False)
+    return arr
+
+
+def _entry_row(entry: BoardEntry) -> tuple:
+    obs = entry.observation
+    return (
+        obs.index,
+        obs.trim_percentile,
+        np.nan if obs.injection_percentile is None else obs.injection_percentile,
+        obs.quality,
+        obs.observed_poison_ratio,
+        obs.betrayal,
+        entry.n_collected,
+        entry.n_poison_injected,
+        entry.n_poison_retained,
+        int(entry.n_retained),
+    )
+
+
 class PublicBoard:
     """Append-only public record of the collection game.
 
@@ -62,14 +145,128 @@ class PublicBoard:
     stripped of their ``retained`` payload at record time, keeping only
     the per-round counts (``n_retained`` et al.) the aggregate queries
     need — peak memory drops from O(rounds × batch) to O(rounds).
+
+    The board keeps append-only per-field column lists in sync with the
+    entry log; :attr:`columns` stacks them into (cached, read-only)
+    arrays so path and aggregate queries never iterate observation
+    objects.  Boards sliced out of a :class:`StackedBoard`
+    (:meth:`from_columns`) go the other way: they are born with columns
+    and materialize :attr:`entries` lazily on first access.
     """
 
-    entries: List[BoardEntry] = field(default_factory=list)
-    store_retained: bool = True
+    def __init__(
+        self,
+        entries: Optional[Sequence[BoardEntry]] = None,
+        store_retained: bool = True,
+    ):
+        self.store_retained = bool(store_retained)
+        self._entries: Optional[List[BoardEntry]] = (
+            list(entries) if entries is not None else []
+        )
+        self._col_lists = {name: [] for name in _COLUMN_FIELDS}
+        for entry in self._entries:
+            self._append_columns(entry)
+        self._columns_cache: Optional[BoardColumns] = None
+        # Payload of a lazily-entried, column-born board (see from_columns).
+        self._source_retained: Optional[List[np.ndarray]] = None
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_columns(
+        cls,
+        columns: BoardColumns,
+        retained: Optional[Sequence[np.ndarray]] = None,
+        store_retained: bool = True,
+    ) -> "PublicBoard":
+        """A board born from column arrays (one rep of a stacked game).
+
+        ``retained`` optionally carries the per-round retained arrays;
+        entry objects are only materialized when :attr:`entries` is
+        first read, so summary consumers (column-based reducers, the
+        aggregate fractions) never pay the per-round object cost.
+        """
+        if retained is not None and len(retained) != columns.rounds:
+            raise ValueError("retained payload must carry one array per round")
+        board = cls.__new__(cls)
+        board.store_retained = bool(store_retained)
+        board._entries = None
+        board._col_lists = None  # rebuilt from the columns only on append
+        board._columns_cache = columns
+        board._source_retained = list(retained) if retained is not None else None
+        return board
+
+    # ------------------------------------------------------------------ #
+    def _append_columns(self, entry: BoardEntry) -> None:
+        if self._col_lists is None:  # column-born board, first append
+            cols = self._columns_cache
+            self._col_lists = {
+                name: list(getattr(cols, name)) for name in _COLUMN_FIELDS
+            }
+        for name, value in zip(_COLUMN_FIELDS, _entry_row(entry)):
+            self._col_lists[name].append(value)
+
+    def _materialize_entries(self) -> List[BoardEntry]:
+        """Build the entry log of a column-born board on first access."""
+        entries: List[BoardEntry] = []
+        cols = self.columns
+        for t in range(cols.rounds):
+            inj = cols.injection_percentile[t]
+            retained = (
+                self._source_retained[t]
+                if self._source_retained is not None
+                else None
+            )
+            entries.append(
+                BoardEntry(
+                    observation=RoundObservation(
+                        index=int(cols.index[t]),
+                        trim_percentile=float(cols.trim_percentile[t]),
+                        injection_percentile=(
+                            None if np.isnan(inj) else float(inj)
+                        ),
+                        quality=float(cols.quality[t]),
+                        observed_poison_ratio=float(
+                            cols.observed_poison_ratio[t]
+                        ),
+                        betrayal=bool(cols.betrayal[t]),
+                    ),
+                    retained=retained,
+                    n_collected=int(cols.n_collected[t]),
+                    n_poison_injected=int(cols.n_poison_injected[t]),
+                    n_poison_retained=int(cols.n_poison_retained[t]),
+                    n_retained=int(cols.n_retained[t]),
+                )
+            )
+        self._entries = entries
+        return entries
+
+    # ------------------------------------------------------------------ #
+    @property
+    def entries(self) -> List[BoardEntry]:
+        """The entry log (materialized on demand for column-born boards)."""
+        if self._entries is None:
+            return self._materialize_entries()
+        return self._entries
+
+    @property
+    def columns(self) -> BoardColumns:
+        """Stacked, read-only per-round column arrays (cached per append)."""
+        if self._columns_cache is None:
+            cols = self._col_lists
+            self._columns_cache = BoardColumns(
+                **{
+                    name: _freeze(
+                        np.asarray(cols[name], dtype=_COLUMN_DTYPES.get(name, float))
+                    )
+                    for name in _COLUMN_FIELDS
+                }
+            )
+        return self._columns_cache
 
     def record(self, entry: BoardEntry) -> None:
         """Append a completed round's record."""
-        expected = len(self.entries) + 1
+        entries = self.entries  # materializes a column-born board first
+        expected = len(entries) + 1
         if entry.observation.index != expected:
             raise ValueError(
                 f"round {entry.observation.index} recorded out of order "
@@ -77,15 +274,20 @@ class PublicBoard:
             )
         if not self.store_retained and entry.retained is not None:
             entry = replace(entry, retained=None, n_retained=entry.n_retained)
-        self.entries.append(entry)
+        entries.append(entry)
+        self._append_columns(entry)
+        self._columns_cache = None
 
     def __len__(self) -> int:
-        return len(self.entries)
+        if self._col_lists is None:
+            return self._columns_cache.rounds
+        return len(self._col_lists["index"])
 
     @property
     def last(self) -> Optional[BoardEntry]:
         """Most recent entry, or ``None`` before round 1."""
-        return self.entries[-1] if self.entries else None
+        entries = self.entries
+        return entries[-1] if entries else None
 
     @property
     def observations(self) -> List[RoundObservation]:
@@ -99,8 +301,10 @@ class PublicBoard:
         estimation) consume — the dataset that actually survived the
         game.
         """
-        if not self.entries:
+        if len(self) == 0:
             raise ValueError("board is empty")
+        if self._entries is None and self._source_retained is not None:
+            return np.concatenate(self._source_retained, axis=0)
         if any(e.retained is None for e in self.entries):
             raise ValueError(
                 "board is lean (store_retained=False): per-round retained "
@@ -115,16 +319,147 @@ class PublicBoard:
         The 'untrimmed poison values in the remaining data' metric of
         Table III.
         """
-        kept = sum(e.n_retained for e in self.entries)
+        cols = self.columns
+        kept = int(np.sum(cols.n_retained))
         if kept == 0:
             return 0.0
-        poison = sum(e.n_poison_retained for e in self.entries)
-        return poison / kept
+        return int(np.sum(cols.n_poison_retained)) / kept
 
     def trimmed_fraction(self) -> float:
         """Overall fraction of collected data that was trimmed away."""
-        collected = sum(e.n_collected for e in self.entries)
+        cols = self.columns
+        collected = int(np.sum(cols.n_collected))
         if collected == 0:
             return 0.0
-        kept = sum(e.n_retained for e in self.entries)
-        return 1.0 - kept / collected
+        return 1.0 - int(np.sum(cols.n_retained)) / collected
+
+
+class StackedBoard:
+    """Per-round column stacks for R lockstep repetitions of one game.
+
+    The batched engine records one ``(R,)`` vector per public field per
+    round — no per-rep Python objects exist during play.  After the game
+    :meth:`rep_board` slices rep ``r``'s columns into a lazy
+    :class:`PublicBoard`, and the aggregate queries
+    (:meth:`poison_retained_fractions`, :meth:`trimmed_fractions`)
+    answer for all reps at once.
+
+    ``store_retained=True`` additionally keeps, per round, the list of R
+    per-rep retained arrays (exactly what R solo full boards would have
+    stored); lean mode keeps counts only.
+    """
+
+    def __init__(self, n_reps: int, store_retained: bool = True):
+        if n_reps < 1:
+            raise ValueError("a stacked board needs at least one rep")
+        self.n_reps = int(n_reps)
+        self.store_retained = bool(store_retained)
+        self._rows = {name: [] for name in _COLUMN_FIELDS if name != "index"}
+        self._retained: Optional[List[List[np.ndarray]]] = (
+            [] if self.store_retained else None
+        )
+        self._stacked_cache: Optional[dict] = None
+
+    def record_round(
+        self,
+        *,
+        trim_percentile: np.ndarray,
+        injection_percentile: np.ndarray,
+        quality: np.ndarray,
+        observed_poison_ratio: np.ndarray,
+        betrayal: np.ndarray,
+        n_collected: np.ndarray,
+        n_poison_injected: np.ndarray,
+        n_poison_retained: np.ndarray,
+        n_retained: np.ndarray,
+        retained: Optional[List[np.ndarray]] = None,
+    ) -> None:
+        """Append one completed round's ``(R,)`` column vectors."""
+        row = {
+            "trim_percentile": trim_percentile,
+            "injection_percentile": injection_percentile,
+            "quality": quality,
+            "observed_poison_ratio": observed_poison_ratio,
+            "betrayal": betrayal,
+            "n_collected": n_collected,
+            "n_poison_injected": n_poison_injected,
+            "n_poison_retained": n_poison_retained,
+            "n_retained": n_retained,
+        }
+        for name, values in row.items():
+            arr = np.asarray(values)
+            if arr.shape != (self.n_reps,):
+                raise ValueError(
+                    f"column {name!r} must be shaped ({self.n_reps},), "
+                    f"got {arr.shape}"
+                )
+            self._rows[name].append(arr)
+        if self.store_retained:
+            if retained is None or len(retained) != self.n_reps:
+                raise ValueError(
+                    "a full stacked board needs one retained array per rep"
+                )
+            self._retained.append(list(retained))
+        self._stacked_cache = None
+
+    def __len__(self) -> int:
+        return len(self._rows["trim_percentile"])
+
+    @property
+    def n_rounds(self) -> int:
+        """Number of recorded rounds."""
+        return len(self)
+
+    def _stacked(self) -> dict:
+        """(T, R) arrays per field, cached until the next record."""
+        if self._stacked_cache is None:
+            self._stacked_cache = {
+                name: np.asarray(rows, dtype=_COLUMN_DTYPES.get(name, float))
+                for name, rows in self._rows.items()
+            }
+        return self._stacked_cache
+
+    def rep_columns(self, rep: int) -> BoardColumns:
+        """Rep ``rep``'s per-round columns as a :class:`BoardColumns`."""
+        if not 0 <= rep < self.n_reps:
+            raise IndexError(f"rep {rep} out of range (R={self.n_reps})")
+        stacked = self._stacked()
+        rounds = len(self)
+        fields = {"index": _freeze(np.arange(1, rounds + 1, dtype=np.int64))}
+        for name, arr in stacked.items():
+            column = arr[:, rep].copy() if rounds else arr.reshape(0)
+            fields[name] = _freeze(column)
+        return BoardColumns(**fields)
+
+    def rep_board(self, rep: int) -> PublicBoard:
+        """Rep ``rep``'s game as a (lazily-entried) :class:`PublicBoard`."""
+        retained = (
+            [row[rep] for row in self._retained]
+            if self._retained is not None
+            else None
+        )
+        return PublicBoard.from_columns(
+            self.rep_columns(rep),
+            retained=retained,
+            store_retained=self.store_retained,
+        )
+
+    def poison_retained_fractions(self) -> np.ndarray:
+        """(R,) ground-truth poison fractions of the retained data."""
+        stacked = self._stacked()
+        if not len(self):
+            return np.zeros(self.n_reps)
+        kept = stacked["n_retained"].sum(axis=0)
+        poison = stacked["n_poison_retained"].sum(axis=0)
+        return np.where(kept == 0, 0.0, poison / np.maximum(kept, 1))
+
+    def trimmed_fractions(self) -> np.ndarray:
+        """(R,) overall trimmed fractions."""
+        stacked = self._stacked()
+        if not len(self):
+            return np.zeros(self.n_reps)
+        collected = stacked["n_collected"].sum(axis=0)
+        kept = stacked["n_retained"].sum(axis=0)
+        return np.where(
+            collected == 0, 0.0, 1.0 - kept / np.maximum(collected, 1)
+        )

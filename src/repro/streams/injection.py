@@ -32,7 +32,7 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["PoisonInjector"]
+__all__ = ["PoisonInjector", "BatchedInjector"]
 
 _MODES = ("quantile", "radial")
 
@@ -174,3 +174,153 @@ class PoisonInjector:
         if self.mode == "radial":
             return self._materialize_radial(arr, positions)
         return self._materialize_corner(arr, positions)
+
+
+class BatchedInjector:
+    """Rep-batched poison materialization over R per-rep injectors.
+
+    The batched engine plays R repetitions in lockstep; each rep keeps
+    its **own** :class:`PoisonInjector` (own jitter Generator, seeded
+    with that rep's derivation-channel child) so the per-rep draw
+    sequences are byte-identical to R solo games.  The quantile algebra
+    that turns percentile positions into poison values is shared and
+    vectorized across the rep axis: one :func:`numpy.quantile`
+    evaluation over the ``(R, count)`` position stack instead of R
+    Python round-trips.
+
+    All wrapped injectors must agree on ``attack_ratio``/``jitter``/
+    ``mode`` (the batched engine groups reps of one sweep cell, which
+    guarantees it).
+    """
+
+    def __init__(self, injectors):
+        injectors = list(injectors)
+        if not injectors:
+            raise ValueError("need at least one injector")
+        lead = injectors[0]
+        for other in injectors[1:]:
+            if (
+                other.attack_ratio != lead.attack_ratio
+                or other.jitter != lead.jitter
+                or other.mode != lead.mode
+            ):
+                raise ValueError(
+                    "all rep injectors must share attack_ratio/jitter/mode"
+                )
+        self.injectors = injectors
+
+    @property
+    def n_reps(self) -> int:
+        """Number of rep lanes."""
+        return len(self.injectors)
+
+    @property
+    def lead(self) -> PoisonInjector:
+        """The first rep's injector (shared calibration source)."""
+        return self.injectors[0]
+
+    def fit_reference(self, reference) -> "BatchedInjector":
+        """Fit the lead injector and share its calibration with all reps.
+
+        ``fit_reference`` is deterministic, so fitting once and aliasing
+        the (read-only-by-convention) calibration arrays is identical to
+        R independent fits at 1/R of the cost.
+        """
+        lead = self.lead
+        lead.fit_reference(reference)
+        for other in self.injectors[1:]:
+            other._ref_center = lead._ref_center
+            other._ref_scores = lead._ref_scores
+            other._ref_values = lead._ref_values
+            other._ref_corner = lead._ref_corner
+        return self
+
+    def reset(self) -> None:
+        """Rewind every rep's jitter stream."""
+        for injector in self.injectors:
+            injector.reset()
+
+    def poison_count(self, n_benign: int) -> int:
+        """Poison rows per rep for ``n_benign`` benign rows (rep-uniform)."""
+        return self.lead.poison_count(n_benign)
+
+    def materialize_many(
+        self, benign: np.ndarray, percentiles: np.ndarray
+    ) -> np.ndarray:
+        """Poison stacks for one lockstep round.
+
+        ``benign`` is the round's benign stack ``(R, b)`` or
+        ``(R, b, d)``; ``percentiles`` the (all-finite) per-rep injection
+        positions.  Returns ``(R, m[, d])`` with
+        ``m = poison_count(b)``.  Per-rep jitter positions are drawn
+        from each rep's own Generator (identical to the solo
+        ``materialize``), then converted to values in one vectorized
+        quantile pass.
+        """
+        stack = np.asarray(benign, dtype=float)
+        if stack.ndim not in (2, 3):
+            raise ValueError("benign stacks must be (R, b) or (R, b, d)")
+        n_reps = stack.shape[0]
+        if n_reps != self.n_reps:
+            raise ValueError(
+                f"stack carries {n_reps} reps, injector has {self.n_reps}"
+            )
+        count = self.poison_count(stack.shape[1])
+        if count == 0:
+            return stack[:, :0]
+        positions = np.stack(
+            [
+                self.injectors[r]._positions(float(percentiles[r]), count)
+                for r in range(n_reps)
+            ]
+        )
+        lead = self.lead
+        if stack.ndim == 2:
+            if lead._ref_values is not None:
+                return np.quantile(lead._ref_values, positions.ravel()).reshape(
+                    n_reps, count
+                )
+            return np.stack(
+                [
+                    lead._materialize_1d(stack[r], positions[r])
+                    for r in range(n_reps)
+                ]
+            )
+        if lead.mode == "radial":
+            return self._materialize_radial_many(stack, positions)
+        # Quantile-corner mode anchors on each rep's own batch: per-rep
+        # quantile passes, exactly like the solo path.
+        return np.stack(
+            [
+                lead._materialize_corner(stack[r], positions[r])
+                for r in range(n_reps)
+            ]
+        )
+
+    def _materialize_radial_many(
+        self, stack: np.ndarray, positions: np.ndarray
+    ) -> np.ndarray:
+        lead = self.lead
+        if lead._ref_center is None or lead._ref_scores is None:
+            return np.stack(
+                [
+                    lead._materialize_radial(stack[r], positions[r])
+                    for r in range(stack.shape[0])
+                ]
+            )
+        center = lead._ref_center
+        scores = lead._ref_scores
+        corner = lead._ref_corner
+        n_reps, count = positions.shape
+        targets = np.quantile(scores, positions.ravel()).reshape(n_reps, count)
+        direction = corner - center
+        norm = float(np.linalg.norm(direction))
+        if norm <= 0.0:
+            direction = np.zeros(stack.shape[2])
+            direction[0] = 1.0
+            norm = 1.0
+        direction = direction / norm
+        return (
+            center[None, None, :]
+            + targets[:, :, None] * direction[None, None, :]
+        )

@@ -4,6 +4,20 @@ The collection game is played over a data stream with a fixed number of
 samples per round.  Sources wrap a dataset (or a generator) and hand the
 engine one benign batch per round; users of the stream never mutate the
 backing data.
+
+Rep lanes
+---------
+The batched replication engine
+(:class:`~repro.core.engine.BatchedCollectionGame`) plays the R
+repetitions of one sweep cell in lockstep, which needs R *independent*
+draw sequences from one source object.  Passing a **sequence of seeds**
+instead of a single seed puts a source into *rep-lane* mode: it keeps
+one :class:`numpy.random.Generator` (plus epoch order and cursor) per
+lane, and :meth:`StreamSource.next_batches` returns the next round's
+benign batches stacked along a new leading rep axis, shape
+``(R, batch_size, ...)``.  Each lane's draw sequence is byte-identical
+to a standalone source constructed with that lane's seed — the contract
+the batched engine's per-rep reproducibility relies on.
 """
 
 from __future__ import annotations
@@ -15,8 +29,26 @@ import numpy as np
 __all__ = ["StreamSource", "ArrayStream", "GeneratorStream"]
 
 
+def _lane_seeds(seed):
+    """Split a seed argument into (single_seed, lane_seeds)."""
+    if isinstance(seed, (list, tuple)):
+        if len(seed) == 0:
+            raise ValueError("rep-lane mode needs at least one seed")
+        return None, list(seed)
+    return seed, None
+
+
 class StreamSource:
-    """Interface: one benign batch per call to :meth:`next_batch`."""
+    """Interface: one benign batch per call to :meth:`next_batch`.
+
+    Sources constructed with a sequence of seeds run in *rep-lane* mode
+    and serve :meth:`next_batches` instead (see module docstring).
+    """
+
+    @property
+    def lanes(self) -> Optional[int]:
+        """Number of rep lanes, or ``None`` for a single-stream source."""
+        return None
 
     def reset(self) -> None:
         """Rewind the stream to its initial state."""
@@ -24,6 +56,17 @@ class StreamSource:
     def next_batch(self) -> np.ndarray:
         """The next round's benign batch (1-D values or 2-D rows)."""
         raise NotImplementedError
+
+    def next_batches(self) -> np.ndarray:
+        """One round's batches for every rep lane, stacked ``(R, batch, ...)``.
+
+        Only available in rep-lane mode; each lane advances exactly as a
+        standalone source seeded with that lane's seed would.
+        """
+        raise NotImplementedError(
+            "next_batches() requires a rep-lane source (construct with a "
+            "sequence of seeds, one per repetition)"
+        )
 
 
 class ArrayStream(StreamSource):
@@ -35,6 +78,10 @@ class ArrayStream(StreamSource):
     rounds can be served from a finite dataset — the paper's "streaming
     process with a fixed number of samples gathered in each round"
     (§IV-B).
+
+    ``seed`` may be a single seed (one stream) or a sequence of seeds
+    (rep-lane mode: one independent generator/order/cursor per lane,
+    served through :meth:`next_batches`).
     """
 
     def __init__(
@@ -42,7 +89,7 @@ class ArrayStream(StreamSource):
         data,
         batch_size: int,
         shuffle: bool = True,
-        seed: Optional[int] = None,
+        seed=None,
     ):
         arr = np.asarray(data, dtype=float)
         if arr.ndim not in (1, 2) or arr.shape[0] == 0:
@@ -54,58 +101,104 @@ class ArrayStream(StreamSource):
         self._data = arr
         self.batch_size = int(batch_size)
         self.shuffle = bool(shuffle)
-        self._seed = seed
-        self._rng = np.random.default_rng(seed)
-        self._order = np.arange(arr.shape[0])
-        self._cursor = 0
+        self._seed, self._lane_seeds = _lane_seeds(seed)
+        self.reset()
+
+    @property
+    def lanes(self) -> Optional[int]:
+        return None if self._lane_seeds is None else len(self._lane_seeds)
+
+    def _fresh_lane(self, seed):
+        rng = np.random.default_rng(seed)
+        order = np.arange(self._data.shape[0])
         if self.shuffle:
-            self._rng.shuffle(self._order)
+            rng.shuffle(order)
+        return [rng, order, 0]  # rng, epoch order, cursor
 
     def reset(self) -> None:
-        self._rng = np.random.default_rng(self._seed)
-        self._order = np.arange(self._data.shape[0])
-        self._cursor = 0
-        if self.shuffle:
-            self._rng.shuffle(self._order)
+        if self._lane_seeds is None:
+            self._rng, self._order, self._cursor = self._fresh_lane(self._seed)
+        else:
+            self._lane_state = [self._fresh_lane(s) for s in self._lane_seeds]
+
+    def _next_index(self, state) -> np.ndarray:
+        rng, order, cursor = state
+        if cursor + self.batch_size > self._data.shape[0]:
+            if self.shuffle:
+                rng.shuffle(order)
+            cursor = 0
+        idx = order[cursor : cursor + self.batch_size]
+        state[2] = cursor + self.batch_size
+        return idx
 
     def next_batch(self) -> np.ndarray:
-        n = self._data.shape[0]
-        if self._cursor + self.batch_size > n:
-            if self.shuffle:
-                self._rng.shuffle(self._order)
-            self._cursor = 0
-        idx = self._order[self._cursor : self._cursor + self.batch_size]
-        self._cursor += self.batch_size
-        return self._data[idx].copy()
+        if self._lane_seeds is not None:
+            raise RuntimeError(
+                "this stream runs in rep-lane mode; use next_batches()"
+            )
+        state = [self._rng, self._order, self._cursor]
+        idx = self._next_index(state)
+        self._cursor = state[2]
+        # Fancy indexing already materializes a fresh array — callers can
+        # never corrupt the backing dataset through the returned batch.
+        return self._data[idx]
+
+    def next_batches(self) -> np.ndarray:
+        if self._lane_seeds is None:
+            return super().next_batches()
+        return np.stack(
+            [self._data[self._next_index(state)] for state in self._lane_state]
+        )
 
 
 class GeneratorStream(StreamSource):
     """Stream backed by a callable ``factory(rng, batch_size) -> array``.
 
     Supports genuinely infinite streams (e.g. the synthetic Taxi
-    generator) without materializing the full dataset.
+    generator) without materializing the full dataset.  As with
+    :class:`ArrayStream`, a sequence of seeds selects rep-lane mode with
+    one generator per lane.
     """
 
     def __init__(
         self,
         factory: Callable[[np.random.Generator, int], np.ndarray],
         batch_size: int,
-        seed: Optional[int] = None,
+        seed=None,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self._factory = factory
         self.batch_size = int(batch_size)
-        self._seed = seed
-        self._rng = np.random.default_rng(seed)
+        self._seed, self._lane_seeds = _lane_seeds(seed)
+        self.reset()
+
+    @property
+    def lanes(self) -> Optional[int]:
+        return None if self._lane_seeds is None else len(self._lane_seeds)
 
     def reset(self) -> None:
-        self._rng = np.random.default_rng(self._seed)
+        if self._lane_seeds is None:
+            self._rng = np.random.default_rng(self._seed)
+        else:
+            self._lane_rngs = [np.random.default_rng(s) for s in self._lane_seeds]
 
-    def next_batch(self) -> np.ndarray:
-        batch = np.asarray(self._factory(self._rng, self.batch_size), dtype=float)
+    def _draw(self, rng) -> np.ndarray:
+        batch = np.asarray(self._factory(rng, self.batch_size), dtype=float)
         if batch.shape[0] != self.batch_size:
             raise ValueError(
                 f"factory returned {batch.shape[0]} rows, expected {self.batch_size}"
             )
         return batch
+
+    def next_batch(self) -> np.ndarray:
+        if self._lane_seeds is not None:
+            raise RuntimeError(
+                "this stream runs in rep-lane mode; use next_batches()"
+            )
+        return self._draw(self._rng)
+
+    def next_batches(self) -> np.ndarray:
+        if self._lane_seeds is None:
+            return super().next_batches()
+        return np.stack([self._draw(rng) for rng in self._lane_rngs])

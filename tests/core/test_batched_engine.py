@@ -1,0 +1,661 @@
+"""Tests for the batched replication engine (BatchedCollectionGame).
+
+The non-negotiable contract: every rep of a batched run is byte-identical
+to the corresponding solo CollectionGame run seeded from the same
+SeedSequence children.  The matrix below covers every shipped strategy
+pair, both judges (noisy seeds intact), lean and full boards, reference
+and batch anchoring, and non-vectorizable user strategies exercising the
+per-rep fallback loop (including ragged inject/skip rounds).
+"""
+
+import json
+
+import numpy as np
+import pytest
+from numpy.random import SeedSequence
+
+from repro.core.engine import (
+    BandExcessJudge,
+    BatchedCollectionGame,
+    CollectionGame,
+    NoisyPositionJudge,
+)
+from repro.core.quality import MeanShiftEvaluator
+from repro.core.strategies import (
+    ElasticAdversary,
+    ElasticCollector,
+    FixedAdversary,
+    GenerousCollector,
+    JustBelowAdversary,
+    MirrorCollector,
+    MixedAdversary,
+    MixedStrategyTrigger,
+    NullAdversary,
+    OstrichCollector,
+    QualityTrigger,
+    StaticCollector,
+    TitForTatCollector,
+    TitForTwoTatsCollector,
+    UniformRangeAdversary,
+    adversary_lanes,
+    collector_lanes,
+)
+from repro.core.strategies.base import (
+    AdversaryStrategy,
+    CollectorStrategy,
+    RoundObservationBatch,
+)
+from repro.core.trimming import RadialTrimmer, ValueTrimmer
+from repro.streams import ArrayStream, PoisonInjector
+
+N_REPS = 4
+ROUNDS = 12
+
+
+def _child(root: SeedSequence, channel: int) -> SeedSequence:
+    return SeedSequence(
+        entropy=root.entropy, spawn_key=tuple(root.spawn_key) + (channel,)
+    )
+
+
+def _roots():
+    return [SeedSequence(17, spawn_key=(0, 0, 0, rep)) for rep in range(N_REPS)]
+
+
+@pytest.fixture(scope="module")
+def data_2d():
+    rng = np.random.default_rng(5)
+    return rng.normal(size=(2000, 2)) + 4.0
+
+
+@pytest.fixture(scope="module")
+def data_1d():
+    rng = np.random.default_rng(6)
+    return rng.lognormal(size=2000)
+
+
+def _assert_batched_matches_solo(
+    make_collector,
+    make_adversary,
+    data,
+    trimmer_cls,
+    *,
+    anchor="reference",
+    judge_maker=None,
+    store_retained=True,
+    ratio=0.2,
+    rounds=ROUNDS,
+):
+    """Play solo and batched from the same seed children; compare reps."""
+    mode = "radial" if np.ndim(data) == 2 else "quantile"
+    roots = _roots()
+
+    def solo(rep):
+        root = roots[rep]
+        return CollectionGame(
+            source=ArrayStream(data, batch_size=80, seed=_child(root, 0)),
+            collector=make_collector(_child(root, 1)),
+            adversary=make_adversary(_child(root, 2)),
+            injector=PoisonInjector(ratio, mode=mode, seed=_child(root, 3)),
+            trimmer=trimmer_cls(),
+            reference=data,
+            judge=None if judge_maker is None else judge_maker(_child(root, 4)),
+            rounds=rounds,
+            anchor=anchor,
+            store_retained=store_retained,
+        ).run()
+
+    batched = BatchedCollectionGame(
+        source=ArrayStream(
+            data, batch_size=80, seed=[_child(r, 0) for r in roots]
+        ),
+        collectors=[make_collector(_child(r, 1)) for r in roots],
+        adversaries=[make_adversary(_child(r, 2)) for r in roots],
+        injectors=[
+            PoisonInjector(ratio, mode=mode, seed=_child(r, 3)) for r in roots
+        ],
+        trimmer=trimmer_cls(),
+        reference=data,
+        judges=(
+            None
+            if judge_maker is None
+            else [judge_maker(_child(r, 4)) for r in roots]
+        ),
+        rounds=rounds,
+        anchor=anchor,
+        store_retained=store_retained,
+    ).run()
+
+    assert batched.n_reps == N_REPS
+    assert batched.rounds == rounds
+    for rep in range(N_REPS):
+        solo_result = solo(rep)
+        rep_result = batched.result(rep)
+        assert json.dumps(solo_result.to_records(), sort_keys=True) == (
+            json.dumps(rep_result.to_records(), sort_keys=True)
+        )
+        assert solo_result.termination_round == rep_result.termination_round
+        assert solo_result.collector_name == rep_result.collector_name
+        assert solo_result.adversary_name == rep_result.adversary_name
+        assert (
+            solo_result.poison_retained_fraction()
+            == rep_result.poison_retained_fraction()
+        )
+        assert solo_result.trimmed_fraction() == rep_result.trimmed_fraction()
+        assert (
+            solo_result.threshold_path().tobytes()
+            == rep_result.threshold_path().tobytes()
+        )
+        assert (
+            solo_result.injection_path().tobytes()
+            == rep_result.injection_path().tobytes()
+        )
+        if store_retained:
+            assert (
+                solo_result.retained_data().tobytes()
+                == rep_result.retained_data().tobytes()
+            )
+    return batched
+
+
+class TestShippedStrategyPairs:
+    """Byte-equality across the shipped strategy matrix."""
+
+    def test_titfortat_vs_extreme(self, data_2d):
+        _assert_batched_matches_solo(
+            lambda s: TitForTatCollector(0.9, trigger=None),
+            lambda s: FixedAdversary(0.99),
+            data_2d,
+            RadialTrimmer,
+        )
+
+    def test_titfortat_quality_trigger(self, data_2d):
+        _assert_batched_matches_solo(
+            lambda s: TitForTatCollector(
+                0.9, trigger=QualityTrigger(reference_score=0.0, redundancy=0.04)
+            ),
+            lambda s: FixedAdversary(0.95),
+            data_2d,
+            RadialTrimmer,
+            ratio=0.3,
+        )
+
+    def test_titfortat_mixed_trigger_vs_mixed(self, data_1d):
+        _assert_batched_matches_solo(
+            lambda s: TitForTatCollector(
+                0.9, trigger=MixedStrategyTrigger(0.5, warmup=3)
+            ),
+            lambda s: MixedAdversary(0.5, seed=s),
+            data_1d,
+            ValueTrimmer,
+            judge_maker=lambda s: NoisyPositionJudge(boundary=0.905, seed=s),
+            rounds=25,
+        )
+
+    def test_elastic_vs_elastic(self, data_2d):
+        _assert_batched_matches_solo(
+            lambda s: ElasticCollector(0.9, 0.5),
+            lambda s: ElasticAdversary(0.9, 0.5),
+            data_2d,
+            RadialTrimmer,
+        )
+
+    def test_elastic_relaxation_rule(self, data_1d):
+        _assert_batched_matches_solo(
+            lambda s: ElasticCollector(0.9, 0.3, rule="relaxation"),
+            lambda s: ElasticAdversary(0.9, 0.3, rule="relaxation"),
+            data_1d,
+            ValueTrimmer,
+        )
+
+    def test_elastic_quality_fallback_vs_null(self, data_2d):
+        # NullAdversary → injection is None → Algorithm 2 quality rule.
+        _assert_batched_matches_solo(
+            lambda s: ElasticCollector(0.9, 0.5),
+            lambda s: NullAdversary(),
+            data_2d,
+            RadialTrimmer,
+        )
+
+    def test_ostrich_vs_null(self, data_2d):
+        _assert_batched_matches_solo(
+            lambda s: OstrichCollector(),
+            lambda s: NullAdversary(),
+            data_2d,
+            RadialTrimmer,
+        )
+
+    def test_static_vs_uniform_range(self, data_2d):
+        _assert_batched_matches_solo(
+            lambda s: StaticCollector(0.9),
+            lambda s: UniformRangeAdversary(seed=s),
+            data_2d,
+            RadialTrimmer,
+        )
+
+    def test_static_vs_just_below(self, data_1d):
+        _assert_batched_matches_solo(
+            lambda s: StaticCollector(0.9),
+            lambda s: JustBelowAdversary(0.9),
+            data_1d,
+            ValueTrimmer,
+        )
+
+    def test_mirror_vs_mixed_noisy_band(self, data_1d):
+        _assert_batched_matches_solo(
+            lambda s: MirrorCollector(0.9),
+            lambda s: MixedAdversary(0.3, seed=s),
+            data_1d,
+            ValueTrimmer,
+            judge_maker=lambda s: BandExcessJudge(noise_sigma=0.05, seed=s),
+        )
+
+    def test_generous_vs_just_below_noisy_band(self, data_1d):
+        _assert_batched_matches_solo(
+            lambda s: GenerousCollector(0.9, seed=s),
+            lambda s: JustBelowAdversary(0.9),
+            data_1d,
+            ValueTrimmer,
+            judge_maker=lambda s: BandExcessJudge(noise_sigma=0.05, seed=s),
+        )
+
+    def test_two_tats_vs_mixed(self, data_1d):
+        _assert_batched_matches_solo(
+            lambda s: TitForTwoTatsCollector(0.9),
+            lambda s: MixedAdversary(0.3, seed=s),
+            data_1d,
+            ValueTrimmer,
+            judge_maker=lambda s: BandExcessJudge(noise_sigma=0.05, seed=s),
+        )
+
+
+class TestModesAndBoards:
+    """Anchoring modes, lean boards and judges."""
+
+    def test_batch_anchor(self, data_1d):
+        _assert_batched_matches_solo(
+            lambda s: ElasticCollector(0.9, 0.5),
+            lambda s: ElasticAdversary(0.9, 0.5),
+            data_1d,
+            ValueTrimmer,
+            anchor="batch",
+        )
+
+    def test_lean_board(self, data_1d):
+        batched = _assert_batched_matches_solo(
+            lambda s: TitForTatCollector(0.9, trigger=None),
+            lambda s: FixedAdversary(0.99),
+            data_1d,
+            ValueTrimmer,
+            store_retained=False,
+        )
+        with pytest.raises(ValueError, match="lean"):
+            batched.result(0).retained_data()
+
+    def test_noisy_band_judge_seeds_intact(self, data_1d):
+        _assert_batched_matches_solo(
+            lambda s: MirrorCollector(0.9),
+            lambda s: FixedAdversary(0.92),
+            data_1d,
+            ValueTrimmer,
+            judge_maker=lambda s: BandExcessJudge(noise_sigma=0.08, seed=s),
+        )
+
+    def test_noisy_position_judge_seeds_intact(self, data_1d):
+        _assert_batched_matches_solo(
+            lambda s: MirrorCollector(0.9),
+            lambda s: MixedAdversary(0.6, seed=s),
+            data_1d,
+            ValueTrimmer,
+            judge_maker=lambda s: NoisyPositionJudge(boundary=0.905, seed=s),
+        )
+
+    def test_zero_attack_ratio(self, data_2d):
+        _assert_batched_matches_solo(
+            lambda s: ElasticCollector(0.9, 0.5),
+            lambda s: FixedAdversary(0.99),
+            data_2d,
+            RadialTrimmer,
+            ratio=0.0,
+        )
+
+    def test_rerun_replays_identically(self, data_1d):
+        roots = _roots()
+        game = BatchedCollectionGame(
+            source=ArrayStream(
+                data_1d, batch_size=80, seed=[_child(r, 0) for r in roots]
+            ),
+            collectors=[MirrorCollector(0.9) for _ in roots],
+            adversaries=[
+                MixedAdversary(0.4, seed=_child(r, 2)) for r in roots
+            ],
+            injectors=[
+                PoisonInjector(0.2, mode="quantile", seed=_child(r, 3))
+                for r in roots
+            ],
+            trimmer=ValueTrimmer(),
+            reference=data_1d,
+            judges=[
+                BandExcessJudge(noise_sigma=0.05, seed=_child(r, 4))
+                for r in roots
+            ],
+            rounds=6,
+        )
+        first = game.run()
+        second = game.run()
+        for rep in range(N_REPS):
+            assert (
+                first.result(rep).to_records()
+                == second.result(rep).to_records()
+            )
+
+
+class _RandomUserCollector(CollectorStrategy):
+    """Non-vectorizable: random walk thresholds from a per-rep stream."""
+
+    name = "user-random"
+
+    def __init__(self, seed=None):
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self):
+        self._rng = np.random.default_rng(self._seed)
+
+    def first(self):
+        return 0.93
+
+    def react(self, last):
+        return float(0.88 + 0.1 * self._rng.random())
+
+
+class _SometimesAdversary(AdversaryStrategy):
+    """Non-vectorizable: injects only on random rounds (ragged stacks)."""
+
+    name = "user-sometimes"
+
+    def __init__(self, seed=None):
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self):
+        self._rng = np.random.default_rng(self._seed)
+
+    def first(self):
+        return 0.95
+
+    def react(self, last):
+        return None if self._rng.random() < 0.5 else 0.92
+
+
+class _SubclassedElastic(ElasticCollector):
+    """Subclass overriding react: must not take the vectorized lane."""
+
+    def react(self, last):
+        return min(1.0, super().react(last) + 0.001)
+
+
+class TestFallbackLoop:
+    """User strategies run through the documented per-rep fallback."""
+
+    def test_user_strategies_and_ragged_rounds(self, data_1d):
+        _assert_batched_matches_solo(
+            lambda s: _RandomUserCollector(seed=s),
+            lambda s: _SometimesAdversary(seed=s),
+            data_1d,
+            ValueTrimmer,
+            judge_maker=lambda s: BandExcessJudge(noise_sigma=0.05, seed=s),
+            rounds=20,
+        )
+
+    def test_shipped_subclass_falls_back(self, data_1d):
+        lanes = collector_lanes([_SubclassedElastic(0.9, 0.5) for _ in range(3)])
+        assert lanes.vectorized is False
+        _assert_batched_matches_solo(
+            lambda s: _SubclassedElastic(0.9, 0.5),
+            lambda s: FixedAdversary(0.95),
+            data_1d,
+            ValueTrimmer,
+        )
+
+    def test_mismatched_params_fall_back(self):
+        mixed = [ElasticCollector(0.9, 0.5), ElasticCollector(0.9, 0.1)]
+        assert collector_lanes(mixed).vectorized is False
+
+    def test_shipped_strategies_vectorize(self):
+        assert collector_lanes(
+            [TitForTatCollector(0.9, trigger=None) for _ in range(3)]
+        ).vectorized
+        assert collector_lanes(
+            [ElasticCollector(0.9, 0.5) for _ in range(3)]
+        ).vectorized
+        assert adversary_lanes([NullAdversary() for _ in range(3)]).vectorized
+        assert adversary_lanes(
+            [MixedAdversary(0.5, seed=s) for s in range(3)]
+        ).vectorized
+
+    def test_fallback_quality_evaluator(self, data_1d):
+        """A non-TailMass evaluator routes through the per-rep loop."""
+        roots = _roots()
+
+        def solo(rep):
+            root = roots[rep]
+            return CollectionGame(
+                source=ArrayStream(data_1d, batch_size=80, seed=_child(root, 0)),
+                collector=ElasticCollector(0.9, 0.5),
+                adversary=FixedAdversary(0.99),
+                injector=PoisonInjector(
+                    0.2, mode="quantile", seed=_child(root, 3)
+                ),
+                trimmer=ValueTrimmer(),
+                reference=data_1d,
+                quality_evaluator=MeanShiftEvaluator(),
+                rounds=6,
+            ).run()
+
+        batched = BatchedCollectionGame(
+            source=ArrayStream(
+                data_1d, batch_size=80, seed=[_child(r, 0) for r in roots]
+            ),
+            collectors=[ElasticCollector(0.9, 0.5) for _ in roots],
+            adversaries=[FixedAdversary(0.99) for _ in roots],
+            injectors=[
+                PoisonInjector(0.2, mode="quantile", seed=_child(r, 3))
+                for r in roots
+            ],
+            trimmer=ValueTrimmer(),
+            reference=data_1d,
+            quality_evaluators=[MeanShiftEvaluator() for _ in roots],
+            rounds=6,
+        ).run()
+        for rep in range(N_REPS):
+            assert solo(rep).to_records() == batched.result(rep).to_records()
+
+
+class _TightenedTrimmer(ValueTrimmer):
+    """Custom trim() override: exercises the per-rep trim_many loop."""
+
+    def trim(self, batch, percentile):
+        return ValueTrimmer.trim(self, batch, max(0.0, percentile - 0.02))
+
+
+class _DriftingTrimmer(ValueTrimmer):
+    """STATEFUL custom trimmer: cutoff tightens with every trim() call.
+
+    Byte-identity to solo play requires one instance per rep — the
+    engine must route each rep's rounds through its own instance when
+    given a trimmer sequence.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._calls = 0
+
+    def trim(self, batch, percentile):
+        self._calls += 1
+        drift = min(0.05, 0.002 * self._calls)
+        return ValueTrimmer.trim(self, batch, max(0.0, percentile - drift))
+
+
+class TestCustomTrimmer:
+    def test_trim_override_routes_per_rep(self, data_1d):
+        lanes_report = _TightenedTrimmer().trim_many(
+            np.tile(data_1d[:50], (3, 1)), np.array([0.9, 0.95, 1.0])
+        )
+        assert lanes_report.kept.shape == (3, 50)
+        _assert_batched_matches_solo(
+            lambda s: StaticCollector(0.9),
+            lambda s: FixedAdversary(0.99),
+            data_1d,
+            _TightenedTrimmer,
+        )
+
+    def test_stateful_trimmer_sequence_isolates_reps(self, data_1d):
+        """A trimmer *sequence* gives each rep its own state path."""
+        roots = _roots()
+
+        def solo(rep):
+            root = roots[rep]
+            return CollectionGame(
+                source=ArrayStream(data_1d, batch_size=80, seed=_child(root, 0)),
+                collector=StaticCollector(0.9),
+                adversary=FixedAdversary(0.99),
+                injector=PoisonInjector(
+                    0.2, mode="quantile", seed=_child(root, 3)
+                ),
+                trimmer=_DriftingTrimmer(),
+                reference=data_1d,
+                rounds=8,
+            ).run()
+
+        batched = BatchedCollectionGame(
+            source=ArrayStream(
+                data_1d, batch_size=80, seed=[_child(r, 0) for r in roots]
+            ),
+            collectors=[StaticCollector(0.9) for _ in roots],
+            adversaries=[FixedAdversary(0.99) for _ in roots],
+            injectors=[
+                PoisonInjector(0.2, mode="quantile", seed=_child(r, 3))
+                for r in roots
+            ],
+            trimmer=[_DriftingTrimmer() for _ in roots],
+            reference=data_1d,
+            rounds=8,
+        ).run()
+        for rep in range(N_REPS):
+            assert solo(rep).to_records() == batched.result(rep).to_records()
+
+    def test_runtime_builds_per_rep_trimmers(self, data_1d):
+        """Sweep cells with a stateful custom trimmer batch correctly."""
+        from repro.runtime import (
+            ComponentSpec,
+            StrategyPair,
+            SweepGrid,
+            SweepRunner,
+        )
+
+        class _DriftingRadial(RadialTrimmer):
+            def __init__(self):
+                super().__init__()
+                self._calls = 0
+
+            def trim(self, batch, percentile):
+                self._calls += 1
+                drift = min(0.05, 0.002 * self._calls)
+                return RadialTrimmer.trim(
+                    self, batch, max(0.0, percentile - drift)
+                )
+
+        # The factory must be importable for specs in general, but the
+        # serial path never pickles — keep the sweep in-process.
+        grid = SweepGrid(
+            pairs=(
+                StrategyPair(
+                    "static-vs-extreme",
+                    ComponentSpec(StaticCollector, {"threshold": 0.9}),
+                    ComponentSpec(FixedAdversary, {"percentile": 0.99}),
+                ),
+            ),
+            repetitions=3,
+            rounds=5,
+            batch_size=60,
+            trimmer=ComponentSpec(_DriftingRadial),
+            store_retained=False,
+            seed=0,
+        )
+        solo = SweepRunner().run_grid(grid)
+        batched = SweepRunner(rep_batch="auto").run_grid(grid)
+        assert solo == batched
+
+
+class TestValidation:
+    def test_rejects_mismatched_lengths(self, data_1d):
+        roots = _roots()
+        with pytest.raises(ValueError, match="one entry per repetition"):
+            BatchedCollectionGame(
+                source=ArrayStream(
+                    data_1d, batch_size=80, seed=[_child(r, 0) for r in roots]
+                ),
+                collectors=[OstrichCollector() for _ in roots],
+                adversaries=[NullAdversary()],
+                injectors=[PoisonInjector(0.2) for _ in roots],
+                trimmer=ValueTrimmer(),
+                reference=data_1d,
+            )
+
+    def test_rejects_wrong_lane_count(self, data_1d):
+        with pytest.raises(ValueError, match="lanes"):
+            BatchedCollectionGame(
+                source=ArrayStream(data_1d, batch_size=80, seed=[0, 1]),
+                collectors=[OstrichCollector() for _ in range(3)],
+                adversaries=[NullAdversary() for _ in range(3)],
+                injectors=[PoisonInjector(0.2) for _ in range(3)],
+                trimmer=ValueTrimmer(),
+                reference=data_1d,
+            )
+
+    def test_accepts_list_of_solo_sources(self, data_1d):
+        roots = _roots()
+        batched = BatchedCollectionGame(
+            source=[
+                ArrayStream(data_1d, batch_size=80, seed=_child(r, 0))
+                for r in roots
+            ],
+            collectors=[OstrichCollector() for _ in roots],
+            adversaries=[FixedAdversary(0.99) for _ in roots],
+            injectors=[
+                PoisonInjector(0.2, mode="quantile", seed=_child(r, 3))
+                for r in roots
+            ],
+            trimmer=ValueTrimmer(),
+            reference=data_1d,
+            rounds=4,
+        ).run()
+        solo = CollectionGame(
+            source=ArrayStream(data_1d, batch_size=80, seed=_child(roots[1], 0)),
+            collector=OstrichCollector(),
+            adversary=FixedAdversary(0.99),
+            injector=PoisonInjector(0.2, mode="quantile", seed=_child(roots[1], 3)),
+            trimmer=ValueTrimmer(),
+            reference=data_1d,
+            rounds=4,
+        ).run()
+        assert solo.to_records() == batched.result(1).to_records()
+
+
+class TestObservationBatch:
+    def test_rep_slices_scalar_observation(self):
+        batch = RoundObservationBatch(
+            index=3,
+            trim_percentile=np.array([0.9, 0.95]),
+            injection_percentile=np.array([np.nan, 0.92]),
+            quality=np.array([0.1, 0.2]),
+            observed_poison_ratio=np.array([0.0, 0.05]),
+            betrayal=np.array([False, True]),
+        )
+        assert batch.n_reps == 2
+        first = batch.rep(0)
+        assert first.index == 3
+        assert first.injection_percentile is None
+        assert batch.rep(1).injection_percentile == 0.92
+        assert batch.rep(1).betrayal is True

@@ -280,3 +280,39 @@ class TestRadialTrimmer:
         assert trimmer.is_reference_anchored
         trimmer.anchor = "batch"
         assert not trimmer.is_reference_anchored
+
+
+class TestBatchTrimReportParity:
+    def test_nan_percentile_matches_solo_clip(self):
+        """clip_percentile(nan) is 0.0 (Python min/max); trim_many must
+        agree instead of propagating NaN and silently keeping all."""
+        import numpy as np
+
+        from repro.core.trimming import ValueTrimmer
+
+        data = np.linspace(0.0, 1.0, 10)
+        trimmer = ValueTrimmer()
+        trimmer.fit_reference(data)
+        solo = trimmer.trim(data, float("nan"))
+        batch = trimmer.trim_many(
+            np.stack([data, data]), np.array([np.nan, 0.5])
+        )
+        assert batch.kept[0].tobytes() == solo.kept.tobytes()
+        assert float(batch.percentiles[0]) == solo.percentile == 0.0
+        assert batch.n_kept[0] == solo.n_kept == 1
+
+    def test_from_reports_stacks_solo_reports(self):
+        import numpy as np
+
+        from repro.core.trimming import BatchTrimReport, ValueTrimmer
+
+        data = np.linspace(0.0, 1.0, 12)
+        trimmer = ValueTrimmer()
+        trimmer.fit_reference(data)
+        reports = [trimmer.trim(data, q) for q in (0.5, 0.9, 1.0)]
+        stacked = BatchTrimReport.from_reports(reports)
+        assert stacked.n_reps == 3
+        for r, report in enumerate(reports):
+            assert stacked.kept[r].tobytes() == report.kept.tobytes()
+            assert float(stacked.threshold_scores[r]) == report.threshold_score
+            assert stacked.scores[r].tobytes() == report.scores.tobytes()

@@ -1,0 +1,239 @@
+"""Tests for the rep-batching layer of the sweep runtime.
+
+SweepRunner(rep_batch=...) must produce records byte-identical to the
+per-spec loop in every mode ("auto", capped widths, process pools), and
+the grouping/spec plumbing must only ever collapse true rep groups.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.strategies import (
+    ElasticAdversary,
+    ElasticCollector,
+    FixedAdversary,
+    MixedAdversary,
+    TitForTatCollector,
+)
+from repro.runtime import (
+    ComponentSpec,
+    StrategyPair,
+    SweepGrid,
+    SweepRunner,
+    play_rep_batch,
+    rep_group_key,
+)
+from repro.runtime.runner import _group_reps
+
+
+def _grid(repetitions=4, **overrides):
+    pairs = (
+        StrategyPair(
+            "tft-vs-extreme",
+            ComponentSpec(TitForTatCollector, {"t_th": 0.9, "trigger": None}),
+            ComponentSpec(FixedAdversary, {"percentile": 0.99}),
+        ),
+        StrategyPair(
+            "elastic-vs-mixed",
+            ComponentSpec(ElasticCollector, {"t_th": 0.9, "k": 0.5}),
+            ComponentSpec(MixedAdversary, {"p": 0.5}, seeded=True),
+        ),
+    )
+    params = dict(
+        pairs=pairs,
+        attack_ratios=(0.1, 0.3),
+        repetitions=repetitions,
+        rounds=5,
+        batch_size=60,
+        store_retained=False,
+        seed=0,
+    )
+    params.update(overrides)
+    return SweepGrid(**params)
+
+
+class TestRepBatchRunner:
+    def test_auto_matches_solo_loop(self):
+        grid = _grid()
+        solo = SweepRunner().run_grid(grid)
+        batched = SweepRunner(rep_batch="auto").run_grid(grid)
+        assert solo == batched
+
+    def test_capped_width_matches(self):
+        grid = _grid(repetitions=5)
+        solo = SweepRunner().run_grid(grid)
+        assert SweepRunner(rep_batch=2).run_grid(grid) == solo
+        assert SweepRunner(rep_batch=3).run_grid(grid) == solo
+
+    def test_composes_with_process_pool(self):
+        grid = _grid()
+        solo = SweepRunner().run_grid(grid)
+        combined = SweepRunner(workers=2, rep_batch="auto").run_grid(grid)
+        assert solo == combined
+
+    def test_off_values_disable(self):
+        assert SweepRunner(rep_batch=None).rep_batch is None
+        assert SweepRunner(rep_batch=1).rep_batch is None
+        assert SweepRunner(rep_batch="off").rep_batch is None
+
+    def test_invalid_rep_batch_rejected(self):
+        with pytest.raises(ValueError, match="rep_batch"):
+            SweepRunner(rep_batch="sometimes")
+        with pytest.raises(ValueError, match="rep_batch"):
+            SweepRunner(rep_batch=0)
+
+    def test_custom_reducer_applied_per_rep(self):
+        def reduce(spec, result):
+            return (spec.tags["rep"], result.rounds)
+
+        grid = _grid()
+        solo = SweepRunner(reduce=reduce).run_grid(grid)
+        batched = SweepRunner(reduce=reduce, rep_batch="auto").run_grid(grid)
+        assert solo == batched
+
+    def test_full_boards_round_trip(self):
+        grid = _grid(store_retained=True)
+
+        def reduce(spec, result):
+            return (
+                spec.tags["rep"],
+                result.retained_data().tobytes(),
+            )
+
+        solo = SweepRunner(reduce=reduce).run_grid(grid)
+        batched = SweepRunner(reduce=reduce, rep_batch="auto").run_grid(grid)
+        assert solo == batched
+
+
+class TestGrouping:
+    def test_groups_recover_rep_axis(self):
+        specs = _grid(repetitions=3).expand()
+        groups = _group_reps(specs, None)
+        assert [len(g) for g in groups] == [3] * (len(specs) // 3)
+        flattened = [spec for group in groups for spec in group]
+        assert flattened == specs
+
+    def test_width_cap_splits_groups(self):
+        specs = _grid(repetitions=5).expand()
+        groups = _group_reps(specs, 2)
+        assert all(len(group) <= 2 for group in groups)
+        assert [spec for group in groups for spec in group] == specs
+
+    def test_key_excludes_seed_and_tags(self):
+        specs = _grid(repetitions=2).expand()
+        assert rep_group_key(specs[0]) == rep_group_key(specs[1])
+        assert specs[0].seed is not specs[1].seed
+
+    def test_key_separates_cells(self):
+        specs = _grid(repetitions=2).expand()
+        # Specs 1 and 2 straddle a cell boundary (rep axis is innermost).
+        assert rep_group_key(specs[1]) != rep_group_key(specs[2])
+
+
+class TestPlayRepBatch:
+    def test_matches_individual_play(self):
+        specs = _grid(repetitions=3).expand()[:3]
+        batched = play_rep_batch(specs)
+        for spec, result in zip(specs, batched):
+            assert spec.play().to_records() == result.to_records()
+
+    def test_single_spec_short_circuits(self):
+        spec = _grid(repetitions=1).expand()[0]
+        (result,) = play_rep_batch([spec])
+        assert result.to_records() == spec.play().to_records()
+
+    def test_rejects_mixed_cells(self):
+        specs = _grid(repetitions=2).expand()
+        with pytest.raises(ValueError, match="agree"):
+            play_rep_batch([specs[0], specs[-1]])
+
+    def test_tournament_config_rep_batch_identical(self):
+        from repro.experiments import TournamentConfig, run_tournament
+
+        base = TournamentConfig(repetitions=2, rounds=4)
+        solo = run_tournament(dataclasses.replace(base, rep_batch=None))
+        auto = run_tournament(base)
+        assert (
+            solo.adversary_payoffs.tobytes() == auto.adversary_payoffs.tobytes()
+        )
+        assert (
+            solo.collector_payoffs.tobytes() == auto.collector_payoffs.tobytes()
+        )
+
+
+class TestReviewRegressions:
+    def test_ndarray_component_kwargs_degrade_to_singletons(self):
+        """Equal-but-distinct ComponentSpecs with ndarray kwargs must not
+        crash grouping — they conservatively form singleton groups."""
+        import numpy as np
+
+        class _CenterAdversary(FixedAdversary):
+            def __init__(self, centers=None, percentile=0.99):
+                super().__init__(percentile)
+                self.centers = centers
+
+        base = _grid(repetitions=1).expand()[0]
+        specs = [
+            dataclasses.replace(
+                base,
+                adversary=ComponentSpec(
+                    _CenterAdversary,
+                    {"centers": np.array([[0.0, 1.0], [2.0, 3.0]])},
+                ),
+            )
+            for _ in range(3)
+        ]
+        groups = _group_reps(specs, None)
+        assert [len(g) for g in groups] == [1, 1, 1]
+        with pytest.raises(ValueError, match="agree"):
+            play_rep_batch(specs)
+
+    def test_boolean_rep_batch_rejected(self):
+        with pytest.raises(ValueError, match="auto"):
+            SweepRunner(rep_batch=True)
+        with pytest.raises(ValueError, match="auto"):
+            SweepRunner(rep_batch=False)
+
+    def test_mixed_trigger_counters_restored(self):
+        """Post-game trigger state must match solo play (finalize)."""
+        from repro.core.strategies import MixedStrategyTrigger
+        from repro.runtime.spec import build_batched_game
+
+        pairs = (
+            StrategyPair(
+                "tft-mixed",
+                ComponentSpec(
+                    TitForTatCollector,
+                    {
+                        "t_th": 0.9,
+                        "trigger": ComponentSpec(
+                            MixedStrategyTrigger,
+                            {"equilibrium_probability": 0.5, "warmup": 3},
+                        ),
+                    },
+                ),
+                ComponentSpec(MixedAdversary, {"p": 0.5}, seeded=True),
+            ),
+        )
+        grid = SweepGrid(
+            pairs=pairs, repetitions=3, rounds=15, batch_size=60,
+            store_retained=False, seed=0,
+        )
+        specs = grid.expand()
+        game = build_batched_game(specs)
+        game.run()
+        for spec, collector in zip(specs, game.collectors):
+            solo_game = spec.build()
+            solo_game.run()
+            solo_collector = solo_game.collector
+            assert collector.trigger._rounds == solo_collector.trigger._rounds
+            assert (
+                collector.trigger._betrayals
+                == solo_collector.trigger._betrayals
+            )
+            assert (
+                collector.trigger.betrayal_ratio
+                == solo_collector.trigger.betrayal_ratio
+            )
+            assert collector.triggered == solo_collector.triggered

@@ -135,3 +135,124 @@ class TestLeanBoard:
         board = PublicBoard(entries=entries)
         assert board.poison_retained_fraction() == pytest.approx(2 / 8)
         assert board.trimmed_fraction() == pytest.approx(1 - 8 / 10)
+
+
+class TestBoardColumns:
+    def _two_round_board(self):
+        board = PublicBoard()
+        board.record(_entry(1, np.zeros((8, 1)), 10, 4, 2))
+        board.record(_entry(2, np.zeros((12, 1)), 14, 4, 4))
+        return board
+
+    def test_columns_mirror_entries(self):
+        board = self._two_round_board()
+        cols = board.columns
+        assert cols.rounds == 2
+        np.testing.assert_array_equal(cols.index, [1, 2])
+        np.testing.assert_array_equal(cols.n_collected, [10, 14])
+        np.testing.assert_array_equal(cols.n_poison_retained, [2, 4])
+        np.testing.assert_array_equal(cols.n_retained, [8, 12])
+
+    def test_columns_cache_invalidated_on_record(self):
+        board = self._two_round_board()
+        assert board.columns.rounds == 2
+        board.record(_entry(3, np.zeros((5, 1)), 9))
+        assert board.columns.rounds == 3
+
+    def test_columns_are_read_only(self):
+        cols = self._two_round_board().columns
+        with pytest.raises(ValueError):
+            cols.n_collected[0] = 99
+
+    def test_from_columns_round_trips(self):
+        source = self._two_round_board()
+        rebuilt = PublicBoard.from_columns(source.columns, store_retained=False)
+        assert len(rebuilt) == 2
+        assert rebuilt.poison_retained_fraction() == source.poison_retained_fraction()
+        assert rebuilt.trimmed_fraction() == source.trimmed_fraction()
+        # Entries materialize lazily and carry the same observations.
+        assert [o.index for o in rebuilt.observations] == [1, 2]
+        assert rebuilt.last.n_collected == 14
+
+    def test_from_columns_supports_record_append(self):
+        board = PublicBoard.from_columns(
+            self._two_round_board().columns, store_retained=False
+        )
+        board.record(_entry(3, np.zeros((5, 1)), 9))
+        assert len(board) == 3
+        assert board.columns.rounds == 3
+
+    def test_from_columns_retained_payload(self):
+        source = self._two_round_board()
+        retained = [e.retained for e in source.entries]
+        rebuilt = PublicBoard.from_columns(source.columns, retained=retained)
+        assert rebuilt.retained_data().shape == source.retained_data().shape
+
+
+class TestStackedBoard:
+    def _record(self, board, n_reps, round_values):
+        board.record_round(
+            trim_percentile=np.full(n_reps, 0.9),
+            injection_percentile=np.full(n_reps, np.nan),
+            quality=np.zeros(n_reps),
+            observed_poison_ratio=np.zeros(n_reps),
+            betrayal=np.zeros(n_reps, dtype=bool),
+            n_collected=np.full(n_reps, 10),
+            n_poison_injected=np.zeros(n_reps, dtype=int),
+            n_poison_retained=np.asarray(round_values["poison"]),
+            n_retained=np.asarray(round_values["kept"]),
+            retained=(
+                [np.zeros((k, 1)) for k in round_values["kept"]]
+                if board.store_retained
+                else None
+            ),
+        )
+
+    def test_rep_board_slices_columns(self):
+        from repro.streams.board import StackedBoard
+
+        board = StackedBoard(2, store_retained=True)
+        self._record(board, 2, {"poison": [1, 2], "kept": [8, 9]})
+        self._record(board, 2, {"poison": [0, 1], "kept": [7, 6]})
+        rep0 = board.rep_board(0)
+        rep1 = board.rep_board(1)
+        np.testing.assert_array_equal(rep0.columns.n_retained, [8, 7])
+        np.testing.assert_array_equal(rep1.columns.n_retained, [9, 6])
+        assert rep0.retained_data().shape == (15, 1)
+        assert rep0.poison_retained_fraction() == pytest.approx(1 / 15)
+
+    def test_aggregates_per_rep(self):
+        from repro.streams.board import StackedBoard
+
+        board = StackedBoard(2, store_retained=False)
+        self._record(board, 2, {"poison": [1, 2], "kept": [8, 10]})
+        np.testing.assert_allclose(
+            board.poison_retained_fractions(), [1 / 8, 2 / 10]
+        )
+        np.testing.assert_allclose(
+            board.trimmed_fractions(), [1 - 8 / 10, 0.0]
+        )
+
+    def test_shape_validation(self):
+        from repro.streams.board import StackedBoard
+
+        board = StackedBoard(3, store_retained=False)
+        with pytest.raises(ValueError, match="shaped"):
+            self._record(board, 2, {"poison": [1, 2], "kept": [8, 9]})
+
+    def test_full_board_requires_retained(self):
+        from repro.streams.board import StackedBoard
+
+        board = StackedBoard(2, store_retained=True)
+        with pytest.raises(ValueError, match="retained"):
+            board.record_round(
+                trim_percentile=np.full(2, 0.9),
+                injection_percentile=np.full(2, np.nan),
+                quality=np.zeros(2),
+                observed_poison_ratio=np.zeros(2),
+                betrayal=np.zeros(2, dtype=bool),
+                n_collected=np.full(2, 10),
+                n_poison_injected=np.zeros(2, dtype=int),
+                n_poison_retained=np.zeros(2, dtype=int),
+                n_retained=np.full(2, 8),
+            )

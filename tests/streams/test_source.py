@@ -87,3 +87,69 @@ class TestGeneratorStream:
     def test_invalid_batch_size_rejected(self):
         with pytest.raises(ValueError):
             GeneratorStream(lambda rng, n: np.zeros(n), batch_size=0)
+
+
+class TestBatchMutationSafety:
+    def test_mutating_returned_batch_does_not_corrupt_dataset(self):
+        data = np.arange(30.0)
+        backup = data.copy()
+        stream = ArrayStream(data, batch_size=10, seed=0)
+        batch = stream.next_batch()
+        batch[:] = -99.0
+        np.testing.assert_array_equal(stream._data, backup)
+        stream.reset()
+        seen = np.concatenate([stream.next_batch() for _ in range(3)])
+        assert sorted(seen.tolist()) == backup.tolist()
+
+    def test_mutating_2d_batch_does_not_corrupt_dataset(self, rng):
+        data = rng.normal(size=(40, 3))
+        backup = data.copy()
+        stream = ArrayStream(data, batch_size=8, seed=1)
+        stream.next_batch()[:] = np.inf
+        np.testing.assert_array_equal(stream._data, backup)
+
+
+class TestRepLanes:
+    def test_lanes_match_standalone_streams(self, rng):
+        data = rng.normal(size=(60, 2))
+        seeds = [11, 12, 13]
+        lanes = ArrayStream(data, batch_size=25, seed=seeds)
+        solos = [ArrayStream(data, batch_size=25, seed=s) for s in seeds]
+        assert lanes.lanes == 3
+        for _ in range(7):  # crosses epoch boundaries
+            stack = lanes.next_batches()
+            expected = np.stack([s.next_batch() for s in solos])
+            assert stack.tobytes() == expected.tobytes()
+
+    def test_lane_mode_rejects_next_batch(self):
+        lanes = ArrayStream(np.arange(20.0), batch_size=5, seed=[0, 1])
+        with pytest.raises(RuntimeError, match="rep-lane"):
+            lanes.next_batch()
+
+    def test_single_mode_rejects_next_batches(self):
+        stream = ArrayStream(np.arange(20.0), batch_size=5, seed=0)
+        with pytest.raises(NotImplementedError, match="rep-lane"):
+            stream.next_batches()
+
+    def test_lanes_reset(self):
+        lanes = ArrayStream(np.arange(50.0), batch_size=10, seed=[3, 4])
+        first = lanes.next_batches()
+        lanes.reset()
+        np.testing.assert_array_equal(first, lanes.next_batches())
+
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one seed"):
+            ArrayStream(np.arange(10.0), batch_size=2, seed=[])
+
+    def test_generator_stream_lanes(self):
+        def factory(rng_, size):
+            return rng_.normal(size=size)
+
+        lanes = GeneratorStream(factory, batch_size=12, seed=[7, 8])
+        solos = [GeneratorStream(factory, batch_size=12, seed=s) for s in (7, 8)]
+        for _ in range(3):
+            stack = lanes.next_batches()
+            expected = np.stack([s.next_batch() for s in solos])
+            assert stack.tobytes() == expected.tobytes()
+        with pytest.raises(RuntimeError, match="rep-lane"):
+            lanes.next_batch()
