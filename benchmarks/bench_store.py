@@ -1,0 +1,124 @@
+"""Result-store benchmark: cold run vs warm-cache replay.
+
+Plays a representative scenario slice — the Table III non-equilibrium
+sweep (game cells through the default reducer) plus the Table IV cost
+cells (task cells) — through :func:`repro.scenarios.run_scenario`
+against a fresh :class:`~repro.runtime.store.ResultStore`, then replays
+it warm.  Gates (blocking):
+
+* the warm run executes **zero** cells (``SweepStats.played == 0``) —
+  every record loads from disk;
+* the warm run's rendered artifact is **byte-identical** to the cold
+  run's;
+* the warm replay is faster than the cold run (it does no game work;
+  measured ~30-100x on the dev container, gated at 2x for CI headroom).
+
+The cold/warm wall-clock trajectory persists to
+``benchmarks/results/BENCH_store.json`` next to the sweep/engine/batched
+benchmarks.  Run standalone with ``python benchmarks/bench_store.py``.
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from repro.runtime import ResultStore
+from repro.scenarios import get_scenario, run_scenario
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+BENCH_PATH = os.path.join(RESULTS_DIR, "BENCH_store.json")
+
+#: Scenarios benched: one game sweep, one task sweep.
+SCENARIOS = (
+    ("table3", {"repetitions": "3", "p_values": "0.0,0.25,0.5,0.75,1.0"}),
+    ("table4", {}),
+)
+#: Warm replay must beat the cold run by at least this factor.  Measured
+#: ~30-100x on the dev container (the warm path is pure JSON loading);
+#: the low gate absorbs slow CI filesystems.
+MIN_WARM_SPEEDUP = 2.0
+
+
+def _timed_run(name: str, overrides: dict, store: ResultStore):
+    t0 = time.perf_counter()
+    run = run_scenario(
+        get_scenario(name), overrides=overrides, store=store
+    )
+    return time.perf_counter() - t0, run
+
+
+def run_store_benchmark() -> dict:
+    """Cold-vs-warm the benched scenarios; return the payload."""
+    points = []
+    root = tempfile.mkdtemp(prefix="bench-store-")
+    try:
+        for name, overrides in SCENARIOS:
+            store = ResultStore(os.path.join(root, name))
+            cold_s, cold = _timed_run(name, overrides, store)
+            warm_s, warm = _timed_run(name, overrides, store)
+            points.append(
+                {
+                    "scenario": name,
+                    "cells": cold.stats.total,
+                    "cold_seconds": cold_s,
+                    "warm_seconds": warm_s,
+                    "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+                    "cold_played": cold.stats.played,
+                    "warm_played": warm.stats.played,
+                    "byte_identical": warm.text == cold.text,
+                }
+            )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "benchmark": "result store cold run vs warm-cache replay",
+        "min_warm_speedup_gate": MIN_WARM_SPEEDUP,
+        "points": points,
+    }
+
+
+def _persist(payload: dict) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def test_store_cold_vs_warm(report):
+    payload = run_store_benchmark()
+    _persist(payload)
+    lines = ["Result store: cold run vs warm-cache replay"]
+    for point in payload["points"]:
+        lines.append(
+            f"{point['scenario']:>8} ({point['cells']} cells): "
+            f"{point['cold_seconds']:.3f}s -> {point['warm_seconds']:.3f}s "
+            f"({point['speedup']:.1f}x), warm played "
+            f"{point['warm_played']}, byte-identical: "
+            f"{point['byte_identical']}"
+        )
+    report("store", "\n".join(lines))
+
+    for point in payload["points"]:
+        # Correctness gates: zero executions, identical artifact.
+        assert point["cold_played"] == point["cells"]
+        assert point["warm_played"] == 0, (
+            f"warm run of {point['scenario']} executed "
+            f"{point['warm_played']} cells"
+        )
+        assert point["byte_identical"], (
+            f"warm render of {point['scenario']} diverged from cold"
+        )
+        # Performance gate: replay must clearly beat recompute.
+        assert point["speedup"] >= MIN_WARM_SPEEDUP, (
+            f"warm replay of {point['scenario']} only "
+            f"{point['speedup']:.2f}x faster (gate {MIN_WARM_SPEEDUP}x)"
+        )
+
+
+if __name__ == "__main__":
+    result = run_store_benchmark()
+    _persist(result)
+    print(json.dumps(result, indent=2))
+    print(f"written to {BENCH_PATH}")

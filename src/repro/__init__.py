@@ -82,12 +82,14 @@ from .runtime import (
     ComponentSpec,
     GameRecord,
     GameSpec,
+    ResultStore,
     StrategyPair,
     SweepGrid,
     SweepRunner,
+    TaskSpec,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -140,8 +142,10 @@ __all__ = [
     # sweep runtime
     "ComponentSpec",
     "GameSpec",
+    "TaskSpec",
     "GameRecord",
     "StrategyPair",
     "SweepGrid",
     "SweepRunner",
+    "ResultStore",
 ]

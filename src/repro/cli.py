@@ -1,228 +1,68 @@
-"""Command-line interface: regenerate any table or figure of the paper.
+"""Command-line interface: run any paper artifact as a registered scenario.
 
 Usage::
 
-    python -m repro list
-    python -m repro run table4
-    python -m repro run fig9 --scale full
-    python -m repro run all --scale quick
+    python -m repro scenario list
+    python -m repro scenario run table4
+    python -m repro scenario run fig9 --scale full --workers 4
+    python -m repro scenario run fig4 --param ratios=0.01,0.1 --param repetitions=3
+    python -m repro scenario report fig4
+    python -m repro run table4            # legacy alias (no result store)
     python -m repro sweep --schemes titfortat,elastic0.5 \
         --ratios 0.1,0.2,0.4 --reps 5 --workers 4
 
-``--scale quick`` (default) uses the scaled-down configurations of the
-benchmark harness; ``--scale full`` moves toward the paper's settings
-(more repetitions, full attack-ratio grids) at a correspondingly longer
-runtime.  ``sweep`` runs an ad-hoc scheme × attack-ratio × repetition
-grid on the :mod:`repro.runtime` sweep runner — ``--workers N`` fans the
-games out over N processes, and ``--rep-batch auto`` (the default) plays
-each cell's repetitions in one lockstep
-:class:`~repro.core.engine.BatchedCollectionGame`; results are identical
-in every mode.
+Every artifact lives in the scenario registry
+(:mod:`repro.scenarios`): a declarative descriptor with typed
+parameters (``--scale quick`` is benchmark-sized, ``--scale full``
+approaches the paper's settings; individual knobs override via
+``--param name=value``) whose cells execute on the :mod:`repro.runtime`
+sweep runner.  ``scenario run`` persists every cell record to the
+content-addressed result store (``--cache-dir``, default
+``.repro-cache`` or ``$REPRO_CACHE_DIR``) *as it completes*: re-running
+a finished scenario replays entirely from disk (zero games), an
+interrupted run resumes where it stopped (``--resume`` is the default
+behaviour; ``--no-cache`` opts out of the store entirely), and
+``scenario report`` re-renders the last stored run without executing
+anything.  The legacy ``repro run <artifact>`` spelling is a thin alias
+that executes the same scenarios without a store — byte-identical
+output to the pre-registry CLI.
+
+``sweep`` runs an ad-hoc scheme × attack-ratio × repetition grid on the
+sweep runner — ``--workers N`` fans the games out over N processes, and
+``--rep-batch auto`` (the default) plays each cell's repetitions in one
+lockstep :class:`~repro.core.engine.BatchedCollectionGame`; results are
+identical in every mode.
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import Callable, Dict, List, Optional
+import os
+import sys
+from typing import Dict, List, Optional
 
-from .core.game import UltimatumPayoffs, build_ultimatum_game
-from .datasets import DATASETS, dataset_info
-from .experiments import (
-    CostConfig,
-    TournamentConfig,
-    EquilibriumConfig,
-    LDPConfig,
-    NonEquilibriumConfig,
-    SOMConfig,
-    SVMConfig,
-    format_table,
-    run_cost_analysis,
-    run_kmeans_experiment,
-    run_ldp_experiment,
-    run_nonequilibrium,
-    run_som_experiment,
-    run_svm_experiment,
-    run_tournament,
+from .experiments import format_table
+from .scenarios import (
+    ScenarioError,
+    get_scenario,
+    iter_scenarios,
+    report_scenario,
+    run_scenario,
+    scenario_names,
 )
 
 __all__ = ["ARTIFACTS", "main"]
 
 
-def _table1(scale: str) -> str:
-    game = build_ultimatum_game(UltimatumPayoffs())
-    equilibria = game.pure_nash_equilibria()
-    rows = []
-    for i, row_label in enumerate(game.row_labels):
-        for j, col_label in enumerate(game.col_labels):
-            rows.append(
-                (
-                    row_label,
-                    col_label,
-                    game.row_payoffs[i, j],
-                    game.col_payoffs[i, j],
-                    "yes" if (i, j) in equilibria else "",
-                )
-            )
-    return format_table(
-        ["adversary", "collector", "adv payoff", "col payoff", "Nash"],
-        rows,
-        title="Table I: ultimatum game",
-    )
+def _default_cache_dir() -> str:
+    """Store root: ``$REPRO_CACHE_DIR`` or ``.repro-cache`` in the cwd."""
+    return os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
 
 
-def _table2(scale: str) -> str:
-    verified = dataset_info(generate=(scale == "full"))
-    rows = [
-        (info.name, DATASETS[key].instances, info.features, info.clusters)
-        for key, info in verified.items()
-    ]
-    return format_table(
-        ["Dataset", "Instances", "Features", "Clusters"],
-        rows,
-        title="Table II: dataset information",
-    )
-
-
-def _kmeans(t_th: float, scale: str) -> str:
-    if scale == "full":
-        ratios = (0.002, 0.006, 0.01, 0.05, 0.1, 0.15, 0.2, 0.35, 0.5)
-        reps, rounds = 5, 20
-    else:
-        ratios = (0.002, 0.01, 0.1, 0.35)
-        reps, rounds = 1, 10
-    cells = run_kmeans_experiment(
-        EquilibriumConfig(
-            dataset="control", t_th=t_th, attack_ratios=ratios,
-            repetitions=reps, rounds=rounds,
-        )
-    )
-    return format_table(
-        ["scheme", "attack ratio", "SSE", "Distance"],
-        [(c.scheme, c.attack_ratio, c.sse, c.distance) for c in cells],
-        title=f"k-means (control, T_th={t_th})",
-    )
-
-
-def _fig4(scale: str) -> str:
-    return _kmeans(0.9, scale)
-
-
-def _fig5(scale: str) -> str:
-    return _kmeans(0.97, scale)
-
-
-def _fig7(scale: str) -> str:
-    config = SVMConfig() if scale == "full" else SVMConfig(svm_iterations=10_000)
-    results = run_svm_experiment(config)
-    return format_table(
-        ["scheme", "accuracy %"],
-        [(r.scheme, 100 * r.accuracy) for r in results],
-        title="Fig. 7: SVM comparison (Control, T_th=0.95, ratio 0.4)",
-    )
-
-
-def _fig8(scale: str) -> str:
-    config = (
-        SOMConfig(bulk_size=3000, som_iterations=6000, grid=(20, 20))
-        if scale == "full"
-        else SOMConfig(bulk_size=1200, som_iterations=2500, rounds=6)
-    )
-    results = run_som_experiment(config)
-    return format_table(
-        ["scheme", "minority kept", "poison share", "clusters", "QE"],
-        [
-            (
-                r.scheme,
-                r.minority_retained,
-                r.poison_retained_fraction,
-                r.cluster_count,
-                r.quantization_error,
-            )
-            for r in results
-        ],
-        title="Fig. 8: SOM comparison (Creditcard)",
-    )
-
-
-def _table3(scale: str) -> str:
-    config = (
-        NonEquilibriumConfig(repetitions=25)
-        if scale == "full"
-        else NonEquilibriumConfig(
-            repetitions=4, p_values=(0.0, 0.25, 0.5, 0.75, 1.0)
-        )
-    )
-    rows = run_nonequilibrium(config)
-    return format_table(
-        ["p", "avg termination", "Titfortat", "Elastic"],
-        [
-            (
-                r.p,
-                r.average_termination_rounds,
-                r.titfortat_poison_fraction,
-                r.elastic_poison_fraction,
-            )
-            for r in rows
-        ],
-        title="Table III: non-equilibrium results",
-    )
-
-
-def _table4(scale: str) -> str:
-    rows = run_cost_analysis(CostConfig())
-    return format_table(
-        ["Round_no", "k=0.5 (%)", "k=0.1 (%)"],
-        [(r.round_no, 100 * r.cost_k_high, 100 * r.cost_k_low) for r in rows],
-        title="Table IV: roundwise Elastic cost",
-    )
-
-
-def _fig9(scale: str) -> str:
-    if scale == "full":
-        config = LDPConfig(
-            attack_ratios=(0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45),
-            repetitions=5,
-        )
-    else:
-        config = LDPConfig(
-            epsilons=(1.0, 2.0, 3.0, 5.0),
-            attack_ratios=(0.05, 0.2),
-            n_users=1000,
-            rounds=3,
-            repetitions=2,
-            reference_size=2000,
-        )
-    cells = run_ldp_experiment(config)
-    return format_table(
-        ["attack ratio", "epsilon", "scheme", "MSE"],
-        [(c.attack_ratio, c.epsilon, c.scheme, c.mse) for c in cells],
-        title="Fig. 9: LDP comparison",
-    )
-
-
-def _metagame(scale: str) -> str:
-    config = (
-        TournamentConfig(repetitions=4, rounds=20)
-        if scale == "full"
-        else TournamentConfig(repetitions=2, rounds=10)
-    )
-    result = run_tournament(config)
-    rows = []
-    for i, aname in enumerate(result.adversary_names):
-        for j, cname in enumerate(result.collector_names):
-            rows.append(
-                (aname, cname, result.adversary_payoffs[i, j])
-            )
-    mixtures = ", ".join(
-        f"{n}={w:.2f}"
-        for n, w in zip(result.collector_names, result.collector_mixture)
-        if w > 1e-6
-    )
-    return format_table(
-        ["adversary", "collector", "adversary payoff"],
-        rows,
-        title=f"Meta-game tournament — minimax collector: {mixtures}",
-    )
+#: Artifact name -> description (back-compat view of the registry).
+ARTIFACTS: Dict[str, str] = {
+    scenario.name: scenario.description for scenario in iter_scenarios()
+}
 
 
 def _parse_csv(text: str) -> List[str]:
@@ -253,6 +93,16 @@ def _parse_rep_batch(text: str):
     if width < 1:
         raise argparse.ArgumentTypeError("rep-batch width must be >= 1")
     return width
+
+
+def _parse_param(text: str) -> tuple:
+    """``name=value`` of a ``--param`` override."""
+    name, sep, value = text.partition("=")
+    if not sep or not name.strip():
+        raise argparse.ArgumentTypeError(
+            f"expected name=value, got {text!r}"
+        )
+    return name.strip(), value
 
 
 def _sweep(args: argparse.Namespace) -> str:
@@ -322,19 +172,84 @@ def _sweep(args: argparse.Namespace) -> str:
     )
 
 
-#: Artifact name -> (description, runner).
-ARTIFACTS: Dict[str, tuple] = {
-    "table1": ("ultimatum game payoff matrix (Table I)", _table1),
-    "table2": ("dataset information (Table II)", _table2),
-    "table3": ("non-equilibrium results (Table III)", _table3),
-    "table4": ("Elastic roundwise cost (Table IV)", _table4),
-    "fig4": ("k-means comparison, T_th=0.9 (Fig. 4)", _fig4),
-    "fig5": ("k-means comparison, T_th=0.97 (Fig. 5)", _fig5),
-    "fig7": ("SVM comparison (Fig. 7, includes Fig. 6a ground truth)", _fig7),
-    "fig8": ("SOM comparison (Fig. 8, includes Fig. 6b ground truth)", _fig8),
-    "fig9": ("LDP trimming vs EMF (Fig. 9)", _fig9),
-    "metagame": ("empirical strategy tournament (beyond the paper)", _metagame),
-}
+# --------------------------------------------------------------------- #
+# scenario subcommands
+# --------------------------------------------------------------------- #
+def _scenario_list() -> str:
+    rows = []
+    for scenario in iter_scenarios():
+        knobs = ", ".join(
+            f"{p.name}={p.quick}" + (f"|{p.full}" if p.full is not None else "")
+            for p in scenario.params
+        )
+        rows.append((scenario.name, scenario.description, knobs))
+    return format_table(
+        ["scenario", "description", "params (quick|full)"], rows
+    )
+
+
+def _make_store(args: argparse.Namespace):
+    """The run's ResultStore, or ``None`` under ``--no-cache``."""
+    from .runtime import ResultStore
+
+    if getattr(args, "no_cache", False):
+        if getattr(args, "resume", False):
+            raise ScenarioError("--resume and --no-cache are contradictory")
+        return None
+    return ResultStore(args.cache_dir)
+
+
+def _scenario_run(args: argparse.Namespace) -> int:
+    overrides = dict(args.params or [])
+    if args.name == "all" and overrides:
+        # Params are per-scenario typed knobs; applied across "all" they
+        # would abort mid-stream at the first scenario lacking the name.
+        raise ScenarioError(
+            "--param cannot be combined with 'all'; run the scenario "
+            "that declares the parameter"
+        )
+    names = (
+        scenario_names() if args.name == "all" else [args.name]
+    )
+    store = _make_store(args)
+    for name in names:
+        run = run_scenario(
+            get_scenario(name),
+            scale=args.scale,
+            overrides=overrides,
+            workers=args.workers,
+            rep_batch=args.rep_batch,
+            store=store,
+        )
+        print(run.text)
+        print()
+        if store is not None:
+            print(f"[{name}] {run.stats.describe()}", file=sys.stderr)
+    return 0
+
+
+def _scenario_report(args: argparse.Namespace) -> int:
+    store = _make_store(args)
+    if store is None:
+        raise ScenarioError("scenario report needs the result store")
+    names = (
+        scenario_names() if args.name == "all" else [args.name]
+    )
+    for name in names:
+        run = report_scenario(get_scenario(name), store)
+        print(run.text)
+        print()
+    return 0
+
+
+def _legacy_run(args: argparse.Namespace) -> int:
+    """``repro run`` alias: scenarios without a store, quick/full scales."""
+    names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    for name in names:
+        run = run_scenario(get_scenario(name), scale=args.scale)
+        print(run.text)
+        print()
+    return 0
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -344,15 +259,90 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list available artifacts")
+    sub.add_parser("list", help="list available artifacts (scenario registry)")
 
-    run = sub.add_parser("run", help="run one artifact (or 'all')")
+    run = sub.add_parser(
+        "run", help="run one artifact (or 'all') without the result store"
+    )
     run.add_argument("artifact", choices=sorted(ARTIFACTS) + ["all"])
     run.add_argument(
         "--scale",
         choices=("quick", "full"),
         default="quick",
         help="quick = benchmark-sized, full = closer to the paper's settings",
+    )
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="declarative scenario registry: list, run (cached), report",
+    )
+    scen_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    scen_sub.add_parser("list", help="list registered scenarios and params")
+
+    scen_run = scen_sub.add_parser(
+        "run", help="run a scenario (or 'all') on the result store"
+    )
+    scen_run.add_argument("name", help="scenario name or 'all'")
+    scen_run.add_argument(
+        "--scale",
+        choices=("quick", "full"),
+        default="quick",
+        help="parameter defaults: quick = benchmark-sized, full = paper-sized",
+    )
+    scen_run.add_argument(
+        "--param",
+        "-p",
+        dest="params",
+        type=_parse_param,
+        action="append",
+        metavar="NAME=VALUE",
+        help="override one typed scenario parameter (repeatable)",
+    )
+    scen_run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial; results identical either way)",
+    )
+    scen_run.add_argument(
+        "--rep-batch",
+        type=_parse_rep_batch,
+        default=None,
+        help=(
+            "repetition lockstep width: omit to use the scenario's "
+            "default, 'off' plays reps one by one, 'auto'/int >= 2 "
+            "batches them; results identical in every mode"
+        ),
+    )
+    scen_run.add_argument(
+        "--cache-dir",
+        default=_default_cache_dir(),
+        help="result-store root (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    scen_run.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume from stored records (the default when the store is "
+            "enabled; stated explicitly it documents intent in scripts)"
+        ),
+    )
+    scen_run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run without the result store (no persistence, no resume)",
+    )
+
+    scen_report = scen_sub.add_parser(
+        "report",
+        help="re-render a stored scenario run without executing any cell",
+    )
+    scen_report.add_argument("name", help="scenario name or 'all'")
+    scen_report.add_argument(
+        "--cache-dir",
+        default=_default_cache_dir(),
+        help="result-store root (default: $REPRO_CACHE_DIR or .repro-cache)",
     )
 
     sweep = sub.add_parser(
@@ -406,7 +396,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.command == "list":
-        rows = [(name, desc) for name, (desc, _) in sorted(ARTIFACTS.items())]
+        rows = [(name, desc) for name, desc in sorted(ARTIFACTS.items())]
         print(format_table(["artifact", "description"], rows))
         return 0
 
@@ -418,9 +408,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         return 0
 
-    names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
-    for name in names:
-        _, runner = ARTIFACTS[name]
-        print(runner(args.scale))
-        print()
-    return 0
+    if args.command == "scenario":
+        try:
+            if args.scenario_command == "list":
+                print(_scenario_list())
+                return 0
+            if args.scenario_command == "run":
+                return _scenario_run(args)
+            return _scenario_report(args)
+        except ScenarioError as exc:
+            print(f"repro scenario: error: {exc}")
+            return 2
+        except (ValueError, KeyError) as exc:
+            print(f"repro scenario: error: {exc}")
+            return 2
+
+    try:
+        return _legacy_run(args)
+    except ScenarioError as exc:
+        print(f"repro run: error: {exc}")
+        return 2

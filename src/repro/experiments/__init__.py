@@ -9,17 +9,45 @@ from .classifiers import (
     run_som_experiment,
     run_svm_experiment,
 )
-from .cost import CostConfig, CostRow, elastic_trajectory, run_cost_analysis
-from .equilibrium import EquilibriumCell, EquilibriumConfig, run_kmeans_experiment
-from .ldp_experiment import LDPCell, LDPConfig, run_ldp_experiment
+from .cost import (
+    CostConfig,
+    CostRow,
+    aggregate_cost,
+    cost_specs,
+    elastic_trajectory,
+    run_cost_analysis,
+)
+from .equilibrium import (
+    EquilibriumCell,
+    EquilibriumConfig,
+    aggregate_kmeans,
+    kmeans_plan,
+    run_kmeans_experiment,
+)
+from .ldp_experiment import (
+    LDP_SCHEMES,
+    LDPCell,
+    LDPConfig,
+    aggregate_ldp,
+    ldp_specs,
+    run_ldp_experiment,
+)
 from .nonequilibrium import (
     NonEquilibriumConfig,
     NonEquilibriumRow,
+    aggregate_nonequilibrium,
+    nonequilibrium_plan,
     run_nonequilibrium,
 )
 from .reporting import format_table, format_value
 from .schemes import SCHEMES, make_scheme, scheme_specs
-from .tournament import TournamentConfig, TournamentResult, run_tournament
+from .tournament import (
+    TournamentConfig,
+    TournamentResult,
+    aggregate_tournament,
+    run_tournament,
+    tournament_plan,
+)
 
 __all__ = [
     "SCHEMES",
@@ -29,6 +57,8 @@ __all__ = [
     "format_value",
     "EquilibriumConfig",
     "EquilibriumCell",
+    "kmeans_plan",
+    "aggregate_kmeans",
     "run_kmeans_experiment",
     "SVMConfig",
     "SVMResult",
@@ -39,15 +69,24 @@ __all__ = [
     "LabelAwareRadialTrimmer",
     "NonEquilibriumConfig",
     "NonEquilibriumRow",
+    "nonequilibrium_plan",
+    "aggregate_nonequilibrium",
     "run_nonequilibrium",
     "CostConfig",
     "CostRow",
+    "cost_specs",
+    "aggregate_cost",
     "elastic_trajectory",
     "run_cost_analysis",
     "LDPConfig",
     "LDPCell",
+    "LDP_SCHEMES",
+    "ldp_specs",
+    "aggregate_ldp",
     "run_ldp_experiment",
     "TournamentConfig",
     "TournamentResult",
+    "tournament_plan",
+    "aggregate_tournament",
     "run_tournament",
 ]

@@ -14,6 +14,7 @@
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -41,6 +42,17 @@ __all__ = [
     "SOMResult",
     "run_som_experiment",
 ]
+
+
+def _scheme_seed(base: int, scheme: str) -> int:
+    """Deterministic per-scheme seed offset.
+
+    Replaces the interpreter-unstable ``hash(scheme) % 911`` (randomized
+    by ``PYTHONHASHSEED``, so two processes disagreed on fig7/fig8
+    outputs) with a CRC32 digest — stable across processes and
+    platforms, which the result store's replay guarantees require.
+    """
+    return base + zlib.crc32(scheme.encode("utf-8")) % 911
 
 
 class LabelMimicInjector(PoisonInjector):
@@ -159,7 +171,7 @@ def run_svm_experiment(config: SVMConfig) -> List[SVMResult]:
 
     for scheme in config.schemes:
         collector, adversary = make_scheme(
-            scheme, config.t_th, seed=config.seed + hash(scheme) % 911
+            scheme, config.t_th, seed=_scheme_seed(config.seed, scheme)
         )
         game = CollectionGame(
             source=ArrayStream(
@@ -262,7 +274,7 @@ def run_som_experiment(config: SOMConfig) -> List[SOMResult]:
 
     for scheme in config.schemes:
         collector, adversary = make_scheme(
-            scheme, config.t_th, seed=config.seed + hash(scheme) % 911
+            scheme, config.t_th, seed=_scheme_seed(config.seed, scheme)
         )
         game = CollectionGame(
             source=ArrayStream(

@@ -16,15 +16,23 @@ discussion).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..core.stackelberg import linear_response_fixed_point
 from ..core.strategies import ElasticAdversary, ElasticCollector
 from ..core.strategies.base import RoundObservation
+from ..runtime import ComponentSpec, SweepRunner, TaskSpec
 
-__all__ = ["CostConfig", "CostRow", "elastic_trajectory", "run_cost_analysis"]
+__all__ = [
+    "CostConfig",
+    "CostRow",
+    "aggregate_cost",
+    "cost_specs",
+    "elastic_trajectory",
+    "run_cost_analysis",
+]
 
 
 @dataclass(frozen=True)
@@ -96,19 +104,69 @@ def roundwise_cost(
     return float(np.mean(costs))
 
 
-def run_cost_analysis(config: CostConfig) -> List[CostRow]:
-    """Produce the Table IV rows."""
-    rows: List[CostRow] = []
+def cost_specs(config: CostConfig) -> List[TaskSpec]:
+    """The Table IV sweep as declarative cells: round_numbers × {k_high, k_low}.
+
+    Each cell is a :class:`~repro.runtime.spec.TaskSpec` wrapping
+    :func:`roundwise_cost` — deterministic (seedless), so the cell key
+    depends only on the ``(t_th, k, rounds, rule)`` recipe and the
+    result store can replay Table IV without recomputing a single
+    trajectory.
+    """
+    specs: List[TaskSpec] = []
     for n in config.round_numbers:
+        for which, k in (("k_high", config.k_high), ("k_low", config.k_low)):
+            specs.append(
+                TaskSpec(
+                    task=ComponentSpec(
+                        roundwise_cost,
+                        {
+                            "t_th": float(config.t_th),
+                            "k": float(k),
+                            "rounds": int(n),
+                            "rule": config.rule,
+                        },
+                    ),
+                    tags={"round_no": int(n), "which": which, "k": float(k)},
+                )
+            )
+    return specs
+
+
+def aggregate_cost(config: CostConfig, records: Sequence[float]) -> List[CostRow]:
+    """Fold grid-order cell records back into the Table IV rows.
+
+    ``records`` must be in the :func:`cost_specs` expansion order —
+    ``(k_high, k_low)`` pairs per round number — which is what
+    :class:`~repro.runtime.runner.SweepRunner` guarantees.
+    """
+    expected = 2 * len(config.round_numbers)
+    if len(records) != expected:
+        raise ValueError(f"expected {expected} records, got {len(records)}")
+    rows: List[CostRow] = []
+    for i, n in enumerate(config.round_numbers):
         rows.append(
             CostRow(
                 round_no=int(n),
-                cost_k_high=roundwise_cost(
-                    config.t_th, config.k_high, int(n), config.rule
-                ),
-                cost_k_low=roundwise_cost(
-                    config.t_th, config.k_low, int(n), config.rule
-                ),
+                cost_k_high=float(records[2 * i]),
+                cost_k_low=float(records[2 * i + 1]),
             )
         )
     return rows
+
+
+def run_cost_analysis(
+    config: CostConfig,
+    store: Optional[object] = None,
+    workers: int = 1,
+) -> List[CostRow]:
+    """Produce the Table IV rows (on the sweep runtime).
+
+    The hand-rolled per-row loop this replaces called
+    :func:`roundwise_cost` twice per round number; the cells now flow
+    through :class:`~repro.runtime.runner.SweepRunner` — numerically
+    identical, with optional process parallelism and result-store
+    caching.
+    """
+    runner = SweepRunner(workers=workers, store=store)
+    return aggregate_cost(config, runner.run(cost_specs(config)))

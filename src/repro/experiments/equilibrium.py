@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import partial
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,7 +35,13 @@ from ..runtime import (
 )
 from .schemes import SCHEMES, scheme_specs
 
-__all__ = ["EquilibriumConfig", "EquilibriumCell", "run_kmeans_experiment"]
+__all__ = [
+    "EquilibriumConfig",
+    "EquilibriumCell",
+    "aggregate_kmeans",
+    "kmeans_plan",
+    "run_kmeans_experiment",
+]
 
 
 @dataclass(frozen=True)
@@ -109,8 +115,14 @@ def _kmeans_reduce(
     }
 
 
-def run_kmeans_experiment(config: EquilibriumConfig) -> List[EquilibriumCell]:
-    """Run one full panel and return all (scheme, ratio) cells."""
+def kmeans_plan(config: EquilibriumConfig) -> Tuple[List, Callable]:
+    """The panel's declarative half: grid-order specs plus the reducer.
+
+    The ground-truth centroids are fitted here (once, on the clean
+    dataset) and bound into the picklable reducer partial; the scenario
+    layer and :func:`run_kmeans_experiment` both execute this plan
+    through a :class:`~repro.runtime.runner.SweepRunner`.
+    """
     data = load_reference(config.dataset, config.dataset_size)
     n_clusters = DATASETS[config.dataset].clusters
     reference_centroids = _ground_truth_centroids(data, n_clusters, config.seed)
@@ -130,19 +142,21 @@ def run_kmeans_experiment(config: EquilibriumConfig) -> List[EquilibriumCell]:
         quality=ComponentSpec(TailMassEvaluator),
         seed=config.seed,
     )
-    runner = SweepRunner(
-        workers=config.workers,
-        reduce=partial(
-            _kmeans_reduce,
-            n_clusters=n_clusters,
-            reference_centroids=reference_centroids,
-        ),
-        rep_batch=config.rep_batch,
+    reduce = partial(
+        _kmeans_reduce,
+        n_clusters=n_clusters,
+        reference_centroids=reference_centroids,
     )
-    records = runner.run_grid(grid)
+    return grid.expand(), reduce
 
-    # Average repetitions per (scheme, ratio) in grid order; emit cells
-    # in the scheme-major order the figures plot.
+
+def aggregate_kmeans(
+    config: EquilibriumConfig, records: Sequence[dict]
+) -> List[EquilibriumCell]:
+    """Average repetitions per (scheme, ratio) in grid order.
+
+    Cells are emitted in the scheme-major order the figures plot.
+    """
     grouped: dict = {}
     for record in records:
         grouped.setdefault(
@@ -161,3 +175,17 @@ def run_kmeans_experiment(config: EquilibriumConfig) -> List[EquilibriumCell]:
                 )
             )
     return cells
+
+
+def run_kmeans_experiment(
+    config: EquilibriumConfig, store: Optional[object] = None
+) -> List[EquilibriumCell]:
+    """Run one full panel and return all (scheme, ratio) cells."""
+    specs, reduce = kmeans_plan(config)
+    runner = SweepRunner(
+        workers=config.workers,
+        reduce=reduce,
+        rep_batch=config.rep_batch,
+        store=store,
+    )
+    return aggregate_kmeans(config, runner.run(specs))

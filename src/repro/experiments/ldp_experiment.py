@@ -25,7 +25,7 @@ mean, averaged over repetitions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -38,8 +38,19 @@ from ..ldp.emf import ExpectationMaximizationFilter
 from ..ldp.estimators import TrimmedMeanEstimator
 from ..ldp.mechanisms import PiecewiseMechanism
 from ..ldp.square_wave import SquareWaveMechanism
+from ..runtime import ComponentSpec, SweepRunner, TaskSpec
 
-__all__ = ["LDPConfig", "LDPCell", "run_ldp_experiment"]
+__all__ = [
+    "LDPConfig",
+    "LDPCell",
+    "LDP_SCHEMES",
+    "aggregate_ldp",
+    "ldp_specs",
+    "run_ldp_experiment",
+]
+
+#: Scheme order of the Fig. 9 comparison (the paper's plotting order).
+LDP_SCHEMES = ("titfortat", "elastic0.1", "elastic0.5", "emf")
 
 
 @dataclass(frozen=True)
@@ -71,39 +82,50 @@ def _trimming_scheme_mse(
     scheme: str,
     epsilon: float,
     attack_ratio: float,
-    config: LDPConfig,
     rep_seed: int,
+    n_users: int = 2000,
+    rounds: int = 5,
+    t_th: float = 0.95,
+    redundancy: float = 0.05,
+    reference_size: int = 4000,
 ) -> float:
-    """One repetition of a trimming defense; returns squared error."""
+    """One repetition of a trimming defense; returns squared error.
+
+    Takes only the scalars it consumes (not the whole
+    :class:`LDPConfig`), so a cell's store key — built from these
+    kwargs — is untouched by changes to unrelated config fields such as
+    the grid axes or the repetition count: growing a sweep reuses every
+    already-stored cell.
+    """
     rng = np.random.default_rng(rep_seed)
     mechanism = PiecewiseMechanism(epsilon, seed=rep_seed + 1)
 
     # Public calibration: clean reference pushed through the mechanism.
-    reference_inputs = generate_taxi(config.reference_size, seed=rep_seed + 2)
+    reference_inputs = generate_taxi(reference_size, seed=rep_seed + 2)
     reference_reports = mechanism.perturb(reference_inputs)
     estimator = TrimmedMeanEstimator(reference_reports)
-    evaluator = TailMassEvaluator(reference_quantile=config.t_th)
+    evaluator = TailMassEvaluator(reference_quantile=t_th)
     evaluator.fit(reference_reports)
 
     if scheme == "titfortat":
         collector = TitForTatCollector(
-            config.t_th,
-            trigger=QualityTrigger(reference_score=0.0, redundancy=config.redundancy),
+            t_th,
+            trigger=QualityTrigger(reference_score=0.0, redundancy=redundancy),
         )
     elif scheme.startswith("elastic"):
-        collector = ElasticCollector(config.t_th, float(scheme[len("elastic"):]))
+        collector = ElasticCollector(t_th, float(scheme[len("elastic"):]))
     else:
         raise ValueError(f"unknown trimming scheme {scheme!r}")
     collector.reset()
 
     attack = InputManipulationAttack(target=1.0)
-    n_attackers = int(round(attack_ratio * config.n_users))
+    n_attackers = int(round(attack_ratio * n_users))
 
     estimates = []
     true_means = []
     threshold = collector.first()
-    for round_index in range(1, config.rounds + 1):
-        honest_inputs = generate_taxi(config.n_users, seed=int(rng.integers(2**31)))
+    for round_index in range(1, rounds + 1):
+        honest_inputs = generate_taxi(n_users, seed=int(rng.integers(2**31)))
         true_means.append(float(np.mean(honest_inputs)))
         reports = np.concatenate(
             [
@@ -129,15 +151,23 @@ def _trimming_scheme_mse(
 
 
 def _emf_mse(
-    epsilon: float, attack_ratio: float, config: LDPConfig, rep_seed: int
+    epsilon: float,
+    attack_ratio: float,
+    rep_seed: int,
+    n_users: int = 2000,
+    rounds: int = 5,
 ) -> float:
-    """One repetition of the EMF baseline; returns squared error."""
+    """One repetition of the EMF baseline; returns squared error.
+
+    Scalar kwargs only, for the same store-key granularity reason as
+    :func:`_trimming_scheme_mse`.
+    """
     rng = np.random.default_rng(rep_seed)
     mechanism = SquareWaveMechanism(epsilon, seed=rep_seed + 1)
-    n_attackers = int(round(attack_ratio * config.n_users))
+    n_attackers = int(round(attack_ratio * n_users))
     emf = ExpectationMaximizationFilter(
         mechanism,
-        attack_fraction=n_attackers / (config.n_users + n_attackers),
+        attack_fraction=n_attackers / (n_users + n_attackers),
         n_input_bins=32,
         n_output_bins=64,
         n_iter=60,
@@ -145,8 +175,8 @@ def _emf_mse(
 
     estimates = []
     true_means = []
-    for _ in range(config.rounds):
-        honest_inputs = generate_taxi(config.n_users, seed=int(rng.integers(2**31)))
+    for _ in range(rounds):
+        honest_inputs = generate_taxi(n_users, seed=int(rng.integers(2**31)))
         true_means.append(float(np.mean(honest_inputs)))
         honest01 = (honest_inputs + 1.0) / 2.0
         attacker01 = np.ones(n_attackers)
@@ -159,38 +189,123 @@ def _emf_mse(
     return error * error
 
 
-def run_ldp_experiment(config: LDPConfig) -> List[LDPCell]:
-    """Run the Fig. 9 sweep and return all cells."""
-    schemes = ("titfortat", "elastic0.1", "elastic0.5", "emf")
-    cells: List[LDPCell] = []
+def _legacy_rep_seed(
+    config: LDPConfig, epsilon: float, ratio: float, rep: int
+) -> int:
+    """The original hand-rolled loop's per-repetition seed.
+
+    Deliberately preserved by the sweep-runtime port so the ported cells
+    draw byte-identical RNG streams to the pre-port implementation
+    (asserted in the regression tests); the cell's *identity* for
+    caching is the full :class:`~repro.runtime.spec.TaskSpec` recipe,
+    which embeds this seed.
+    """
+    return int(
+        config.seed + 100_000 * rep + int(epsilon * 1000) + int(ratio * 100)
+    )
+
+
+def ldp_specs(config: LDPConfig) -> List[TaskSpec]:
+    """The Fig. 9 sweep as declarative cells.
+
+    Grid order is ratio → ε → scheme → repetition; each cell wraps one
+    repetition of one defense (:func:`_trimming_scheme_mse` or
+    :func:`_emf_mse`) so the result store checkpoints at single-rep
+    granularity and worker processes can fan the grid out.
+    """
+    specs: List[TaskSpec] = []
     for ratio in config.attack_ratios:
         for epsilon in config.epsilons:
-            per_scheme: Dict[str, List[float]] = {s: [] for s in schemes}
-            for rep in range(config.repetitions):
-                rep_seed = (
-                    config.seed
-                    + 100_000 * rep
-                    + int(epsilon * 1000)
-                    + int(ratio * 100)
-                )
-                for scheme in schemes:
+            for scheme in LDP_SCHEMES:
+                for rep in range(config.repetitions):
+                    rep_seed = _legacy_rep_seed(config, epsilon, ratio, rep)
                     if scheme == "emf":
-                        per_scheme[scheme].append(
-                            _emf_mse(epsilon, ratio, config, rep_seed)
+                        task = ComponentSpec(
+                            _emf_mse,
+                            {
+                                "epsilon": float(epsilon),
+                                "attack_ratio": float(ratio),
+                                "rep_seed": rep_seed,
+                                "n_users": int(config.n_users),
+                                "rounds": int(config.rounds),
+                            },
                         )
                     else:
-                        per_scheme[scheme].append(
-                            _trimming_scheme_mse(
-                                scheme, epsilon, ratio, config, rep_seed
-                            )
+                        task = ComponentSpec(
+                            _trimming_scheme_mse,
+                            {
+                                "scheme": scheme,
+                                "epsilon": float(epsilon),
+                                "attack_ratio": float(ratio),
+                                "rep_seed": rep_seed,
+                                "n_users": int(config.n_users),
+                                "rounds": int(config.rounds),
+                                "t_th": float(config.t_th),
+                                "redundancy": float(config.redundancy),
+                                "reference_size": int(config.reference_size),
+                            },
                         )
-            for scheme in schemes:
+                    specs.append(
+                        TaskSpec(
+                            task=task,
+                            tags={
+                                "scheme": scheme,
+                                "epsilon": float(epsilon),
+                                "attack_ratio": float(ratio),
+                                "rep": rep,
+                            },
+                        )
+                    )
+    return specs
+
+
+def aggregate_ldp(config: LDPConfig, records: Sequence[float]) -> List[LDPCell]:
+    """Average grid-order squared errors into the Fig. 9 cells.
+
+    ``records`` must be in :func:`ldp_specs` expansion order; each
+    scheme's repetitions are consecutive, and their mean is taken in
+    repetition order — the same float sequence the pre-port loop
+    averaged, so the aggregate is byte-identical.
+    """
+    expected = (
+        len(config.attack_ratios)
+        * len(config.epsilons)
+        * len(LDP_SCHEMES)
+        * config.repetitions
+    )
+    if len(records) != expected:
+        raise ValueError(f"expected {expected} records, got {len(records)}")
+    cells: List[LDPCell] = []
+    cursor = 0
+    for ratio in config.attack_ratios:
+        for epsilon in config.epsilons:
+            for scheme in LDP_SCHEMES:
+                reps = records[cursor:cursor + config.repetitions]
+                cursor += config.repetitions
                 cells.append(
                     LDPCell(
                         scheme=scheme,
                         epsilon=float(epsilon),
                         attack_ratio=float(ratio),
-                        mse=float(np.mean(per_scheme[scheme])),
+                        mse=float(np.mean([float(r) for r in reps])),
                     )
                 )
     return cells
+
+
+def run_ldp_experiment(
+    config: LDPConfig,
+    store: Optional[object] = None,
+    workers: int = 1,
+) -> List[LDPCell]:
+    """Run the Fig. 9 sweep and return all cells (on the sweep runtime).
+
+    Replaces the hand-rolled ratio × ε × repetition × scheme loops with
+    :func:`ldp_specs` cells played through a
+    :class:`~repro.runtime.runner.SweepRunner` — byte-identical output
+    (the legacy per-rep seeds are preserved, see
+    :func:`_legacy_rep_seed`), plus process parallelism and result-store
+    resumability.
+    """
+    runner = SweepRunner(workers=workers, store=store)
+    return aggregate_ldp(config, runner.run(ldp_specs(config)))

@@ -22,7 +22,7 @@ and ``NonEquilibriumConfig.workers > 1`` parallelizes the sweep.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -36,7 +36,13 @@ from ..core.strategies import (
 )
 from ..runtime import ComponentSpec, StrategyPair, SweepGrid, SweepRunner
 
-__all__ = ["NonEquilibriumConfig", "NonEquilibriumRow", "run_nonequilibrium"]
+__all__ = [
+    "NonEquilibriumConfig",
+    "NonEquilibriumRow",
+    "aggregate_nonequilibrium",
+    "nonequilibrium_plan",
+    "run_nonequilibrium",
+]
 
 
 @dataclass(frozen=True)
@@ -116,8 +122,8 @@ def _pairs(config: NonEquilibriumConfig) -> tuple:
     return tuple(pairs)
 
 
-def run_nonequilibrium(config: NonEquilibriumConfig) -> List[NonEquilibriumRow]:
-    """Run the §VI-D sweep over the mixed-strategy parameter ``p``."""
+def nonequilibrium_plan(config: NonEquilibriumConfig) -> List:
+    """The §VI-D sweep as grid-order specs (default reducer applies)."""
     grid = SweepGrid(
         pairs=_pairs(config),
         datasets=(config.dataset,),
@@ -142,10 +148,13 @@ def run_nonequilibrium(config: NonEquilibriumConfig) -> List[NonEquilibriumRow]:
         ),
         seed=config.seed,
     )
-    records = SweepRunner(
-        workers=config.workers, rep_batch=config.rep_batch
-    ).run_grid(grid)
+    return grid.expand()
 
+
+def aggregate_nonequilibrium(
+    config: NonEquilibriumConfig, records: Sequence
+) -> List[NonEquilibriumRow]:
+    """Fold grid-order :class:`GameRecord` cells into the Table III rows."""
     cap = config.rounds + 5  # the paper's never-terminated bookkeeping value
     grouped: dict = {}
     for record in records:
@@ -172,3 +181,13 @@ def run_nonequilibrium(config: NonEquilibriumConfig) -> List[NonEquilibriumRow]:
             )
         )
     return rows
+
+
+def run_nonequilibrium(
+    config: NonEquilibriumConfig, store: Optional[object] = None
+) -> List[NonEquilibriumRow]:
+    """Run the §VI-D sweep over the mixed-strategy parameter ``p``."""
+    runner = SweepRunner(
+        workers=config.workers, rep_batch=config.rep_batch, store=store
+    )
+    return aggregate_nonequilibrium(config, runner.run(nonequilibrium_plan(config)))

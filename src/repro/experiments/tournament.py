@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import partial
-from typing import Dict, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -44,7 +44,13 @@ from ..core.strategies import (
 )
 from ..runtime import ComponentSpec, SweepGrid, SweepRunner, cross_pairs
 
-__all__ = ["TournamentConfig", "TournamentResult", "run_tournament"]
+__all__ = [
+    "TournamentConfig",
+    "TournamentResult",
+    "aggregate_tournament",
+    "run_tournament",
+    "tournament_plan",
+]
 
 
 def _default_collectors(t_th: float) -> Dict[str, ComponentSpec]:
@@ -149,12 +155,10 @@ def _payoff_reduce(spec, result, overhead_weight: float) -> dict:
     }
 
 
-def run_tournament(config: TournamentConfig) -> TournamentResult:
-    """Play the full strategy cross-product and solve the meta-game."""
+def tournament_plan(config: TournamentConfig) -> Tuple[List, Callable]:
+    """The meta-game's declarative half: grid-order specs plus reducer."""
     collectors = _default_collectors(config.t_th)
     adversaries = _default_adversaries(config.t_th)
-    collector_names = tuple(collectors)
-    adversary_names = tuple(adversaries)
 
     grid = SweepGrid(
         pairs=cross_pairs(collectors, adversaries),
@@ -169,12 +173,16 @@ def run_tournament(config: TournamentConfig) -> TournamentResult:
         store_retained=False,
         seed=config.seed,
     )
-    runner = SweepRunner(
-        workers=config.workers,
-        reduce=partial(_payoff_reduce, overhead_weight=config.overhead_weight),
-        rep_batch=config.rep_batch,
-    )
-    records = runner.run_grid(grid)
+    reduce = partial(_payoff_reduce, overhead_weight=config.overhead_weight)
+    return grid.expand(), reduce
+
+
+def aggregate_tournament(
+    config: TournamentConfig, records: Sequence[dict]
+) -> TournamentResult:
+    """Build and solve the empirical payoff matrices from cell records."""
+    collector_names = tuple(_default_collectors(config.t_th))
+    adversary_names = tuple(_default_adversaries(config.t_th))
 
     # Aggregate repetitions in grid order: the per-cell means are summed
     # in a fixed sequence, so the matrices are byte-identical for any
@@ -209,3 +217,17 @@ def run_tournament(config: TournamentConfig) -> TournamentResult:
         collector_mixture=col_mix,
         game_value=float(value),
     )
+
+
+def run_tournament(
+    config: TournamentConfig, store: Optional[object] = None
+) -> TournamentResult:
+    """Play the full strategy cross-product and solve the meta-game."""
+    specs, reduce = tournament_plan(config)
+    runner = SweepRunner(
+        workers=config.workers,
+        reduce=reduce,
+        rep_batch=config.rep_batch,
+        store=store,
+    )
+    return aggregate_tournament(config, runner.run(specs))

@@ -5,11 +5,16 @@ repeated collection games.  This subsystem factors the shared mechanics
 out of the individual experiment runners:
 
 * :mod:`repro.runtime.spec` — :class:`ComponentSpec` (picklable factory
-  recipes) and :class:`GameSpec` (one fully-described game cell with
-  deterministic ``SeedSequence`` seed derivation);
+  recipes), :class:`GameSpec` (one fully-described game cell with
+  deterministic ``SeedSequence`` seed derivation) and :class:`TaskSpec`
+  (the non-game compute cell riding the same machinery);
 * :mod:`repro.runtime.runner` — :class:`SweepGrid` (cross-product
   expansion with collision-free per-cell seeds) and :class:`SweepRunner`
-  (serial or process-parallel execution with in-worker reduction).
+  (serial or process-parallel execution with in-worker reduction);
+* :mod:`repro.runtime.store` — :class:`ResultStore`, the
+  content-addressed record cache that makes sweeps cacheable and
+  resumable (``SweepRunner(store=...)`` skips stored cells and
+  checkpoints fresh records as they complete).
 
 Quickstart::
 
@@ -38,6 +43,7 @@ from .runner import (
     StrategyPair,
     SweepGrid,
     SweepRunner,
+    SweepStats,
     cross_pairs,
     play_game,
     summarize_game,
@@ -51,20 +57,27 @@ from .spec import (
     JUDGE_CHANNEL,
     QUALITY_CHANNEL,
     SOURCE_CHANNEL,
+    TaskSpec,
     USER_CHANNEL,
     build_batched_game,
     load_reference,
     play_rep_batch,
     rep_group_key,
 )
+from .store import ResultStore, spec_fingerprint, spec_hash
 
 __all__ = [
     "ComponentSpec",
     "GameSpec",
+    "TaskSpec",
     "GameRecord",
     "StrategyPair",
     "SweepGrid",
     "SweepRunner",
+    "SweepStats",
+    "ResultStore",
+    "spec_fingerprint",
+    "spec_hash",
     "cross_pairs",
     "play_game",
     "summarize_game",

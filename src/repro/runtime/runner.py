@@ -29,7 +29,17 @@ import math
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -48,6 +58,7 @@ __all__ = [
     "StrategyPair",
     "SweepGrid",
     "SweepRunner",
+    "SweepStats",
     "cross_pairs",
     "play_game",
     "summarize_game",
@@ -105,11 +116,18 @@ def play_game(spec: GameSpec) -> GameResult:
     return spec.play()
 
 
-def _run_cell(spec: GameSpec, reduce: Optional[Callable] = None) -> Any:
+def _default_record(spec, result) -> Any:
+    """Reducer-less record: summarize games, pass task results through."""
+    if isinstance(spec, GameSpec):
+        return summarize_game(spec, result)
+    return result
+
+
+def _run_cell(spec, reduce: Optional[Callable] = None) -> Any:
     """Play one cell and reduce it in-process (worker-side)."""
     result = spec.play()
     if reduce is None:
-        return summarize_game(spec, result)
+        return _default_record(spec, result)
     return reduce(spec, result)
 
 
@@ -119,7 +137,7 @@ def _run_rep_group(
     """Play one rep group in lockstep and reduce per rep (worker-side)."""
     results = play_rep_batch(specs)
     if reduce is None:
-        return [summarize_game(spec, result) for spec, result in zip(specs, results)]
+        return [_default_record(spec, result) for spec, result in zip(specs, results)]
     return [reduce(spec, result) for spec, result in zip(specs, results)]
 
 
@@ -131,18 +149,25 @@ def _group_reps(
     Grid expansion keeps a cell's repetitions adjacent, so consecutive
     grouping recovers exactly the rep axis; arbitrary spec lists degrade
     gracefully to singleton groups.  ``max_width`` caps the lockstep
-    width (``None`` = unbounded).
+    width (``None`` = unbounded).  Non-game cells (``TaskSpec``) have no
+    lockstep engine and always form singleton groups.
     """
     groups: List[List[GameSpec]] = []
     current_key = None
     for spec in specs:
-        key = rep_group_key(spec)
+        key = rep_group_key(spec) if isinstance(spec, GameSpec) else None
         full = (
             max_width is not None
             and groups
             and len(groups[-1]) >= max_width
         )
-        if groups and not full and rep_keys_equal(key, current_key):
+        if (
+            groups
+            and not full
+            and key is not None
+            and current_key is not None
+            and rep_keys_equal(key, current_key)
+        ):
             groups[-1].append(spec)
         else:
             groups.append([spec])
@@ -280,6 +305,22 @@ class SweepGrid:
         return specs
 
 
+@dataclass(frozen=True)
+class SweepStats:
+    """Cache accounting of one :meth:`SweepRunner.run` invocation."""
+
+    total: int
+    cached: int
+    played: int
+
+    def describe(self) -> str:
+        """One-line human summary (CLI status output)."""
+        return (
+            f"{self.total} cells: {self.cached} loaded from store, "
+            f"{self.played} played"
+        )
+
+
 class SweepRunner:
     """Executes sweep cells serially or across worker processes.
 
@@ -296,7 +337,9 @@ class SweepRunner:
     reduce:
         Picklable ``f(spec, result) -> record`` applied *inside* the
         worker, so only the (small) record crosses the process boundary.
-        Defaults to :func:`summarize_game`.
+        Defaults to :func:`summarize_game` for game cells; task cells
+        (:class:`~repro.runtime.spec.TaskSpec`) pass their result
+        through unreduced.
     rep_batch:
         Collapse the repetition axis into lockstep
         :class:`~repro.core.engine.BatchedCollectionGame` runs:
@@ -306,6 +349,15 @@ class SweepRunner:
         ``"auto"`` batches every full rep group, an ``int >= 2`` caps
         the lockstep width.  Composes with ``workers``: groups — not
         individual cells — are what the process pool distributes.
+    store:
+        Optional :class:`~repro.runtime.store.ResultStore`.  When set,
+        cells whose key is already stored are *not* played — their
+        records load from disk — and every freshly played record is
+        persisted as soon as it completes, so an interrupted sweep
+        resumes from the stored prefix.  Records are always emitted in
+        grid order (the order of ``specs``), never completion order, so
+        fresh, warm-cache and resumed runs produce byte-identical
+        outputs for any worker count.
     """
 
     def __init__(
@@ -314,6 +366,7 @@ class SweepRunner:
         chunksize: Optional[int] = None,
         reduce: Optional[Callable[[GameSpec, GameResult], Any]] = None,
         rep_batch: Union[None, int, str] = None,
+        store: Optional[Any] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -323,6 +376,15 @@ class SweepRunner:
         self.chunksize = chunksize
         self.reduce = reduce
         self.rep_batch = self._normalize_rep_batch(rep_batch)
+        self.store = store
+        #: :class:`SweepStats` of the most recent :meth:`run`.
+        self.last_stats: Optional[SweepStats] = None
+        #: Grid-order cell keys of the most recent store-backed
+        #: :meth:`run` (``None`` without a store).  Spec hashing
+        #: canonicalizes whole component recipes, so consumers that need
+        #: the keys (e.g. scenario manifests) read them here instead of
+        #: recomputing the pass.
+        self.last_keys: Optional[List[str]] = None
 
     @staticmethod
     def _normalize_rep_batch(rep_batch) -> Optional[Union[int, str]]:
@@ -345,14 +407,54 @@ class SweepRunner:
         )
 
     def run(self, specs: Sequence[GameSpec]) -> List[Any]:
-        """Play every spec and return one record per spec, in order."""
+        """Play every spec and return one record per spec, in order.
+
+        With a :class:`~repro.runtime.store.ResultStore` attached,
+        already-stored cells are loaded instead of played, fresh records
+        persist as soon as they complete, and the returned list is in
+        the order of ``specs`` (grid-coordinate order) regardless of
+        which cells came from the cache or in what order workers
+        finished them.
+        """
         specs = list(specs)
+        if self.store is None:
+            records = [record for _, record in self._iter_records(specs)]
+            self.last_stats = SweepStats(len(specs), 0, len(specs))
+            self.last_keys = None
+            return records
+
+        miss = object()
+        keys = [self.store.key(spec, self.reduce) for spec in specs]
+        self.last_keys = keys
+        records = [self.store.load(key, miss) for key in keys]
+        missing = [i for i, record in enumerate(records) if record is miss]
+        for j, record in self._iter_records([specs[i] for i in missing]):
+            i = missing[j]
+            self.store.save(keys[i], record)
+            records[i] = record
+        self.last_stats = SweepStats(
+            total=len(specs),
+            cached=len(specs) - len(missing),
+            played=len(missing),
+        )
+        return records
+
+    def _iter_records(self, specs: List[Any]) -> Iterator[Tuple[int, Any]]:
+        """Yield ``(index, record)`` in submission order as cells finish.
+
+        The index is the cell's position in ``specs``; yielding as the
+        (ordered) results stream in is what lets :meth:`run` checkpoint
+        every record immediately instead of after the whole sweep.
+        """
         if not specs:
-            return []
+            return
         if self.rep_batch is not None:
-            return self._run_batched(specs)
+            yield from self._iter_batched(specs)
+            return
         if self.workers == 1:
-            return [_run_cell(spec, self.reduce) for spec in specs]
+            for index, spec in enumerate(specs):
+                yield index, _run_cell(spec, self.reduce)
+            return
         call = partial(_run_cell, reduce=self.reduce)
         chunksize = self.chunksize or max(
             1, math.ceil(len(specs) / (4 * self.workers))
@@ -360,18 +462,19 @@ class SweepRunner:
         with ProcessPoolExecutor(
             max_workers=min(self.workers, len(specs))
         ) as pool:
-            return list(pool.map(call, specs, chunksize=chunksize))
+            yield from enumerate(pool.map(call, specs, chunksize=chunksize))
 
-    def _run_batched(self, specs: Sequence[GameSpec]) -> List[Any]:
+    def _iter_batched(self, specs: List[Any]) -> Iterator[Tuple[int, Any]]:
         """Rep-batched execution: one lockstep game per rep group."""
         max_width = None if self.rep_batch == "auto" else self.rep_batch
         groups = _group_reps(specs, max_width)
+        index = 0
         if self.workers == 1:
-            return [
-                record
-                for group in groups
-                for record in _run_rep_group(group, self.reduce)
-            ]
+            for group in groups:
+                for record in _run_rep_group(group, self.reduce):
+                    yield index, record
+                    index += 1
+            return
         call = partial(_run_rep_group, reduce=self.reduce)
         chunksize = self.chunksize or max(
             1, math.ceil(len(groups) / (4 * self.workers))
@@ -379,11 +482,10 @@ class SweepRunner:
         with ProcessPoolExecutor(
             max_workers=min(self.workers, len(groups))
         ) as pool:
-            return [
-                record
-                for group_records in pool.map(call, groups, chunksize=chunksize)
-                for record in group_records
-            ]
+            for group_records in pool.map(call, groups, chunksize=chunksize):
+                for record in group_records:
+                    yield index, record
+                    index += 1
 
     def run_grid(self, grid: SweepGrid) -> List[Any]:
         """Expand and run a :class:`SweepGrid`."""

@@ -47,6 +47,7 @@ from ..streams.source import ArrayStream
 __all__ = [
     "ComponentSpec",
     "GameSpec",
+    "TaskSpec",
     "SeedLike",
     "load_reference",
     "rep_group_key",
@@ -248,6 +249,61 @@ class GameSpec:
     def play(self) -> GameResult:
         """Build and run the game to completion."""
         return self.build().run()
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """A generic, picklable compute cell for non-game sweeps.
+
+    Not every paper artifact is a collection game: Table IV iterates the
+    coupled Elastic responses analytically, Fig. 9 plays LDP reporting
+    rounds, and the classifier panels wrap whole train/evaluate runs.  A
+    ``TaskSpec`` carries such cells through the same
+    :class:`~repro.runtime.runner.SweepRunner` /
+    :class:`~repro.runtime.store.ResultStore` machinery as
+    :class:`GameSpec` cells: ``task`` is a :class:`ComponentSpec` whose
+    *build is the computation* — ``play()`` evaluates
+    ``task.build(seed)`` and the returned value is the cell's record
+    (the runner applies no default reducer to task cells).
+
+    ``seed`` mirrors :class:`GameSpec`: ``None`` for deterministic
+    tasks, otherwise the root :class:`~numpy.random.SeedSequence` the
+    task consumes (via a ``seeded=True`` recipe or the fixed
+    :func:`child_seed` channels).  ``tags`` is free-form labeling for
+    aggregation, exactly as on :class:`GameSpec`.
+    """
+
+    task: ComponentSpec
+    seed: Optional[SeedLike] = None
+    tags: Mapping[str, Any] = field(default_factory=dict)
+
+    def seed_sequence(self) -> Optional[np.random.SeedSequence]:
+        """The spec's root seed, or ``None`` for deterministic tasks."""
+        if self.seed is None:
+            return None
+        if isinstance(self.seed, np.random.SeedSequence):
+            return self.seed
+        return np.random.SeedSequence(self.seed)
+
+    def child_seed(self, channel: int) -> np.random.SeedSequence:
+        """Deterministic child seed for one channel (see ``GameSpec``)."""
+        root = self.seed_sequence()
+        if root is None:
+            raise ValueError("a seedless TaskSpec has no child seeds")
+        return np.random.SeedSequence(
+            entropy=root.entropy,
+            spawn_key=tuple(root.spawn_key) + (int(channel),),
+        )
+
+    def with_tags(self, **tags: Any) -> "TaskSpec":
+        """A copy of the spec with extra tags merged in."""
+        merged = dict(self.tags)
+        merged.update(tags)
+        return replace(self, tags=merged)
+
+    def play(self) -> Any:
+        """Evaluate the task; the return value is the cell's record."""
+        return self.task.build(self.seed_sequence())
 
 
 # --------------------------------------------------------------------- #

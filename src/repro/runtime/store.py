@@ -1,0 +1,419 @@
+"""Content-addressed result store: persistent, resumable sweep records.
+
+Every sweep cell is fully determined by its spec — dataset name,
+component recipes, ``SeedSequence`` root, engine parameters — plus the
+reducer that turned the game into a record and the code version that
+played it.  This module canonicalizes that description into a stable
+SHA-256 *cell key* (:func:`spec_hash`) and persists one small record
+file per key (:class:`ResultStore`), which is what makes sweeps
+
+* **cacheable** — a re-run of an already-played cell loads the stored
+  record instead of executing the game: a warm-cache invocation replays
+  an entire experiment from disk with zero game executions;
+* **resumable** — :class:`~repro.runtime.runner.SweepRunner` persists
+  each record as it completes, so an interrupted sweep resumes from the
+  stored prefix and produces output byte-identical to an uninterrupted
+  run, regardless of completion order;
+* **safe** — records are written atomically (temp file + ``os.replace``)
+  and carry a payload checksum: a corrupt, truncated or stale-format
+  file is treated as a cache miss and recomputed, never served.
+
+Keys are content-addressed: any change to a component kwarg, a seed, the
+dataset, the reducer or the package version changes the key, so stale
+records can never be confused with current ones.  The store layout is::
+
+    <root>/objects/<key[:2]>/<key>.json    one record per cell key
+    <root>/manifests/<name>.json           scenario manifests (grid-order
+                                           key lists; see repro.scenarios)
+
+Records are encoded as JSON where possible (plain dicts, numbers,
+strings, :class:`~repro.runtime.runner.GameRecord`) so cache entries
+stay human-inspectable, with a pickle fallback for arbitrary reducer
+outputs (e.g. dataclasses carrying ndarrays).
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from functools import partial
+from pathlib import Path
+from typing import Any, Callable, Mapping, Optional, Union
+
+import numpy as np
+
+from .spec import ComponentSpec, GameSpec, TaskSpec
+
+__all__ = [
+    "ResultStore",
+    "canonical_json",
+    "spec_fingerprint",
+    "spec_hash",
+]
+
+#: On-disk envelope format; bump to invalidate every existing record.
+STORE_FORMAT = 1
+
+
+def _code_version() -> str:
+    """The package version mixed into every cell key (lazy import)."""
+    from repro import __version__
+
+    return __version__
+
+
+def _callable_fingerprint(fn: Callable) -> str:
+    """``module:qualname`` of an importable callable; rejects closures."""
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname or "<lambda>" in qualname or "<locals>" in qualname:
+        raise TypeError(
+            f"cannot fingerprint non-importable callable {fn!r}; store keys "
+            "need module-level factories and reducers"
+        )
+    return f"{module}:{qualname}"
+
+
+def _canon(value: Any) -> Any:
+    """Canonical JSON-able form of one spec ingredient.
+
+    The mapping is injective on the supported types (tagged wrapper
+    objects keep e.g. an ndarray distinct from the dict that mimics it),
+    and stable across processes and platforms — the property the
+    cross-process hash test pins down.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, np.generic):
+        return _canon(value.item())
+    if isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        return {
+            "__ndarray__": {
+                "dtype": str(arr.dtype),
+                "shape": list(arr.shape),
+                "sha256": hashlib.sha256(arr.tobytes()).hexdigest(),
+            }
+        }
+    if isinstance(value, np.random.SeedSequence):
+        return {
+            "__seed_sequence__": {
+                "entropy": _canon(value.entropy),
+                "spawn_key": [int(k) for k in value.spawn_key],
+            }
+        }
+    if isinstance(value, ComponentSpec):
+        return {
+            "__component__": {
+                "factory": _callable_fingerprint(value.factory),
+                "kwargs": {
+                    str(k): _canon(v) for k, v in value.kwargs.items()
+                },
+                "seeded": bool(value.seeded),
+            }
+        }
+    if isinstance(value, partial):
+        return {
+            "__partial__": {
+                "func": _canon(value.func),
+                "args": [_canon(v) for v in value.args],
+                "keywords": {
+                    str(k): _canon(v) for k, v in value.keywords.items()
+                },
+            }
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": {
+                "type": _callable_fingerprint(type(value)),
+                "fields": {
+                    f.name: _canon(getattr(value, f.name))
+                    for f in dataclasses.fields(value)
+                },
+            }
+        }
+    if isinstance(value, Mapping):
+        return {str(k): _canon(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    if callable(value):
+        return {"__callable__": _callable_fingerprint(value)}
+    raise TypeError(
+        f"cannot canonicalize {type(value).__name__!r} for a store key"
+    )
+
+
+def spec_fingerprint(spec: Union[GameSpec, TaskSpec]) -> Any:
+    """Canonical (JSON-able) description of one sweep cell.
+
+    Seeds are normalized through ``seed_sequence()`` so an integer seed
+    and the equivalent :class:`~numpy.random.SeedSequence` fingerprint
+    identically; tags are included because stored records embed them.
+    """
+    if isinstance(spec, GameSpec):
+        return {
+            "__game_spec__": {
+                "collector": _canon(spec.collector),
+                "adversary": _canon(spec.adversary),
+                "dataset": spec.dataset,
+                "dataset_size": _canon(spec.dataset_size),
+                "attack_ratio": float(spec.attack_ratio),
+                "injection_mode": spec.injection_mode,
+                "injection_jitter": float(spec.injection_jitter),
+                "trimmer": _canon(spec.trimmer),
+                "quality": _canon(spec.quality),
+                "judge": _canon(spec.judge),
+                "rounds": int(spec.rounds),
+                "batch_size": int(spec.batch_size),
+                "anchor": spec.anchor,
+                "store_retained": bool(spec.store_retained),
+                "seed": _canon(spec.seed_sequence()),
+                "tags": _canon(dict(spec.tags)),
+            }
+        }
+    if isinstance(spec, TaskSpec):
+        return {
+            "__task_spec__": {
+                "task": _canon(spec.task),
+                "seed": _canon(spec.seed_sequence()),
+                "tags": _canon(dict(spec.tags)),
+            }
+        }
+    raise TypeError(f"cannot fingerprint {type(spec).__name__!r}")
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON rendering (sorted keys, tight separators)."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def spec_hash(
+    spec: Union[GameSpec, TaskSpec],
+    reducer: Optional[Callable] = None,
+    code_version: Optional[str] = None,
+) -> str:
+    """Stable SHA-256 cell key of (spec, reducer, code version).
+
+    The reducer is part of the key because the *record* is its output:
+    two sweeps over identical game cells but different reducers (e.g.
+    the tournament payoff reducer vs the k-means reducer) must never
+    share cache entries.  ``functools.partial`` reducers hash their
+    bound arguments too (ndarrays by content digest).
+    """
+    payload = {
+        "format": STORE_FORMAT,
+        "code_version": (
+            _code_version() if code_version is None else str(code_version)
+        ),
+        "spec": spec_fingerprint(spec),
+        "reducer": None if reducer is None else _canon(reducer),
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------- #
+# record codec: JSON where possible, pickle fallback, always checksummed
+# --------------------------------------------------------------------- #
+_GAME_RECORD_TAG = "__game_record__"
+
+
+def _to_jsonable(record: Any) -> Any:
+    """Strict JSON encoding of a record; raises TypeError if impossible."""
+    from .runner import GameRecord
+
+    if record is None or isinstance(record, (bool, int, str)):
+        return record
+    if isinstance(record, float):
+        return float(record)
+    if isinstance(record, np.generic):
+        return _to_jsonable(record.item())
+    if isinstance(record, GameRecord):
+        fields = {
+            f.name: _to_jsonable(getattr(record, f.name))
+            for f in dataclasses.fields(record)
+        }
+        return {_GAME_RECORD_TAG: fields}
+    if isinstance(record, Mapping):
+        if any(not isinstance(k, str) for k in record):
+            raise TypeError("non-string mapping keys need the pickle codec")
+        if any(k.startswith("__") and k.endswith("__") for k in record):
+            raise TypeError("dunder-tagged keys need the pickle codec")
+        return {k: _to_jsonable(v) for k, v in record.items()}
+    if isinstance(record, (list, tuple)):
+        return [_to_jsonable(v) for v in record]
+    raise TypeError(f"{type(record).__name__!r} needs the pickle codec")
+
+
+def _from_jsonable(data: Any) -> Any:
+    from .runner import GameRecord
+
+    if isinstance(data, dict):
+        if set(data) == {_GAME_RECORD_TAG}:
+            fields = {
+                k: _from_jsonable(v) for k, v in data[_GAME_RECORD_TAG].items()
+            }
+            return GameRecord(**fields)
+        return {k: _from_jsonable(v) for k, v in data.items()}
+    if isinstance(data, list):
+        return [_from_jsonable(v) for v in data]
+    return data
+
+
+def _encode_body(record: Any) -> dict:
+    try:
+        return {"codec": "json", "data": _to_jsonable(record)}
+    except TypeError:
+        blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        return {"codec": "pickle", "data": base64.b64encode(blob).decode("ascii")}
+
+
+def _decode_body(body: dict) -> Any:
+    codec = body["codec"]
+    if codec == "json":
+        return _from_jsonable(body["data"])
+    if codec == "pickle":
+        return pickle.loads(base64.b64decode(body["data"].encode("ascii")))
+    raise ValueError(f"unknown record codec {codec!r}")
+
+
+class ResultStore:
+    """One-record-per-cell persistent cache under a root directory.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on first write).
+    code_version:
+        Version string mixed into every key; defaults to the installed
+        package version, so upgrading the code invalidates the cache
+        wholesale instead of serving records from old physics.
+    """
+
+    def __init__(
+        self, root: Union[str, Path], code_version: Optional[str] = None
+    ):
+        self.root = Path(root)
+        self.code_version = (
+            _code_version() if code_version is None else str(code_version)
+        )
+
+    # -------------------------------------------------------------- #
+    # keys and paths
+    # -------------------------------------------------------------- #
+    def key(
+        self,
+        spec: Union[GameSpec, TaskSpec],
+        reducer: Optional[Callable] = None,
+    ) -> str:
+        """Cell key of a spec under this store's code version."""
+        return spec_hash(spec, reducer=reducer, code_version=self.code_version)
+
+    def record_path(self, key: str) -> Path:
+        """On-disk location of one record (two-level fan-out)."""
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    def manifest_path(self, name: str) -> Path:
+        """On-disk location of a named manifest."""
+        return self.root / "manifests" / f"{name}.json"
+
+    # -------------------------------------------------------------- #
+    # records
+    # -------------------------------------------------------------- #
+    def save(self, key: str, record: Any) -> None:
+        """Atomically persist one record under its cell key."""
+        body = _encode_body(record)
+        envelope = {
+            "format": STORE_FORMAT,
+            "key": key,
+            "sha256": hashlib.sha256(
+                canonical_json(body).encode("utf-8")
+            ).hexdigest(),
+            "body": body,
+        }
+        path = self.record_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            prefix=f".{key[:8]}-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(envelope, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def load(self, key: str, default: Any = None) -> Any:
+        """Load one record; *any* validation failure is a cache miss.
+
+        Truncated writes, hand-edited files, checksum mismatches, format
+        bumps and undecodable payloads all return ``default`` — the
+        runner then simply recomputes and overwrites the entry.
+        """
+        path = self.record_path(key)
+        try:
+            with open(path, "r") as handle:
+                envelope = json.load(handle)
+            if envelope.get("format") != STORE_FORMAT:
+                return default
+            if envelope.get("key") != key:
+                return default
+            body = envelope["body"]
+            digest = hashlib.sha256(
+                canonical_json(body).encode("utf-8")
+            ).hexdigest()
+            if envelope.get("sha256") != digest:
+                return default
+            return _decode_body(body)
+        except (OSError, ValueError, KeyError, TypeError, pickle.UnpicklingError):
+            return default
+
+    def __contains__(self, key: str) -> bool:
+        sentinel = object()
+        return self.load(key, sentinel) is not sentinel
+
+    def count(self) -> int:
+        """Number of record files currently on disk (valid or not)."""
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return 0
+        return sum(1 for _ in objects.glob("*/*.json"))
+
+    # -------------------------------------------------------------- #
+    # manifests (scenario-level record indexes; see repro.scenarios)
+    # -------------------------------------------------------------- #
+    def save_manifest(self, name: str, payload: Mapping[str, Any]) -> None:
+        """Atomically persist a named manifest (a small JSON document)."""
+        path = self.manifest_path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            prefix=f".{name[:24]}-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(dict(payload), handle, indent=2, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def load_manifest(self, name: str) -> Optional[dict]:
+        """Load a named manifest, or ``None`` if absent/unreadable."""
+        try:
+            with open(self.manifest_path(name), "r") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None

@@ -1,0 +1,54 @@
+"""The scenario registry: name → :class:`~repro.scenarios.base.Scenario`.
+
+Every paper artifact registers here (see
+:mod:`repro.scenarios.artifacts`), and this registry — not the CLI — is
+the extension point for new workloads: define a scenario (plan,
+aggregate, render, typed params), call :func:`register_scenario`, and it
+is immediately runnable via ``repro scenario run <name>``, cacheable in
+the result store, and reportable from its manifest.  Nothing else needs
+to change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from .base import Scenario, ScenarioError
+
+__all__ = [
+    "get_scenario",
+    "iter_scenarios",
+    "register_scenario",
+    "scenario_names",
+]
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add a scenario under its name; duplicate names are an error."""
+    if scenario.name in _REGISTRY:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; options: {scenario_names()}"
+        )
+
+
+def scenario_names() -> List[str]:
+    """All registered names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def iter_scenarios() -> Iterator[Scenario]:
+    """Registered scenarios in name order."""
+    for name in scenario_names():
+        yield _REGISTRY[name]

@@ -1,0 +1,189 @@
+"""Byte-equality of the sweep-runtime ports of Table IV and Fig. 9.
+
+``run_cost_analysis`` and ``run_ldp_experiment`` used to be hand-rolled
+repetition loops that bypassed the PR-1 sweep runtime; they now expand
+to :class:`~repro.runtime.spec.TaskSpec` cells played through
+:class:`~repro.runtime.runner.SweepRunner`.  These tests pin the port to
+*reference copies of the deleted loops*: every float of every cell must
+be byte-identical, for any worker count, and with the result store in
+the loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    CostConfig,
+    LDPConfig,
+    run_cost_analysis,
+    run_ldp_experiment,
+)
+from repro.experiments.cost import cost_specs, roundwise_cost
+from repro.experiments.ldp_experiment import (
+    _emf_mse,
+    _trimming_scheme_mse,
+    ldp_specs,
+)
+from repro.runtime import ResultStore, SweepRunner
+
+
+def _reference_cost_rows(config):
+    """The pre-port Table IV loop, verbatim."""
+    rows = []
+    for n in config.round_numbers:
+        rows.append(
+            (
+                int(n),
+                roundwise_cost(config.t_th, config.k_high, int(n), config.rule),
+                roundwise_cost(config.t_th, config.k_low, int(n), config.rule),
+            )
+        )
+    return rows
+
+
+def _reference_ldp_cells(config):
+    """The pre-port Fig. 9 triple loop, verbatim."""
+    schemes = ("titfortat", "elastic0.1", "elastic0.5", "emf")
+    cells = []
+    for ratio in config.attack_ratios:
+        for epsilon in config.epsilons:
+            per_scheme = {s: [] for s in schemes}
+            for rep in range(config.repetitions):
+                rep_seed = (
+                    config.seed
+                    + 100_000 * rep
+                    + int(epsilon * 1000)
+                    + int(ratio * 100)
+                )
+                for scheme in schemes:
+                    if scheme == "emf":
+                        per_scheme[scheme].append(
+                            _emf_mse(
+                                epsilon,
+                                ratio,
+                                rep_seed,
+                                n_users=config.n_users,
+                                rounds=config.rounds,
+                            )
+                        )
+                    else:
+                        per_scheme[scheme].append(
+                            _trimming_scheme_mse(
+                                scheme,
+                                epsilon,
+                                ratio,
+                                rep_seed,
+                                n_users=config.n_users,
+                                rounds=config.rounds,
+                                t_th=config.t_th,
+                                redundancy=config.redundancy,
+                                reference_size=config.reference_size,
+                            )
+                        )
+            for scheme in schemes:
+                cells.append(
+                    (
+                        scheme,
+                        float(epsilon),
+                        float(ratio),
+                        float(np.mean(per_scheme[scheme])),
+                    )
+                )
+    return cells
+
+
+class TestSchemeSeed:
+    def test_stable_across_interpreters(self):
+        """CRC32, not hash(): the value is a platform-independent constant."""
+        from repro.experiments.classifiers import _scheme_seed
+
+        assert _scheme_seed(0, "baseline0.9") == _scheme_seed(0, "baseline0.9")
+        # pin the digest so any change to the derivation is a loud failure
+        import zlib
+
+        for scheme in ("ostrich", "baseline0.9", "titfortat", "elastic0.5"):
+            assert _scheme_seed(3, scheme) == 3 + zlib.crc32(
+                scheme.encode()
+            ) % 911
+
+
+SMALL_LDP = LDPConfig(
+    epsilons=(1.0, 3.0),
+    attack_ratios=(0.05, 0.2),
+    n_users=200,
+    rounds=2,
+    repetitions=2,
+    reference_size=400,
+)
+
+
+class TestCostPort:
+    def test_byte_equal_to_reference_loop(self):
+        config = CostConfig()
+        rows = run_cost_analysis(config)
+        reference = _reference_cost_rows(config)
+        assert [
+            (r.round_no, r.cost_k_high, r.cost_k_low) for r in rows
+        ] == reference
+
+    def test_cell_count_and_grid_order(self):
+        config = CostConfig(round_numbers=(5, 10))
+        specs = cost_specs(config)
+        assert [s.tags["round_no"] for s in specs] == [5, 5, 10, 10]
+        assert [s.tags["which"] for s in specs] == [
+            "k_high", "k_low", "k_high", "k_low",
+        ]
+
+    def test_store_round_trip(self, tmp_path):
+        config = CostConfig(round_numbers=(5, 10, 15))
+        store = ResultStore(tmp_path)
+        cold = run_cost_analysis(config, store=store)
+        runner = SweepRunner(store=store)
+        warm = runner.run(cost_specs(config))
+        assert runner.last_stats.played == 0
+        assert cold == run_cost_analysis(config, store=store)
+        assert len(warm) == 6
+
+
+@pytest.mark.slow
+class TestLDPPort:
+    def test_byte_equal_to_reference_loop(self):
+        cells = run_ldp_experiment(SMALL_LDP)
+        reference = _reference_ldp_cells(SMALL_LDP)
+        assert [
+            (c.scheme, c.epsilon, c.attack_ratio, c.mse) for c in cells
+        ] == reference
+
+    def test_grid_order_matches_plot_order(self):
+        specs = ldp_specs(SMALL_LDP)
+        assert len(specs) == 2 * 2 * 4 * 2
+        assert [s.tags["scheme"] for s in specs[:8]] == [
+            "titfortat", "titfortat",
+            "elastic0.1", "elastic0.1",
+            "elastic0.5", "elastic0.5",
+            "emf", "emf",
+        ]
+
+    def test_warm_cache_replays_without_execution(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cold = run_ldp_experiment(SMALL_LDP, store=store)
+        runner = SweepRunner(store=store)
+        runner.run(ldp_specs(SMALL_LDP))
+        assert runner.last_stats.played == 0
+        assert run_ldp_experiment(SMALL_LDP, store=store) == cold
+
+    def test_growing_the_sweep_reuses_stored_cells(self, tmp_path):
+        """Cells key on the scalars they consume, not the whole config:
+        adding repetitions (or grid values) must not invalidate stored
+        cells."""
+        import dataclasses
+
+        store = ResultStore(tmp_path)
+        run_ldp_experiment(SMALL_LDP, store=store)
+        stored = len(ldp_specs(SMALL_LDP))
+
+        grown = dataclasses.replace(SMALL_LDP, repetitions=3)
+        runner = SweepRunner(store=store)
+        runner.run(ldp_specs(grown))
+        assert runner.last_stats.cached == stored
+        assert runner.last_stats.played == len(ldp_specs(grown)) - stored

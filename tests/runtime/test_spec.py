@@ -156,6 +156,65 @@ class TestGameSpec:
         assert not np.array_equal(r1.injection_path(), r2.injection_path())
 
 
+class TestTaskSpec:
+    def test_play_evaluates_the_task(self):
+        from repro.experiments.cost import roundwise_cost
+        from repro.runtime import TaskSpec
+
+        spec = TaskSpec(
+            task=ComponentSpec(
+                roundwise_cost, {"t_th": 0.9, "k": 0.5, "rounds": 10}
+            ),
+            tags={"which": "k_high"},
+        )
+        assert spec.play() == roundwise_cost(0.9, 0.5, 10)
+        assert spec.seed_sequence() is None
+        with pytest.raises(ValueError):
+            spec.child_seed(0)
+
+    def test_seeded_task_receives_seed_sequence(self):
+        from repro.runtime import TaskSpec
+
+        def _entropy(seed):
+            return int(seed.entropy)
+
+        spec = TaskSpec(task=ComponentSpec(_rng_entropy, seeded=True), seed=7)
+        assert spec.play() == 7
+        # child channels are deterministic extensions of the spawn key
+        assert spec.child_seed(3).spawn_key == (3,)
+
+    def test_is_picklable(self):
+        from repro.experiments.cost import roundwise_cost
+        from repro.runtime import TaskSpec
+
+        spec = TaskSpec(
+            task=ComponentSpec(
+                roundwise_cost, {"t_th": 0.9, "k": 0.1, "rounds": 5}
+            ),
+            seed=3,
+            tags={"k": 0.1},
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.play() == spec.play()
+
+    def test_with_tags_merges(self):
+        from repro.experiments.cost import roundwise_cost
+        from repro.runtime import TaskSpec
+
+        spec = TaskSpec(
+            task=ComponentSpec(
+                roundwise_cost, {"t_th": 0.9, "k": 0.1, "rounds": 5}
+            ),
+            tags={"a": 1},
+        )
+        assert dict(spec.with_tags(b=2).tags) == {"a": 1, "b": 2}
+
+
+def _rng_entropy(seed):
+    """Module-level seeded task helper (picklable)."""
+    return int(seed.entropy)
+
+
 class TestLoadReference:
     def test_cached_and_read_only(self):
         a = load_reference("control")

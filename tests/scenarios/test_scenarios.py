@@ -1,0 +1,199 @@
+"""Tests for repro.scenarios — registry, params, run/report round trips."""
+
+import pytest
+
+from repro.runtime import ResultStore
+from repro.scenarios import (
+    Scenario,
+    ScenarioError,
+    ScenarioParam,
+    ScenarioPlan,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    report_scenario,
+    run_scenario,
+    scenario_names,
+)
+
+#: Every paper artifact must be a registry entry.
+EXPECTED = {
+    "table1", "table2", "table3", "table4",
+    "fig4", "fig5", "fig7", "fig8", "fig9", "metagame",
+}
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert EXPECTED <= set(scenario_names())
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ScenarioError, match="unknown scenario"):
+            get_scenario("fig99")
+
+    def test_duplicate_registration_rejected(self):
+        scenario = get_scenario("table1")
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(scenario)
+
+    def test_iteration_is_name_sorted(self):
+        names = [s.name for s in iter_scenarios()]
+        assert names == sorted(names)
+
+
+class TestParams:
+    def test_scale_defaults(self):
+        fig9 = get_scenario("fig9")
+        quick = fig9.resolve_params("quick")
+        full = fig9.resolve_params("full")
+        assert quick["repetitions"] == 2 and full["repetitions"] == 5
+        assert len(full["ratios"]) > len(quick["ratios"])
+
+    def test_typed_overrides(self):
+        fig9 = get_scenario("fig9")
+        params = fig9.resolve_params(
+            "quick", {"repetitions": "3", "ratios": "0.1,0.2"}
+        )
+        assert params["repetitions"] == 3
+        assert params["ratios"] == (0.1, 0.2)
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ScenarioError, match="no parameter"):
+            get_scenario("fig9").resolve_params("quick", {"bogus": "1"})
+
+    def test_unparsable_value_rejected(self):
+        with pytest.raises(ScenarioError, match="bad value"):
+            get_scenario("fig9").resolve_params("quick", {"repetitions": "x"})
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown scale"):
+            get_scenario("table1").resolve_params("huge")
+
+
+class TestRunScenario:
+    def test_cold_then_warm_zero_cells_played(self, tmp_path):
+        store = ResultStore(tmp_path)
+        table4 = get_scenario("table4")
+        cold = run_scenario(table4, store=store)
+        assert cold.stats.played == cold.stats.total > 0
+        warm = run_scenario(table4, store=store)
+        assert warm.stats.played == 0
+        assert warm.stats.cached == cold.stats.total
+        assert warm.text == cold.text
+        assert warm.records == cold.records
+
+    def test_storeless_run_matches_stored_run(self, tmp_path):
+        table3 = get_scenario("table3")
+        overrides = {"repetitions": "2", "p_values": "0.0,1.0"}
+        plain = run_scenario(table3, overrides=overrides)
+        stored = run_scenario(
+            table3, overrides=overrides, store=ResultStore(tmp_path)
+        )
+        assert plain.text == stored.text
+
+    def test_game_sweep_warm_cache(self, tmp_path):
+        store = ResultStore(tmp_path)
+        table3 = get_scenario("table3")
+        overrides = {"repetitions": "2", "p_values": "0.0,1.0"}
+        cold = run_scenario(table3, overrides=overrides, store=store)
+        warm = run_scenario(table3, overrides=overrides, store=store)
+        assert warm.stats.played == 0
+        assert warm.text == cold.text
+
+    def test_param_change_invalidates_only_new_cells(self, tmp_path):
+        store = ResultStore(tmp_path)
+        table3 = get_scenario("table3")
+        run_scenario(
+            table3, overrides={"repetitions": "2", "p_values": "0.0,1.0"},
+            store=store,
+        )
+        # growing the p grid reuses the stored p∈{0,1} cells
+        grown = run_scenario(
+            table3,
+            overrides={"repetitions": "2", "p_values": "0.0,0.5,1.0"},
+            store=store,
+        )
+        assert grown.stats.cached > 0
+        assert grown.stats.played > 0
+
+
+class TestReportScenario:
+    def test_round_trip_is_byte_identical(self, tmp_path):
+        store = ResultStore(tmp_path)
+        table4 = get_scenario("table4")
+        run = run_scenario(table4, store=store)
+        report = report_scenario(table4, store)
+        assert report.text == run.text
+        assert report.stats.played == 0
+
+    def test_report_without_run_raises(self, tmp_path):
+        with pytest.raises(ScenarioError, match="no stored run"):
+            report_scenario(get_scenario("table4"), ResultStore(tmp_path))
+
+    def test_report_with_missing_record_raises(self, tmp_path):
+        store = ResultStore(tmp_path)
+        table4 = get_scenario("table4")
+        run_scenario(table4, store=store)
+        manifest = store.load_manifest("table4")
+        store.record_path(manifest["keys"][3]).unlink()
+        with pytest.raises(ScenarioError, match="missing or corrupt"):
+            report_scenario(table4, store)
+
+    def test_report_rejects_other_code_version(self, tmp_path):
+        store = ResultStore(tmp_path)
+        table4 = get_scenario("table4")
+        run_scenario(table4, store=store)
+        stale = ResultStore(tmp_path, code_version="0.0.0")
+        with pytest.raises(ScenarioError, match="code version"):
+            report_scenario(table4, stale)
+
+
+class TestExtensionPoint:
+    def test_new_workload_registers_and_runs(self, tmp_path):
+        """The registry is the extension point: plan/aggregate/render only."""
+        from repro.experiments.cost import roundwise_cost
+        from repro.runtime import ComponentSpec, TaskSpec
+
+        def plan(params):
+            return ScenarioPlan(
+                specs=[
+                    TaskSpec(
+                        ComponentSpec(
+                            roundwise_cost,
+                            {
+                                "t_th": 0.9,
+                                "k": float(params["k"]),
+                                "rounds": r,
+                            },
+                        ),
+                        tags={"rounds": r},
+                    )
+                    for r in (5, 10)
+                ]
+            )
+
+        scenario = Scenario(
+            name="__test_workload__",
+            description="registry extension smoke",
+            plan=plan,
+            aggregate=lambda params, records: records,
+            render=lambda params, value: ", ".join(f"{v:.4f}" for v in value),
+            params=(ScenarioParam("k", float, quick=0.5),),
+        )
+        try:
+            register_scenario(scenario)
+            store = ResultStore(tmp_path)
+            cold = run_scenario(
+                get_scenario("__test_workload__"), store=store
+            )
+            assert cold.stats.played == 2
+            warm = run_scenario(
+                get_scenario("__test_workload__"), store=store
+            )
+            assert warm.stats.played == 0
+            assert warm.text == cold.text
+            assert report_scenario(scenario, store).text == cold.text
+        finally:
+            from repro.scenarios.registry import _REGISTRY
+
+            _REGISTRY.pop("__test_workload__", None)

@@ -89,3 +89,106 @@ class TestRun:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestScenarioCLI:
+    def test_scenario_list_names_everything(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ARTIFACTS:
+            assert name in out
+
+    def test_run_then_warm_run_byte_identical_zero_games(self, tmp_path, capsys):
+        argv = ["scenario", "run", "table4", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert "0 loaded from store" in cold.err
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert "0 played" in warm.err
+
+    def test_run_report_round_trip(self, tmp_path, capsys):
+        assert main(
+            ["scenario", "run", "table4", "--cache-dir", str(tmp_path)]
+        ) == 0
+        run_out = capsys.readouterr().out
+        assert main(
+            ["scenario", "report", "table4", "--cache-dir", str(tmp_path)]
+        ) == 0
+        report_out = capsys.readouterr().out
+        assert report_out == run_out
+
+    def test_report_before_run_fails_cleanly(self, tmp_path, capsys):
+        assert main(
+            ["scenario", "report", "table4", "--cache-dir", str(tmp_path)]
+        ) == 2
+        assert "no stored run" in capsys.readouterr().out
+
+    def test_scenario_output_matches_legacy_run(self, tmp_path, capsys):
+        assert main(["run", "table1"]) == 0
+        legacy = capsys.readouterr().out
+        assert main(
+            ["scenario", "run", "table1", "--cache-dir", str(tmp_path)]
+        ) == 0
+        assert capsys.readouterr().out == legacy
+
+    def test_no_cache_runs_without_store(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["scenario", "run", "table4", "--no-cache"]) == 0
+        captured = capsys.readouterr()
+        assert "Table IV" in captured.out
+        assert captured.err == ""  # no store, no stats line
+        assert not (tmp_path / ".repro-cache").exists()
+
+    def test_resume_with_no_cache_is_an_error(self, tmp_path, capsys):
+        assert main(
+            ["scenario", "run", "table4", "--no-cache", "--resume"]
+        ) == 2
+        assert "contradictory" in capsys.readouterr().out
+
+    def test_param_override(self, tmp_path, capsys):
+        assert main(
+            [
+                "scenario", "run", "table3",
+                "--cache-dir", str(tmp_path),
+                "--param", "repetitions=1",
+                "-p", "p_values=0.0,1.0",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+
+    def test_param_with_all_rejected_up_front(self, tmp_path, capsys):
+        assert main(
+            [
+                "scenario", "run", "all",
+                "--cache-dir", str(tmp_path),
+                "--param", "repetitions=1",
+            ]
+        ) == 2
+        out = capsys.readouterr().out
+        assert "cannot be combined with 'all'" in out
+        assert "Table" not in out  # nothing ran before the rejection
+
+    def test_bad_param_fails_cleanly(self, tmp_path, capsys):
+        assert main(
+            [
+                "scenario", "run", "table4",
+                "--cache-dir", str(tmp_path),
+                "--param", "bogus=1",
+            ]
+        ) == 2
+        assert "error" in capsys.readouterr().out
+
+    def test_unknown_scenario_fails_cleanly(self, tmp_path, capsys):
+        assert main(
+            ["scenario", "run", "fig99", "--cache-dir", str(tmp_path)]
+        ) == 2
+        assert "unknown scenario" in capsys.readouterr().out
+
+    def test_cache_dir_env_default(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        assert main(["scenario", "run", "table4"]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "env-cache" / "manifests" / "table4.json").exists()
