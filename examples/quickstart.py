@@ -41,6 +41,13 @@ def main() -> None:
     print()
     print("The two positions converge to the interactive equilibrium of the")
     print("coupled Elastic responses (T* ~ 0.873, A* ~ 0.857 for k = 0.5).")
+    print()
+    print("run() owns the loop; to own it yourself — live traffic, partial")
+    print("horizons, mid-game snapshots — open a session instead:")
+    print("    session = game.session(attach_source=True)")
+    print("    decision = session.submit()   # one round -> RoundDecision")
+    print("    result = session.close()")
+    print("(see examples/live_session.py for the full session + service demo)")
 
 
 if __name__ == "__main__":

@@ -77,6 +77,13 @@ from .core.strategies import (
     TitForTatCollector,
     UniformRangeAdversary,
 )
+from .core.session import (
+    BatchedGameSession,
+    BatchedRoundDecision,
+    GameSession,
+    RoundDecision,
+    RoundPayoffs,
+)
 from .experiments import SCHEMES, make_scheme, scheme_specs
 from .runtime import (
     ComponentSpec,
@@ -88,8 +95,9 @@ from .runtime import (
     SweepRunner,
     TaskSpec,
 )
+from .serving import DefenseService
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -119,6 +127,13 @@ __all__ = [
     "BandExcessJudge",
     "ValueTrimmer",
     "RadialTrimmer",
+    # sessions + serving
+    "GameSession",
+    "BatchedGameSession",
+    "RoundDecision",
+    "BatchedRoundDecision",
+    "RoundPayoffs",
+    "DefenseService",
     # strategies
     "OstrichCollector",
     "StaticCollector",

@@ -199,6 +199,25 @@ def _make_store(args: argparse.Namespace):
     return ResultStore(args.cache_dir)
 
 
+def _write_stats_json(path: str, entries: List[dict]) -> None:
+    """Persist per-scenario run stats as machine-readable JSON.
+
+    The document CI (and users) assert cache behaviour against:
+    ``SweepRunner.last_stats`` — total/cached/played cell counts plus
+    the run's wall-clock seconds — one entry per scenario executed.
+    """
+    import json
+
+    payload = {
+        "format": 1,
+        "scenarios": entries,
+        "total_seconds": sum(e["seconds"] or 0.0 for e in entries),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
 def _scenario_run(args: argparse.Namespace) -> int:
     overrides = dict(args.params or [])
     if args.name == "all" and overrides:
@@ -212,6 +231,7 @@ def _scenario_run(args: argparse.Namespace) -> int:
         scenario_names() if args.name == "all" else [args.name]
     )
     store = _make_store(args)
+    stats_entries: List[dict] = []
     for name in names:
         run = run_scenario(
             get_scenario(name),
@@ -225,6 +245,11 @@ def _scenario_run(args: argparse.Namespace) -> int:
         print()
         if store is not None:
             print(f"[{name}] {run.stats.describe()}", file=sys.stderr)
+        stats_entries.append(
+            {"scenario": name, "scale": args.scale, **run.stats.to_json()}
+        )
+    if args.stats_json:
+        _write_stats_json(args.stats_json, stats_entries)
     return 0
 
 
@@ -332,6 +357,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="run without the result store (no persistence, no resume)",
+    )
+    scen_run.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write per-scenario runner stats (total/cached/played cells, "
+            "wall-clock seconds) as JSON to PATH, so scripts and CI can "
+            "assert cache behaviour instead of parsing stderr"
+        ),
     )
 
     scen_report = scen_sub.add_parser(

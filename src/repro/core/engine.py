@@ -22,7 +22,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..streams.board import BoardEntry, PublicBoard, StackedBoard
+from ..streams.board import PublicBoard, StackedBoard
 from ..streams.injection import BatchedInjector, PoisonInjector
 from ..streams.source import StreamSource
 from .domain import QuantileTable
@@ -30,11 +30,11 @@ from .quality import QualityEvaluator, TailMassEvaluator
 from .strategies.base import (
     AdversaryStrategy,
     CollectorStrategy,
-    RoundObservation,
-    RoundObservationBatch,
+    rng_state,
+    set_rng_state,
 )
 from .strategies.batched import adversary_lanes, collector_lanes
-from .trimming import BatchTrimReport, RadialTrimmer, Trimmer, ValueTrimmer
+from .trimming import RadialTrimmer, Trimmer, ValueTrimmer
 
 __all__ = [
     "BandExcessJudge",
@@ -83,6 +83,14 @@ class BandExcessJudge:
     def reset(self) -> None:
         """Rewind the noise stream so a reused judge replays identically."""
         self._rng = np.random.default_rng(self._seed)
+
+    def export_state(self) -> dict:
+        """The noise Generator's bit-state (session snapshot contract)."""
+        return {"rng": rng_state(self._rng)}
+
+    def import_state(self, state: dict) -> None:
+        """Restore the noise stream captured by :meth:`export_state`."""
+        set_rng_state(self._rng, state["rng"])
 
     def fit(self, reference_scores) -> "BandExcessJudge":
         """Calibrate the band value cutoffs on clean reference scores.
@@ -158,6 +166,14 @@ class NoisyPositionJudge:
     def reset(self) -> None:
         """Rewind the noise stream so a reused judge replays identically."""
         self._rng = np.random.default_rng(self._seed)
+
+    def export_state(self) -> dict:
+        """The noise Generator's bit-state (session snapshot contract)."""
+        return {"rng": rng_state(self._rng)}
+
+    def import_state(self, state: dict) -> None:
+        """Restore the noise stream captured by :meth:`export_state`."""
+        set_rng_state(self._rng, state["rng"])
 
     def fit(self, reference_scores) -> "NoisyPositionJudge":
         """Stateless; present for engine-interface uniformity."""
@@ -349,98 +365,67 @@ class CollectionGame:
             self.judge.fit(reference_scores)
 
     # ------------------------------------------------------------------ #
-    def _combine(self, benign: np.ndarray, poison: np.ndarray) -> np.ndarray:
-        if poison.shape[0] == 0:
-            return benign
-        return np.concatenate([benign, poison], axis=0)
+    def session(
+        self,
+        horizon="rounds",
+        payoff_model=None,
+        attach_source: bool = False,
+    ):
+        """Open a push-driven :class:`~repro.core.session.GameSession`.
+
+        Hands the engine's calibrated components to a session whose
+        *caller* owns the loop: ``submit(batch)`` plays one round,
+        ``close()`` returns the :class:`GameResult`.  Every stochastic
+        component is rewound first — exactly the :meth:`run` contract —
+        so a fresh session replays the identical game.
+
+        ``horizon`` defaults to the engine's ``rounds``; pass ``None``
+        for an open-ended session.  ``attach_source=True`` hands the
+        engine's stream to the session so ``submit()`` may be called
+        without a batch (and the stream's position rides along in
+        snapshots).
+
+        Sessions share the engine's live component instances, so only
+        one can be active per engine: opening a new session (or calling
+        :meth:`run`) resets those components and *supersedes* any
+        previous session, whose further ``submit``/``snapshot`` calls
+        raise instead of silently diverging.
+        """
+        from .session import GameSession
+
+        previous = getattr(self, "_active_session", None)
+        if previous is not None:
+            previous._supersede()
+        self.source.reset()
+        self._active_session = session = GameSession(
+            collector=self.collector,
+            adversary=self.adversary,
+            injector=self.injector,
+            trimmer=self.trimmer,
+            quality_evaluator=self.quality_evaluator,
+            judge=self.judge,
+            share_scores=self._share_scores,
+            horizon=self.rounds if horizon == "rounds" else horizon,
+            store_retained=self.store_retained,
+            payoff_model=payoff_model,
+            source=self.source if attach_source else None,
+        )
+        return session
 
     def run(self) -> GameResult:
         """Play all rounds and return the game outcome.
 
         Every stochastic component is rewound first, so calling ``run``
         again on the same engine replays the identical game — the
-        contract sweep repetitions and regression tests rely on.
+        contract sweep repetitions and regression tests rely on.  The
+        loop itself is a thin driver over the session transition: one
+        :meth:`GameSession.submit <repro.core.session.GameSession.submit>`
+        per round, byte-identical to the historical in-engine loop.
         """
-        self.source.reset()
-        self.collector.reset()
-        self.adversary.reset()
-        self.injector.reset()
-        judge_reset = getattr(self.judge, "reset", None)
-        if callable(judge_reset):  # custom judges may be stateless
-            judge_reset()
-        board = PublicBoard(store_retained=self.store_retained)
-        last_obs: Optional[RoundObservation] = None
-
-        for index in range(1, self.rounds + 1):
-            benign = self.source.next_batch()
-
-            if last_obs is None:
-                trim_q = self.collector.first()
-                inject_q = self.adversary.first()
-            else:
-                trim_q = self.collector.react(last_obs)
-                inject_q = self.adversary.react(last_obs)
-
-            if inject_q is None:
-                poison = benign[:0]
-            else:
-                poison = self.injector.materialize(benign, inject_q)
-
-            combined = self._combine(benign, poison)
-            poison_mask = np.zeros(combined.shape[0], dtype=bool)
-            poison_mask[benign.shape[0]:] = True
-
-            report = self.trimmer.trim(combined, trim_q)
-            # Single-pass scoring: the trim report carries the batch
-            # scores, so the judge reuses them instead of a second
-            # ``Trimmer.scores`` sweep (custom trimmers may omit them),
-            # and the quality evaluator computes score and normalized
-            # value from one sweep — reusing the trimmer's scores too
-            # when the families are commensurable.
-            if report.scores is not None:
-                retained_scores = report.kept_scores
-                shared_scores = report.scores if self._share_scores else None
-            else:
-                retained_scores = self.trimmer.scores(combined)[report.kept]
-                shared_scores = None
-
-            observed_ratio, quality = self.quality_evaluator.evaluate(
-                combined, scores=shared_scores
-            )
-            betrayal = self.judge.judge_round(inject_q, retained_scores)
-
-            observation = RoundObservation(
-                index=index,
-                trim_percentile=float(trim_q),
-                injection_percentile=None if inject_q is None else float(inject_q),
-                quality=quality,
-                observed_poison_ratio=float(observed_ratio),
-                betrayal=bool(betrayal),
-            )
-            # In lean mode the retained rows are never materialized —
-            # the board only needs the count.
-            retained = combined[report.kept] if self.store_retained else None
-            board.record(
-                BoardEntry(
-                    observation=observation,
-                    retained=retained,
-                    n_collected=combined.shape[0],
-                    n_poison_injected=int(poison.shape[0]),
-                    n_poison_retained=int(
-                        np.count_nonzero(report.kept & poison_mask)
-                    ),
-                    n_retained=report.n_kept,
-                )
-            )
-            last_obs = observation
-
-        termination = getattr(self.collector, "terminated_round", None)
-        return GameResult(
-            board=board,
-            collector_name=self.collector.name,
-            adversary_name=self.adversary.name,
-            termination_round=termination,
-        )
+        session = self.session()
+        for _ in range(self.rounds):
+            session.submit(self.source.next_batch())
+        return session.close()
 
 
 # --------------------------------------------------------------------- #
@@ -817,203 +802,53 @@ class BatchedCollectionGame:
         self._judges = _JudgeLanes(judges)
 
     # ------------------------------------------------------------------ #
-    def run(self) -> BatchedGameResult:
-        """Play all rounds for every rep and return the stacked outcome.
+    def session(self, horizon="rounds"):
+        """Open a :class:`~repro.core.session.BatchedGameSession`.
 
-        As with the solo engine, every stochastic component is rewound
-        first, so running the same engine twice replays all R games
-        identically.
+        The rep-lane counterpart of :meth:`CollectionGame.session`:
+        every stochastic component is rewound, then the caller drives
+        the lockstep transition one ``submit((R, batch, ...))`` at a
+        time.  ``horizon`` defaults to the engine's ``rounds``.  As
+        with the solo engine, a newer ``session()``/``run()`` on the
+        same engine supersedes any previous session.
         """
+        from .session import BatchedGameSession
+
+        previous = getattr(self, "_active_session", None)
+        if previous is not None:
+            previous._supersede()
         self.source.reset()
         self._collector_lanes.reset_many()
         self._adversary_lanes.reset_many()
         self.injector.reset()
         self._judges.reset()
-        board = StackedBoard(self.n_reps, store_retained=self.store_retained)
-        last: Optional[RoundObservationBatch] = None
-
-        for index in range(1, self.rounds + 1):
-            benign = self.source.next_batches()
-            if last is None:
-                trim = np.asarray(self._collector_lanes.first_many(), dtype=float)
-                inject = np.asarray(self._adversary_lanes.first_many(), dtype=float)
-            else:
-                trim = np.asarray(self._collector_lanes.react_many(last), dtype=float)
-                inject = np.asarray(self._adversary_lanes.react_many(last), dtype=float)
-
-            observed = ~np.isnan(inject)
-            poison_rows = (
-                self.injector.poison_count(benign.shape[1])
-                if observed.any()
-                else 0
-            )
-            if poison_rows and not observed.all():
-                # Mixed inject/skip across reps (only reachable through
-                # user adversaries): the stack would be ragged, so this
-                # round replays the solo body per rep.
-                last = self._play_round_ragged(board, index, benign, trim, inject)
-                continue
-
-            if poison_rows:
-                poison = self.injector.materialize_many(benign, inject)
-                combined = np.concatenate([benign, poison], axis=1)
-            else:
-                combined = benign
-
-            report = self._trim_stack(combined, trim)
-            scores = report.scores
-            if scores is None:
-                scores = self._scores_stack(combined)
-                shared = None
-            else:
-                shared = scores
-            observed_ratio, quality = self._quality.evaluate_many(
-                combined, shared
-            )
-            betrayal = self._judges.judge_round_many(inject, scores, report.kept)
-
-            n_kept = report.n_kept
-            if poison_rows:
-                n_poison_retained = np.count_nonzero(
-                    report.kept[:, benign.shape[1]:], axis=1
-                )
-            else:
-                n_poison_retained = np.zeros(self.n_reps, dtype=np.int64)
-            retained = (
-                [combined[r][report.kept[r]] for r in range(self.n_reps)]
-                if self.store_retained
-                else None
-            )
-            board.record_round(
-                trim_percentile=trim,
-                injection_percentile=inject,
-                quality=quality,
-                observed_poison_ratio=observed_ratio,
-                betrayal=betrayal,
-                n_collected=np.full(self.n_reps, combined.shape[1], dtype=np.int64),
-                n_poison_injected=np.full(self.n_reps, poison_rows, dtype=np.int64),
-                n_poison_retained=np.asarray(n_poison_retained, dtype=np.int64),
-                n_retained=np.asarray(n_kept, dtype=np.int64),
-                retained=retained,
-            )
-            last = RoundObservationBatch(
-                index=index,
-                trim_percentile=trim,
-                injection_percentile=inject,
-                quality=np.asarray(quality, dtype=float),
-                observed_poison_ratio=np.asarray(observed_ratio, dtype=float),
-                betrayal=np.asarray(betrayal, dtype=bool),
-            )
-
-        self._collector_lanes.finalize()
-        self._adversary_lanes.finalize()
-        return BatchedGameResult(
-            board=board,
-            collector_name=self._collector_lanes.name,
-            adversary_name=self._adversary_lanes.name,
-            termination_rounds=self._collector_lanes.terminated_rounds(),
+        self._active_session = session = BatchedGameSession(
+            collector_lanes=self._collector_lanes,
+            adversary_lanes=self._adversary_lanes,
+            injector=self.injector,
+            trimmer=self.trimmer,
+            per_rep_trimmers=self._trimmers,
+            quality_lanes=self._quality,
+            judge_lanes=self._judges,
+            horizon=self.rounds if horizon == "rounds" else horizon,
+            store_retained=self.store_retained,
+            board=StackedBoard(self.n_reps, store_retained=self.store_retained),
         )
+        return session
 
-    # ------------------------------------------------------------------ #
-    def _rep_trimmer(self, rep: int) -> Trimmer:
-        """Rep ``rep``'s trimmer (per-rep instances for custom classes)."""
-        if self._trimmers is not None:
-            return self._trimmers[rep]
-        return self.trimmer
+    def run(self) -> BatchedGameResult:
+        """Play all rounds for every rep and return the stacked outcome.
 
-    def _trim_stack(self, combined: np.ndarray, trim: np.ndarray) -> BatchTrimReport:
-        """One round's trim reports, honouring per-rep trimmer instances."""
-        if self._trimmers is None:
-            return self.trimmer.trim_many(combined, trim)
-        return BatchTrimReport.from_reports(
-            self._trimmers[r].trim(combined[r], float(trim[r]))
-            for r in range(self.n_reps)
-        )
-
-    def _scores_stack(self, combined: np.ndarray) -> np.ndarray:
-        """Batch scores per rep (fallback when reports carry none)."""
-        if self._trimmers is None:
-            return self.trimmer.scores_many(combined)
-        return np.stack(
-            [
-                self._trimmers[r].scores(combined[r])
-                for r in range(self.n_reps)
-            ]
-        )
-
-    def _play_round_ragged(
-        self,
-        board: StackedBoard,
-        index: int,
-        benign: np.ndarray,
-        trim: np.ndarray,
-        inject: np.ndarray,
-    ) -> RoundObservationBatch:
-        """One round where reps disagree on injecting: solo body per rep."""
-        n_reps = self.n_reps
-        quality = np.empty(n_reps)
-        observed_ratio = np.empty(n_reps)
-        betrayal = np.empty(n_reps, dtype=bool)
-        n_collected = np.empty(n_reps, dtype=np.int64)
-        n_poison_injected = np.empty(n_reps, dtype=np.int64)
-        n_poison_retained = np.empty(n_reps, dtype=np.int64)
-        n_kept = np.empty(n_reps, dtype=np.int64)
-        retained = [] if self.store_retained else None
-
-        for r in range(n_reps):
-            rows = benign[r]
-            injection = None if np.isnan(inject[r]) else float(inject[r])
-            if injection is None:
-                poison = rows[:0]
-            else:
-                poison = self.injector.injectors[r].materialize(rows, injection)
-            combined = (
-                rows
-                if poison.shape[0] == 0
-                else np.concatenate([rows, poison], axis=0)
-            )
-            rep_trimmer = self._rep_trimmer(r)
-            report = rep_trimmer.trim(combined, float(trim[r]))
-            if report.scores is not None:
-                retained_scores = report.kept_scores
-                shared = (
-                    report.scores if self._quality.share_flags[r] else None
-                )
-            else:
-                retained_scores = rep_trimmer.scores(combined)[report.kept]
-                shared = None
-            observed_ratio[r], quality[r] = self._quality.evaluators[r].evaluate(
-                combined, scores=shared
-            )
-            betrayal[r] = self._judges.judges[r].judge_round(
-                injection, retained_scores
-            )
-            n_collected[r] = combined.shape[0]
-            n_poison_injected[r] = poison.shape[0]
-            n_poison_retained[r] = int(
-                np.count_nonzero(report.kept[rows.shape[0]:])
-            )
-            n_kept[r] = report.n_kept
-            if retained is not None:
-                retained.append(combined[report.kept])
-
-        board.record_round(
-            trim_percentile=trim,
-            injection_percentile=inject,
-            quality=quality,
-            observed_poison_ratio=observed_ratio,
-            betrayal=betrayal,
-            n_collected=n_collected,
-            n_poison_injected=n_poison_injected,
-            n_poison_retained=n_poison_retained,
-            n_retained=n_kept,
-            retained=retained,
-        )
-        return RoundObservationBatch(
-            index=index,
-            trim_percentile=trim,
-            injection_percentile=inject,
-            quality=quality,
-            observed_poison_ratio=observed_ratio,
-            betrayal=betrayal,
-        )
+        As with the solo engine, every stochastic component is rewound
+        first, so running the same engine twice replays all R games
+        identically.  The loop is a thin driver over
+        :meth:`BatchedGameSession.submit
+        <repro.core.session.BatchedGameSession.submit>` — the same
+        lockstep transition the
+        :class:`~repro.serving.DefenseService` multiplexes live
+        sessions through.
+        """
+        session = self.session()
+        for _ in range(self.rounds):
+            session.submit(self.source.next_batches())
+        return session.close()

@@ -33,6 +33,36 @@ from .domain import clip_percentile
 __all__ = ["PayoffModel", "power_poison_gain", "power_trim_cost"]
 
 
+@dataclass(frozen=True)
+class _PowerGain:
+    """``P(x) = scale * x**exponent`` as a picklable callable."""
+
+    scale: float
+    exponent: float
+
+    def __call__(self, x):
+        value = self.scale * np.power(np.asarray(x, dtype=float), self.exponent)
+        if np.ndim(x) == 0:
+            return float(value)
+        return value
+
+
+@dataclass(frozen=True)
+class _PowerCost:
+    """``T(x) = scale * (1 - x)**exponent`` as a picklable callable."""
+
+    scale: float
+    exponent: float
+
+    def __call__(self, x):
+        value = self.scale * np.power(
+            1.0 - np.asarray(x, dtype=float), self.exponent
+        )
+        if np.ndim(x) == 0:
+            return float(value)
+        return value
+
+
 def power_poison_gain(scale: float = 1.0, exponent: float = 2.0) -> Callable[[float], float]:
     """A convex poison-gain family ``P(x) = scale * x**exponent``.
 
@@ -41,18 +71,12 @@ def power_poison_gain(scale: float = 1.0, exponent: float = 2.0) -> Callable[[fl
     centroids and separating hyperplanes superlinearly).  The returned
     callable is ndarray-aware: scalar in, float out; array in, array out —
     scalar and vectorized evaluations share the same :func:`numpy.power`
-    kernel, so they agree bit-for-bit.
+    kernel, so they agree bit-for-bit.  It is a plain frozen-dataclass
+    callable, so payoff models pickle (session snapshots carry them).
     """
     if scale <= 0 or exponent <= 0:
         raise ValueError("scale and exponent must be positive")
-
-    def gain(x):
-        value = scale * np.power(np.asarray(x, dtype=float), exponent)
-        if np.ndim(x) == 0:
-            return float(value)
-        return value
-
-    return gain
+    return _PowerGain(float(scale), float(exponent))
 
 
 def power_trim_cost(scale: float = 1.0, exponent: float = 1.0) -> Callable[[float], float]:
@@ -60,18 +84,12 @@ def power_trim_cost(scale: float = 1.0, exponent: float = 1.0) -> Callable[[floa
 
     ``1 - x`` is exactly the benign mass removed when trimming at
     percentile ``x``; the exponent models how quickly accuracy loss grows
-    with removed mass.  Ndarray-aware like :func:`power_poison_gain`.
+    with removed mass.  Ndarray-aware and picklable like
+    :func:`power_poison_gain`.
     """
     if scale <= 0 or exponent <= 0:
         raise ValueError("scale and exponent must be positive")
-
-    def cost(x):
-        value = scale * np.power(1.0 - np.asarray(x, dtype=float), exponent)
-        if np.ndim(x) == 0:
-            return float(value)
-        return value
-
-    return cost
+    return _PowerCost(float(scale), float(exponent))
 
 
 @dataclass

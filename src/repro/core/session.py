@@ -1,0 +1,1162 @@
+"""Push-driven game sessions: the engine's round transition, inverted.
+
+:class:`~repro.core.engine.CollectionGame.run` owns a pull loop — it
+drains a pre-materialized stream and returns only when the horizon ends.
+That shape cannot serve live traffic: a deployable defense is a *reactive
+transition function* whose caller owns the loop, supplies the data, and
+may stop, pause or migrate at any round.  This module extracts that
+transition:
+
+* :class:`GameSession` — one tenant's live game.  ``submit(batch)`` plays
+  exactly one round of the §IV collection game (adversary reaction,
+  poison materialization, trimming, quality evaluation, compliance
+  judgement, board recording) and returns a :class:`RoundDecision`;
+  ``close()`` seals the session into the familiar
+  :class:`~repro.core.engine.GameResult`.  ``CollectionGame.run()`` is
+  now a thin driver over this transition — byte-identical to the
+  historical loop, pinned by the test suite.
+* :meth:`GameSession.snapshot` / :meth:`GameSession.restore` — complete
+  mid-game state capture: strategy state, every RNG consumer's
+  ``Generator`` bit-state, the board's column arrays and the horizon
+  position.  A session suspended in one process resumes byte-identically
+  in another.
+* :class:`BatchedGameSession` — the rep-lane counterpart: one
+  ``submit((R, batch, ...))`` call steps R lockstep games through the
+  PR-3 vectorized kernels.  ``BatchedCollectionGame.run()`` drives it,
+  and the :class:`~repro.serving.DefenseService` multiplexer uses it to
+  batch *across live tenants* the way the sweep runtime batches across
+  repetitions.
+
+Snapshot format
+---------------
+``snapshot()`` returns a pickled envelope tagged :data:`SNAPSHOT_FORMAT`
+that carries (a) the calibrated components themselves and (b) the
+structured ``state_dict()`` — each stateful component's
+``export_state()`` document.  ``restore()`` rebuilds the components,
+``reset()``s every one that exports authoritative state, and replays the
+state document through ``import_state()``; the byte-identity of the
+continued game (tested across the full shipped strategy matrix) is the
+proof that the exported state is complete.  Snapshots are a *process
+migration* format, not an archival one: they are tied to the package
+version that wrote them and to pickle availability (see README,
+"Serving live streams").
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..streams.board import BoardEntry, PublicBoard, StackedBoard
+from ..streams.injection import BatchedInjector, PoisonInjector
+from ..streams.source import StreamSource
+from .strategies.base import (
+    AdversaryStrategy,
+    CollectorStrategy,
+    RoundObservation,
+    RoundObservationBatch,
+)
+from .trimming import BatchTrimReport, Trimmer
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "RoundPayoffs",
+    "RoundDecision",
+    "BatchedRoundDecision",
+    "GameSession",
+    "BatchedGameSession",
+    "round_payoffs",
+    "stack_observations",
+]
+
+#: Snapshot envelope tag; bumped when the layout changes incompatibly.
+SNAPSHOT_FORMAT = "repro.session/1"
+
+
+# --------------------------------------------------------------------- #
+# per-round outputs
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RoundPayoffs:
+    """Realized §III-B payoffs of one round.
+
+    ``adversary`` is the poison gain ``P(x_a)`` scaled by the fraction
+    of injected poison that survived trimming; ``collector`` is the
+    zero-sum mirror minus the trimming overhead ``T(x_c)``.
+    """
+
+    adversary: float
+    collector: float
+
+
+def round_payoffs(
+    model,
+    threshold: float,
+    injection_percentile: Optional[float],
+    n_poison_injected: int,
+    n_poison_retained: int,
+) -> RoundPayoffs:
+    """Realized payoffs of one round under a :class:`PayoffModel`.
+
+    A deterministic function of the round's public record — evaluating
+    it never advances any RNG, so sessions with and without a payoff
+    model play byte-identical games.
+    """
+    overhead = float(model.trim_overhead(float(threshold)))
+    if injection_percentile is None or n_poison_injected == 0:
+        gain = 0.0
+    else:
+        gain = float(model.poison_payoff(float(injection_percentile))) * (
+            int(n_poison_retained) / int(n_poison_injected)
+        )
+    return RoundPayoffs(adversary=gain, collector=-(gain + overhead))
+
+
+@dataclass(frozen=True)
+class RoundDecision:
+    """Everything one :meth:`GameSession.submit` call decided.
+
+    ``accept_mask`` is the boolean trim verdict over the round's
+    *combined* batch (submitted rows followed by any materialized
+    poison) — the actionable output a live collector applies to the
+    round's traffic.  ``observation`` is the public-board record both
+    strategies will react to next round; the ``n_*`` counts are the
+    ground-truth bookkeeping (the trim report in summary form), and
+    ``payoffs`` is present when the session carries a payoff model.
+    """
+
+    index: int
+    threshold: float
+    injection_percentile: Optional[float]
+    accept_mask: np.ndarray
+    quality: float
+    observed_poison_ratio: float
+    betrayal: bool
+    n_collected: int
+    n_retained: int
+    n_poison_injected: int
+    n_poison_retained: int
+    observation: RoundObservation
+    retained: Optional[np.ndarray] = None
+    payoffs: Optional[RoundPayoffs] = None
+
+    @property
+    def n_trimmed(self) -> int:
+        """Rows of the combined batch the trim rejected."""
+        return self.n_collected - self.n_retained
+
+    @property
+    def trimmed_fraction(self) -> float:
+        """Fraction of the combined batch the trim rejected."""
+        if self.n_collected == 0:
+            return 0.0
+        return 1.0 - self.n_retained / self.n_collected
+
+
+@dataclass(frozen=True)
+class BatchedRoundDecision:
+    """One lockstep round across R rep lanes (column form).
+
+    The ``(R,)`` column counterpart of :class:`RoundDecision`:
+    ``injection_percentile`` uses NaN for "no injection",
+    ``accept_masks`` holds one boolean mask per lane (lanes may disagree
+    on batch width in the ragged mixed-injection case), and ``retained``
+    carries the per-lane retained rows on full (non-lean) sessions.
+    """
+
+    index: int
+    threshold: np.ndarray
+    injection_percentile: np.ndarray
+    quality: np.ndarray
+    observed_poison_ratio: np.ndarray
+    betrayal: np.ndarray
+    n_collected: np.ndarray
+    n_retained: np.ndarray
+    n_poison_injected: np.ndarray
+    n_poison_retained: np.ndarray
+    accept_masks: List[np.ndarray]
+    retained: Optional[List[np.ndarray]] = None
+
+    @property
+    def n_reps(self) -> int:
+        """Number of rep lanes the round stepped."""
+        return int(self.threshold.shape[0])
+
+    def rep_observation(self, r: int) -> RoundObservation:
+        """Lane ``r``'s public observation, scalar form."""
+        injection = self.injection_percentile[r]
+        return RoundObservation(
+            index=self.index,
+            trim_percentile=float(self.threshold[r]),
+            injection_percentile=(
+                None if np.isnan(injection) else float(injection)
+            ),
+            quality=float(self.quality[r]),
+            observed_poison_ratio=float(self.observed_poison_ratio[r]),
+            betrayal=bool(self.betrayal[r]),
+        )
+
+
+def stack_observations(
+    observations: Sequence[RoundObservation],
+) -> RoundObservationBatch:
+    """Stack per-session observations into one rep-lane column batch.
+
+    All observations must share a round index (the lockstep grouping
+    invariant the :class:`~repro.serving.DefenseService` enforces).
+    """
+    indices = {obs.index for obs in observations}
+    if len(indices) != 1:
+        raise ValueError(
+            f"cannot stack observations from different rounds: {sorted(indices)}"
+        )
+    return RoundObservationBatch(
+        index=observations[0].index,
+        trim_percentile=np.array(
+            [obs.trim_percentile for obs in observations], dtype=float
+        ),
+        injection_percentile=np.array(
+            [
+                np.nan if obs.injection_percentile is None
+                else obs.injection_percentile
+                for obs in observations
+            ],
+            dtype=float,
+        ),
+        quality=np.array([obs.quality for obs in observations], dtype=float),
+        observed_poison_ratio=np.array(
+            [obs.observed_poison_ratio for obs in observations], dtype=float
+        ),
+        betrayal=np.array([obs.betrayal for obs in observations], dtype=bool),
+    )
+
+
+# --------------------------------------------------------------------- #
+# the solo session
+# --------------------------------------------------------------------- #
+class GameSession:
+    """One live, step-driven collection game.
+
+    The caller owns the loop: every :meth:`submit` plays exactly one
+    round with the supplied benign batch (or one pulled from the
+    attached ``source``) and returns the :class:`RoundDecision`;
+    :meth:`close` seals the game into a
+    :class:`~repro.core.engine.GameResult`.  Construction normally goes
+    through :meth:`CollectionGame.session`,
+    :meth:`GameSpec.session <repro.runtime.spec.GameSpec.session>` or
+    :meth:`GameSession.open` — all of which hand over *calibrated*
+    components (fitted trimmer/evaluator/judge).
+
+    Parameters
+    ----------
+    collector:
+        The trimming policy.  Required.
+    adversary / injector:
+        The simulated attack side.  ``adversary=None`` selects *live
+        mode*: the submitted batch is treated as the round's full
+        (possibly already-manipulated) traffic, nothing is injected, and
+        the optional ``poison_mask`` argument of :meth:`submit` supplies
+        ground-truth bookkeeping when the caller knows it.
+    trimmer / quality_evaluator / judge:
+        Calibrated round components, exactly as wired by
+        :class:`~repro.core.engine.CollectionGame`.
+    share_scores:
+        Whether the evaluator may reuse the trimmer's batch scores
+        (resolved automatically when ``None``).
+    horizon:
+        Maximum number of rounds, or ``None`` for an open-ended session
+        (partial horizons are first-class: :meth:`close` at any round).
+    payoff_model:
+        Optional :class:`~repro.core.payoffs.PayoffModel`; when present
+        every decision carries the round's realized :class:`RoundPayoffs`.
+    source:
+        Optional attached :class:`~repro.streams.source.StreamSource`;
+        lets :meth:`submit` be called without a batch and is included in
+        snapshots so a suspended spec-driven session resumes its own
+        traffic byte-identically.
+    """
+
+    def __init__(
+        self,
+        *,
+        collector: CollectorStrategy,
+        adversary: Optional[AdversaryStrategy] = None,
+        injector: Optional[PoisonInjector] = None,
+        trimmer: Trimmer,
+        quality_evaluator,
+        judge,
+        share_scores: Optional[bool] = None,
+        horizon: Optional[int] = None,
+        store_retained: bool = True,
+        payoff_model=None,
+        source: Optional[StreamSource] = None,
+        reset: bool = True,
+    ):
+        if adversary is not None and injector is None:
+            raise ValueError(
+                "an adversary needs an injector to materialize its poison; "
+                "pass adversary=None for live (externally manipulated) traffic"
+            )
+        if horizon is not None and horizon < 1:
+            raise ValueError("horizon must be >= 1 (or None for open-ended)")
+        self.collector = collector
+        self.adversary = adversary
+        self.injector = injector
+        self.trimmer = trimmer
+        self.quality_evaluator = quality_evaluator
+        self.judge = judge
+        self.horizon = None if horizon is None else int(horizon)
+        self.store_retained = bool(store_retained)
+        self.payoff_model = payoff_model
+        self.source = source
+        if share_scores is None:
+            share_scores = quality_evaluator.accepts_scores(
+                getattr(trimmer, "score_kind", None)
+            )
+        self._share_scores = bool(share_scores)
+        if reset:
+            for component in (collector, adversary, injector, judge, source):
+                component_reset = getattr(component, "reset", None)
+                if callable(component_reset):
+                    component_reset()
+        self._board = PublicBoard(store_retained=self.store_retained)
+        self._last: Optional[RoundObservation] = None
+        self._round = 0
+        self._closed = False
+        self._superseded = False
+
+    def _supersede(self) -> None:
+        """Mark the session dead because its components were re-reset.
+
+        Engine-backed sessions share the engine's live component
+        instances; a later ``session()``/``run()`` on the same engine
+        resets those components underneath this session, so continuing
+        (or snapshotting) it would silently diverge.  The engine marks
+        the previous session instead, turning the hazard into a loud
+        error.
+        """
+        self._superseded = True
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def open(
+        cls,
+        *,
+        collector: CollectorStrategy,
+        trimmer: Trimmer,
+        reference,
+        adversary: Optional[AdversaryStrategy] = None,
+        injector: Optional[PoisonInjector] = None,
+        quality_evaluator=None,
+        judge=None,
+        horizon: Optional[int] = None,
+        anchor: str = "reference",
+        store_retained: bool = True,
+        payoff_model=None,
+        source: Optional[StreamSource] = None,
+    ) -> "GameSession":
+        """Calibrate components on ``reference`` and open a session.
+
+        The standalone constructor for callers who do not already hold a
+        :class:`~repro.core.engine.CollectionGame`: performs exactly the
+        engine's calibration (trimmer/injector reference fit, evaluator
+        fit, judge fit on the shared reference scores) and returns the
+        opened session.
+        """
+        from .engine import BandExcessJudge
+        from .quality import TailMassEvaluator
+
+        if anchor not in ("reference", "batch"):
+            raise ValueError("anchor must be 'reference' or 'batch'")
+        reference = np.asarray(reference, dtype=float)
+        trimmer.anchor = anchor
+        trimmer.fit_reference(reference)
+        if injector is not None:
+            injector.fit_reference(reference)
+        quality_evaluator = quality_evaluator or TailMassEvaluator()
+        quality_evaluator.fit(reference)
+        judge = judge or BandExcessJudge(noise_sigma=0.0)
+        reference_scores = getattr(trimmer, "reference_scores", None)
+        if reference_scores is None:
+            reference_scores = trimmer.scores(reference)
+        if isinstance(judge, BandExcessJudge):
+            table = getattr(trimmer, "reference_table", None)
+            judge.fit(table if table is not None else reference_scores)
+        else:
+            judge.fit(reference_scores)
+        return cls(
+            collector=collector,
+            adversary=adversary,
+            injector=injector,
+            trimmer=trimmer,
+            quality_evaluator=quality_evaluator,
+            judge=judge,
+            horizon=horizon,
+            store_retained=store_retained,
+            payoff_model=payoff_model,
+            source=source,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def round_index(self) -> int:
+        """Number of completed rounds (0 before the first submit)."""
+        return self._round
+
+    @property
+    def last_observation(self) -> Optional[RoundObservation]:
+        """The most recent public observation, or ``None`` before round 1."""
+        return self._last
+
+    @property
+    def board(self) -> PublicBoard:
+        """The session's public board (append-only, live)."""
+        return self._board
+
+    @property
+    def is_closed(self) -> bool:
+        """Whether :meth:`close` has sealed the session."""
+        return self._closed
+
+    @property
+    def done(self) -> bool:
+        """True when closed or the horizon is exhausted."""
+        return self._closed or (
+            self.horizon is not None and self._round >= self.horizon
+        )
+
+    @property
+    def collector_name(self) -> str:
+        """The collector strategy's display name."""
+        return self.collector.name
+
+    @property
+    def adversary_name(self) -> str:
+        """The adversary's display name (``"live"`` in live mode)."""
+        return "live" if self.adversary is None else self.adversary.name
+
+    # ------------------------------------------------------------------ #
+    def _decide_positions(self):
+        """Both parties' positions for the upcoming round."""
+        if self._last is None:
+            trim_q = self.collector.first()
+            inject_q = (
+                self.adversary.first() if self.adversary is not None else None
+            )
+        else:
+            trim_q = self.collector.react(self._last)
+            inject_q = (
+                self.adversary.react(self._last)
+                if self.adversary is not None
+                else None
+            )
+        return trim_q, inject_q
+
+    def _check_submittable(self) -> None:
+        if self._superseded:
+            raise RuntimeError(
+                "session superseded: its state authority moved on (a newer "
+                "session()/run() on the same engine, or a service "
+                "eviction); this handle can no longer play"
+            )
+        if self._closed:
+            raise RuntimeError("session is closed")
+        if self.horizon is not None and self._round >= self.horizon:
+            raise RuntimeError(
+                f"horizon of {self.horizon} rounds exhausted; close() the "
+                "session to obtain its GameResult"
+            )
+
+    def submit(self, batch=None, poison_mask=None) -> RoundDecision:
+        """Play one round with ``batch`` and return the decision.
+
+        ``batch`` is the round's benign data (adversarial sessions) or
+        the full incoming traffic (live mode); omit it to pull from the
+        attached source.  ``poison_mask`` is live-mode-only ground truth
+        marking which submitted rows are manipulated — bookkeeping for
+        the board, never visible to the strategies.
+        """
+        self._check_submittable()
+        if batch is None:
+            if self.source is None:
+                raise ValueError(
+                    "submit() needs a batch: this session has no attached "
+                    "stream source"
+                )
+            batch = self.source.next_batch()
+        benign = np.asarray(batch, dtype=float)
+        index = self._round + 1
+        trim_q, inject_q = self._decide_positions()
+
+        if self.adversary is not None:
+            if poison_mask is not None:
+                raise ValueError(
+                    "poison_mask is only accepted in live mode "
+                    "(adversary=None); adversarial sessions track poison "
+                    "themselves"
+                )
+            if inject_q is None:
+                poison = benign[:0]
+            else:
+                poison = self.injector.materialize(benign, inject_q)
+            if poison.shape[0] == 0:
+                combined = benign
+            else:
+                combined = np.concatenate([benign, poison], axis=0)
+            mask = np.zeros(combined.shape[0], dtype=bool)
+            mask[benign.shape[0]:] = True
+            n_poison_injected = int(poison.shape[0])
+        else:
+            combined = benign
+            if poison_mask is None:
+                mask = np.zeros(combined.shape[0], dtype=bool)
+            else:
+                mask = np.asarray(poison_mask, dtype=bool)
+                if mask.shape != (combined.shape[0],):
+                    raise ValueError(
+                        f"poison_mask must be shaped ({combined.shape[0]},), "
+                        f"got {mask.shape}"
+                    )
+            n_poison_injected = int(np.count_nonzero(mask))
+
+        report = self.trimmer.trim(combined, trim_q)
+        # Single-pass scoring, exactly as the historical engine loop: the
+        # judge reuses the trim report's batch scores, and the evaluator
+        # shares them when the score families are commensurable.
+        if report.scores is not None:
+            retained_scores = report.kept_scores
+            shared_scores = report.scores if self._share_scores else None
+        else:
+            retained_scores = self.trimmer.scores(combined)[report.kept]
+            shared_scores = None
+
+        observed_ratio, quality = self.quality_evaluator.evaluate(
+            combined, scores=shared_scores
+        )
+        betrayal = self.judge.judge_round(inject_q, retained_scores)
+
+        observation = RoundObservation(
+            index=index,
+            trim_percentile=float(trim_q),
+            injection_percentile=None if inject_q is None else float(inject_q),
+            quality=quality,
+            observed_poison_ratio=float(observed_ratio),
+            betrayal=bool(betrayal),
+        )
+        retained = combined[report.kept] if self.store_retained else None
+        n_poison_retained = int(np.count_nonzero(report.kept & mask))
+        self._board.record(
+            BoardEntry(
+                observation=observation,
+                retained=retained,
+                n_collected=combined.shape[0],
+                n_poison_injected=n_poison_injected,
+                n_poison_retained=n_poison_retained,
+                n_retained=report.n_kept,
+            )
+        )
+        self._last = observation
+        self._round = index
+        return RoundDecision(
+            index=index,
+            threshold=float(trim_q),
+            injection_percentile=observation.injection_percentile,
+            accept_mask=report.kept,
+            quality=float(quality),
+            observed_poison_ratio=float(observed_ratio),
+            betrayal=bool(betrayal),
+            n_collected=int(combined.shape[0]),
+            n_retained=int(report.n_kept),
+            n_poison_injected=n_poison_injected,
+            n_poison_retained=n_poison_retained,
+            observation=observation,
+            retained=retained,
+            payoffs=self._payoffs(
+                observation, n_poison_injected, n_poison_retained
+            ),
+        )
+
+    def _payoffs(
+        self,
+        observation: RoundObservation,
+        n_poison_injected: int,
+        n_poison_retained: int,
+    ) -> Optional[RoundPayoffs]:
+        if self.payoff_model is None:
+            return None
+        return round_payoffs(
+            self.payoff_model,
+            observation.trim_percentile,
+            observation.injection_percentile,
+            n_poison_injected,
+            n_poison_retained,
+        )
+
+    def absorb_round(
+        self, decision: BatchedRoundDecision, rep: int
+    ) -> RoundDecision:
+        """Adopt lane ``rep`` of a lockstep round as this session's round.
+
+        The :class:`~repro.serving.DefenseService` multiplexer plays
+        same-configuration sessions through one
+        :class:`BatchedGameSession` step; this records the session's
+        lane on its own board and advances its position exactly as a
+        solo :meth:`submit` would have (the strategy/RNG state advanced
+        inside the shared kernels, which draw from this session's own
+        component instances).
+        """
+        self._check_submittable()
+        if decision.index != self._round + 1:
+            raise ValueError(
+                f"lockstep round {decision.index} does not follow this "
+                f"session's round {self._round}"
+            )
+        observation = decision.rep_observation(rep)
+        retained = (
+            decision.retained[rep]
+            if (self.store_retained and decision.retained is not None)
+            else None
+        )
+        n_poison_injected = int(decision.n_poison_injected[rep])
+        n_poison_retained = int(decision.n_poison_retained[rep])
+        self._board.record(
+            BoardEntry(
+                observation=observation,
+                retained=retained,
+                n_collected=int(decision.n_collected[rep]),
+                n_poison_injected=n_poison_injected,
+                n_poison_retained=n_poison_retained,
+                n_retained=int(decision.n_retained[rep]),
+            )
+        )
+        self._last = observation
+        self._round = decision.index
+        return RoundDecision(
+            index=decision.index,
+            threshold=observation.trim_percentile,
+            injection_percentile=observation.injection_percentile,
+            accept_mask=decision.accept_masks[rep],
+            quality=observation.quality,
+            observed_poison_ratio=observation.observed_poison_ratio,
+            betrayal=observation.betrayal,
+            n_collected=int(decision.n_collected[rep]),
+            n_retained=int(decision.n_retained[rep]),
+            n_poison_injected=n_poison_injected,
+            n_poison_retained=n_poison_retained,
+            observation=observation,
+            retained=retained,
+            payoffs=self._payoffs(
+                observation, n_poison_injected, n_poison_retained
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    def result(self):
+        """The game-so-far as a :class:`~repro.core.engine.GameResult`."""
+        from .engine import GameResult
+
+        return GameResult(
+            board=self._board,
+            collector_name=self.collector_name,
+            adversary_name=self.adversary_name,
+            termination_round=getattr(self.collector, "terminated_round", None),
+        )
+
+    def close(self):
+        """Seal the session and return its final ``GameResult``."""
+        self._closed = True
+        return self.result()
+
+    # ------------------------------------------------------------------ #
+    # snapshot / restore
+    # ------------------------------------------------------------------ #
+    def _stateful_components(self):
+        return (
+            ("collector", self.collector),
+            ("adversary", self.adversary),
+            ("injector", self.injector),
+            ("trimmer", self.trimmer),
+            ("quality", self.quality_evaluator),
+            ("judge", self.judge),
+            ("source", self.source),
+        )
+
+    def state_dict(self) -> Dict[str, dict]:
+        """Every component's exported mutable state, keyed by role.
+
+        The structured half of a snapshot: plain-data documents from
+        each component's ``export_state()`` (empty for stateless
+        components).  Restoring replays these through
+        ``import_state()`` after a ``reset()`` — completeness is what
+        the cross-process byte-identity tests assert.
+        """
+        state: Dict[str, dict] = {}
+        for name, component in self._stateful_components():
+            if component is None:
+                continue
+            exporter = getattr(component, "export_state", None)
+            state[name] = exporter() if callable(exporter) else {}
+        return state
+
+    def snapshot(self) -> bytes:
+        """Serialize the complete mid-game state to a portable blob.
+
+        The envelope carries the calibrated components, the structured
+        :meth:`state_dict`, the board's column arrays (plus retained
+        payloads on full boards) and the horizon position.  See the
+        module docstring for the format contract.
+        """
+        from .. import __version__
+
+        if self._superseded:
+            raise RuntimeError(
+                "session superseded: its state authority moved on (a newer "
+                "session()/run() on the same engine, or a service "
+                "eviction), so a snapshot here would not capture the "
+                "live game"
+            )
+
+        retained = (
+            [entry.retained for entry in self._board.entries]
+            if self.store_retained
+            else None
+        )
+        payload = {
+            "format": SNAPSHOT_FORMAT,
+            "package_version": __version__,
+            "components": {
+                name: component
+                for name, component in self._stateful_components()
+            },
+            "payoff_model": self.payoff_model,
+            "state": self.state_dict(),
+            "board": {
+                "columns": self._board.columns,
+                "retained": retained,
+            },
+            "session": {
+                "horizon": self.horizon,
+                "store_retained": self.store_retained,
+                "share_scores": self._share_scores,
+                "round": self._round,
+                "closed": self._closed,
+                "last_observation": self._last,
+            },
+        }
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def restore(cls, blob: bytes) -> "GameSession":
+        """Rebuild a session from a :meth:`snapshot` blob.
+
+        Components that export authoritative state are ``reset()`` and
+        re-imported from the structured state document; components with
+        nothing to export (stateless strategies, custom user objects)
+        keep their deserialized attributes untouched.  The restored
+        session continues byte-identically to the uninterrupted
+        original — in this process or any other.
+        """
+        payload = pickle.loads(blob)
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != SNAPSHOT_FORMAT
+        ):
+            raise ValueError(
+                f"not a {SNAPSHOT_FORMAT} session snapshot"
+            )
+        components = payload["components"]
+        state = payload["state"]
+        for name, component in components.items():
+            if component is None:
+                continue
+            component_state = state.get(name)
+            if not component_state:
+                # Nothing exported: the pickled object already carries
+                # whatever state it has; resetting would destroy it.
+                continue
+            component_reset = getattr(component, "reset", None)
+            if callable(component_reset):
+                component_reset()
+            importer = getattr(component, "import_state", None)
+            if callable(importer):
+                importer(component_state)
+
+        doc = payload["session"]
+        session = cls(
+            collector=components["collector"],
+            adversary=components["adversary"],
+            injector=components["injector"],
+            trimmer=components["trimmer"],
+            quality_evaluator=components["quality"],
+            judge=components["judge"],
+            share_scores=doc["share_scores"],
+            horizon=doc["horizon"],
+            store_retained=doc["store_retained"],
+            payoff_model=payload["payoff_model"],
+            source=components["source"],
+            reset=False,
+        )
+        board_doc = payload["board"]
+        session._board = PublicBoard.from_columns(
+            board_doc["columns"],
+            retained=board_doc["retained"],
+            store_retained=doc["store_retained"],
+        )
+        session._last = doc["last_observation"]
+        session._round = int(doc["round"])
+        session._closed = bool(doc["closed"])
+        return session
+
+
+# --------------------------------------------------------------------- #
+# the rep-lane session
+# --------------------------------------------------------------------- #
+class BatchedGameSession:
+    """R lockstep games as one step-driven session.
+
+    The push-driven counterpart of
+    :class:`~repro.core.engine.BatchedCollectionGame`: every
+    :meth:`submit` steps all R lanes through one vectorized round (the
+    PR-3 kernels), either recording onto an owned
+    :class:`~repro.streams.board.StackedBoard` (the engine-driver path)
+    or returning the full column decision for the caller to distribute
+    (``board=None`` — the :class:`~repro.serving.DefenseService` path,
+    where each multiplexed tenant records its own lane via
+    :meth:`GameSession.absorb_round`).
+
+    Construction goes through
+    :meth:`BatchedCollectionGame.session` or the service's lane
+    grouping; the components mirror the batched engine's internals
+    (strategy lanes, a :class:`~repro.streams.injection.BatchedInjector`,
+    shared-or-per-rep trimmers, quality and judge lanes).  ``start_index``
+    and ``last`` seat the session mid-game — strategy lanes initialize
+    from their instances' current state, so lockstep play can begin at
+    any round, not just round 1.
+    """
+
+    def __init__(
+        self,
+        *,
+        collector_lanes,
+        adversary_lanes,
+        injector: BatchedInjector,
+        trimmer: Trimmer,
+        per_rep_trimmers: Optional[Sequence[Trimmer]] = None,
+        quality_lanes,
+        judge_lanes,
+        horizon: Optional[int] = None,
+        store_retained: bool = True,
+        board: Optional[StackedBoard] = None,
+        start_index: int = 0,
+        last: Optional[RoundObservationBatch] = None,
+    ):
+        n_reps = collector_lanes.n_reps
+        if adversary_lanes.n_reps != n_reps or injector.n_reps != n_reps:
+            raise ValueError(
+                "collector, adversary and injector lanes must agree on the "
+                "number of repetitions"
+            )
+        if per_rep_trimmers is not None and len(per_rep_trimmers) != n_reps:
+            raise ValueError("need one trimmer per repetition (or None)")
+        self.n_reps = n_reps
+        self._collectors = collector_lanes
+        self._adversaries = adversary_lanes
+        self.injector = injector
+        self.trimmer = trimmer
+        self._trimmers = (
+            list(per_rep_trimmers) if per_rep_trimmers is not None else None
+        )
+        self._quality = quality_lanes
+        self._judges = judge_lanes
+        self.horizon = None if horizon is None else int(horizon)
+        self.store_retained = bool(store_retained)
+        self.board = board
+        self._round = int(start_index)
+        self._last = last
+        self._closed = False
+        self._superseded = False
+
+    def _supersede(self) -> None:
+        """Mark the session dead (see :meth:`GameSession._supersede`)."""
+        self._superseded = True
+
+    # ------------------------------------------------------------------ #
+    @property
+    def round_index(self) -> int:
+        """Number of completed lockstep rounds."""
+        return self._round
+
+    @property
+    def done(self) -> bool:
+        """True when closed or the horizon is exhausted."""
+        return self._closed or (
+            self.horizon is not None and self._round >= self.horizon
+        )
+
+    def _check_submittable(self) -> None:
+        if self._superseded:
+            raise RuntimeError(
+                "session superseded: its state authority moved on (a newer "
+                "session()/run() on the same engine, or a service "
+                "eviction); this handle can no longer play"
+            )
+        if self._closed:
+            raise RuntimeError("session is closed")
+        if self.horizon is not None and self._round >= self.horizon:
+            raise RuntimeError(
+                f"horizon of {self.horizon} rounds exhausted; close() the "
+                "session to obtain its result"
+            )
+
+    # ------------------------------------------------------------------ #
+    def submit(self, batches) -> BatchedRoundDecision:
+        """Step every lane through one lockstep round.
+
+        ``batches`` is the round's benign stack ``(R, batch[, d])`` —
+        one row of lanes per repetition, e.g. from
+        :meth:`StreamSource.next_batches`.
+        """
+        self._check_submittable()
+        benign = np.asarray(batches, dtype=float)
+        if benign.ndim not in (2, 3) or benign.shape[0] != self.n_reps:
+            raise ValueError(
+                f"benign stack must be shaped ({self.n_reps}, batch[, d]), "
+                f"got {benign.shape}"
+            )
+        index = self._round + 1
+        if self._last is None:
+            trim = np.asarray(self._collectors.first_many(), dtype=float)
+            inject = np.asarray(self._adversaries.first_many(), dtype=float)
+        else:
+            trim = np.asarray(self._collectors.react_many(self._last), dtype=float)
+            inject = np.asarray(self._adversaries.react_many(self._last), dtype=float)
+
+        observed = ~np.isnan(inject)
+        poison_rows = (
+            self.injector.poison_count(benign.shape[1])
+            if observed.any()
+            else 0
+        )
+        if poison_rows and not observed.all():
+            # Mixed inject/skip across lanes: the stack would be ragged,
+            # so this round replays the solo body per lane.
+            decision = self._submit_ragged(index, benign, trim, inject)
+        else:
+            decision = self._submit_stacked(
+                index, benign, trim, inject, poison_rows
+            )
+
+        if self.board is not None:
+            self.board.record_round(
+                trim_percentile=decision.threshold,
+                injection_percentile=decision.injection_percentile,
+                quality=decision.quality,
+                observed_poison_ratio=decision.observed_poison_ratio,
+                betrayal=decision.betrayal,
+                n_collected=decision.n_collected,
+                n_poison_injected=decision.n_poison_injected,
+                n_poison_retained=decision.n_poison_retained,
+                n_retained=decision.n_retained,
+                retained=decision.retained,
+            )
+        self._last = RoundObservationBatch(
+            index=index,
+            trim_percentile=decision.threshold,
+            injection_percentile=decision.injection_percentile,
+            quality=np.asarray(decision.quality, dtype=float),
+            observed_poison_ratio=np.asarray(
+                decision.observed_poison_ratio, dtype=float
+            ),
+            betrayal=np.asarray(decision.betrayal, dtype=bool),
+        )
+        self._round = index
+        return decision
+
+    def _submit_stacked(
+        self,
+        index: int,
+        benign: np.ndarray,
+        trim: np.ndarray,
+        inject: np.ndarray,
+        poison_rows: int,
+    ) -> BatchedRoundDecision:
+        """The all-lanes-agree fast path: one vectorized round body."""
+        if poison_rows:
+            poison = self.injector.materialize_many(benign, inject)
+            combined = np.concatenate([benign, poison], axis=1)
+        else:
+            combined = benign
+
+        report = self._trim_stack(combined, trim)
+        scores = report.scores
+        if scores is None:
+            scores = self._scores_stack(combined)
+            shared = None
+        else:
+            shared = scores
+        observed_ratio, quality = self._quality.evaluate_many(combined, shared)
+        betrayal = self._judges.judge_round_many(inject, scores, report.kept)
+
+        n_kept = report.n_kept
+        if poison_rows:
+            n_poison_retained = np.count_nonzero(
+                report.kept[:, benign.shape[1]:], axis=1
+            )
+        else:
+            n_poison_retained = np.zeros(self.n_reps, dtype=np.int64)
+        retained = (
+            [combined[r][report.kept[r]] for r in range(self.n_reps)]
+            if self.store_retained
+            else None
+        )
+        return BatchedRoundDecision(
+            index=index,
+            threshold=trim,
+            injection_percentile=inject,
+            quality=np.asarray(quality, dtype=float),
+            observed_poison_ratio=np.asarray(observed_ratio, dtype=float),
+            betrayal=np.asarray(betrayal, dtype=bool),
+            n_collected=np.full(
+                self.n_reps, combined.shape[1], dtype=np.int64
+            ),
+            n_retained=np.asarray(n_kept, dtype=np.int64),
+            n_poison_injected=np.full(
+                self.n_reps, poison_rows, dtype=np.int64
+            ),
+            n_poison_retained=np.asarray(n_poison_retained, dtype=np.int64),
+            accept_masks=[report.kept[r] for r in range(self.n_reps)],
+            retained=retained,
+        )
+
+    def _submit_ragged(
+        self,
+        index: int,
+        benign: np.ndarray,
+        trim: np.ndarray,
+        inject: np.ndarray,
+    ) -> BatchedRoundDecision:
+        """One round where lanes disagree on injecting: solo body per lane."""
+        n_reps = self.n_reps
+        quality = np.empty(n_reps)
+        observed_ratio = np.empty(n_reps)
+        betrayal = np.empty(n_reps, dtype=bool)
+        n_collected = np.empty(n_reps, dtype=np.int64)
+        n_poison_injected = np.empty(n_reps, dtype=np.int64)
+        n_poison_retained = np.empty(n_reps, dtype=np.int64)
+        n_kept = np.empty(n_reps, dtype=np.int64)
+        accept_masks: List[np.ndarray] = []
+        retained = [] if self.store_retained else None
+
+        for r in range(n_reps):
+            rows = benign[r]
+            injection = None if np.isnan(inject[r]) else float(inject[r])
+            if injection is None:
+                poison = rows[:0]
+            else:
+                poison = self.injector.injectors[r].materialize(rows, injection)
+            combined = (
+                rows
+                if poison.shape[0] == 0
+                else np.concatenate([rows, poison], axis=0)
+            )
+            rep_trimmer = self._rep_trimmer(r)
+            report = rep_trimmer.trim(combined, float(trim[r]))
+            if report.scores is not None:
+                retained_scores = report.kept_scores
+                shared = (
+                    report.scores if self._quality.share_flags[r] else None
+                )
+            else:
+                retained_scores = rep_trimmer.scores(combined)[report.kept]
+                shared = None
+            observed_ratio[r], quality[r] = self._quality.evaluators[r].evaluate(
+                combined, scores=shared
+            )
+            betrayal[r] = self._judges.judges[r].judge_round(
+                injection, retained_scores
+            )
+            n_collected[r] = combined.shape[0]
+            n_poison_injected[r] = poison.shape[0]
+            n_poison_retained[r] = int(
+                np.count_nonzero(report.kept[rows.shape[0]:])
+            )
+            n_kept[r] = report.n_kept
+            accept_masks.append(report.kept)
+            if retained is not None:
+                retained.append(combined[report.kept])
+
+        return BatchedRoundDecision(
+            index=index,
+            threshold=trim,
+            injection_percentile=inject,
+            quality=quality,
+            observed_poison_ratio=observed_ratio,
+            betrayal=betrayal,
+            n_collected=n_collected,
+            n_retained=n_kept,
+            n_poison_injected=n_poison_injected,
+            n_poison_retained=n_poison_retained,
+            accept_masks=accept_masks,
+            retained=retained,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _rep_trimmer(self, rep: int) -> Trimmer:
+        """Rep ``rep``'s trimmer (per-rep instances for custom classes)."""
+        if self._trimmers is not None:
+            return self._trimmers[rep]
+        return self.trimmer
+
+    def _trim_stack(
+        self, combined: np.ndarray, trim: np.ndarray
+    ) -> BatchTrimReport:
+        """One round's trim reports, honouring per-rep trimmer instances."""
+        if self._trimmers is None:
+            return self.trimmer.trim_many(combined, trim)
+        return BatchTrimReport.from_reports(
+            self._trimmers[r].trim(combined[r], float(trim[r]))
+            for r in range(self.n_reps)
+        )
+
+    def _scores_stack(self, combined: np.ndarray) -> np.ndarray:
+        """Batch scores per rep (fallback when reports carry none)."""
+        if self._trimmers is None:
+            return self.trimmer.scores_many(combined)
+        return np.stack(
+            [
+                self._trimmers[r].scores(combined[r])
+                for r in range(self.n_reps)
+            ]
+        )
+
+    # ------------------------------------------------------------------ #
+    def sync_lanes(self) -> None:
+        """Write diverged lane state back onto the strategy instances.
+
+        The multiplexer calls this after every lockstep step so the
+        per-session instances stay authoritative (a tenant may step solo
+        or be evicted between lockstep rounds).
+        """
+        self._collectors.finalize()
+        self._adversaries.finalize()
+
+    def close(self):
+        """Seal the session and return its ``BatchedGameResult``."""
+        from .engine import BatchedGameResult
+
+        if self.board is None:
+            raise RuntimeError(
+                "this lockstep session records no board of its own "
+                "(board=None); close the tenant sessions instead"
+            )
+        self._closed = True
+        self.sync_lanes()
+        return BatchedGameResult(
+            board=self.board,
+            collector_name=self._collectors.name,
+            adversary_name=self._adversaries.name,
+            termination_rounds=self._collectors.terminated_rounds(),
+        )

@@ -25,7 +25,7 @@ from typing import Optional
 
 import numpy as np
 
-from .base import AdversaryStrategy, RoundObservation
+from .base import AdversaryStrategy, RoundObservation, rng_state, set_rng_state
 
 __all__ = [
     "NullAdversary",
@@ -86,6 +86,12 @@ class UniformRangeAdversary(AdversaryStrategy):
         # identical game.  Sweeps wanting fresh positions per repetition
         # build fresh instances with per-cell derived seeds.
         self._rng = np.random.default_rng(self._seed)
+
+    def export_state(self) -> dict:
+        return {"rng": rng_state(self._rng)}
+
+    def import_state(self, state: dict) -> None:
+        set_rng_state(self._rng, state["rng"])
 
     def _draw(self) -> float:
         return float(self._rng.uniform(self.low, self.high))
@@ -162,6 +168,16 @@ class MixedAdversary(AdversaryStrategy):
         # Rewind the draw stream so a reused seeded instance replays
         # identically (see UniformRangeAdversary.reset).
         self._rng = np.random.default_rng(self._seed)
+
+    def export_state(self) -> dict:
+        return {
+            "rng": rng_state(self._rng),
+            "last_was_greedy": self.last_was_greedy,
+        }
+
+    def import_state(self, state: dict) -> None:
+        set_rng_state(self._rng, state["rng"])
+        self.last_was_greedy = bool(state["last_was_greedy"])
 
     def _draw(self) -> float:
         if self._rng.random() < self.p:

@@ -13,6 +13,7 @@ percentile; adversary strategies map it to the next injection percentile
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Optional
 
@@ -23,7 +24,25 @@ __all__ = [
     "RoundObservationBatch",
     "CollectorStrategy",
     "AdversaryStrategy",
+    "rng_state",
+    "set_rng_state",
 ]
+
+
+def rng_state(rng: np.random.Generator) -> dict:
+    """The exact bit-state of a :class:`numpy.random.Generator`.
+
+    The returned dict is a deep copy of ``rng.bit_generator.state`` — a
+    plain-data document that fully determines every future draw.  The
+    session snapshot layer (:mod:`repro.core.session`) carries these for
+    every RNG consumer so a restored game replays byte-identically.
+    """
+    return copy.deepcopy(rng.bit_generator.state)
+
+
+def set_rng_state(rng: np.random.Generator, state: dict) -> None:
+    """Restore a Generator to a bit-state captured by :func:`rng_state`."""
+    rng.bit_generator.state = copy.deepcopy(state)
 
 
 @dataclass(frozen=True)
@@ -124,6 +143,22 @@ class CollectorStrategy:
         """Trimming percentile for the round after ``last``."""
         raise NotImplementedError
 
+    def export_state(self) -> dict:
+        """The strategy's *mutable* mid-game state as a plain-data dict.
+
+        Everything :meth:`reset` would clear — and nothing else: static
+        configuration (thresholds, offsets, seeds) stays on the object.
+        The contract, relied on by session snapshots
+        (:mod:`repro.core.session`): ``reset()`` followed by
+        ``import_state(state)`` reproduces the exact point of play at
+        which ``state`` was exported, including RNG bit-state.  Stateless
+        strategies inherit this empty default.
+        """
+        return {}
+
+    def import_state(self, state: dict) -> None:
+        """Restore mid-game state captured by :meth:`export_state`."""
+
 
 class AdversaryStrategy:
     """A poison-injection policy for the adversary.
@@ -146,3 +181,10 @@ class AdversaryStrategy:
     def react(self, last: RoundObservation) -> Optional[float]:
         """Injection percentile for the round after ``last``."""
         raise NotImplementedError
+
+    def export_state(self) -> dict:
+        """Mutable mid-game state (see ``CollectorStrategy.export_state``)."""
+        return {}
+
+    def import_state(self, state: dict) -> None:
+        """Restore mid-game state captured by :meth:`export_state`."""

@@ -248,8 +248,16 @@ class _TitForTatLanes(CollectorLanes):
         lead = instances[0]
         self._soft = float(lead.soft_percentile)
         self._hard = float(lead.hard_percentile)
-        self._triggered = np.zeros(self.n_reps, dtype=bool)
-        self._terminated: List[Optional[int]] = [None] * self.n_reps
+        # Lane state seeds from the instances' *current* state (not a
+        # fresh game), so lanes built mid-game — the DefenseService
+        # multiplexing live sessions — continue each lane exactly where
+        # its solo instance stands.  reset_many() rewinds to fresh.
+        self._triggered = np.array(
+            [bool(inst._triggered) for inst in instances]
+        )
+        self._terminated: List[Optional[int]] = [
+            inst._terminated_round for inst in instances
+        ]
         if mode == "quality":
             trig = lead.trigger
             self._fire_level = trig.reference_score + trig.redundancy
@@ -257,8 +265,13 @@ class _TitForTatLanes(CollectorLanes):
             trig = lead.trigger
             self._tolerance = trig.tolerance
             self._warmup = trig.warmup
-            self._rounds = np.zeros(self.n_reps, dtype=np.int64)
-            self._betrayals = np.zeros(self.n_reps, dtype=np.int64)
+            self._rounds = np.array(
+                [inst.trigger._rounds for inst in instances], dtype=np.int64
+            )
+            self._betrayals = np.array(
+                [inst.trigger._betrayals for inst in instances],
+                dtype=np.int64,
+            )
 
     def reset_many(self) -> None:
         super().reset_many()
@@ -335,7 +348,8 @@ class _ElasticCollectorLanes(CollectorLanes):
         self._soft = lead.t_th + lead.soft_offset
         self._hard = lead.t_th + lead.hard_offset
         self._first = float(lead.first())
-        self._current = np.full(self.n_reps, self._first)
+        # Seed from current instance positions (mid-game lane builds).
+        self._current = np.array([float(inst._current) for inst in instances])
 
     def reset_many(self) -> None:
         super().reset_many()
@@ -420,7 +434,10 @@ class _TwoTatsLanes(_MirrorLanes):
 
     def __init__(self, instances):
         super().__init__(instances)
-        self._previous = np.zeros(self.n_reps, dtype=bool)
+        # Seed from current instance state (mid-game lane builds).
+        self._previous = np.array(
+            [bool(inst._previous_betrayal) for inst in instances]
+        )
 
     def reset_many(self) -> None:
         super().reset_many()
@@ -536,7 +553,8 @@ class _ElasticAdversaryLanes(AdversaryLanes):
         self._rule = lead.rule
         self._base = lead.t_th + lead.base_offset
         self._first = float(lead.first())
-        self._current = np.full(self.n_reps, self._first)
+        # Seed from current instance positions (mid-game lane builds).
+        self._current = np.array([float(inst._current) for inst in instances])
 
     def reset_many(self) -> None:
         super().reset_many()

@@ -92,6 +92,12 @@ class ElasticCollector(CollectorStrategy):
     def reset(self) -> None:
         self._current = self.first()
 
+    def export_state(self) -> dict:
+        return {"current": self._current}
+
+    def import_state(self, state: dict) -> None:
+        self._current = float(state["current"])
+
     def first(self) -> float:
         """Initial trim position ``T_th - 3%`` (§VI-A)."""
         return self._clip(self.t_th + self.init_offset)
@@ -160,6 +166,12 @@ class ElasticAdversary(AdversaryStrategy):
 
     def reset(self) -> None:
         self._current = self.first()
+
+    def export_state(self) -> dict:
+        return {"current": self._current}
+
+    def import_state(self, state: dict) -> None:
+        self._current = float(state["current"])
 
     def first(self) -> float:
         """Initial injection position ``T_th + 1%`` (§VI-A)."""

@@ -46,6 +46,13 @@ class QualityTrigger:
     def reset(self) -> None:
         """Stateless; present for interface uniformity."""
 
+    def export_state(self) -> dict:
+        """Stateless: nothing survives :meth:`reset`."""
+        return {}
+
+    def import_state(self, state: dict) -> None:
+        """Stateless; present for interface uniformity."""
+
     def fired(self, last: RoundObservation) -> bool:
         """True when the observed quality breaches the tolerance band."""
         return last.quality > self.reference_score + self.redundancy
@@ -102,6 +109,14 @@ class MixedStrategyTrigger:
     def reset(self) -> None:
         self._rounds = 0
         self._betrayals = 0
+
+    def export_state(self) -> dict:
+        """The running betrayal counters (see base ``export_state``)."""
+        return {"rounds": self._rounds, "betrayals": self._betrayals}
+
+    def import_state(self, state: dict) -> None:
+        self._rounds = int(state["rounds"])
+        self._betrayals = int(state["betrayals"])
 
     def fired(self, last: RoundObservation) -> bool:
         """Update the running ratio with ``last`` and test the threshold."""
@@ -180,6 +195,25 @@ class TitForTatCollector(CollectorStrategy):
         self._terminated_round = None
         if self.trigger is not None:
             self.trigger.reset()
+
+    def export_state(self) -> dict:
+        state = {
+            "triggered": self._triggered,
+            "terminated_round": self._terminated_round,
+        }
+        if self.trigger is not None:
+            exporter = getattr(self.trigger, "export_state", None)
+            state["trigger"] = exporter() if callable(exporter) else {}
+        return state
+
+    def import_state(self, state: dict) -> None:
+        self._triggered = bool(state["triggered"])
+        terminated = state["terminated_round"]
+        self._terminated_round = None if terminated is None else int(terminated)
+        if self.trigger is not None and "trigger" in state:
+            importer = getattr(self.trigger, "import_state", None)
+            if callable(importer):
+                importer(state["trigger"])
 
     def first(self) -> float:
         return self.soft_percentile

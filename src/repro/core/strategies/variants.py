@@ -22,7 +22,7 @@ from typing import Optional
 
 import numpy as np
 
-from .base import CollectorStrategy, RoundObservation
+from .base import CollectorStrategy, RoundObservation, rng_state, set_rng_state
 
 __all__ = ["MirrorCollector", "GenerousCollector", "TitForTwoTatsCollector"]
 
@@ -101,6 +101,12 @@ class GenerousCollector(_TwoLevelCollector):
         # replays identically game over game.
         self._rng = np.random.default_rng(self._seed)
 
+    def export_state(self) -> dict:
+        return {"rng": rng_state(self._rng)}
+
+    def import_state(self, state: dict) -> None:
+        set_rng_state(self._rng, state["rng"])
+
     def react(self, last: RoundObservation) -> float:
         if last.betrayal and self._rng.random() >= self.generosity:
             return self.hard_percentile
@@ -129,6 +135,12 @@ class TitForTwoTatsCollector(_TwoLevelCollector):
 
     def reset(self) -> None:
         self._previous_betrayal = False
+
+    def export_state(self) -> dict:
+        return {"previous_betrayal": self._previous_betrayal}
+
+    def import_state(self, state: dict) -> None:
+        self._previous_betrayal = bool(state["previous_betrayal"])
 
     def react(self, last: RoundObservation) -> float:
         punish = last.betrayal and self._previous_betrayal

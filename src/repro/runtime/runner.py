@@ -26,6 +26,7 @@ The runner is the shared execution layer the paper's experiments sit on:
 from __future__ import annotations
 
 import math
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import partial
@@ -312,13 +313,26 @@ class SweepStats:
     total: int
     cached: int
     played: int
+    #: Wall-clock seconds of the run (``None`` on synthesized stats,
+    #: e.g. a ``scenario report`` replay that executed nothing).
+    seconds: Optional[float] = None
 
     def describe(self) -> str:
         """One-line human summary (CLI status output)."""
+        timing = "" if self.seconds is None else f" in {self.seconds:.2f}s"
         return (
             f"{self.total} cells: {self.cached} loaded from store, "
-            f"{self.played} played"
+            f"{self.played} played{timing}"
         )
+
+    def to_json(self) -> dict:
+        """The stats as a JSON-ready document (``--stats-json``)."""
+        return {
+            "total": self.total,
+            "cached": self.cached,
+            "played": self.played,
+            "seconds": self.seconds,
+        }
 
 
 class SweepRunner:
@@ -417,9 +431,13 @@ class SweepRunner:
         finished them.
         """
         specs = list(specs)
+        started = time.perf_counter()
         if self.store is None:
             records = [record for _, record in self._iter_records(specs)]
-            self.last_stats = SweepStats(len(specs), 0, len(specs))
+            self.last_stats = SweepStats(
+                len(specs), 0, len(specs),
+                seconds=time.perf_counter() - started,
+            )
             self.last_keys = None
             return records
 
@@ -436,6 +454,7 @@ class SweepRunner:
             total=len(specs),
             cached=len(specs) - len(missing),
             played=len(missing),
+            seconds=time.perf_counter() - started,
         )
         return records
 

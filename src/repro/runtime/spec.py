@@ -250,6 +250,22 @@ class GameSpec:
         """Build and run the game to completion."""
         return self.build().run()
 
+    def session(self, horizon="rounds", payoff_model=None):
+        """Open a live :class:`~repro.core.session.GameSession` of this cell.
+
+        Builds the game and hands its stream to the session
+        (``attach_source=True``), so ``submit()`` with no batch serves
+        the spec's own traffic — the entry point
+        :class:`~repro.serving.DefenseService` tenants are opened
+        through.  ``horizon`` defaults to the spec's ``rounds``; pass
+        ``None`` for an open-ended session.
+        """
+        return self.build().session(
+            horizon=self.rounds if horizon == "rounds" else horizon,
+            payoff_model=payoff_model,
+            attach_source=True,
+        )
+
 
 @dataclass(frozen=True)
 class TaskSpec:

@@ -1,0 +1,15 @@
+"""Multi-tenant serving layer: many live defense sessions, one process.
+
+:class:`DefenseService` is the facade a deployment talks to — it opens
+:class:`~repro.core.session.GameSession` tenants from declarative
+:class:`~repro.runtime.spec.GameSpec` recipes, routes per-tenant
+``submit`` calls, transparently multiplexes same-configuration tenants
+through the vectorized lockstep kernels, and evicts idle tenants to
+snapshots (in memory or in a
+:class:`~repro.runtime.store.ResultStore`), restoring them on their
+next submit.
+"""
+
+from .service import DefenseService, ServiceStats
+
+__all__ = ["DefenseService", "ServiceStats"]

@@ -1,0 +1,497 @@
+"""The multi-tenant defense multiplexer.
+
+A deployment serves *many* concurrent collection games — one per tenant
+feed — and most of them run the same defense configuration.  Playing
+each round tenant-by-tenant wastes exactly the Python-loop overhead the
+rep-batched engine already eliminated for Monte-Carlo repetitions, so
+:class:`DefenseService` reuses that machinery across *live sessions*:
+
+* tenants are opened from :class:`~repro.runtime.spec.GameSpec` recipes
+  and grouped by :func:`~repro.runtime.spec.rep_group_key` — the "same
+  cell up to seed and tags" relation that already defines lockstep
+  compatibility;
+* :meth:`DefenseService.submit_many` steps every same-group,
+  same-round cohort through one
+  :class:`~repro.core.session.BatchedGameSession` round — strategy
+  lanes built *from the tenants' live instances* (they seed from
+  current state, see :mod:`repro.core.strategies.batched`), trims,
+  quality scores and judge verdicts computed on ``(R, n)`` stacks —
+  and distributes the per-lane decisions back onto each tenant's own
+  board.  Tenants that cannot join a cohort (odd round position, odd
+  batch shape, singleton group) fall back to their solo
+  :meth:`~repro.core.session.GameSession.submit`, byte-identically;
+* idle tenants are evicted to snapshots — in memory, or persisted in a
+  :class:`~repro.runtime.store.ResultStore` — and transparently
+  restored on their next submit, so resident memory is bounded by
+  ``max_resident`` rather than by the tenant count.
+
+The byte-identity contract of the lockstep path (every multiplexed
+round equals the tenant's solo round, bit for bit) is asserted by the
+test suite and re-asserted on every run of
+``benchmarks/bench_service.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.engine import _JudgeLanes, _QualityLanes
+from ..core.session import (
+    BatchedGameSession,
+    GameSession,
+    RoundDecision,
+    stack_observations,
+)
+from ..core.strategies.batched import adversary_lanes, collector_lanes
+from ..core.trimming import RadialTrimmer, ValueTrimmer
+from ..runtime.spec import GameSpec, rep_group_key, rep_keys_equal
+from ..streams.injection import BatchedInjector
+
+__all__ = ["DefenseService", "ServiceStats"]
+
+
+@dataclass
+class ServiceStats:
+    """Running operation counters of one :class:`DefenseService`."""
+
+    opened: int = 0
+    closed: int = 0
+    solo_rounds: int = 0
+    lockstep_rounds: int = 0
+    lockstep_lanes: int = 0
+    evictions: int = 0
+    restores: int = 0
+
+
+class DefenseService:
+    """Holds and multiplexes many concurrent defense sessions.
+
+    Parameters
+    ----------
+    store:
+        Optional :class:`~repro.runtime.store.ResultStore`; evicted
+        sessions persist their snapshots there (surviving the process —
+        a later service re-attaches them with :meth:`adopt`), otherwise
+        snapshots are kept in memory.
+    namespace:
+        Key prefix isolating this service's snapshots inside a shared
+        store.  Two services sharing one store must use distinct
+        namespaces (or distinct session ids); a restore additionally
+        verifies that the stored snapshot belongs to this session id
+        and spec, so a collision fails loudly instead of silently
+        resuming another tenant's game.
+    max_resident:
+        Soft cap on live (non-evicted) sessions.  When an ``open`` or
+        restore pushes the resident count above it, the least recently
+        used idle sessions are evicted automatically.
+    min_multiplex:
+        Smallest cohort :meth:`submit_many` plays in lockstep; smaller
+        cohorts use the solo path (default 2).
+    """
+
+    def __init__(
+        self,
+        store=None,
+        namespace: str = "default",
+        max_resident: Optional[int] = None,
+        min_multiplex: int = 2,
+    ):
+        if max_resident is not None and max_resident < 1:
+            raise ValueError("max_resident must be >= 1 (or None)")
+        if min_multiplex < 2:
+            raise ValueError("min_multiplex must be >= 2")
+        self._store = store
+        self.namespace = str(namespace)
+        self.max_resident = max_resident
+        self.min_multiplex = int(min_multiplex)
+        self._sessions: Dict[str, GameSession] = {}
+        self._specs: Dict[str, GameSpec] = {}
+        self._group_of: Dict[str, int] = {}
+        self._group_keys: List[tuple] = []
+        #: Evicted session ids -> in-memory snapshot blob (None when the
+        #: blob lives in the result store instead).
+        self._evicted: Dict[str, Optional[bytes]] = {}
+        self._clock = 0
+        self._touched: Dict[str, int] = {}
+        self._next_id = 0
+        self.stats = ServiceStats()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def open(
+        self,
+        spec: GameSpec,
+        session_id: Optional[str] = None,
+        horizon="spec",
+        payoff_model=None,
+    ) -> str:
+        """Open a new tenant session from a declarative game recipe.
+
+        Returns the session id (generated ``session-N`` when not
+        given).  ``horizon`` defaults to the spec's ``rounds``; pass
+        ``None`` for an open-ended tenant.  The spec's stream is
+        attached, so ``submit`` calls without a batch serve the spec's
+        own traffic.
+        """
+        if session_id is None:
+            # Skip over ids the caller already claimed explicitly.
+            while (
+                f"session-{self._next_id}" in self._sessions
+                or f"session-{self._next_id}" in self._evicted
+            ):
+                self._next_id += 1
+            session_id = f"session-{self._next_id}"
+            self._next_id += 1
+        if session_id in self._sessions or session_id in self._evicted:
+            raise ValueError(f"session id {session_id!r} already exists")
+        session = spec.session(
+            horizon=spec.rounds if horizon == "spec" else horizon,
+            payoff_model=payoff_model,
+        )
+        self._sessions[session_id] = session
+        self._specs[session_id] = spec
+        self._group_of[session_id] = self._group_index(spec)
+        self._touch(session_id)
+        self.stats.opened += 1
+        self._enforce_residency(protect={session_id})
+        return session_id
+
+    def _group_index(self, spec: GameSpec) -> int:
+        key = rep_group_key(spec)
+        for index, existing in enumerate(self._group_keys):
+            if rep_keys_equal(existing, key):
+                return index
+        self._group_keys.append(key)
+        return len(self._group_keys) - 1
+
+    def _touch(self, session_id: str) -> None:
+        self._clock += 1
+        self._touched[session_id] = self._clock
+
+    def session_ids(self) -> List[str]:
+        """All known session ids (resident and evicted), oldest first."""
+        return list(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    @property
+    def resident_ids(self) -> List[str]:
+        """Ids of sessions currently held live in memory."""
+        return list(self._sessions)
+
+    @property
+    def evicted_ids(self) -> List[str]:
+        """Ids of sessions currently parked as snapshots."""
+        return list(self._evicted)
+
+    def session(self, session_id: str) -> GameSession:
+        """The live :class:`GameSession` (restoring it if evicted)."""
+        return self._resident(session_id)
+
+    def _resident(self, session_id: str) -> GameSession:
+        session = self._sessions.get(session_id)
+        if session is not None:
+            return session
+        if session_id in self._evicted:
+            return self._restore(session_id)
+        raise KeyError(f"unknown session id {session_id!r}")
+
+    # ------------------------------------------------------------------ #
+    # submit
+    # ------------------------------------------------------------------ #
+    def submit(
+        self, session_id: str, batch=None, poison_mask=None
+    ) -> RoundDecision:
+        """Play one round of one tenant (the solo routing path)."""
+        session = self._resident(session_id)
+        decision = session.submit(batch, poison_mask=poison_mask)
+        self._touch(session_id)
+        self.stats.solo_rounds += 1
+        self._enforce_residency(protect={session_id})
+        return decision
+
+    def submit_many(
+        self,
+        batches: Union[Mapping[str, object], Sequence[str]],
+    ) -> Dict[str, RoundDecision]:
+        """Play one round for many tenants, multiplexing where possible.
+
+        ``batches`` maps session ids to their round batches (``None``
+        pulls from the tenant's attached source), or is a plain
+        sequence of ids (all pulled from their sources).  Tenants that
+        share a configuration group, sit at the same round and receive
+        same-shaped batches step through one vectorized lockstep round;
+        everyone else is routed solo.  Either way each tenant's
+        decision, board and strategy state are byte-identical to solo
+        play.
+        """
+        if not isinstance(batches, Mapping):
+            ids = list(batches)
+            if len(set(ids)) != len(ids):
+                raise ValueError(
+                    "duplicate session ids in one submit_many call"
+                )
+            batches = {session_id: None for session_id in ids}
+        order = list(batches)
+
+        # Pre-flight *before* any stream or strategy advances: restore
+        # evicted members, check lifecycles, check batch availability.
+        # A tenant failing these checks fails the whole call with no
+        # state advanced anywhere.  (A kernel error *during* a round —
+        # e.g. a malformed batch a trimmer rejects — still aborts the
+        # call mid-way: cohorts that already played keep their rounds.)
+        sessions = {sid: self._resident(sid) for sid in order}
+        for sid in order:
+            sessions[sid]._check_submittable()
+            if batches[sid] is None and sessions[sid].source is None:
+                raise ValueError(
+                    f"session {sid!r} has no attached source; "
+                    "pass its batch explicitly"
+                )
+
+        cohorts: Dict[tuple, List[str]] = {}
+        for sid in order:
+            cohorts.setdefault(
+                (self._group_of[sid], sessions[sid].round_index), []
+            ).append(sid)
+
+        decisions: Dict[str, RoundDecision] = {}
+        for members in cohorts.values():
+            arrays = []
+            for sid in members:
+                batch = batches[sid]
+                if batch is None:
+                    batch = sessions[sid].source.next_batch()
+                arrays.append(np.asarray(batch, dtype=float))
+            if (
+                len(members) >= self.min_multiplex
+                and len({a.shape for a in arrays}) == 1
+            ):
+                lane_sessions = [sessions[sid] for sid in members]
+                for sid, decision in zip(
+                    members,
+                    self._submit_lockstep(lane_sessions, np.stack(arrays)),
+                ):
+                    decisions[sid] = decision
+                self.stats.lockstep_rounds += 1
+                self.stats.lockstep_lanes += len(members)
+            else:
+                for sid, batch in zip(members, arrays):
+                    decisions[sid] = sessions[sid].submit(batch)
+                    self.stats.solo_rounds += 1
+            for sid in members:
+                self._touch(sid)
+        self._enforce_residency(protect=set(order))
+        return {sid: decisions[sid] for sid in order}
+
+    def _submit_lockstep(
+        self, sessions: List[GameSession], benign: np.ndarray
+    ) -> List[RoundDecision]:
+        """One vectorized round across same-group, same-round tenants.
+
+        Lanes are rebuilt from the tenants' live instances each round —
+        they seed from current state by construction — and
+        ``sync_lanes()`` writes diverged state straight back, so the
+        per-tenant instances stay authoritative between calls no matter
+        how tenants mix lockstep and solo rounds.  The rebuild is a
+        deliberate trade-off: caching lanes per cohort would shave the
+        per-round dispatch/validation cost but needs invalidation on
+        every solo submit, eviction and membership change — the exact
+        silent-divergence bug class the rebuild rules out; the bench
+        gate passes with margin as is.
+        """
+        lead = sessions[0]
+        trimmers = [session.trimmer for session in sessions]
+        shared_trimmer = type(trimmers[0]) in (ValueTrimmer, RadialTrimmer)
+        last = None
+        if lead.last_observation is not None:
+            last = stack_observations(
+                [session.last_observation for session in sessions]
+            )
+        lockstep = BatchedGameSession(
+            collector_lanes=collector_lanes(
+                [session.collector for session in sessions]
+            ),
+            adversary_lanes=adversary_lanes(
+                [session.adversary for session in sessions]
+            ),
+            injector=BatchedInjector(
+                [session.injector for session in sessions]
+            ),
+            trimmer=trimmers[0],
+            per_rep_trimmers=None if shared_trimmer else trimmers,
+            quality_lanes=_QualityLanes(
+                [session.quality_evaluator for session in sessions],
+                trimmers[0],
+            ),
+            judge_lanes=_JudgeLanes(
+                [session.judge for session in sessions]
+            ),
+            horizon=None,
+            store_retained=lead.store_retained,
+            board=None,
+            start_index=lead.round_index,
+            last=last,
+        )
+        decision = lockstep.submit(benign)
+        lockstep.sync_lanes()
+        return [
+            session.absorb_round(decision, rep)
+            for rep, session in enumerate(sessions)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # close / evict / restore
+    # ------------------------------------------------------------------ #
+    def close(self, session_id: str):
+        """Seal a tenant and return its final ``GameResult``.
+
+        Any persisted snapshot blob of the tenant is removed from the
+        store — a closed session id leaves nothing behind that a later
+        tenant reusing the id could accidentally resurrect.
+        """
+        session = self._resident(session_id)
+        result = session.close()
+        del self._sessions[session_id]
+        del self._specs[session_id]
+        del self._group_of[session_id]
+        self._touched.pop(session_id, None)
+        if self._store is not None:
+            self._store.record_path(self._session_key(session_id)).unlink(
+                missing_ok=True
+            )
+        self.stats.closed += 1
+        return result
+
+    def _session_key(self, session_id: str) -> str:
+        """Store key of a session snapshot (namespace + id, hex form)."""
+        return hashlib.sha256(
+            f"repro-defense-session:{self.namespace}:{session_id}".encode(
+                "utf-8"
+            )
+        ).hexdigest()
+
+    def evict(self, session_id: str) -> None:
+        """Park a tenant as a snapshot, freeing its live state.
+
+        With a result store attached, the snapshot blob persists on
+        disk (surviving the process); otherwise it is kept in memory.
+        The next ``submit`` touching the session restores it
+        transparently.
+        """
+        session = self._sessions.pop(session_id, None)
+        if session is None:
+            if session_id in self._evicted:
+                return  # already parked
+            raise KeyError(f"unknown session id {session_id!r}")
+        blob = session.snapshot()
+        # The snapshot is now the authoritative copy; a caller-held
+        # handle to the popped object must die loudly, not silently
+        # diverge from its restored twin.
+        session._supersede()
+        if self._store is not None:
+            self._store.save(
+                self._session_key(session_id),
+                {
+                    "session_id": session_id,
+                    "spec_key": self._store.key(self._specs[session_id]),
+                    "blob": blob,
+                },
+            )
+            self._evicted[session_id] = None
+        else:
+            self._evicted[session_id] = blob
+        self._touched.pop(session_id, None)
+        self.stats.evictions += 1
+
+    def adopt(self, spec: GameSpec, session_id: str) -> None:
+        """Re-attach a store-persisted tenant to this service.
+
+        The public half of the cross-process persistence story: a
+        service that evicted a tenant to the store may have exited;
+        a fresh service (same store, same ``namespace``) adopts the
+        tenant by re-registering its recipe under its session id.  The
+        persisted snapshot is validated to belong to exactly this
+        (namespace, session id, spec) before it is accepted; the next
+        ``submit`` restores it like any evicted tenant.
+        """
+        if self._store is None:
+            raise RuntimeError("adopt() needs a result store")
+        if session_id in self._sessions or session_id in self._evicted:
+            raise ValueError(f"session id {session_id!r} already exists")
+        missing = object()
+        record = self._store.load(self._session_key(session_id), missing)
+        if record is missing:
+            raise KeyError(
+                f"no persisted snapshot of session {session_id!r} in "
+                f"namespace {self.namespace!r} under {self._store.root}"
+            )
+        self._validate_snapshot_record(record, session_id, spec)
+        self._specs[session_id] = spec
+        self._group_of[session_id] = self._group_index(spec)
+        self._evicted[session_id] = None
+
+    def _validate_snapshot_record(
+        self, record, session_id: str, spec: GameSpec
+    ) -> bytes:
+        """Check a persisted snapshot belongs to (session_id, spec)."""
+        if (
+            not isinstance(record, dict)
+            or not isinstance(record.get("blob"), bytes)
+        ):
+            raise ValueError(
+                f"stored record for session {session_id!r} is not a "
+                "service snapshot"
+            )
+        if record.get("session_id") != session_id or record.get(
+            "spec_key"
+        ) != self._store.key(spec):
+            raise ValueError(
+                f"stored snapshot under session id {session_id!r} belongs "
+                "to a different tenant or spec — use distinct session ids "
+                "or service namespaces when sharing a store"
+            )
+        return record["blob"]
+
+    def _restore(self, session_id: str) -> GameSession:
+        # The session stays parked until the restore fully succeeds, so
+        # a failed restore (missing/foreign blob) is retryable.
+        blob = self._evicted[session_id]
+        if blob is None:
+            missing = object()
+            record = self._store.load(self._session_key(session_id), missing)
+            if record is missing:
+                raise KeyError(
+                    f"snapshot of evicted session {session_id!r} is missing "
+                    f"from the store under {self._store.root}"
+                )
+            blob = self._validate_snapshot_record(
+                record, session_id, self._specs[session_id]
+            )
+        session = GameSession.restore(blob)
+        del self._evicted[session_id]
+        self._sessions[session_id] = session
+        self._touch(session_id)
+        self.stats.restores += 1
+        return session
+
+    def _enforce_residency(self, protect=frozenset()) -> None:
+        """Evict least-recently-used sessions above ``max_resident``."""
+        if self.max_resident is None:
+            return
+        while len(self._sessions) > self.max_resident:
+            candidates = [
+                sid for sid in self._sessions if sid not in protect
+            ]
+            if not candidates:
+                return
+            victim = min(
+                candidates, key=lambda sid: self._touched.get(sid, 0)
+            )
+            self.evict(victim)

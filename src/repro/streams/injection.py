@@ -32,6 +32,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..core.strategies.base import rng_state, set_rng_state
+
 __all__ = ["PoisonInjector", "BatchedInjector"]
 
 _MODES = ("quantile", "radial")
@@ -109,6 +111,14 @@ class PoisonInjector:
     def reset(self) -> None:
         """Rewind the jitter stream so a reused injector replays identically."""
         self._rng = np.random.default_rng(self._seed)
+
+    def export_state(self) -> dict:
+        """The jitter Generator's bit-state (session snapshot contract)."""
+        return {"rng": rng_state(self._rng)}
+
+    def import_state(self, state: dict) -> None:
+        """Restore the jitter stream captured by :meth:`export_state`."""
+        set_rng_state(self._rng, state["rng"])
 
     def poison_count(self, n_benign: int) -> int:
         """Number of poison points injected alongside ``n_benign`` rows."""

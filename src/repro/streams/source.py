@@ -26,6 +26,8 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..core.strategies.base import rng_state, set_rng_state
+
 __all__ = ["StreamSource", "ArrayStream", "GeneratorStream"]
 
 
@@ -67,6 +69,19 @@ class StreamSource:
             "next_batches() requires a rep-lane source (construct with a "
             "sequence of seeds, one per repetition)"
         )
+
+    def export_state(self) -> dict:
+        """Mutable stream position (cursor/RNG) as a plain-data dict.
+
+        Mirrors the strategy state-export contract: ``reset()`` followed
+        by ``import_state(state)`` resumes the draw sequence exactly
+        where :meth:`export_state` captured it.  Sources without mutable
+        state inherit this empty default.
+        """
+        return {}
+
+    def import_state(self, state: dict) -> None:
+        """Restore a stream position captured by :meth:`export_state`."""
 
 
 class ArrayStream(StreamSource):
@@ -120,6 +135,39 @@ class ArrayStream(StreamSource):
             self._rng, self._order, self._cursor = self._fresh_lane(self._seed)
         else:
             self._lane_state = [self._fresh_lane(s) for s in self._lane_seeds]
+
+    def _lane_dict(self, state) -> dict:
+        rng, order, cursor = state
+        return {
+            "rng": rng_state(rng),
+            "order": np.asarray(order).copy(),
+            "cursor": int(cursor),
+        }
+
+    def _restore_lane(self, state, lane: dict) -> None:
+        set_rng_state(state[0], lane["rng"])
+        state[1] = np.asarray(lane["order"], dtype=np.int64).copy()
+        state[2] = int(lane["cursor"])
+
+    def export_state(self) -> dict:
+        if self._lane_seeds is None:
+            return self._lane_dict([self._rng, self._order, self._cursor])
+        return {"lanes": [self._lane_dict(s) for s in self._lane_state]}
+
+    def import_state(self, state: dict) -> None:
+        if self._lane_seeds is None:
+            lane_state = [self._rng, self._order, self._cursor]
+            self._restore_lane(lane_state, state)
+            self._rng, self._order, self._cursor = lane_state
+            return
+        lanes = state["lanes"]
+        if len(lanes) != len(self._lane_state):
+            raise ValueError(
+                f"state carries {len(lanes)} lanes, stream has "
+                f"{len(self._lane_state)}"
+            )
+        for lane_state, lane in zip(self._lane_state, lanes):
+            self._restore_lane(lane_state, lane)
 
     def _next_index(self, state) -> np.ndarray:
         rng, order, cursor = state
@@ -182,6 +230,24 @@ class GeneratorStream(StreamSource):
             self._rng = np.random.default_rng(self._seed)
         else:
             self._lane_rngs = [np.random.default_rng(s) for s in self._lane_seeds]
+
+    def export_state(self) -> dict:
+        if self._lane_seeds is None:
+            return {"rng": rng_state(self._rng)}
+        return {"lanes": [{"rng": rng_state(rng)} for rng in self._lane_rngs]}
+
+    def import_state(self, state: dict) -> None:
+        if self._lane_seeds is None:
+            set_rng_state(self._rng, state["rng"])
+            return
+        lanes = state["lanes"]
+        if len(lanes) != len(self._lane_rngs):
+            raise ValueError(
+                f"state carries {len(lanes)} lanes, stream has "
+                f"{len(self._lane_rngs)}"
+            )
+        for rng, lane in zip(self._lane_rngs, lanes):
+            set_rng_state(rng, lane["rng"])
 
     def _draw(self, rng) -> np.ndarray:
         batch = np.asarray(self._factory(rng, self.batch_size), dtype=float)

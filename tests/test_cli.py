@@ -119,6 +119,45 @@ class TestScenarioCLI:
         report_out = capsys.readouterr().out
         assert report_out == run_out
 
+    def test_stats_json_reports_cache_behaviour(self, tmp_path, capsys):
+        import json
+
+        cache = tmp_path / "cache"
+        cold_path = tmp_path / "cold.json"
+        warm_path = tmp_path / "warm.json"
+        argv = ["scenario", "run", "table4", "--cache-dir", str(cache)]
+        assert main(argv + ["--stats-json", str(cold_path)]) == 0
+        assert main(argv + ["--stats-json", str(warm_path)]) == 0
+        capsys.readouterr()
+
+        cold = json.loads(cold_path.read_text())
+        warm = json.loads(warm_path.read_text())
+        assert cold["format"] == 1
+        (cold_entry,) = cold["scenarios"]
+        (warm_entry,) = warm["scenarios"]
+        assert cold_entry["scenario"] == "table4"
+        assert cold_entry["played"] == cold_entry["total"] > 0
+        assert cold_entry["cached"] == 0
+        assert warm_entry["played"] == 0
+        assert warm_entry["cached"] == warm_entry["total"]
+        assert warm_entry["seconds"] >= 0.0
+        assert warm["total_seconds"] >= 0.0
+
+    def test_stats_json_works_without_store(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "stats.json"
+        assert main(
+            [
+                "scenario", "run", "table4", "--no-cache",
+                "--stats-json", str(path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        (entry,) = json.loads(path.read_text())["scenarios"]
+        assert entry["played"] == entry["total"] > 0
+        assert entry["cached"] == 0
+
     def test_report_before_run_fails_cleanly(self, tmp_path, capsys):
         assert main(
             ["scenario", "report", "table4", "--cache-dir", str(tmp_path)]
