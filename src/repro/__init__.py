@@ -97,7 +97,7 @@ from .runtime import (
 )
 from .serving import DefenseService
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",

@@ -1,0 +1,139 @@
+"""Command-line front end shared by ``repro lint`` and
+``python -m repro.analysis``.
+
+Semantics:
+
+* **no paths** — full self-audit: lint the installed ``repro`` package
+  *and* run the registry conformance auditor.  This is the CI gate and
+  must exit 0 at HEAD.
+* **explicit paths** — lint only those files/directories (the
+  conformance auditor checks the live registries, not arbitrary trees);
+  pass ``--conformance`` to run it as well.
+
+Exit codes: 0 = clean, 1 = findings, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .diagnostics import Diagnostic, Severity
+from .engine import LintEngine
+from .rules import all_rules
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+
+def _default_target() -> str:
+    """The installed ``repro`` package directory."""
+    return str(Path(__file__).resolve().parents[1])
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to a parser (shared with ``repro lint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files/directories to lint (default: the repro package plus "
+            "the registry conformance audit)"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    parser.add_argument(
+        "--no-conformance",
+        action="store_true",
+        help="skip the registry conformance auditor (layer 2)",
+    )
+    parser.add_argument(
+        "--conformance",
+        action="store_true",
+        help="run the conformance auditor even when explicit paths are given",
+    )
+    parser.add_argument(
+        "--no-subprocess-checks",
+        action="store_true",
+        help=(
+            "skip the cross-process fingerprint checks (faster; CI runs "
+            "them, pre-commit hooks may not want two interpreter spawns)"
+        ),
+    )
+    parser.add_argument(
+        "--no-hints",
+        action="store_true",
+        help="omit fix hints from the report",
+    )
+
+
+def _list_rules() -> int:
+    rows = [(rule.rule_id, str(rule.severity), rule.title) for rule in all_rules()]
+    rows.extend(
+        [
+            ("CONF001", "error", "every shipped strategy has a batched lane"),
+            ("CONF002", "error", "stateful components round-trip export/import_state"),
+            ("CONF003", "error", "ComponentSpecs importable, picklable, fingerprint-stable"),
+            ("CONF004", "error", "score_kind/accepts_scores pairs are commensurable"),
+            ("CONF005", "error", "repro.session/1 envelope covers state-exporting classes"),
+        ]
+    )
+    width = max(len(row[0]) for row in rows)
+    for rule_id, severity, title in rows:
+        print(f"{rule_id:<{width}}  {severity:<7}  {title}")
+    return 0
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the exit code."""
+    if args.list_rules:
+        return _list_rules()
+
+    paths: Sequence[str] = args.paths or [_default_target()]
+    run_conformance = not args.no_conformance and (
+        not args.paths or args.conformance
+    )
+
+    findings: List[Diagnostic] = []
+    engine = LintEngine(all_rules())
+    try:
+        findings.extend(engine.lint_paths(paths))
+    except FileNotFoundError as exc:
+        print(f"repro lint: error: {exc}")
+        return 2
+
+    if run_conformance:
+        from .conformance import ConformanceAuditor
+
+        findings.extend(
+            ConformanceAuditor(
+                subprocess_checks=not args.no_subprocess_checks
+            ).audit()
+        )
+
+    for finding in sorted(findings):
+        print(finding.format(show_hint=not args.no_hints))
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    warnings = len(findings) - errors
+    scope = "lint + conformance" if run_conformance else "lint"
+    if findings:
+        print(f"{scope}: {errors} error(s), {warnings} warning(s)")
+        return 1
+    print(f"{scope}: clean")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, prog: str = "repro lint") -> int:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=(
+            "Determinism linter (REP001-REP005) and registry conformance "
+            "auditor (CONF001-CONF005) for the byte-identity contract."
+        ),
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))

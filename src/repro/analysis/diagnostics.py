@@ -1,0 +1,49 @@
+"""Diagnostic records shared by the linter and the conformance auditor.
+
+One finding = one :class:`Diagnostic`: a stable rule id (``REP001`` …
+for the AST linter, ``CONF001`` … for the registry auditor), a severity,
+a location, a one-line message and a *fix hint* — the "what to do about
+it" half every finding must carry so an audit failure is actionable
+without archaeology.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Severity", "Diagnostic"]
+
+
+class Severity(enum.Enum):
+    """How hard a finding gates: errors fail the audit, warnings inform."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One linter or auditor finding, ordered by location for stable output."""
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    severity: Severity
+    message: str
+    hint: Optional[str] = None
+
+    def format(self, show_hint: bool = True) -> str:
+        """``path:line:col: RULE [severity] message (fix: hint)``."""
+        text = (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )
+        if show_hint and self.hint:
+            text += f" (fix: {self.hint})"
+        return text

@@ -1,0 +1,39 @@
+"""The determinism rule set (REP001–REP005).
+
+Each rule mechanizes one violation class from the repo's own bug
+history; :data:`DEFAULT_RULES` is the set ``repro lint`` runs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Type
+
+from ..engine import Rule
+from .rep001 import GlobalRNGRule
+from .rep002 import UnstableSeedMaterialRule
+from .rep003 import UnorderedCanonicalIterationRule
+from .rep004 import MutableSharedStateRule
+from .rep005 import UnrestoredInitStateRule
+
+__all__ = [
+    "GlobalRNGRule",
+    "UnstableSeedMaterialRule",
+    "UnorderedCanonicalIterationRule",
+    "MutableSharedStateRule",
+    "UnrestoredInitStateRule",
+    "DEFAULT_RULE_CLASSES",
+    "all_rules",
+]
+
+DEFAULT_RULE_CLASSES: List[Type[Rule]] = [
+    GlobalRNGRule,
+    UnstableSeedMaterialRule,
+    UnorderedCanonicalIterationRule,
+    MutableSharedStateRule,
+    UnrestoredInitStateRule,
+]
+
+
+def all_rules() -> List[Rule]:
+    """A fresh instance of every default rule, in id order."""
+    return [cls() for cls in DEFAULT_RULE_CLASSES]

@@ -1,0 +1,116 @@
+"""REP003 — no unordered iteration feeding canonical output.
+
+Python ``set`` (and ``frozenset``) iteration order depends on insertion
+history and hash salting, so a set that leaks into a fingerprint, a
+``state_dict()``, or a reducer's canonical payload makes the artifact
+byte-unstable.  The rule restricts itself to *canonicalizing* functions
+(name matches fingerprint/canon/state_dict/export_state/spec_hash/
+cache_key/reduce) and flags set-typed expressions used as an iteration
+source or materialized by an order-preserving consumer (``list``,
+``tuple``, ``enumerate``, ``str.join``) there.  ``sorted(...)`` is the
+sanctioned fix and is never flagged; plain dict iteration is
+insertion-ordered and allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from ..diagnostics import Diagnostic
+from ..engine import ModuleContext, Rule
+from .common import terminal_name
+
+__all__ = ["UnorderedCanonicalIterationRule"]
+
+_CANONICAL_FUNC = re.compile(
+    r"(fingerprint|canon|state_dict|export_state|spec_hash|cache_key"
+    r"|store_key|reduce)",
+    re.I,
+)
+
+#: Order-preserving consumers for which set iteration order leaks out.
+_ORDERED_CONSUMERS = {"list", "tuple", "enumerate"}
+
+
+def _is_set_expr(ctx: ModuleContext, node: ast.expr) -> bool:
+    """Whether the expression is syntactically set-typed."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        resolved = ctx.resolve_call(node.func)
+        if resolved in {"set", "frozenset"}:
+            return True
+        name = terminal_name(node.func)
+        return name in {
+            "union",
+            "intersection",
+            "difference",
+            "symmetric_difference",
+        } and isinstance(node.func, ast.Attribute)
+    return False
+
+
+class UnorderedCanonicalIterationRule(Rule):
+    rule_id = "REP003"
+    title = "no set iteration feeding fingerprints/state_dict/reducers"
+    fix_hint = "wrap the set in sorted(...) before it reaches canonical output"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _CANONICAL_FUNC.search(fn.name):
+                continue
+            yield from self._check_function(ctx, fn)
+
+    # ------------------------------------------------------------------ #
+    def _check_function(
+        self, ctx: ModuleContext, fn: ast.AST
+    ) -> Iterator[Diagnostic]:
+        # Local names bound to a set expression inside this function:
+        # `parts = {...}` followed by `"|".join(parts)` is the same leak.
+        set_names = set()
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and _is_set_expr(ctx, node.value)
+            ):
+                set_names.add(node.targets[0].id)
+
+        def is_setish(expr: ast.expr) -> bool:
+            if isinstance(expr, ast.Name) and expr.id in set_names:
+                return True
+            return _is_set_expr(ctx, expr)
+
+        for node in ast.walk(fn):
+            source: Optional[ast.expr] = None
+            how = ""
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                source, how = node.iter, "a for-loop"
+            elif isinstance(node, ast.comprehension):
+                source, how = node.iter, "a comprehension"
+            elif isinstance(node, ast.Call):
+                name = terminal_name(node.func)
+                is_join = name == "join" and isinstance(node.func, ast.Attribute)
+                if (name in _ORDERED_CONSUMERS or is_join) and node.args:
+                    if is_setish(node.args[0]):
+                        source, how = node.args[0], f"`{name}(...)`"
+            if source is not None and is_setish(source):
+                yield self.diagnostic(
+                    ctx,
+                    source,
+                    "set iteration order is unstable but feeds "
+                    f"{how} inside canonicalizing function "
+                    f"`{self._enclosing_name(ctx, source)}()`",
+                )
+
+    @staticmethod
+    def _enclosing_name(ctx: ModuleContext, node: ast.AST) -> str:
+        for anc in ctx.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc.name
+        return "<module>"

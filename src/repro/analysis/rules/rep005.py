@@ -1,0 +1,159 @@
+"""REP005 — ``__init__``-assigned state must be restored by ``reset()``.
+
+The lifecycle contract behind snapshot/restore byte-identity: any
+attribute a component initializes and then mutates during play is
+mid-game state, and ``reset()`` / ``import_state()`` must put it back.
+The rule diffs attribute sets: it collects ``self.X`` assignments in
+``__init__``, follows ``self.m()`` calls transitively from ``reset``
+and ``import_state`` to build the *restored* set, and flags
+
+* **(A)** init-assigned attributes also mutated in play methods but
+  absent from the restored set — a fresh game would inherit stale
+  state; and
+* **(B)** RNG attributes (``default_rng``/``Generator``/``RandomState``
+  construction in ``__init__``) not re-created or restored — two runs
+  from the same seed would diverge after the first ``reset()``.
+
+Calibration methods (``fit``, ``fit_reference``) are pre-game setup by
+contract and do not count as play.  Base classes defined in the same
+module are folded into the method lookup so helper hierarchies (e.g. a
+module-local two-level base) are analyzed once, at the class that
+defines ``__init__``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..diagnostics import Diagnostic
+from ..engine import ModuleContext, Rule
+from .common import (
+    class_methods,
+    component_classes,
+    self_attribute_assigns,
+    self_method_calls,
+    terminal_name,
+)
+
+__all__ = ["UnrestoredInitStateRule"]
+
+#: Lifecycle / calibration methods that never count as "play".
+_NON_PLAY = {"__init__", "reset", "export_state", "import_state", "fit", "fit_reference"}
+
+_RNG_CONSTRUCTORS = {"default_rng", "Generator", "RandomState"}
+
+
+def _constructs_rng(node: ast.stmt) -> bool:
+    """Whether the assignment's RHS builds a NumPy RNG."""
+    value = getattr(node, "value", None)
+    if value is None:
+        return False
+    for sub in ast.walk(value):
+        if isinstance(sub, ast.Call):
+            if terminal_name(sub.func) in _RNG_CONSTRUCTORS:
+                return True
+    return False
+
+
+class _ClassView:
+    """Method lookup across a class and its module-local base chain."""
+
+    def __init__(self, ctx: ModuleContext, cls: ast.ClassDef):
+        by_name = {
+            node.name: node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        self.methods: Dict[str, ast.FunctionDef] = {}
+        seen: Set[str] = set()
+        queue: List[ast.ClassDef] = [cls]
+        while queue:  # linearize: own defs win over base defs
+            current = queue.pop(0)
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            for name, fn in class_methods(current).items():
+                self.methods.setdefault(name, fn)
+            for base in current.bases:
+                base_name = terminal_name(base)
+                if base_name in by_name:
+                    queue.append(by_name[base_name])
+
+    def reachable(self, roots: Set[str]) -> Set[str]:
+        """Methods reachable from ``roots`` through ``self.m()`` calls."""
+        visited: Set[str] = set()
+        queue = [name for name in roots if name in self.methods]
+        while queue:
+            name = queue.pop()
+            if name in visited:
+                continue
+            visited.add(name)
+            queue.extend(
+                callee
+                for callee in self_method_calls(self.methods[name])
+                if callee in self.methods and callee not in visited
+            )
+        return visited
+
+    def restored_attrs(self) -> Set[str]:
+        """Attributes assigned by reset/import_state or their callees."""
+        self.reset_reachable = self.reachable({"reset", "import_state"})
+        restored: Set[str] = set()
+        for name in self.reset_reachable:
+            restored.update(self_attribute_assigns(self.methods[name]))
+        return restored
+
+
+class UnrestoredInitStateRule(Rule):
+    rule_id = "REP005"
+    title = "__init__-assigned RNG/counter state not restored in reset()"
+    fix_hint = (
+        "re-create the attribute in reset() (and cover it in "
+        "export_state/import_state) so a fresh game starts from a clean slate"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        for cls in component_classes(ctx):
+            own = class_methods(cls)
+            init_fn = own.get("__init__")
+            if init_fn is None:
+                continue  # analyzed at the class that defines __init__
+            view = _ClassView(ctx, cls)
+            restored = view.restored_attrs()
+            init_assigns = self_attribute_assigns(init_fn)
+            # Calibration helpers (reachable from fit/fit_reference) are
+            # pre-game setup just like their roots, not play mutation.
+            calibration = view.reachable({"fit", "fit_reference"})
+
+            play_mutations: Dict[str, str] = {}
+            for name, fn in view.methods.items():
+                if name in _NON_PLAY or name in view.reset_reachable:
+                    continue
+                if name in calibration:
+                    continue
+                if name.startswith("__") and name.endswith("__"):
+                    continue
+                for attr in self_attribute_assigns(fn):
+                    play_mutations.setdefault(attr, name)
+
+            for attr, stmts in sorted(init_assigns.items()):
+                anchor = stmts[0]
+                if attr in restored:
+                    continue
+                if attr in play_mutations:
+                    yield self.diagnostic(
+                        ctx,
+                        anchor,
+                        f"`{cls.name}.{attr}` is assigned in __init__ and "
+                        f"mutated in `{play_mutations[attr]}()` but never "
+                        "restored by reset()/import_state()",
+                    )
+                elif any(_constructs_rng(stmt) for stmt in stmts):
+                    yield self.diagnostic(
+                        ctx,
+                        anchor,
+                        f"`{cls.name}.{attr}` holds an RNG created in "
+                        "__init__ but reset()/import_state() never "
+                        "re-creates or restores it",
+                    )

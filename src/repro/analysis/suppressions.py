@@ -1,0 +1,77 @@
+"""``# repro: noqa[...]`` suppression comments.
+
+Two scopes:
+
+* **line** — ``# repro: noqa[REP001]`` (or ``noqa[REP001,REP003]``) on a
+  line suppresses the named rules for findings anchored to that line;
+  a bare ``# repro: noqa`` suppresses every rule on the line.
+* **file** — ``# repro: noqa-file[REP001]`` anywhere in the file (by
+  convention near the top) suppresses the named rules for the whole
+  file; the bare form silences the file entirely.
+
+Suppressions are part of the audit contract: a ``noqa`` must sit next to
+a comment stating the constraint that justifies it (reviewed by humans —
+the linter only mechanizes the *finding*, not the justification).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Sequence
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa(?P<file>-file)?\s*(?:\[(?P<rules>[A-Z0-9_,\s]+)\])?",
+    re.IGNORECASE,
+)
+
+#: Sentinel rule set meaning "every rule".
+_ALL: FrozenSet[str] = frozenset({"*"})
+
+
+@dataclass(frozen=True)
+class Suppressions:
+    """Parsed suppression state of one source file."""
+
+    line_rules: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    file_rules: FrozenSet[str] = frozenset()
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is silenced at ``line`` (1-based)."""
+        if "*" in self.file_rules or rule in self.file_rules:
+            return True
+        rules = self.line_rules.get(line)
+        if rules is None:
+            return False
+        return "*" in rules or rule in rules
+
+
+def _parse_rules(raw: str) -> FrozenSet[str]:
+    rules = frozenset(
+        part.strip().upper() for part in raw.split(",") if part.strip()
+    )
+    return rules or _ALL
+
+
+def parse_suppressions(lines: Sequence[str]) -> Suppressions:
+    """Extract the suppression table from a file's source lines."""
+    line_rules: Dict[int, FrozenSet[str]] = {}
+    file_rules: FrozenSet[str] = frozenset()
+    for lineno, text in enumerate(lines, start=1):
+        if "noqa" not in text:
+            continue
+        match = _NOQA.search(text)
+        if match is None:
+            continue
+        rules = (
+            _parse_rules(match.group("rules"))
+            if match.group("rules")
+            else _ALL
+        )
+        if match.group("file"):
+            file_rules = file_rules | rules
+        else:
+            line_rules[lineno] = line_rules.get(lineno, frozenset()) | rules
+    return Suppressions(line_rules=line_rules, file_rules=file_rules)

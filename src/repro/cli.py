@@ -41,6 +41,7 @@ import os
 import sys
 from typing import Dict, List, Optional
 
+from .analysis.cli import add_lint_arguments, run_lint
 from .experiments import format_table
 from .scenarios import (
     ScenarioError,
@@ -380,6 +381,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="result-store root (default: $REPRO_CACHE_DIR or .repro-cache)",
     )
 
+    lint = sub.add_parser(
+        "lint",
+        help=(
+            "determinism linter + registry conformance audit "
+            "(the byte-identity contract, machine-checked)"
+        ),
+    )
+    add_lint_arguments(lint)
+
     sweep = sub.add_parser(
         "sweep",
         help="play a scheme x ratio x repetition grid on the sweep runner",
@@ -434,6 +444,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         rows = [(name, desc) for name, desc in sorted(ARTIFACTS.items())]
         print(format_table(["artifact", "description"], rows))
         return 0
+
+    if args.command == "lint":
+        return run_lint(args)
 
     if args.command == "sweep":
         try:

@@ -165,7 +165,10 @@ class Trimmer:
             raise ValueError("anchor must be 'reference' or 'batch'")
         self.anchor = anchor
         self._reference_scores: Optional[np.ndarray] = None
-        self._reference_table: Optional[QuantileTable] = None
+        # Lazy memo of a pure function of _reference_scores: rebuilding
+        # it yields byte-identical content, so it is calibration cache,
+        # not mid-game state.
+        self._reference_table: Optional[QuantileTable] = None  # repro: noqa[REP005]
 
     def scores(self, batch: np.ndarray) -> np.ndarray:
         """Per-point trimming scores ``d_i`` (higher = more suspicious)."""

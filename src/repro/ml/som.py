@@ -165,7 +165,7 @@ class SelfOrganizingMap:
         (Fig. 8's qualitative comparison).  ``labels`` is accepted for
         API symmetry but unused.
         """
-        weights = self._check_fitted()
+        self._check_fitted()
         x = np.asarray(data, dtype=float)
         occupied = np.zeros(self.n_neurons, dtype=bool)
         occupied[np.unique(self.best_matching_units(x))] = True

@@ -49,6 +49,7 @@ from ..core.trimming import RadialTrimmer
 from .spec import (
     ComponentSpec,
     GameSpec,
+    TaskSpec,
     play_rep_batch,
     rep_group_key,
     rep_keys_equal,
@@ -117,14 +118,16 @@ def play_game(spec: GameSpec) -> GameResult:
     return spec.play()
 
 
-def _default_record(spec, result) -> Any:
+def _default_record(spec: Union[GameSpec, TaskSpec], result: Any) -> Any:
     """Reducer-less record: summarize games, pass task results through."""
     if isinstance(spec, GameSpec):
         return summarize_game(spec, result)
     return result
 
 
-def _run_cell(spec, reduce: Optional[Callable] = None) -> Any:
+def _run_cell(
+    spec: Union[GameSpec, TaskSpec], reduce: Optional[Callable] = None
+) -> Any:
     """Play one cell and reduce it in-process (worker-side)."""
     result = spec.play()
     if reduce is None:
@@ -401,7 +404,9 @@ class SweepRunner:
         self.last_keys: Optional[List[str]] = None
 
     @staticmethod
-    def _normalize_rep_batch(rep_batch) -> Optional[Union[int, str]]:
+    def _normalize_rep_batch(
+        rep_batch: Union[None, bool, int, str]
+    ) -> Optional[Union[int, str]]:
         """``None``/``1``/``"off"`` → None; ``"auto"``/int >= 2 pass."""
         if isinstance(rep_batch, bool):
             # True == 1 would silently *disable* batching; force the

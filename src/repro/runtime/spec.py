@@ -30,7 +30,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from functools import lru_cache
-from typing import Any, Callable, Mapping, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -43,6 +53,9 @@ from ..core.trimming import RadialTrimmer
 from ..datasets.registry import load_dataset
 from ..streams.injection import PoisonInjector
 from ..streams.source import ArrayStream
+
+if TYPE_CHECKING:  # import only for annotations: keep runtime deps lean
+    from ..core.session import GameSession
 
 __all__ = [
     "ComponentSpec",
@@ -250,7 +263,11 @@ class GameSpec:
         """Build and run the game to completion."""
         return self.build().run()
 
-    def session(self, horizon="rounds", payoff_model=None):
+    def session(
+        self,
+        horizon: Union[int, str, None] = "rounds",
+        payoff_model: Any = None,
+    ) -> "GameSession":
         """Open a live :class:`~repro.core.session.GameSession` of this cell.
 
         Builds the game and hands its stream to the session
@@ -369,7 +386,7 @@ def rep_keys_equal(a: tuple, b: tuple) -> bool:
         return all(x is y for x, y in zip(a, b))
 
 
-def build_batched_game(specs) -> BatchedCollectionGame:
+def build_batched_game(specs: Iterable[GameSpec]) -> BatchedCollectionGame:
     """Materialize one lockstep engine for R same-cell specs.
 
     Every per-rep component is built from its own spec's derivation
@@ -440,7 +457,7 @@ def build_batched_game(specs) -> BatchedCollectionGame:
     )
 
 
-def play_rep_batch(specs) -> "list[GameResult]":
+def play_rep_batch(specs: Iterable[GameSpec]) -> List[GameResult]:
     """Play R same-cell specs in lockstep; one result per spec, in order.
 
     Each returned :class:`~repro.core.engine.GameResult` is

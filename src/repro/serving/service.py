@@ -35,7 +35,17 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    AbstractSet,
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 import numpy as np
 
@@ -50,6 +60,10 @@ from ..core.strategies.batched import adversary_lanes, collector_lanes
 from ..core.trimming import RadialTrimmer, ValueTrimmer
 from ..runtime.spec import GameSpec, rep_group_key, rep_keys_equal
 from ..streams.injection import BatchedInjector
+
+if TYPE_CHECKING:  # annotation-only imports
+    from ..core.engine import GameResult
+    from ..runtime.store import ResultStore
 
 __all__ = ["DefenseService", "ServiceStats"]
 
@@ -95,7 +109,7 @@ class DefenseService:
 
     def __init__(
         self,
-        store=None,
+        store: Optional["ResultStore"] = None,
         namespace: str = "default",
         max_resident: Optional[int] = None,
         min_multiplex: int = 2,
@@ -127,8 +141,8 @@ class DefenseService:
         self,
         spec: GameSpec,
         session_id: Optional[str] = None,
-        horizon="spec",
-        payoff_model=None,
+        horizon: Union[int, str, None] = "spec",
+        payoff_model: Any = None,
     ) -> str:
         """Open a new tenant session from a declarative game recipe.
 
@@ -206,7 +220,10 @@ class DefenseService:
     # submit
     # ------------------------------------------------------------------ #
     def submit(
-        self, session_id: str, batch=None, poison_mask=None
+        self,
+        session_id: str,
+        batch: Optional[Any] = None,
+        poison_mask: Optional[Any] = None,
     ) -> RoundDecision:
         """Play one round of one tenant (the solo routing path)."""
         session = self._resident(session_id)
@@ -349,7 +366,7 @@ class DefenseService:
     # ------------------------------------------------------------------ #
     # close / evict / restore
     # ------------------------------------------------------------------ #
-    def close(self, session_id: str):
+    def close(self, session_id: str) -> "GameResult":
         """Seal a tenant and return its final ``GameResult``.
 
         Any persisted snapshot blob of the tenant is removed from the
@@ -438,7 +455,7 @@ class DefenseService:
         self._evicted[session_id] = None
 
     def _validate_snapshot_record(
-        self, record, session_id: str, spec: GameSpec
+        self, record: Any, session_id: str, spec: GameSpec
     ) -> bytes:
         """Check a persisted snapshot belongs to (session_id, spec)."""
         if (
@@ -481,7 +498,7 @@ class DefenseService:
         self.stats.restores += 1
         return session
 
-    def _enforce_residency(self, protect=frozenset()) -> None:
+    def _enforce_residency(self, protect: AbstractSet[str] = frozenset()) -> None:
         """Evict least-recently-used sessions above ``max_resident``."""
         if self.max_resident is None:
             return

@@ -1,0 +1,6 @@
+# REP003 fixture: set iteration order leaking into a fingerprint.
+
+
+def spec_fingerprint(tags):
+    parts = {f"{key}={value}" for key, value in tags}
+    return "|".join(parts)

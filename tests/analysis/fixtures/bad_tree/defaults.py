@@ -1,0 +1,10 @@
+# REP004 fixture: mutable default argument + shared class-level state.
+
+
+class HistoryCollector:
+    observed = []
+
+    def record(self, value, into=[]):
+        into.append(value)
+        self.observed.append(value)
+        return into

@@ -1,0 +1,18 @@
+# REP005 fixture: __init__-assigned RNG and counter never restored.
+import numpy as np
+
+
+class DriftingAdversary:
+    def __init__(self, seed):
+        self._rng = np.random.default_rng(seed)
+        self._round = 0
+
+    def first(self):
+        return 0.99
+
+    def react(self, last):
+        self._round += 1
+        return float(self._rng.uniform(0.9, 1.0))
+
+    def reset(self):
+        pass

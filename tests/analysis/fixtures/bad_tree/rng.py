@@ -1,0 +1,17 @@
+# REP001 fixture: stdlib global RNG, legacy NumPy API, bare default_rng.
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def draw_jitter():
+    return random.uniform(0.0, 0.01)
+
+
+def draw_legacy(n):
+    return np.random.uniform(0.9, 1.0, size=n)
+
+
+def make_rng():
+    return default_rng()

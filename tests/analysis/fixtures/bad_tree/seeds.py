@@ -1,0 +1,7 @@
+# REP002 fixture: process-salted hash() flowing into a seed.
+import numpy as np
+
+
+def scheme_rng(scheme_name):
+    seed = hash(scheme_name) % 911
+    return np.random.default_rng(seed)

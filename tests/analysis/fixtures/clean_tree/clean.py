@@ -1,0 +1,32 @@
+# A module the determinism linter accepts: explicit seeds, restored
+# state, immutable defaults, sorted canonical iteration.
+import numpy as np
+
+
+class SeededAdversary:
+    def __init__(self, seed):
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._round = 0
+
+    def first(self):
+        return 0.99
+
+    def react(self, last):
+        self._round += 1
+        return float(self._rng.uniform(0.9, 1.0))
+
+    def reset(self):
+        self._rng = np.random.default_rng(self._seed)
+        self._round = 0
+
+
+def spec_fingerprint(tags):
+    parts = {f"{key}={value}" for key, value in tags}
+    return "|".join(sorted(parts))
+
+
+def collect(values, into=None):
+    into = [] if into is None else into
+    into.extend(values)
+    return into

@@ -1,0 +1,66 @@
+"""CLI acceptance: the seeded bad tree fails, HEAD and the clean tree pass."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main as lint_main
+from repro.cli import main as repro_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPRO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_bad_tree_exits_nonzero_with_every_rule(capsys):
+    code = lint_main([str(FIXTURES / "bad_tree")])
+    out = capsys.readouterr().out
+    assert code == 1
+    for rule in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+        assert rule in out, f"{rule} missing from:\n{out}"
+
+
+def test_clean_tree_exits_zero(capsys):
+    code = lint_main([str(FIXTURES / "clean_tree")])
+    assert code == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_head_source_tree_is_lint_clean(capsys):
+    # Acceptance criterion: zero lint findings on src/repro at HEAD.
+    code = lint_main([str(REPRO_SRC)])
+    assert code == 0, capsys.readouterr().out
+
+
+def test_repro_lint_subcommand_dispatches(capsys):
+    code = repro_main(["lint", str(FIXTURES / "clean_tree")])
+    assert code == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_repro_lint_bad_tree_via_subcommand(capsys):
+    code = repro_main(["lint", str(FIXTURES / "bad_tree"), "--no-hints"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "(fix:" not in out
+
+
+def test_list_rules_table(capsys):
+    code = lint_main(["--list-rules"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for rule in ("REP001", "REP005", "CONF001", "CONF005"):
+        assert rule in out
+
+
+def test_missing_path_is_usage_error(tmp_path, capsys):
+    code = lint_main([str(tmp_path / "does-not-exist")])
+    assert code == 2
+
+
+@pytest.mark.slow
+def test_full_self_audit_is_clean(capsys):
+    # The CI gate: no paths = lint the repro package + conformance.
+    code = lint_main(["--no-subprocess-checks"])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "lint + conformance: clean" in out

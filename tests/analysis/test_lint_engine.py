@@ -1,0 +1,119 @@
+"""Engine mechanics: suppressions, ordering, error paths."""
+
+import pytest
+
+from repro.analysis import LintEngine, Severity, all_rules, default_engine
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import ModuleContext, Rule, iter_python_files
+from repro.analysis.suppressions import parse_suppressions
+
+
+@pytest.fixture()
+def engine():
+    return default_engine()
+
+
+def test_rule_ids_are_unique_and_ordered():
+    rules = all_rules()
+    ids = [rule.rule_id for rule in rules]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == len(ids)
+
+
+def test_duplicate_rule_ids_rejected():
+    class Dup(Rule):
+        rule_id = "REPX"
+
+        def check(self, ctx):
+            return iter(())
+
+    with pytest.raises(ValueError):
+        LintEngine([Dup(), Dup()])
+
+
+def test_syntax_error_becomes_rep000(engine):
+    findings = engine.lint_source("def broken(:\n", "bad.py")
+    assert [f.rule for f in findings] == ["REP000"]
+    assert findings[0].severity is Severity.ERROR
+
+
+def test_findings_sorted_by_location(engine):
+    source = (
+        "import random\n"
+        "b = random.random()\n"
+        "a = random.random()\n"
+    )
+    findings = engine.lint_source(source)
+    assert [f.line for f in findings] == [2, 3]
+
+
+def test_diagnostic_format_includes_hint():
+    diag = Diagnostic(
+        path="x.py",
+        line=3,
+        column=7,
+        rule="REP001",
+        severity=Severity.ERROR,
+        message="boom",
+        hint="do the thing",
+    )
+    assert diag.format() == "x.py:3:7: REP001 [error] boom (fix: do the thing)"
+    assert diag.format(show_hint=False) == "x.py:3:7: REP001 [error] boom"
+
+
+def test_line_noqa_suppresses_named_rule(engine):
+    source = "import random\nx = random.random()  # repro: noqa[REP001]\n"
+    assert engine.lint_source(source) == []
+
+
+def test_line_noqa_other_rule_does_not_suppress(engine):
+    source = "import random\nx = random.random()  # repro: noqa[REP002]\n"
+    assert [f.rule for f in engine.lint_source(source)] == ["REP001"]
+
+
+def test_bare_noqa_suppresses_everything_on_line(engine):
+    source = "import random\nx = random.random()  # repro: noqa\n"
+    assert engine.lint_source(source) == []
+
+
+def test_file_noqa_suppresses_whole_file(engine):
+    source = (
+        "# repro: noqa-file[REP001]\n"
+        "import random\n"
+        "x = random.random()\n"
+        "y = random.random()\n"
+    )
+    assert engine.lint_source(source) == []
+
+
+def test_noqa_multiple_rules():
+    table = parse_suppressions(["x = 1  # repro: noqa[REP001, REP003]"])
+    assert table.is_suppressed("REP001", 1)
+    assert table.is_suppressed("REP003", 1)
+    assert not table.is_suppressed("REP002", 1)
+    assert not table.is_suppressed("REP001", 2)
+
+
+def test_resolve_call_through_aliases():
+    ctx = ModuleContext.parse(
+        "m.py",
+        "import numpy as np\nfrom numpy.random import default_rng as mk\n",
+    )
+    import ast
+
+    node = ast.parse("np.random.uniform(0, 1)").body[0].value
+    assert ctx.resolve_call(node.func) == "numpy.random.uniform"
+    node = ast.parse("mk(7)").body[0].value
+    assert ctx.resolve_call(node.func) == "numpy.random.default_rng"
+
+
+def test_iter_python_files_missing_path_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        list(iter_python_files([str(tmp_path / "nope")]))
+
+
+def test_iter_python_files_dedups_and_sorts(tmp_path):
+    (tmp_path / "b.py").write_text("x = 1\n")
+    (tmp_path / "a.py").write_text("y = 2\n")
+    files = list(iter_python_files([str(tmp_path), str(tmp_path / "a.py")]))
+    assert [f.name for f in files] == ["a.py", "b.py"]

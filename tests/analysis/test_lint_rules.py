@@ -1,0 +1,310 @@
+"""Per-rule fixture snippets: one violating, one clean, plus noqa."""
+
+import pytest
+
+from repro.analysis import default_engine
+
+
+@pytest.fixture()
+def engine():
+    return default_engine()
+
+
+def rules_in(engine, source):
+    return sorted({f.rule for f in engine.lint_source(source)})
+
+
+# --------------------------------------------------------------------- #
+# REP001 — global/legacy RNG
+# --------------------------------------------------------------------- #
+class TestRep001:
+    def test_stdlib_random_flagged(self, engine):
+        assert rules_in(engine, "import random\nx = random.gauss(0, 1)\n") == [
+            "REP001"
+        ]
+
+    def test_legacy_numpy_flagged(self, engine):
+        src = "import numpy as np\nx = np.random.uniform(0, 1)\n"
+        assert rules_in(engine, src) == ["REP001"]
+
+    def test_np_random_seed_flagged(self, engine):
+        src = "import numpy as np\nnp.random.seed(0)\n"
+        assert rules_in(engine, src) == ["REP001"]
+
+    def test_bare_default_rng_flagged(self, engine):
+        src = "from numpy.random import default_rng\nr = default_rng()\n"
+        assert rules_in(engine, src) == ["REP001"]
+
+    def test_none_seed_flagged(self, engine):
+        src = "import numpy as np\nr = np.random.default_rng(None)\n"
+        assert rules_in(engine, src) == ["REP001"]
+
+    def test_seeded_default_rng_clean(self, engine):
+        src = (
+            "import numpy as np\n"
+            "r = np.random.default_rng(7)\n"
+            "s = np.random.SeedSequence(0)\n"
+            "g = np.random.Generator(np.random.PCG64(s))\n"
+        )
+        assert rules_in(engine, src) == []
+
+    def test_generator_method_clean(self, engine):
+        # rng.uniform() is a Generator draw, not the legacy module API.
+        src = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(3)\n"
+            "x = rng.uniform(0, 1)\n"
+        )
+        assert rules_in(engine, src) == []
+
+    def test_noqa(self, engine):
+        src = "import random\nx = random.random()  # repro: noqa[REP001]\n"
+        assert rules_in(engine, src) == []
+
+
+# --------------------------------------------------------------------- #
+# REP002 — unstable seed material
+# --------------------------------------------------------------------- #
+class TestRep002:
+    def test_hash_into_seed_assignment(self, engine):
+        assert rules_in(engine, "seed = hash('x') % 911\n") == ["REP002"]
+
+    def test_time_into_default_rng(self, engine):
+        src = (
+            "import time\n"
+            "import numpy as np\n"
+            "rng = np.random.default_rng(int(time.time()))\n"
+        )
+        assert rules_in(engine, src) == ["REP002"]
+
+    def test_id_into_seed_keyword(self, engine):
+        src = "def make(obj, build):\n    return build(seed=id(obj))\n"
+        assert rules_in(engine, src) == ["REP002"]
+
+    def test_hash_inside_fingerprint_function(self, engine):
+        src = "def spec_fingerprint(spec):\n    return hash(spec)\n"
+        assert rules_in(engine, src) == ["REP002"]
+
+    def test_hash_outside_seed_context_clean(self, engine):
+        # hash() for a plain dict lookup is fine; only seed flow is bad.
+        src = "def bucket(key, n):\n    return hash(key) % n\n"
+        assert rules_in(engine, src) == []
+
+    def test_stable_seed_clean(self, engine):
+        src = (
+            "import numpy as np\n"
+            "seed = np.random.SeedSequence(0).spawn(3)[1]\n"
+        )
+        assert rules_in(engine, src) == []
+
+    def test_noqa(self, engine):
+        src = "seed = hash('x') % 911  # repro: noqa[REP002]\n"
+        assert rules_in(engine, src) == []
+
+
+# --------------------------------------------------------------------- #
+# REP003 — unordered canonical iteration
+# --------------------------------------------------------------------- #
+class TestRep003:
+    def test_set_loop_in_fingerprint(self, engine):
+        src = (
+            "def spec_fingerprint(tags):\n"
+            "    out = []\n"
+            "    for tag in {t for t in tags}:\n"
+            "        out.append(tag)\n"
+            "    return out\n"
+        )
+        assert rules_in(engine, src) == ["REP003"]
+
+    def test_set_into_list_in_state_dict(self, engine):
+        src = "def state_dict(names):\n    return list(set(names))\n"
+        assert rules_in(engine, src) == ["REP003"]
+
+    def test_set_join_in_cache_key(self, engine):
+        src = (
+            "def cache_key(parts):\n"
+            "    return '|'.join({str(p) for p in parts})\n"
+        )
+        assert rules_in(engine, src) == ["REP003"]
+
+    def test_sorted_set_clean(self, engine):
+        src = (
+            "def spec_fingerprint(tags):\n"
+            "    return sorted({t for t in tags})\n"
+        )
+        assert rules_in(engine, src) == []
+
+    def test_set_outside_canonical_function_clean(self, engine):
+        src = "def dedupe(xs):\n    return list(set(xs))\n"
+        assert rules_in(engine, src) == []
+
+    def test_dict_iteration_clean(self, engine):
+        # dicts iterate in insertion order; only sets are unstable.
+        src = (
+            "def state_dict(parts):\n"
+            "    return {k: v for k, v in parts.items()}\n"
+        )
+        assert rules_in(engine, src) == []
+
+    def test_noqa(self, engine):
+        src = (
+            "def cache_key(parts):\n"
+            "    return list(set(parts))  # repro: noqa[REP003]\n"
+        )
+        assert rules_in(engine, src) == []
+
+
+# --------------------------------------------------------------------- #
+# REP004 — mutable defaults / shared class state
+# --------------------------------------------------------------------- #
+class TestRep004:
+    def test_mutable_default_arg(self, engine):
+        assert rules_in(engine, "def f(x, acc=[]):\n    return acc\n") == [
+            "REP004"
+        ]
+
+    def test_dict_default_arg(self, engine):
+        assert rules_in(engine, "def f(x, acc={}):\n    return acc\n") == [
+            "REP004"
+        ]
+
+    def test_component_class_mutable_attr(self, engine):
+        src = (
+            "class HistoryCollector:\n"
+            "    seen = []\n"
+            "    def react(self, x):\n"
+            "        self.seen.append(x)\n"
+        )
+        assert rules_in(engine, src) == ["REP004"]
+
+    def test_non_component_class_attr_clean(self, engine):
+        # Shared state on a non-component registry class is out of scope.
+        src = "class Registry:\n    entries = {}\n"
+        assert rules_in(engine, src) == []
+
+    def test_none_default_clean(self, engine):
+        src = (
+            "def f(x, acc=None):\n"
+            "    acc = [] if acc is None else acc\n"
+            "    return acc\n"
+        )
+        assert rules_in(engine, src) == []
+
+    def test_immutable_class_attr_clean(self, engine):
+        src = "class FooCollector:\n    soft_offset = 0.01\n    name = 'foo'\n"
+        assert rules_in(engine, src) == []
+
+    def test_noqa(self, engine):
+        src = "def f(x, acc=[]):  # repro: noqa[REP004]\n    return acc\n"
+        assert rules_in(engine, src) == []
+
+
+# --------------------------------------------------------------------- #
+# REP005 — unrestored __init__ state
+# --------------------------------------------------------------------- #
+_VIOLATING_LIFECYCLE = (
+    "import numpy as np\n"
+    "class DriftAdversary:\n"
+    "    def __init__(self, seed):\n"
+    "        self._rng = np.random.default_rng(seed)\n"
+    "        self._round = 0\n"
+    "    def react(self, last):\n"
+    "        self._round += 1\n"
+    "        return float(self._rng.uniform())\n"
+    "    def reset(self):\n"
+    "        pass\n"
+)
+
+_CLEAN_LIFECYCLE = (
+    "import numpy as np\n"
+    "class SteadyAdversary:\n"
+    "    def __init__(self, seed):\n"
+    "        self._seed = seed\n"
+    "        self._rng = np.random.default_rng(seed)\n"
+    "        self._round = 0\n"
+    "    def react(self, last):\n"
+    "        self._round += 1\n"
+    "        return float(self._rng.uniform())\n"
+    "    def reset(self):\n"
+    "        self._rng = np.random.default_rng(self._seed)\n"
+    "        self._round = 0\n"
+)
+
+
+class TestRep005:
+    def test_unrestored_rng_and_counter(self, engine):
+        findings = [
+            f for f in engine.lint_source(_VIOLATING_LIFECYCLE)
+            if f.rule == "REP005"
+        ]
+        messages = " ".join(f.message for f in findings)
+        assert "_rng" in messages and "_round" in messages
+
+    def test_restored_state_clean(self, engine):
+        assert rules_in(engine, _CLEAN_LIFECYCLE) == []
+
+    def test_reset_via_helper_counts_as_restored(self, engine):
+        src = (
+            "import numpy as np\n"
+            "class HelperCollector:\n"
+            "    def __init__(self, seed):\n"
+            "        self._seed = seed\n"
+            "        self._rng = np.random.default_rng(seed)\n"
+            "    def react(self, last):\n"
+            "        return float(self._rng.uniform())\n"
+            "    def reset(self):\n"
+            "        self._fresh()\n"
+            "    def _fresh(self):\n"
+            "        self._rng = np.random.default_rng(self._seed)\n"
+        )
+        assert rules_in(engine, src) == []
+
+    def test_calibration_mutation_not_play(self, engine):
+        # fit()-reachable helpers are pre-game calibration by contract.
+        src = (
+            "class CalibratedEvaluator:\n"
+            "    def __init__(self):\n"
+            "        self._ref = None\n"
+            "    def fit(self, reference):\n"
+            "        self._store(reference)\n"
+            "    def _store(self, reference):\n"
+            "        self._ref = reference\n"
+            "    def evaluate(self, batch):\n"
+            "        return 0.0\n"
+        )
+        assert rules_in(engine, src) == []
+
+    def test_module_local_base_resolved(self, engine):
+        # __init__ in the base, mutation in the subclass: the base's
+        # reset must still cover the attribute.
+        src = (
+            "class _BaseCollector:\n"
+            "    def __init__(self):\n"
+            "        self._count = 0\n"
+            "    def reset(self):\n"
+            "        self._count = 0\n"
+            "class EagerCollector(_BaseCollector):\n"
+            "    def react(self, last):\n"
+            "        self._count += 1\n"
+        )
+        assert rules_in(engine, src) == []
+
+    def test_non_component_class_ignored(self, engine):
+        src = (
+            "class Cache:\n"
+            "    def __init__(self):\n"
+            "        self._hits = 0\n"
+            "    def get(self, key):\n"
+            "        self._hits += 1\n"
+        )
+        assert rules_in(engine, src) == []
+
+    def test_noqa(self, engine):
+        src = _VIOLATING_LIFECYCLE.replace(
+            "self._rng = np.random.default_rng(seed)",
+            "self._rng = np.random.default_rng(seed)  # repro: noqa[REP005]",
+        ).replace(
+            "self._round = 0\n    def react",
+            "self._round = 0  # repro: noqa[REP005]\n    def react",
+        )
+        assert rules_in(engine, src) == []

@@ -40,7 +40,7 @@ from repro.core.strategies import (
     UniformRangeAdversary,
 )
 from repro.core.strategies.titfortat import MixedStrategyTrigger, QualityTrigger
-from repro.core.trimming import RadialTrimmer, ValueTrimmer
+from repro.core.trimming import RadialTrimmer
 from repro.streams import ArrayStream, PoisonInjector
 
 #: The full shipped strategy matrix the snapshot contract is tested

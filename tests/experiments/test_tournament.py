@@ -1,6 +1,5 @@
 """Tests for repro.experiments.tournament — the empirical meta-game."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import TournamentConfig, run_tournament
