@@ -83,10 +83,14 @@ from .core.session import (
     GameSession,
     RoundDecision,
     RoundPayoffs,
+    SnapshotError,
 )
 from .experiments import SCHEMES, make_scheme, scheme_specs
 from .runtime import (
     ComponentSpec,
+    FailureRecord,
+    FaultInjector,
+    FaultPlan,
     GameRecord,
     GameSpec,
     ResultStore,
@@ -95,9 +99,9 @@ from .runtime import (
     SweepRunner,
     TaskSpec,
 )
-from .serving import DefenseService
+from .serving import DefenseService, TenantFailure
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "__version__",
@@ -133,7 +137,9 @@ __all__ = [
     "RoundDecision",
     "BatchedRoundDecision",
     "RoundPayoffs",
+    "SnapshotError",
     "DefenseService",
+    "TenantFailure",
     # strategies
     "OstrichCollector",
     "StaticCollector",
@@ -159,6 +165,9 @@ __all__ = [
     "GameSpec",
     "TaskSpec",
     "GameRecord",
+    "FailureRecord",
+    "FaultInjector",
+    "FaultPlan",
     "StrategyPair",
     "SweepGrid",
     "SweepRunner",

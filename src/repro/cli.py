@@ -232,7 +232,13 @@ def _scenario_run(args: argparse.Namespace) -> int:
         scenario_names() if args.name == "all" else [args.name]
     )
     store = _make_store(args)
+    faults = None
+    if getattr(args, "inject_faults", None):
+        from .runtime import FaultPlan
+
+        faults = FaultPlan.parse(args.inject_faults)
     stats_entries: List[dict] = []
+    quarantined = 0
     for name in names:
         run = run_scenario(
             get_scenario(name),
@@ -241,7 +247,12 @@ def _scenario_run(args: argparse.Namespace) -> int:
             workers=args.workers,
             rep_batch=args.rep_batch,
             store=store,
+            on_error=args.on_error,
+            timeout=args.timeout,
+            retries=args.retries,
+            faults=faults,
         )
+        quarantined += len(run.failures)
         print(run.text)
         print()
         if store is not None:
@@ -251,7 +262,10 @@ def _scenario_run(args: argparse.Namespace) -> int:
         )
     if args.stats_json:
         _write_stats_json(args.stats_json, stats_entries)
-    return 0
+    # A quarantined run completed but produced no trustworthy artifact;
+    # scripts must see that (a fresh `scenario run` against the same
+    # store retries exactly the quarantined cells).
+    return 1 if quarantined else 0
 
 
 def _scenario_report(args: argparse.Namespace) -> int:
@@ -365,8 +379,52 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "write per-scenario runner stats (total/cached/played cells, "
-            "wall-clock seconds) as JSON to PATH, so scripts and CI can "
-            "assert cache behaviour instead of parsing stderr"
+            "wall-clock seconds, failed/retried/quarantined counters) as "
+            "JSON to PATH, so scripts and CI can assert cache and failure "
+            "behaviour instead of parsing stderr"
+        ),
+    )
+    scen_run.add_argument(
+        "--on-error",
+        choices=("raise", "quarantine"),
+        default="raise",
+        help=(
+            "what a permanently failing cell does: 'raise' aborts the "
+            "run (default); 'quarantine' records the failure, finishes "
+            "the rest, writes a <name>.failures manifest and exits 1 — "
+            "a later run against the same store retries only the "
+            "quarantined cells"
+        ),
+    )
+    scen_run.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-cell wall-clock budget; with --workers >= 2 a hung "
+            "cell's worker is killed and the cell replayed"
+        ),
+    )
+    scen_run.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "re-executions allowed per cell after transient errors or "
+            "timeouts, with exponential backoff (worker crashes always "
+            "get one replay)"
+        ),
+    )
+    scen_run.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "arm the deterministic chaos harness, e.g. "
+            "'seed=7,error=0.3,torn=0.25,attempts=2' "
+            "(testing/CI; keys: seed,error,slow,kill,torn,attempts,delay)"
         ),
     )
 

@@ -63,6 +63,7 @@ from .trimming import BatchTrimReport, Trimmer
 
 __all__ = [
     "SNAPSHOT_FORMAT",
+    "SnapshotError",
     "RoundPayoffs",
     "RoundDecision",
     "BatchedRoundDecision",
@@ -74,6 +75,20 @@ __all__ = [
 
 #: Snapshot envelope tag; bumped when the layout changes incompatibly.
 SNAPSHOT_FORMAT = "repro.session/1"
+
+
+class SnapshotError(ValueError):
+    """A session snapshot blob could not be restored.
+
+    Raised for every failure mode of :meth:`GameSession.restore` —
+    corrupt or truncated bytes, a foreign/stale envelope format, a
+    structurally broken payload, or pickled components referencing code
+    that no longer exists — so callers (notably the
+    :class:`~repro.serving.DefenseService` tenant quarantine) get one
+    typed failure path instead of raw ``pickle`` internals.  Subclasses
+    :class:`ValueError` for backward compatibility with callers that
+    caught the old untyped error.
+    """
 
 
 # --------------------------------------------------------------------- #
@@ -758,56 +773,75 @@ class GameSession:
         keep their deserialized attributes untouched.  The restored
         session continues byte-identically to the uninterrupted
         original — in this process or any other.
+
+        Every failure mode — corrupt bytes, a foreign envelope, a
+        structurally broken payload — raises :class:`SnapshotError`.
         """
-        payload = pickle.loads(blob)
+        try:
+            payload = pickle.loads(blob)
+        except Exception as exc:
+            # pickle raises a zoo here (UnpicklingError, EOFError,
+            # AttributeError, ModuleNotFoundError, plain ValueError...);
+            # none of it is actionable beyond "this blob is bad".
+            raise SnapshotError(
+                f"corrupt session snapshot: {type(exc).__name__}: {exc}"
+            ) from exc
         if (
             not isinstance(payload, dict)
             or payload.get("format") != SNAPSHOT_FORMAT
         ):
-            raise ValueError(
+            raise SnapshotError(
                 f"not a {SNAPSHOT_FORMAT} session snapshot"
             )
-        components = payload["components"]
-        state = payload["state"]
-        for name, component in components.items():
-            if component is None:
-                continue
-            component_state = state.get(name)
-            if not component_state:
-                # Nothing exported: the pickled object already carries
-                # whatever state it has; resetting would destroy it.
-                continue
-            component_reset = getattr(component, "reset", None)
-            if callable(component_reset):
-                component_reset()
-            importer = getattr(component, "import_state", None)
-            if callable(importer):
-                importer(component_state)
+        try:
+            components = payload["components"]
+            state = payload["state"]
+            for name, component in components.items():
+                if component is None:
+                    continue
+                component_state = state.get(name)
+                if not component_state:
+                    # Nothing exported: the pickled object already carries
+                    # whatever state it has; resetting would destroy it.
+                    continue
+                component_reset = getattr(component, "reset", None)
+                if callable(component_reset):
+                    component_reset()
+                importer = getattr(component, "import_state", None)
+                if callable(importer):
+                    importer(component_state)
 
-        doc = payload["session"]
-        session = cls(
-            collector=components["collector"],
-            adversary=components["adversary"],
-            injector=components["injector"],
-            trimmer=components["trimmer"],
-            quality_evaluator=components["quality"],
-            judge=components["judge"],
-            share_scores=doc["share_scores"],
-            horizon=doc["horizon"],
-            store_retained=doc["store_retained"],
-            payoff_model=payload["payoff_model"],
-            source=components["source"],
-            reset=False,
-        )
-        board_doc = payload["board"]
-        session._board = PublicBoard.from_columns(
-            board_doc["columns"],
-            retained=board_doc["retained"],
-            store_retained=doc["store_retained"],
-        )
-        session._last = doc["last_observation"]
-        session._round = int(doc["round"])
-        session._closed = bool(doc["closed"])
+            doc = payload["session"]
+            session = cls(
+                collector=components["collector"],
+                adversary=components["adversary"],
+                injector=components["injector"],
+                trimmer=components["trimmer"],
+                quality_evaluator=components["quality"],
+                judge=components["judge"],
+                share_scores=doc["share_scores"],
+                horizon=doc["horizon"],
+                store_retained=doc["store_retained"],
+                payoff_model=payload["payoff_model"],
+                source=components["source"],
+                reset=False,
+            )
+            board_doc = payload["board"]
+            session._board = PublicBoard.from_columns(
+                board_doc["columns"],
+                retained=board_doc["retained"],
+                store_retained=doc["store_retained"],
+            )
+            session._last = doc["last_observation"]
+            session._round = int(doc["round"])
+            session._closed = bool(doc["closed"])
+        except SnapshotError:
+            raise
+        except (KeyError, TypeError, AttributeError, IndexError) as exc:
+            raise SnapshotError(
+                "malformed session snapshot payload: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
         return session
 
 

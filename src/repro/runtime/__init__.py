@@ -14,7 +14,10 @@ out of the individual experiment runners:
 * :mod:`repro.runtime.store` — :class:`ResultStore`, the
   content-addressed record cache that makes sweeps cacheable and
   resumable (``SweepRunner(store=...)`` skips stored cells and
-  checkpoints fresh records as they complete).
+  checkpoints fresh records as they complete);
+* :mod:`repro.runtime.faults` — :class:`FaultPlan` /
+  :class:`FaultInjector`, the seeded chaos harness the supervised
+  runner's retry/timeout/quarantine machinery is tested with.
 
 Quickstart::
 
@@ -38,7 +41,17 @@ Quickstart::
     records = SweepRunner(workers=4).run_grid(grid)
 """
 
+from .faults import (
+    CellFault,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    TornWriteStore,
+    WorkerKilled,
+)
 from .runner import (
+    CellTimeoutError,
+    FailureRecord,
     GameRecord,
     StrategyPair,
     SweepGrid,
@@ -71,6 +84,14 @@ __all__ = [
     "GameSpec",
     "TaskSpec",
     "GameRecord",
+    "FailureRecord",
+    "CellFault",
+    "CellTimeoutError",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "TornWriteStore",
+    "WorkerKilled",
     "StrategyPair",
     "SweepGrid",
     "SweepRunner",

@@ -1,0 +1,331 @@
+"""Deterministic fault injection: the chaos harness the runtime is tested with.
+
+A production sweep meets real failures — a poisoned cell raising deep in
+a kernel, a worker OOM-killed mid-game, a machine dying between
+``write()`` and ``rename()``.  This module makes every one of those
+failure modes *reproducible on demand* so the supervised
+:class:`~repro.runtime.runner.SweepRunner` and the
+:class:`~repro.runtime.store.ResultStore` degradation paths can be
+exercised deterministically, in tests and in the CI chaos smoke job:
+
+* :class:`FaultPlan` — a frozen, seeded description of *which* faults
+  strike *where*.  Faults are keyed by grid coordinate (the cell's
+  position in the spec list) and attempt number; random plans derive
+  each cell's fate from ``sha256(seed, cell)`` so the schedule is a pure
+  function of ``(plan, cell, attempt)`` — independent of worker count,
+  execution order, or how many times the plan object is consulted.
+* :class:`FaultInjector` — the picklable runtime half: the runner calls
+  :meth:`FaultInjector.before_cell` at the top of every cell attempt
+  (in-process or inside a pool worker) and the injector raises an
+  :class:`InjectedFault`, sleeps (a *slow* cell, for exercising
+  timeouts), or SIGKILLs the worker process it runs in.  In serial
+  execution kills are simulated by raising :class:`WorkerKilled`
+  instead, so ``workers=1`` and ``workers=N`` face the same schedule.
+* :class:`TornWriteStore` — a store wrapper that *tears* selected record
+  writes (truncated bytes at the final path, exactly what a crash
+  between write and rename leaves behind).  Torn records fail the
+  store's checksum and read back as cache misses, which is how the
+  resume path is driven.
+
+The contract all of this exists to test: faults never change *what* a
+cell computes — only whether an attempt completes.  Retries and resumed
+runs replay the same pure spec, so records produced under any fault
+schedule are byte-identical to a fault-free run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # annotation-only import; faults must not need the store
+    from .store import ResultStore
+
+__all__ = [
+    "CellFault",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedFault",
+    "TornWriteStore",
+    "WorkerKilled",
+]
+
+#: Fault kinds a :class:`CellFault` may carry.
+FAULT_KINDS = ("error", "slow", "kill")
+
+
+class InjectedFault(RuntimeError):
+    """A transient cell failure raised by the fault injector."""
+
+
+class WorkerKilled(RuntimeError):
+    """Simulated worker death (serial execution's stand-in for SIGKILL)."""
+
+
+@dataclass(frozen=True)
+class CellFault:
+    """One cell's scripted misbehaviour.
+
+    ``kind`` is ``"error"`` (raise :class:`InjectedFault`), ``"slow"``
+    (sleep ``delay`` seconds before the cell runs — pair with a runner
+    timeout) or ``"kill"`` (SIGKILL the worker process).  The fault
+    fires on the cell's first ``attempts`` execution attempts and then
+    clears, so a retrying supervisor recovers exactly when the schedule
+    says it should.
+    """
+
+    kind: str
+    attempts: int = 1
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; options: {FAULT_KINDS}"
+            )
+        if self.attempts < 1:
+            raise ValueError("a fault must strike at least one attempt")
+        if self.delay < 0:
+            raise ValueError("delay must be >= 0")
+
+
+def _unit_draw(*parts: Any) -> float:
+    """Deterministic uniform draw in [0, 1) from hashed key parts.
+
+    Stable across processes, platforms and Python versions (unlike
+    ``hash()``), and stateless — the property that makes a random
+    :class:`FaultPlan` consultable any number of times, in any order,
+    from any worker, without drifting.
+    """
+    digest = hashlib.sha256(
+        ":".join(str(part) for part in parts).encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A frozen, seeded schedule of injected faults.
+
+    ``cells`` pins explicit faults to grid coordinates; the ``*_rate``
+    knobs additionally strike every *unpinned* cell independently with
+    the given probabilities (kill first, then error, then slow — one
+    fault per cell at most).  ``fault_attempts`` is how many attempts a
+    rate-drawn fault poisons (pinned faults carry their own count);
+    ``torn_rate`` is the per-record probability that the store tears a
+    record's *first* write.
+    """
+
+    seed: int = 0
+    cells: Tuple[Tuple[int, CellFault], ...] = ()
+    error_rate: float = 0.0
+    slow_rate: float = 0.0
+    kill_rate: float = 0.0
+    torn_rate: float = 0.0
+    fault_attempts: int = 1
+    slow_delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        for rate in (self.error_rate, self.slow_rate, self.kill_rate,
+                     self.torn_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("fault rates must be in [0, 1]")
+        if self.kill_rate + self.error_rate + self.slow_rate > 1.0:
+            raise ValueError("kill + error + slow rates must not exceed 1")
+        if self.fault_attempts < 1:
+            raise ValueError("fault_attempts must be >= 1")
+        seen = set()
+        for index, fault in self.cells:
+            if index in seen:
+                raise ValueError(f"cell {index} pinned twice in the plan")
+            seen.add(index)
+            if not isinstance(fault, CellFault):
+                raise TypeError("pinned faults must be CellFault instances")
+
+    @classmethod
+    def pinned(cls, cells: Mapping[int, CellFault], seed: int = 0,
+               torn_rate: float = 0.0) -> "FaultPlan":
+        """A plan of explicitly placed faults only (no random strikes)."""
+        return cls(
+            seed=seed,
+            cells=tuple(sorted(cells.items())),
+            torn_rate=torn_rate,
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Build a plan from a compact CLI spec.
+
+        Comma-separated ``key=value`` pairs, e.g.
+        ``"seed=7,error=0.3,torn=0.25,attempts=2"``.  Keys: ``seed``,
+        ``error``, ``slow``, ``kill``, ``torn`` (rates), ``attempts``
+        (attempts a rate-drawn fault poisons), ``delay`` (slow-cell
+        sleep seconds).
+        """
+        fields: Dict[str, Any] = {}
+        mapping = {
+            "seed": ("seed", int),
+            "error": ("error_rate", float),
+            "slow": ("slow_rate", float),
+            "kill": ("kill_rate", float),
+            "torn": ("torn_rate", float),
+            "attempts": ("fault_attempts", int),
+            "delay": ("slow_delay", float),
+        }
+        for chunk in text.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            key, sep, raw = chunk.partition("=")
+            key = key.strip().lower()
+            if not sep or key not in mapping:
+                raise ValueError(
+                    f"bad fault spec entry {chunk!r}; expected "
+                    f"key=value with key in {sorted(mapping)}"
+                )
+            name, convert = mapping[key]
+            try:
+                fields[name] = convert(raw.strip())
+            except ValueError:
+                raise ValueError(f"bad value in fault spec entry {chunk!r}")
+        return cls(**fields)
+
+    # ------------------------------------------------------------------ #
+    def fault_for_cell(self, index: int) -> Optional[CellFault]:
+        """The fault striking one grid coordinate, if any (pure function)."""
+        for pinned_index, fault in self.cells:
+            if pinned_index == index:
+                return fault
+        if self.kill_rate or self.error_rate or self.slow_rate:
+            draw = _unit_draw("repro-fault-cell", self.seed, index)
+            if draw < self.kill_rate:
+                return CellFault("kill", attempts=self.fault_attempts)
+            if draw < self.kill_rate + self.error_rate:
+                return CellFault("error", attempts=self.fault_attempts)
+            if draw < self.kill_rate + self.error_rate + self.slow_rate:
+                return CellFault(
+                    "slow",
+                    attempts=self.fault_attempts,
+                    delay=self.slow_delay,
+                )
+        return None
+
+    def tears_record(self, key: str) -> bool:
+        """Whether the store should tear this record key's first write.
+
+        Keyed by record *content key* — not write order — so the torn
+        set is identical for any worker count or completion order.
+        """
+        if self.torn_rate <= 0.0:
+            return False
+        return _unit_draw("repro-fault-torn", self.seed, key) < self.torn_rate
+
+    @property
+    def active(self) -> bool:
+        """Whether the plan can strike anything at all."""
+        return bool(
+            self.cells
+            or self.error_rate
+            or self.slow_rate
+            or self.kill_rate
+            or self.torn_rate
+        )
+
+    def describe(self) -> str:
+        """One-line human summary (CLI status output)."""
+        parts = [f"seed={self.seed}"]
+        if self.cells:
+            parts.append(f"{len(self.cells)} pinned")
+        for label, rate in (
+            ("error", self.error_rate),
+            ("slow", self.slow_rate),
+            ("kill", self.kill_rate),
+            ("torn", self.torn_rate),
+        ):
+            if rate:
+                parts.append(f"{label}={rate:g}")
+        return "FaultPlan(" + ", ".join(parts) + ")"
+
+
+class FaultInjector:
+    """The runtime half of a :class:`FaultPlan` — picklable, stateless.
+
+    The supervised runner calls :meth:`before_cell` at the top of every
+    cell attempt (the injector crosses the process boundary with the
+    work, so pool workers strike themselves), and wraps its result
+    store with :meth:`wrap_store` so the plan's torn writes happen on
+    the real write path.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+
+    def before_cell(
+        self, index: int, attempt: int, allow_kill: bool
+    ) -> None:
+        """Strike one cell attempt, per the plan.
+
+        ``attempt`` is 0-based; a fault poisons attempts
+        ``0..fault.attempts-1`` and then clears.  ``allow_kill=False``
+        (serial execution) downgrades SIGKILL to a raised
+        :class:`WorkerKilled`, which the runner treats as the same
+        worker-crash failure class.
+        """
+        fault = self.plan.fault_for_cell(index)
+        if fault is None or attempt >= fault.attempts:
+            return
+        if fault.kind == "slow":
+            time.sleep(fault.delay)
+            return
+        if fault.kind == "error":
+            raise InjectedFault(
+                f"injected fault at cell {index} (attempt {attempt})"
+            )
+        # kind == "kill"
+        if allow_kill:
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise WorkerKilled(
+            f"injected worker kill at cell {index} (attempt {attempt})"
+        )
+
+    def wrap_store(self, store: "ResultStore") -> "TornWriteStore":
+        """A view of ``store`` whose record saves obey the torn schedule."""
+        return TornWriteStore(store, self.plan)
+
+
+class TornWriteStore:
+    """Store wrapper that tears selected record writes (crash simulation).
+
+    The first :meth:`save` of a key the plan marks writes *truncated*
+    envelope bytes at the record's final path — the on-disk state a
+    process killed between ``write()`` and the atomic rename cannot
+    actually produce, but a torn non-atomic filesystem can, and exactly
+    what the store's checksum must catch.  Subsequent saves of the same
+    key go through intact, so a resumed sweep heals the record.
+    Everything else (loads, keys, manifests) delegates to the wrapped
+    :class:`~repro.runtime.store.ResultStore` untouched.
+    """
+
+    def __init__(self, store: "ResultStore", plan: FaultPlan):
+        self._store = store
+        self._plan = plan
+        self._torn: Set[str] = set()
+
+    def save(self, key: str, record: Any) -> None:
+        if key not in self._torn and self._plan.tears_record(key):
+            self._torn.add(key)
+            path = self._store.record_path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Genuinely torn: a prefix of a valid envelope, so json.load
+            # fails (or, were the cut luckier, the checksum would).
+            with open(path, "w") as handle:
+                handle.write('{"format":')
+            return
+        self._store.save(key, record)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._store, name)

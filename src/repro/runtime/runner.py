@@ -1,4 +1,4 @@
-"""Sweep execution: grid expansion and (optionally parallel) game runs.
+"""Sweep execution: grid expansion and supervised (optionally parallel) runs.
 
 The runner is the shared execution layer the paper's experiments sit on:
 
@@ -10,29 +10,63 @@ The runner is the shared execution layer the paper's experiments sit on:
    results are reproducible and independent of expansion or execution
    order.
 2. :class:`SweepRunner` plays the cells — serially, or fanned out over a
-   ``ProcessPoolExecutor`` with a configurable ``chunksize`` — and
-   returns one record per cell *in grid order*.  Because every spec is
-   self-contained (own seeds, own component recipes) and records are
-   collected in submission order, ``workers=1`` and ``workers=N``
-   produce byte-identical results.
+   ``ProcessPoolExecutor`` — and returns one record per cell *in grid
+   order*.  Execution is *supervised*: every cell (or lockstep rep
+   group) is an independently retryable work unit, so a worker killed
+   mid-sweep (``BrokenProcessPool``) costs only the in-flight units —
+   the pool is respawned and the lost cells replayed; transient cell
+   exceptions retry with exponential backoff (``retries=``); hung cells
+   are killed and replayed (``timeout=``); and under
+   ``on_error="quarantine"`` a permanently failing cell emits a typed
+   :class:`FailureRecord` in its grid slot instead of aborting the
+   sweep.  Because every spec is self-contained (own seeds, own
+   component recipes) and faults never change *what* a cell computes,
+   ``workers=1`` and ``workers=N`` — with or without failures and
+   retries along the way — produce byte-identical records.
 3. A *reducer* — any picklable ``f(spec, result) -> record`` — turns the
    heavy in-worker :class:`~repro.core.engine.GameResult` (boards carry
    every retained row) into the small record that crosses the process
    boundary.  The default :func:`summarize_game` reducer emits a
    :class:`GameRecord` with the bookkeeping totals every experiment
    reports.
+
+Failure-handling contract
+-------------------------
+``retries=N`` allows N re-executions of a unit after ordinary cell
+exceptions or timeouts; worker crashes (SIGKILL, OOM) always get at
+least one replay even at ``retries=0``, because the dying cell may not
+be the one at fault — the whole in-flight window dies with the worker
+pool and innocent units must not be charged.  ``timeout=`` is enforced
+preemptively under ``workers>=2`` (the hung worker is killed); under
+``workers=1`` it is checked after the cell returns (a best-effort soft
+timeout — serial in-process execution cannot be preempted).  A unit
+that exhausts its budget either aborts the sweep (``on_error="raise"``,
+the default — the original exception propagates) or is *quarantined*:
+its grid slots are filled with :class:`FailureRecord` values, the sweep
+completes, and — with a store attached — a later run replays exactly
+the quarantined cells, because no record of them was persisted.
 """
 
 from __future__ import annotations
 
 import math
+import os
+import signal
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from functools import partial
 from typing import (
     Any,
     Callable,
+    Deque,
+    Dict,
     Iterator,
     List,
     Mapping,
@@ -46,6 +80,7 @@ import numpy as np
 
 from ..core.engine import GameResult
 from ..core.trimming import RadialTrimmer
+from .faults import FaultInjector, FaultPlan, WorkerKilled
 from .spec import (
     ComponentSpec,
     GameSpec,
@@ -56,6 +91,8 @@ from .spec import (
 )
 
 __all__ = [
+    "CellTimeoutError",
+    "FailureRecord",
     "GameRecord",
     "StrategyPair",
     "SweepGrid",
@@ -86,6 +123,33 @@ class GameRecord:
 
     def __getitem__(self, key: str) -> Any:
         """Dict-style access to tags, for aggregation convenience."""
+        return self.tags[key]
+
+
+class CellTimeoutError(RuntimeError):
+    """A sweep cell exceeded the runner's per-cell ``timeout``."""
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """The typed record a quarantined cell emits in its grid slot.
+
+    Carries everything needed to report, triage and retry the cell:
+    its grid coordinate (position in the spec list handed to
+    :meth:`SweepRunner.run`), the spec's tags, the failure class
+    (``"error"``, ``"timeout"`` or ``"worker-crash"``), the final
+    exception rendered as text, and how many attempts were made.
+    Failure records are never persisted to a result store — a resumed
+    run sees the cell as missing and replays it.
+    """
+
+    index: int
+    tags: Mapping[str, Any]
+    kind: str
+    error: str
+    attempts: int
+
+    def __getitem__(self, key: str) -> Any:
         return self.tags[key]
 
 
@@ -145,6 +209,34 @@ def _run_rep_group(
     return [reduce(spec, result) for spec, result in zip(specs, results)]
 
 
+def _run_unit_task(
+    grouped: bool,
+    payload: Sequence[Any],
+    reduce: Optional[Callable],
+    indices: Sequence[int],
+    attempt: int,
+    injector: Optional[FaultInjector],
+    allow_kill: bool,
+) -> List[Any]:
+    """Execute one supervised work unit (worker-side entry point).
+
+    ``payload`` is a list of rep groups (``grouped=True``) or of
+    individual cells; either way the returned record list aligns with
+    the unit's flattened cell order.  The fault injector — when armed —
+    strikes before any cell plays, so an injected failure never leaves
+    a half-executed unit behind.
+    """
+    if injector is not None:
+        for index in indices:
+            injector.before_cell(index, attempt, allow_kill)
+    if grouped:
+        records: List[Any] = []
+        for group in payload:
+            records.extend(_run_rep_group(group, reduce))
+        return records
+    return [_run_cell(spec, reduce) for spec in payload]
+
+
 def _group_reps(
     specs: Sequence[GameSpec], max_width: Optional[int]
 ) -> List[List[GameSpec]]:
@@ -177,6 +269,60 @@ def _group_reps(
             groups.append([spec])
             current_key = key
     return groups
+
+
+class _Unit:
+    """One dispatchable, independently retryable work item.
+
+    ``offsets`` are the cells' positions in the spec list a
+    ``_iter_records`` call received (emission slots); ``indices`` are
+    their *grid coordinates* in the full sweep (fault-plan keys and
+    :class:`FailureRecord` addresses) — the two differ on resumed runs,
+    where only the missing cells are re-executed.
+    """
+
+    __slots__ = (
+        "grouped", "payload", "offsets", "indices",
+        "attempt", "ready_at", "kind",
+    )
+
+    def __init__(
+        self,
+        grouped: bool,
+        payload: List[Any],
+        offsets: List[int],
+        indices: List[int],
+    ) -> None:
+        self.grouped = grouped
+        self.payload = payload
+        self.offsets = offsets
+        self.indices = indices
+        self.attempt = 0
+        self.ready_at = 0.0
+        self.kind = "error"
+
+    def cells(self) -> List[Any]:
+        """The unit's specs, flattened, aligned with ``offsets``."""
+        if self.grouped:
+            return [spec for group in self.payload for spec in group]
+        return list(self.payload)
+
+
+def _kill_pool_workers(pool: ProcessPoolExecutor) -> None:
+    """SIGKILL every worker of a process pool (hung-cell enforcement).
+
+    ``ProcessPoolExecutor`` cannot cancel a *running* call, so a cell
+    that blew its deadline can only be stopped by killing the process
+    under it — and since the executor does not expose which worker runs
+    which future, the whole pool goes.  The supervisor then sees
+    ``BrokenProcessPool`` semantics and replays the in-flight window.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for pid in list(processes):
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError, OSError):
+            pass
 
 
 @dataclass(frozen=True)
@@ -311,7 +457,7 @@ class SweepGrid:
 
 @dataclass(frozen=True)
 class SweepStats:
-    """Cache accounting of one :meth:`SweepRunner.run` invocation."""
+    """Cache and failure accounting of one :meth:`SweepRunner.run`."""
 
     total: int
     cached: int
@@ -319,14 +465,25 @@ class SweepStats:
     #: Wall-clock seconds of the run (``None`` on synthesized stats,
     #: e.g. a ``scenario report`` replay that executed nothing).
     seconds: Optional[float] = None
+    #: Cells whose execution permanently failed this run.
+    failed: int = 0
+    #: Cell re-executions performed (retries and crash replays).
+    retried: int = 0
+    #: Cells emitted as :class:`FailureRecord` (``on_error="quarantine"``).
+    quarantined: int = 0
 
     def describe(self) -> str:
         """One-line human summary (CLI status output)."""
         timing = "" if self.seconds is None else f" in {self.seconds:.2f}s"
-        return (
+        text = (
             f"{self.total} cells: {self.cached} loaded from store, "
             f"{self.played} played{timing}"
         )
+        if self.retried or self.quarantined:
+            text += (
+                f" ({self.retried} retried, {self.quarantined} quarantined)"
+            )
+        return text
 
     def to_json(self) -> dict:
         """The stats as a JSON-ready document (``--stats-json``)."""
@@ -335,22 +492,29 @@ class SweepStats:
             "cached": self.cached,
             "played": self.played,
             "seconds": self.seconds,
+            "failed": self.failed,
+            "retried": self.retried,
+            "quarantined": self.quarantined,
         }
 
 
 class SweepRunner:
-    """Executes sweep cells serially or across worker processes.
+    """Executes sweep cells under supervision, serially or across processes.
 
     Parameters
     ----------
     workers:
         ``1`` (default) plays every game in-process; ``N > 1`` fans the
         cells out over a ``ProcessPoolExecutor``.  Results are identical
-        either way — specs are self-contained and collected in order.
+        either way — specs are self-contained and records are emitted by
+        grid slot, never completion order.
     chunksize:
         Cells (or rep groups, under rep batching) handed to a worker per
         dispatch; defaults to ``ceil(n / (4 * workers))`` so each worker
         sees a few chunks (amortizing IPC) while the tail stays balanced.
+        When per-cell supervision is active (``timeout``, ``retries``,
+        quarantine or fault injection) dispatch is per cell/group so the
+        failure unit is exactly one cell.
     reduce:
         Picklable ``f(spec, result) -> record`` applied *inside* the
         worker, so only the (small) record crosses the process boundary.
@@ -365,16 +529,41 @@ class SweepRunner:
         per-spec path.  ``None`` or ``1`` disables (default),
         ``"auto"`` batches every full rep group, an ``int >= 2`` caps
         the lockstep width.  Composes with ``workers``: groups — not
-        individual cells — are what the process pool distributes.
+        individual cells — are what the process pool distributes, and a
+        rep group is a single retry/quarantine unit.
     store:
         Optional :class:`~repro.runtime.store.ResultStore`.  When set,
         cells whose key is already stored are *not* played — their
         records load from disk — and every freshly played record is
         persisted as soon as it completes, so an interrupted sweep
-        resumes from the stored prefix.  Records are always emitted in
-        grid order (the order of ``specs``), never completion order, so
-        fresh, warm-cache and resumed runs produce byte-identical
-        outputs for any worker count.
+        resumes from the stored prefix.  Quarantined cells are *not*
+        persisted: a later run replays exactly them.  Records are
+        always emitted in grid order (the order of ``specs``), never
+        completion order, so fresh, warm-cache and resumed runs produce
+        byte-identical outputs for any worker count.
+    timeout:
+        Per-unit wall-clock budget in seconds.  With ``workers >= 2``
+        a unit that blows it is killed preemptively (pool teardown +
+        replay); with ``workers=1`` it is checked after the unit
+        returns (soft).  ``None`` (default) disables.
+    retries:
+        Re-executions allowed per unit after an ordinary exception or a
+        timeout, with exponential backoff.  Worker crashes always get
+        ``max(1, retries)`` replays — see the module docstring.
+    backoff:
+        Base backoff delay in seconds; attempt ``k`` waits
+        ``backoff * 2**(k-1)``, capped at 2s.
+    on_error:
+        ``"raise"`` (default): a unit that exhausts its budget aborts
+        the sweep with the original exception.  ``"quarantine"``: its
+        cells emit :class:`FailureRecord` values in their grid slots and
+        the sweep completes; counts land on :class:`SweepStats` and the
+        records on :attr:`last_failures`.
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultInjector` (or bare
+        :class:`~repro.runtime.faults.FaultPlan`) — the deterministic
+        chaos harness.  Injected faults strike cell attempts and record
+        writes but never change computed records.
     """
 
     def __init__(
@@ -384,16 +573,36 @@ class SweepRunner:
         reduce: Optional[Callable[[GameSpec, GameResult], Any]] = None,
         rep_batch: Union[None, int, str] = None,
         store: Optional[Any] = None,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        backoff: float = 0.05,
+        on_error: str = "raise",
+        faults: Union[FaultInjector, FaultPlan, None] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if chunksize is not None and chunksize < 1:
             raise ValueError("chunksize must be >= 1")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be > 0 seconds (or None)")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff < 0:
+            raise ValueError("backoff must be >= 0")
+        if on_error not in ("raise", "quarantine"):
+            raise ValueError("on_error must be 'raise' or 'quarantine'")
         self.workers = int(workers)
         self.chunksize = chunksize
         self.reduce = reduce
         self.rep_batch = self._normalize_rep_batch(rep_batch)
         self.store = store
+        self.timeout = None if timeout is None else float(timeout)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.on_error = on_error
+        self.faults = (
+            FaultInjector(faults) if isinstance(faults, FaultPlan) else faults
+        )
         #: :class:`SweepStats` of the most recent :meth:`run`.
         self.last_stats: Optional[SweepStats] = None
         #: Grid-order cell keys of the most recent store-backed
@@ -402,6 +611,10 @@ class SweepRunner:
         #: the keys (e.g. scenario manifests) read them here instead of
         #: recomputing the pass.
         self.last_keys: Optional[List[str]] = None
+        #: Grid-order :class:`FailureRecord` list of the most recent
+        #: :meth:`run` (empty when everything succeeded).
+        self.last_failures: List[FailureRecord] = []
+        self._counters: Dict[str, int] = {}
 
     @staticmethod
     def _normalize_rep_batch(
@@ -425,7 +638,20 @@ class SweepRunner:
             "rep_batch must be None, 1, 'off', 'auto', or an int >= 2"
         )
 
-    def run(self, specs: Sequence[GameSpec]) -> List[Any]:
+    @property
+    def _supervised(self) -> bool:
+        """Whether per-cell failure handling is active (unit width 1)."""
+        return (
+            self.timeout is not None
+            or self.retries > 0
+            or self.on_error == "quarantine"
+            or (self.faults is not None and self.faults.plan.active)
+        )
+
+    # ------------------------------------------------------------------ #
+    # public entry points
+    # ------------------------------------------------------------------ #
+    def run(self, specs: Sequence[Union[GameSpec, TaskSpec]]) -> List[Any]:
         """Play every spec and return one record per spec, in order.
 
         With a :class:`~repro.runtime.store.ResultStore` attached,
@@ -433,84 +659,388 @@ class SweepRunner:
         persist as soon as they complete, and the returned list is in
         the order of ``specs`` (grid-coordinate order) regardless of
         which cells came from the cache or in what order workers
-        finished them.
+        finished them.  Under ``on_error="quarantine"`` permanently
+        failed cells hold :class:`FailureRecord` values (also collected
+        on :attr:`last_failures`) and are never persisted.
         """
         specs = list(specs)
         started = time.perf_counter()
-        if self.store is None:
-            records = [record for _, record in self._iter_records(specs)]
-            self.last_stats = SweepStats(
-                len(specs), 0, len(specs),
-                seconds=time.perf_counter() - started,
-            )
-            self.last_keys = None
-            return records
+        self._counters = {"failed": 0, "retried": 0, "quarantined": 0}
+        failures: List[FailureRecord] = []
 
-        miss = object()
-        keys = [self.store.key(spec, self.reduce) for spec in specs]
-        self.last_keys = keys
-        records = [self.store.load(key, miss) for key in keys]
-        missing = [i for i, record in enumerate(records) if record is miss]
-        for j, record in self._iter_records([specs[i] for i in missing]):
-            i = missing[j]
-            self.store.save(keys[i], record)
-            records[i] = record
+        store = self.store
+        if store is not None and self.faults is not None:
+            store = self.faults.wrap_store(store)
+
+        if store is None:
+            records: List[Any] = [None] * len(specs)
+            for offset, record in self._iter_records(
+                specs, list(range(len(specs)))
+            ):
+                records[offset] = record
+                if isinstance(record, FailureRecord):
+                    failures.append(record)
+            self.last_keys = None
+            cached = 0
+            missing_count = len(specs)
+        else:
+            miss = object()
+            keys = [store.key(spec, self.reduce) for spec in specs]
+            self.last_keys = keys
+            records = [store.load(key, miss) for key in keys]
+            missing = [i for i, record in enumerate(records) if record is miss]
+            for offset, record in self._iter_records(
+                [specs[i] for i in missing], missing
+            ):
+                i = missing[offset]
+                if isinstance(record, FailureRecord):
+                    failures.append(record)
+                else:
+                    store.save(keys[i], record)
+                records[i] = record
+            cached = len(specs) - len(missing)
+            missing_count = len(missing)
+
+        failures.sort(key=lambda failure: failure.index)
+        self.last_failures = failures
         self.last_stats = SweepStats(
             total=len(specs),
-            cached=len(specs) - len(missing),
-            played=len(missing),
+            cached=cached,
+            played=missing_count - self._counters["quarantined"],
             seconds=time.perf_counter() - started,
+            failed=self._counters["failed"],
+            retried=self._counters["retried"],
+            quarantined=self._counters["quarantined"],
         )
         return records
-
-    def _iter_records(self, specs: List[Any]) -> Iterator[Tuple[int, Any]]:
-        """Yield ``(index, record)`` in submission order as cells finish.
-
-        The index is the cell's position in ``specs``; yielding as the
-        (ordered) results stream in is what lets :meth:`run` checkpoint
-        every record immediately instead of after the whole sweep.
-        """
-        if not specs:
-            return
-        if self.rep_batch is not None:
-            yield from self._iter_batched(specs)
-            return
-        if self.workers == 1:
-            for index, spec in enumerate(specs):
-                yield index, _run_cell(spec, self.reduce)
-            return
-        call = partial(_run_cell, reduce=self.reduce)
-        chunksize = self.chunksize or max(
-            1, math.ceil(len(specs) / (4 * self.workers))
-        )
-        with ProcessPoolExecutor(
-            max_workers=min(self.workers, len(specs))
-        ) as pool:
-            yield from enumerate(pool.map(call, specs, chunksize=chunksize))
-
-    def _iter_batched(self, specs: List[Any]) -> Iterator[Tuple[int, Any]]:
-        """Rep-batched execution: one lockstep game per rep group."""
-        max_width = None if self.rep_batch == "auto" else self.rep_batch
-        groups = _group_reps(specs, max_width)
-        index = 0
-        if self.workers == 1:
-            for group in groups:
-                for record in _run_rep_group(group, self.reduce):
-                    yield index, record
-                    index += 1
-            return
-        call = partial(_run_rep_group, reduce=self.reduce)
-        chunksize = self.chunksize or max(
-            1, math.ceil(len(groups) / (4 * self.workers))
-        )
-        with ProcessPoolExecutor(
-            max_workers=min(self.workers, len(groups))
-        ) as pool:
-            for group_records in pool.map(call, groups, chunksize=chunksize):
-                for record in group_records:
-                    yield index, record
-                    index += 1
 
     def run_grid(self, grid: SweepGrid) -> List[Any]:
         """Expand and run a :class:`SweepGrid`."""
         return self.run(grid.expand())
+
+    # ------------------------------------------------------------------ #
+    # unit construction
+    # ------------------------------------------------------------------ #
+    def _build_units(
+        self, specs: List[Any], indices: List[int]
+    ) -> List[_Unit]:
+        """Carve the spec list into dispatchable work units.
+
+        Supervised runs (and all serial runs) use one unit per cell or
+        rep group — the failure/retry granularity; unsupervised parallel
+        runs chunk several per unit to amortize IPC, exactly like the
+        historical ``pool.map`` chunksize.
+        """
+        units: List[_Unit] = []
+        per_unit = self._supervised or self.workers == 1
+        if self.rep_batch is not None:
+            max_width = None if self.rep_batch == "auto" else self.rep_batch
+            groups = _group_reps(specs, max_width)
+            items: List[Tuple[List[GameSpec], List[int]]] = []
+            offset = 0
+            for group in groups:
+                items.append((group, list(range(offset, offset + len(group)))))
+                offset += len(group)
+            if per_unit:
+                for group, offsets in items:
+                    units.append(
+                        _Unit(
+                            True, [group], offsets,
+                            [indices[o] for o in offsets],
+                        )
+                    )
+            else:
+                chunk = self.chunksize or max(
+                    1, math.ceil(len(items) / (4 * self.workers))
+                )
+                for start in range(0, len(items), chunk):
+                    block = items[start:start + chunk]
+                    offsets = [o for _, offs in block for o in offs]
+                    units.append(
+                        _Unit(
+                            True,
+                            [group for group, _ in block],
+                            offsets,
+                            [indices[o] for o in offsets],
+                        )
+                    )
+        elif per_unit:
+            for offset, spec in enumerate(specs):
+                units.append(
+                    _Unit(False, [spec], [offset], [indices[offset]])
+                )
+        else:
+            chunk = self.chunksize or max(
+                1, math.ceil(len(specs) / (4 * self.workers))
+            )
+            for start in range(0, len(specs), chunk):
+                offsets = list(range(start, min(start + chunk, len(specs))))
+                units.append(
+                    _Unit(
+                        False,
+                        [specs[o] for o in offsets],
+                        offsets,
+                        [indices[o] for o in offsets],
+                    )
+                )
+        return units
+
+    # ------------------------------------------------------------------ #
+    # failure bookkeeping
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _classify(exc: BaseException) -> str:
+        if isinstance(exc, CellTimeoutError):
+            return "timeout"
+        if isinstance(exc, (WorkerKilled, BrokenProcessPool)):
+            return "worker-crash"
+        return "error"
+
+    def _note_failure(self, unit: _Unit, exc: BaseException) -> str:
+        """Charge one failed attempt; decide retry / quarantine / raise.
+
+        Worker crashes get at least one replay even at ``retries=0``:
+        a pool death takes the whole in-flight window with it, so the
+        failing unit cannot be singled out and innocent cells must not
+        abort the sweep.
+        """
+        unit.attempt += 1
+        unit.kind = self._classify(exc)
+        budget = (
+            max(1, self.retries)
+            if unit.kind == "worker-crash"
+            else self.retries
+        )
+        if unit.attempt <= budget:
+            self._counters["retried"] += len(unit.offsets)
+            return "retry"
+        self._counters["failed"] += len(unit.offsets)
+        if self.on_error == "quarantine":
+            self._counters["quarantined"] += len(unit.offsets)
+            return "quarantine"
+        return "raise"
+
+    def _retry_delay(self, attempt: int) -> float:
+        """Exponential backoff before re-executing a failed unit."""
+        if self.backoff <= 0:
+            return 0.0
+        return min(2.0, self.backoff * (2.0 ** max(0, attempt - 1)))
+
+    def _emit_quarantined(
+        self, unit: _Unit, exc: BaseException
+    ) -> Iterator[Tuple[int, FailureRecord]]:
+        """Fill a permanently failed unit's grid slots with failure records."""
+        error = f"{type(exc).__name__}: {exc}"
+        for offset, index, spec in zip(
+            unit.offsets, unit.indices, unit.cells()
+        ):
+            yield offset, FailureRecord(
+                index=index,
+                tags=dict(getattr(spec, "tags", {}) or {}),
+                kind=unit.kind,
+                error=error,
+                attempts=unit.attempt,
+            )
+
+    # ------------------------------------------------------------------ #
+    # execution loops
+    # ------------------------------------------------------------------ #
+    def _iter_records(
+        self, specs: List[Any], indices: List[int]
+    ) -> Iterator[Tuple[int, Any]]:
+        """Yield ``(offset, record)`` pairs as cells finish.
+
+        ``offset`` is the cell's position in ``specs`` (the possibly
+        partial list handed in); ``indices`` carries each cell's grid
+        coordinate in the full sweep.  Yielding as results stream in is
+        what lets :meth:`run` checkpoint every record immediately;
+        completion order is *not* guaranteed — the caller places records
+        by offset.
+        """
+        if not specs:
+            return
+        units = self._build_units(specs, indices)
+        if self.workers == 1:
+            yield from self._iter_serial(units)
+        else:
+            yield from self._iter_parallel(units)
+
+    def _iter_serial(self, units: List[_Unit]) -> Iterator[Tuple[int, Any]]:
+        for unit in units:
+            yield from self._play_unit_serial(unit)
+
+    def _play_unit_serial(self, unit: _Unit) -> Iterator[Tuple[int, Any]]:
+        """Serial supervision: retry loop around one in-process unit."""
+        while True:
+            started = time.perf_counter()
+            try:
+                records = _run_unit_task(
+                    unit.grouped, unit.payload, self.reduce, unit.indices,
+                    unit.attempt, self.faults, allow_kill=False,
+                )
+                if self.timeout is not None:
+                    elapsed = time.perf_counter() - started
+                    if elapsed > self.timeout:
+                        raise CellTimeoutError(
+                            f"cell(s) {unit.indices} took {elapsed:.3f}s "
+                            f"(timeout {self.timeout:g}s)"
+                        )
+            except Exception as exc:
+                action = self._note_failure(unit, exc)
+                if action == "retry":
+                    time.sleep(self._retry_delay(unit.attempt))
+                    continue
+                if action == "quarantine":
+                    yield from self._emit_quarantined(unit, exc)
+                    return
+                raise
+            for offset, record in zip(unit.offsets, records):
+                yield offset, record
+            return
+
+    def _iter_parallel(self, units: List[_Unit]) -> Iterator[Tuple[int, Any]]:
+        """Supervised pool execution: sliding window + crash/timeout replay.
+
+        A window of at most ``workers`` units is in flight at a time (so
+        dispatch time approximates start time, which is what makes the
+        per-unit deadline meaningful).  Completed futures stream records
+        out; failed units retry with backoff; a dead pool
+        (``BrokenProcessPool`` — worker SIGKILL, OOM) or an enforced
+        timeout tears the pool down, respawns it, and replays exactly
+        the lost units.
+        """
+        width = min(self.workers, max(1, len(units)))
+        pending: Deque[_Unit] = deque(units)
+        backing_off: List[_Unit] = []
+        inflight: Dict[Future, Tuple[_Unit, float]] = {}
+        pool = ProcessPoolExecutor(max_workers=width)
+
+        def respawn(old: ProcessPoolExecutor) -> ProcessPoolExecutor:
+            old.shutdown(wait=False, cancel_futures=True)
+            return ProcessPoolExecutor(max_workers=width)
+
+        try:
+            while pending or backing_off or inflight:
+                now = time.monotonic()
+                if backing_off:
+                    ready = [u for u in backing_off if u.ready_at <= now]
+                    if ready:
+                        backing_off = [
+                            u for u in backing_off if u.ready_at > now
+                        ]
+                        pending.extendleft(reversed(ready))
+                while pending and len(inflight) < width:
+                    unit = pending.popleft()
+                    future = pool.submit(
+                        _run_unit_task, unit.grouped, unit.payload,
+                        self.reduce, unit.indices, unit.attempt, self.faults,
+                        True,
+                    )
+                    inflight[future] = (unit, time.monotonic())
+                if not inflight:
+                    # Everything left is backing off; sleep to the next
+                    # ready time instead of spinning.
+                    wake = min(u.ready_at for u in backing_off)
+                    time.sleep(max(0.0, wake - time.monotonic()))
+                    continue
+
+                wait_timeout = None
+                if self.timeout is not None:
+                    deadline = (
+                        min(started for _, started in inflight.values())
+                        + self.timeout
+                    )
+                    wait_timeout = max(0.0, deadline - time.monotonic())
+                done, _ = wait(
+                    list(inflight),
+                    timeout=wait_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+
+                if not done:
+                    # Deadline expired and nothing finished: a worker is
+                    # hung.  Kill the pool; replay the window — the
+                    # overdue units are charged, bystanders are not.
+                    now = time.monotonic()
+                    assert self.timeout is not None
+                    overdue = {
+                        future
+                        for future, (_, started) in inflight.items()
+                        if now - started >= self.timeout
+                    }
+                    if not overdue:
+                        continue  # spurious wake-up; re-derive deadline
+                    _kill_pool_workers(pool)
+                    lost = list(inflight.items())
+                    inflight.clear()
+                    pool = respawn(pool)
+                    for future, (unit, started) in lost:
+                        if future not in overdue:
+                            pending.append(unit)
+                            continue
+                        exc: Exception = CellTimeoutError(
+                            f"cell(s) {unit.indices} exceeded the "
+                            f"{self.timeout:g}s timeout (attempt "
+                            f"{unit.attempt}); worker killed"
+                        )
+                        action = self._note_failure(unit, exc)
+                        if action == "retry":
+                            unit.ready_at = (
+                                time.monotonic()
+                                + self._retry_delay(unit.attempt)
+                            )
+                            backing_off.append(unit)
+                        elif action == "quarantine":
+                            yield from self._emit_quarantined(unit, exc)
+                        else:
+                            raise exc
+                    continue
+
+                crashed: List[_Unit] = []
+                for future in done:
+                    unit, _started = inflight.pop(future)
+                    try:
+                        records = future.result()
+                    except BrokenProcessPool:
+                        crashed.append(unit)
+                    except Exception as exc:
+                        action = self._note_failure(unit, exc)
+                        if action == "retry":
+                            unit.ready_at = (
+                                time.monotonic()
+                                + self._retry_delay(unit.attempt)
+                            )
+                            backing_off.append(unit)
+                        elif action == "quarantine":
+                            yield from self._emit_quarantined(unit, exc)
+                        else:
+                            raise
+                    else:
+                        for offset, record in zip(unit.offsets, records):
+                            yield offset, record
+                if crashed:
+                    # The pool is dead; every still-inflight unit died
+                    # with it.  Respawn and replay them all — crash
+                    # attribution is impossible, so each gets charged a
+                    # crash attempt (budget >= 1 even at retries=0).
+                    crashed.extend(unit for unit, _ in inflight.values())
+                    inflight.clear()
+                    pool = respawn(pool)
+                    for unit in crashed:
+                        crash: Exception = WorkerKilled(
+                            "a process pool worker died while cell(s) "
+                            f"{unit.indices} were in flight"
+                        )
+                        action = self._note_failure(unit, crash)
+                        if action == "retry":
+                            unit.ready_at = (
+                                time.monotonic()
+                                + self._retry_delay(unit.attempt)
+                            )
+                            backing_off.append(unit)
+                        elif action == "quarantine":
+                            yield from self._emit_quarantined(unit, crash)
+                        else:
+                            raise crash
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)

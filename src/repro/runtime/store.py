@@ -41,6 +41,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from functools import partial
 from pathlib import Path
 from typing import Any, Callable, Mapping, Optional, Union
@@ -294,15 +295,34 @@ class ResultStore:
         Version string mixed into every key; defaults to the installed
         package version, so upgrading the code invalidates the cache
         wholesale instead of serving records from old physics.
+    durable:
+        ``True`` fsyncs every record/manifest write (file *and* parent
+        directory) before the atomic rename, so a completed save
+        survives a machine crash — not just a process crash.  Off by
+        default: sweeps are resumable anyway, and fsync per record is
+        expensive.
+    reap_tmp_after:
+        Age threshold (seconds) for the orphaned-temp-file reaper.  A
+        SIGKILLed process can leave ``.tmp`` files behind (``mkstemp``
+        happened, ``os.replace`` never did); the store sweeps any older
+        than this on init.  ``None`` disables reaping.
     """
 
     def __init__(
-        self, root: Union[str, Path], code_version: Optional[str] = None
+        self,
+        root: Union[str, Path],
+        code_version: Optional[str] = None,
+        durable: bool = False,
+        reap_tmp_after: Optional[float] = 3600.0,
     ):
         self.root = Path(root)
         self.code_version = (
             _code_version() if code_version is None else str(code_version)
         )
+        self.durable = bool(durable)
+        self.reap_tmp_after = reap_tmp_after
+        if reap_tmp_after is not None and self.root.is_dir():
+            self.reap_temp_files(reap_tmp_after)
 
     # -------------------------------------------------------------- #
     # keys and paths
@@ -324,6 +344,68 @@ class ResultStore:
         return self.root / "manifests" / f"{name}.json"
 
     # -------------------------------------------------------------- #
+    # atomic writes and temp-file hygiene
+    # -------------------------------------------------------------- #
+    def _write_atomic(
+        self, path: Path, document: Any, prefix: str, indent: Optional[int]
+    ) -> None:
+        """Write a JSON document via temp file + ``os.replace``.
+
+        Under ``durable=True`` the temp file is flushed and fsynced
+        before the rename, and the parent directory fsynced after, so
+        the completed write survives power loss — otherwise the rename
+        alone guarantees readers only ever see whole documents.
+        """
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            prefix=prefix, suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(document, handle, indent=indent, sort_keys=bool(indent))
+                if self.durable:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            os.replace(tmp, path)
+            if self.durable:
+                dir_fd = os.open(path.parent, os.O_RDONLY)
+                try:
+                    os.fsync(dir_fd)
+                finally:
+                    os.close(dir_fd)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def reap_temp_files(self, max_age_seconds: float = 3600.0) -> int:
+        """Delete orphaned ``.tmp`` files older than the threshold.
+
+        A process SIGKILLed between ``mkstemp`` and ``os.replace``
+        leaks its temp file forever; this sweeps them.  The age floor
+        keeps the reaper from racing a *live* writer (concurrent sweeps
+        share a store), and every error is ignored — another process
+        may legitimately have won the unlink.  Returns the number of
+        files removed.
+        """
+        cutoff = time.time() - max_age_seconds
+        reaped = 0
+        for subdir in ("objects", "manifests"):
+            base = self.root / subdir
+            if not base.is_dir():
+                continue
+            for tmp in base.rglob("*.tmp"):
+                try:
+                    if tmp.stat().st_mtime < cutoff:
+                        tmp.unlink()
+                        reaped += 1
+                except OSError:
+                    continue
+        return reaped
+
+    # -------------------------------------------------------------- #
     # records
     # -------------------------------------------------------------- #
     def save(self, key: str, record: Any) -> None:
@@ -337,28 +419,21 @@ class ResultStore:
             ).hexdigest(),
             "body": body,
         }
-        path = self.record_path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            prefix=f".{key[:8]}-", suffix=".tmp", dir=path.parent
+        self._write_atomic(
+            self.record_path(key), envelope, prefix=f".{key[:8]}-", indent=None
         )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(envelope, handle)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
 
     def load(self, key: str, default: Any = None) -> Any:
         """Load one record; *any* validation failure is a cache miss.
 
         Truncated writes, hand-edited files, checksum mismatches, format
         bumps and undecodable payloads all return ``default`` — the
-        runner then simply recomputes and overwrites the entry.
+        runner then simply recomputes and overwrites the entry.  The
+        except tuple is deliberately wide: a checksum-valid *pickle*
+        body can still fail to materialize when the class it references
+        was renamed or moved since the record was written
+        (``AttributeError`` / ``ModuleNotFoundError``), and those are
+        misses too, not crashes.
         """
         path = self.record_path(key)
         try:
@@ -375,7 +450,17 @@ class ResultStore:
             if envelope.get("sha256") != digest:
                 return default
             return _decode_body(body)
-        except (OSError, ValueError, KeyError, TypeError, pickle.UnpicklingError):
+        except (
+            OSError,
+            ValueError,  # covers json decode + UnicodeDecodeError
+            KeyError,
+            IndexError,
+            TypeError,
+            AttributeError,
+            ImportError,  # covers ModuleNotFoundError
+            EOFError,
+            pickle.UnpicklingError,
+        ):
             return default
 
     def __contains__(self, key: str) -> bool:
@@ -394,21 +479,12 @@ class ResultStore:
     # -------------------------------------------------------------- #
     def save_manifest(self, name: str, payload: Mapping[str, Any]) -> None:
         """Atomically persist a named manifest (a small JSON document)."""
-        path = self.manifest_path(name)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            prefix=f".{name[:24]}-", suffix=".tmp", dir=path.parent
+        self._write_atomic(
+            self.manifest_path(name),
+            dict(payload),
+            prefix=f".{name[:24]}-",
+            indent=2,
         )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(dict(payload), handle, indent=2, sort_keys=True)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
 
     def load_manifest(self, name: str) -> Optional[dict]:
         """Load a named manifest, or ``None`` if absent/unreadable."""
@@ -417,3 +493,11 @@ class ResultStore:
                 return json.load(handle)
         except (OSError, ValueError):
             return None
+
+    def delete_manifest(self, name: str) -> bool:
+        """Remove a named manifest if present; True when a file went away."""
+        try:
+            os.unlink(self.manifest_path(name))
+            return True
+        except OSError:
+            return False

@@ -26,7 +26,14 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from ..runtime import ResultStore, SweepRunner, SweepStats
+from ..runtime import (
+    FailureRecord,
+    FaultInjector,
+    FaultPlan,
+    ResultStore,
+    SweepRunner,
+    SweepStats,
+)
 from ..runtime.store import canonical_json
 
 __all__ = [
@@ -178,6 +185,8 @@ class ScenarioRun:
     text: str
     stats: SweepStats
     manifest: Optional[str] = None  # manifest name, when a store was used
+    #: Grid-order quarantined-cell records (empty on a clean run).
+    failures: Tuple[FailureRecord, ...] = ()
 
 
 def _params_jsonable(params: Mapping[str, Any]) -> Dict[str, Any]:
@@ -197,6 +206,22 @@ def _params_digest(params: Mapping[str, Any]) -> str:
     ).hexdigest()[:12]
 
 
+def _render_failures(
+    name: str, failures: Sequence[FailureRecord], total: int
+) -> str:
+    """The text a quarantined run prints instead of its artifact."""
+    lines = [
+        f"scenario {name}: {len(failures)}/{total} cells quarantined "
+        "(no artifact rendered; re-run to retry exactly these cells)"
+    ]
+    for failure in failures:
+        lines.append(
+            f"  cell {failure.index} [{failure.kind}] after "
+            f"{failure.attempts} attempt(s): {failure.error}"
+        )
+    return "\n".join(lines)
+
+
 def run_scenario(
     scenario: Scenario,
     scale: str = "quick",
@@ -204,6 +229,10 @@ def run_scenario(
     workers: int = 1,
     rep_batch: Union[None, int, str] = None,
     store: Optional[ResultStore] = None,
+    on_error: str = "raise",
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    faults: Union[FaultInjector, FaultPlan, None] = None,
 ) -> ScenarioRun:
     """Plan, execute, aggregate and render one scenario.
 
@@ -212,6 +241,17 @@ def run_scenario(
     named after the scenario records the grid-order cell keys so
     :func:`report_scenario` can replay without executing anything.
     ``rep_batch=None`` defers to the plan's own setting.
+
+    ``on_error``/``timeout``/``retries``/``faults`` configure the
+    runner's supervision (see
+    :class:`~repro.runtime.runner.SweepRunner`).  Under
+    ``on_error="quarantine"`` a run with permanently failed cells skips
+    aggregation (``value=None``) and renders a failure summary instead;
+    with a store, a ``<name>.failures`` manifest is written next to the
+    key manifest (and cleared again by the next clean run), and —
+    because quarantined cells are never persisted — simply re-running
+    the scenario against the same store retries exactly the failed
+    cells and heals the artifact.
     """
     params = scenario.resolve_params(scale, overrides)
     plan = scenario.plan(params)
@@ -220,10 +260,22 @@ def run_scenario(
         reduce=plan.reduce,
         rep_batch=plan.rep_batch if rep_batch is None else rep_batch,
         store=store,
+        on_error=on_error,
+        timeout=timeout,
+        retries=retries,
+        faults=faults,
     )
     records = runner.run(list(plan.specs))
-    value = scenario.aggregate(params, records)
-    text = scenario.render(params, value)
+    failures = tuple(runner.last_failures)
+    if failures:
+        # FailureRecords sit in the grid slots; the scenario's own
+        # aggregate would choke on them (and the artifact would be a
+        # lie anyway).  Report the damage instead.
+        value = None
+        text = _render_failures(scenario.name, failures, len(records))
+    else:
+        value = scenario.aggregate(params, records)
+        text = scenario.render(params, value)
 
     manifest_name = None
     if store is not None:
@@ -242,6 +294,34 @@ def run_scenario(
                 "keys": runner.last_keys,
             },
         )
+        failures_name = f"{scenario.name}.failures"
+        if failures:
+            keys = runner.last_keys or []
+            store.save_manifest(
+                failures_name,
+                {
+                    "format": MANIFEST_FORMAT,
+                    "scenario": scenario.name,
+                    "code_version": store.code_version,
+                    "quarantined": [
+                        {
+                            "index": failure.index,
+                            "key": (
+                                keys[failure.index]
+                                if failure.index < len(keys)
+                                else None
+                            ),
+                            "kind": failure.kind,
+                            "error": failure.error,
+                            "attempts": failure.attempts,
+                            "tags": _params_jsonable(failure.tags),
+                        }
+                        for failure in failures
+                    ],
+                },
+            )
+        else:
+            store.delete_manifest(failures_name)
     return ScenarioRun(
         name=scenario.name,
         scale=scale,
@@ -251,6 +331,7 @@ def run_scenario(
         text=text,
         stats=runner.last_stats,
         manifest=manifest_name,
+        failures=failures,
     )
 
 

@@ -10,6 +10,6 @@ snapshots (in memory or in a
 next submit.
 """
 
-from .service import DefenseService, ServiceStats
+from .service import DefenseService, ServiceStats, TenantFailure
 
-__all__ = ["DefenseService", "ServiceStats"]
+__all__ = ["DefenseService", "ServiceStats", "TenantFailure"]

@@ -54,6 +54,7 @@ from ..core.session import (
     BatchedGameSession,
     GameSession,
     RoundDecision,
+    SnapshotError,
     stack_observations,
 )
 from ..core.strategies.batched import adversary_lanes, collector_lanes
@@ -65,7 +66,7 @@ if TYPE_CHECKING:  # annotation-only imports
     from ..core.engine import GameResult
     from ..runtime.store import ResultStore
 
-__all__ = ["DefenseService", "ServiceStats"]
+__all__ = ["DefenseService", "ServiceStats", "TenantFailure"]
 
 
 @dataclass
@@ -79,6 +80,23 @@ class ServiceStats:
     lockstep_lanes: int = 0
     evictions: int = 0
     restores: int = 0
+    quarantined: int = 0
+
+
+@dataclass(frozen=True)
+class TenantFailure:
+    """Why one tenant was quarantined out of a :meth:`submit_many` call.
+
+    ``kind`` classifies the failure stage: ``"snapshot"`` (the tenant's
+    persisted snapshot would not restore — :class:`SnapshotError`),
+    ``"lifecycle"`` (closed / superseded / missing source / unknown id)
+    or ``"round"`` (its solo round raised).  ``error`` is the rendered
+    exception.
+    """
+
+    session_id: str
+    kind: str
+    error: str
 
 
 class DefenseService:
@@ -129,6 +147,8 @@ class DefenseService:
         #: Evicted session ids -> in-memory snapshot blob (None when the
         #: blob lives in the result store instead).
         self._evicted: Dict[str, Optional[bytes]] = {}
+        #: Tenants pulled out of service by a quarantining submit_many.
+        self._quarantined: Dict[str, TenantFailure] = {}
         self._clock = 0
         self._touched: Dict[str, int] = {}
         self._next_id = 0
@@ -167,6 +187,9 @@ class DefenseService:
             horizon=spec.rounds if horizon == "spec" else horizon,
             payoff_model=payoff_model,
         )
+        # Reusing a quarantined tenant's id replaces it; the stale
+        # failure record must not shadow the healthy newcomer.
+        self._quarantined.pop(session_id, None)
         self._sessions[session_id] = session
         self._specs[session_id] = spec
         self._group_of[session_id] = self._group_index(spec)
@@ -204,6 +227,15 @@ class DefenseService:
         """Ids of sessions currently parked as snapshots."""
         return list(self._evicted)
 
+    @property
+    def quarantined_ids(self) -> List[str]:
+        """Ids of tenants quarantined by failing ``submit_many`` rounds."""
+        return list(self._quarantined)
+
+    def quarantine_reason(self, session_id: str) -> TenantFailure:
+        """The :class:`TenantFailure` that quarantined one tenant."""
+        return self._quarantined[session_id]
+
     def session(self, session_id: str) -> GameSession:
         """The live :class:`GameSession` (restoring it if evicted)."""
         return self._resident(session_id)
@@ -236,6 +268,7 @@ class DefenseService:
     def submit_many(
         self,
         batches: Union[Mapping[str, object], Sequence[str]],
+        on_error: str = "raise",
     ) -> Dict[str, RoundDecision]:
         """Play one round for many tenants, multiplexing where possible.
 
@@ -247,7 +280,23 @@ class DefenseService:
         everyone else is routed solo.  Either way each tenant's
         decision, board and strategy state are byte-identical to solo
         play.
+
+        ``on_error="raise"`` (default): a tenant failing pre-flight —
+        unknown id, closed session, missing source, a snapshot that
+        will not restore (:class:`SnapshotError`) — fails the whole
+        call with no state advanced anywhere.  ``"quarantine"``: the
+        failing tenant is pulled out of service (recorded on
+        :attr:`quarantined_ids` with a :class:`TenantFailure`, its
+        persisted snapshot blob left in the store for forensics) and
+        the rest of the cohort plays on, byte-identically to a call
+        that never named the broken tenant; quarantined tenants are
+        absent from the returned mapping.  Solo rounds that raise are
+        quarantined too; an error *inside* a lockstep kernel still
+        propagates — mid-round failures cannot be attributed to a
+        single lane.
         """
+        if on_error not in ("raise", "quarantine"):
+            raise ValueError("on_error must be 'raise' or 'quarantine'")
         if not isinstance(batches, Mapping):
             ids = list(batches)
             if len(set(ids)) != len(ids):
@@ -259,18 +308,37 @@ class DefenseService:
 
         # Pre-flight *before* any stream or strategy advances: restore
         # evicted members, check lifecycles, check batch availability.
-        # A tenant failing these checks fails the whole call with no
-        # state advanced anywhere.  (A kernel error *during* a round —
-        # e.g. a malformed batch a trimmer rejects — still aborts the
-        # call mid-way: cohorts that already played keep their rounds.)
-        sessions = {sid: self._resident(sid) for sid in order}
+        # Under on_error="raise" a tenant failing these checks fails the
+        # whole call with no state advanced anywhere; under
+        # "quarantine" it is isolated here, before it can touch the
+        # cohort.  (A kernel error *during* a lockstep round — e.g. a
+        # malformed batch a trimmer rejects — still aborts the call
+        # mid-way: cohorts that already played keep their rounds.)
+        sessions: Dict[str, GameSession] = {}
         for sid in order:
-            sessions[sid]._check_submittable()
-            if batches[sid] is None and sessions[sid].source is None:
-                raise ValueError(
-                    f"session {sid!r} has no attached source; "
-                    "pass its batch explicitly"
+            if sid in self._quarantined and on_error == "quarantine":
+                # Already pulled out of service; callers that keep
+                # naming it just don't get a decision for it — the
+                # original TenantFailure stays authoritative.
+                continue
+            try:
+                session = self._resident(sid)
+                session._check_submittable()
+                if batches[sid] is None and session.source is None:
+                    raise ValueError(
+                        f"session {sid!r} has no attached source; "
+                        "pass its batch explicitly"
+                    )
+            except (SnapshotError, KeyError, ValueError, RuntimeError) as exc:
+                if on_error == "raise":
+                    raise
+                kind = "snapshot" if isinstance(exc, SnapshotError) else (
+                    "lifecycle"
                 )
+                self._quarantine(sid, kind, exc)
+                continue
+            sessions[sid] = session
+        order = [sid for sid in order if sid in sessions]
 
         cohorts: Dict[tuple, List[str]] = {}
         for sid in order:
@@ -300,12 +368,42 @@ class DefenseService:
                 self.stats.lockstep_lanes += len(members)
             else:
                 for sid, batch in zip(members, arrays):
-                    decisions[sid] = sessions[sid].submit(batch)
+                    try:
+                        decisions[sid] = sessions[sid].submit(batch)
+                    except Exception as exc:
+                        if on_error == "raise":
+                            raise
+                        self._quarantine(sid, "round", exc)
+                        continue
                     self.stats.solo_rounds += 1
             for sid in members:
-                self._touch(sid)
-        self._enforce_residency(protect=set(order))
-        return {sid: decisions[sid] for sid in order}
+                if sid in decisions:
+                    self._touch(sid)
+        survivors = {sid for sid in order if sid in decisions}
+        self._enforce_residency(protect=survivors)
+        return {sid: decisions[sid] for sid in order if sid in decisions}
+
+    def _quarantine(
+        self, session_id: str, kind: str, exc: BaseException
+    ) -> None:
+        """Pull a broken tenant out of service, leaving the rest intact.
+
+        The tenant's live/evicted registration is dropped so later calls
+        do not trip over it again; a *persisted* snapshot blob stays in
+        the store untouched — it is the forensic artifact (and a fixed
+        deployment can :meth:`adopt` it back).
+        """
+        self._sessions.pop(session_id, None)
+        self._evicted.pop(session_id, None)
+        self._specs.pop(session_id, None)
+        self._group_of.pop(session_id, None)
+        self._touched.pop(session_id, None)
+        self._quarantined[session_id] = TenantFailure(
+            session_id=session_id,
+            kind=kind,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        self.stats.quarantined += 1
 
     def _submit_lockstep(
         self, sessions: List[GameSession], benign: np.ndarray
@@ -450,6 +548,7 @@ class DefenseService:
                 f"namespace {self.namespace!r} under {self._store.root}"
             )
         self._validate_snapshot_record(record, session_id, spec)
+        self._quarantined.pop(session_id, None)
         self._specs[session_id] = spec
         self._group_of[session_id] = self._group_index(spec)
         self._evicted[session_id] = None
@@ -462,14 +561,14 @@ class DefenseService:
             not isinstance(record, dict)
             or not isinstance(record.get("blob"), bytes)
         ):
-            raise ValueError(
+            raise SnapshotError(
                 f"stored record for session {session_id!r} is not a "
                 "service snapshot"
             )
         if record.get("session_id") != session_id or record.get(
             "spec_key"
         ) != self._store.key(spec):
-            raise ValueError(
+            raise SnapshotError(
                 f"stored snapshot under session id {session_id!r} belongs "
                 "to a different tenant or spec — use distinct session ids "
                 "or service namespaces when sharing a store"

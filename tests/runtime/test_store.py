@@ -309,3 +309,108 @@ class TestRunnerStoreIntegration:
         assert runner.last_stats.played == 2
         assert runner.last_stats.cached == len(specs) - 2
         assert resumed == full
+
+
+class _Ghost:
+    """Pickled by reference; re-pointed at a dead module in the tests."""
+
+    def __init__(self, value):
+        self.value = value
+
+
+class TestGracefulDegradation:
+    def test_stale_tmp_files_are_reaped_on_init(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("a" * 64, {"value": 1.0})
+        objects_dir = store.record_path("a" * 64).parent
+        stale = objects_dir / ".deadbeef-orphan.tmp"
+        stale.write_text("half a record")
+        fresh = objects_dir / ".cafebabe-live.tmp"
+        fresh.write_text("a write in progress")
+        old = 7200.0
+        os.utime(stale, (os.path.getmtime(stale) - old,) * 2)
+
+        reopened = ResultStore(tmp_path, reap_tmp_after=3600.0)
+        assert not stale.exists()  # orphan swept
+        assert fresh.exists()  # live writer untouched
+        assert reopened.load("a" * 64) == {"value": 1.0}
+
+    def test_reap_temp_files_returns_count_and_is_optional(self, tmp_path):
+        store = ResultStore(tmp_path, reap_tmp_after=None)
+        manifests = store.manifest_path("x").parent
+        manifests.mkdir(parents=True)
+        orphan = manifests / ".x-orphan.tmp"
+        orphan.write_text("{}")
+        os.utime(orphan, (os.path.getmtime(orphan) - 10_000,) * 2)
+        assert store.reap_temp_files(3600.0) == 1
+        assert not orphan.exists()
+
+    def test_ghost_class_pickle_is_a_miss_not_a_crash(self, tmp_path):
+        """A checksum-valid pickle referencing dead code reads as a miss."""
+        import pickle as _pickle
+        import base64 as _base64
+        import hashlib as _hashlib
+        import types as _types
+        from repro.runtime.store import canonical_json
+
+        store = ResultStore(tmp_path)
+        key = "e" * 64
+        # Pickle the class under a synthetic module, then unregister it:
+        # the blob now references code that no longer exists — exactly
+        # what a rename/move since the record was written leaves behind.
+        ghost_module = _types.ModuleType("repro_ghost_module")
+        ghost_module.Ghost = _Ghost
+        original = (_Ghost.__module__, _Ghost.__qualname__)
+        _Ghost.__module__ = "repro_ghost_module"
+        _Ghost.__qualname__ = "Ghost"
+        sys.modules["repro_ghost_module"] = ghost_module
+        try:
+            blob = _pickle.dumps(
+                _Ghost(3), protocol=_pickle.HIGHEST_PROTOCOL
+            )
+        finally:
+            del sys.modules["repro_ghost_module"]
+            _Ghost.__module__, _Ghost.__qualname__ = original
+        body = {
+            "codec": "pickle",
+            "data": _base64.b64encode(blob).decode("ascii"),
+        }
+        envelope = {
+            "format": 1,
+            "key": key,
+            "sha256": _hashlib.sha256(
+                canonical_json(body).encode("utf-8")
+            ).hexdigest(),
+            "body": body,
+        }
+        path = store.record_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(envelope))
+        # sanity: the blob really does raise on unpickle
+        with pytest.raises((ModuleNotFoundError, AttributeError)):
+            _pickle.loads(_base64.b64decode(body["data"]))
+        assert store.load(key, None) is None  # miss, not a crash
+
+    def test_durable_mode_fsyncs_writes(self, tmp_path, monkeypatch):
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))[1]
+        )
+        plain = ResultStore(tmp_path / "plain")
+        plain.save("f" * 64, {"value": 1.0})
+        assert synced == []
+        durable = ResultStore(tmp_path / "durable", durable=True)
+        durable.save("f" * 64, {"value": 1.0})
+        assert len(synced) == 2  # record file + parent directory
+        durable.save_manifest("m", {"keys": []})
+        assert len(synced) == 4
+        assert durable.load("f" * 64) == {"value": 1.0}
+
+    def test_delete_manifest(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save_manifest("gone", {"keys": []})
+        assert store.load_manifest("gone") is not None
+        assert store.delete_manifest("gone") is True
+        assert store.load_manifest("gone") is None
+        assert store.delete_manifest("gone") is False

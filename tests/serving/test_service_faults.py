@@ -1,0 +1,152 @@
+"""Graceful degradation of the serving stack under corrupt snapshots.
+
+The acceptance contract: a corrupt persisted snapshot raises typed
+:class:`SnapshotError` (never raw ``pickle`` internals), and inside a
+quarantining ``submit_many`` cohort the broken tenant is isolated while
+every healthy peer's board stays byte-identical to its standalone
+session.
+"""
+
+import pickle
+
+import pytest
+
+from repro import DefenseService, GameSpec, ResultStore, SnapshotError
+from repro.core.session import GameSession
+from repro.serving.service import TenantFailure
+
+import sys
+import os
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "core")
+)
+from test_session import (  # noqa: E402
+    assert_results_identical,
+    matrix_spec,
+)
+
+
+def solo_reference(spec: GameSpec):
+    """The ground-truth standalone run of one tenant's spec."""
+    session = spec.session()
+    while not session.done:
+        session.submit()
+    return session.close()
+
+
+def _corrupt_persisted_blob(service, store, session_id):
+    """Truncate a tenant's persisted snapshot blob (torn write)."""
+    key = service._session_key(session_id)
+    record = store.load(key)
+    record["blob"] = record["blob"][: len(record["blob"]) // 2]
+    store.save(key, record)
+
+
+class TestSnapshotError:
+    def test_restore_garbage_raises_typed_error(self):
+        with pytest.raises(SnapshotError):
+            GameSession.restore(b"not a snapshot at all")
+
+    def test_restore_truncated_snapshot_raises_typed_error(self):
+        spec = matrix_spec("elastic-paper", "elastic", "band", seed=1)
+        session = spec.session()
+        session.submit()
+        blob = session.snapshot()
+        with pytest.raises(SnapshotError):
+            GameSession.restore(blob[: len(blob) // 3])
+
+    def test_restore_foreign_pickle_raises_typed_error(self):
+        blob = pickle.dumps({"format": "someone.else/9"})
+        with pytest.raises(SnapshotError, match="not a repro.session/1"):
+            GameSession.restore(blob)
+
+    def test_snapshot_error_is_a_value_error(self):
+        # back-compat: callers catching the old untyped error still work
+        assert issubclass(SnapshotError, ValueError)
+
+    def test_corrupt_persisted_snapshot_raises_on_submit(self, tmp_path):
+        store = ResultStore(tmp_path)
+        service = DefenseService(store=store)
+        spec = matrix_spec("elastic-paper", "elastic", "band", seed=2)
+        sid = service.open(spec)
+        service.submit(sid)
+        service.evict(sid)
+        _corrupt_persisted_blob(service, store, sid)
+        with pytest.raises(SnapshotError):
+            service.submit(sid)
+
+
+class TestTenantQuarantine:
+    def _cohort(self, service, n=4, seed0=40):
+        specs = [
+            matrix_spec("elastic-paper", "elastic", "band", seed=seed0 + r)
+            for r in range(n)
+        ]
+        return specs, [service.open(spec) for spec in specs]
+
+    def test_default_submit_many_still_raises(self, tmp_path):
+        store = ResultStore(tmp_path)
+        service = DefenseService(store=store)
+        specs, sids = self._cohort(service)
+        service.evict(sids[1])
+        _corrupt_persisted_blob(service, store, sids[1])
+        with pytest.raises(SnapshotError):
+            service.submit_many(sids)
+
+    def test_broken_tenant_is_isolated_and_peers_stay_byte_identical(
+        self, tmp_path
+    ):
+        store = ResultStore(tmp_path)
+        service = DefenseService(store=store)
+        specs, sids = self._cohort(service)
+        references = [solo_reference(spec) for spec in specs]
+
+        service.evict(sids[1])
+        _corrupt_persisted_blob(service, store, sids[1])
+
+        for _ in range(specs[0].rounds):
+            decisions = service.submit_many(sids, on_error="quarantine")
+            assert sids[1] not in decisions
+            assert set(decisions) == {sids[0], sids[2], sids[3]}
+
+        # the broken tenant was quarantined exactly once, with a reason
+        assert service.quarantined_ids == [sids[1]]
+        failure = service.quarantine_reason(sids[1])
+        assert isinstance(failure, TenantFailure)
+        assert failure.kind == "snapshot"
+        assert "SnapshotError" in failure.error
+        assert service.stats.quarantined == 1
+        # the persisted blob is left in the store for forensics
+        assert store.load(service._session_key(sids[1])) is not None
+
+        # cohort peers completed byte-identically to standalone sessions
+        for index in (0, 2, 3):
+            assert_results_identical(
+                service.close(sids[index]), references[index]
+            )
+
+    def test_unknown_and_closed_tenants_quarantine_as_lifecycle(self):
+        service = DefenseService()
+        spec = matrix_spec("elastic-paper", "elastic", "band", seed=90)
+        sid = service.open(spec)
+        decisions = service.submit_many(
+            [sid, "no-such-tenant"], on_error="quarantine"
+        )
+        assert set(decisions) == {sid}
+        assert service.quarantine_reason("no-such-tenant").kind == "lifecycle"
+
+    def test_quarantined_id_can_be_reopened(self, tmp_path):
+        store = ResultStore(tmp_path)
+        service = DefenseService(store=store)
+        spec = matrix_spec("elastic-paper", "elastic", "band", seed=91)
+        sid = service.open(spec, session_id="tenant-a")
+        service.submit(sid)
+        service.evict(sid)
+        _corrupt_persisted_blob(service, store, sid)
+        service.submit_many([sid], on_error="quarantine")
+        assert service.quarantined_ids == [sid]
+        # the id is free again: a fixed deployment replaces the tenant
+        replacement = service.open(spec, session_id="tenant-a")
+        assert replacement == sid
+        service.submit(replacement)
