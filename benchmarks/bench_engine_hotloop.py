@@ -33,13 +33,13 @@ import time
 
 import numpy as np
 
+from repro.core.domain import percentile_grid
 from repro.core.engine import BandExcessJudge, CollectionGame
 from repro.core.payoffs import PayoffModel
 from repro.core.quality import TailMassEvaluator
 from repro.core.stackelberg import solve_stackelberg
 from repro.core.strategies import ElasticAdversary, ElasticCollector
 from repro.core.trimming import ValueTrimmer
-from repro.core.domain import percentile_grid
 from repro.runtime import SweepRunner
 from repro.streams import ArrayStream, PoisonInjector
 

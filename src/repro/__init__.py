@@ -38,8 +38,6 @@ from .core import (
     BandExcessJudge,
     BatchedCollectionGame,
     BatchedGameResult,
-    InfiniteHorizonAnalysis,
-    backward_induction,
     BimatrixGame,
     CollectionGame,
     CoupledUtilityOscillator,
@@ -47,6 +45,7 @@ from .core import (
     ElasticLagrangian,
     FreeLagrangian,
     GameResult,
+    InfiniteHorizonAnalysis,
     MixedStrategy,
     PayoffModel,
     QuantileTable,
@@ -56,26 +55,10 @@ from .core import (
     TitForTatLagrangian,
     UltimatumPayoffs,
     ValueTrimmer,
+    backward_induction,
     build_ultimatum_game,
     solve_stackelberg,
     solve_zero_sum,
-)
-from .core.strategies import (
-    ElasticAdversary,
-    ElasticCollector,
-    FixedAdversary,
-    GenerousCollector,
-    MirrorCollector,
-    TitForTwoTatsCollector,
-    JustBelowAdversary,
-    MixedAdversary,
-    MixedStrategyTrigger,
-    NullAdversary,
-    OstrichCollector,
-    QualityTrigger,
-    StaticCollector,
-    TitForTatCollector,
-    UniformRangeAdversary,
 )
 from .core.session import (
     BatchedGameSession,
@@ -84,6 +67,23 @@ from .core.session import (
     RoundDecision,
     RoundPayoffs,
     SnapshotError,
+)
+from .core.strategies import (
+    ElasticAdversary,
+    ElasticCollector,
+    FixedAdversary,
+    GenerousCollector,
+    JustBelowAdversary,
+    MirrorCollector,
+    MixedAdversary,
+    MixedStrategyTrigger,
+    NullAdversary,
+    OstrichCollector,
+    QualityTrigger,
+    StaticCollector,
+    TitForTatCollector,
+    TitForTwoTatsCollector,
+    UniformRangeAdversary,
 )
 from .experiments import SCHEMES, make_scheme, scheme_specs
 from .runtime import (
@@ -101,7 +101,7 @@ from .runtime import (
 )
 from .serving import DefenseService, TenantFailure
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "__version__",

@@ -80,6 +80,7 @@ def _list_rules() -> int:
             ("CONF003", "error", "ComponentSpecs importable, picklable, fingerprint-stable"),
             ("CONF004", "error", "score_kind/accepts_scores pairs are commensurable"),
             ("CONF005", "error", "repro.session/1 envelope covers state-exporting classes"),
+            ("CONF006", "error", "registered lanes declare fusion_family/fusion_params"),
         ]
     )
     width = max(len(row[0]) for row in rows)
@@ -132,7 +133,7 @@ def main(argv: Optional[Sequence[str]] = None, prog: str = "repro lint") -> int:
         prog=prog,
         description=(
             "Determinism linter (REP001-REP005) and registry conformance "
-            "auditor (CONF001-CONF005) for the byte-identity contract."
+            "auditor (CONF001-CONF006) for the byte-identity contract."
         ),
     )
     add_lint_arguments(parser)

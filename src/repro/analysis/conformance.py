@@ -27,7 +27,13 @@ express:
   state-exporting class: anything defining ``export_state`` must be
   carried by one of the session's seven roles (collector, adversary,
   injector, trimmer, quality, judge, source) or be a known nested
-  sub-state of one, else snapshots silently drop its state.
+  sub-state of one, else snapshots silently drop its state;
+* **CONF006** — every *registered* lane class declares its fusion
+  contract: a non-empty ``fusion_family`` (the strategy family the
+  cross-cell fusion planner groups by) and a ``fusion_params`` tuple
+  naming the per-lane attributes it packs into ``(L,)`` parameter
+  columns.  Families must be unique per side — one family, one vector
+  program — or the planner's cohort keys stop meaning anything.
 
 The auditor is deliberately *live*: it instantiates real components and
 plans real scenarios, so it doubles as an import smoke test for the
@@ -287,7 +293,7 @@ def _driver_for(cls: type) -> Optional[_Driver]:
 # the auditor
 # --------------------------------------------------------------------- #
 class ConformanceAuditor:
-    """Run the CONF001–CONF005 checks over the live registries.
+    """Run the CONF001–CONF006 checks over the live registries.
 
     ``extra_strategies`` lets tests inject additional strategy classes
     into the audited set (e.g. a deliberately broken one); ``checks``
@@ -314,6 +320,7 @@ class ConformanceAuditor:
             ("CONF003", self.check_component_specs),
             ("CONF004", self.check_score_commensurability),
             ("CONF005", self.check_envelope_coverage),
+            ("CONF006", self.check_fusion_declarations),
         ):
             if self.checks is not None and check_id not in self.checks:
                 continue
@@ -758,6 +765,61 @@ class ConformanceAuditor:
                     "injector/trimmer/quality/judge/source) or register it "
                     "as nested sub-state of one",
                 )
+
+    # ------------------------------------------------------------------ #
+    def check_fusion_declarations(self) -> Iterator[Diagnostic]:
+        """CONF006 — registered lane classes declare the fusion contract."""
+        from ..core.strategies import batched
+
+        for side, registry in (
+            ("collector", batched._COLLECTOR_LANES),
+            ("adversary", batched._ADVERSARY_LANES),
+        ):
+            families: Dict[str, type] = {}
+            seen: set = set()
+            for lanes_cls in registry.values():
+                if lanes_cls in seen:
+                    continue
+                seen.add(lanes_cls)
+                family = getattr(lanes_cls, "fusion_family", "")
+                if not isinstance(family, str) or not family:
+                    yield self._finding(
+                        "CONF006",
+                        lanes_cls,
+                        f"{side} lane `{lanes_cls.__name__}` declares no "
+                        "fusion_family — the cross-cell fusion planner "
+                        "cannot group its tenants",
+                        "set fusion_family to the lane's strategy-family "
+                        "name and list its (L,) parameter columns in "
+                        "fusion_params",
+                    )
+                    continue
+                params = getattr(lanes_cls, "fusion_params", None)
+                if not isinstance(params, tuple) or not all(
+                    isinstance(p, str) and p for p in params
+                ):
+                    yield self._finding(
+                        "CONF006",
+                        lanes_cls,
+                        f"{side} lane `{lanes_cls.__name__}` fusion_params "
+                        f"is not a tuple of column names (got {params!r})",
+                        "name every per-lane attribute the lane packs into "
+                        "an (L,) parameter column; use () for a lane with "
+                        "no such columns",
+                    )
+                    continue
+                other = families.setdefault(family, lanes_cls)
+                if other is not lanes_cls:
+                    yield self._finding(
+                        "CONF006",
+                        lanes_cls,
+                        f"{side} lanes `{other.__name__}` and "
+                        f"`{lanes_cls.__name__}` both declare "
+                        f"fusion_family={family!r} — a family must map to "
+                        "exactly one vector program",
+                        "give each registered lane class a distinct "
+                        "fusion_family",
+                    )
 
     @staticmethod
     def _walk_repro_modules(package) -> Iterator[object]:

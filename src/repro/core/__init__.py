@@ -15,15 +15,15 @@ from .engine import (
     GameResult,
     NoisyPositionJudge,
 )
-from .horizon import InfiniteHorizonAnalysis, backward_induction
 from .game import (
-    SOFT,
     HARD,
+    SOFT,
     BimatrixGame,
     UltimatumPayoffs,
     build_ultimatum_game,
     solve_zero_sum,
 )
+from .horizon import InfiniteHorizonAnalysis, backward_induction
 from .lagrangian import (
     ElasticLagrangian,
     FreeLagrangian,
@@ -51,8 +51,8 @@ from .stackelberg import (
 from .trimming import (
     BatchTrimReport,
     RadialTrimmer,
-    TrimReport,
     Trimmer,
+    TrimReport,
     ValueTrimmer,
 )
 

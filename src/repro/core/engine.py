@@ -450,71 +450,127 @@ class _QualityLanes:
 
     Rep ``r`` keeps its own evaluator instance (solo games do too; a
     seeded or stateful user evaluator diverges per rep).  When every
-    instance is exactly a :class:`TailMassEvaluator` on the same
-    reference quantile, the whole stack is scored by one
-    ``evaluate_many`` sweep on the lead instance; otherwise the
-    documented per-rep loop runs each instance on its own row.
+    instance is exactly a :class:`TailMassEvaluator` — *regardless* of
+    its reference quantile or calibrated cutoff, which pack into
+    per-lane ``(L,)`` columns — the whole stack is scored by one array
+    sweep; otherwise the documented per-rep loop runs each instance on
+    its own row.  ``trimmer`` may be one shared trimmer, a per-lane
+    sequence, or a :class:`~repro.core.fusion.TrimLanes`; it only
+    informs the per-lane score-sharing probe.
     """
 
-    def __init__(self, evaluators: Sequence[QualityEvaluator], trimmer: Trimmer):
+    def __init__(self, evaluators: Sequence[QualityEvaluator], trimmer):
         self.evaluators = list(evaluators)
         lead = self.evaluators[0]
-        score_kind = getattr(trimmer, "score_kind", None)
-        if all(type(ev) is type(lead) for ev in self.evaluators):
+        kinds = self._score_kinds(trimmer, len(self.evaluators))
+        if all(type(ev) is type(lead) for ev in self.evaluators) and (
+            len(set(kinds)) == 1
+        ):
             # Same concrete class everywhere: the (signature-inspecting)
             # share probe runs once instead of once per rep.
-            self.share_flags = [lead.accepts_scores(score_kind)] * len(
+            self.share_flags = [lead.accepts_scores(kinds[0])] * len(
                 self.evaluators
             )
         else:
             self.share_flags = [
-                evaluator.accepts_scores(score_kind)
-                for evaluator in self.evaluators
+                evaluator.accepts_scores(kind)
+                for evaluator, kind in zip(self.evaluators, kinds)
             ]
-        self.vectorized = (
-            all(type(ev) is TailMassEvaluator for ev in self.evaluators)
-            and all(
-                ev.reference_quantile == lead.reference_quantile
-                for ev in self.evaluators
-            )
-        )
+        # The vector program needs one shared score-reuse decision; a
+        # mixed-flag cohort (possible only with per-lane trimmer kinds)
+        # takes the loop.
+        self.vectorized = all(
+            type(ev) is TailMassEvaluator for ev in self.evaluators
+        ) and len(set(self.share_flags)) == 1
+        self._columns: Optional[tuple] = None
+
+    @staticmethod
+    def _score_kinds(trimmer, n_lanes: int) -> list:
+        per_lane = getattr(trimmer, "trimmers", None)  # TrimLanes
+        if per_lane is None and isinstance(trimmer, (list, tuple)):
+            per_lane = trimmer
+        if per_lane is None:
+            return [getattr(trimmer, "score_kind", None)] * n_lanes
+        return [getattr(t, "score_kind", None) for t in per_lane]
 
     def fit(self, reference) -> "_QualityLanes":
         """Calibrate every rep's evaluator on the clean reference.
 
-        Fitting is deterministic, so a vectorized (identical TailMass)
-        stack fits the lead once and shares the cutoff — byte-identical
-        to R independent fits at 1/R of the cost.
+        Fitting is deterministic, so identical TailMass lanes fit the
+        lead once and share the cutoff — byte-identical to R
+        independent fits at 1/R of the cost.  Heterogeneous quantiles
+        fit per lane.
         """
         lead = self.evaluators[0]
         lead.fit(reference)
-        if self.vectorized:
+        if self.vectorized and all(
+            ev.reference_quantile == lead.reference_quantile
+            for ev in self.evaluators
+        ):
             for evaluator in self.evaluators[1:]:
                 evaluator._cutoff = lead._cutoff
         else:
             for evaluator in self.evaluators[1:]:
                 evaluator.fit(reference)
+        self._columns = None
         return self
 
-    def evaluate_many(self, stacks, scores):
-        """(observed_ratio, quality) ``(R,)`` pairs for one round stack.
+    def evaluate_many(self, stacks, scores, idx=None):
+        """(observed_ratio, quality) ``(L,)`` pairs for one round stack.
 
-        ``scores`` is the trimmer's ``(R, n)`` batch-score stack (or
+        ``scores`` is the trimmer's ``(L, n)`` batch-score stack (or
         ``None``); each rep reuses it only when its own evaluator
         accepts the trimmer's score family — exactly the solo rule.
+        ``idx`` maps stack rows onto lane indices for segmented rounds.
         """
         if self.vectorized:
-            shared = scores if (scores is not None and self.share_flags[0]) else None
-            return self.evaluators[0].evaluate_many(stacks, scores=shared)
-        raws = np.empty(len(self.evaluators))
-        normalized = np.empty(len(self.evaluators))
-        for r, evaluator in enumerate(self.evaluators):
+            if self._columns is None:
+                cutoffs = [ev._cutoff for ev in self.evaluators]
+                if any(cutoff is None for cutoff in cutoffs):
+                    raise RuntimeError(
+                        "evaluator must be fit on reference data first"
+                    )
+                self._columns = (
+                    np.array([float(cutoff) for cutoff in cutoffs]),
+                    np.array(
+                        [
+                            float(ev.reference_quantile)
+                            for ev in self.evaluators
+                        ]
+                    ),
+                )
+            cut, ref_q = self._columns
+            if idx is not None:
+                cut = cut[idx]
+                ref_q = ref_q[idx]
             shared = (
-                scores[r]
+                scores if (scores is not None and self.share_flags[0]) else None
+            )
+            # The per-lane cutoff/quantile columns broadcast through the
+            # same elementwise expressions as TailMassEvaluator — exact
+            # 0/1 tail sums, so bit-identical to L solo evaluate calls.
+            batch_scores = QualityEvaluator._as_scores_many(stacks, shared)
+            excess = np.mean(batch_scores > cut[:, None], axis=1) - (
+                1.0 - ref_q
+            )
+            raws = np.maximum(0.0, excess)
+            normalized = np.clip(raws / ref_q, 0.0, 1.0)
+            return raws, normalized
+        lanes = (
+            np.arange(len(self.evaluators)) if idx is None else np.asarray(idx)
+        )
+        raws = np.empty(lanes.shape[0])
+        normalized = np.empty(lanes.shape[0])
+        for j, r in enumerate(lanes):
+            evaluator = self.evaluators[r]
+            shared = (
+                scores[j]
                 if (scores is not None and self.share_flags[r])
                 else None
             )
-            raws[r], normalized[r] = evaluator.evaluate(stacks[r], scores=shared)
+            raws[j], normalized[j] = evaluator.evaluate(
+                stacks[j], scores=shared
+            )
         return raws, normalized
 
 
@@ -534,22 +590,26 @@ class _JudgeLanes:
         cls = type(lead)
         self.mode = "loop"
         if all(type(judge) is cls for judge in self.judges):
-            if cls is BandExcessJudge and all(
-                judge.band == lead.band
-                and judge.margin == lead.margin
-                and judge.noise_sigma == lead.noise_sigma
-                for judge in self.judges
-            ):
+            # Heterogeneous bands/margins/noise levels pack into (L,)
+            # parameter columns, so exact-type stacks always vectorize.
+            if cls is BandExcessJudge:
                 self.mode = "band"
-            elif cls is NoisyPositionJudge and all(
-                judge.boundary == lead.boundary
-                and judge.miss_rate == lead.miss_rate
-                and judge.false_positive_rate == lead.false_positive_rate
-                for judge in self.judges
-            ):
+            elif cls is NoisyPositionJudge:
                 self.mode = "position"
+        self._band_columns: Optional[tuple] = None
+        if self.mode == "position":
+            self._boundary = np.array(
+                [float(judge.boundary) for judge in self.judges]
+            )
+            self._miss = np.array(
+                [float(judge.miss_rate) for judge in self.judges]
+            )
+            self._fp = np.array(
+                [float(judge.false_positive_rate) for judge in self.judges]
+            )
 
     def reset(self) -> None:
+        self._band_columns = None
         for judge in self.judges:
             judge_reset = getattr(judge, "reset", None)
             if callable(judge_reset):
@@ -560,51 +620,79 @@ class _JudgeLanes:
         injections: np.ndarray,
         scores: np.ndarray,
         kept: np.ndarray,
+        idx=None,
     ) -> np.ndarray:
-        """(R,) betrayal verdicts for one lockstep round."""
+        """(L,) betrayal verdicts for one lockstep round (or segment).
+
+        ``idx`` maps stack rows onto lane indices for segmented rounds;
+        ``None`` means row ``r`` is lane ``r``.
+        """
         if self.mode == "band":
-            return self._band_many(scores, kept)
+            return self._band_many(scores, kept, idx)
         if self.mode == "position":
-            return self._position_many(injections)
-        verdicts = np.empty(len(self.judges), dtype=bool)
-        for r, judge in enumerate(self.judges):
-            injection = injections[r]
-            verdicts[r] = judge.judge_round(
+            return self._position_many(injections, idx)
+        lanes = np.arange(len(self.judges)) if idx is None else np.asarray(idx)
+        verdicts = np.empty(lanes.shape[0], dtype=bool)
+        for j, r in enumerate(lanes):
+            injection = injections[j]
+            verdicts[j] = self.judges[r].judge_round(
                 None if np.isnan(injection) else float(injection),
-                scores[r][kept[r]],
+                scores[j][kept[j]],
             )
         return verdicts
 
-    def _band_many(self, scores: np.ndarray, kept: np.ndarray) -> np.ndarray:
-        lead = self.judges[0]
-        if lead._band_values is None:
-            raise RuntimeError("judge must be fit on reference scores first")
-        lo_v, hi_v = lead._band_values
+    def _band_many(
+        self, scores: np.ndarray, kept: np.ndarray, idx=None
+    ) -> np.ndarray:
+        if self._band_columns is None:
+            for judge in self.judges:
+                if judge._band_values is None:
+                    raise RuntimeError(
+                        "judge must be fit on reference scores first"
+                    )
+            self._band_columns = (
+                np.array([float(j._band_values[0]) for j in self.judges]),
+                np.array([float(j._band_values[1]) for j in self.judges]),
+                np.array([float(j._clean_mass) for j in self.judges]),
+                np.array([float(j.margin) for j in self.judges]),
+                np.array([float(j.noise_sigma) for j in self.judges]),
+            )
+        lo_v, hi_v, clean, margin, sigma = self._band_columns
+        lanes = np.arange(len(self.judges)) if idx is None else np.asarray(idx)
+        if idx is not None:
+            lo_v = lo_v[lanes]
+            hi_v = hi_v[lanes]
+            clean = clean[lanes]
+            margin = margin[lanes]
+            sigma = sigma[lanes]
         n_kept = np.count_nonzero(kept, axis=1)
-        in_band = (scores > lo_v) & (scores <= hi_v) & kept
+        in_band = (scores > lo_v[:, None]) & (scores <= hi_v[:, None]) & kept
         # Exact 0/1 sums: identical to the solo np.mean over kept scores.
         mass = np.count_nonzero(in_band, axis=1) / np.maximum(n_kept, 1)
-        excess = mass - lead._clean_mass
-        if lead.noise_sigma > 0.0:
-            noise = np.zeros(len(self.judges))
-            # The solo judge returns early (no draw) on an empty batch.
-            for r in np.flatnonzero(n_kept > 0):
-                noise[r] = float(
-                    self.judges[r]._rng.normal(0.0, lead.noise_sigma)
+        excess = mass - clean
+        # The solo judge returns early (no draw) on an empty batch and
+        # draws only when its own sigma is positive.
+        drawing = np.flatnonzero((n_kept > 0) & (sigma > 0.0))
+        if drawing.size:
+            noise = np.zeros(lanes.shape[0])
+            for j in drawing:
+                noise[j] = float(
+                    self.judges[lanes[j]]._rng.normal(0.0, sigma[j])
                 )
             excess = excess + noise
-        return (excess > lead.margin) & (n_kept > 0)
+        return (excess > margin) & (n_kept > 0)
 
-    def _position_many(self, injections: np.ndarray) -> np.ndarray:
-        lead = self.judges[0]
+    def _position_many(self, injections: np.ndarray, idx=None) -> np.ndarray:
+        lanes = np.arange(len(self.judges)) if idx is None else np.asarray(idx)
+        boundary = self._boundary[lanes]
+        miss = self._miss[lanes]
+        fp = self._fp[lanes]
         # Exactly one draw per rep per round, as in the solo judge.
-        draws = np.array([float(judge._rng.random()) for judge in self.judges])
-        betrayed = np.zeros(len(self.judges), dtype=bool)
+        draws = np.array([float(self.judges[r]._rng.random()) for r in lanes])
+        betrayed = np.zeros(lanes.shape[0], dtype=bool)
         observed = ~np.isnan(injections)
-        betrayed[observed] = injections[observed] < lead.boundary
-        return np.where(
-            betrayed, draws >= lead.miss_rate, draws < lead.false_positive_rate
-        )
+        betrayed[observed] = injections[observed] < boundary[observed]
+        return np.where(betrayed, draws >= miss, draws < fp)
 
 
 @dataclass

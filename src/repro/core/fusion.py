@@ -1,0 +1,560 @@
+"""Cross-cell lane fusion: family planner + compiled round programs.
+
+The batched engine and the :class:`~repro.serving.service.DefenseService`
+originally multiplexed only lanes with *identical* spec configuration
+(same ``rep_group_key``) — heterogeneous grids, the common case in every
+paper sweep, degraded to the solo per-round loop.  This module closes
+that gap in three pieces:
+
+* **Fusion planner** — :func:`fused_collector_lanes` /
+  :func:`fused_adversary_lanes` group live strategy instances by lane
+  *family* (the registered lane class, refined by its ``group_key``)
+  and build one vector lane program per family, packing heterogeneous
+  per-lane parameters into ``(L,)`` columns.  Unregistered or declined
+  instances land on the per-rep fallback loop for *their sub-group
+  only*; everything else stays vectorized.  The composite lane scatters
+  each round's observation columns to the family programs and gathers
+  their percentile outputs — O(#families) Python calls per round
+  instead of O(L).
+* **Compiled trim program** — :class:`TrimLanes` resolves the
+  per-lane trimmer dispatch (shared instance / exact-class stack /
+  custom loop) once at build time; per round it runs one vector score
+  sweep plus per-lane scalar cutoffs, byte-identical to L solo
+  :meth:`~repro.core.trimming.Trimmer.trim` calls.
+* **Compiled poison program** — :class:`InjectorLanes` packs attack
+  ratios into a column, partitions lanes by shared reference content
+  once at build time, and materializes each reference group's poison
+  in a single vectorized quantile pass, with per-lane jitter draws
+  still taken from each lane's own Generator.
+
+Byte-identity contract (unchanged from the rep-batched engine): every
+fused lane's outputs equal, bit for bit, what its solo
+:class:`~repro.core.session.GameSession` would have produced.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .domain import QuantileTable, empirical_quantile
+from .strategies.base import RoundObservationBatch
+from .strategies.batched import (
+    _ADVERSARY_LANES,
+    _COLLECTOR_LANES,
+    AdversaryLanes,
+    CollectorLanes,
+    FallbackAdversaryLanes,
+    FallbackCollectorLanes,
+)
+from .trimming import BatchTrimReport, RadialTrimmer, Trimmer, ValueTrimmer
+
+__all__ = [
+    "FusedCollectorLanes",
+    "FusedAdversaryLanes",
+    "fused_collector_lanes",
+    "fused_adversary_lanes",
+    "TrimLanes",
+    "InjectorLanes",
+]
+
+
+# --------------------------------------------------------------------- #
+# fusion planner: group lanes by family, build one program per group
+# --------------------------------------------------------------------- #
+def _plan_parts(instances, registry, fallback_cls):
+    """Partition instances into (lane_indices, lanes) family parts.
+
+    Instances group by ``(registered lane class, group_key(inst))`` —
+    unregistered classes share one fallback part.  Build order follows
+    first appearance, and each part's index array restores the original
+    lane order on scatter/gather.
+    """
+    order: list = []
+    members: dict = {}
+    for i, inst in enumerate(instances):
+        lanes_cls = registry.get(type(inst))
+        if lanes_cls is None:
+            key = (None, None)
+        else:
+            key = (lanes_cls, lanes_cls.group_key(inst))
+        if key not in members:
+            members[key] = ([], [])
+            order.append(key)
+        members[key][0].append(i)
+        members[key][1].append(inst)
+    parts = []
+    for key in order:
+        idx, insts = members[key]
+        lanes_cls = key[0]
+        lanes = lanes_cls.build(insts) if lanes_cls is not None else None
+        if lanes is None:
+            # Unregistered strategy, or a registered lane declining the
+            # sub-group (e.g. a user-defined tit-for-tat trigger).
+            lanes = fallback_cls(insts)
+        parts.append((np.asarray(idx, dtype=np.intp), lanes))
+    return parts
+
+
+class _FusedLanes:
+    """Shared scatter/gather plumbing of the composite lanes."""
+
+    fusion_family = "fused"
+    fusion_params = ()
+
+    def _init_parts(self, parts) -> None:
+        self._parts = parts
+        self.vectorized = all(lanes.vectorized for _, lanes in parts)
+
+    @property
+    def parts(self):
+        """The (lane_indices, family_lanes) partition, in build order."""
+        return list(self._parts)
+
+    def _gather(self, produce) -> np.ndarray:
+        out = np.empty(self.n_reps)
+        for idx, lanes in self._parts:
+            out[idx] = produce(idx, lanes)
+        return out
+
+    def first_many(self) -> np.ndarray:
+        return self._gather(lambda idx, lanes: lanes.first_many())
+
+    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+        return self._gather(
+            lambda idx, lanes: lanes.react_many(last.take(idx))
+        )
+
+    def reset_many(self) -> None:
+        for _, lanes in self._parts:
+            lanes.reset_many()
+
+    def finalize(self) -> None:
+        for _, lanes in self._parts:
+            lanes.finalize()
+
+
+class FusedCollectorLanes(_FusedLanes, CollectorLanes):
+    """Composite collector: one vector program per strategy family.
+
+    Each round the observation batch is scattered (``take``) to the
+    family programs and their percentile outputs gathered back into
+    lane order — every value the same float64 the lane's family program
+    (and hence its solo game) computes.
+    """
+
+    def __init__(self, instances, parts):
+        CollectorLanes.__init__(self, instances)
+        self._init_parts(parts)
+
+    def terminated_rounds(self) -> List[Optional[int]]:
+        out: List[Optional[int]] = [None] * self.n_reps
+        for idx, lanes in self._parts:
+            sub = lanes.terminated_rounds()
+            for j, r in enumerate(idx):
+                out[r] = sub[j]
+        return out
+
+
+class FusedAdversaryLanes(_FusedLanes, AdversaryLanes):
+    """Composite adversary: one vector program per strategy family."""
+
+    def __init__(self, instances, parts):
+        AdversaryLanes.__init__(self, instances)
+        self._init_parts(parts)
+
+
+def fused_collector_lanes(instances) -> CollectorLanes:
+    """Family-fused lanes for L heterogeneous collector instances.
+
+    A single-family cohort returns the family's own lane program (no
+    composite indirection); mixed cohorts return a
+    :class:`FusedCollectorLanes` that multiplexes the family programs.
+    """
+    instances = list(instances)
+    if not instances:
+        raise ValueError("need at least one strategy instance")
+    parts = _plan_parts(instances, _COLLECTOR_LANES, FallbackCollectorLanes)
+    if len(parts) == 1:
+        return parts[0][1]
+    return FusedCollectorLanes(instances, parts)
+
+
+def fused_adversary_lanes(instances) -> AdversaryLanes:
+    """Family-fused lanes for L heterogeneous adversary instances."""
+    instances = list(instances)
+    if not instances:
+        raise ValueError("need at least one strategy instance")
+    parts = _plan_parts(instances, _ADVERSARY_LANES, FallbackAdversaryLanes)
+    if len(parts) == 1:
+        return parts[0][1]
+    return FusedAdversaryLanes(instances, parts)
+
+
+# --------------------------------------------------------------------- #
+# compiled trim program
+# --------------------------------------------------------------------- #
+class TrimLanes:
+    """Per-lane trimmers compiled into one round program.
+
+    The dispatch chain (shared instance?  exact shipped class?  custom
+    ``trim`` override?) is resolved once at build time:
+
+    * ``"shared"`` — every lane is literally the same instance: the
+      existing rep-batched :meth:`Trimmer.trim_many` kernel runs as-is.
+    * ``"stacked"`` — one shipped trimmer class, per-lane instances
+      (own anchors/references): a single vector score sweep, then each
+      lane's scalar cutoff from *its own* reference table — the exact
+      expressions of the solo :meth:`Trimmer.trim` body.
+    * ``"loop"`` — mixed classes or custom ``trim`` overrides: the
+      documented per-lane loop through each instance's own ``trim``.
+    """
+
+    def __init__(self, trimmers: Sequence[Trimmer]):
+        self.trimmers = list(trimmers)
+        if not self.trimmers:
+            raise ValueError("need at least one trimmer")
+        lead = self.trimmers[0]
+        if all(t is lead for t in self.trimmers):
+            self.mode = "shared"
+        elif type(lead) in (ValueTrimmer, RadialTrimmer) and all(
+            type(t) is type(lead) for t in self.trimmers
+        ):
+            self.mode = "stacked"
+        else:
+            self.mode = "loop"
+        # Reference-group partition for the cutoff sweep, built lazily:
+        # lanes whose sorted reference tables are byte-equal share one
+        # vectorized QuantileTable.quantile call (group id -1 marks
+        # batch-anchored lanes, whose cutoff depends on the round's own
+        # scores).
+        self._cutoff_groups: Optional[tuple] = None
+        # Pack radial centers into a column when every lane has a fitted
+        # scalar (1-D) or same-dimension center; otherwise the score
+        # sweep falls back to a per-lane loop for the odd lanes.
+        self._centers_1d: Optional[np.ndarray] = None
+        self._centers_nd: Optional[np.ndarray] = None
+        if self.mode == "stacked" and type(lead) is RadialTrimmer:
+            centers = [t._center for t in self.trimmers]
+            if all(c is not None and np.size(c) == 1 for c in centers):
+                self._centers_1d = np.array(
+                    [float(np.reshape(c, ())) for c in centers]
+                )
+            if all(
+                c is not None
+                and np.ndim(c) == 1
+                and c.shape == centers[0].shape
+                for c in centers
+            ):
+                self._centers_nd = np.stack(
+                    [np.asarray(c, dtype=float) for c in centers]
+                )
+
+    @property
+    def n_reps(self) -> int:
+        """Number of trim lanes."""
+        return len(self.trimmers)
+
+    @property
+    def lead(self) -> Trimmer:
+        """The first lane's trimmer."""
+        return self.trimmers[0]
+
+    def _ensure_cutoff_groups(self) -> tuple:
+        """(lane -> group id, group tables); -1 = batch-anchored lane."""
+        if self._cutoff_groups is None:
+            gid = np.full(self.n_reps, -1, dtype=np.intp)
+            tables: list = []
+            for r, trimmer in enumerate(self.trimmers):
+                if not trimmer.is_reference_anchored:
+                    continue
+                table = trimmer.reference_table
+                for g, lead in enumerate(tables):
+                    if lead is table or np.array_equal(
+                        lead.values, table.values
+                    ):
+                        gid[r] = g
+                        break
+                else:
+                    gid[r] = len(tables)
+                    tables.append(table)
+            self._cutoff_groups = (gid, tables)
+        return self._cutoff_groups
+
+    def scores_stack(self, stack: np.ndarray, lanes: np.ndarray) -> np.ndarray:
+        """(rows, n) per-point scores; row ``j`` scored by lane ``lanes[j]``."""
+        if self.mode == "shared":
+            return self.lead.scores_many(stack)
+        if self.mode == "stacked" and type(self.lead) is ValueTrimmer:
+            if stack.ndim != 2:
+                raise ValueError("ValueTrimmer expects (R, n) stacks")
+            return stack
+        if self.mode == "stacked":  # RadialTrimmer
+            if stack.ndim == 2 and self._centers_1d is not None:
+                return np.abs(stack - self._centers_1d[lanes][:, None])
+            if stack.ndim == 3 and self._centers_nd is not None:
+                centers = self._centers_nd[lanes]
+                if centers.shape[1] == stack.shape[2]:
+                    # Same contiguous-axis reduction as the solo norm.
+                    return np.linalg.norm(
+                        stack - centers[:, None, :], axis=2
+                    )
+        return np.stack(
+            [
+                self.trimmers[r].scores(stack[j])
+                for j, r in enumerate(lanes)
+            ]
+        )
+
+    def trim_stack(
+        self,
+        stack: np.ndarray,
+        percentiles: np.ndarray,
+        lanes: Optional[np.ndarray] = None,
+    ) -> BatchTrimReport:
+        """One compiled trimming pass; row ``j`` is lane ``lanes[j]``.
+
+        Row ``j`` of the report is byte-identical to
+        ``self.trimmers[lanes[j]].trim(stack[j], percentiles[j])``.
+        """
+        arr = np.asarray(stack, dtype=float)
+        if arr.ndim not in (2, 3):
+            raise ValueError("stacks must be (R, n) or (R, n, d)")
+        if arr.shape[0] == 0 or arr.shape[1] == 0:
+            raise ValueError("cannot trim an empty stack")
+        q_in = np.asarray(percentiles, dtype=float)
+        if q_in.shape != (arr.shape[0],):
+            raise ValueError("need one percentile per rep")
+        if lanes is None:
+            lanes = np.arange(self.n_reps)
+        if self.mode == "shared":
+            return self.lead.trim_many(arr, q_in)
+        if self.mode == "loop":
+            return BatchTrimReport.from_reports(
+                self.trimmers[r].trim(arr[j], float(q_in[j]))
+                for j, r in enumerate(lanes)
+            )
+        scores = self.scores_stack(arr, lanes)
+        n_rows, n = scores.shape
+        # Identical to clip_percentile, elementwise (incl. NaN -> 0.0).
+        q = np.where(
+            np.isnan(q_in), 0.0, np.minimum(1.0, np.maximum(0.0, q_in))
+        )
+        kept = np.ones((n_rows, n), dtype=bool)
+        cutoffs = np.full(n_rows, np.inf)
+        active = np.flatnonzero(q < 1.0)
+        if active.size:
+            # One QuantileTable.quantile sweep per reference group — the
+            # vector path is elementwise identical to the solo scalar
+            # `_cutoff` call against each lane's own sorted-once table.
+            gid, tables = self._ensure_cutoff_groups()
+            row_gids = gid[np.asarray(lanes)[active]]
+            for g in np.unique(row_gids[row_gids >= 0]):
+                rows = active[row_gids == g]
+                cutoffs[rows] = tables[g].quantile(q[rows])
+            for j in active[row_gids < 0]:
+                # Batch-anchored lanes: the cutoff is a quantile of the
+                # round's own scores, per lane by construction.
+                cutoffs[j] = float(
+                    empirical_quantile(scores[j], float(q[j]))
+                )
+            kept[active] = scores[active] <= cutoffs[active, None]
+            for j in active[~kept[active].any(axis=1)]:
+                # Same degenerate-batch fallback as the solo path.
+                kept[j, int(np.argmin(scores[j]))] = True
+        return BatchTrimReport(
+            kept=kept, threshold_scores=cutoffs, percentiles=q, scores=scores
+        )
+
+
+# --------------------------------------------------------------------- #
+# compiled poison program
+# --------------------------------------------------------------------- #
+def _refs_equal(a: Optional[np.ndarray], b: Optional[np.ndarray]) -> bool:
+    if a is None or b is None:
+        return a is b
+    return a is b or (a.shape == b.shape and np.array_equal(a, b))
+
+
+class InjectorLanes:
+    """Per-lane poison injectors compiled into one round program.
+
+    Lanes carry *different* attack ratios, jitters and reference
+    datasets; the program packs the ratios into an ``(L,)`` column (the
+    session segments rounds by poison count) and partitions lanes into
+    reference groups **once at build time** — lanes whose calibration
+    arrays are byte-equal share one vectorized quantile pass per round,
+    exactly the rep-batched fast path, while each lane's jitter
+    positions still come from its own Generator.
+    """
+
+    def __init__(self, injectors):
+        self.injectors = list(injectors)
+        if not self.injectors:
+            raise ValueError("need at least one injector")
+        self._ratios = np.array(
+            [float(inj.attack_ratio) for inj in self.injectors]
+        )
+        self._groups_1d: Optional[tuple] = None
+        self._groups_2d: Optional[tuple] = None
+
+    @property
+    def n_reps(self) -> int:
+        """Number of injector lanes."""
+        return len(self.injectors)
+
+    @property
+    def lead(self):
+        """The first lane's injector."""
+        return self.injectors[0]
+
+    def poison_counts(self, n_benign: int) -> np.ndarray:
+        """(L,) per-lane poison counts for ``n_benign`` benign rows.
+
+        ``np.rint`` rounds half to even — the same rule as the scalar
+        ``int(round(...))`` in ``PoisonInjector.poison_count``.
+        """
+        return np.rint(self._ratios * float(n_benign)).astype(np.int64)
+
+    def _group(self, match) -> tuple:
+        """(lane -> group id, group lead injectors) under ``match``."""
+        gid = np.empty(self.n_reps, dtype=np.intp)
+        leads: list = []
+        for r, injector in enumerate(self.injectors):
+            for g, lead in enumerate(leads):
+                if match(injector, lead):
+                    gid[r] = g
+                    break
+            else:
+                gid[r] = len(leads)
+                leads.append(injector)
+        return gid, leads
+
+    def _ensure_groups_1d(self) -> tuple:
+        if self._groups_1d is None:
+            gid, leads = self._group(
+                lambda a, b: _refs_equal(a._ref_values, b._ref_values)
+            )
+            # Sort-once tables: QuantileTable.quantile is bit-identical
+            # to np.quantile's linear method, minus the per-call
+            # partition of the full reference.
+            tables = [
+                None
+                if lead._ref_values is None
+                else QuantileTable(lead._ref_values)
+                for lead in leads
+            ]
+            self._groups_1d = (gid, leads, tables)
+        return self._groups_1d
+
+    def _ensure_groups_2d(self) -> tuple:
+        if self._groups_2d is None:
+            gid, leads = self._group(
+                lambda a, b: a.mode == b.mode
+                and _refs_equal(a._ref_center, b._ref_center)
+                and _refs_equal(a._ref_scores, b._ref_scores)
+                and _refs_equal(a._ref_corner, b._ref_corner)
+            )
+            tables = [
+                None
+                if lead._ref_scores is None
+                else QuantileTable(lead._ref_scores)
+                for lead in leads
+            ]
+            self._groups_2d = (gid, leads, tables)
+        return self._groups_2d
+
+    def materialize_many(
+        self,
+        benign: np.ndarray,
+        percentiles: np.ndarray,
+        idx: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Poison stacks for one count-uniform lane segment.
+
+        ``benign`` is ``(rows, b[, d])`` with row ``j`` belonging to
+        lane ``idx[j]`` (``idx=None`` means lane ``j``); all rows must
+        share one poison count (the session segments rounds by count).
+        Row ``j`` is byte-identical to lane ``j``'s solo
+        ``materialize`` call.
+        """
+        stack = np.asarray(benign, dtype=float)
+        if stack.ndim not in (2, 3):
+            raise ValueError("benign stacks must be (R, b) or (R, b, d)")
+        lanes = np.arange(self.n_reps) if idx is None else np.asarray(idx)
+        if stack.shape[0] != lanes.shape[0]:
+            raise ValueError(
+                f"stack carries {stack.shape[0]} rows for "
+                f"{lanes.shape[0]} lanes"
+            )
+        counts = self.poison_counts(stack.shape[1])[lanes]
+        if counts.size == 0 or int(counts.max(initial=0)) == 0:
+            return stack[:, :0]
+        count = int(counts[0])
+        if not np.all(counts == count):
+            raise ValueError(
+                "materialize_many needs a count-uniform lane segment"
+            )
+        positions = np.stack(
+            [
+                self.injectors[r]._positions(float(percentiles[j]), count)
+                for j, r in enumerate(lanes)
+            ]
+        )
+        if stack.ndim == 2:
+            gid, leads, tables = self._ensure_groups_1d()
+            out = np.empty((lanes.shape[0], count))
+            row_gids = gid[lanes]
+            for g in np.unique(row_gids):
+                rows = np.flatnonzero(row_gids == g)
+                if tables[g] is not None:
+                    out[rows] = tables[g].quantile(
+                        positions[rows].ravel()
+                    ).reshape(rows.size, count)
+                else:
+                    # Unfitted lanes anchor on their own benign row.
+                    for j in rows:
+                        out[j] = self.injectors[lanes[j]]._materialize_1d(
+                            stack[j], positions[j]
+                        )
+            return out
+        gid, leads, tables = self._ensure_groups_2d()
+        out = np.empty((lanes.shape[0], count, stack.shape[2]))
+        row_gids = gid[lanes]
+        for g in np.unique(row_gids):
+            rows = np.flatnonzero(row_gids == g)
+            lead = leads[g]
+            if (
+                lead.mode == "radial"
+                and lead._ref_center is not None
+                and tables[g] is not None
+            ):
+                targets = tables[g].quantile(
+                    positions[rows].ravel()
+                ).reshape(rows.size, count)
+                direction = lead._ref_corner - lead._ref_center
+                norm = float(np.linalg.norm(direction))
+                if norm <= 0.0:
+                    direction = np.zeros(stack.shape[2])
+                    direction[0] = 1.0
+                    norm = 1.0
+                direction = direction / norm
+                out[rows] = (
+                    lead._ref_center[None, None, :]
+                    + targets[:, :, None] * direction[None, None, :]
+                )
+            else:
+                # Corner mode (batch-anchored) and unfitted radial
+                # lanes: per-lane passes, exactly like the solo path.
+                for j in rows:
+                    injector = self.injectors[lanes[j]]
+                    if injector.mode == "radial":
+                        out[j] = injector._materialize_radial(
+                            stack[j], positions[j]
+                        )
+                    else:
+                        out[j] = injector._materialize_corner(
+                            stack[j], positions[j]
+                        )
+        return out

@@ -876,9 +876,10 @@ class BatchedGameSession:
         *,
         collector_lanes,
         adversary_lanes,
-        injector: BatchedInjector,
-        trimmer: Trimmer,
+        injector,
+        trimmer: Optional[Trimmer] = None,
         per_rep_trimmers: Optional[Sequence[Trimmer]] = None,
+        trim_lanes=None,
         quality_lanes,
         judge_lanes,
         horizon: Optional[int] = None,
@@ -895,11 +896,23 @@ class BatchedGameSession:
             )
         if per_rep_trimmers is not None and len(per_rep_trimmers) != n_reps:
             raise ValueError("need one trimmer per repetition (or None)")
+        if trim_lanes is not None:
+            if trimmer is not None or per_rep_trimmers is not None:
+                raise ValueError(
+                    "pass either trim_lanes or trimmer/per_rep_trimmers, "
+                    "not both"
+                )
+            if trim_lanes.n_reps != n_reps:
+                raise ValueError("need one trim lane per repetition")
+            trimmer = trim_lanes.lead
+        elif trimmer is None:
+            raise ValueError("need a trimmer, per-rep trimmers or trim_lanes")
         self.n_reps = n_reps
         self._collectors = collector_lanes
         self._adversaries = adversary_lanes
         self.injector = injector
         self.trimmer = trimmer
+        self._trim_lanes = trim_lanes
         self._trimmers = (
             list(per_rep_trimmers) if per_rep_trimmers is not None else None
         )
@@ -969,18 +982,20 @@ class BatchedGameSession:
             inject = np.asarray(self._adversaries.react_many(self._last), dtype=float)
 
         observed = ~np.isnan(inject)
-        poison_rows = (
-            self.injector.poison_count(benign.shape[1])
-            if observed.any()
-            else 0
+        # (R,) per-lane poison counts: 0 where the lane injects nothing
+        # this round.  Count-uniform rounds take the single stacked
+        # kernel; mixed rounds run it once per count segment.
+        counts = np.where(
+            observed, self.injector.poison_counts(benign.shape[1]), 0
         )
-        if poison_rows and not observed.all():
-            # Mixed inject/skip across lanes: the stack would be ragged,
-            # so this round replays the solo body per lane.
-            decision = self._submit_ragged(index, benign, trim, inject)
-        else:
+        unique_counts = np.unique(counts)
+        if unique_counts.size == 1:
             decision = self._submit_stacked(
-                index, benign, trim, inject, poison_rows
+                index, benign, trim, inject, int(unique_counts[0])
+            )
+        else:
+            decision = self._submit_segmented(
+                index, benign, trim, inject, counts
             )
 
         if self.board is not None:
@@ -1024,10 +1039,10 @@ class BatchedGameSession:
         else:
             combined = benign
 
-        report = self._trim_stack(combined, trim)
+        report = self._trim_seg(combined, trim)
         scores = report.scores
         if scores is None:
-            scores = self._scores_stack(combined)
+            scores = self._scores_seg(combined)
             shared = None
         else:
             shared = scores
@@ -1065,62 +1080,70 @@ class BatchedGameSession:
             retained=retained,
         )
 
-    def _submit_ragged(
+    def _submit_segmented(
         self,
         index: int,
         benign: np.ndarray,
         trim: np.ndarray,
         inject: np.ndarray,
+        counts: np.ndarray,
     ) -> BatchedRoundDecision:
-        """One round where lanes disagree on injecting: solo body per lane."""
+        """One round where lanes disagree on poison count.
+
+        Lanes partition by their round poison count; the stacked round
+        body runs once per segment over that segment's ``(rows, batch)``
+        sub-stack, with segment-aware kernels drawing each lane's RNG
+        from its own Generator.  Per lane this is the same stage order
+        (inject -> trim -> evaluate -> judge) as the solo body, so the
+        outputs are byte-identical regardless of segmentation.
+        """
         n_reps = self.n_reps
         quality = np.empty(n_reps)
         observed_ratio = np.empty(n_reps)
         betrayal = np.empty(n_reps, dtype=bool)
         n_collected = np.empty(n_reps, dtype=np.int64)
-        n_poison_injected = np.empty(n_reps, dtype=np.int64)
         n_poison_retained = np.empty(n_reps, dtype=np.int64)
         n_kept = np.empty(n_reps, dtype=np.int64)
-        accept_masks: List[np.ndarray] = []
-        retained = [] if self.store_retained else None
+        accept_masks: List[Optional[np.ndarray]] = [None] * n_reps
+        retained: Optional[List[Optional[np.ndarray]]] = (
+            [None] * n_reps if self.store_retained else None
+        )
 
-        for r in range(n_reps):
-            rows = benign[r]
-            injection = None if np.isnan(inject[r]) else float(inject[r])
-            if injection is None:
-                poison = rows[:0]
-            else:
-                poison = self.injector.injectors[r].materialize(rows, injection)
-            combined = (
-                rows
-                if poison.shape[0] == 0
-                else np.concatenate([rows, poison], axis=0)
-            )
-            rep_trimmer = self._rep_trimmer(r)
-            report = rep_trimmer.trim(combined, float(trim[r]))
-            if report.scores is not None:
-                retained_scores = report.kept_scores
-                shared = (
-                    report.scores if self._quality.share_flags[r] else None
+        for count in np.unique(counts):
+            idx = np.flatnonzero(counts == count)
+            seg = benign[idx]
+            if count:
+                poison = self.injector.materialize_many(
+                    seg, inject[idx], idx=idx
                 )
+                combined = np.concatenate([seg, poison], axis=1)
             else:
-                retained_scores = rep_trimmer.scores(combined)[report.kept]
+                combined = seg
+            report = self._trim_seg(combined, trim[idx], idx)
+            scores = report.scores
+            if scores is None:
+                scores = self._scores_seg(combined, idx)
                 shared = None
-            observed_ratio[r], quality[r] = self._quality.evaluators[r].evaluate(
-                combined, scores=shared
+            else:
+                shared = scores
+            seg_ratio, seg_quality = self._quality.evaluate_many(
+                combined, shared, idx=idx
             )
-            betrayal[r] = self._judges.judges[r].judge_round(
-                injection, retained_scores
+            seg_betrayal = self._judges.judge_round_many(
+                inject[idx], scores, report.kept, idx=idx
             )
-            n_collected[r] = combined.shape[0]
-            n_poison_injected[r] = poison.shape[0]
-            n_poison_retained[r] = int(
-                np.count_nonzero(report.kept[rows.shape[0]:])
+            quality[idx] = seg_quality
+            observed_ratio[idx] = seg_ratio
+            betrayal[idx] = seg_betrayal
+            n_collected[idx] = combined.shape[1]
+            n_kept[idx] = report.n_kept
+            n_poison_retained[idx] = np.count_nonzero(
+                report.kept[:, seg.shape[1]:], axis=1
             )
-            n_kept[r] = report.n_kept
-            accept_masks.append(report.kept)
-            if retained is not None:
-                retained.append(combined[report.kept])
+            for j, r in enumerate(idx):
+                accept_masks[r] = report.kept[j]
+                if retained is not None:
+                    retained[r] = combined[j][report.kept[j]]
 
         return BatchedRoundDecision(
             index=index,
@@ -1131,7 +1154,7 @@ class BatchedGameSession:
             betrayal=betrayal,
             n_collected=n_collected,
             n_retained=n_kept,
-            n_poison_injected=n_poison_injected,
+            n_poison_injected=counts.astype(np.int64),
             n_poison_retained=n_poison_retained,
             accept_masks=accept_masks,
             retained=retained,
@@ -1140,29 +1163,45 @@ class BatchedGameSession:
     # ------------------------------------------------------------------ #
     def _rep_trimmer(self, rep: int) -> Trimmer:
         """Rep ``rep``'s trimmer (per-rep instances for custom classes)."""
+        if self._trim_lanes is not None:
+            return self._trim_lanes.trimmers[rep]
         if self._trimmers is not None:
             return self._trimmers[rep]
         return self.trimmer
 
-    def _trim_stack(
-        self, combined: np.ndarray, trim: np.ndarray
+    def _trim_seg(
+        self,
+        combined: np.ndarray,
+        trim: np.ndarray,
+        idx: Optional[np.ndarray] = None,
     ) -> BatchTrimReport:
-        """One round's trim reports, honouring per-rep trimmer instances."""
+        """One segment's trim reports; row ``j`` is lane ``idx[j]``."""
+        if self._trim_lanes is not None:
+            return self._trim_lanes.trim_stack(combined, trim, idx)
         if self._trimmers is None:
             return self.trimmer.trim_many(combined, trim)
+        lanes = range(self.n_reps) if idx is None else idx
         return BatchTrimReport.from_reports(
-            self._trimmers[r].trim(combined[r], float(trim[r]))
-            for r in range(self.n_reps)
+            self._trimmers[r].trim(combined[j], float(trim[j]))
+            for j, r in enumerate(lanes)
         )
 
-    def _scores_stack(self, combined: np.ndarray) -> np.ndarray:
-        """Batch scores per rep (fallback when reports carry none)."""
+    def _scores_seg(
+        self, combined: np.ndarray, idx: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Batch scores per lane (fallback when reports carry none)."""
+        if self._trim_lanes is not None:
+            lanes = np.arange(self.n_reps) if idx is None else idx
+            return self._trim_lanes.scores_stack(
+                np.asarray(combined, dtype=float), lanes
+            )
         if self._trimmers is None:
             return self.trimmer.scores_many(combined)
+        lanes = range(self.n_reps) if idx is None else idx
         return np.stack(
             [
-                self._trimmers[r].scores(combined[r])
-                for r in range(self.n_reps)
+                self._trimmers[r].scores(combined[j])
+                for j, r in enumerate(lanes)
             ]
         )
 

@@ -120,6 +120,23 @@ class RoundObservationBatch:
             betrayal=bool(self.betrayal[r]),
         )
 
+    def take(self, indices) -> "RoundObservationBatch":
+        """The sub-batch of the given lane indices, in the given order.
+
+        A fused cohort scatters one round's columns into per-family
+        sub-groups; each value is the same float64 the lane's solo game
+        observed, so downstream lane arithmetic stays byte-identical.
+        """
+        idx = np.asarray(indices, dtype=np.intp)
+        return RoundObservationBatch(
+            index=self.index,
+            trim_percentile=self.trim_percentile[idx],
+            injection_percentile=self.injection_percentile[idx],
+            quality=self.quality[idx],
+            observed_poison_ratio=self.observed_poison_ratio[idx],
+            betrayal=self.betrayal[idx],
+        )
+
 
 class CollectorStrategy:
     """A trimming policy for the data collector.

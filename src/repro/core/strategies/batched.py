@@ -70,14 +70,9 @@ __all__ = [
 ]
 
 
-def _uniform(instances: Sequence, *attrs: str) -> bool:
-    """True when every instance agrees on every named attribute."""
-    lead = instances[0]
-    return all(
-        getattr(inst, attr) == getattr(lead, attr)
-        for inst in instances[1:]
-        for attr in attrs
-    )
+def _column(instances: Sequence, attr: str) -> np.ndarray:
+    """(L,) float64 parameter column packed from per-lane attributes."""
+    return np.array([float(getattr(inst, attr)) for inst in instances])
 
 
 class _Lanes:
@@ -86,6 +81,26 @@ class _Lanes:
     #: Whether this implementation is a vectorized fast path (False for
     #: the per-rep fallback loops) — surfaced for tests and diagnostics.
     vectorized = True
+
+    #: Fusion contract (audited by conformance rule CONF006): the
+    #: strategy *family* this lane vectorizes — instances of one family
+    #: fuse into a single lane group even when their parameters differ —
+    #: and the names of the per-lane parameters the lane packs into
+    #: ``(L,)`` columns.  Empty family means "never fuses" (the
+    #: fallback loops); registered lane classes must declare both.
+    fusion_family: str = ""
+    fusion_params: tuple = ()
+
+    @classmethod
+    def group_key(cls, inst) -> object:
+        """Sub-family key: instances fuse only within one key.
+
+        ``None`` (the default) means every instance of the strategy
+        class fuses together.  Lanes whose vector program depends on a
+        structural property (e.g. the tit-for-tat *trigger kind*)
+        return that property so the planner splits on it.
+        """
+        return None
 
     def __init__(self, instances: Sequence):
         self.instances = list(instances)
@@ -155,6 +170,8 @@ class FallbackCollectorLanes(CollectorLanes):
     """
 
     vectorized = False
+    fusion_family = "fallback"
+    fusion_params = ()
 
     def first_many(self) -> np.ndarray:
         return np.array([float(inst.first()) for inst in self.instances])
@@ -172,6 +189,8 @@ class FallbackAdversaryLanes(AdversaryLanes):
     """Per-rep loop for adversaries without an array-native lane."""
 
     vectorized = False
+    fusion_family = "fallback"
+    fusion_params = ()
 
     @staticmethod
     def _as_position(value) -> float:
@@ -197,6 +216,9 @@ class FallbackAdversaryLanes(AdversaryLanes):
 class _ConstantCollectorLanes(CollectorLanes):
     """Ostrich / static: the same position every round, per rep."""
 
+    fusion_family = "constant"
+    fusion_params = ("threshold",)
+
     @classmethod
     def build(cls, instances) -> Optional["_ConstantCollectorLanes"]:
         return cls(instances)
@@ -219,12 +241,26 @@ class _TitForTatLanes(CollectorLanes):
     :class:`QualityTrigger` (stateless vector comparison) and
     :class:`MixedStrategyTrigger` (per-rep running betrayal counters).
     Mirroring the solo path, a rep's trigger stops updating once fired.
+    Per-lane parameters (thresholds, trigger levels, counters) are
+    packed into ``(L,)`` columns, so lanes with *different* parameters
+    fuse as long as they share a trigger kind (the ``group_key``).
     """
+
+    fusion_family = "titfortat"
+    fusion_params = (
+        "soft_percentile",
+        "hard_percentile",
+        "fire_level",
+        "tolerance",
+        "warmup",
+    )
+
+    @classmethod
+    def group_key(cls, inst) -> object:
+        return type(inst.trigger)
 
     @classmethod
     def build(cls, instances) -> Optional["_TitForTatLanes"]:
-        if not _uniform(instances, "t_th", "soft_offset", "hard_offset"):
-            return None
         triggers = [inst.trigger for inst in instances]
         kinds = {type(t) for t in triggers}
         if len(kinds) != 1:
@@ -232,22 +268,17 @@ class _TitForTatLanes(CollectorLanes):
         kind = kinds.pop()
         if kind is type(None):
             return cls(instances, mode="none")
-        if kind is QualityTrigger and _uniform(
-            triggers, "reference_score", "redundancy"
-        ):
+        if kind is QualityTrigger:
             return cls(instances, mode="quality")
-        if kind is MixedStrategyTrigger and _uniform(
-            triggers, "equilibrium_probability", "redundancy", "warmup"
-        ):
+        if kind is MixedStrategyTrigger:
             return cls(instances, mode="mixed")
         return None  # user trigger: per-rep fallback
 
     def __init__(self, instances, mode: str):
         super().__init__(instances)
         self._mode = mode
-        lead = instances[0]
-        self._soft = float(lead.soft_percentile)
-        self._hard = float(lead.hard_percentile)
+        self._soft = _column(instances, "soft_percentile")
+        self._hard = _column(instances, "hard_percentile")
         # Lane state seeds from the instances' *current* state (not a
         # fresh game), so lanes built mid-game — the DefenseService
         # multiplexing live sessions — continue each lane exactly where
@@ -259,12 +290,23 @@ class _TitForTatLanes(CollectorLanes):
             inst._terminated_round for inst in instances
         ]
         if mode == "quality":
-            trig = lead.trigger
-            self._fire_level = trig.reference_score + trig.redundancy
+            # Precomputing the scalar sum per lane reproduces the solo
+            # trigger's `quality > reference_score + redundancy` bytes.
+            self._fire_level = np.array(
+                [
+                    float(inst.trigger.reference_score)
+                    + float(inst.trigger.redundancy)
+                    for inst in instances
+                ]
+            )
         elif mode == "mixed":
-            trig = lead.trigger
-            self._tolerance = trig.tolerance
-            self._warmup = trig.warmup
+            self._tolerance = np.array(
+                [float(inst.trigger.tolerance) for inst in instances]
+            )
+            self._warmup = np.array(
+                [int(inst.trigger.warmup) for inst in instances],
+                dtype=np.int64,
+            )
             self._rounds = np.array(
                 [inst.trigger._rounds for inst in instances], dtype=np.int64
             )
@@ -304,7 +346,7 @@ class _TitForTatLanes(CollectorLanes):
         return np.where(self._triggered, self._hard, self._soft)
 
     def first_many(self) -> np.ndarray:
-        return np.full(self.n_reps, self._soft)
+        return self._soft.copy()
 
     def terminated_rounds(self) -> List[Optional[int]]:
         return list(self._terminated)
@@ -321,42 +363,53 @@ class _TitForTatLanes(CollectorLanes):
 
 
 class _ElasticCollectorLanes(CollectorLanes):
-    """Algorithm 2 vectorized: the proportional response as array math."""
+    """Algorithm 2 vectorized: the proportional response as array math.
+
+    Every parameter is an ``(L,)`` column, the update rule a boolean
+    mask — lanes with different ``t_th``/``k``/offsets and even
+    different rules (`paper` vs `relaxation`) fuse into one program.
+    """
+
+    fusion_family = "elastic"
+    fusion_params = (
+        "t_th",
+        "k",
+        "rule",
+        "target_offset",
+        "soft_offset",
+        "hard_offset",
+        "current",
+    )
 
     @classmethod
     def build(cls, instances) -> Optional["_ElasticCollectorLanes"]:
-        if not _uniform(
-            instances,
-            "t_th",
-            "k",
-            "rule",
-            "init_offset",
-            "target_offset",
-            "soft_offset",
-            "hard_offset",
-        ):
-            return None
         return cls(instances)
 
     def __init__(self, instances):
         super().__init__(instances)
-        lead = instances[0]
-        self._t_th = lead.t_th
-        self._k = lead.k
-        self._rule = lead.rule
-        self._target_offset = lead.target_offset
-        self._soft = lead.t_th + lead.soft_offset
-        self._hard = lead.t_th + lead.hard_offset
-        self._first = float(lead.first())
+        self._t_th = _column(instances, "t_th")
+        self._k = _column(instances, "k")
+        self._target_offset = _column(instances, "target_offset")
+        # Precomputed per lane exactly as the scalar body sums them.
+        self._soft = np.array(
+            [float(inst.t_th + inst.soft_offset) for inst in instances]
+        )
+        self._hard = np.array(
+            [float(inst.t_th + inst.hard_offset) for inst in instances]
+        )
+        self._paper = np.array(
+            [inst.rule == "paper" for inst in instances], dtype=bool
+        )
+        self._first = np.array([float(inst.first()) for inst in instances])
         # Seed from current instance positions (mid-game lane builds).
         self._current = np.array([float(inst._current) for inst in instances])
 
     def reset_many(self) -> None:
         super().reset_many()
-        self._current = np.full(self.n_reps, self._first)
+        self._current = self._first.copy()
 
     def first_many(self) -> np.ndarray:
-        return np.full(self.n_reps, self._first)
+        return self._first.copy()
 
     def react_many(self, last: RoundObservationBatch) -> np.ndarray:
         injection = last.injection_percentile
@@ -369,10 +422,9 @@ class _ElasticCollectorLanes(CollectorLanes):
         target = self._t_th + self._k * (
             injection - self._t_th + self._target_offset
         )
-        if self._rule == "paper":
-            responded = target
-        else:  # relaxation: EMA toward the target with weight k
-            responded = (1.0 - self._k) * self._current + self._k * target
+        # Both rules evaluate elementwise; the mask selects per lane.
+        ema = (1.0 - self._k) * self._current + self._k * target
+        responded = np.where(self._paper, target, ema)
         new = np.where(observed, responded, fallback)
         self._current = np.minimum(1.0, np.maximum(0.0, new))
         return self._current
@@ -385,20 +437,20 @@ class _ElasticCollectorLanes(CollectorLanes):
 class _MirrorLanes(CollectorLanes):
     """True tit-for-tat: echo the judged betrayal one round."""
 
+    fusion_family = "mirror"
+    fusion_params = ("soft_percentile", "hard_percentile")
+
     @classmethod
     def build(cls, instances) -> Optional["_MirrorLanes"]:
-        if not _uniform(instances, "t_th", "soft_offset", "hard_offset"):
-            return None
         return cls(instances)
 
     def __init__(self, instances):
         super().__init__(instances)
-        lead = instances[0]
-        self._soft = float(lead.soft_percentile)
-        self._hard = float(lead.hard_percentile)
+        self._soft = _column(instances, "soft_percentile")
+        self._hard = _column(instances, "hard_percentile")
 
     def first_many(self) -> np.ndarray:
-        return np.full(self.n_reps, self._soft)
+        return self._soft.copy()
 
     def react_many(self, last: RoundObservationBatch) -> np.ndarray:
         return np.where(last.betrayal, self._hard, self._soft)
@@ -412,25 +464,31 @@ class _GenerousLanes(_MirrorLanes):
     that: rep ``r``'s Generator advances iff ``betrayal[r]``.
     """
 
+    fusion_family = "generous"
+    fusion_params = ("soft_percentile", "hard_percentile", "generosity")
+
     @classmethod
     def build(cls, instances) -> Optional["_GenerousLanes"]:
-        if not _uniform(
-            instances, "t_th", "soft_offset", "hard_offset", "generosity"
-        ):
-            return None
         return cls(instances)
 
     def react_many(self, last: RoundObservationBatch) -> np.ndarray:
-        out = np.full(self.n_reps, self._soft)
+        out = self._soft.copy()
         for r in np.flatnonzero(last.betrayal):
             inst = self.instances[r]
             if inst._rng.random() >= inst.generosity:
-                out[r] = self._hard
+                out[r] = self._hard[r]
         return out
 
 
 class _TwoTatsLanes(_MirrorLanes):
     """Tit-for-two-tats: punish only two consecutive judged betrayals."""
+
+    fusion_family = "two-tats"
+    fusion_params = (
+        "soft_percentile",
+        "hard_percentile",
+        "previous_betrayal",
+    )
 
     def __init__(self, instances):
         super().__init__(instances)
@@ -459,6 +517,9 @@ class _TwoTatsLanes(_MirrorLanes):
 class _NullAdversaryLanes(AdversaryLanes):
     """No injection in any lane, ever."""
 
+    fusion_family = "null"
+    fusion_params = ()
+
     @classmethod
     def build(cls, instances) -> "_NullAdversaryLanes":
         return cls(instances)
@@ -472,6 +533,9 @@ class _NullAdversaryLanes(AdversaryLanes):
 
 class _FixedAdversaryLanes(AdversaryLanes):
     """One fixed percentile per lane."""
+
+    fusion_family = "fixed"
+    fusion_params = ("percentile",)
 
     @classmethod
     def build(cls, instances) -> "_FixedAdversaryLanes":
@@ -496,6 +560,9 @@ class _DrawAdversaryLanes(AdversaryLanes):
     slicing the fallback loop would pay.
     """
 
+    fusion_family = "draw"
+    fusion_params = ("draw",)
+
     @classmethod
     def build(cls, instances) -> "_DrawAdversaryLanes":
         return cls(instances)
@@ -513,20 +580,20 @@ class _DrawAdversaryLanes(AdversaryLanes):
 class _JustBelowLanes(AdversaryLanes):
     """The ideal evasive attack, vectorized over the observed thresholds."""
 
+    fusion_family = "just-below"
+    fusion_params = ("initial_threshold", "margin")
+
     @classmethod
     def build(cls, instances) -> Optional["_JustBelowLanes"]:
-        if not _uniform(instances, "initial_threshold", "margin"):
-            return None
         return cls(instances)
 
     def __init__(self, instances):
         super().__init__(instances)
-        lead = instances[0]
-        self._margin = lead.margin
-        self._first = float(lead.first())
+        self._margin = _column(instances, "margin")
+        self._first = np.array([float(inst.first()) for inst in instances])
 
     def first_many(self) -> np.ndarray:
-        return np.full(self.n_reps, self._first)
+        return self._first.copy()
 
     def react_many(self, last: RoundObservationBatch) -> np.ndarray:
         return np.maximum(
@@ -537,40 +604,40 @@ class _JustBelowLanes(AdversaryLanes):
 class _ElasticAdversaryLanes(AdversaryLanes):
     """The elastic responder, vectorized like its collector twin."""
 
+    fusion_family = "elastic-adversary"
+    fusion_params = ("t_th", "k", "rule", "base_offset", "current")
+
     @classmethod
     def build(cls, instances) -> Optional["_ElasticAdversaryLanes"]:
-        if not _uniform(
-            instances, "t_th", "k", "rule", "init_offset", "base_offset"
-        ):
-            return None
         return cls(instances)
 
     def __init__(self, instances):
         super().__init__(instances)
-        lead = instances[0]
-        self._t_th = lead.t_th
-        self._k = lead.k
-        self._rule = lead.rule
-        self._base = lead.t_th + lead.base_offset
-        self._first = float(lead.first())
+        self._t_th = _column(instances, "t_th")
+        self._k = _column(instances, "k")
+        self._base = np.array(
+            [float(inst.t_th + inst.base_offset) for inst in instances]
+        )
+        self._paper = np.array(
+            [inst.rule == "paper" for inst in instances], dtype=bool
+        )
+        self._first = np.array([float(inst.first()) for inst in instances])
         # Seed from current instance positions (mid-game lane builds).
         self._current = np.array([float(inst._current) for inst in instances])
 
     def reset_many(self) -> None:
         super().reset_many()
-        self._current = np.full(self.n_reps, self._first)
+        self._current = self._first.copy()
 
     def first_many(self) -> np.ndarray:
-        return np.full(self.n_reps, self._first)
+        return self._first.copy()
 
     def react_many(self, last: RoundObservationBatch) -> np.ndarray:
         # Same association as the scalar body: (t_th + base_offset) is
         # precomputed, then the response term is added.
         target = self._base + self._k * (last.trim_percentile - self._t_th)
-        if self._rule == "paper":
-            new = target
-        else:
-            new = (1.0 - self._k) * self._current + self._k * target
+        ema = (1.0 - self._k) * self._current + self._k * target
+        new = np.where(self._paper, target, ema)
         self._current = np.minimum(1.0, np.maximum(0.0, new))
         return self._current
 

@@ -26,11 +26,11 @@ from ..datasets.registry import DATASETS
 from ..ml.kmeans import kmeans
 from ..ml.metrics import centroid_distance, sse as metric_sse
 from ..runtime import (
+    USER_CHANNEL,
     ComponentSpec,
     StrategyPair,
     SweepGrid,
     SweepRunner,
-    USER_CHANNEL,
     load_reference,
 )
 from .schemes import SCHEMES, scheme_specs

@@ -64,14 +64,14 @@ from .runner import (
 from .spec import (
     ADVERSARY_CHANNEL,
     COLLECTOR_CHANNEL,
-    ComponentSpec,
-    GameSpec,
     INJECTOR_CHANNEL,
     JUDGE_CHANNEL,
     QUALITY_CHANNEL,
     SOURCE_CHANNEL,
-    TaskSpec,
     USER_CHANNEL,
+    ComponentSpec,
+    GameSpec,
+    TaskSpec,
     build_batched_game,
     load_reference,
     play_rep_batch,

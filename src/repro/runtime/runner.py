@@ -85,6 +85,8 @@ from .spec import (
     ComponentSpec,
     GameSpec,
     TaskSpec,
+    fusion_group_key,
+    play_fused_batch,
     play_rep_batch,
     rep_group_key,
     rep_keys_equal,
@@ -199,11 +201,49 @@ def _run_cell(
     return reduce(spec, result)
 
 
+#: Same-cell runs at least this wide play through the batched engine
+#: even inside a mixed fused group: ``build_batched_game`` shares the
+#: stream/reference/lead builds across reps, which beats the fused
+#: path's per-rep session onboarding long before lane width matters.
+_MIN_FUSED_RUN = 8
+
+
 def _run_rep_group(
     specs: Sequence[GameSpec], reduce: Optional[Callable] = None
 ) -> List[Any]:
-    """Play one rep group in lockstep and reduce per rep (worker-side)."""
-    results = play_rep_batch(specs)
+    """Play one rep group in lockstep and reduce per rep (worker-side).
+
+    Consecutive same-cell runs (one ``rep_group_key``) of at least
+    :data:`_MIN_FUSED_RUN` reps play through the batched engine; the
+    narrow remainder — different cells sharing only a fusion family —
+    plays through the fused serving path.  Both are byte-identical to
+    per-spec solo play.
+    """
+    runs: List[List[int]] = []
+    current_key = None
+    for i, spec in enumerate(specs):
+        key = rep_group_key(spec)
+        if runs and rep_keys_equal(key, current_key):
+            runs[-1].append(i)
+        else:
+            runs.append([i])
+            current_key = key
+    results: List[Any] = [None] * len(specs)
+    if len(runs) == 1:
+        results = play_rep_batch(specs)
+    else:
+        fused: List[int] = []
+        for slots in runs:
+            if len(slots) >= _MIN_FUSED_RUN:
+                batch = play_rep_batch([specs[s] for s in slots])
+                for slot, result in zip(slots, batch):
+                    results[slot] = result
+            else:
+                fused.extend(slots)
+        if fused:
+            cohort = play_fused_batch([specs[s] for s in fused])
+            for slot, result in zip(fused, cohort):
+                results[slot] = result
     if reduce is None:
         return [_default_record(spec, result) for spec, result in zip(specs, results)]
     return [reduce(spec, result) for spec, result in zip(specs, results)]
@@ -237,37 +277,62 @@ def _run_unit_task(
     return [_run_cell(spec, reduce) for spec in payload]
 
 
+#: Default lockstep width cap for cross-cell fused groups.  Same-cell
+#: rep runs stay unbounded (the historical behavior); fused runs stop
+#: absorbing further cells here so wide sweeps still fan out over
+#: workers instead of collapsing into one giant serial cohort.
+_FUSED_WIDTH = 64
+
+
 def _group_reps(
     specs: Sequence[GameSpec], max_width: Optional[int]
 ) -> List[List[GameSpec]]:
-    """Chunk *consecutive* same-cell specs into rep groups.
+    """Chunk *consecutive* lockstep-compatible specs into play groups.
 
     Grid expansion keeps a cell's repetitions adjacent, so consecutive
-    grouping recovers exactly the rep axis; arbitrary spec lists degrade
-    gracefully to singleton groups.  ``max_width`` caps the lockstep
-    width (``None`` = unbounded).  Non-game cells (``TaskSpec``) have no
-    lockstep engine and always form singleton groups.
+    grouping recovers exactly the rep axis; beyond that, consecutive
+    *different* cells sharing a :func:`fusion_group_key` — neighboring
+    ratios, strategy pairings or seeds of one sweep family — fuse into
+    the same group (capped at ``max_width`` or :data:`_FUSED_WIDTH`).
+    Arbitrary spec lists degrade gracefully to singleton groups.
+    ``max_width`` caps the lockstep width (``None`` = unbounded for
+    same-cell reps).  Non-game cells (``TaskSpec``) have no lockstep
+    engine and always form singleton groups.
     """
     groups: List[List[GameSpec]] = []
     current_key = None
+    current_fusion = None
     for spec in specs:
-        key = rep_group_key(spec) if isinstance(spec, GameSpec) else None
+        is_game = isinstance(spec, GameSpec)
+        key = rep_group_key(spec) if is_game else None
+        fusion = fusion_group_key(spec) if is_game else None
         full = (
             max_width is not None
             and groups
             and len(groups[-1]) >= max_width
         )
-        if (
-            groups
+        joinable = (
+            bool(groups)
             and not full
             and key is not None
             and current_key is not None
-            and rep_keys_equal(key, current_key)
-        ):
+        )
+        if joinable and rep_keys_equal(key, current_key):
             groups[-1].append(spec)
+        elif (
+            joinable
+            and rep_keys_equal(fusion, current_fusion)
+            and len(groups[-1]) < (max_width or _FUSED_WIDTH)
+        ):
+            # A different cell of the same lockstep family: fuse, and
+            # compare the *next* spec against this cell's rep key so a
+            # following rep run keeps extending the group.
+            groups[-1].append(spec)
+            current_key = key
         else:
             groups.append([spec])
             current_key = key
+            current_fusion = fusion
     return groups
 
 

@@ -65,8 +65,10 @@ __all__ = [
     "load_reference",
     "rep_group_key",
     "rep_keys_equal",
+    "fusion_group_key",
     "build_batched_game",
     "play_rep_batch",
+    "play_fused_batch",
     "SOURCE_CHANNEL",
     "COLLECTOR_CHANNEL",
     "ADVERSARY_CHANNEL",
@@ -469,3 +471,66 @@ def play_rep_batch(specs: Iterable[GameSpec]) -> List[GameResult]:
     if len(specs) == 1:
         return [specs[0].play()]
     return build_batched_game(specs).run().results()
+
+
+# --------------------------------------------------------------------- #
+# cross-cell fusion: different cells, one lockstep family
+# --------------------------------------------------------------------- #
+def fusion_group_key(spec: GameSpec) -> tuple:
+    """The lockstep *family* of a spec: what must match for lanes to fuse.
+
+    Strictly coarser than :func:`rep_group_key`: strategies, dataset,
+    attack ratio, jitter, horizon and seed may all differ lane to lane —
+    the fusion layer (:mod:`repro.core.fusion`) packs them into per-lane
+    parameter columns — but the stacked kernels need one injection mode,
+    one trimmer/quality/judge *class* and one batch geometry across the
+    cohort.  Compare keys with :func:`rep_keys_equal` (component
+    factories may be any callables).
+    """
+    return (
+        "fusion/v1",
+        spec.injection_mode,
+        spec.trimmer.factory,
+        None if spec.quality is None else spec.quality.factory,
+        None if spec.judge is None else spec.judge.factory,
+        spec.batch_size,
+        spec.anchor,
+        spec.store_retained,
+    )
+
+
+def play_fused_batch(specs: Iterable[GameSpec]) -> List[GameResult]:
+    """Play L same-*family* specs through one fused lockstep; results in order.
+
+    The cross-cell counterpart of :func:`play_rep_batch`: the specs may
+    differ in strategies, attack ratios, datasets and horizons as long
+    as they share a :func:`fusion_group_key`.  Each cell is opened as a
+    tenant of a private :class:`~repro.serving.DefenseService` and the
+    cohort is stepped round by round through the fused
+    ``submit_many`` path; cells whose horizon has elapsed drop out of
+    the round loop.  Every returned
+    :class:`~repro.core.engine.GameResult` is byte-identical to the
+    corresponding solo ``spec.play()`` — the fusion layer's contract.
+    A single spec short-circuits to the solo engine.
+    """
+    specs = list(specs)
+    if len(specs) == 1:
+        return [specs[0].play()]
+    # Runtime import: the serving layer sits above the runtime layer.
+    from ..serving.service import DefenseService
+
+    service = DefenseService()
+    ids = [service.open(spec) for spec in specs]
+    horizons = [spec.rounds for spec in specs]
+    round_index = 0
+    while True:
+        active = [
+            sid
+            for sid, horizon in zip(ids, horizons)
+            if round_index < horizon
+        ]
+        if not active:
+            break
+        service.submit_many(active)
+        round_index += 1
+    return [service.close(sid) for sid in ids]

@@ -7,19 +7,23 @@ rep-batched engine already eliminated for Monte-Carlo repetitions, so
 :class:`DefenseService` reuses that machinery across *live sessions*:
 
 * tenants are opened from :class:`~repro.runtime.spec.GameSpec` recipes
-  and grouped by :func:`~repro.runtime.spec.rep_group_key` — the "same
-  cell up to seed and tags" relation that already defines lockstep
-  compatibility;
-* :meth:`DefenseService.submit_many` steps every same-group,
-  same-round cohort through one
+  and grouped by :func:`~repro.runtime.spec.fusion_group_key` — the
+  lockstep *family* relation: strategies, datasets, attack ratios and
+  seeds may all differ, as long as the cohort shares one injection
+  mode, one trimmer/quality/judge class and one batch geometry;
+* :meth:`DefenseService.submit_many` steps every same-family,
+  same-round cohort through one fused
   :class:`~repro.core.session.BatchedGameSession` round — strategy
-  lanes built *from the tenants' live instances* (they seed from
-  current state, see :mod:`repro.core.strategies.batched`), trims,
-  quality scores and judge verdicts computed on ``(R, n)`` stacks —
-  and distributes the per-lane decisions back onto each tenant's own
-  board.  Tenants that cannot join a cohort (odd round position, odd
-  batch shape, singleton group) fall back to their solo
-  :meth:`~repro.core.session.GameSession.submit`, byte-identically;
+  lanes fused per family with heterogeneous parameters packed into
+  ``(L,)`` columns (:mod:`repro.core.fusion`), trims, quality scores
+  and judge verdicts computed on ``(L, n)`` stacks — and distributes
+  the per-lane decisions back onto each tenant's own board.  Compiled
+  cohort programs are cached between rounds (invalidated on any
+  out-of-band touch of a member) and oversized cohorts stream through
+  ``max_fused_lanes``-row chunks.  Tenants that cannot join a cohort
+  (odd round position, odd batch shape, singleton group) fall back to
+  their solo :meth:`~repro.core.session.GameSession.submit`,
+  byte-identically;
 * idle tenants are evicted to snapshots — in memory, or persisted in a
   :class:`~repro.runtime.store.ResultStore` — and transparently
   restored on their next submit, so resident memory is bounded by
@@ -34,6 +38,7 @@ test suite and re-asserted on every run of
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
@@ -44,12 +49,19 @@ from typing import (
     Mapping,
     Optional,
     Sequence,
+    Tuple,
     Union,
 )
 
 import numpy as np
 
 from ..core.engine import _JudgeLanes, _QualityLanes
+from ..core.fusion import (
+    InjectorLanes,
+    TrimLanes,
+    fused_adversary_lanes,
+    fused_collector_lanes,
+)
 from ..core.session import (
     BatchedGameSession,
     GameSession,
@@ -57,10 +69,7 @@ from ..core.session import (
     SnapshotError,
     stack_observations,
 )
-from ..core.strategies.batched import adversary_lanes, collector_lanes
-from ..core.trimming import RadialTrimmer, ValueTrimmer
-from ..runtime.spec import GameSpec, rep_group_key, rep_keys_equal
-from ..streams.injection import BatchedInjector
+from ..runtime.spec import GameSpec, fusion_group_key, rep_keys_equal
 
 if TYPE_CHECKING:  # annotation-only imports
     from ..core.engine import GameResult
@@ -78,6 +87,8 @@ class ServiceStats:
     solo_rounds: int = 0
     lockstep_rounds: int = 0
     lockstep_lanes: int = 0
+    lane_builds: int = 0
+    lane_cache_hits: int = 0
     evictions: int = 0
     restores: int = 0
     quarantined: int = 0
@@ -123,6 +134,20 @@ class DefenseService:
     min_multiplex:
         Smallest cohort :meth:`submit_many` plays in lockstep; smaller
         cohorts use the solo path (default 2).
+    max_fused_lanes:
+        Optional cap on lanes per fused lockstep round.  Oversized
+        cohorts stream through chunks of at most this many ``(L, batch)``
+        rows — bounding the working-set memory of one kernel pass —
+        instead of one monolithic stack.  ``None`` (default) fuses whole
+        cohorts.
+    cohort_cache_size:
+        How many built lane cohorts to keep resident (default 16, LRU).
+        A cohort whose membership, sessions and round position are
+        unchanged since its last lockstep round reuses its compiled
+        lane programs instead of rebuilding them; any out-of-band touch
+        of a member (solo round, eviction, restore, ``session()``
+        access …) invalidates every cohort it belongs to.  ``0``
+        disables the cache (lanes rebuild every round).
     """
 
     def __init__(
@@ -131,15 +156,25 @@ class DefenseService:
         namespace: str = "default",
         max_resident: Optional[int] = None,
         min_multiplex: int = 2,
+        max_fused_lanes: Optional[int] = None,
+        cohort_cache_size: int = 16,
     ):
         if max_resident is not None and max_resident < 1:
             raise ValueError("max_resident must be >= 1 (or None)")
         if min_multiplex < 2:
             raise ValueError("min_multiplex must be >= 2")
+        if max_fused_lanes is not None and max_fused_lanes < 2:
+            raise ValueError("max_fused_lanes must be >= 2 (or None)")
+        if cohort_cache_size < 0:
+            raise ValueError("cohort_cache_size must be >= 0")
         self._store = store
         self.namespace = str(namespace)
         self.max_resident = max_resident
         self.min_multiplex = int(min_multiplex)
+        self.max_fused_lanes = (
+            None if max_fused_lanes is None else int(max_fused_lanes)
+        )
+        self.cohort_cache_size = int(cohort_cache_size)
         self._sessions: Dict[str, GameSession] = {}
         self._specs: Dict[str, GameSpec] = {}
         self._group_of: Dict[str, int] = {}
@@ -149,6 +184,14 @@ class DefenseService:
         self._evicted: Dict[str, Optional[bytes]] = {}
         #: Tenants pulled out of service by a quarantining submit_many.
         self._quarantined: Dict[str, TenantFailure] = {}
+        #: Cohort members tuple -> built lockstep session + validity
+        #: witnesses (see :meth:`_cohort_lockstep`).
+        self._cohort_cache: "OrderedDict[Tuple[str, ...], dict]" = (
+            OrderedDict()
+        )
+        #: Per-tenant state epoch; bumped on every out-of-band touch,
+        #: checked before a cached cohort may play.
+        self._epochs: Dict[str, int] = {}
         self._clock = 0
         self._touched: Dict[str, int] = {}
         self._next_id = 0
@@ -193,13 +236,14 @@ class DefenseService:
         self._sessions[session_id] = session
         self._specs[session_id] = spec
         self._group_of[session_id] = self._group_index(spec)
+        self._invalidate(session_id)
         self._touch(session_id)
         self.stats.opened += 1
         self._enforce_residency(protect={session_id})
         return session_id
 
     def _group_index(self, spec: GameSpec) -> int:
-        key = rep_group_key(spec)
+        key = fusion_group_key(spec)
         for index, existing in enumerate(self._group_keys):
             if rep_keys_equal(existing, key):
                 return index
@@ -209,6 +253,16 @@ class DefenseService:
     def _touch(self, session_id: str) -> None:
         self._clock += 1
         self._touched[session_id] = self._clock
+
+    def _invalidate(self, session_id: str) -> None:
+        """Bump a tenant's epoch: its cached cohorts must rebuild.
+
+        Called on every path that can change a session's identity or
+        state outside a cohort's own lockstep rounds — solo submits,
+        ``session()`` handle exposure, open/close, evict/restore,
+        quarantine, adopt.
+        """
+        self._epochs[session_id] = self._epochs.get(session_id, 0) + 1
 
     def session_ids(self) -> List[str]:
         """All known session ids (resident and evicted), oldest first."""
@@ -237,8 +291,14 @@ class DefenseService:
         return self._quarantined[session_id]
 
     def session(self, session_id: str) -> GameSession:
-        """The live :class:`GameSession` (restoring it if evicted)."""
-        return self._resident(session_id)
+        """The live :class:`GameSession` (restoring it if evicted).
+
+        Handing out the live handle invalidates the tenant's cached
+        cohorts — the caller may step or mutate the session directly.
+        """
+        session = self._resident(session_id)
+        self._invalidate(session_id)
+        return session
 
     def _resident(self, session_id: str) -> GameSession:
         session = self._sessions.get(session_id)
@@ -260,6 +320,7 @@ class DefenseService:
         """Play one round of one tenant (the solo routing path)."""
         session = self._resident(session_id)
         decision = session.submit(batch, poison_mask=poison_mask)
+        self._invalidate(session_id)
         self._touch(session_id)
         self.stats.solo_rounds += 1
         self._enforce_residency(protect={session_id})
@@ -348,34 +409,50 @@ class DefenseService:
 
         decisions: Dict[str, RoundDecision] = {}
         for members in cohorts.values():
-            arrays = []
+            arrays: Dict[str, np.ndarray] = {}
             for sid in members:
                 batch = batches[sid]
                 if batch is None:
                     batch = sessions[sid].source.next_batch()
-                arrays.append(np.asarray(batch, dtype=float))
-            if (
-                len(members) >= self.min_multiplex
-                and len({a.shape for a in arrays}) == 1
-            ):
-                lane_sessions = [sessions[sid] for sid in members]
-                for sid, decision in zip(
-                    members,
-                    self._submit_lockstep(lane_sessions, np.stack(arrays)),
-                ):
-                    decisions[sid] = decision
-                self.stats.lockstep_rounds += 1
-                self.stats.lockstep_lanes += len(members)
-            else:
-                for sid, batch in zip(members, arrays):
-                    try:
-                        decisions[sid] = sessions[sid].submit(batch)
-                    except Exception as exc:
-                        if on_error == "raise":
-                            raise
-                        self._quarantine(sid, "round", exc)
-                        continue
-                    self.stats.solo_rounds += 1
+                arrays[sid] = np.asarray(batch, dtype=float)
+            # Fused cohorts mix datasets, so one family cohort may carry
+            # several batch geometries; each same-shape run fuses on its
+            # own, chunked to ``max_fused_lanes`` rows per kernel pass.
+            by_shape: Dict[tuple, List[str]] = {}
+            for sid in members:
+                by_shape.setdefault(arrays[sid].shape, []).append(sid)
+            step = self.max_fused_lanes
+            for shaped in by_shape.values():
+                chunks = (
+                    [shaped]
+                    if step is None
+                    else [
+                        shaped[i:i + step]
+                        for i in range(0, len(shaped), step)
+                    ]
+                )
+                for chunk in chunks:
+                    if len(chunk) >= self.min_multiplex:
+                        stack = np.stack([arrays[sid] for sid in chunk])
+                        for sid, decision in zip(
+                            chunk, self._submit_lockstep(chunk, sessions, stack)
+                        ):
+                            decisions[sid] = decision
+                        self.stats.lockstep_rounds += 1
+                        self.stats.lockstep_lanes += len(chunk)
+                    else:
+                        for sid in chunk:
+                            try:
+                                decisions[sid] = sessions[sid].submit(
+                                    arrays[sid]
+                                )
+                            except Exception as exc:
+                                if on_error == "raise":
+                                    raise
+                                self._quarantine(sid, "round", exc)
+                                continue
+                            self._invalidate(sid)
+                            self.stats.solo_rounds += 1
             for sid in members:
                 if sid in decisions:
                     self._touch(sid)
@@ -398,6 +475,7 @@ class DefenseService:
         self._specs.pop(session_id, None)
         self._group_of.pop(session_id, None)
         self._touched.pop(session_id, None)
+        self._invalidate(session_id)
         self._quarantined[session_id] = TenantFailure(
             session_id=session_id,
             kind=kind,
@@ -406,44 +484,112 @@ class DefenseService:
         self.stats.quarantined += 1
 
     def _submit_lockstep(
-        self, sessions: List[GameSession], benign: np.ndarray
+        self,
+        members: List[str],
+        sessions: Dict[str, GameSession],
+        benign: np.ndarray,
     ) -> List[RoundDecision]:
-        """One vectorized round across same-group, same-round tenants.
+        """One fused round across same-family, same-round tenants.
 
-        Lanes are rebuilt from the tenants' live instances each round —
-        they seed from current state by construction — and
-        ``sync_lanes()`` writes diverged state straight back, so the
-        per-tenant instances stay authoritative between calls no matter
-        how tenants mix lockstep and solo rounds.  The rebuild is a
-        deliberate trade-off: caching lanes per cohort would shave the
-        per-round dispatch/validation cost but needs invalidation on
-        every solo submit, eviction and membership change — the exact
-        silent-divergence bug class the rebuild rules out; the bench
-        gate passes with margin as is.
+        The cohort's compiled lane programs come from
+        :meth:`_cohort_lockstep` — reused from the cohort cache when the
+        membership, session identities and round position are unchanged
+        since the cohort's last lockstep round, rebuilt from the
+        tenants' live instances otherwise.  ``sync_lanes()`` writes
+        diverged lane state straight back after every round, so the
+        per-tenant instances stay authoritative no matter how tenants
+        mix lockstep and solo rounds.
+        """
+        lane_sessions = [sessions[sid] for sid in members]
+        lockstep = self._cohort_lockstep(members, lane_sessions)
+        decision = lockstep.submit(benign)
+        lockstep.sync_lanes()
+        return [
+            session.absorb_round(decision, rep)
+            for rep, session in enumerate(lane_sessions)
+        ]
+
+    def _cohort_lockstep(
+        self, members: List[str], lane_sessions: List[GameSession]
+    ) -> BatchedGameSession:
+        """The cohort's lockstep session: cached, else built and cached.
+
+        A cached cohort is valid only when every member's epoch is
+        unchanged (no solo round, eviction, restore or handle exposure
+        since the build), the live session objects are identical, and
+        the compiled program sits at exactly the cohort's round — the
+        silent-divergence bug class that made the pre-fusion service
+        rebuild lanes every round is ruled out by construction.
+        """
+        key = tuple(members)
+        lead = lane_sessions[0]
+        entry = self._cohort_cache.get(key)
+        if entry is not None:
+            lockstep = entry["lockstep"]
+            if (
+                all(
+                    entry["epochs"][sid] == self._epochs.get(sid, 0)
+                    for sid in members
+                )
+                and all(
+                    cached is live
+                    for cached, live in zip(
+                        entry["sessions"], lane_sessions
+                    )
+                )
+                and lockstep.round_index == lead.round_index
+            ):
+                self._cohort_cache.move_to_end(key)
+                self.stats.lane_cache_hits += 1
+                return lockstep
+            del self._cohort_cache[key]
+        lockstep = self._build_lockstep(lane_sessions)
+        self.stats.lane_builds += 1
+        if self.cohort_cache_size > 0:
+            self._cohort_cache[key] = {
+                "lockstep": lockstep,
+                "sessions": list(lane_sessions),
+                "epochs": {
+                    sid: self._epochs.get(sid, 0) for sid in members
+                },
+            }
+            while len(self._cohort_cache) > self.cohort_cache_size:
+                self._cohort_cache.popitem(last=False)
+        return lockstep
+
+    def _build_lockstep(
+        self, sessions: List[GameSession]
+    ) -> BatchedGameSession:
+        """Compile one fused round program from the tenants' live state.
+
+        Strategy lanes fuse by family (heterogeneous specs pack into
+        per-lane parameter columns), trimmers compile into a
+        :class:`~repro.core.fusion.TrimLanes` program, and injectors
+        into an :class:`~repro.core.fusion.InjectorLanes` program —
+        every lane still drawing from its own components' Generators,
+        byte-identically to its solo session.
         """
         lead = sessions[0]
-        trimmers = [session.trimmer for session in sessions]
-        shared_trimmer = type(trimmers[0]) in (ValueTrimmer, RadialTrimmer)
+        trim_lanes = TrimLanes([session.trimmer for session in sessions])
         last = None
         if lead.last_observation is not None:
             last = stack_observations(
                 [session.last_observation for session in sessions]
             )
-        lockstep = BatchedGameSession(
-            collector_lanes=collector_lanes(
+        return BatchedGameSession(
+            collector_lanes=fused_collector_lanes(
                 [session.collector for session in sessions]
             ),
-            adversary_lanes=adversary_lanes(
+            adversary_lanes=fused_adversary_lanes(
                 [session.adversary for session in sessions]
             ),
-            injector=BatchedInjector(
+            injector=InjectorLanes(
                 [session.injector for session in sessions]
             ),
-            trimmer=trimmers[0],
-            per_rep_trimmers=None if shared_trimmer else trimmers,
+            trim_lanes=trim_lanes,
             quality_lanes=_QualityLanes(
                 [session.quality_evaluator for session in sessions],
-                trimmers[0],
+                trim_lanes,
             ),
             judge_lanes=_JudgeLanes(
                 [session.judge for session in sessions]
@@ -454,12 +600,6 @@ class DefenseService:
             start_index=lead.round_index,
             last=last,
         )
-        decision = lockstep.submit(benign)
-        lockstep.sync_lanes()
-        return [
-            session.absorb_round(decision, rep)
-            for rep, session in enumerate(sessions)
-        ]
 
     # ------------------------------------------------------------------ #
     # close / evict / restore
@@ -477,6 +617,7 @@ class DefenseService:
         del self._specs[session_id]
         del self._group_of[session_id]
         self._touched.pop(session_id, None)
+        self._invalidate(session_id)
         if self._store is not None:
             self._store.record_path(self._session_key(session_id)).unlink(
                 missing_ok=True
@@ -523,6 +664,7 @@ class DefenseService:
         else:
             self._evicted[session_id] = blob
         self._touched.pop(session_id, None)
+        self._invalidate(session_id)
         self.stats.evictions += 1
 
     def adopt(self, spec: GameSpec, session_id: str) -> None:
@@ -552,6 +694,7 @@ class DefenseService:
         self._specs[session_id] = spec
         self._group_of[session_id] = self._group_index(spec)
         self._evicted[session_id] = None
+        self._invalidate(session_id)
 
     def _validate_snapshot_record(
         self, record: Any, session_id: str, spec: GameSpec
@@ -593,6 +736,7 @@ class DefenseService:
         session = GameSession.restore(blob)
         del self._evicted[session_id]
         self._sessions[session_id] = session
+        self._invalidate(session_id)
         self._touch(session_id)
         self.stats.restores += 1
         return session

@@ -254,8 +254,17 @@ class BatchedInjector:
         """Poison rows per rep for ``n_benign`` benign rows (rep-uniform)."""
         return self.lead.poison_count(n_benign)
 
+    def poison_counts(self, n_benign: int) -> np.ndarray:
+        """(R,) per-lane poison counts — rep-uniform for this wrapper."""
+        return np.full(
+            self.n_reps, self.lead.poison_count(n_benign), dtype=np.int64
+        )
+
     def materialize_many(
-        self, benign: np.ndarray, percentiles: np.ndarray
+        self,
+        benign: np.ndarray,
+        percentiles: np.ndarray,
+        idx: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Poison stacks for one lockstep round.
 
@@ -265,35 +274,37 @@ class BatchedInjector:
         ``m = poison_count(b)``.  Per-rep jitter positions are drawn
         from each rep's own Generator (identical to the solo
         ``materialize``), then converted to values in one vectorized
-        quantile pass.
+        quantile pass.  ``idx`` restricts the call to a sub-segment of
+        lanes: row ``j`` of the stack belongs to lane ``idx[j]``.
         """
         stack = np.asarray(benign, dtype=float)
         if stack.ndim not in (2, 3):
             raise ValueError("benign stacks must be (R, b) or (R, b, d)")
-        n_reps = stack.shape[0]
-        if n_reps != self.n_reps:
+        lanes = np.arange(self.n_reps) if idx is None else np.asarray(idx)
+        if stack.shape[0] != lanes.shape[0]:
             raise ValueError(
-                f"stack carries {n_reps} reps, injector has {self.n_reps}"
+                f"stack carries {stack.shape[0]} reps for {lanes.shape[0]} lanes"
             )
+        n_rows = stack.shape[0]
         count = self.poison_count(stack.shape[1])
         if count == 0:
             return stack[:, :0]
         positions = np.stack(
             [
-                self.injectors[r]._positions(float(percentiles[r]), count)
-                for r in range(n_reps)
+                self.injectors[r]._positions(float(percentiles[j]), count)
+                for j, r in enumerate(lanes)
             ]
         )
         lead = self.lead
         if stack.ndim == 2:
             if lead._ref_values is not None:
                 return np.quantile(lead._ref_values, positions.ravel()).reshape(
-                    n_reps, count
+                    n_rows, count
                 )
             return np.stack(
                 [
-                    lead._materialize_1d(stack[r], positions[r])
-                    for r in range(n_reps)
+                    lead._materialize_1d(stack[j], positions[j])
+                    for j in range(n_rows)
                 ]
             )
         if lead.mode == "radial":
@@ -302,8 +313,8 @@ class BatchedInjector:
         # quantile passes, exactly like the solo path.
         return np.stack(
             [
-                lead._materialize_corner(stack[r], positions[r])
-                for r in range(n_reps)
+                lead._materialize_corner(stack[j], positions[j])
+                for j in range(n_rows)
             ]
         )
 

@@ -48,7 +48,7 @@ def test_list_rules_table(capsys):
     code = lint_main(["--list-rules"])
     out = capsys.readouterr().out
     assert code == 0
-    for rule in ("REP001", "REP005", "CONF001", "CONF005"):
+    for rule in ("REP001", "REP005", "CONF001", "CONF006"):
         assert rule in out
 
 

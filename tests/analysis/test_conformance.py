@@ -128,3 +128,80 @@ def test_envelope_coverage_flags_orphan_state_class(clean_recipes):
     # the role-membership logic through a module-level injection.
     auditor = ConformanceAuditor(checks={"CONF005"})
     assert auditor.audit() == []
+
+
+@pytest.fixture()
+def lane_registry():
+    """Scratch access to the lane registries with guaranteed cleanup."""
+    from repro.core.strategies import batched
+
+    added = []
+
+    def register(strategy_cls, lanes_cls):
+        batched._COLLECTOR_LANES[strategy_cls] = lanes_cls
+        added.append(strategy_cls)
+
+    yield register
+    for strategy_cls in added:
+        from repro.core.strategies import batched
+
+        batched._COLLECTOR_LANES.pop(strategy_cls, None)
+
+
+class TestFusionDeclarations:
+    def test_shipped_lanes_declare_fusion_contract(self):
+        assert ConformanceAuditor(checks={"CONF006"}).audit() == []
+
+    def test_missing_family_reported(self, lane_registry):
+        from repro.core.strategies.batched import CollectorLanes
+
+        class _UndeclaredLanes(CollectorLanes):
+            pass  # inherits the empty fusion_family default
+
+        class _FakeCollector:
+            pass
+
+        lane_registry(_FakeCollector, _UndeclaredLanes)
+        findings = ConformanceAuditor(checks={"CONF006"}).audit()
+        assert any(
+            f.rule == "CONF006"
+            and "_UndeclaredLanes" in f.message
+            and "fusion_family" in f.message
+            for f in findings
+        )
+
+    def test_malformed_params_reported(self, lane_registry):
+        from repro.core.strategies.batched import CollectorLanes
+
+        class _BadParamsLanes(CollectorLanes):
+            fusion_family = "bad-params"
+            fusion_params = ["threshold"]  # list, not tuple
+
+        class _FakeCollector:
+            pass
+
+        lane_registry(_FakeCollector, _BadParamsLanes)
+        findings = ConformanceAuditor(checks={"CONF006"}).audit()
+        assert any(
+            f.rule == "CONF006"
+            and "_BadParamsLanes" in f.message
+            and "fusion_params" in f.message
+            for f in findings
+        )
+
+    def test_duplicate_family_reported(self, lane_registry):
+        from repro.core.strategies.batched import CollectorLanes
+
+        class _ShadowConstantLanes(CollectorLanes):
+            fusion_family = "constant"  # collides with the shipped lane
+            fusion_params = ("threshold",)
+
+        class _FakeCollector:
+            pass
+
+        lane_registry(_FakeCollector, _ShadowConstantLanes)
+        findings = ConformanceAuditor(checks={"CONF006"}).audit()
+        assert any(
+            f.rule == "CONF006" and "exactly one vector program" in f.message
+            for f in findings
+        )

@@ -418,9 +418,14 @@ class TestFallbackLoop:
             ValueTrimmer,
         )
 
-    def test_mismatched_params_fall_back(self):
-        mixed = [ElasticCollector(0.9, 0.5), ElasticCollector(0.9, 0.1)]
-        assert collector_lanes(mixed).vectorized is False
+    def test_mismatched_params_pack_into_columns(self):
+        # Since the fusion refactor, heterogeneous parameters no longer
+        # force the fallback loop: they pack into (L,) columns.
+        mixed = [ElasticCollector(0.9, 0.5), ElasticCollector(0.8, 0.1)]
+        lanes = collector_lanes(mixed)
+        assert lanes.vectorized is True
+        np.testing.assert_array_equal(lanes._k, [0.5, 0.1])
+        np.testing.assert_array_equal(lanes._t_th, [0.9, 0.8])
 
     def test_shipped_strategies_vectorize(self):
         assert collector_lanes(

@@ -19,7 +19,12 @@ from repro.core.lagrangian import (
 )
 from repro.core.oscillator import CoupledUtilityOscillator
 from repro.core.stackelberg import BestResponseDynamics, linear_response_fixed_point
-from repro.core.strategies import ElasticAdversary, ElasticCollector, FixedAdversary, StaticCollector
+from repro.core.strategies import (
+    ElasticAdversary,
+    ElasticCollector,
+    FixedAdversary,
+    StaticCollector,
+)
 from repro.core.strategies.base import RoundObservation
 from repro.core.trimming import RadialTrimmer
 from repro.streams import ArrayStream, PoisonInjector

@@ -2,9 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, strategies as st
-
-from hypothesis import settings
+from hypothesis import given, settings, strategies as st
 
 from repro.core.domain import (
     Domain,

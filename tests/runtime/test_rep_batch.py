@@ -107,12 +107,22 @@ class TestRepBatchRunner:
 
 
 class TestGrouping:
-    def test_groups_recover_rep_axis(self):
+    def test_groups_fuse_whole_family(self):
+        # Every cell of this grid shares one fusion family, so the
+        # whole sweep collapses into a single fused lockstep group.
         specs = _grid(repetitions=3).expand()
         groups = _group_reps(specs, None)
-        assert [len(g) for g in groups] == [3] * (len(specs) // 3)
+        assert [len(g) for g in groups] == [len(specs)]
         flattened = [spec for group in groups for spec in group]
         assert flattened == specs
+
+    def test_mixed_families_split_groups(self):
+        # Different batch sizes are different fusion families: groups
+        # must break at the family boundary and recover the rep axis.
+        a = _grid(repetitions=3).expand()
+        b = _grid(repetitions=3, batch_size=40).expand()
+        groups = _group_reps(a + b, None)
+        assert [len(g) for g in groups] == [len(a), len(b)]
 
     def test_width_cap_splits_groups(self):
         specs = _grid(repetitions=5).expand()
@@ -185,7 +195,10 @@ class TestReviewRegressions:
             for _ in range(3)
         ]
         groups = _group_reps(specs, None)
-        assert [len(g) for g in groups] == [1, 1, 1]
+        # Rep keys degrade to identity comparison (no crash) so the
+        # cells are not same-cell reps — but they still share a fusion
+        # family, so they group for the fused lockstep path.
+        assert [len(g) for g in groups] == [3]
         with pytest.raises(ValueError, match="agree"):
             play_rep_batch(specs)
 

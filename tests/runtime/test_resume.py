@@ -97,22 +97,28 @@ class TestInterruptResume:
         assert resumed == fresh
 
     def test_interrupted_rep_batched_sweep_resumes(self, tmp_path):
-        """Rep batching composes with resume: partial rep groups replay."""
+        """Rep batching composes with resume: partial rep groups replay.
+
+        The width cap forces a group boundary every 3 cells (fusion
+        would otherwise fold the whole family into one group), so the
+        bomb lands inside the *second* group and the first group's
+        records are already checkpointed when it goes off.
+        """
         specs = _grid(repetitions=3).expand()
         fresh = SweepRunner(
-            reduce=killing_summarize, rep_batch="auto"
+            reduce=killing_summarize, rep_batch=3
         ).run(specs)
 
         store = ResultStore(tmp_path)
         _BOMB["remaining"] = 4  # dies inside the second rep group
         with pytest.raises(RuntimeError):
             SweepRunner(
-                reduce=killing_summarize, rep_batch="auto", store=store
+                reduce=killing_summarize, rep_batch=3, store=store
             ).run(specs)
 
         _BOMB["remaining"] = None
         runner = SweepRunner(
-            reduce=killing_summarize, rep_batch="auto", store=store
+            reduce=killing_summarize, rep_batch=3, store=store
         )
         resumed = runner.run(specs)
         assert runner.last_stats.played == len(specs) - runner.last_stats.cached

@@ -16,9 +16,9 @@ from repro.core.strategies import (
 from repro.core.trimming import RadialTrimmer, ValueTrimmer
 from repro.runtime import (
     ADVERSARY_CHANNEL,
+    SOURCE_CHANNEL,
     ComponentSpec,
     GameSpec,
-    SOURCE_CHANNEL,
     load_reference,
 )
 

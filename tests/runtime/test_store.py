@@ -9,6 +9,7 @@ from functools import partial
 import numpy as np
 import pytest
 
+from repro.core.strategies import FixedAdversary, TitForTatCollector
 from repro.experiments.cost import roundwise_cost
 from repro.runtime import (
     ComponentSpec,
@@ -21,7 +22,6 @@ from repro.runtime import (
     spec_hash,
     summarize_game,
 )
-from repro.core.strategies import FixedAdversary, TitForTatCollector
 
 
 def _pair():

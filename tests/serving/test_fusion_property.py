@@ -1,0 +1,104 @@
+"""Property test: random heterogeneous cohorts fuse byte-identically.
+
+Hypothesis drives the whole fusion surface at once — random strategy
+families on both sides, random attack ratios, mixed datasets (hence
+mixed batch shapes), and join/evict/restore churn at random rounds —
+and demands that every tenant's closed result equals its standalone
+:class:`GameSession` run, byte for byte.
+"""
+
+import dataclasses
+import os
+import sys
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro import DefenseService, GameSpec  # noqa: E402
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "core")
+)
+from test_session import (  # noqa: E402
+    MATRIX_ADVERSARIES,
+    MATRIX_COLLECTORS,
+    assert_results_identical,
+    matrix_spec,
+)
+
+ROUNDS = 6
+
+tenant_st = st.fixed_dictionaries(
+    {
+        "collector": st.sampled_from(sorted(MATRIX_COLLECTORS)),
+        "adversary": st.sampled_from(sorted(MATRIX_ADVERSARIES)),
+        "ratio": st.sampled_from((0.0, 0.1, 0.2, 0.3)),
+        "dataset": st.sampled_from(("control", "taxi")),
+        "seed": st.integers(min_value=0, max_value=2**16),
+        "join_round": st.integers(min_value=0, max_value=2),
+        "evict_round": st.one_of(
+            st.none(), st.integers(min_value=1, max_value=ROUNDS - 1)
+        ),
+    }
+)
+
+
+def _spec(tenant) -> GameSpec:
+    base = matrix_spec(
+        tenant["collector"], tenant["adversary"], "band",
+        seed=tenant["seed"], rounds=ROUNDS,
+    )
+    kwargs = dict(attack_ratio=tenant["ratio"], dataset=tenant["dataset"])
+    if tenant["dataset"] == "taxi":
+        kwargs["dataset_size"] = 1500
+    return dataclasses.replace(base, **kwargs)
+
+
+def _solo(spec: GameSpec):
+    session = spec.session()
+    while not session.done:
+        session.submit()
+    return session.close()
+
+
+@settings(max_examples=15, deadline=None)
+@given(tenants=st.lists(tenant_st, min_size=2, max_size=6))
+def test_random_cohorts_with_churn_play_byte_identical(tenants):
+    solo = [_solo(_spec(t)) for t in tenants]
+
+    service = DefenseService()
+    sids = [None] * len(tenants)
+    evicted = set()
+    for round_index in range(ROUNDS + max(t["join_round"] for t in tenants)):
+        for i, tenant in enumerate(tenants):
+            if tenant["join_round"] == round_index and sids[i] is None:
+                sids[i] = service.open(_spec(tenant))
+            if (
+                tenant["evict_round"] == round_index
+                and sids[i] is not None
+                and sids[i] in service.resident_ids
+            ):
+                service.evict(sids[i])
+                evicted.add(i)
+        active = [
+            sid
+            for i, sid in enumerate(sids)
+            if sid is not None
+            and i not in evicted
+            and not service.session(sid).done
+        ]
+        if active:
+            service.submit_many(active)
+
+    for i, (tenant, reference) in enumerate(zip(tenants, solo)):
+        if sids[i] is None:
+            sids[i] = service.open(_spec(tenant))
+        # Evicted tenants restore transparently on their next submit;
+        # stragglers (late joiners, evictees) finish solo.
+        session = service.session(sids[i])
+        while not session.done:
+            service.submit(sids[i])
+            session = service.session(sids[i])
+        assert_results_identical(service.close(sids[i]), reference)

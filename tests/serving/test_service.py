@@ -6,14 +6,14 @@ calls, evictions and restores — produces exactly the board, strategy
 state and result its standalone :class:`GameSession` loop would have.
 """
 
+import os
+import sys
+
 import numpy as np
 import pytest
 
 from repro import DefenseService, GameSpec, ResultStore
 from repro.serving.service import ServiceStats
-
-import sys
-import os
 
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "core")

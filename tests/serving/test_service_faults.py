@@ -7,16 +7,15 @@ every healthy peer's board stays byte-identical to its standalone
 session.
 """
 
+import os
 import pickle
+import sys
 
 import pytest
 
 from repro import DefenseService, GameSpec, ResultStore, SnapshotError
 from repro.core.session import GameSession
 from repro.serving.service import TenantFailure
-
-import sys
-import os
 
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "core")
