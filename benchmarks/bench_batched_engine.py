@@ -142,7 +142,10 @@ def test_batched_engine(report):
 
 
 if __name__ == "__main__":
-    result = run_batched_benchmark()
+    from profiling import parse_bench_args, run_maybe_profiled
+
+    cli = parse_bench_args(__doc__.splitlines()[0])
+    result = run_maybe_profiled(cli, "batched_engine", run_batched_benchmark)
     _persist(result)
     print(json.dumps(result, indent=2))
     print(f"written to {BENCH_PATH}")

@@ -1,0 +1,54 @@
+"""Opt-in cProfile harness shared by the standalone benchmark CLIs.
+
+``python benchmarks/bench_service.py --profile`` (and the same flag on
+``bench_batched_engine.py``) wraps the benchmark body in
+:mod:`cProfile` and dumps the top functions by cumulative time to
+``benchmarks/results/PROFILE_<name>.txt`` — the artifact that told PR 9
+where the per-lane bookkeeping floor actually was.  The flag is off by
+default so profiled runs never pollute the persisted BENCH timings.
+"""
+
+import argparse
+import cProfile
+import os
+import pstats
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def parse_bench_args(description: str) -> argparse.Namespace:
+    """The shared CLI of the standalone benchmark entry points."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and dump the top functions by "
+        "cumulative time to benchmarks/results/PROFILE_<bench>.txt",
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=30,
+        metavar="N",
+        help="rows of the cumulative-time profile to keep (default 30)",
+    )
+    return parser.parse_args()
+
+
+def run_maybe_profiled(args: argparse.Namespace, name: str, fn):
+    """Run ``fn()``, under cProfile when ``--profile`` was passed.
+
+    Returns ``fn``'s result either way; the profile dump is a side
+    artifact, never part of the persisted benchmark payload.
+    """
+    if not getattr(args, "profile", False):
+        return fn()
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"PROFILE_{name}.txt")
+    with open(path, "w") as handle:
+        stats = pstats.Stats(profiler, stream=handle)
+        stats.sort_stats("cumulative").print_stats(args.profile_top)
+    print(f"profile written to {path}")
+    return result

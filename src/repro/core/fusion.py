@@ -38,6 +38,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..streams.injection import LanePositionServer
 from .domain import QuantileTable, empirical_quantile
 from .strategies.base import RoundObservationBatch
 from .strategies.batched import (
@@ -398,6 +399,7 @@ class InjectorLanes:
         )
         self._groups_1d: Optional[tuple] = None
         self._groups_2d: Optional[tuple] = None
+        self._position_server: Optional[LanePositionServer] = None
 
     @property
     def n_reps(self) -> int:
@@ -416,6 +418,16 @@ class InjectorLanes:
         ``int(round(...))`` in ``PoisonInjector.poison_count``.
         """
         return np.rint(self._ratios * float(n_benign)).astype(np.int64)
+
+    def finalize(self) -> None:
+        """Advance the real jitter Generators past the served draws.
+
+        The deferred-writeback flush (``BatchedGameSession.sync_lanes``)
+        calls this so each lane's own ``Generator`` lands exactly where
+        its solo game would have left it.
+        """
+        if self._position_server is not None:
+            self._position_server.sync()
 
     def _group(self, match) -> tuple:
         """(lane -> group id, group lead injectors) under ``match``."""
@@ -496,12 +508,11 @@ class InjectorLanes:
             raise ValueError(
                 "materialize_many needs a count-uniform lane segment"
             )
-        positions = np.stack(
-            [
-                self.injectors[r]._positions(float(percentiles[j]), count)
-                for j, r in enumerate(lanes)
-            ]
-        )
+        if self._position_server is None:
+            # Built lazily so the shadow Generators copy each lane's
+            # bit-state at the moment draws actually start.
+            self._position_server = LanePositionServer(self.injectors)
+        positions = self._position_server.positions(lanes, percentiles, count)
         if stack.ndim == 2:
             gid, leads, tables = self._ensure_groups_1d()
             out = np.empty((lanes.shape[0], count))

@@ -67,6 +67,7 @@ __all__ = [
     "RoundPayoffs",
     "RoundDecision",
     "BatchedRoundDecision",
+    "LaneRoundDecision",
     "GameSession",
     "BatchedGameSession",
     "round_payoffs",
@@ -215,6 +216,107 @@ class BatchedRoundDecision:
         )
 
 
+class LaneRoundDecision:
+    """One lane of a lockstep round, viewed through column arrays.
+
+    Duck-types :class:`RoundDecision` — same attribute surface, same
+    values — but holds only a reference into the round's
+    :class:`BatchedRoundDecision` columns plus the lane index.  Scalars,
+    the :class:`RoundObservation` and the payoffs materialize lazily on
+    first access, so the multiplexer's steady state never pays the
+    per-lane object construction a solo round does.
+    """
+
+    __slots__ = ("_decision", "_rep", "_session", "_obs", "_pay")
+
+    def __init__(
+        self, decision: BatchedRoundDecision, rep: int, session
+    ) -> None:
+        self._decision = decision
+        self._rep = int(rep)
+        self._session = session
+        self._obs: Optional[RoundObservation] = None
+        self._pay = False  # sentinel: payoffs not yet computed
+
+    @property
+    def index(self) -> int:
+        return self._decision.index
+
+    @property
+    def threshold(self) -> float:
+        return float(self._decision.threshold[self._rep])
+
+    @property
+    def injection_percentile(self) -> Optional[float]:
+        inj = self._decision.injection_percentile[self._rep]
+        return None if np.isnan(inj) else float(inj)
+
+    @property
+    def accept_mask(self) -> np.ndarray:
+        return self._decision.accept_masks[self._rep]
+
+    @property
+    def quality(self) -> float:
+        return float(self._decision.quality[self._rep])
+
+    @property
+    def observed_poison_ratio(self) -> float:
+        return float(self._decision.observed_poison_ratio[self._rep])
+
+    @property
+    def betrayal(self) -> bool:
+        return bool(self._decision.betrayal[self._rep])
+
+    @property
+    def n_collected(self) -> int:
+        return int(self._decision.n_collected[self._rep])
+
+    @property
+    def n_retained(self) -> int:
+        return int(self._decision.n_retained[self._rep])
+
+    @property
+    def n_poison_injected(self) -> int:
+        return int(self._decision.n_poison_injected[self._rep])
+
+    @property
+    def n_poison_retained(self) -> int:
+        return int(self._decision.n_poison_retained[self._rep])
+
+    @property
+    def observation(self) -> RoundObservation:
+        if self._obs is None:
+            self._obs = self._decision.rep_observation(self._rep)
+        return self._obs
+
+    @property
+    def retained(self) -> Optional[np.ndarray]:
+        if self._decision.retained is None or not self._session.store_retained:
+            return None
+        return self._decision.retained[self._rep]
+
+    @property
+    def payoffs(self) -> Optional[RoundPayoffs]:
+        if self._pay is False:
+            self._pay = self._session._payoffs(
+                self.observation, self.n_poison_injected,
+                self.n_poison_retained,
+            )
+        return self._pay
+
+    @property
+    def n_trimmed(self) -> int:
+        """Rows of the combined batch the trim rejected."""
+        return self.n_collected - self.n_retained
+
+    @property
+    def trimmed_fraction(self) -> float:
+        """Fraction of the combined batch the trim rejected."""
+        if self.n_collected == 0:
+            return 0.0
+        return 1.0 - self.n_retained / self.n_collected
+
+
 def stack_observations(
     observations: Sequence[RoundObservation],
 ) -> RoundObservationBatch:
@@ -342,6 +444,12 @@ class GameSession:
         self._round = 0
         self._closed = False
         self._superseded = False
+        # Deferred lockstep rounds: while attached to a cohort sink the
+        # multiplexer records this session's rounds as (L,) row-batches
+        # there; every authoritative access flushes them wholesale.
+        self._sink = None
+        self._sink_lane = 0
+        self._sink_base = 0
 
     def _supersede(self) -> None:
         """Mark the session dead because its components were re-reset.
@@ -416,19 +524,76 @@ class GameSession:
         )
 
     # ------------------------------------------------------------------ #
+    # deferred lockstep rounds (cohort sink)
+    # ------------------------------------------------------------------ #
+    def _attach_sink(self, sink, lane: int) -> None:
+        """Route subsequent lockstep rounds through a cohort sink.
+
+        While attached, the multiplexer records fused rounds as one
+        ``(L,)`` row-batch on ``sink`` (a
+        :class:`~repro.streams.board.ColumnarBoard`) instead of
+        materializing this session's per-round board objects.  Any
+        authoritative access — a solo submit, ``result``/``close``,
+        ``snapshot``, or reading the board — flushes the whole cohort
+        first, so callers never observe a stale session.
+        """
+        if self._sink is not None:
+            raise RuntimeError(
+                "session is already attached to a deferred cohort sink; "
+                "flush it before re-attaching"
+            )
+        self._sink = sink
+        self._sink_lane = int(lane)
+        self._sink_base = sink.n_rounds
+        sink.attach(self, lane)
+
+    def _flush_deferred(self) -> None:
+        """Make any deferred lockstep rounds authoritative (whole cohort)."""
+        if self._sink is not None:
+            self._sink.flush_all()
+
+    def _absorb_sink_rows(self, sink, lane: int, base: int) -> None:
+        """Adopt this session's pending sink rows (sink flush callback)."""
+        self._sink = None
+        if sink.n_rounds <= base:
+            return
+        columns, retained = sink.lane_rows(lane, base)
+        self._board.extend_columns(
+            columns, retained if self.store_retained else None
+        )
+        # Rebuild the public observation of the final deferred round with
+        # exactly rep_observation's scalar conversions (byte-identity).
+        inj = columns["injection_percentile"][-1]
+        self._last = RoundObservation(
+            index=int(columns["index"][-1]),
+            trim_percentile=float(columns["trim_percentile"][-1]),
+            injection_percentile=None if np.isnan(inj) else float(inj),
+            quality=float(columns["quality"][-1]),
+            observed_poison_ratio=float(
+                columns["observed_poison_ratio"][-1]
+            ),
+            betrayal=bool(columns["betrayal"][-1]),
+        )
+        self._round = int(columns["index"][-1])
+
+    # ------------------------------------------------------------------ #
     @property
     def round_index(self) -> int:
-        """Number of completed rounds (0 before the first submit)."""
-        return self._round
+        """Number of completed rounds (deferred lockstep rounds included)."""
+        if self._sink is None:
+            return self._round
+        return self._round + (self._sink.n_rounds - self._sink_base)
 
     @property
     def last_observation(self) -> Optional[RoundObservation]:
         """The most recent public observation, or ``None`` before round 1."""
+        self._flush_deferred()
         return self._last
 
     @property
     def board(self) -> PublicBoard:
         """The session's public board (append-only, live)."""
+        self._flush_deferred()
         return self._board
 
     @property
@@ -440,7 +605,7 @@ class GameSession:
     def done(self) -> bool:
         """True when closed or the horizon is exhausted."""
         return self._closed or (
-            self.horizon is not None and self._round >= self.horizon
+            self.horizon is not None and self.round_index >= self.horizon
         )
 
     @property
@@ -479,7 +644,7 @@ class GameSession:
             )
         if self._closed:
             raise RuntimeError("session is closed")
-        if self.horizon is not None and self._round >= self.horizon:
+        if self.horizon is not None and self.round_index >= self.horizon:
             raise RuntimeError(
                 f"horizon of {self.horizon} rounds exhausted; close() the "
                 "session to obtain its GameResult"
@@ -495,6 +660,7 @@ class GameSession:
         the board, never visible to the strategies.
         """
         self._check_submittable()
+        self._flush_deferred()
         if batch is None:
             if self.source is None:
                 raise ValueError(
@@ -624,6 +790,7 @@ class GameSession:
         component instances).
         """
         self._check_submittable()
+        self._flush_deferred()
         if decision.index != self._round + 1:
             raise ValueError(
                 f"lockstep round {decision.index} does not follow this "
@@ -673,6 +840,7 @@ class GameSession:
         """The game-so-far as a :class:`~repro.core.engine.GameResult`."""
         from .engine import GameResult
 
+        self._flush_deferred()
         return GameResult(
             board=self._board,
             collector_name=self.collector_name,
@@ -708,6 +876,7 @@ class GameSession:
         ``import_state()`` after a ``reset()`` — completeness is what
         the cross-process byte-identity tests assert.
         """
+        self._flush_deferred()
         state: Dict[str, dict] = {}
         for name, component in self._stateful_components():
             if component is None:
@@ -733,6 +902,7 @@ class GameSession:
                 "eviction), so a snapshot here would not capture the "
                 "live game"
             )
+        self._flush_deferred()
 
         retained = (
             [entry.retained for entry in self._board.entries]
@@ -1209,12 +1379,18 @@ class BatchedGameSession:
     def sync_lanes(self) -> None:
         """Write diverged lane state back onto the strategy instances.
 
-        The multiplexer calls this after every lockstep step so the
-        per-session instances stay authoritative (a tenant may step solo
-        or be evicted between lockstep rounds).
+        The multiplexer calls this when a cohort's deferred rounds are
+        flushed (and the engine driver at close) so the per-session
+        instances become authoritative again — a tenant may step solo or
+        be evicted between lockstep rounds.  Covers the strategy lane
+        programs and, when the injector batches its RNG position draws,
+        the per-lane ``Generator`` bit-states.
         """
         self._collectors.finalize()
         self._adversaries.finalize()
+        finalize = getattr(self.injector, "finalize", None)
+        if callable(finalize):
+            finalize()
 
     def close(self):
         """Seal the session and return its ``BatchedGameResult``."""

@@ -38,6 +38,7 @@ test suite and re-asserted on every run of
 from __future__ import annotations
 
 import hashlib
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import (
@@ -65,11 +66,13 @@ from ..core.fusion import (
 from ..core.session import (
     BatchedGameSession,
     GameSession,
+    LaneRoundDecision,
     RoundDecision,
     SnapshotError,
     stack_observations,
 )
 from ..runtime.spec import GameSpec, fusion_group_key, rep_keys_equal
+from ..streams.board import ColumnarBoard
 
 if TYPE_CHECKING:  # annotation-only imports
     from ..core.engine import GameResult
@@ -77,10 +80,24 @@ if TYPE_CHECKING:  # annotation-only imports
 
 __all__ = ["DefenseService", "ServiceStats", "TenantFailure"]
 
+#: What one tenant's slot of a ``submit_many`` round resolves to: a full
+#: :class:`RoundDecision` on the solo path, a lazily-materialized
+#: :class:`LaneRoundDecision` column view on the lockstep path (same
+#: attribute surface, same values).
+AnyRoundDecision = Union[RoundDecision, LaneRoundDecision]
+
 
 @dataclass
 class ServiceStats:
-    """Running operation counters of one :class:`DefenseService`."""
+    """Running operation counters of one :class:`DefenseService`.
+
+    The ``*_seconds`` fields are cumulative wall-clock phase timers of
+    the lockstep path: ``lane_build_seconds`` covers cohort compilation
+    (including the wholesale flush of any deferred rounds a rebuild
+    forces), ``kernel_seconds`` the fused round kernels, and
+    ``absorb_seconds`` the per-round decision distribution (columnar
+    sink append + lane decision views).
+    """
 
     opened: int = 0
     closed: int = 0
@@ -92,6 +109,9 @@ class ServiceStats:
     evictions: int = 0
     restores: int = 0
     quarantined: int = 0
+    lane_build_seconds: float = 0.0
+    kernel_seconds: float = 0.0
+    absorb_seconds: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -294,9 +314,12 @@ class DefenseService:
         """The live :class:`GameSession` (restoring it if evicted).
 
         Handing out the live handle invalidates the tenant's cached
-        cohorts — the caller may step or mutate the session directly.
+        cohorts — the caller may step or mutate the session directly —
+        and flushes any deferred lockstep rounds first, so the handle's
+        board and round position are authoritative.
         """
         session = self._resident(session_id)
+        session._flush_deferred()
         self._invalidate(session_id)
         return session
 
@@ -330,7 +353,7 @@ class DefenseService:
         self,
         batches: Union[Mapping[str, object], Sequence[str]],
         on_error: str = "raise",
-    ) -> Dict[str, RoundDecision]:
+    ) -> Dict[str, AnyRoundDecision]:
         """Play one round for many tenants, multiplexing where possible.
 
         ``batches`` maps session ids to their round batches (``None``
@@ -407,7 +430,7 @@ class DefenseService:
                 (self._group_of[sid], sessions[sid].round_index), []
             ).append(sid)
 
-        decisions: Dict[str, RoundDecision] = {}
+        decisions: Dict[str, AnyRoundDecision] = {}
         for members in cohorts.values():
             arrays: Dict[str, np.ndarray] = {}
             for sid in members:
@@ -488,36 +511,50 @@ class DefenseService:
         members: List[str],
         sessions: Dict[str, GameSession],
         benign: np.ndarray,
-    ) -> List[RoundDecision]:
+    ) -> List[LaneRoundDecision]:
         """One fused round across same-family, same-round tenants.
 
         The cohort's compiled lane programs come from
         :meth:`_cohort_lockstep` — reused from the cohort cache when the
         membership, session identities and round position are unchanged
         since the cohort's last lockstep round, rebuilt from the
-        tenants' live instances otherwise.  ``sync_lanes()`` writes
-        diverged lane state straight back after every round, so the
-        per-tenant instances stay authoritative no matter how tenants
-        mix lockstep and solo rounds.
+        tenants' live instances otherwise.
+
+        The round itself is *deferred*: the batched decision is appended
+        to the cohort's :class:`ColumnarBoard` sink as one ``(L,)``
+        row-batch and the tenants receive lazy
+        :class:`LaneRoundDecision` views — no per-lane board entries,
+        no per-round ``sync_lanes()``.  Diverged lane state is written
+        back wholesale when the sink flushes (membership change, solo
+        round, eviction, handle exposure, ``result()``), keeping every
+        tenant byte-identical to solo play.
         """
         lane_sessions = [sessions[sid] for sid in members]
-        lockstep = self._cohort_lockstep(members, lane_sessions)
+        lockstep, sink = self._cohort_lockstep(members, lane_sessions)
+        t0 = time.perf_counter()
         decision = lockstep.submit(benign)
-        lockstep.sync_lanes()
-        return [
-            session.absorb_round(decision, rep)
+        t1 = time.perf_counter()
+        sink.record_decision(decision)
+        views = [
+            LaneRoundDecision(decision, rep, session)
             for rep, session in enumerate(lane_sessions)
         ]
+        t2 = time.perf_counter()
+        self.stats.kernel_seconds += t1 - t0
+        self.stats.absorb_seconds += t2 - t1
+        return views
 
     def _cohort_lockstep(
         self, members: List[str], lane_sessions: List[GameSession]
-    ) -> BatchedGameSession:
+    ) -> Tuple[BatchedGameSession, ColumnarBoard]:
         """The cohort's lockstep session: cached, else built and cached.
 
         A cached cohort is valid only when every member's epoch is
         unchanged (no solo round, eviction, restore or handle exposure
-        since the build), the live session objects are identical, and
-        the compiled program sits at exactly the cohort's round — the
+        since the build), the live session objects are identical, the
+        compiled program sits at exactly the cohort's round, *and* the
+        cohort's deferred sink has not been flushed (a flush means some
+        member's authoritative state was read out-of-band) — the
         silent-divergence bug class that made the pre-fusion service
         rebuild lanes every round is ruled out by construction.
         """
@@ -538,16 +575,20 @@ class DefenseService:
                     )
                 )
                 and lockstep.round_index == lead.round_index
+                and not entry["sink"].flushed
             ):
                 self._cohort_cache.move_to_end(key)
                 self.stats.lane_cache_hits += 1
-                return lockstep
+                return lockstep, entry["sink"]
             del self._cohort_cache[key]
-        lockstep = self._build_lockstep(lane_sessions)
+        t0 = time.perf_counter()
+        lockstep, sink = self._build_lockstep(lane_sessions)
+        self.stats.lane_build_seconds += time.perf_counter() - t0
         self.stats.lane_builds += 1
         if self.cohort_cache_size > 0:
             self._cohort_cache[key] = {
                 "lockstep": lockstep,
+                "sink": sink,
                 "sessions": list(lane_sessions),
                 "epochs": {
                     sid: self._epochs.get(sid, 0) for sid in members
@@ -555,11 +596,11 @@ class DefenseService:
             }
             while len(self._cohort_cache) > self.cohort_cache_size:
                 self._cohort_cache.popitem(last=False)
-        return lockstep
+        return lockstep, sink
 
     def _build_lockstep(
         self, sessions: List[GameSession]
-    ) -> BatchedGameSession:
+    ) -> Tuple[BatchedGameSession, ColumnarBoard]:
         """Compile one fused round program from the tenants' live state.
 
         Strategy lanes fuse by family (heterogeneous specs pack into
@@ -568,7 +609,15 @@ class DefenseService:
         into an :class:`~repro.core.fusion.InjectorLanes` program —
         every lane still drawing from its own components' Generators,
         byte-identically to its solo session.
+
+        Any deferred rounds a member still carries from a previous
+        cohort are flushed first (the build reads live strategy state
+        and round positions), then every member is attached to a fresh
+        :class:`ColumnarBoard` sink that collects this cohort's rounds
+        until the next flush.
         """
+        for session in sessions:
+            session._flush_deferred()
         lead = sessions[0]
         trim_lanes = TrimLanes([session.trimmer for session in sessions])
         last = None
@@ -576,7 +625,7 @@ class DefenseService:
             last = stack_observations(
                 [session.last_observation for session in sessions]
             )
-        return BatchedGameSession(
+        lockstep = BatchedGameSession(
             collector_lanes=fused_collector_lanes(
                 [session.collector for session in sessions]
             ),
@@ -600,6 +649,15 @@ class DefenseService:
             start_index=lead.round_index,
             last=last,
         )
+        sink = ColumnarBoard(
+            len(sessions),
+            store_retained=lead.store_retained,
+            start_index=lead.round_index,
+            sync=lockstep.sync_lanes,
+        )
+        for lane, session in enumerate(sessions):
+            session._attach_sink(sink, lane)
+        return lockstep, sink
 
     # ------------------------------------------------------------------ #
     # close / evict / restore

@@ -37,7 +37,13 @@ import numpy as np
 
 from ..core.strategies.base import RoundObservation
 
-__all__ = ["BoardEntry", "BoardColumns", "PublicBoard", "StackedBoard"]
+__all__ = [
+    "BoardEntry",
+    "BoardColumns",
+    "ColumnarBoard",
+    "PublicBoard",
+    "StackedBoard",
+]
 
 
 @dataclass(frozen=True)
@@ -278,6 +284,63 @@ class PublicBoard:
         self._append_columns(entry)
         self._columns_cache = None
 
+    def extend_columns(
+        self,
+        columns: dict,
+        retained: Optional[Sequence[np.ndarray]] = None,
+    ) -> None:
+        """Bulk-append per-round column values (deferred lockstep flush).
+
+        ``columns`` maps every field of the board's column layout to a
+        sequence of per-round values (``index`` included, absolute and
+        contiguous with the existing log); ``retained`` carries the
+        matching per-round retained arrays on a full board.  The board
+        stays (or becomes) column-born: entry objects materialize lazily
+        on the next :attr:`entries` access, so a flush never pays the
+        per-round object cost the deferred rounds avoided.
+        """
+        added = len(columns["index"])
+        if added == 0:
+            return
+        if int(columns["index"][0]) != len(self) + 1:
+            raise ValueError(
+                f"round {int(columns['index'][0])} appended out of order "
+                f"(expected {len(self) + 1})"
+            )
+        if self._col_lists is None:  # column-born board, first append
+            cols = self._columns_cache
+            self._col_lists = {
+                name: list(getattr(cols, name)) for name in _COLUMN_FIELDS
+            }
+        payload: Optional[List[np.ndarray]] = None
+        if self.store_retained:
+            if retained is None or len(retained) != added:
+                raise ValueError(
+                    "a full board needs one retained array per appended round"
+                )
+            if self._entries is not None:
+                payload = [e.retained for e in self._entries]
+            elif self._source_retained is not None:
+                payload = list(self._source_retained)
+            else:
+                payload = []
+            if len(payload) != len(self):
+                raise ValueError(
+                    "board's retained payload is incomplete; cannot extend"
+                )
+            payload.extend(retained)
+        for name in _COLUMN_FIELDS:
+            values = columns[name]
+            if len(values) != added:
+                raise ValueError(
+                    f"column {name!r} must carry {added} rows, "
+                    f"got {len(values)}"
+                )
+            self._col_lists[name].extend(values)
+        self._entries = None
+        self._source_retained = payload
+        self._columns_cache = None
+
     def __len__(self) -> int:
         if self._col_lists is None:
             return self._columns_cache.rounds
@@ -463,3 +526,94 @@ class StackedBoard:
         return np.where(
             collected == 0, 0.0, 1.0 - kept / np.maximum(collected, 1)
         )
+
+
+class ColumnarBoard(StackedBoard):
+    """Deferred-round sink for one lockstep service cohort.
+
+    While a cohort stays in lockstep the multiplexer records one ``(L,)``
+    row-batch per fused round here instead of appending to every member's
+    :class:`PublicBoard`.  Member sessions :meth:`attach` with their lane
+    index and absorb their pending rows wholesale — via
+    ``PublicBoard.extend_columns`` — only when the cohort is invalidated
+    (solo escape, eviction/snapshot, ``result``/``close``, or a lane
+    rebuild).  ``sync`` runs exactly once, at :meth:`flush_all`, to write
+    the lockstep lane state (strategy counters, injector RNG positions)
+    back onto the member sessions' component instances before the pending
+    rows become authoritative.
+
+    ``start_index`` is the absolute round index the attached sessions had
+    when the sink was created; row ``t`` of the sink is absolute round
+    ``start_index + t + 1``.
+    """
+
+    def __init__(
+        self,
+        n_lanes: int,
+        store_retained: bool = True,
+        start_index: int = 0,
+        sync=None,
+    ):
+        super().__init__(n_lanes, store_retained)
+        self.start_index = int(start_index)
+        self._sync = sync
+        self._attached: List[tuple] = []
+        self.flushed = False
+
+    def attach(self, session, lane: int) -> None:
+        """Register a member session for flush-time row absorption."""
+        self._attached.append((session, int(lane), len(self)))
+
+    def record_round(self, **kwargs) -> None:
+        if self.flushed:
+            raise RuntimeError("cannot record into a flushed sink")
+        super().record_round(**kwargs)
+
+    def record_decision(self, decision) -> None:
+        """Append one fused round from a ``BatchedRoundDecision``."""
+        self.record_round(
+            trim_percentile=decision.threshold,
+            injection_percentile=decision.injection_percentile,
+            quality=decision.quality,
+            observed_poison_ratio=decision.observed_poison_ratio,
+            betrayal=decision.betrayal,
+            n_collected=decision.n_collected,
+            n_poison_injected=decision.n_poison_injected,
+            n_poison_retained=decision.n_poison_retained,
+            n_retained=decision.n_retained,
+            retained=decision.retained if self.store_retained else None,
+        )
+
+    def lane_rows(self, lane: int, base: int) -> tuple:
+        """Lane ``lane``'s rows from ``base`` on, as per-field lists.
+
+        The index column is absolute (``start_index``-offset) so the
+        receiving board can validate contiguity with its existing log.
+        """
+        rounds = len(self)
+        first = self.start_index + base + 1
+        columns = {
+            "index": list(range(first, self.start_index + rounds + 1))
+        }
+        stacked = self._stacked()
+        for name in _COLUMN_FIELDS:
+            if name == "index":
+                continue
+            columns[name] = list(stacked[name][base:, lane])
+        retained = (
+            [row[lane] for row in self._retained[base:]]
+            if self._retained is not None
+            else None
+        )
+        return columns, retained
+
+    def flush_all(self) -> None:
+        """Sync lane state once, then flush every attached session."""
+        if self.flushed:
+            return
+        self.flushed = True
+        if self._sync is not None:
+            self._sync()
+        attached, self._attached = self._attached, []
+        for session, lane, base in attached:
+            session._absorb_sink_rows(self, lane, base)

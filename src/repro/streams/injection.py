@@ -34,7 +34,7 @@ import numpy as np
 
 from ..core.strategies.base import rng_state, set_rng_state
 
-__all__ = ["PoisonInjector", "BatchedInjector"]
+__all__ = ["PoisonInjector", "BatchedInjector", "LanePositionServer"]
 
 _MODES = ("quantile", "radial")
 
@@ -186,6 +186,125 @@ class PoisonInjector:
         return self._materialize_corner(arr, positions)
 
 
+class LanePositionServer:
+    """Blocked jitter-position draws for L per-lane injectors.
+
+    ``PoisonInjector._positions`` costs one ``Generator.uniform`` call
+    per lane per round; across a fused cohort that is the last per-lane
+    RNG floor in the hot loop.  The server pre-draws *blocks* of
+    standard uniforms from per-lane **shadow** Generators (bit-state
+    copies of each lane's own jitter Generator) and converts them per
+    round with ``low + (high - low) * u`` — elementwise the exact
+    expression ``Generator.uniform`` evaluates per double — so served
+    positions are bit-identical to the solo draws.  :meth:`sync`
+    advances each lane's *real* Generator wholesale (``PCG64.advance``
+    by the number of doubles actually consumed), which keeps
+    snapshot/restore and solo escapes bit-exact: the real Generator is
+    only ever observed at a position it would have reached drawing
+    solo.
+
+    Rounds where a lane's jitter band is empty (``high <= low``)
+    consume no doubles, exactly like the solo path.  Lanes whose bit
+    generator is not :class:`numpy.random.PCG64` (no ``advance``) are
+    served through their own ``_positions`` — correct, just not
+    batched.
+    """
+
+    _BLOCK = 256
+
+    def __init__(self, injectors):
+        self.injectors = list(injectors)
+        n = len(self.injectors)
+        self._jitters = np.array(
+            [float(inj.jitter) for inj in self.injectors]
+        )
+        self._shadows: list = [None] * n
+        self._eligible = np.zeros(n, dtype=bool)
+        for r, inj in enumerate(self.injectors):
+            bit = inj._rng.bit_generator
+            if isinstance(bit, np.random.PCG64):
+                shadow = np.random.PCG64()
+                shadow.state = bit.state
+                self._shadows[r] = np.random.Generator(shadow)
+                self._eligible[r] = True
+        self._matrix: Optional[np.ndarray] = None  # (L, B) pre-drawn doubles
+        self._cursors = np.zeros(n, dtype=np.int64)
+        self._pending = np.zeros(n, dtype=np.int64)
+
+    def _refill(self, lanes: np.ndarray, count: int) -> None:
+        """Top up the pre-drawn blocks of ``lanes`` to serve ``count``.
+
+        Unused tail doubles are always carried over — the doubles a lane
+        consumes must stay contiguous with its shadow stream, or served
+        positions would skip draws the solo game takes.
+        """
+        width = 0 if self._matrix is None else self._matrix.shape[1]
+        if count > width:
+            new_width = max(self._BLOCK, 4 * count)
+            fresh = np.empty((len(self.injectors), new_width))
+            for r in np.flatnonzero(self._eligible):
+                tail = (
+                    self._matrix[r, self._cursors[r]:]
+                    if self._matrix is not None
+                    else np.empty(0)
+                )
+                fresh[r, : tail.size] = tail
+                fresh[r, tail.size:] = self._shadows[r].random(
+                    new_width - tail.size
+                )
+            self._matrix = fresh
+            self._cursors[:] = 0
+            return
+        for r in lanes:
+            cursor = int(self._cursors[r])
+            if cursor + count <= width:
+                continue
+            row = self._matrix[r]
+            tail = row[cursor:].copy()
+            row[: tail.size] = tail
+            row[tail.size:] = self._shadows[r].random(width - tail.size)
+            self._cursors[r] = 0
+
+    def positions(
+        self, lanes: np.ndarray, percentiles: np.ndarray, count: int
+    ) -> np.ndarray:
+        """(rows, count) jitter positions; row ``j`` serves lane ``lanes[j]``."""
+        lanes = np.asarray(lanes, dtype=np.intp)
+        rows = lanes.shape[0]
+        p = np.asarray(percentiles, dtype=float)
+        low = np.minimum(1.0, np.maximum(0.0, p))
+        high = np.minimum(1.0, low + self._jitters[lanes])
+        out = np.empty((rows, count))
+        draw = high > low
+        if not np.all(draw):
+            flat = np.flatnonzero(~draw)
+            out[flat] = low[flat][:, None]  # np.full(count, low), batched
+        eligible = self._eligible[lanes]
+        for j in np.flatnonzero(draw & ~eligible):
+            out[j] = self.injectors[lanes[j]]._positions(float(p[j]), count)
+        active = np.flatnonzero(draw & eligible)
+        if active.size:
+            served = lanes[active]
+            self._refill(served, count)
+            gather = self._cursors[served][:, None] + np.arange(count)
+            u = self._matrix[served[:, None], gather]
+            out[active] = (
+                low[active][:, None]
+                + (high[active] - low[active])[:, None] * u
+            )
+            self._cursors[served] += count
+            self._pending[served] += count
+        return out
+
+    def sync(self) -> None:
+        """Advance each real Generator past the doubles served so far."""
+        for r in np.flatnonzero(self._pending):
+            self.injectors[r]._rng.bit_generator.advance(
+                int(self._pending[r])
+            )
+        self._pending[:] = 0
+
+
 class BatchedInjector:
     """Rep-batched poison materialization over R per-rep injectors.
 
@@ -218,6 +337,7 @@ class BatchedInjector:
                     "all rep injectors must share attack_ratio/jitter/mode"
                 )
         self.injectors = injectors
+        self._position_server: Optional[LanePositionServer] = None
 
     @property
     def n_reps(self) -> int:
@@ -249,6 +369,19 @@ class BatchedInjector:
         """Rewind every rep's jitter stream."""
         for injector in self.injectors:
             injector.reset()
+        self._position_server = None
+
+    def _server(self) -> LanePositionServer:
+        # Built lazily so the shadow Generators copy each lane's
+        # bit-state at the moment draws actually start.
+        if self._position_server is None:
+            self._position_server = LanePositionServer(self.injectors)
+        return self._position_server
+
+    def finalize(self) -> None:
+        """Advance the real jitter Generators past the served draws."""
+        if self._position_server is not None:
+            self._position_server.sync()
 
     def poison_count(self, n_benign: int) -> int:
         """Poison rows per rep for ``n_benign`` benign rows (rep-uniform)."""
@@ -289,12 +422,7 @@ class BatchedInjector:
         count = self.poison_count(stack.shape[1])
         if count == 0:
             return stack[:, :0]
-        positions = np.stack(
-            [
-                self.injectors[r]._positions(float(percentiles[j]), count)
-                for j, r in enumerate(lanes)
-            ]
-        )
+        positions = self._server().positions(lanes, percentiles, count)
         lead = self.lead
         if stack.ndim == 2:
             if lead._ref_values is not None:

@@ -11,6 +11,7 @@ import os
 import pickle
 import sys
 
+import numpy as np
 import pytest
 
 from repro import DefenseService, GameSpec, ResultStore, SnapshotError
@@ -134,6 +135,53 @@ class TestTenantQuarantine:
         )
         assert set(decisions) == {sid}
         assert service.quarantine_reason("no-such-tenant").kind == "lifecycle"
+
+    def test_round_failure_flushes_complete_deferred_board(self):
+        """A quarantined tenant's board is complete to its last healthy
+        round: the failing submit flushes the deferred sink before the
+        round computation can raise."""
+        service = DefenseService()
+        specs = [
+            matrix_spec("elastic-paper", "elastic", "band", seed=70 + r)
+            for r in range(3)
+        ]
+        sids = [service.open(spec) for spec in specs]
+        healthy_rounds = 3
+        for _ in range(healthy_rounds):
+            service.submit_many(sids)
+        # Raw registry access on purpose: service.session() would flush
+        # the deferred rows this test needs to still be pending.
+        handle = service._sessions[sids[0]]
+        assert handle._sink is not None, "rounds were not deferred"
+
+        # An empty batch routes the tenant solo (odd shape) and blows
+        # up inside its round, after the deferred flush.
+        bad = {sids[0]: np.zeros(0), sids[1]: None, sids[2]: None}
+        decisions = service.submit_many(bad, on_error="quarantine")
+        assert set(decisions) == {sids[1], sids[2]}
+        assert service.quarantine_reason(sids[0]).kind == "round"
+
+        reference = specs[0].session()
+        for _ in range(healthy_rounds):
+            reference.submit()
+        assert handle.round_index == healthy_rounds
+        got, want = handle.board.columns, reference.board.columns
+        assert got.rounds == healthy_rounds
+        for field in got.__dataclass_fields__:
+            assert np.array_equal(getattr(got, field), getattr(want, field)), (
+                f"flushed board diverges from solo play in {field!r}"
+            )
+        assert (
+            handle.board.retained_data().tobytes()
+            == reference.board.retained_data().tobytes()
+        )
+
+        # the surviving peers play on, byte-identical to standalone
+        references = [solo_reference(spec) for spec in specs[1:]]
+        for _ in range(specs[1].rounds - healthy_rounds - 1):
+            service.submit_many(sids[1:])
+        for sid, expected in zip(sids[1:], references):
+            assert_results_identical(service.close(sid), expected)
 
     def test_quarantined_id_can_be_reopened(self, tmp_path):
         store = ResultStore(tmp_path)

@@ -189,6 +189,144 @@ class TestBoardColumns:
         assert rebuilt.retained_data().shape == source.retained_data().shape
 
 
+class TestExtendColumns:
+    def _columns(self, first_index, rows):
+        return {
+            "index": [first_index + t for t in range(rows)],
+            "trim_percentile": [0.9] * rows,
+            "injection_percentile": [float("nan")] * rows,
+            "quality": [0.0] * rows,
+            "observed_poison_ratio": [0.0] * rows,
+            "betrayal": [False] * rows,
+            "n_collected": [10] * rows,
+            "n_poison_injected": [0] * rows,
+            "n_poison_retained": [0] * rows,
+            "n_retained": [8] * rows,
+        }
+
+    def test_extends_lean_board_without_materializing_entries(self):
+        board = PublicBoard(store_retained=False)
+        board.record(_entry(1, np.zeros((8, 1)), 10))
+        board.extend_columns(self._columns(2, 3))
+        assert len(board) == 4
+        assert board._entries is None  # entries stay lazy after a flush
+        np.testing.assert_array_equal(board.columns.index, [1, 2, 3, 4])
+        assert [o.index for o in board.observations] == [1, 2, 3, 4]
+
+    def test_extends_empty_board(self):
+        board = PublicBoard(store_retained=False)
+        board.extend_columns(self._columns(1, 2))
+        assert len(board) == 2
+        assert board.last.n_retained == 8
+
+    def test_zero_rows_is_a_noop(self):
+        board = PublicBoard(store_retained=False)
+        board.extend_columns({name: [] for name in self._columns(1, 0)})
+        assert len(board) == 0
+
+    def test_out_of_order_extend_rejected(self):
+        board = PublicBoard(store_retained=False)
+        board.record(_entry(1, np.zeros((8, 1)), 10))
+        with pytest.raises(ValueError, match="out of order"):
+            board.extend_columns(self._columns(3, 2))
+
+    def test_full_board_requires_retained_per_round(self):
+        board = PublicBoard()
+        with pytest.raises(ValueError, match="retained"):
+            board.extend_columns(self._columns(1, 2))
+
+    def test_full_board_carries_retained_payload(self):
+        board = PublicBoard()
+        board.record(_entry(1, np.ones((8, 1)), 10))
+        board.extend_columns(
+            self._columns(2, 2), retained=[np.zeros((8, 1))] * 2
+        )
+        assert board.retained_data().shape == (24, 1)
+        assert board.entries[2].observation.index == 3
+
+    def test_ragged_column_rejected(self):
+        board = PublicBoard(store_retained=False)
+        columns = self._columns(1, 2)
+        columns["quality"] = [0.0]
+        with pytest.raises(ValueError, match="quality"):
+            board.extend_columns(columns)
+
+    def test_record_still_works_after_extend(self):
+        board = PublicBoard(store_retained=False)
+        board.extend_columns(self._columns(1, 2))
+        board.record(_entry(3, np.zeros((5, 1)), 9))
+        assert len(board) == 3
+        np.testing.assert_array_equal(board.columns.index, [1, 2, 3])
+
+
+class TestColumnarBoard:
+    class _FakeSession:
+        def __init__(self):
+            self.absorbed = []
+
+        def _absorb_sink_rows(self, sink, lane, base):
+            self.absorbed.append((sink, lane, base))
+
+    def _sink(self, n_lanes=2, **kwargs):
+        from repro.streams.board import ColumnarBoard
+
+        return ColumnarBoard(n_lanes, store_retained=False, **kwargs)
+
+    def _record(self, sink, kept):
+        n = len(kept)
+        sink.record_round(
+            trim_percentile=np.full(n, 0.9),
+            injection_percentile=np.full(n, np.nan),
+            quality=np.zeros(n),
+            observed_poison_ratio=np.zeros(n),
+            betrayal=np.zeros(n, dtype=bool),
+            n_collected=np.full(n, 10),
+            n_poison_injected=np.zeros(n, dtype=int),
+            n_poison_retained=np.zeros(n, dtype=int),
+            n_retained=np.asarray(kept),
+        )
+
+    def test_lane_rows_are_absolute_and_base_offset(self):
+        sink = self._sink(start_index=5)
+        self._record(sink, [8, 9])
+        self._record(sink, [7, 6])
+        columns, retained = sink.lane_rows(1, base=1)
+        assert columns["index"] == [7]
+        assert columns["n_retained"] == [6]
+        assert retained is None
+
+    def test_flush_syncs_once_then_absorbs_every_lane(self):
+        synced = []
+        sink = self._sink(sync=lambda: synced.append(True))
+        sessions = [self._FakeSession(), self._FakeSession()]
+        for lane, session in enumerate(sessions):
+            sink.attach(session, lane)
+        self._record(sink, [8, 9])
+        sink.flush_all()
+        assert synced == [True]
+        assert sessions[0].absorbed == [(sink, 0, 0)]
+        assert sessions[1].absorbed == [(sink, 1, 0)]
+        # idempotent: a second flush neither syncs nor re-absorbs
+        sink.flush_all()
+        assert synced == [True]
+        assert len(sessions[0].absorbed) == 1
+
+    def test_record_into_flushed_sink_rejected(self):
+        sink = self._sink()
+        sink.flush_all()
+        with pytest.raises(RuntimeError, match="flushed"):
+            self._record(sink, [8, 9])
+
+    def test_late_attachment_absorbs_from_its_own_base(self):
+        sink = self._sink()
+        self._record(sink, [8, 9])
+        late = self._FakeSession()
+        sink.attach(late, 0)
+        self._record(sink, [7, 6])
+        sink.flush_all()
+        assert late.absorbed == [(sink, 0, 1)]
+
+
 class TestStackedBoard:
     def _record(self, board, n_reps, round_values):
         board.record_round(
