@@ -53,5 +53,5 @@ def test_fig1_payoff_tradeoff(benchmark, report):
     # P increases and T decreases across the domain.
     p_values = [row[1] for row in curve]
     t_values = [row[2] for row in curve]
-    assert all(b >= a for a, b in zip(p_values, p_values[1:]))
-    assert all(b <= a for a, b in zip(t_values, t_values[1:]))
+    assert all(b >= a for a, b in zip(p_values, p_values[1:], strict=False))
+    assert all(b <= a for a, b in zip(t_values, t_values[1:], strict=False))

@@ -38,7 +38,7 @@ def test_metagame_tournament(benchmark, report):
             )
     mixtures = ", ".join(
         f"{name}={weight:.2f}"
-        for name, weight in zip(result.collector_names, result.collector_mixture)
+        for name, weight in zip(result.collector_names, result.collector_mixture, strict=False)
         if weight > 1e-6
     )
     text = format_table(

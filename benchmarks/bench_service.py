@@ -191,7 +191,7 @@ def run_service_benchmark() -> dict:
             identical = all(
                 solo.to_records() == mux.to_records()
                 and solo.termination_round == mux.termination_round
-                for solo, mux in zip(solo_results, mux_results)
+                for solo, mux in zip(solo_results, mux_results, strict=False)
             )
             solo_s = solo_on + solo_rounds
             mux_s = mux_on + mux_rounds

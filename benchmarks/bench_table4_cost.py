@@ -25,6 +25,6 @@ def test_table4_elastic_cost(benchmark, report):
     # Paper shapes: decreasing in Round_no; k = 0.5 cheaper than k = 0.1.
     costs_high = [r.cost_k_high for r in rows]
     costs_low = [r.cost_k_low for r in rows]
-    assert all(a > b for a, b in zip(costs_high, costs_high[1:]))
-    assert all(a > b for a, b in zip(costs_low, costs_low[1:]))
+    assert all(a > b for a, b in zip(costs_high, costs_high[1:], strict=False))
+    assert all(a > b for a, b in zip(costs_low, costs_low[1:], strict=False))
     assert all(r.cost_k_high < r.cost_k_low for r in rows)

@@ -101,7 +101,7 @@ from .runtime import (
 )
 from .serving import DefenseService, TenantFailure
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "__version__",

@@ -293,7 +293,7 @@ def _driver_for(cls: type) -> Optional[_Driver]:
 # the auditor
 # --------------------------------------------------------------------- #
 class ConformanceAuditor:
-    """Run the CONF001–CONF006 checks over the live registries.
+    """Run the CONF001–CONF007 checks over the live registries.
 
     ``extra_strategies`` lets tests inject additional strategy classes
     into the audited set (e.g. a deliberately broken one); ``checks``
@@ -321,6 +321,7 @@ class ConformanceAuditor:
             ("CONF004", self.check_score_commensurability),
             ("CONF005", self.check_envelope_coverage),
             ("CONF006", self.check_fusion_declarations),
+            ("CONF007", self.check_golden_transcript),
         ):
             if self.checks is not None and check_id not in self.checks:
                 continue
@@ -660,7 +661,7 @@ class ConformanceAuditor:
                     )
                     return
                 outputs.append(proc.stdout.strip().splitlines())
-        for (origin, _), line_a, line_b in zip(unique, *outputs):
+        for (origin, _), line_a, line_b in zip(unique, *outputs, strict=False):
             if line_a != line_b:
                 yield self._finding(
                     "CONF003",
@@ -820,6 +821,20 @@ class ConformanceAuditor:
                         "give each registered lane class a distinct "
                         "fusion_family",
                     )
+
+    # ------------------------------------------------------------------ #
+    def check_golden_transcript(self) -> Iterator[Diagnostic]:
+        """CONF007 — the decision loop replays the golden transcript.
+
+        Delegates to :mod:`repro.analysis.golden`: the canonical
+        collector × adversary × judge matrix is replayed from frozen
+        seeds and must reproduce the checked-in transcript
+        byte-for-byte (thresholds, accept counts, judge verdicts and
+        per-round state fingerprints).
+        """
+        from .golden import replay_golden
+
+        yield from replay_golden()
 
     @staticmethod
     def _walk_repro_modules(package) -> Iterator[object]:

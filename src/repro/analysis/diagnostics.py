@@ -38,6 +38,18 @@ class Diagnostic:
     message: str
     hint: Optional[str] = None
 
+    def to_dict(self) -> dict:
+        """Plain-data form for ``repro lint --format json``."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+            "hint": self.hint,
+        }
+
     def format(self, show_hint: bool = True) -> str:
         """``path:line:col: RULE [severity] message (fix: hint)``."""
         text = (

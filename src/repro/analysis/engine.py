@@ -18,7 +18,11 @@ from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .diagnostics import Diagnostic, Severity
-from .suppressions import Suppressions, parse_suppressions
+from .suppressions import (
+    Suppressions,
+    parse_suppressions,
+    propagate_def_suppressions,
+)
 
 __all__ = [
     "ModuleContext",
@@ -58,6 +62,7 @@ class ModuleContext:
             lines=lines,
             suppressions=parse_suppressions(lines),
         )
+        propagate_def_suppressions(ctx.suppressions, tree)
         ctx._index_imports()
         ctx._index_parents()
         return ctx

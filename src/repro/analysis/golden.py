@@ -1,0 +1,279 @@
+"""CONF007 — golden-transcript audit of the round decision loop.
+
+The static rules prove structural properties; this module pins the
+*numbers*.  A frozen per-round decision transcript for a small canonical
+collector × adversary × judge matrix is checked into
+``tests/analysis/golden/transcript.json`` and replayed byte-for-byte by
+every ``repro lint`` run: each cell replays its rounds from the same
+seeds and must reproduce every threshold, accept count, judge verdict
+and per-round state fingerprint (a SHA-256 over the canonical
+``state_dict()`` rendering, which covers the exported RNG bit-state of
+every seeded component).  Any drift in the decision loop — a reordered
+draw, a changed tie-break, a float contraction — lands here as a
+CONF007 error naming the first diverging cell, round and field.
+
+Regenerating after an *intentional* semantic change::
+
+    PYTHONPATH=src python -m repro lint --update-golden
+
+and commit the refreshed transcript together with the change that
+explains it.  The deliberate-regression test in
+``tests/analysis/test_golden.py`` perturbs one RNG draw and asserts the
+audit catches it, so a stale transcript cannot rot silently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Tuple
+
+import numpy as np
+
+from .diagnostics import Diagnostic, Severity
+
+__all__ = [
+    "GOLDEN_FORMAT",
+    "GOLDEN_PATH",
+    "build_transcript",
+    "record_golden",
+    "replay_golden",
+]
+
+GOLDEN_FORMAT = "repro.golden/1"
+
+#: The checked-in transcript replayed by ``repro lint``.
+GOLDEN_PATH = (
+    Path(__file__).resolve().parents[3]
+    / "tests"
+    / "analysis"
+    / "golden"
+    / "transcript.json"
+)
+
+#: Entropy root for every golden stream; cells derive children from it.
+_GOLDEN_ENTROPY = 20240607
+_ROUNDS = 12
+_BATCH = 64
+_REFERENCE = 512
+
+_HINT = (
+    "if the decision loop changed intentionally, regenerate with "
+    "`repro lint --update-golden` and commit the transcript with the "
+    "change; otherwise the decision loop drifted — bisect the diff"
+)
+
+
+def _cells() -> List[Tuple[str, Callable[[], Any]]]:
+    """The canonical (cell key, session factory) matrix.
+
+    Cells are chosen to exercise every seeded decision path: a seeded
+    collector (generous forgiveness draws), seeded adversaries (mixed
+    equilibrium draws, uniform range draws), both judge families
+    (noisy-position flips and band-excess noise), and the injector's
+    jitter stream in every cell.
+    """
+    from ..core.engine import BandExcessJudge, NoisyPositionJudge
+    from ..core.session import GameSession
+    from ..core.strategies.adversaries import (
+        JustBelowAdversary,
+        MixedAdversary,
+        UniformRangeAdversary,
+    )
+    from ..core.strategies.elastic import ElasticCollector
+    from ..core.strategies.titfortat import (
+        MixedStrategyTrigger,
+        TitForTatCollector,
+    )
+    from ..core.strategies.variants import GenerousCollector
+    from ..core.trimming import ValueTrimmer
+    from ..streams.injection import PoisonInjector
+
+    def reference() -> np.ndarray:
+        rng = np.random.default_rng(
+            np.random.SeedSequence(_GOLDEN_ENTROPY).spawn(1)[0]
+        )
+        return rng.normal(0.0, 1.0, size=_REFERENCE)
+
+    def open_cell(collector, adversary, judge, seed: int):
+        return GameSession.open(
+            collector=collector,
+            trimmer=ValueTrimmer(),
+            reference=reference(),
+            adversary=adversary,
+            injector=PoisonInjector(
+                attack_ratio=0.25, jitter=0.01, seed=seed
+            ),
+            judge=judge,
+            horizon=_ROUNDS,
+        )
+
+    def generous_mixed_noisy():
+        return open_cell(
+            GenerousCollector(t_th=0.9, generosity=0.3, seed=101),
+            MixedAdversary(p=0.6, seed=102),
+            NoisyPositionJudge(boundary=0.9, seed=103),
+            seed=104,
+        )
+
+    def titfortat_uniform_band():
+        return open_cell(
+            TitForTatCollector(
+                t_th=0.9,
+                trigger=MixedStrategyTrigger(
+                    equilibrium_probability=0.7, warmup=3
+                ),
+            ),
+            UniformRangeAdversary(0.9, 1.0, seed=202),
+            BandExcessJudge(noise_sigma=0.02, seed=203),
+            seed=204,
+        )
+
+    def elastic_justbelow_band():
+        return open_cell(
+            ElasticCollector(t_th=0.9, k=0.5),
+            JustBelowAdversary(initial_threshold=0.95),
+            BandExcessJudge(noise_sigma=0.0, seed=303),
+            seed=304,
+        )
+
+    return [
+        ("generous(0.9)/mixed(0.6)/noisy(0.9)", generous_mixed_noisy),
+        ("titfortat-mixed(0.7)/uniform[0.9,1.0]/band", titfortat_uniform_band),
+        ("elastic(0.9,0.5)/just-below(0.95)/band", elastic_justbelow_band),
+    ]
+
+
+def _state_fingerprint(session: Any) -> str:
+    from ..runtime.store import _canon, canonical_json
+
+    rendered = canonical_json(_canon(session.state_dict()))
+    return hashlib.sha256(rendered.encode("utf-8")).hexdigest()
+
+
+def build_transcript() -> Dict[str, Any]:
+    """Replay every canonical cell and return the transcript document."""
+    cells: List[Dict[str, Any]] = []
+    for index, (key, factory) in enumerate(_cells()):
+        session = factory()
+        benign_rng = np.random.default_rng(
+            np.random.SeedSequence(_GOLDEN_ENTROPY).spawn(index + 2)[0]
+        )
+        rounds: List[Dict[str, Any]] = []
+        for _ in range(_ROUNDS):
+            batch = benign_rng.normal(0.0, 1.0, size=_BATCH)
+            decision = session.submit(batch)
+            rounds.append(
+                {
+                    "index": decision.index,
+                    "threshold": float(decision.threshold),
+                    "injection_percentile": (
+                        None
+                        if decision.injection_percentile is None
+                        else float(decision.injection_percentile)
+                    ),
+                    "n_retained": decision.n_retained,
+                    "n_poison_injected": decision.n_poison_injected,
+                    "n_poison_retained": decision.n_poison_retained,
+                    "betrayal": decision.betrayal,
+                    "quality": float(decision.quality),
+                    "state_sha256": _state_fingerprint(session),
+                }
+            )
+        cells.append({"cell": key, "rounds": rounds})
+    return {
+        "format": GOLDEN_FORMAT,
+        "entropy": _GOLDEN_ENTROPY,
+        "cells": cells,
+    }
+
+
+def _render(transcript: Dict[str, Any]) -> str:
+    from ..runtime.store import canonical_json
+
+    return canonical_json(transcript) + "\n"
+
+
+def record_golden(path: "Path | None" = None) -> Path:
+    """(Re)write the golden transcript file and return its path."""
+    path = GOLDEN_PATH if path is None else path
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(_render(build_transcript()), encoding="utf-8")
+    return path
+
+
+def _first_divergence(
+    expected: Dict[str, Any], actual: Dict[str, Any]
+) -> str:
+    if expected.get("format") != actual.get("format"):
+        return (
+            f"format tag {actual.get('format')!r} != "
+            f"{expected.get('format')!r}"
+        )
+    exp_cells = expected.get("cells", [])
+    act_cells = actual.get("cells", [])
+    if [c.get("cell") for c in exp_cells] != [
+        c.get("cell") for c in act_cells
+    ]:
+        return "the canonical cell matrix changed"
+    for exp_cell, act_cell in zip(exp_cells, act_cells, strict=False):
+        for exp_round, act_round in zip(
+            exp_cell.get("rounds", []), act_cell.get("rounds", [])
+        , strict=False):
+            for field in sorted(set(exp_round) | set(act_round)):
+                if exp_round.get(field) != act_round.get(field):
+                    return (
+                        f"cell `{exp_cell.get('cell')}` round "
+                        f"{exp_round.get('index')}: {field} = "
+                        f"{act_round.get(field)!r}, golden "
+                        f"{exp_round.get(field)!r}"
+                    )
+        if len(exp_cell.get("rounds", [])) != len(act_cell.get("rounds", [])):
+            return f"cell `{exp_cell.get('cell')}`: round count changed"
+    return "transcripts differ only in rendering"
+
+
+def replay_golden(path: "Path | None" = None) -> List[Diagnostic]:
+    """Replay the matrix against the checked-in transcript.
+
+    Returns CONF007 findings: one when the transcript file is missing
+    or unparseable, one naming the first diverging cell/round/field
+    when the replay drifts, and none when the replay is byte-identical.
+    """
+    path = GOLDEN_PATH if path is None else path
+
+    def finding(message: str) -> Diagnostic:
+        return Diagnostic(
+            path=str(path),
+            line=1,
+            column=0,
+            rule="CONF007",
+            severity=Severity.ERROR,
+            message=message,
+            hint=_HINT,
+        )
+
+    try:
+        golden_text = path.read_text(encoding="utf-8")
+    except OSError:
+        return [
+            finding(
+                "golden transcript is missing — the decision loop has no "
+                "pinned reference"
+            )
+        ]
+    try:
+        golden = json.loads(golden_text)
+    except ValueError:
+        return [finding("golden transcript is not valid JSON")]
+
+    actual = build_transcript()
+    if _render(actual) == golden_text:
+        return []
+    return [
+        finding(
+            "golden transcript replay diverged: "
+            + _first_divergence(golden, actual)
+        )
+    ]

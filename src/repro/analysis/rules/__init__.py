@@ -1,7 +1,10 @@
-"""The determinism rule set (REP001–REP005).
+"""The determinism rule set (REP001–REP008).
 
 Each rule mechanizes one violation class from the repo's own bug
 history; :data:`DEFAULT_RULES` is the set ``repro lint`` runs.
+REP003/REP005 are interprocedural since PR 10 (via
+:mod:`repro.analysis.dataflow`); REP006–REP008 audit the PR-8/PR-9
+fusion and deferred-writeback layers statically.
 """
 
 from __future__ import annotations
@@ -14,6 +17,9 @@ from .rep002 import UnstableSeedMaterialRule
 from .rep003 import UnorderedCanonicalIterationRule
 from .rep004 import MutableSharedStateRule
 from .rep005 import UnrestoredInitStateRule
+from .rep006 import FusionPurityRule
+from .rep007 import DeferredWritebackSafetyRule
+from .rep008 import SnapshotCompletenessRule
 
 __all__ = [
     "GlobalRNGRule",
@@ -21,6 +27,9 @@ __all__ = [
     "UnorderedCanonicalIterationRule",
     "MutableSharedStateRule",
     "UnrestoredInitStateRule",
+    "FusionPurityRule",
+    "DeferredWritebackSafetyRule",
+    "SnapshotCompletenessRule",
     "DEFAULT_RULE_CLASSES",
     "all_rules",
 ]
@@ -31,6 +40,9 @@ DEFAULT_RULE_CLASSES: List[Type[Rule]] = [
     UnorderedCanonicalIterationRule,
     MutableSharedStateRule,
     UnrestoredInitStateRule,
+    FusionPurityRule,
+    DeferredWritebackSafetyRule,
+    SnapshotCompletenessRule,
 ]
 
 

@@ -10,14 +10,28 @@ source or materialized by an order-preserving consumer (``list``,
 ``tuple``, ``enumerate``, ``str.join``) there.  ``sorted(...)`` is the
 sanctioned fix and is never flagged; plain dict iteration is
 insertion-ordered and allowed.
+
+Since PR 10 the rule is *interprocedural* (via
+:mod:`repro.analysis.dataflow`): inside a canonicalizing function it
+also flags
+
+* iteration over (or ordered consumption of) the result of a local
+  helper or ``self._*()`` method whose return value is set-typed,
+  transitively through call chains;
+* a call to a local helper that itself performs unordered set
+  iteration — the helper laundering the order instability does not
+  launder the taint; and
+* passing a set-typed value to a helper parameter the helper iterates
+  unordered.
 """
 
 from __future__ import annotations
 
 import ast
 import re
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Set
 
+from ..dataflow import ModuleDataflow, is_set_expr
 from ..diagnostics import Diagnostic
 from ..engine import ModuleContext, Rule
 from .common import terminal_name
@@ -33,23 +47,9 @@ _CANONICAL_FUNC = re.compile(
 #: Order-preserving consumers for which set iteration order leaks out.
 _ORDERED_CONSUMERS = {"list", "tuple", "enumerate"}
 
-
-def _is_set_expr(ctx: ModuleContext, node: ast.expr) -> bool:
-    """Whether the expression is syntactically set-typed."""
-    if isinstance(node, (ast.Set, ast.SetComp)):
-        return True
-    if isinstance(node, ast.Call):
-        resolved = ctx.resolve_call(node.func)
-        if resolved in {"set", "frozenset"}:
-            return True
-        name = terminal_name(node.func)
-        return name in {
-            "union",
-            "intersection",
-            "difference",
-            "symmetric_difference",
-        } and isinstance(node.func, ast.Attribute)
-    return False
+#: Helpers whose names mark them as order-laundering sinks we never
+#: flag calls *to* (sorted output is canonical by construction).
+_SANCTIONED_CALLS = {"sorted", "min", "max", "sum", "len", "frozenset", "set"}
 
 
 class UnorderedCanonicalIterationRule(Rule):
@@ -58,33 +58,69 @@ class UnorderedCanonicalIterationRule(Rule):
     fix_hint = "wrap the set in sorted(...) before it reaches canonical output"
 
     def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        df = ModuleDataflow.of(ctx)
         for fn in ast.walk(ctx.tree):
             if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
             if not _CANONICAL_FUNC.search(fn.name):
                 continue
-            yield from self._check_function(ctx, fn)
+            yield from self._check_function(ctx, df, fn)
 
     # ------------------------------------------------------------------ #
-    def _check_function(
+    def _qualname(
         self, ctx: ModuleContext, fn: ast.AST
+    ) -> str:
+        parent = ctx.parent(fn)
+        name = getattr(fn, "name", "<lambda>")
+        if isinstance(parent, ast.ClassDef):
+            return f"{parent.name}.{name}"
+        return str(name)
+
+    def _check_function(
+        self, ctx: ModuleContext, df: ModuleDataflow, fn: ast.AST
     ) -> Iterator[Diagnostic]:
+        qual = self._qualname(ctx, fn)
+        fn_name = getattr(fn, "name", "<lambda>")
+
         # Local names bound to a set expression inside this function:
-        # `parts = {...}` followed by `"|".join(parts)` is the same leak.
-        set_names = set()
+        # `parts = {...}` followed by `"|".join(parts)` is the same
+        # leak.  Interprocedurally, a local bound to a call whose callee
+        # returns a set is tainted the same way.
+        set_names: Set[str] = set()
         for node in ast.walk(fn):
             if (
                 isinstance(node, ast.Assign)
                 and len(node.targets) == 1
                 and isinstance(node.targets[0], ast.Name)
-                and _is_set_expr(ctx, node.value)
             ):
-                set_names.add(node.targets[0].id)
+                if is_set_expr(ctx, node.value) or (
+                    isinstance(node.value, ast.Call)
+                    and df.returns_set(qual, node.value)
+                ):
+                    set_names.add(node.targets[0].id)
 
         def is_setish(expr: ast.expr) -> bool:
             if isinstance(expr, ast.Name) and expr.id in set_names:
                 return True
-            return _is_set_expr(ctx, expr)
+            if isinstance(expr, ast.Call) and df.returns_set(qual, expr):
+                return True
+            return is_set_expr(ctx, expr)
+
+        flagged: Set[int] = set()
+
+        def emit(
+            source: ast.expr, how: str
+        ) -> Iterator[Diagnostic]:
+            if id(source) in flagged:
+                return
+            flagged.add(id(source))
+            yield self.diagnostic(
+                ctx,
+                source,
+                "set iteration order is unstable but feeds "
+                f"{how} inside canonicalizing function "
+                f"`{fn_name}()`",
+            )
 
         for node in ast.walk(fn):
             source: Optional[ast.expr] = None
@@ -99,18 +135,28 @@ class UnorderedCanonicalIterationRule(Rule):
                 if (name in _ORDERED_CONSUMERS or is_join) and node.args:
                     if is_setish(node.args[0]):
                         source, how = node.args[0], f"`{name}(...)`"
+                if source is None and name not in _SANCTIONED_CALLS:
+                    # Interprocedural sinks: the callee iterates a set
+                    # unordered, or we pass a set into a parameter it
+                    # iterates unordered.
+                    helper = df.performs_unordered_iteration(qual, node)
+                    if helper is not None and _CANONICAL_FUNC.search(helper):
+                        helper = None  # reported inside the helper itself
+                    if helper is not None:
+                        yield from emit(
+                            node,
+                            f"helper `{helper}()` (which iterates a set "
+                            "unordered)",
+                        )
+                        continue
+                    for position in df.unordered_param_positions(qual, node):
+                        if position < len(node.args) and is_setish(
+                            node.args[position]
+                        ):
+                            yield from emit(
+                                node.args[position],
+                                f"argument {position} of `{name}(...)` "
+                                "(iterated unordered by the callee)",
+                            )
             if source is not None and is_setish(source):
-                yield self.diagnostic(
-                    ctx,
-                    source,
-                    "set iteration order is unstable but feeds "
-                    f"{how} inside canonicalizing function "
-                    f"`{self._enclosing_name(ctx, source)}()`",
-                )
-
-    @staticmethod
-    def _enclosing_name(ctx: ModuleContext, node: ast.AST) -> str:
-        for anc in ctx.ancestors(node):
-            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                return anc.name
-        return "<module>"
+                yield from emit(source, how)

@@ -4,8 +4,10 @@ The lifecycle contract behind snapshot/restore byte-identity: any
 attribute a component initializes and then mutates during play is
 mid-game state, and ``reset()`` / ``import_state()`` must put it back.
 The rule diffs attribute sets: it collects ``self.X`` assignments in
-``__init__``, follows ``self.m()`` calls transitively from ``reset``
-and ``import_state`` to build the *restored* set, and flags
+``__init__``, resolves the *restored* set through the module dataflow
+layer (``self.m()`` calls transitively from ``reset`` and
+``import_state``, plus module-level helpers that receive ``self`` —
+``_shared_reset(self)`` counts), and flags
 
 * **(A)** init-assigned attributes also mutated in play methods but
   absent from the restored set — a fresh game would inherit stale
@@ -24,15 +26,15 @@ defines ``__init__``.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, Iterator
 
+from ..dataflow import ModuleDataflow
 from ..diagnostics import Diagnostic
 from ..engine import ModuleContext, Rule
 from .common import (
     class_methods,
     component_classes,
     self_attribute_assigns,
-    self_method_calls,
     terminal_name,
 )
 
@@ -56,55 +58,6 @@ def _constructs_rng(node: ast.stmt) -> bool:
     return False
 
 
-class _ClassView:
-    """Method lookup across a class and its module-local base chain."""
-
-    def __init__(self, ctx: ModuleContext, cls: ast.ClassDef):
-        by_name = {
-            node.name: node
-            for node in ast.walk(ctx.tree)
-            if isinstance(node, ast.ClassDef)
-        }
-        self.methods: Dict[str, ast.FunctionDef] = {}
-        seen: Set[str] = set()
-        queue: List[ast.ClassDef] = [cls]
-        while queue:  # linearize: own defs win over base defs
-            current = queue.pop(0)
-            if current.name in seen:
-                continue
-            seen.add(current.name)
-            for name, fn in class_methods(current).items():
-                self.methods.setdefault(name, fn)
-            for base in current.bases:
-                base_name = terminal_name(base)
-                if base_name in by_name:
-                    queue.append(by_name[base_name])
-
-    def reachable(self, roots: Set[str]) -> Set[str]:
-        """Methods reachable from ``roots`` through ``self.m()`` calls."""
-        visited: Set[str] = set()
-        queue = [name for name in roots if name in self.methods]
-        while queue:
-            name = queue.pop()
-            if name in visited:
-                continue
-            visited.add(name)
-            queue.extend(
-                callee
-                for callee in self_method_calls(self.methods[name])
-                if callee in self.methods and callee not in visited
-            )
-        return visited
-
-    def restored_attrs(self) -> Set[str]:
-        """Attributes assigned by reset/import_state or their callees."""
-        self.reset_reachable = self.reachable({"reset", "import_state"})
-        restored: Set[str] = set()
-        for name in self.reset_reachable:
-            restored.update(self_attribute_assigns(self.methods[name]))
-        return restored
-
-
 class UnrestoredInitStateRule(Rule):
     rule_id = "REP005"
     title = "__init__-assigned RNG/counter state not restored in reset()"
@@ -114,27 +67,29 @@ class UnrestoredInitStateRule(Rule):
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        df = ModuleDataflow.of(ctx)
         for cls in component_classes(ctx):
             own = class_methods(cls)
             init_fn = own.get("__init__")
             if init_fn is None:
                 continue  # analyzed at the class that defines __init__
-            view = _ClassView(ctx, cls)
-            restored = view.restored_attrs()
+            view = df.class_view(cls.name)
+            reset_reachable = view.reachable({"reset", "import_state"})
+            restored = view.attrs_assigned({"reset", "import_state"})
             init_assigns = self_attribute_assigns(init_fn)
             # Calibration helpers (reachable from fit/fit_reference) are
             # pre-game setup just like their roots, not play mutation.
             calibration = view.reachable({"fit", "fit_reference"})
 
             play_mutations: Dict[str, str] = {}
-            for name, fn in view.methods.items():
-                if name in _NON_PLAY or name in view.reset_reachable:
+            for name in view.methods:
+                if name in _NON_PLAY or name in reset_reachable:
                     continue
                 if name in calibration:
                     continue
                 if name.startswith("__") and name.endswith("__"):
                     continue
-                for attr in self_attribute_assigns(fn):
+                for attr in sorted(view.method_writes(name)):
                     play_mutations.setdefault(attr, name)
 
             for attr, stmts in sorted(init_assigns.items()):

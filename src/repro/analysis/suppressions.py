@@ -16,11 +16,16 @@ the linter only mechanizes the *finding*, not the justification).
 
 from __future__ import annotations
 
+import ast
 import re
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Sequence
 
-__all__ = ["Suppressions", "parse_suppressions"]
+__all__ = [
+    "Suppressions",
+    "parse_suppressions",
+    "propagate_def_suppressions",
+]
 
 _NOQA = re.compile(
     r"#\s*repro:\s*noqa(?P<file>-file)?\s*(?:\[(?P<rules>[A-Z0-9_,\s]+)\])?",
@@ -75,3 +80,35 @@ def parse_suppressions(lines: Sequence[str]) -> Suppressions:
         else:
             line_rules[lineno] = line_rules.get(lineno, frozenset()) | rules
     return Suppressions(line_rules=line_rules, file_rules=file_rules)
+
+
+def propagate_def_suppressions(
+    suppressions: Suppressions, tree: ast.AST
+) -> None:
+    """Extend ``def``-line suppressions over the decorator lines.
+
+    A finding on a decorated function may anchor to a decorator line
+    (e.g. a mutable default inside ``@functools.lru_cache`` plumbing),
+    while the human writes the ``# repro: noqa[...]`` on the ``def``
+    line — the natural place.  For every decorated ``def``/``class``
+    whose definition line carries a suppression, copy it onto each
+    decorator line so the anchor choice cannot defeat the suppression.
+    Mutates ``suppressions.line_rules`` in place.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        if not node.decorator_list:
+            continue
+        rules = suppressions.line_rules.get(node.lineno)
+        if not rules:
+            continue
+        for decorator in node.decorator_list:
+            start = decorator.lineno
+            end = getattr(decorator, "end_lineno", None) or decorator.lineno
+            for lineno in range(start, end + 1):
+                suppressions.line_rules[lineno] = (
+                    suppressions.line_rules.get(lineno, frozenset()) | rules
+                )

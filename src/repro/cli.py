@@ -76,8 +76,10 @@ def _parse_csv(text: str) -> List[str]:
 def _parse_floats(text: str) -> List[float]:
     try:
         return [float(item) for item in _parse_csv(text)]
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"not a float list: {text!r}")
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"not a float list: {text!r}"
+        ) from exc
 
 
 def _parse_rep_batch(text: str):
@@ -87,10 +89,10 @@ def _parse_rep_batch(text: str):
         return lowered
     try:
         width = int(lowered)
-    except ValueError:
+    except ValueError as exc:
         raise argparse.ArgumentTypeError(
             f"expected 'auto', 'off' or an integer, got {text!r}"
-        )
+        ) from exc
     if width < 1:
         raise argparse.ArgumentTypeError("rep-batch width must be >= 1")
     return width

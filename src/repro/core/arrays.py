@@ -1,0 +1,25 @@
+"""Array type aliases shared by the strictly-typed numeric core.
+
+``Array`` is deliberately dtype-agnostic: the numeric core mixes float
+payload columns, bool accept masks and ``intp`` index vectors through
+the same lane plumbing, and the byte-identity tests pin exact dtypes at
+runtime — the static layer only asserts "this is an ndarray, with its
+generic parameters spelled out" so the strict gate's
+``disallow_any_generics`` holds without fighting NumPy's shape/dtype
+generics at every call site.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy.typing as npt
+
+__all__ = ["Array", "ArrayLike"]
+
+Array = npt.NDArray[Any]
+
+#: Anything ``np.asarray`` coerces — lists, scalars, ndarrays.  Used on
+#: ingestion signatures that normalize immediately; internal plumbing
+#: that already holds ndarrays uses :data:`Array`.
+ArrayLike = npt.ArrayLike

@@ -15,6 +15,8 @@ from typing import Union
 
 import numpy as np
 
+from .arrays import Array, ArrayLike
+
 __all__ = [
     "Domain",
     "QuantileTable",
@@ -55,21 +57,21 @@ class Domain:
         """Midpoint of the domain."""
         return 0.5 * (self.low + self.high)
 
-    def contains(self, values) -> np.ndarray:
+    def contains(self, values: ArrayLike) -> Array:
         """Elementwise membership test, inclusive of the endpoints."""
         arr = np.asarray(values, dtype=float)
         return (arr >= self.low) & (arr <= self.high)
 
-    def clip(self, values) -> np.ndarray:
+    def clip(self, values: ArrayLike) -> Array:
         """Clip ``values`` into the domain."""
         return np.clip(np.asarray(values, dtype=float), self.low, self.high)
 
-    def normalize(self, values) -> np.ndarray:
+    def normalize(self, values: ArrayLike) -> Array:
         """Affinely map ``values`` from this domain onto ``[-1, 1]``."""
         arr = np.asarray(values, dtype=float)
         return 2.0 * (arr - self.low) / self.width - 1.0
 
-    def denormalize(self, values) -> np.ndarray:
+    def denormalize(self, values: ArrayLike) -> Array:
         """Inverse of :meth:`normalize`."""
         arr = np.asarray(values, dtype=float)
         return (arr + 1.0) * 0.5 * self.width + self.low
@@ -100,7 +102,7 @@ class QuantileTable:
       :func:`percentile_of` convention (fraction *strictly* below).
     """
 
-    def __init__(self, values) -> None:
+    def __init__(self, values: ArrayLike) -> None:
         arr = np.asarray(values, dtype=float).ravel()
         if arr.size == 0:
             raise ValueError("cannot build a quantile table from empty data")
@@ -114,11 +116,11 @@ class QuantileTable:
         return self._n
 
     @property
-    def values(self) -> np.ndarray:
+    def values(self) -> Array:
         """The sorted sample (read-only view)."""
         return self._sorted
 
-    def quantile(self, q) -> Union[float, np.ndarray]:
+    def quantile(self, q: ArrayLike) -> Union[float, Array]:
         """Interpolated quantile(s) at fraction(s) ``q`` in [0, 1].
 
         Scalar ``q`` yields a float, array ``q`` an ndarray.  Replicates
@@ -145,7 +147,7 @@ class QuantileTable:
             return float(out)
         return out
 
-    def cdf(self, x) -> Union[float, np.ndarray]:
+    def cdf(self, x: ArrayLike) -> Union[float, Array]:
         """Fraction of the sample strictly below ``x`` (left-continuous).
 
         Matches :func:`percentile_of` on the same sample; scalar ``x``
@@ -158,7 +160,7 @@ class QuantileTable:
             return float(out)
         return out
 
-    def tail_mass(self, x) -> Union[float, np.ndarray]:
+    def tail_mass(self, x: ArrayLike) -> Union[float, Array]:
         """Fraction of the sample strictly above ``x``."""
         x_arr = np.asarray(x, dtype=float)
         counts = np.searchsorted(self._sorted, x_arr, side="right")
@@ -168,7 +170,7 @@ class QuantileTable:
         return out
 
 
-def empirical_quantile(values, q) -> Union[float, np.ndarray]:
+def empirical_quantile(values: ArrayLike, q: ArrayLike) -> Union[float, Array]:
     """Empirical quantile(s) of ``values`` at fraction(s) ``q`` in [0, 1].
 
     Thin wrapper over :func:`numpy.quantile` with linear interpolation,
@@ -190,7 +192,7 @@ def empirical_quantile(values, q) -> Union[float, np.ndarray]:
     return result
 
 
-def percentile_of(values, x) -> float:
+def percentile_of(values: ArrayLike, x: float) -> float:
     """Fraction of ``values`` that are strictly below ``x``.
 
     This is the (left-continuous) empirical CDF and acts as the inverse of
@@ -209,7 +211,7 @@ def clip_percentile(q: float) -> float:
     return float(min(1.0, max(0.0, q)))
 
 
-def percentile_grid(low: float, high: float, n: int) -> np.ndarray:
+def percentile_grid(low: float, high: float, n: int) -> Array:
     """An inclusive, evenly spaced grid of ``n`` percentile coordinates.
 
     Used to discretize the strategy space ``[x_L, x_R]`` when solving the

@@ -18,9 +18,15 @@ poison) that strategies never see but experiments report on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from .arrays import Array, ArrayLike
+
+if TYPE_CHECKING:
+    from .payoffs import PayoffModel
+    from .session import BatchedGameSession, GameSession
 
 from ..streams.board import PublicBoard, StackedBoard
 from ..streams.injection import BatchedInjector, PoisonInjector
@@ -62,7 +68,7 @@ class BandExcessJudge:
 
     def __init__(
         self,
-        band: tuple = (0.85, 0.95),
+        band: Tuple[float, float] = (0.85, 0.95),
         margin: float = 0.04,
         noise_sigma: float = 0.02,
         seed: Optional[int] = None,
@@ -77,22 +83,22 @@ class BandExcessJudge:
         self.noise_sigma = float(noise_sigma)
         self._seed = seed
         self._rng = np.random.default_rng(seed)
-        self._band_values: Optional[tuple] = None
+        self._band_values: Optional[Tuple[float, float]] = None
         self._clean_mass = hi - lo
 
     def reset(self) -> None:
         """Rewind the noise stream so a reused judge replays identically."""
         self._rng = np.random.default_rng(self._seed)
 
-    def export_state(self) -> dict:
+    def export_state(self) -> dict[str, Any]:
         """The noise Generator's bit-state (session snapshot contract)."""
         return {"rng": rng_state(self._rng)}
 
-    def import_state(self, state: dict) -> None:
+    def import_state(self, state: dict[str, Any]) -> None:
         """Restore the noise stream captured by :meth:`export_state`."""
         set_rng_state(self._rng, state["rng"])
 
-    def fit(self, reference_scores) -> "BandExcessJudge":
+    def fit(self, reference_scores: Any) -> "BandExcessJudge":
         """Calibrate the band value cutoffs on clean reference scores.
 
         Accepts either the raw scores or an already-built
@@ -111,7 +117,7 @@ class BandExcessJudge:
         self._band_values = (float(lo_v), float(hi_v))
         return self
 
-    def judge(self, retained_scores: np.ndarray) -> bool:
+    def judge(self, retained_scores: Array) -> bool:
         """True when the retained band mass exceeds clean mass + margin."""
         if self._band_values is None:
             raise RuntimeError("judge must be fit on reference scores first")
@@ -125,7 +131,9 @@ class BandExcessJudge:
             excess += float(self._rng.normal(0.0, self.noise_sigma))
         return excess > self.margin
 
-    def judge_round(self, injection_percentile, retained_scores) -> bool:
+    def judge_round(
+        self, injection_percentile: Optional[float], retained_scores: Array
+    ) -> bool:
         """Engine entry point; the band judge only inspects the scores."""
         return self.judge(retained_scores)
 
@@ -167,19 +175,21 @@ class NoisyPositionJudge:
         """Rewind the noise stream so a reused judge replays identically."""
         self._rng = np.random.default_rng(self._seed)
 
-    def export_state(self) -> dict:
+    def export_state(self) -> dict[str, Any]:
         """The noise Generator's bit-state (session snapshot contract)."""
         return {"rng": rng_state(self._rng)}
 
-    def import_state(self, state: dict) -> None:
+    def import_state(self, state: dict[str, Any]) -> None:
         """Restore the noise stream captured by :meth:`export_state`."""
         set_rng_state(self._rng, state["rng"])
 
-    def fit(self, reference_scores) -> "NoisyPositionJudge":
+    def fit(self, reference_scores: Any) -> "NoisyPositionJudge":
         """Stateless; present for engine-interface uniformity."""
         return self
 
-    def judge_round(self, injection_percentile, retained_scores) -> bool:
+    def judge_round(
+        self, injection_percentile: Optional[float], retained_scores: Array
+    ) -> bool:
         """Noisy verdict on whether the round's injection was a betrayal."""
         if injection_percentile is None:
             truly_betrayed = False
@@ -204,7 +214,7 @@ class GameResult:
         """Number of completed rounds."""
         return len(self.board)
 
-    def retained_data(self) -> np.ndarray:
+    def retained_data(self) -> Array:
         """All data surviving trimming, across every round."""
         return self.board.retained_data()
 
@@ -216,7 +226,7 @@ class GameResult:
         """Fraction of all collected points that were trimmed."""
         return self.board.trimmed_fraction()
 
-    def threshold_path(self) -> np.ndarray:
+    def threshold_path(self) -> Array:
         """Per-round trimming percentiles the collector played.
 
         Served straight from the board's append-only column arrays —
@@ -225,14 +235,14 @@ class GameResult:
         """
         return self.board.columns.trim_percentile
 
-    def injection_path(self) -> np.ndarray:
+    def injection_path(self) -> Array:
         """Per-round injection percentiles (NaN where no injection).
 
         Column-backed and read-only, like :meth:`threshold_path`.
         """
         return self.board.columns.injection_percentile
 
-    def to_records(self) -> list:
+    def to_records(self) -> List[Dict[str, Any]]:
         """Per-round summary dicts for external analysis/plotting.
 
         One dict per round with the public observation fields plus the
@@ -312,13 +322,13 @@ class CollectionGame:
         adversary: AdversaryStrategy,
         injector: PoisonInjector,
         trimmer: Trimmer,
-        reference,
+        reference: ArrayLike,
         quality_evaluator: Optional[QualityEvaluator] = None,
         judge: Optional[BandExcessJudge] = None,
         rounds: int = 20,
         anchor: str = "reference",
         store_retained: bool = True,
-    ):
+    ) -> None:
         if rounds < 1:
             raise ValueError("rounds must be >= 1")
         if anchor not in ("reference", "batch"):
@@ -367,10 +377,10 @@ class CollectionGame:
     # ------------------------------------------------------------------ #
     def session(
         self,
-        horizon="rounds",
-        payoff_model=None,
+        horizon: Union[int, str, None] = "rounds",
+        payoff_model: "Optional[PayoffModel]" = None,
         attach_source: bool = False,
-    ):
+    ) -> "GameSession":
         """Open a push-driven :class:`~repro.core.session.GameSession`.
 
         Hands the engine's calibrated components to a session whose
@@ -441,7 +451,7 @@ class _SourceLanes:
         for source in self.sources:
             source.reset()
 
-    def next_batches(self) -> np.ndarray:
+    def next_batches(self) -> Array:
         return np.stack([source.next_batch() for source in self.sources])
 
 
@@ -459,7 +469,9 @@ class _QualityLanes:
     informs the per-lane score-sharing probe.
     """
 
-    def __init__(self, evaluators: Sequence[QualityEvaluator], trimmer):
+    def __init__(
+        self, evaluators: Sequence[QualityEvaluator], trimmer: Any
+    ) -> None:
         self.evaluators = list(evaluators)
         lead = self.evaluators[0]
         kinds = self._score_kinds(trimmer, len(self.evaluators))
@@ -474,7 +486,7 @@ class _QualityLanes:
         else:
             self.share_flags = [
                 evaluator.accepts_scores(kind)
-                for evaluator, kind in zip(self.evaluators, kinds)
+                for evaluator, kind in zip(self.evaluators, kinds, strict=False)
             ]
         # The vector program needs one shared score-reuse decision; a
         # mixed-flag cohort (possible only with per-lane trimmer kinds)
@@ -482,10 +494,10 @@ class _QualityLanes:
         self.vectorized = all(
             type(ev) is TailMassEvaluator for ev in self.evaluators
         ) and len(set(self.share_flags)) == 1
-        self._columns: Optional[tuple] = None
+        self._columns: Optional[Tuple[Array, ...]] = None
 
     @staticmethod
-    def _score_kinds(trimmer, n_lanes: int) -> list:
+    def _score_kinds(trimmer: Any, n_lanes: int) -> List[Optional[str]]:
         per_lane = getattr(trimmer, "trimmers", None)  # TrimLanes
         if per_lane is None and isinstance(trimmer, (list, tuple)):
             per_lane = trimmer
@@ -493,7 +505,7 @@ class _QualityLanes:
             return [getattr(trimmer, "score_kind", None)] * n_lanes
         return [getattr(t, "score_kind", None) for t in per_lane]
 
-    def fit(self, reference) -> "_QualityLanes":
+    def fit(self, reference: ArrayLike) -> "_QualityLanes":
         """Calibrate every rep's evaluator on the clean reference.
 
         Fitting is deterministic, so identical TailMass lanes fit the
@@ -515,7 +527,12 @@ class _QualityLanes:
         self._columns = None
         return self
 
-    def evaluate_many(self, stacks, scores, idx=None):
+    def evaluate_many(
+        self,
+        stacks: Array,
+        scores: Optional[Array],
+        idx: Optional[Array] = None,
+    ) -> Tuple[Array, Array]:
         """(observed_ratio, quality) ``(L,)`` pairs for one round stack.
 
         ``scores`` is the trimmer's ``(L, n)`` batch-score stack (or
@@ -584,7 +601,7 @@ class _JudgeLanes:
     as the solo path; anything else loops ``judge_round`` per rep.
     """
 
-    def __init__(self, judges: Sequence):
+    def __init__(self, judges: Sequence[Any]):
         self.judges = list(judges)
         lead = self.judges[0]
         cls = type(lead)
@@ -596,7 +613,7 @@ class _JudgeLanes:
                 self.mode = "band"
             elif cls is NoisyPositionJudge:
                 self.mode = "position"
-        self._band_columns: Optional[tuple] = None
+        self._band_columns: Optional[Tuple[Array, ...]] = None
         if self.mode == "position":
             self._boundary = np.array(
                 [float(judge.boundary) for judge in self.judges]
@@ -617,11 +634,11 @@ class _JudgeLanes:
 
     def judge_round_many(
         self,
-        injections: np.ndarray,
-        scores: np.ndarray,
-        kept: np.ndarray,
-        idx=None,
-    ) -> np.ndarray:
+        injections: Array,
+        scores: Array,
+        kept: Array,
+        idx: Optional[Array] = None,
+    ) -> Array:
         """(L,) betrayal verdicts for one lockstep round (or segment).
 
         ``idx`` maps stack rows onto lane indices for segmented rounds;
@@ -642,8 +659,8 @@ class _JudgeLanes:
         return verdicts
 
     def _band_many(
-        self, scores: np.ndarray, kept: np.ndarray, idx=None
-    ) -> np.ndarray:
+        self, scores: Array, kept: Array, idx: Optional[Array] = None
+    ) -> Array:
         if self._band_columns is None:
             for judge in self.judges:
                 if judge._band_values is None:
@@ -682,7 +699,9 @@ class _JudgeLanes:
             excess = excess + noise
         return (excess > margin) & (n_kept > 0)
 
-    def _position_many(self, injections: np.ndarray, idx=None) -> np.ndarray:
+    def _position_many(
+        self, injections: Array, idx: Optional[Array] = None
+    ) -> Array:
         lanes = np.arange(len(self.judges)) if idx is None else np.asarray(idx)
         boundary = self._boundary[lanes]
         miss = self._miss[lanes]
@@ -732,11 +751,11 @@ class BatchedGameResult:
         """All per-rep results, in repetition order."""
         return [self.result(rep) for rep in range(self.n_reps)]
 
-    def poison_retained_fractions(self) -> np.ndarray:
+    def poison_retained_fractions(self) -> Array:
         """(R,) per-rep poison fractions (Table III metric)."""
         return self.board.poison_retained_fractions()
 
-    def trimmed_fractions(self) -> np.ndarray:
+    def trimmed_fractions(self) -> Array:
         """(R,) per-rep overall trimmed fractions."""
         return self.board.trimmed_fractions()
 
@@ -789,18 +808,18 @@ class BatchedCollectionGame:
 
     def __init__(
         self,
-        source,
+        source: Any,
         collectors: Sequence[CollectorStrategy],
         adversaries: Sequence[AdversaryStrategy],
         injectors: Sequence[PoisonInjector],
         trimmer: Trimmer,
-        reference,
+        reference: ArrayLike,
         quality_evaluators: Optional[Sequence[QualityEvaluator]] = None,
-        judges: Optional[Sequence] = None,
+        judges: Optional[Sequence[Any]] = None,
         rounds: int = 20,
         anchor: str = "reference",
         store_retained: bool = True,
-    ):
+    ) -> None:
         if rounds < 1:
             raise ValueError("rounds must be >= 1")
         if anchor not in ("reference", "batch"):
@@ -890,7 +909,9 @@ class BatchedCollectionGame:
         self._judges = _JudgeLanes(judges)
 
     # ------------------------------------------------------------------ #
-    def session(self, horizon="rounds"):
+    def session(
+        self, horizon: Union[int, str, None] = "rounds"
+    ) -> "BatchedGameSession":
         """Open a :class:`~repro.core.session.BatchedGameSession`.
 
         The rep-lane counterpart of :meth:`CollectionGame.session`:

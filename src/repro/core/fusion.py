@@ -34,11 +34,12 @@ fused lane's outputs equal, bit for bit, what its solo
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..streams.injection import LanePositionServer
+from .arrays import Array
 from .domain import QuantileTable, empirical_quantile
 from .strategies.base import RoundObservationBatch
 from .strategies.batched import (
@@ -64,7 +65,11 @@ __all__ = [
 # --------------------------------------------------------------------- #
 # fusion planner: group lanes by family, build one program per group
 # --------------------------------------------------------------------- #
-def _plan_parts(instances, registry, fallback_cls):
+def _plan_parts(
+    instances: Sequence[Any],
+    registry: dict[type, type],
+    fallback_cls: type,
+) -> List[Tuple[Array, Any]]:
     """Partition instances into (lane_indices, lanes) family parts.
 
     Instances group by ``(registered lane class, group_key(inst))`` —
@@ -72,8 +77,8 @@ def _plan_parts(instances, registry, fallback_cls):
     first appearance, and each part's index array restores the original
     lane order on scatter/gather.
     """
-    order: list = []
-    members: dict = {}
+    order: List[Tuple[Any, Any]] = []
+    members: dict[Tuple[Any, Any], Tuple[List[int], List[Any]]] = {}
     for i, inst in enumerate(instances):
         lanes_cls = registry.get(type(inst))
         if lanes_cls is None:
@@ -104,25 +109,25 @@ class _FusedLanes:
     fusion_family = "fused"
     fusion_params = ()
 
-    def _init_parts(self, parts) -> None:
+    def _init_parts(self, parts: List[Tuple[Array, Any]]) -> None:
         self._parts = parts
         self.vectorized = all(lanes.vectorized for _, lanes in parts)
 
     @property
-    def parts(self):
+    def parts(self) -> List[Tuple[Array, Any]]:
         """The (lane_indices, family_lanes) partition, in build order."""
         return list(self._parts)
 
-    def _gather(self, produce) -> np.ndarray:
+    def _gather(self, produce: Callable[[Array, Any], Any]) -> Array:
         out = np.empty(self.n_reps)
         for idx, lanes in self._parts:
             out[idx] = produce(idx, lanes)
         return out
 
-    def first_many(self) -> np.ndarray:
+    def first_many(self) -> Array:
         return self._gather(lambda idx, lanes: lanes.first_many())
 
-    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+    def react_many(self, last: RoundObservationBatch) -> Array:
         return self._gather(
             lambda idx, lanes: lanes.react_many(last.take(idx))
         )
@@ -145,7 +150,9 @@ class FusedCollectorLanes(_FusedLanes, CollectorLanes):
     (and hence its solo game) computes.
     """
 
-    def __init__(self, instances, parts):
+    def __init__(
+        self, instances: Sequence[Any], parts: List[Tuple[Array, Any]]
+    ) -> None:
         CollectorLanes.__init__(self, instances)
         self._init_parts(parts)
 
@@ -161,12 +168,14 @@ class FusedCollectorLanes(_FusedLanes, CollectorLanes):
 class FusedAdversaryLanes(_FusedLanes, AdversaryLanes):
     """Composite adversary: one vector program per strategy family."""
 
-    def __init__(self, instances, parts):
+    def __init__(
+        self, instances: Sequence[Any], parts: List[Tuple[Array, Any]]
+    ) -> None:
         AdversaryLanes.__init__(self, instances)
         self._init_parts(parts)
 
 
-def fused_collector_lanes(instances) -> CollectorLanes:
+def fused_collector_lanes(instances: Sequence[Any]) -> CollectorLanes:
     """Family-fused lanes for L heterogeneous collector instances.
 
     A single-family cohort returns the family's own lane program (no
@@ -182,7 +191,7 @@ def fused_collector_lanes(instances) -> CollectorLanes:
     return FusedCollectorLanes(instances, parts)
 
 
-def fused_adversary_lanes(instances) -> AdversaryLanes:
+def fused_adversary_lanes(instances: Sequence[Any]) -> AdversaryLanes:
     """Family-fused lanes for L heterogeneous adversary instances."""
     instances = list(instances)
     if not instances:
@@ -230,12 +239,12 @@ class TrimLanes:
         # vectorized QuantileTable.quantile call (group id -1 marks
         # batch-anchored lanes, whose cutoff depends on the round's own
         # scores).
-        self._cutoff_groups: Optional[tuple] = None
+        self._cutoff_groups: Optional[Tuple[Array, List[QuantileTable]]] = None
         # Pack radial centers into a column when every lane has a fitted
         # scalar (1-D) or same-dimension center; otherwise the score
         # sweep falls back to a per-lane loop for the odd lanes.
-        self._centers_1d: Optional[np.ndarray] = None
-        self._centers_nd: Optional[np.ndarray] = None
+        self._centers_1d: Optional[Array] = None
+        self._centers_nd: Optional[Array] = None
         if self.mode == "stacked" and type(lead) is RadialTrimmer:
             centers = [t._center for t in self.trimmers]
             if all(c is not None and np.size(c) == 1 for c in centers):
@@ -262,11 +271,11 @@ class TrimLanes:
         """The first lane's trimmer."""
         return self.trimmers[0]
 
-    def _ensure_cutoff_groups(self) -> tuple:
+    def _ensure_cutoff_groups(self) -> Tuple[Array, List[QuantileTable]]:
         """(lane -> group id, group tables); -1 = batch-anchored lane."""
         if self._cutoff_groups is None:
             gid = np.full(self.n_reps, -1, dtype=np.intp)
-            tables: list = []
+            tables: List[QuantileTable] = []
             for r, trimmer in enumerate(self.trimmers):
                 if not trimmer.is_reference_anchored:
                     continue
@@ -283,7 +292,7 @@ class TrimLanes:
             self._cutoff_groups = (gid, tables)
         return self._cutoff_groups
 
-    def scores_stack(self, stack: np.ndarray, lanes: np.ndarray) -> np.ndarray:
+    def scores_stack(self, stack: Array, lanes: Array) -> Array:
         """(rows, n) per-point scores; row ``j`` scored by lane ``lanes[j]``."""
         if self.mode == "shared":
             return self.lead.scores_many(stack)
@@ -310,9 +319,9 @@ class TrimLanes:
 
     def trim_stack(
         self,
-        stack: np.ndarray,
-        percentiles: np.ndarray,
-        lanes: Optional[np.ndarray] = None,
+        stack: Array,
+        percentiles: Array,
+        lanes: Optional[Array] = None,
     ) -> BatchTrimReport:
         """One compiled trimming pass; row ``j`` is lane ``lanes[j]``.
 
@@ -372,7 +381,7 @@ class TrimLanes:
 # --------------------------------------------------------------------- #
 # compiled poison program
 # --------------------------------------------------------------------- #
-def _refs_equal(a: Optional[np.ndarray], b: Optional[np.ndarray]) -> bool:
+def _refs_equal(a: Optional[Array], b: Optional[Array]) -> bool:
     if a is None or b is None:
         return a is b
     return a is b or (a.shape == b.shape and np.array_equal(a, b))
@@ -390,15 +399,15 @@ class InjectorLanes:
     positions still come from its own Generator.
     """
 
-    def __init__(self, injectors):
+    def __init__(self, injectors: Sequence[Any]) -> None:
         self.injectors = list(injectors)
         if not self.injectors:
             raise ValueError("need at least one injector")
         self._ratios = np.array(
             [float(inj.attack_ratio) for inj in self.injectors]
         )
-        self._groups_1d: Optional[tuple] = None
-        self._groups_2d: Optional[tuple] = None
+        self._groups_1d: Optional[Tuple[Array, List[Any], List[Optional[QuantileTable]]]] = None
+        self._groups_2d: Optional[Tuple[Array, List[Any], List[Optional[QuantileTable]]]] = None
         self._position_server: Optional[LanePositionServer] = None
 
     @property
@@ -407,11 +416,11 @@ class InjectorLanes:
         return len(self.injectors)
 
     @property
-    def lead(self):
+    def lead(self) -> Any:
         """The first lane's injector."""
         return self.injectors[0]
 
-    def poison_counts(self, n_benign: int) -> np.ndarray:
+    def poison_counts(self, n_benign: int) -> Array:
         """(L,) per-lane poison counts for ``n_benign`` benign rows.
 
         ``np.rint`` rounds half to even — the same rule as the scalar
@@ -429,10 +438,10 @@ class InjectorLanes:
         if self._position_server is not None:
             self._position_server.sync()
 
-    def _group(self, match) -> tuple:
+    def _group(self, match: Callable[[Any, Any], bool]) -> Tuple[Array, List[Any]]:
         """(lane -> group id, group lead injectors) under ``match``."""
         gid = np.empty(self.n_reps, dtype=np.intp)
-        leads: list = []
+        leads: List[Any] = []
         for r, injector in enumerate(self.injectors):
             for g, lead in enumerate(leads):
                 if match(injector, lead):
@@ -443,7 +452,7 @@ class InjectorLanes:
                 leads.append(injector)
         return gid, leads
 
-    def _ensure_groups_1d(self) -> tuple:
+    def _ensure_groups_1d(self) -> Tuple[Array, List[Any], List[Optional[QuantileTable]]]:
         if self._groups_1d is None:
             gid, leads = self._group(
                 lambda a, b: _refs_equal(a._ref_values, b._ref_values)
@@ -460,7 +469,7 @@ class InjectorLanes:
             self._groups_1d = (gid, leads, tables)
         return self._groups_1d
 
-    def _ensure_groups_2d(self) -> tuple:
+    def _ensure_groups_2d(self) -> Tuple[Array, List[Any], List[Optional[QuantileTable]]]:
         if self._groups_2d is None:
             gid, leads = self._group(
                 lambda a, b: a.mode == b.mode
@@ -479,10 +488,10 @@ class InjectorLanes:
 
     def materialize_many(
         self,
-        benign: np.ndarray,
-        percentiles: np.ndarray,
-        idx: Optional[np.ndarray] = None,
-    ) -> np.ndarray:
+        benign: Array,
+        percentiles: Array,
+        idx: Optional[Array] = None,
+    ) -> Array:
         """Poison stacks for one count-uniform lane segment.
 
         ``benign`` is ``(rows, b[, d])`` with row ``j`` belonging to

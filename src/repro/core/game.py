@@ -15,10 +15,12 @@ Implements the game-theoretic toolkit of Section III:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
+
+from .arrays import Array
 
 __all__ = [
     "BimatrixGame",
@@ -45,8 +47,8 @@ class BimatrixGame:
     collector.
     """
 
-    row_payoffs: np.ndarray
-    col_payoffs: np.ndarray
+    row_payoffs: Array
+    col_payoffs: Array
     row_labels: Sequence[str] = ()
     col_labels: Sequence[str] = ()
 
@@ -74,12 +76,12 @@ class BimatrixGame:
     # ------------------------------------------------------------------ #
     # best responses and equilibria
     # ------------------------------------------------------------------ #
-    def row_best_responses(self, col_action: int) -> np.ndarray:
+    def row_best_responses(self, col_action: int) -> Array:
         """Indices of row actions maximizing row payoff against a column."""
         column = self.row_payoffs[:, col_action]
         return np.flatnonzero(np.isclose(column, column.max()))
 
-    def col_best_responses(self, row_action: int) -> np.ndarray:
+    def col_best_responses(self, row_action: int) -> Array:
         """Indices of column actions maximizing column payoff against a row."""
         row = self.col_payoffs[row_action, :]
         return np.flatnonzero(np.isclose(row, row.max()))
@@ -117,7 +119,7 @@ class BimatrixGame:
         return dominated
 
 
-def solve_zero_sum(row_payoffs) -> Tuple[np.ndarray, np.ndarray, float]:
+def solve_zero_sum(row_payoffs: Any) -> Tuple[Array, Array, float]:
     """Solve a zero-sum matrix game exactly via the minimax LP.
 
     ``row_payoffs[i, j]`` is the payoff to the (maximizing) row player.
@@ -189,7 +191,9 @@ class UltimatumPayoffs:
             )
 
 
-def build_ultimatum_game(payoffs: UltimatumPayoffs = UltimatumPayoffs()) -> BimatrixGame:
+def build_ultimatum_game(
+    payoffs: Optional[UltimatumPayoffs] = None,
+) -> BimatrixGame:
     """Construct the single-round ultimatum game of Table I.
 
     Rows: adversary {Soft, Hard}; columns: collector {Soft, Hard}.
@@ -205,6 +209,8 @@ def build_ultimatum_game(payoffs: UltimatumPayoffs = UltimatumPayoffs()) -> Bima
     dilemma: mutual Soft play is Pareto-superior yet not stable in the
     one-shot game, which motivates the infinite repeated game of §IV.
     """
+    if payoffs is None:
+        payoffs = UltimatumPayoffs()
     p_hi, t_hi = payoffs.p_high, payoffs.t_high
     p_lo, t_lo = payoffs.p_low, payoffs.t_low
 

@@ -21,7 +21,7 @@ This module makes both halves of the argument computational:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Any, List, Tuple
 
 import numpy as np
 
@@ -110,7 +110,7 @@ class InfiniteHorizonAnalysis:
             raise ValueError("discount must lie in [0, 1)")
         return self.temptation + discount * self.punishment / (1.0 - discount)
 
-    def horizon_comparison(self, discount: float, rounds: int) -> dict:
+    def horizon_comparison(self, discount: float, rounds: int) -> dict[str, Any]:
         """Summary dict contrasting the two horizons at ``discount``.
 
         Used by the theory example and the ablation bench: the finite

@@ -32,6 +32,8 @@ from typing import Callable, Tuple
 import numpy as np
 from scipy.optimize import minimize
 
+from .arrays import Array, ArrayLike
+
 __all__ = [
     "FreeLagrangian",
     "ElasticLagrangian",
@@ -55,7 +57,7 @@ class _TwoBodyLagrangian:
         self.mass_adversary = float(mass_adversary)
         self.mass_collector = float(mass_collector)
 
-    def kinetic(self, du: np.ndarray) -> np.ndarray:
+    def kinetic(self, du: Array) -> Array:
         """Kinetic term ``m_a u̇_a²/2 + m_c u̇_c²/2`` (Theorem 2)."""
         du = np.atleast_2d(du)
         return 0.5 * (
@@ -63,11 +65,13 @@ class _TwoBodyLagrangian:
             + self.mass_collector * du[..., 1] ** 2
         )
 
-    def potential(self, u: np.ndarray) -> np.ndarray:
+    def potential(self, u: Array) -> Array:
         """Interaction term ``U(u_a, u_c)``; zero for the free system."""
         raise NotImplementedError
 
-    def __call__(self, u, du, r=0.0) -> np.ndarray:
+    def __call__(
+        self, u: ArrayLike, du: ArrayLike, r: float = 0.0
+    ) -> Array:
         """Evaluate ``L = kinetic - U`` at coordinates/velocities.
 
         ``u`` and ``du`` have shape ``(..., 2)`` with the adversary in
@@ -83,7 +87,7 @@ class _TwoBodyLagrangian:
             return float(value[0])
         return value
 
-    def energy(self, u, du) -> np.ndarray:
+    def energy(self, u: ArrayLike, du: ArrayLike) -> Array:
         """Conserved energy ``kinetic + U`` of the autonomous system."""
         u = np.asarray(u, dtype=float)
         du = np.asarray(du, dtype=float)
@@ -102,7 +106,7 @@ class FreeLagrangian(_TwoBodyLagrangian):
     have constant generalized velocities ``u̇ = const``.
     """
 
-    def potential(self, u: np.ndarray) -> np.ndarray:
+    def potential(self, u: Array) -> Array:
         u = np.atleast_2d(np.asarray(u, dtype=float))
         return np.zeros(u.shape[:-1])
 
@@ -127,11 +131,11 @@ class ElasticLagrangian(_TwoBodyLagrangian):
             raise ValueError("spring stiffness k must be positive")
         self.stiffness = float(stiffness)
 
-    def potential(self, u: np.ndarray) -> np.ndarray:
+    def potential(self, u: Array) -> Array:
         u = np.atleast_2d(np.asarray(u, dtype=float))
         return 0.5 * self.stiffness * (u[..., 0] - u[..., 1]) ** 2
 
-    def forces(self, u) -> np.ndarray:
+    def forces(self, u: ArrayLike) -> Array:
         """Restoring forces ``(-∂U/∂u_a, -∂U/∂u_c)`` pulling utilities together."""
         u = np.atleast_2d(np.asarray(u, dtype=float))
         rel = u[..., 0] - u[..., 1]
@@ -163,7 +167,7 @@ class TitForTatLagrangian(_TwoBodyLagrangian):
         self.tolerance = float(tolerance)
         self.wall = float(wall)
 
-    def potential(self, u: np.ndarray) -> np.ndarray:
+    def potential(self, u: Array) -> Array:
         u = np.atleast_2d(np.asarray(u, dtype=float))
         gap = np.abs(u[..., 0] - u[..., 1])
         return np.where(gap <= self.tolerance, 0.0, self.wall)
@@ -172,7 +176,7 @@ class TitForTatLagrangian(_TwoBodyLagrangian):
 # ---------------------------------------------------------------------- #
 # discretized variational calculus
 # ---------------------------------------------------------------------- #
-def action(lagrangian, path: np.ndarray, dr: float) -> float:
+def action(lagrangian: _TwoBodyLagrangian, path: ArrayLike, dr: float) -> float:
     """Discretized action ``S = ∫ L dr`` along a sampled path.
 
     ``path`` has shape ``(n, 2)``; velocities are midpoint finite
@@ -192,8 +196,11 @@ def action(lagrangian, path: np.ndarray, dr: float) -> float:
 
 
 def euler_lagrange_residual(
-    lagrangian, path: np.ndarray, dr: float, eps: float = 1e-6
-) -> np.ndarray:
+    lagrangian: _TwoBodyLagrangian,
+    path: ArrayLike,
+    dr: float,
+    eps: float = 1e-6,
+) -> Array:
     """Numerical Euler–Lagrange residual ``∂L/∂u - d/dr (∂L/∂u̇)``.
 
     Evaluated at the interior nodes of a sampled path with central
@@ -206,7 +213,7 @@ def euler_lagrange_residual(
     if n < 3:
         raise ValueError("need at least three nodes for interior residuals")
 
-    def dL_du(u, du):
+    def dL_du(u: Array, du: Array) -> Array:
         out = np.empty(2)
         for i in range(2):
             up, down = u.copy(), u.copy()
@@ -215,7 +222,7 @@ def euler_lagrange_residual(
             out[i] = (lagrangian(up, du) - lagrangian(down, du)) / (2 * eps)
         return out
 
-    def dL_ddu(u, du):
+    def dL_ddu(u: Array, du: Array) -> Array:
         out = np.empty(2)
         for i in range(2):
             up, down = du.copy(), du.copy()
@@ -240,12 +247,12 @@ def euler_lagrange_residual(
 
 
 def least_action_path(
-    lagrangian,
+    lagrangian: _TwoBodyLagrangian,
     start: Tuple[float, float],
     end: Tuple[float, float],
     nodes: int = 33,
     dr: float = 1.0,
-) -> np.ndarray:
+) -> Array:
     """Numerically minimize the discretized action between fixed endpoints.
 
     Interior nodes are free optimization variables; the initial guess is
@@ -266,7 +273,7 @@ def least_action_path(
 
     line = np.linspace(start_arr, end_arr, nodes)
 
-    def objective(flat_interior: np.ndarray) -> float:
+    def objective(flat_interior: Array) -> float:
         path = np.vstack(
             [start_arr, flat_interior.reshape(nodes - 2, 2), end_arr]
         )

@@ -13,9 +13,11 @@ of the two-endpoint simplex.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
+from .arrays import Array, ArrayLike
 from .domain import clip_percentile
 
 __all__ = ["MixedStrategy", "reduce_distribution"]
@@ -49,7 +51,7 @@ class MixedStrategy:
         """Expected injection position ``p_L·x_L + p_R·x_R``."""
         return self.p_left * self.x_left + self.p_right * self.x_right
 
-    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+    def sample(self, rng: np.random.Generator, size: int) -> Array:
         """Draw ``size`` injection positions from the mixed strategy."""
         if size < 0:
             raise ValueError("size must be non-negative")
@@ -58,14 +60,16 @@ class MixedStrategy:
         out[hard] = self.x_right
         return out
 
-    def expected_payoff(self, payoff) -> float:
+    def expected_payoff(self, payoff: Callable[[float], float]) -> float:
         """Expectation of a pointwise payoff function under the mixture."""
         return self.p_left * float(payoff(self.x_left)) + self.p_right * float(
             payoff(self.x_right)
         )
 
 
-def reduce_distribution(samples, x_left: float, x_right: float) -> MixedStrategy:
+def reduce_distribution(
+    samples: ArrayLike, x_left: float, x_right: float
+) -> MixedStrategy:
     """Reduce an arbitrary poison-position distribution to a mixed strategy.
 
     Given empirical injection positions ``samples`` (percentile

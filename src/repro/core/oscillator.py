@@ -24,6 +24,8 @@ from typing import Tuple
 
 import numpy as np
 
+from .arrays import Array, ArrayLike
+
 __all__ = ["CoupledUtilityOscillator"]
 
 
@@ -97,7 +99,7 @@ class CoupledUtilityOscillator:
     # ------------------------------------------------------------------ #
     # trajectories
     # ------------------------------------------------------------------ #
-    def center_of_utility(self, r) -> np.ndarray:
+    def center_of_utility(self, r: ArrayLike) -> Array:
         """The mass-weighted mean utility, drifting uniformly in ``r``.
 
         ``X(r) = X(0) + V r`` with ``V = (m_a v_a0 + m_c v_c0) / M`` — the
@@ -115,12 +117,12 @@ class CoupledUtilityOscillator:
         ) / self.total_mass
         return x0 + v * r
 
-    def relative_utility(self, r) -> np.ndarray:
+    def relative_utility(self, r: ArrayLike) -> Array:
         """The oscillating mode ``y(r) = A cos(ω r + φ)`` of Theorem 4."""
         r = np.asarray(r, dtype=float)
         return self.amplitude * np.cos(self.angular_frequency * r + self.phase)
 
-    def solve(self, r) -> Tuple[np.ndarray, np.ndarray]:
+    def solve(self, r: ArrayLike) -> Tuple[Array, Array]:
         """Utilities ``(u_a(r), u_c(r))`` reconstructed from normal modes.
 
         ``u_a = X + (m_c / M) y`` and ``u_c = X - (m_a / M) y``.
@@ -131,7 +133,7 @@ class CoupledUtilityOscillator:
         u_c = x - (self.mass_adversary / self.total_mass) * y
         return u_a, u_c
 
-    def velocities(self, r) -> Tuple[np.ndarray, np.ndarray]:
+    def velocities(self, r: ArrayLike) -> Tuple[Array, Array]:
         """Utility velocities ``(u̇_a(r), u̇_c(r))``."""
         r = np.asarray(r, dtype=float)
         v_cm = (
@@ -147,7 +149,7 @@ class CoupledUtilityOscillator:
         v_c = v_cm - (self.mass_adversary / self.total_mass) * dy
         return v_a, v_c
 
-    def energy(self, r) -> np.ndarray:
+    def energy(self, r: ArrayLike) -> Array:
         """Total mechanical energy along the trajectory.
 
         ``E = m_a u̇_a²/2 + m_c u̇_c²/2 + k (u_a - u_c)²/2`` — conserved
@@ -160,7 +162,7 @@ class CoupledUtilityOscillator:
         potential = 0.5 * self.stiffness * (u_a - u_c) ** 2
         return kinetic + potential
 
-    def acceleration_residual(self, r, eps: float = 1e-5) -> np.ndarray:
+    def acceleration_residual(self, r: ArrayLike, eps: float = 1e-5) -> Array:
         """Residual of the equations of motion at rounds ``r``.
 
         Finite-difference accelerations are compared against the spring

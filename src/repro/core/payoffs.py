@@ -23,11 +23,12 @@ complete strategy space of Definition 1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Tuple
+from typing import Callable, Tuple, Union
 
 import numpy as np
 from scipy.optimize import brentq
 
+from .arrays import Array, ArrayLike
 from .domain import clip_percentile
 
 __all__ = ["PayoffModel", "power_poison_gain", "power_trim_cost"]
@@ -40,7 +41,7 @@ class _PowerGain:
     scale: float
     exponent: float
 
-    def __call__(self, x):
+    def __call__(self, x: ArrayLike) -> Union[float, Array]:
         value = self.scale * np.power(np.asarray(x, dtype=float), self.exponent)
         if np.ndim(x) == 0:
             return float(value)
@@ -54,7 +55,7 @@ class _PowerCost:
     scale: float
     exponent: float
 
-    def __call__(self, x):
+    def __call__(self, x: ArrayLike) -> Union[float, Array]:
         value = self.scale * np.power(
             1.0 - np.asarray(x, dtype=float), self.exponent
         )
@@ -123,7 +124,7 @@ class PayoffModel:
     # elementary payoffs
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _eval_kernel(fn: Callable, grid: np.ndarray) -> np.ndarray:
+    def _eval_kernel(fn: Callable[[Array], Any], grid: Array) -> Array:
         """Evaluate a payoff kernel over a percentile grid, vectorized.
 
         Tries one ndarray call first; when the user supplied a
@@ -140,7 +141,7 @@ class PayoffModel:
             return value
         return np.array([float(fn(float(x))) for x in grid])
 
-    def poison_payoff(self, x):
+    def poison_payoff(self, x: ArrayLike) -> Union[float, Array]:
         """``P(x)``: adversary gain from a surviving poison value at ``x``.
 
         Scalar ``x`` yields a float; an ndarray yields the elementwise
@@ -152,7 +153,7 @@ class PayoffModel:
         grid = np.clip(np.asarray(x, dtype=float), 0.0, 1.0)
         return self._eval_kernel(self.poison_gain, grid)
 
-    def trim_overhead(self, x):
+    def trim_overhead(self, x: ArrayLike) -> Union[float, Array]:
         """``T(x)``: collector loss from trimming benign mass above ``x``.
 
         Ndarray-aware like :meth:`poison_payoff`.
@@ -228,8 +229,8 @@ class PayoffModel:
         return p, -p - t
 
     def payoff_matrix(
-        self, adversary_grid, collector_grid
-    ) -> Tuple[np.ndarray, np.ndarray]:
+        self, adversary_grid: ArrayLike, collector_grid: ArrayLike
+    ) -> Tuple[Array, Array]:
         """Dense payoff matrices over discretized strategy grids.
 
         Returns ``(A, C)`` where ``A[i, j]`` is the adversary payoff and

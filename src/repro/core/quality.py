@@ -17,6 +17,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .arrays import Array, ArrayLike
 from .domain import QuantileTable, empirical_quantile
 
 __all__ = [
@@ -42,11 +43,11 @@ class QualityEvaluator:
     #: what ``_as_scores`` returns for a 1-D batch.
     _COMPATIBLE_SCORE_KINDS: Tuple[str, ...] = ("value",)
 
-    def fit(self, reference) -> "QualityEvaluator":
+    def fit(self, reference: ArrayLike) -> "QualityEvaluator":
         """Calibrate the evaluator on clean reference data."""
         raise NotImplementedError
 
-    def score(self, batch, scores: Optional[np.ndarray] = None) -> float:
+    def score(self, batch: ArrayLike, scores: Optional[Array] = None) -> float:
         """Poisoning-intensity score of a batch (higher = worse).
 
         ``scores`` optionally carries precomputed per-point scores of the
@@ -67,12 +68,12 @@ class QualityEvaluator:
             raise RuntimeError("evaluator maximum must be positive")
         return float(np.clip(score / peak, 0.0, 1.0))
 
-    def normalized(self, batch) -> float:
+    def normalized(self, batch: ArrayLike) -> float:
         """``QE_i`` in [0, 1]: score divided by the evaluator's maximum."""
         return self.normalize_score(self.score(batch))
 
     def evaluate(
-        self, batch, scores: Optional[np.ndarray] = None
+        self, batch: ArrayLike, scores: Optional[Array] = None
     ) -> Tuple[float, float]:
         """``(score, normalized)`` of one batch from a single scoring sweep.
 
@@ -107,8 +108,8 @@ class QualityEvaluator:
             return False
 
     def evaluate_many(
-        self, stacks, scores: Optional[np.ndarray] = None
-    ) -> Tuple[np.ndarray, np.ndarray]:
+        self, stacks: ArrayLike, scores: Optional[Array] = None
+    ) -> Tuple[Array, Array]:
         """Rep-batched :meth:`evaluate` over an ``(R, n[, d])`` stack.
 
         Returns ``(score, normalized)`` as ``(R,)`` arrays; element ``r``
@@ -127,8 +128,8 @@ class QualityEvaluator:
 
     @staticmethod
     def _as_scores_many(
-        stacks, scores: Optional[np.ndarray] = None
-    ) -> np.ndarray:
+        stacks: ArrayLike, scores: Optional[Array] = None
+    ) -> Array:
         """Rep-batched :meth:`_as_scores`: ``(R, n[, d])`` → ``(R, n)``."""
         arr = np.asarray(stacks, dtype=float)
         if arr.size == 0:
@@ -148,7 +149,7 @@ class QualityEvaluator:
         raise ValueError("stacks must be (R, n) or (R, n, d)")
 
     @staticmethod
-    def _as_scores(batch, scores: Optional[np.ndarray] = None) -> np.ndarray:
+    def _as_scores(batch: ArrayLike, scores: Optional[Array] = None) -> Array:
         """Flatten a batch to 1-D scores (multivariate: row L2 norms).
 
         ``scores`` short-circuits the computation with precomputed
@@ -194,7 +195,7 @@ class TailMassEvaluator(QualityEvaluator):
             raise ValueError("reference_quantile must lie in (0, 1)")
         self._cutoff: float | None = None
 
-    def fit(self, reference) -> "TailMassEvaluator":
+    def fit(self, reference: ArrayLike) -> "TailMassEvaluator":
         # One-shot single quantile: np.quantile's O(n) partition beats
         # building a throwaway sort-once table.
         self._cutoff = float(
@@ -202,7 +203,7 @@ class TailMassEvaluator(QualityEvaluator):
         )
         return self
 
-    def score(self, batch, scores=None) -> float:
+    def score(self, batch: ArrayLike, scores: Optional[Array] = None) -> float:
         if self._cutoff is None:
             raise RuntimeError("evaluator must be fit on reference data first")
         batch_scores = self._as_scores(batch, scores)
@@ -211,7 +212,9 @@ class TailMassEvaluator(QualityEvaluator):
         )
         return max(0.0, excess)
 
-    def evaluate_many(self, stacks, scores=None):
+    def evaluate_many(
+        self, stacks: ArrayLike, scores: Optional[Array] = None
+    ) -> Tuple[Array, Array]:
         """Vectorized tail-mass sweep across the rep axis.
 
         The per-rep tail masses are exact 0/1 sums, so the axis reduction
@@ -241,15 +244,15 @@ class KolmogorovSmirnovEvaluator(QualityEvaluator):
     """
 
     def __init__(self) -> None:
-        self._reference: np.ndarray | None = None
+        self._reference: Array | None = None
 
-    def fit(self, reference) -> "KolmogorovSmirnovEvaluator":
+    def fit(self, reference: ArrayLike) -> "KolmogorovSmirnovEvaluator":
         # The table sorts once; its sorted view doubles as the reference
         # CDF support, so per-round scoring never re-sorts the reference.
         self._reference = QuantileTable(self._as_scores(reference)).values
         return self
 
-    def score(self, batch, scores=None) -> float:
+    def score(self, batch: ArrayLike, scores: Optional[Array] = None) -> float:
         if self._reference is None:
             raise RuntimeError("evaluator must be fit on reference data first")
         sample = np.sort(self._as_scores(batch, scores))
@@ -280,7 +283,7 @@ class MeanShiftEvaluator(QualityEvaluator):
         self._mean: float | None = None
         self._std: float | None = None
 
-    def fit(self, reference) -> "MeanShiftEvaluator":
+    def fit(self, reference: ArrayLike) -> "MeanShiftEvaluator":
         scores = self._as_scores(reference)
         self._mean = float(np.mean(scores))
         self._std = float(np.std(scores))
@@ -288,7 +291,7 @@ class MeanShiftEvaluator(QualityEvaluator):
             self._std = 1.0  # degenerate constant reference
         return self
 
-    def score(self, batch, scores=None) -> float:
+    def score(self, batch: ArrayLike, scores: Optional[Array] = None) -> float:
         if self._mean is None or self._std is None:
             raise RuntimeError("evaluator must be fit on reference data first")
         batch_scores = self._as_scores(batch, scores)

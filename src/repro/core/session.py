@@ -46,9 +46,15 @@ from __future__ import annotations
 
 import pickle
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from .arrays import Array, ArrayLike
+
+if TYPE_CHECKING:
+    from .engine import BatchedGameResult, GameResult
+    from .payoffs import PayoffModel
 
 from ..streams.board import BoardEntry, PublicBoard, StackedBoard
 from ..streams.injection import BatchedInjector, PoisonInjector
@@ -109,7 +115,7 @@ class RoundPayoffs:
 
 
 def round_payoffs(
-    model,
+    model: "PayoffModel",
     threshold: float,
     injection_percentile: Optional[float],
     n_poison_injected: int,
@@ -147,7 +153,7 @@ class RoundDecision:
     index: int
     threshold: float
     injection_percentile: Optional[float]
-    accept_mask: np.ndarray
+    accept_mask: Array
     quality: float
     observed_poison_ratio: float
     betrayal: bool
@@ -156,7 +162,7 @@ class RoundDecision:
     n_poison_injected: int
     n_poison_retained: int
     observation: RoundObservation
-    retained: Optional[np.ndarray] = None
+    retained: Optional[Array] = None
     payoffs: Optional[RoundPayoffs] = None
 
     @property
@@ -184,17 +190,17 @@ class BatchedRoundDecision:
     """
 
     index: int
-    threshold: np.ndarray
-    injection_percentile: np.ndarray
-    quality: np.ndarray
-    observed_poison_ratio: np.ndarray
-    betrayal: np.ndarray
-    n_collected: np.ndarray
-    n_retained: np.ndarray
-    n_poison_injected: np.ndarray
-    n_poison_retained: np.ndarray
-    accept_masks: List[np.ndarray]
-    retained: Optional[List[np.ndarray]] = None
+    threshold: Array
+    injection_percentile: Array
+    quality: Array
+    observed_poison_ratio: Array
+    betrayal: Array
+    n_collected: Array
+    n_retained: Array
+    n_poison_injected: Array
+    n_poison_retained: Array
+    accept_masks: List[Array]
+    retained: Optional[List[Array]] = None
 
     @property
     def n_reps(self) -> int:
@@ -230,7 +236,7 @@ class LaneRoundDecision:
     __slots__ = ("_decision", "_rep", "_session", "_obs", "_pay")
 
     def __init__(
-        self, decision: BatchedRoundDecision, rep: int, session
+        self, decision: BatchedRoundDecision, rep: int, session: Any
     ) -> None:
         self._decision = decision
         self._rep = int(rep)
@@ -252,7 +258,7 @@ class LaneRoundDecision:
         return None if np.isnan(inj) else float(inj)
 
     @property
-    def accept_mask(self) -> np.ndarray:
+    def accept_mask(self) -> Array:
         return self._decision.accept_masks[self._rep]
 
     @property
@@ -290,7 +296,7 @@ class LaneRoundDecision:
         return self._obs
 
     @property
-    def retained(self) -> Optional[np.ndarray]:
+    def retained(self) -> Optional[Array]:
         if self._decision.retained is None or not self._session.store_retained:
             return None
         return self._decision.retained[self._rep]
@@ -403,12 +409,12 @@ class GameSession:
         adversary: Optional[AdversaryStrategy] = None,
         injector: Optional[PoisonInjector] = None,
         trimmer: Trimmer,
-        quality_evaluator,
-        judge,
+        quality_evaluator: Any,
+        judge: Any,
         share_scores: Optional[bool] = None,
         horizon: Optional[int] = None,
         store_retained: bool = True,
-        payoff_model=None,
+        payoff_model: "Optional[PayoffModel]" = None,
         source: Optional[StreamSource] = None,
         reset: bool = True,
     ):
@@ -470,15 +476,15 @@ class GameSession:
         *,
         collector: CollectorStrategy,
         trimmer: Trimmer,
-        reference,
+        reference: ArrayLike,
         adversary: Optional[AdversaryStrategy] = None,
         injector: Optional[PoisonInjector] = None,
-        quality_evaluator=None,
-        judge=None,
+        quality_evaluator: Any = None,
+        judge: Any = None,
         horizon: Optional[int] = None,
         anchor: str = "reference",
         store_retained: bool = True,
-        payoff_model=None,
+        payoff_model: "Optional[PayoffModel]" = None,
         source: Optional[StreamSource] = None,
     ) -> "GameSession":
         """Calibrate components on ``reference`` and open a session.
@@ -526,7 +532,7 @@ class GameSession:
     # ------------------------------------------------------------------ #
     # deferred lockstep rounds (cohort sink)
     # ------------------------------------------------------------------ #
-    def _attach_sink(self, sink, lane: int) -> None:
+    def _attach_sink(self, sink: Any, lane: int) -> None:
         """Route subsequent lockstep rounds through a cohort sink.
 
         While attached, the multiplexer records fused rounds as one
@@ -552,7 +558,7 @@ class GameSession:
         if self._sink is not None:
             self._sink.flush_all()
 
-    def _absorb_sink_rows(self, sink, lane: int, base: int) -> None:
+    def _absorb_sink_rows(self, sink: Any, lane: int, base: int) -> None:
         """Adopt this session's pending sink rows (sink flush callback)."""
         self._sink = None
         if sink.n_rounds <= base:
@@ -619,7 +625,7 @@ class GameSession:
         return "live" if self.adversary is None else self.adversary.name
 
     # ------------------------------------------------------------------ #
-    def _decide_positions(self):
+    def _decide_positions(self) -> Tuple[float, Optional[float]]:
         """Both parties' positions for the upcoming round."""
         if self._last is None:
             trim_q = self.collector.first()
@@ -650,7 +656,11 @@ class GameSession:
                 "session to obtain its GameResult"
             )
 
-    def submit(self, batch=None, poison_mask=None) -> RoundDecision:
+    def submit(
+        self,
+        batch: Optional[ArrayLike] = None,
+        poison_mask: Optional[ArrayLike] = None,
+    ) -> RoundDecision:
         """Play one round with ``batch`` and return the decision.
 
         ``batch`` is the round's benign data (adversarial sessions) or
@@ -836,7 +846,7 @@ class GameSession:
         )
 
     # ------------------------------------------------------------------ #
-    def result(self):
+    def result(self) -> "GameResult":
         """The game-so-far as a :class:`~repro.core.engine.GameResult`."""
         from .engine import GameResult
 
@@ -848,7 +858,7 @@ class GameSession:
             termination_round=getattr(self.collector, "terminated_round", None),
         )
 
-    def close(self):
+    def close(self) -> "GameResult":
         """Seal the session and return its final ``GameResult``."""
         self._closed = True
         return self.result()
@@ -856,7 +866,7 @@ class GameSession:
     # ------------------------------------------------------------------ #
     # snapshot / restore
     # ------------------------------------------------------------------ #
-    def _stateful_components(self):
+    def _stateful_components(self) -> Tuple[Tuple[str, Any], ...]:
         return (
             ("collector", self.collector),
             ("adversary", self.adversary),
@@ -1044,14 +1054,14 @@ class BatchedGameSession:
     def __init__(
         self,
         *,
-        collector_lanes,
-        adversary_lanes,
-        injector,
+        collector_lanes: Any,
+        adversary_lanes: Any,
+        injector: Any,
         trimmer: Optional[Trimmer] = None,
         per_rep_trimmers: Optional[Sequence[Trimmer]] = None,
-        trim_lanes=None,
-        quality_lanes,
-        judge_lanes,
+        trim_lanes: Any = None,
+        quality_lanes: Any,
+        judge_lanes: Any,
         horizon: Optional[int] = None,
         store_retained: bool = True,
         board: Optional[StackedBoard] = None,
@@ -1129,7 +1139,7 @@ class BatchedGameSession:
             )
 
     # ------------------------------------------------------------------ #
-    def submit(self, batches) -> BatchedRoundDecision:
+    def submit(self, batches: ArrayLike) -> BatchedRoundDecision:
         """Step every lane through one lockstep round.
 
         ``batches`` is the round's benign stack ``(R, batch[, d])`` —
@@ -1197,9 +1207,9 @@ class BatchedGameSession:
     def _submit_stacked(
         self,
         index: int,
-        benign: np.ndarray,
-        trim: np.ndarray,
-        inject: np.ndarray,
+        benign: Array,
+        trim: Array,
+        inject: Array,
         poison_rows: int,
     ) -> BatchedRoundDecision:
         """The all-lanes-agree fast path: one vectorized round body."""
@@ -1253,10 +1263,10 @@ class BatchedGameSession:
     def _submit_segmented(
         self,
         index: int,
-        benign: np.ndarray,
-        trim: np.ndarray,
-        inject: np.ndarray,
-        counts: np.ndarray,
+        benign: Array,
+        trim: Array,
+        inject: Array,
+        counts: Array,
     ) -> BatchedRoundDecision:
         """One round where lanes disagree on poison count.
 
@@ -1274,8 +1284,8 @@ class BatchedGameSession:
         n_collected = np.empty(n_reps, dtype=np.int64)
         n_poison_retained = np.empty(n_reps, dtype=np.int64)
         n_kept = np.empty(n_reps, dtype=np.int64)
-        accept_masks: List[Optional[np.ndarray]] = [None] * n_reps
-        retained: Optional[List[Optional[np.ndarray]]] = (
+        accept_masks: List[Optional[Array]] = [None] * n_reps
+        retained: Optional[List[Optional[Array]]] = (
             [None] * n_reps if self.store_retained else None
         )
 
@@ -1341,9 +1351,9 @@ class BatchedGameSession:
 
     def _trim_seg(
         self,
-        combined: np.ndarray,
-        trim: np.ndarray,
-        idx: Optional[np.ndarray] = None,
+        combined: Array,
+        trim: Array,
+        idx: Optional[Array] = None,
     ) -> BatchTrimReport:
         """One segment's trim reports; row ``j`` is lane ``idx[j]``."""
         if self._trim_lanes is not None:
@@ -1357,8 +1367,8 @@ class BatchedGameSession:
         )
 
     def _scores_seg(
-        self, combined: np.ndarray, idx: Optional[np.ndarray] = None
-    ) -> np.ndarray:
+        self, combined: Array, idx: Optional[Array] = None
+    ) -> Array:
         """Batch scores per lane (fallback when reports carry none)."""
         if self._trim_lanes is not None:
             lanes = np.arange(self.n_reps) if idx is None else idx
@@ -1392,7 +1402,7 @@ class BatchedGameSession:
         if callable(finalize):
             finalize()
 
-    def close(self):
+    def close(self) -> "BatchedGameResult":
         """Seal the session and return its ``BatchedGameResult``."""
         from .engine import BatchedGameResult
 

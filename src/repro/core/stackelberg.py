@@ -18,6 +18,7 @@ from typing import Callable, List, Tuple
 
 import numpy as np
 
+from .arrays import Array
 from .domain import percentile_grid
 from .payoffs import PayoffModel
 
@@ -113,7 +114,7 @@ class BestResponseDynamics:
 
     def run(
         self, collector_init: float, adversary_init: float, rounds: int
-    ) -> Tuple[np.ndarray, np.ndarray]:
+    ) -> Tuple[Array, Array]:
         """Iterate the coupled responses for ``rounds`` rounds.
 
         Returns arrays ``(collector_path, adversary_path)`` of length

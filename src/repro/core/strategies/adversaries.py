@@ -21,7 +21,7 @@ of the attack behaviours used in the experiments:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
@@ -87,10 +87,10 @@ class UniformRangeAdversary(AdversaryStrategy):
         # build fresh instances with per-cell derived seeds.
         self._rng = np.random.default_rng(self._seed)
 
-    def export_state(self) -> dict:
+    def export_state(self) -> dict[str, Any]:
         return {"rng": rng_state(self._rng)}
 
-    def import_state(self, state: dict) -> None:
+    def import_state(self, state: dict[str, Any]) -> None:
         set_rng_state(self._rng, state["rng"])
 
     def _draw(self) -> float:
@@ -169,13 +169,13 @@ class MixedAdversary(AdversaryStrategy):
         # identically (see UniformRangeAdversary.reset).
         self._rng = np.random.default_rng(self._seed)
 
-    def export_state(self) -> dict:
+    def export_state(self) -> dict[str, Any]:
         return {
             "rng": rng_state(self._rng),
             "last_was_greedy": self.last_was_greedy,
         }
 
-    def import_state(self, state: dict) -> None:
+    def import_state(self, state: dict[str, Any]) -> None:
         set_rng_state(self._rng, state["rng"])
         self.last_was_greedy = bool(state["last_was_greedy"])
 

@@ -15,9 +15,11 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
+
+from ..arrays import Array, ArrayLike
 
 __all__ = [
     "RoundObservation",
@@ -29,7 +31,7 @@ __all__ = [
 ]
 
 
-def rng_state(rng: np.random.Generator) -> dict:
+def rng_state(rng: np.random.Generator) -> dict[str, Any]:
     """The exact bit-state of a :class:`numpy.random.Generator`.
 
     The returned dict is a deep copy of ``rng.bit_generator.state`` — a
@@ -37,10 +39,11 @@ def rng_state(rng: np.random.Generator) -> dict:
     session snapshot layer (:mod:`repro.core.session`) carries these for
     every RNG consumer so a restored game replays byte-identically.
     """
-    return copy.deepcopy(rng.bit_generator.state)
+    state: dict[str, Any] = copy.deepcopy(rng.bit_generator.state)
+    return state
 
 
-def set_rng_state(rng: np.random.Generator, state: dict) -> None:
+def set_rng_state(rng: np.random.Generator, state: dict[str, Any]) -> None:
     """Restore a Generator to a bit-state captured by :func:`rng_state`."""
     rng.bit_generator.state = copy.deepcopy(state)
 
@@ -95,11 +98,11 @@ class RoundObservationBatch:
     """
 
     index: int
-    trim_percentile: np.ndarray        # (R,) float
-    injection_percentile: np.ndarray   # (R,) float, NaN = no injection
-    quality: np.ndarray                # (R,) float
-    observed_poison_ratio: np.ndarray  # (R,) float
-    betrayal: np.ndarray               # (R,) bool
+    trim_percentile: Array        # (R,) float
+    injection_percentile: Array   # (R,) float, NaN = no injection
+    quality: Array                # (R,) float
+    observed_poison_ratio: Array  # (R,) float
+    betrayal: Array               # (R,) bool
 
     @property
     def n_reps(self) -> int:
@@ -120,7 +123,7 @@ class RoundObservationBatch:
             betrayal=bool(self.betrayal[r]),
         )
 
-    def take(self, indices) -> "RoundObservationBatch":
+    def take(self, indices: ArrayLike) -> "RoundObservationBatch":
         """The sub-batch of the given lane indices, in the given order.
 
         A fused cohort scatters one round's columns into per-family
@@ -160,7 +163,7 @@ class CollectorStrategy:
         """Trimming percentile for the round after ``last``."""
         raise NotImplementedError
 
-    def export_state(self) -> dict:
+    def export_state(self) -> dict[str, Any]:
         """The strategy's *mutable* mid-game state as a plain-data dict.
 
         Everything :meth:`reset` would clear — and nothing else: static
@@ -173,7 +176,7 @@ class CollectorStrategy:
         """
         return {}
 
-    def import_state(self, state: dict) -> None:
+    def import_state(self, state: dict[str, Any]) -> None:
         """Restore mid-game state captured by :meth:`export_state`."""
 
 
@@ -199,9 +202,9 @@ class AdversaryStrategy:
         """Injection percentile for the round after ``last``."""
         raise NotImplementedError
 
-    def export_state(self) -> dict:
+    def export_state(self) -> dict[str, Any]:
         """Mutable mid-game state (see ``CollectorStrategy.export_state``)."""
         return {}
 
-    def import_state(self, state: dict) -> None:
+    def import_state(self, state: dict[str, Any]) -> None:
         """Restore mid-game state captured by :meth:`export_state`."""

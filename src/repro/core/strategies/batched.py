@@ -33,10 +33,11 @@ instances so post-game inspection matches solo play.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..arrays import Array
 from .adversaries import (
     FixedAdversary,
     JustBelowAdversary,
@@ -70,7 +71,7 @@ __all__ = [
 ]
 
 
-def _column(instances: Sequence, attr: str) -> np.ndarray:
+def _column(instances: Sequence[Any], attr: str) -> Array:
     """(L,) float64 parameter column packed from per-lane attributes."""
     return np.array([float(getattr(inst, attr)) for inst in instances])
 
@@ -88,11 +89,16 @@ class _Lanes:
     #: and the names of the per-lane parameters the lane packs into
     #: ``(L,)`` columns.  Empty family means "never fuses" (the
     #: fallback loops); registered lane classes must declare both.
+    #: ``fusion_params`` lists *constants* only — packed at build and
+    #: never mutated (audited statically by REP006); running per-lane
+    #: state columns (EMAs, betrayal latches) are declared separately
+    #: in ``fusion_state``.
     fusion_family: str = ""
-    fusion_params: tuple = ()
+    fusion_params: Tuple[str, ...] = ()
+    fusion_state: Tuple[str, ...] = ()
 
     @classmethod
-    def group_key(cls, inst) -> object:
+    def group_key(cls, inst: Any) -> object:
         """Sub-family key: instances fuse only within one key.
 
         ``None`` (the default) means every instance of the strategy
@@ -102,7 +108,7 @@ class _Lanes:
         """
         return None
 
-    def __init__(self, instances: Sequence):
+    def __init__(self, instances: Sequence[Any]) -> None:
         self.instances = list(instances)
         if not self.instances:
             raise ValueError("lanes need at least one instance")
@@ -129,11 +135,11 @@ class _Lanes:
 class CollectorLanes(_Lanes):
     """Vectorized collector protocol across R repetition lanes."""
 
-    def first_many(self) -> np.ndarray:
+    def first_many(self) -> Array:
         """(R,) trimming percentiles for round 1."""
         raise NotImplementedError
 
-    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+    def react_many(self, last: RoundObservationBatch) -> Array:
         """(R,) trimming percentiles for the round after ``last``."""
         raise NotImplementedError
 
@@ -147,11 +153,11 @@ class CollectorLanes(_Lanes):
 class AdversaryLanes(_Lanes):
     """Vectorized adversary protocol; ``NaN`` marks "no injection"."""
 
-    def first_many(self) -> np.ndarray:
+    def first_many(self) -> Array:
         """(R,) injection percentiles for round 1 (NaN = none)."""
         raise NotImplementedError
 
-    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+    def react_many(self, last: RoundObservationBatch) -> Array:
         """(R,) injection percentiles for the round after ``last``."""
         raise NotImplementedError
 
@@ -173,10 +179,10 @@ class FallbackCollectorLanes(CollectorLanes):
     fusion_family = "fallback"
     fusion_params = ()
 
-    def first_many(self) -> np.ndarray:
+    def first_many(self) -> Array:
         return np.array([float(inst.first()) for inst in self.instances])
 
-    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+    def react_many(self, last: RoundObservationBatch) -> Array:
         return np.array(
             [
                 float(inst.react(last.rep(r)))
@@ -193,15 +199,15 @@ class FallbackAdversaryLanes(AdversaryLanes):
     fusion_params = ()
 
     @staticmethod
-    def _as_position(value) -> float:
+    def _as_position(value: Optional[float]) -> float:
         return np.nan if value is None else float(value)
 
-    def first_many(self) -> np.ndarray:
+    def first_many(self) -> Array:
         return np.array(
             [self._as_position(inst.first()) for inst in self.instances]
         )
 
-    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+    def react_many(self, last: RoundObservationBatch) -> Array:
         return np.array(
             [
                 self._as_position(inst.react(last.rep(r)))
@@ -220,17 +226,17 @@ class _ConstantCollectorLanes(CollectorLanes):
     fusion_params = ("threshold",)
 
     @classmethod
-    def build(cls, instances) -> Optional["_ConstantCollectorLanes"]:
+    def build(cls, instances: Sequence[Any]) -> Optional["_ConstantCollectorLanes"]:
         return cls(instances)
 
-    def __init__(self, instances):
+    def __init__(self, instances: Sequence[Any]) -> None:
         super().__init__(instances)
         self._values = np.array([float(inst.first()) for inst in instances])
 
-    def first_many(self) -> np.ndarray:
+    def first_many(self) -> Array:
         return self._values
 
-    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+    def react_many(self, last: RoundObservationBatch) -> Array:
         return self._values
 
 
@@ -256,11 +262,11 @@ class _TitForTatLanes(CollectorLanes):
     )
 
     @classmethod
-    def group_key(cls, inst) -> object:
+    def group_key(cls, inst: Any) -> object:
         return type(inst.trigger)
 
     @classmethod
-    def build(cls, instances) -> Optional["_TitForTatLanes"]:
+    def build(cls, instances: Sequence[Any]) -> Optional["_TitForTatLanes"]:
         triggers = [inst.trigger for inst in instances]
         kinds = {type(t) for t in triggers}
         if len(kinds) != 1:
@@ -274,7 +280,7 @@ class _TitForTatLanes(CollectorLanes):
             return cls(instances, mode="mixed")
         return None  # user trigger: per-rep fallback
 
-    def __init__(self, instances, mode: str):
+    def __init__(self, instances: Sequence[Any], mode: str) -> None:
         super().__init__(instances)
         self._mode = mode
         self._soft = _column(instances, "soft_percentile")
@@ -323,7 +329,7 @@ class _TitForTatLanes(CollectorLanes):
             self._rounds[:] = 0
             self._betrayals[:] = 0
 
-    def _fired(self, last: RoundObservationBatch, active: np.ndarray) -> np.ndarray:
+    def _fired(self, last: RoundObservationBatch, active: Array) -> Array:
         if self._mode == "none":
             return np.zeros(self.n_reps, dtype=bool)
         if self._mode == "quality":
@@ -336,7 +342,7 @@ class _TitForTatLanes(CollectorLanes):
             ratio = self._betrayals / np.maximum(self._rounds, 1)
         return (self._rounds >= self._warmup) & (ratio > self._tolerance)
 
-    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+    def react_many(self, last: RoundObservationBatch) -> Array:
         active = ~self._triggered
         if active.any() and self._mode != "none":
             newly = active & self._fired(last, active)
@@ -345,7 +351,7 @@ class _TitForTatLanes(CollectorLanes):
             self._triggered |= newly
         return np.where(self._triggered, self._hard, self._soft)
 
-    def first_many(self) -> np.ndarray:
+    def first_many(self) -> Array:
         return self._soft.copy()
 
     def terminated_rounds(self) -> List[Optional[int]]:
@@ -378,14 +384,14 @@ class _ElasticCollectorLanes(CollectorLanes):
         "target_offset",
         "soft_offset",
         "hard_offset",
-        "current",
     )
+    fusion_state = ("current",)
 
     @classmethod
-    def build(cls, instances) -> Optional["_ElasticCollectorLanes"]:
+    def build(cls, instances: Sequence[Any]) -> Optional["_ElasticCollectorLanes"]:
         return cls(instances)
 
-    def __init__(self, instances):
+    def __init__(self, instances: Sequence[Any]) -> None:
         super().__init__(instances)
         self._t_th = _column(instances, "t_th")
         self._k = _column(instances, "k")
@@ -408,10 +414,10 @@ class _ElasticCollectorLanes(CollectorLanes):
         super().reset_many()
         self._current = self._first.copy()
 
-    def first_many(self) -> np.ndarray:
+    def first_many(self) -> Array:
         return self._first.copy()
 
-    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+    def react_many(self, last: RoundObservationBatch) -> Array:
         injection = last.injection_percentile
         observed = ~np.isnan(injection)
         # Algorithm 2's quality fallback, elementwise identical to the
@@ -441,18 +447,18 @@ class _MirrorLanes(CollectorLanes):
     fusion_params = ("soft_percentile", "hard_percentile")
 
     @classmethod
-    def build(cls, instances) -> Optional["_MirrorLanes"]:
+    def build(cls, instances: Sequence[Any]) -> Optional["_MirrorLanes"]:
         return cls(instances)
 
-    def __init__(self, instances):
+    def __init__(self, instances: Sequence[Any]) -> None:
         super().__init__(instances)
         self._soft = _column(instances, "soft_percentile")
         self._hard = _column(instances, "hard_percentile")
 
-    def first_many(self) -> np.ndarray:
+    def first_many(self) -> Array:
         return self._soft.copy()
 
-    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+    def react_many(self, last: RoundObservationBatch) -> Array:
         return np.where(last.betrayal, self._hard, self._soft)
 
 
@@ -468,10 +474,10 @@ class _GenerousLanes(_MirrorLanes):
     fusion_params = ("soft_percentile", "hard_percentile", "generosity")
 
     @classmethod
-    def build(cls, instances) -> Optional["_GenerousLanes"]:
+    def build(cls, instances: Sequence[Any]) -> Optional["_GenerousLanes"]:
         return cls(instances)
 
-    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+    def react_many(self, last: RoundObservationBatch) -> Array:
         out = self._soft.copy()
         for r in np.flatnonzero(last.betrayal):
             inst = self.instances[r]
@@ -484,13 +490,10 @@ class _TwoTatsLanes(_MirrorLanes):
     """Tit-for-two-tats: punish only two consecutive judged betrayals."""
 
     fusion_family = "two-tats"
-    fusion_params = (
-        "soft_percentile",
-        "hard_percentile",
-        "previous_betrayal",
-    )
+    fusion_params = ("soft_percentile", "hard_percentile")
+    fusion_state = ("previous_betrayal",)
 
-    def __init__(self, instances):
+    def __init__(self, instances: Sequence[Any]) -> None:
         super().__init__(instances)
         # Seed from current instance state (mid-game lane builds).
         self._previous = np.array(
@@ -501,7 +504,7 @@ class _TwoTatsLanes(_MirrorLanes):
         super().reset_many()
         self._previous[:] = False
 
-    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+    def react_many(self, last: RoundObservationBatch) -> Array:
         punish = last.betrayal & self._previous
         self._previous = last.betrayal.copy()
         return np.where(punish, self._hard, self._soft)
@@ -521,13 +524,13 @@ class _NullAdversaryLanes(AdversaryLanes):
     fusion_params = ()
 
     @classmethod
-    def build(cls, instances) -> "_NullAdversaryLanes":
+    def build(cls, instances: Sequence[Any]) -> "_NullAdversaryLanes":
         return cls(instances)
 
-    def first_many(self) -> np.ndarray:
+    def first_many(self) -> Array:
         return np.full(self.n_reps, np.nan)
 
-    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+    def react_many(self, last: RoundObservationBatch) -> Array:
         return np.full(self.n_reps, np.nan)
 
 
@@ -538,17 +541,17 @@ class _FixedAdversaryLanes(AdversaryLanes):
     fusion_params = ("percentile",)
 
     @classmethod
-    def build(cls, instances) -> "_FixedAdversaryLanes":
+    def build(cls, instances: Sequence[Any]) -> "_FixedAdversaryLanes":
         return cls(instances)
 
-    def __init__(self, instances):
+    def __init__(self, instances: Sequence[Any]) -> None:
         super().__init__(instances)
         self._values = np.array([float(inst.percentile) for inst in instances])
 
-    def first_many(self) -> np.ndarray:
+    def first_many(self) -> Array:
         return self._values
 
-    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+    def react_many(self, last: RoundObservationBatch) -> Array:
         return self._values
 
 
@@ -564,16 +567,16 @@ class _DrawAdversaryLanes(AdversaryLanes):
     fusion_params = ("draw",)
 
     @classmethod
-    def build(cls, instances) -> "_DrawAdversaryLanes":
+    def build(cls, instances: Sequence[Any]) -> "_DrawAdversaryLanes":
         return cls(instances)
 
-    def _draw_many(self) -> np.ndarray:
+    def _draw_many(self) -> Array:
         return np.array([float(inst._draw()) for inst in self.instances])
 
-    def first_many(self) -> np.ndarray:
+    def first_many(self) -> Array:
         return self._draw_many()
 
-    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+    def react_many(self, last: RoundObservationBatch) -> Array:
         return self._draw_many()
 
 
@@ -584,18 +587,18 @@ class _JustBelowLanes(AdversaryLanes):
     fusion_params = ("initial_threshold", "margin")
 
     @classmethod
-    def build(cls, instances) -> Optional["_JustBelowLanes"]:
+    def build(cls, instances: Sequence[Any]) -> Optional["_JustBelowLanes"]:
         return cls(instances)
 
-    def __init__(self, instances):
+    def __init__(self, instances: Sequence[Any]) -> None:
         super().__init__(instances)
         self._margin = _column(instances, "margin")
         self._first = np.array([float(inst.first()) for inst in instances])
 
-    def first_many(self) -> np.ndarray:
+    def first_many(self) -> Array:
         return self._first.copy()
 
-    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+    def react_many(self, last: RoundObservationBatch) -> Array:
         return np.maximum(
             0.0, np.minimum(1.0, last.trim_percentile - self._margin)
         )
@@ -605,13 +608,14 @@ class _ElasticAdversaryLanes(AdversaryLanes):
     """The elastic responder, vectorized like its collector twin."""
 
     fusion_family = "elastic-adversary"
-    fusion_params = ("t_th", "k", "rule", "base_offset", "current")
+    fusion_params = ("t_th", "k", "rule", "base_offset")
+    fusion_state = ("current",)
 
     @classmethod
-    def build(cls, instances) -> Optional["_ElasticAdversaryLanes"]:
+    def build(cls, instances: Sequence[Any]) -> Optional["_ElasticAdversaryLanes"]:
         return cls(instances)
 
-    def __init__(self, instances):
+    def __init__(self, instances: Sequence[Any]) -> None:
         super().__init__(instances)
         self._t_th = _column(instances, "t_th")
         self._k = _column(instances, "k")
@@ -629,10 +633,10 @@ class _ElasticAdversaryLanes(AdversaryLanes):
         super().reset_many()
         self._current = self._first.copy()
 
-    def first_many(self) -> np.ndarray:
+    def first_many(self) -> Array:
         return self._first.copy()
 
-    def react_many(self, last: RoundObservationBatch) -> np.ndarray:
+    def react_many(self, last: RoundObservationBatch) -> Array:
         # Same association as the scalar body: (t_th + base_offset) is
         # precomputed, then the response term is added.
         target = self._base + self._k * (last.trim_percentile - self._t_th)
@@ -687,7 +691,11 @@ def register_adversary_lanes(strategy_cls: type, lanes_cls: type) -> None:
     _ADVERSARY_LANES[strategy_cls] = lanes_cls
 
 
-def _dispatch(instances, registry, fallback):
+def _dispatch(
+    instances: Sequence[Any],
+    registry: dict[type, type],
+    fallback: type,
+) -> Any:
     instances = list(instances)
     if not instances:
         raise ValueError("need at least one strategy instance")

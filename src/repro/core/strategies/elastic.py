@@ -29,6 +29,8 @@ the collector falls back to the quality-proportional rule of Algorithm 2:
 
 from __future__ import annotations
 
+from typing import Any
+
 from .base import AdversaryStrategy, CollectorStrategy, RoundObservation
 
 __all__ = ["ElasticCollector", "ElasticAdversary"]
@@ -92,10 +94,10 @@ class ElasticCollector(CollectorStrategy):
     def reset(self) -> None:
         self._current = self.first()
 
-    def export_state(self) -> dict:
+    def export_state(self) -> dict[str, Any]:
         return {"current": self._current}
 
-    def import_state(self, state: dict) -> None:
+    def import_state(self, state: dict[str, Any]) -> None:
         self._current = float(state["current"])
 
     def first(self) -> float:
@@ -167,10 +169,10 @@ class ElasticAdversary(AdversaryStrategy):
     def reset(self) -> None:
         self._current = self.first()
 
-    def export_state(self) -> dict:
+    def export_state(self) -> dict[str, Any]:
         return {"current": self._current}
 
-    def import_state(self, state: dict) -> None:
+    def import_state(self, state: dict[str, Any]) -> None:
         self._current = float(state["current"])
 
     def first(self) -> float:

@@ -22,7 +22,7 @@ Two trigger policies are provided:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from .base import CollectorStrategy, RoundObservation
 
@@ -46,11 +46,11 @@ class QualityTrigger:
     def reset(self) -> None:
         """Stateless; present for interface uniformity."""
 
-    def export_state(self) -> dict:
+    def export_state(self) -> dict[str, Any]:
         """Stateless: nothing survives :meth:`reset`."""
         return {}
 
-    def import_state(self, state: dict) -> None:
+    def import_state(self, state: dict[str, Any]) -> None:
         """Stateless; present for interface uniformity."""
 
     def fired(self, last: RoundObservation) -> bool:
@@ -110,11 +110,11 @@ class MixedStrategyTrigger:
         self._rounds = 0
         self._betrayals = 0
 
-    def export_state(self) -> dict:
+    def export_state(self) -> dict[str, Any]:
         """The running betrayal counters (see base ``export_state``)."""
         return {"rounds": self._rounds, "betrayals": self._betrayals}
 
-    def import_state(self, state: dict) -> None:
+    def import_state(self, state: dict[str, Any]) -> None:
         self._rounds = int(state["rounds"])
         self._betrayals = int(state["betrayals"])
 
@@ -150,7 +150,7 @@ class TitForTatCollector(CollectorStrategy):
     def __init__(
         self,
         t_th: float,
-        trigger=None,
+        trigger: Any = None,
         soft_offset: float = 0.01,
         hard_offset: float = -0.03,
     ):
@@ -196,7 +196,7 @@ class TitForTatCollector(CollectorStrategy):
         if self.trigger is not None:
             self.trigger.reset()
 
-    def export_state(self) -> dict:
+    def export_state(self) -> dict[str, Any]:
         state = {
             "triggered": self._triggered,
             "terminated_round": self._terminated_round,
@@ -206,7 +206,7 @@ class TitForTatCollector(CollectorStrategy):
             state["trigger"] = exporter() if callable(exporter) else {}
         return state
 
-    def import_state(self, state: dict) -> None:
+    def import_state(self, state: dict[str, Any]) -> None:
         self._triggered = bool(state["triggered"])
         terminated = state["terminated_round"]
         self._terminated_round = None if terminated is None else int(terminated)

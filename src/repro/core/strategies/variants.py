@@ -18,7 +18,7 @@ space, all reusing the per-round betrayal judgement of the engine:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
@@ -101,10 +101,10 @@ class GenerousCollector(_TwoLevelCollector):
         # replays identically game over game.
         self._rng = np.random.default_rng(self._seed)
 
-    def export_state(self) -> dict:
+    def export_state(self) -> dict[str, Any]:
         return {"rng": rng_state(self._rng)}
 
-    def import_state(self, state: dict) -> None:
+    def import_state(self, state: dict[str, Any]) -> None:
         set_rng_state(self._rng, state["rng"])
 
     def react(self, last: RoundObservation) -> float:
@@ -136,10 +136,10 @@ class TitForTwoTatsCollector(_TwoLevelCollector):
     def reset(self) -> None:
         self._previous_betrayal = False
 
-    def export_state(self) -> dict:
+    def export_state(self) -> dict[str, Any]:
         return {"previous_betrayal": self._previous_betrayal}
 
-    def import_state(self, state: dict) -> None:
+    def import_state(self, state: dict[str, Any]) -> None:
         self._previous_betrayal = bool(state["previous_betrayal"])
 
     def react(self, last: RoundObservation) -> float:

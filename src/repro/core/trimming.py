@@ -28,10 +28,11 @@ can track exactly which poison values survived.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
+from .arrays import Array, ArrayLike
 from .domain import QuantileTable, clip_percentile, empirical_quantile
 
 __all__ = [
@@ -55,13 +56,13 @@ class TrimReport:
     ``Trimmer.scores`` pass over the same batch.
     """
 
-    kept: np.ndarray
+    kept: Array
     threshold_score: float
     percentile: float
-    scores: Optional[np.ndarray] = None
+    scores: Optional[Array] = None
 
     @property
-    def kept_scores(self) -> np.ndarray:
+    def kept_scores(self) -> Array:
         """Scores of the retained points (requires ``scores``)."""
         if self.scores is None:
             raise ValueError("this report was built without batch scores")
@@ -97,10 +98,10 @@ class BatchTrimReport:
     :meth:`Trimmer.trim` call on rep ``r``'s batch would produce.
     """
 
-    kept: np.ndarray              # (R, n) bool
-    threshold_scores: np.ndarray  # (R,)
-    percentiles: np.ndarray       # (R,)
-    scores: Optional[np.ndarray] = None  # (R, n)
+    kept: Array              # (R, n) bool
+    threshold_scores: Array  # (R,)
+    percentiles: Array       # (R,)
+    scores: Optional[Array] = None  # (R, n)
 
     @property
     def n_reps(self) -> int:
@@ -108,18 +109,18 @@ class BatchTrimReport:
         return int(self.kept.shape[0])
 
     @property
-    def n_kept(self) -> np.ndarray:
+    def n_kept(self) -> Array:
         """(R,) retained counts."""
         return np.count_nonzero(self.kept, axis=1)
 
-    def kept_scores(self, rep: int) -> np.ndarray:
+    def kept_scores(self, rep: int) -> Array:
         """Scores of rep ``rep``'s retained points (requires ``scores``)."""
         if self.scores is None:
             raise ValueError("this report was built without batch scores")
         return self.scores[rep][self.kept[rep]]
 
     @classmethod
-    def from_reports(cls, reports) -> "BatchTrimReport":
+    def from_reports(cls, reports: Sequence[TrimReport]) -> "BatchTrimReport":
         """Stack per-rep :class:`TrimReport` objects into one batch report.
 
         ``scores`` is carried only when every rep's report has them (a
@@ -164,17 +165,17 @@ class Trimmer:
         if anchor not in ("reference", "batch"):
             raise ValueError("anchor must be 'reference' or 'batch'")
         self.anchor = anchor
-        self._reference_scores: Optional[np.ndarray] = None
+        self._reference_scores: Optional[Array] = None
         # Lazy memo of a pure function of _reference_scores: rebuilding
         # it yields byte-identical content, so it is calibration cache,
         # not mid-game state.
         self._reference_table: Optional[QuantileTable] = None  # repro: noqa[REP005]
 
-    def scores(self, batch: np.ndarray) -> np.ndarray:
+    def scores(self, batch: Array) -> Array:
         """Per-point trimming scores ``d_i`` (higher = more suspicious)."""
         raise NotImplementedError
 
-    def _set_reference_scores(self, scores: np.ndarray) -> None:
+    def _set_reference_scores(self, scores: Array) -> None:
         """Store reference scores; their quantile table builds lazily.
 
         Deferring the sort to the first reference-anchored cutoff keeps
@@ -185,7 +186,7 @@ class Trimmer:
         self._reference_scores = scores
         self._reference_table = None
 
-    def fit_reference(self, reference) -> "Trimmer":
+    def fit_reference(self, reference: ArrayLike) -> "Trimmer":
         """Calibrate score centers/quantiles on a clean reference."""
         arr = np.asarray(reference, dtype=float)
         if arr.size == 0:
@@ -194,7 +195,7 @@ class Trimmer:
         return self
 
     @property
-    def reference_scores(self) -> Optional[np.ndarray]:
+    def reference_scores(self) -> Optional[Array]:
         """The fitted reference's scores (None before fitting).
 
         Exposed so consumers calibrated on the same reference (the
@@ -221,14 +222,14 @@ class Trimmer:
         """Whether cutoffs come from a fitted reference."""
         return self.anchor == "reference" and self._reference_scores is not None
 
-    def _cutoff(self, batch_scores: np.ndarray, q: float) -> float:
+    def _cutoff(self, batch_scores: Array, q: float) -> float:
         if self.is_reference_anchored:
             # O(1) against the sorted-once reference instead of an
             # O(n) numpy.quantile partition every round (bit-identical).
             return float(self.reference_table.quantile(q))
         return float(empirical_quantile(batch_scores, q))
 
-    def trim(self, batch, percentile: float) -> TrimReport:
+    def trim(self, batch: ArrayLike, percentile: float) -> TrimReport:
         """Remove points whose score exceeds the percentile cutoff.
 
         ``percentile`` = 1.0 keeps everything (the Ostrich behaviour);
@@ -260,7 +261,7 @@ class Trimmer:
             scores=batch_scores,
         )
 
-    def apply(self, batch, percentile: float) -> np.ndarray:
+    def apply(self, batch: ArrayLike, percentile: float) -> Array:
         """Convenience: trim and return only the retained rows/values."""
         arr = np.asarray(batch, dtype=float)
         report = self.trim(arr, percentile)
@@ -269,7 +270,7 @@ class Trimmer:
     # ------------------------------------------------------------------ #
     # rep-batched kernels (one sweep cell's R repetitions in lockstep)
     # ------------------------------------------------------------------ #
-    def scores_many(self, stacks: np.ndarray) -> np.ndarray:
+    def scores_many(self, stacks: Array) -> Array:
         """Per-point scores for an ``(R, n[, d])`` rep stack, ``(R, n)``.
 
         The base implementation loops :meth:`scores` over the rep axis —
@@ -279,7 +280,9 @@ class Trimmer:
         arr = np.asarray(stacks, dtype=float)
         return np.stack([self.scores(arr[r]) for r in range(arr.shape[0])])
 
-    def trim_many(self, stacks, percentiles) -> BatchTrimReport:
+    def trim_many(
+        self, stacks: ArrayLike, percentiles: ArrayLike
+    ) -> BatchTrimReport:
         """Rep-batched :meth:`trim`: one cutoff/mask pass for all R reps.
 
         ``stacks`` is ``(R, n)`` (R reps of 1-D batches) or ``(R, n, d)``;
@@ -329,7 +332,7 @@ class Trimmer:
             kept=kept, threshold_scores=cutoffs, percentiles=q, scores=scores
         )
 
-    def _trim_many_loop(self, arr: np.ndarray, q_in: np.ndarray) -> BatchTrimReport:
+    def _trim_many_loop(self, arr: Array, q_in: Array) -> BatchTrimReport:
         """Documented per-rep fallback through a custom :meth:`trim`."""
         return BatchTrimReport.from_reports(
             self.trim(arr[r], float(q_in[r])) for r in range(arr.shape[0])
@@ -341,13 +344,13 @@ class ValueTrimmer(Trimmer):
 
     score_kind = "value"
 
-    def scores(self, batch: np.ndarray) -> np.ndarray:
+    def scores(self, batch: Array) -> Array:
         arr = np.asarray(batch, dtype=float)
         if arr.ndim != 1:
             raise ValueError("ValueTrimmer expects 1-D batches")
         return arr
 
-    def scores_many(self, stacks: np.ndarray) -> np.ndarray:
+    def scores_many(self, stacks: Array) -> Array:
         arr = np.asarray(stacks, dtype=float)
         if arr.ndim != 2:
             raise ValueError("ValueTrimmer expects (R, n) stacks")
@@ -370,9 +373,9 @@ class RadialTrimmer(Trimmer):
 
     def __init__(self, anchor: str = "reference") -> None:
         super().__init__(anchor)
-        self._center: Optional[np.ndarray] = None
+        self._center: Optional[Array] = None
 
-    def fit_reference(self, reference) -> "RadialTrimmer":
+    def fit_reference(self, reference: ArrayLike) -> "RadialTrimmer":
         arr = np.asarray(reference, dtype=float)
         if arr.size == 0:
             raise ValueError("reference must be non-empty")
@@ -382,7 +385,7 @@ class RadialTrimmer(Trimmer):
         self._set_reference_scores(self.scores(arr))
         return self
 
-    def scores(self, batch: np.ndarray) -> np.ndarray:
+    def scores(self, batch: Array) -> Array:
         arr = np.asarray(batch, dtype=float)
         if arr.ndim == 1:
             if self._center is None:
@@ -402,7 +405,7 @@ class RadialTrimmer(Trimmer):
         center = np.median(arr, axis=0) if self._center is None else self._center
         return np.linalg.norm(arr - center, axis=1)
 
-    def scores_many(self, stacks: np.ndarray) -> np.ndarray:
+    def scores_many(self, stacks: Array) -> Array:
         arr = np.asarray(stacks, dtype=float)
         if arr.ndim not in (2, 3):
             raise ValueError("RadialTrimmer expects (R, n) or (R, n, d) stacks")

@@ -89,8 +89,10 @@ def scheme_specs(
     if key.startswith("elastic"):
         try:
             k = float(key[len("elastic"):])
-        except ValueError:
-            raise ValueError(f"cannot parse elastic strength from {name!r}")
+        except ValueError as exc:
+            raise ValueError(
+                f"cannot parse elastic strength from {name!r}"
+            ) from exc
         return (
             ComponentSpec(
                 ElasticCollector, {"t_th": t_th, "k": k, "rule": elastic_rule}

@@ -190,8 +190,10 @@ class FaultPlan:
             name, convert = mapping[key]
             try:
                 fields[name] = convert(raw.strip())
-            except ValueError:
-                raise ValueError(f"bad value in fault spec entry {chunk!r}")
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad value in fault spec entry {chunk!r}"
+                ) from exc
         return cls(**fields)
 
     # ------------------------------------------------------------------ #

@@ -236,17 +236,17 @@ def _run_rep_group(
         for slots in runs:
             if len(slots) >= _MIN_FUSED_RUN:
                 batch = play_rep_batch([specs[s] for s in slots])
-                for slot, result in zip(slots, batch):
+                for slot, result in zip(slots, batch, strict=False):
                     results[slot] = result
             else:
                 fused.extend(slots)
         if fused:
             cohort = play_fused_batch([specs[s] for s in fused])
-            for slot, result in zip(fused, cohort):
+            for slot, result in zip(fused, cohort, strict=False):
                 results[slot] = result
     if reduce is None:
-        return [_default_record(spec, result) for spec, result in zip(specs, results)]
-    return [reduce(spec, result) for spec, result in zip(specs, results)]
+        return [_default_record(spec, result) for spec, result in zip(specs, results, strict=False)]
+    return [reduce(spec, result) for spec, result in zip(specs, results, strict=False)]
 
 
 def _run_unit_task(
@@ -898,7 +898,7 @@ class SweepRunner:
         error = f"{type(exc).__name__}: {exc}"
         for offset, index, spec in zip(
             unit.offsets, unit.indices, unit.cells()
-        ):
+        , strict=False):
             yield offset, FailureRecord(
                 index=index,
                 tags=dict(getattr(spec, "tags", {}) or {}),
@@ -959,7 +959,7 @@ class SweepRunner:
                     yield from self._emit_quarantined(unit, exc)
                     return
                 raise
-            for offset, record in zip(unit.offsets, records):
+            for offset, record in zip(unit.offsets, records, strict=False):
                 yield offset, record
             return
 
@@ -1039,7 +1039,7 @@ class SweepRunner:
                     lost = list(inflight.items())
                     inflight.clear()
                     pool = respawn(pool)
-                    for future, (unit, started) in lost:
+                    for future, (unit, _started) in lost:
                         if future not in overdue:
                             pending.append(unit)
                             continue
@@ -1081,7 +1081,7 @@ class SweepRunner:
                         else:
                             raise
                     else:
-                        for offset, record in zip(unit.offsets, records):
+                        for offset, record in zip(unit.offsets, records, strict=False):
                             yield offset, record
                 if crashed:
                     # The pool is dead; every still-inflight unit died

@@ -385,7 +385,7 @@ def rep_keys_equal(a: tuple, b: tuple) -> bool:
     try:
         return bool(a == b)
     except ValueError:  # ambiguous ndarray truth value inside kwargs
-        return all(x is y for x, y in zip(a, b))
+        return all(x is y for x, y in zip(a, b, strict=False))
 
 
 def build_batched_game(specs: Iterable[GameSpec]) -> BatchedCollectionGame:
@@ -526,7 +526,7 @@ def play_fused_batch(specs: Iterable[GameSpec]) -> List[GameResult]:
     while True:
         active = [
             sid
-            for sid, horizon in zip(ids, horizons)
+            for sid, horizon in zip(ids, horizons, strict=False)
             if round_index < horizon
         ]
         if not active:

@@ -508,7 +508,7 @@ def _metagame_render(params: Mapping[str, Any], result: Any) -> str:
             rows.append((aname, cname, result.adversary_payoffs[i, j]))
     mixtures = ", ".join(
         f"{n}={w:.2f}"
-        for n, w in zip(result.collector_names, result.collector_mixture)
+        for n, w in zip(result.collector_names, result.collector_mixture, strict=False)
         if w > 1e-6
     )
     return format_table(

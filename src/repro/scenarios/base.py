@@ -157,7 +157,7 @@ class Scenario:
             except (TypeError, ValueError) as exc:
                 raise ScenarioError(
                     f"bad value for {self.name}.{key}: {exc}"
-                )
+                ) from exc
         return resolved
 
 

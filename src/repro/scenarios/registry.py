@@ -37,10 +37,10 @@ def get_scenario(name: str) -> Scenario:
     """Look a scenario up by name."""
     try:
         return _REGISTRY[name]
-    except KeyError:
+    except KeyError as exc:
         raise ScenarioError(
             f"unknown scenario {name!r}; options: {scenario_names()}"
-        )
+        ) from exc
 
 
 def scenario_names() -> List[str]:

@@ -459,7 +459,7 @@ class DefenseService:
                         stack = np.stack([arrays[sid] for sid in chunk])
                         for sid, decision in zip(
                             chunk, self._submit_lockstep(chunk, sessions, stack)
-                        ):
+                        , strict=False):
                             decisions[sid] = decision
                         self.stats.lockstep_rounds += 1
                         self.stats.lockstep_lanes += len(chunk)
@@ -572,7 +572,7 @@ class DefenseService:
                     cached is live
                     for cached, live in zip(
                         entry["sessions"], lane_sessions
-                    )
+                    , strict=False)
                 )
                 and lockstep.round_index == lead.round_index
                 and not entry["sink"].flushed

@@ -31,10 +31,11 @@ only when a consumer actually walks ``entries``).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.arrays import Array
 from ..core.strategies.base import RoundObservation
 
 __all__ = [
@@ -59,7 +60,7 @@ class BoardEntry:
     """
 
     observation: RoundObservation
-    retained: Optional[np.ndarray]
+    retained: Optional[Array]
     n_collected: int
     n_poison_injected: int
     n_poison_retained: int
@@ -83,16 +84,16 @@ class BoardColumns:
     they are shared with the board's internal cache.
     """
 
-    index: np.ndarray                 # (T,) int, 1-based round numbers
-    trim_percentile: np.ndarray       # (T,) float
-    injection_percentile: np.ndarray  # (T,) float, NaN = no injection
-    quality: np.ndarray               # (T,) float
-    observed_poison_ratio: np.ndarray  # (T,) float
-    betrayal: np.ndarray              # (T,) bool
-    n_collected: np.ndarray           # (T,) int
-    n_poison_injected: np.ndarray     # (T,) int
-    n_poison_retained: np.ndarray     # (T,) int
-    n_retained: np.ndarray            # (T,) int
+    index: Array                 # (T,) int, 1-based round numbers
+    trim_percentile: Array       # (T,) float
+    injection_percentile: Array  # (T,) float, NaN = no injection
+    quality: Array               # (T,) float
+    observed_poison_ratio: Array  # (T,) float
+    betrayal: Array              # (T,) bool
+    n_collected: Array           # (T,) int
+    n_poison_injected: Array     # (T,) int
+    n_poison_retained: Array     # (T,) int
+    n_retained: Array            # (T,) int
 
     @property
     def rounds(self) -> int:
@@ -123,12 +124,12 @@ _COLUMN_DTYPES = {
 }
 
 
-def _freeze(arr: np.ndarray) -> np.ndarray:
+def _freeze(arr: Array) -> Array:
     arr.setflags(write=False)
     return arr
 
 
-def _entry_row(entry: BoardEntry) -> tuple:
+def _entry_row(entry: BoardEntry) -> Tuple[Any, ...]:
     obs = entry.observation
     return (
         obs.index,
@@ -174,14 +175,14 @@ class PublicBoard:
             self._append_columns(entry)
         self._columns_cache: Optional[BoardColumns] = None
         # Payload of a lazily-entried, column-born board (see from_columns).
-        self._source_retained: Optional[List[np.ndarray]] = None
+        self._source_retained: Optional[List[Array]] = None
 
     # ------------------------------------------------------------------ #
     @classmethod
     def from_columns(
         cls,
         columns: BoardColumns,
-        retained: Optional[Sequence[np.ndarray]] = None,
+        retained: Optional[Sequence[Array]] = None,
         store_retained: bool = True,
     ) -> "PublicBoard":
         """A board born from column arrays (one rep of a stacked game).
@@ -208,7 +209,7 @@ class PublicBoard:
             self._col_lists = {
                 name: list(getattr(cols, name)) for name in _COLUMN_FIELDS
             }
-        for name, value in zip(_COLUMN_FIELDS, _entry_row(entry)):
+        for name, value in zip(_COLUMN_FIELDS, _entry_row(entry), strict=False):
             self._col_lists[name].append(value)
 
     def _materialize_entries(self) -> List[BoardEntry]:
@@ -286,8 +287,8 @@ class PublicBoard:
 
     def extend_columns(
         self,
-        columns: dict,
-        retained: Optional[Sequence[np.ndarray]] = None,
+        columns: dict[str, Sequence[Any]],
+        retained: Optional[Sequence[Array]] = None,
     ) -> None:
         """Bulk-append per-round column values (deferred lockstep flush).
 
@@ -312,7 +313,7 @@ class PublicBoard:
             self._col_lists = {
                 name: list(getattr(cols, name)) for name in _COLUMN_FIELDS
             }
-        payload: Optional[List[np.ndarray]] = None
+        payload: Optional[List[Array]] = None
         if self.store_retained:
             if retained is None or len(retained) != added:
                 raise ValueError(
@@ -357,7 +358,7 @@ class PublicBoard:
         """All public round observations, in order."""
         return [e.observation for e in self.entries]
 
-    def retained_data(self) -> np.ndarray:
+    def retained_data(self) -> Array:
         """All retained data concatenated across rounds.
 
         This is what downstream analytics (k-means, SVM, SOM, mean
@@ -418,24 +419,24 @@ class StackedBoard:
         self.n_reps = int(n_reps)
         self.store_retained = bool(store_retained)
         self._rows = {name: [] for name in _COLUMN_FIELDS if name != "index"}
-        self._retained: Optional[List[List[np.ndarray]]] = (
+        self._retained: Optional[List[List[Array]]] = (
             [] if self.store_retained else None
         )
-        self._stacked_cache: Optional[dict] = None
+        self._stacked_cache: Optional[dict[str, Any]] = None
 
     def record_round(
         self,
         *,
-        trim_percentile: np.ndarray,
-        injection_percentile: np.ndarray,
-        quality: np.ndarray,
-        observed_poison_ratio: np.ndarray,
-        betrayal: np.ndarray,
-        n_collected: np.ndarray,
-        n_poison_injected: np.ndarray,
-        n_poison_retained: np.ndarray,
-        n_retained: np.ndarray,
-        retained: Optional[List[np.ndarray]] = None,
+        trim_percentile: Array,
+        injection_percentile: Array,
+        quality: Array,
+        observed_poison_ratio: Array,
+        betrayal: Array,
+        n_collected: Array,
+        n_poison_injected: Array,
+        n_poison_retained: Array,
+        n_retained: Array,
+        retained: Optional[List[Array]] = None,
     ) -> None:
         """Append one completed round's ``(R,)`` column vectors."""
         row = {
@@ -473,7 +474,7 @@ class StackedBoard:
         """Number of recorded rounds."""
         return len(self)
 
-    def _stacked(self) -> dict:
+    def _stacked(self) -> dict[str, Any]:
         """(T, R) arrays per field, cached until the next record."""
         if self._stacked_cache is None:
             self._stacked_cache = {
@@ -507,7 +508,7 @@ class StackedBoard:
             store_retained=self.store_retained,
         )
 
-    def poison_retained_fractions(self) -> np.ndarray:
+    def poison_retained_fractions(self) -> Array:
         """(R,) ground-truth poison fractions of the retained data."""
         stacked = self._stacked()
         if not len(self):
@@ -516,7 +517,7 @@ class StackedBoard:
         poison = stacked["n_poison_retained"].sum(axis=0)
         return np.where(kept == 0, 0.0, poison / np.maximum(kept, 1))
 
-    def trimmed_fractions(self) -> np.ndarray:
+    def trimmed_fractions(self) -> Array:
         """(R,) overall trimmed fractions."""
         stacked = self._stacked()
         if not len(self):
@@ -552,15 +553,15 @@ class ColumnarBoard(StackedBoard):
         n_lanes: int,
         store_retained: bool = True,
         start_index: int = 0,
-        sync=None,
-    ):
+        sync: Optional[Callable[[], None]] = None,
+    ) -> None:
         super().__init__(n_lanes, store_retained)
         self.start_index = int(start_index)
         self._sync = sync
-        self._attached: List[tuple] = []
+        self._attached: List[Tuple[Any, int, int]] = []
         self.flushed = False
 
-    def attach(self, session, lane: int) -> None:
+    def attach(self, session: Any, lane: int) -> None:
         """Register a member session for flush-time row absorption."""
         self._attached.append((session, int(lane), len(self)))
 
@@ -569,7 +570,7 @@ class ColumnarBoard(StackedBoard):
             raise RuntimeError("cannot record into a flushed sink")
         super().record_round(**kwargs)
 
-    def record_decision(self, decision) -> None:
+    def record_decision(self, decision: Any) -> None:
         """Append one fused round from a ``BatchedRoundDecision``."""
         self.record_round(
             trim_percentile=decision.threshold,
@@ -584,7 +585,7 @@ class ColumnarBoard(StackedBoard):
             retained=decision.retained if self.store_retained else None,
         )
 
-    def lane_rows(self, lane: int, base: int) -> tuple:
+    def lane_rows(self, lane: int, base: int) -> Tuple[dict[str, List[Any]], Optional[List[Array]]]:
         """Lane ``lane``'s rows from ``base`` on, as per-field lists.
 
         The index column is absolute (``start_index``-offset) so the

@@ -20,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..core.arrays import Array, ArrayLike
 from ..core.quality import QualityEvaluator, TailMassEvaluator
 from ..core.strategies.base import CollectorStrategy, RoundObservation
 from ..core.trimming import Trimmer
@@ -50,10 +51,10 @@ class DataCollector:
         self,
         strategy: CollectorStrategy,
         trimmer: Trimmer,
-        reference,
+        reference: ArrayLike,
         quality_evaluator: Optional[QualityEvaluator] = None,
         betrayal_quality: float = 0.5,
-    ):
+    ) -> None:
         if not 0.0 <= betrayal_quality <= 1.0:
             raise ValueError("betrayal_quality must lie in [0, 1]")
         self.strategy = strategy
@@ -101,7 +102,7 @@ class DataCollector:
         """
         return self._next_threshold()
 
-    def collect(self, batch) -> np.ndarray:
+    def collect(self, batch: ArrayLike) -> Array:
         """Trim one incoming batch and advance the strategy.
 
         Returns the retained rows/values.  The per-round threshold comes

@@ -28,10 +28,11 @@ poison values accompany ``n`` benign ones, i.e. the adversary controls a
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
+from ..core.arrays import Array, ArrayLike
 from ..core.strategies.base import rng_state, set_rng_state
 
 __all__ = ["PoisonInjector", "BatchedInjector", "LanePositionServer"]
@@ -77,12 +78,12 @@ class PoisonInjector:
         self.mode = mode
         self._seed = seed
         self._rng = np.random.default_rng(seed)
-        self._ref_center: Optional[np.ndarray] = None
-        self._ref_scores: Optional[np.ndarray] = None
-        self._ref_values: Optional[np.ndarray] = None
-        self._ref_corner: Optional[np.ndarray] = None
+        self._ref_center: Optional[Array] = None
+        self._ref_scores: Optional[Array] = None
+        self._ref_values: Optional[Array] = None
+        self._ref_corner: Optional[Array] = None
 
-    def fit_reference(self, reference) -> "PoisonInjector":
+    def fit_reference(self, reference: ArrayLike) -> "PoisonInjector":
         """Calibrate percentile positions on the public reference.
 
         The white-box adversary knows the collector's public quality
@@ -112,11 +113,11 @@ class PoisonInjector:
         """Rewind the jitter stream so a reused injector replays identically."""
         self._rng = np.random.default_rng(self._seed)
 
-    def export_state(self) -> dict:
+    def export_state(self) -> dict[str, Any]:
         """The jitter Generator's bit-state (session snapshot contract)."""
         return {"rng": rng_state(self._rng)}
 
-    def import_state(self, state: dict) -> None:
+    def import_state(self, state: dict[str, Any]) -> None:
         """Restore the jitter stream captured by :meth:`export_state`."""
         set_rng_state(self._rng, state["rng"])
 
@@ -124,27 +125,27 @@ class PoisonInjector:
         """Number of poison points injected alongside ``n_benign`` rows."""
         return int(round(self.attack_ratio * n_benign))
 
-    def _positions(self, percentile: float, count: int) -> np.ndarray:
+    def _positions(self, percentile: float, count: int) -> Array:
         low = min(1.0, max(0.0, percentile))
         high = min(1.0, low + self.jitter)
         if high <= low:
             return np.full(count, low)
         return self._rng.uniform(low, high, size=count)
 
-    def _materialize_1d(self, benign: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    def _materialize_1d(self, benign: Array, positions: Array) -> Array:
         source = self._ref_values if self._ref_values is not None else benign
         return np.quantile(source, positions)
 
     def _materialize_corner(
-        self, benign: np.ndarray, positions: np.ndarray
-    ) -> np.ndarray:
+        self, benign: Array, positions: Array
+    ) -> Array:
         # np.quantile with axis=0 over a (count,) position vector gives
         # shape (count, d): one per-feature quantile corner per position.
         return np.quantile(benign, positions, axis=0)
 
     def _materialize_radial(
-        self, benign: np.ndarray, positions: np.ndarray
-    ) -> np.ndarray:
+        self, benign: Array, positions: Array
+    ) -> Array:
         if self._ref_center is not None and self._ref_scores is not None:
             center = self._ref_center
             scores = self._ref_scores
@@ -166,7 +167,7 @@ class PoisonInjector:
         direction = direction / norm
         return center[None, :] + targets[:, None] * direction[None, :]
 
-    def materialize(self, benign: np.ndarray, percentile: float) -> np.ndarray:
+    def materialize(self, benign: Array, percentile: float) -> Array:
         """Poison rows for one round, at a percentile of ``benign``.
 
         Returns an array shaped like ``benign`` rows: ``(m,)`` for 1-D
@@ -212,26 +213,25 @@ class LanePositionServer:
 
     _BLOCK = 256
 
-    def __init__(self, injectors):
+    def __init__(self, injectors: Sequence[PoisonInjector]) -> None:
         self.injectors = list(injectors)
         n = len(self.injectors)
         self._jitters = np.array(
             [float(inj.jitter) for inj in self.injectors]
         )
-        self._shadows: list = [None] * n
+        self._shadows: List[Optional[np.random.Generator]] = [None] * n
         self._eligible = np.zeros(n, dtype=bool)
         for r, inj in enumerate(self.injectors):
-            bit = inj._rng.bit_generator
-            if isinstance(bit, np.random.PCG64):
-                shadow = np.random.PCG64()
-                shadow.state = bit.state
-                self._shadows[r] = np.random.Generator(shadow)
+            if isinstance(inj._rng.bit_generator, np.random.PCG64):
+                shadow = np.random.Generator(np.random.PCG64())
+                set_rng_state(shadow, rng_state(inj._rng))
+                self._shadows[r] = shadow
                 self._eligible[r] = True
-        self._matrix: Optional[np.ndarray] = None  # (L, B) pre-drawn doubles
+        self._matrix: Optional[Array] = None  # (L, B) pre-drawn doubles
         self._cursors = np.zeros(n, dtype=np.int64)
         self._pending = np.zeros(n, dtype=np.int64)
 
-    def _refill(self, lanes: np.ndarray, count: int) -> None:
+    def _refill(self, lanes: Array, count: int) -> None:
         """Top up the pre-drawn blocks of ``lanes`` to serve ``count``.
 
         Unused tail doubles are always carried over — the doubles a lane
@@ -266,8 +266,8 @@ class LanePositionServer:
             self._cursors[r] = 0
 
     def positions(
-        self, lanes: np.ndarray, percentiles: np.ndarray, count: int
-    ) -> np.ndarray:
+        self, lanes: Array, percentiles: Array, count: int
+    ) -> Array:
         """(rows, count) jitter positions; row ``j`` serves lane ``lanes[j]``."""
         lanes = np.asarray(lanes, dtype=np.intp)
         rows = lanes.shape[0]
@@ -322,7 +322,7 @@ class BatchedInjector:
     guarantees it).
     """
 
-    def __init__(self, injectors):
+    def __init__(self, injectors: Sequence[PoisonInjector]) -> None:
         injectors = list(injectors)
         if not injectors:
             raise ValueError("need at least one injector")
@@ -349,7 +349,7 @@ class BatchedInjector:
         """The first rep's injector (shared calibration source)."""
         return self.injectors[0]
 
-    def fit_reference(self, reference) -> "BatchedInjector":
+    def fit_reference(self, reference: ArrayLike) -> "BatchedInjector":
         """Fit the lead injector and share its calibration with all reps.
 
         ``fit_reference`` is deterministic, so fitting once and aliasing
@@ -387,7 +387,7 @@ class BatchedInjector:
         """Poison rows per rep for ``n_benign`` benign rows (rep-uniform)."""
         return self.lead.poison_count(n_benign)
 
-    def poison_counts(self, n_benign: int) -> np.ndarray:
+    def poison_counts(self, n_benign: int) -> Array:
         """(R,) per-lane poison counts — rep-uniform for this wrapper."""
         return np.full(
             self.n_reps, self.lead.poison_count(n_benign), dtype=np.int64
@@ -395,10 +395,10 @@ class BatchedInjector:
 
     def materialize_many(
         self,
-        benign: np.ndarray,
-        percentiles: np.ndarray,
-        idx: Optional[np.ndarray] = None,
-    ) -> np.ndarray:
+        benign: Array,
+        percentiles: Array,
+        idx: Optional[Array] = None,
+    ) -> Array:
         """Poison stacks for one lockstep round.
 
         ``benign`` is the round's benign stack ``(R, b)`` or
@@ -447,8 +447,8 @@ class BatchedInjector:
         )
 
     def _materialize_radial_many(
-        self, stack: np.ndarray, positions: np.ndarray
-    ) -> np.ndarray:
+        self, stack: Array, positions: Array
+    ) -> Array:
         lead = self.lead
         if lead._ref_center is None or lead._ref_scores is None:
             return np.stack(

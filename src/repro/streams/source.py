@@ -22,16 +22,19 @@ the batched engine's per-rep reproducibility relies on.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Any, Callable, List, Optional
 
 import numpy as np
 
+from ..core.arrays import Array, ArrayLike
 from ..core.strategies.base import rng_state, set_rng_state
 
 __all__ = ["StreamSource", "ArrayStream", "GeneratorStream"]
 
 
-def _lane_seeds(seed):
+def _lane_seeds(
+    seed: Any,
+) -> tuple[Optional[Any], Optional[List[Any]]]:
     """Split a seed argument into (single_seed, lane_seeds)."""
     if isinstance(seed, (list, tuple)):
         if len(seed) == 0:
@@ -55,11 +58,11 @@ class StreamSource:
     def reset(self) -> None:
         """Rewind the stream to its initial state."""
 
-    def next_batch(self) -> np.ndarray:
+    def next_batch(self) -> Array:
         """The next round's benign batch (1-D values or 2-D rows)."""
         raise NotImplementedError
 
-    def next_batches(self) -> np.ndarray:
+    def next_batches(self) -> Array:
         """One round's batches for every rep lane, stacked ``(R, batch, ...)``.
 
         Only available in rep-lane mode; each lane advances exactly as a
@@ -70,7 +73,7 @@ class StreamSource:
             "sequence of seeds, one per repetition)"
         )
 
-    def export_state(self) -> dict:
+    def export_state(self) -> dict[str, Any]:
         """Mutable stream position (cursor/RNG) as a plain-data dict.
 
         Mirrors the strategy state-export contract: ``reset()`` followed
@@ -80,7 +83,7 @@ class StreamSource:
         """
         return {}
 
-    def import_state(self, state: dict) -> None:
+    def import_state(self, state: dict[str, Any]) -> None:
         """Restore a stream position captured by :meth:`export_state`."""
 
 
@@ -101,11 +104,11 @@ class ArrayStream(StreamSource):
 
     def __init__(
         self,
-        data,
+        data: ArrayLike,
         batch_size: int,
         shuffle: bool = True,
-        seed=None,
-    ):
+        seed: Any = None,
+    ) -> None:
         arr = np.asarray(data, dtype=float)
         if arr.ndim not in (1, 2) or arr.shape[0] == 0:
             raise ValueError("data must be a non-empty 1-D or 2-D array")
@@ -123,7 +126,7 @@ class ArrayStream(StreamSource):
     def lanes(self) -> Optional[int]:
         return None if self._lane_seeds is None else len(self._lane_seeds)
 
-    def _fresh_lane(self, seed):
+    def _fresh_lane(self, seed: Any) -> List[Any]:
         rng = np.random.default_rng(seed)
         order = np.arange(self._data.shape[0])
         if self.shuffle:
@@ -136,7 +139,7 @@ class ArrayStream(StreamSource):
         else:
             self._lane_state = [self._fresh_lane(s) for s in self._lane_seeds]
 
-    def _lane_dict(self, state) -> dict:
+    def _lane_dict(self, state: List[Any]) -> dict[str, Any]:
         rng, order, cursor = state
         return {
             "rng": rng_state(rng),
@@ -144,17 +147,17 @@ class ArrayStream(StreamSource):
             "cursor": int(cursor),
         }
 
-    def _restore_lane(self, state, lane: dict) -> None:
+    def _restore_lane(self, state: List[Any], lane: dict[str, Any]) -> None:
         set_rng_state(state[0], lane["rng"])
         state[1] = np.asarray(lane["order"], dtype=np.int64).copy()
         state[2] = int(lane["cursor"])
 
-    def export_state(self) -> dict:
+    def export_state(self) -> dict[str, Any]:
         if self._lane_seeds is None:
             return self._lane_dict([self._rng, self._order, self._cursor])
         return {"lanes": [self._lane_dict(s) for s in self._lane_state]}
 
-    def import_state(self, state: dict) -> None:
+    def import_state(self, state: dict[str, Any]) -> None:
         if self._lane_seeds is None:
             lane_state = [self._rng, self._order, self._cursor]
             self._restore_lane(lane_state, state)
@@ -166,10 +169,10 @@ class ArrayStream(StreamSource):
                 f"state carries {len(lanes)} lanes, stream has "
                 f"{len(self._lane_state)}"
             )
-        for lane_state, lane in zip(self._lane_state, lanes):
+        for lane_state, lane in zip(self._lane_state, lanes, strict=False):
             self._restore_lane(lane_state, lane)
 
-    def _next_index(self, state) -> np.ndarray:
+    def _next_index(self, state: List[Any]) -> Array:
         rng, order, cursor = state
         if cursor + self.batch_size > self._data.shape[0]:
             if self.shuffle:
@@ -179,7 +182,7 @@ class ArrayStream(StreamSource):
         state[2] = cursor + self.batch_size
         return idx
 
-    def next_batch(self) -> np.ndarray:
+    def next_batch(self) -> Array:
         if self._lane_seeds is not None:
             raise RuntimeError(
                 "this stream runs in rep-lane mode; use next_batches()"
@@ -191,7 +194,7 @@ class ArrayStream(StreamSource):
         # never corrupt the backing dataset through the returned batch.
         return self._data[idx]
 
-    def next_batches(self) -> np.ndarray:
+    def next_batches(self) -> Array:
         if self._lane_seeds is None:
             return super().next_batches()
         return np.stack(
@@ -210,10 +213,10 @@ class GeneratorStream(StreamSource):
 
     def __init__(
         self,
-        factory: Callable[[np.random.Generator, int], np.ndarray],
+        factory: Callable[[np.random.Generator, int], Array],
         batch_size: int,
-        seed=None,
-    ):
+        seed: Any = None,
+    ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self._factory = factory
@@ -231,12 +234,12 @@ class GeneratorStream(StreamSource):
         else:
             self._lane_rngs = [np.random.default_rng(s) for s in self._lane_seeds]
 
-    def export_state(self) -> dict:
+    def export_state(self) -> dict[str, Any]:
         if self._lane_seeds is None:
             return {"rng": rng_state(self._rng)}
         return {"lanes": [{"rng": rng_state(rng)} for rng in self._lane_rngs]}
 
-    def import_state(self, state: dict) -> None:
+    def import_state(self, state: dict[str, Any]) -> None:
         if self._lane_seeds is None:
             set_rng_state(self._rng, state["rng"])
             return
@@ -246,10 +249,10 @@ class GeneratorStream(StreamSource):
                 f"state carries {len(lanes)} lanes, stream has "
                 f"{len(self._lane_rngs)}"
             )
-        for rng, lane in zip(self._lane_rngs, lanes):
+        for rng, lane in zip(self._lane_rngs, lanes, strict=False):
             set_rng_state(rng, lane["rng"])
 
-    def _draw(self, rng) -> np.ndarray:
+    def _draw(self, rng: np.random.Generator) -> Array:
         batch = np.asarray(self._factory(rng, self.batch_size), dtype=float)
         if batch.shape[0] != self.batch_size:
             raise ValueError(
@@ -257,14 +260,14 @@ class GeneratorStream(StreamSource):
             )
         return batch
 
-    def next_batch(self) -> np.ndarray:
+    def next_batch(self) -> Array:
         if self._lane_seeds is not None:
             raise RuntimeError(
                 "this stream runs in rep-lane mode; use next_batches()"
             )
         return self._draw(self._rng)
 
-    def next_batches(self) -> np.ndarray:
+    def next_batches(self) -> Array:
         if self._lane_seeds is None:
             return super().next_batches()
         return np.stack([self._draw(rng) for rng in self._lane_rngs])

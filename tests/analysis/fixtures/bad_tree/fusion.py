@@ -1,0 +1,52 @@
+# REP006 fixture: a mutable column declared as a fusion *param*, and a
+# compiled round program closing over lane state.
+import numpy as np
+
+
+class EmaLanes:
+    fusion_family = "ema"
+    fusion_params = ("alpha", "level")  # "level" is mutated in react_many
+
+    def __init__(self, instances):
+        self._alpha = np.array([inst.alpha for inst in instances])
+        self._level = np.array([inst.level for inst in instances])
+
+    def react_many(self, last):
+        self._level = self._alpha * last + (1.0 - self._alpha) * self._level
+        return self._level
+
+    def reset_many(self):
+        self._level = np.zeros_like(self._level)
+
+
+class ClosureLanes:
+    fusion_family = "closure"
+    fusion_params = ("gain",)
+
+    def __init__(self, instances):
+        self._gain = np.array([inst.gain for inst in instances])
+        self._count = 0
+
+    def compile_program(self):
+        def program(batch):
+            self._count += 1  # impure compiled round program
+            return batch * self._gain
+
+        return program
+
+
+class NearMissLanes:
+    # Near miss: "offset" is packed at build and only ever *read* by the
+    # play path; the running `_level` column is declared as fusion_state,
+    # where mutation is the point.  Clean.
+    fusion_family = "near-miss"
+    fusion_params = ("offset",)
+    fusion_state = ("level",)
+
+    def __init__(self, instances):
+        self._offset = np.array([inst.offset for inst in instances])
+        self._level = np.array([inst.level for inst in instances])
+
+    def react_many(self, last):
+        self._level = self._level + self._offset
+        return self._level

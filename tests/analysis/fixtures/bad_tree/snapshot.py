@@ -1,0 +1,51 @@
+# REP008 fixture: a play-mutated counter missing from the snapshot
+# round-trip surface.
+
+
+class ForgetfulCollector:
+    def __init__(self, t_th):
+        self.t_th = float(t_th)
+        self._threshold = float(t_th)
+        self._streak = 0  # mutated in react(), absent from export/import
+
+    def react(self, last):
+        if last.betrayal:
+            self._streak += 1
+        self._threshold = self.t_th - 0.01 * self._streak
+        return self._threshold
+
+    def reset(self):
+        self._threshold = float(self.t_th)
+        self._streak = 0
+
+    def export_state(self):
+        return {"threshold": self._threshold}
+
+    def import_state(self, state):
+        self._threshold = float(state["threshold"])
+
+
+class CompleteCollector:
+    # Near miss: the same shape, but every mutated attribute is covered
+    # by the export/import round trip.  Clean.
+    def __init__(self, t_th):
+        self.t_th = float(t_th)
+        self._threshold = float(t_th)
+        self._streak = 0
+
+    def react(self, last):
+        if last.betrayal:
+            self._streak += 1
+        self._threshold = self.t_th - 0.01 * self._streak
+        return self._threshold
+
+    def reset(self):
+        self._threshold = float(self.t_th)
+        self._streak = 0
+
+    def export_state(self):
+        return {"threshold": self._threshold, "streak": self._streak}
+
+    def import_state(self, state):
+        self._threshold = float(state["threshold"])
+        self._streak = int(state["streak"])

@@ -1,0 +1,50 @@
+# REP007 fixture: a lane class writing tenant state mid-round, and raw
+# Generator bit-state handled outside rng_state()/set_rng_state().
+import numpy as np
+
+
+class EagerLanes:
+    fusion_family = "eager"
+    fusion_params = ()
+
+    def __init__(self, instances):
+        self.instances = list(instances)
+        self._current = np.array([inst._current for inst in instances])
+
+    def react_many(self, last):
+        out = self._current + last
+        for r, inst in enumerate(self.instances):
+            inst._current = out[r]  # mid-round writeback: races finalize()
+        return out
+
+    def finalize(self):
+        for r, inst in enumerate(self.instances):
+            inst._current = float(self._current[r])
+
+
+def clone_generator(rng):
+    shadow = np.random.PCG64()
+    shadow.state = rng.bit_generator.state  # raw bit-state copy
+    return np.random.Generator(shadow)
+
+
+class NearMissLanes:
+    # Near miss: the same tenant writeback, but performed inside
+    # finalize() and a helper it calls — the sanctioned surface.  Clean.
+    fusion_family = "eager-near-miss"
+    fusion_params = ()
+
+    def __init__(self, instances):
+        self.instances = list(instances)
+        self._current = np.array([inst._current for inst in instances])
+
+    def react_many(self, last):
+        self._current = self._current + last
+        return self._current
+
+    def finalize(self):
+        self._write_back()
+
+    def _write_back(self):
+        for r, inst in enumerate(self.instances):
+            inst._current = float(self._current[r])

@@ -15,7 +15,16 @@ def test_bad_tree_exits_nonzero_with_every_rule(capsys):
     code = lint_main([str(FIXTURES / "bad_tree")])
     out = capsys.readouterr().out
     assert code == 1
-    for rule in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+    for rule in (
+        "REP001",
+        "REP002",
+        "REP003",
+        "REP004",
+        "REP005",
+        "REP006",
+        "REP007",
+        "REP008",
+    ):
         assert rule in out, f"{rule} missing from:\n{out}"
 
 
@@ -48,7 +57,7 @@ def test_list_rules_table(capsys):
     code = lint_main(["--list-rules"])
     out = capsys.readouterr().out
     assert code == 0
-    for rule in ("REP001", "REP005", "CONF001", "CONF006"):
+    for rule in ("REP001", "REP005", "REP008", "CONF001", "CONF006", "CONF007"):
         assert rule in out
 
 
@@ -64,3 +73,101 @@ def test_full_self_audit_is_clean(capsys):
     out = capsys.readouterr().out
     assert code == 0, out
     assert "lint + conformance: clean" in out
+
+
+# --------------------------------------------------------------------- #
+# --format json / --baseline / --update-golden
+# --------------------------------------------------------------------- #
+def test_json_format_bad_tree(capsys):
+    import json
+
+    code = lint_main([str(FIXTURES / "bad_tree"), "--format", "json"])
+    out = capsys.readouterr().out
+    assert code == 1
+    report = json.loads(out)
+    assert report["format"] == "repro.lint-report/1"
+    assert report["summary"]["errors"] == len(report["findings"])
+    assert report["summary"]["warnings"] == 0
+    rules = {finding["rule"] for finding in report["findings"]}
+    assert {"REP001", "REP006", "REP007", "REP008"} <= rules
+    first = report["findings"][0]
+    assert set(first) == {
+        "path", "line", "column", "rule", "severity", "message", "hint",
+    }
+
+
+def test_json_format_clean_tree(capsys):
+    import json
+
+    code = lint_main([str(FIXTURES / "clean_tree"), "--format", "json"])
+    report = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert report["findings"] == []
+    assert report["summary"]["errors"] == 0
+
+
+def test_baseline_round_trip(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    code = lint_main(
+        [str(FIXTURES / "bad_tree"), "--write-baseline", str(baseline)]
+    )
+    capsys.readouterr()
+    assert code == 0
+    assert baseline.is_file()
+
+    # Every recorded finding is suppressed: the bad tree now passes.
+    code = lint_main(
+        [str(FIXTURES / "bad_tree"), "--baseline", str(baseline)]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "clean" in out and "baselined" in out
+
+
+def test_baseline_does_not_hide_new_findings(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    lint_main(
+        [str(FIXTURES / "bad_tree" / "rng.py"), "--write-baseline", str(baseline)]
+    )
+    capsys.readouterr()
+    code = lint_main(
+        [str(FIXTURES / "bad_tree"), "--baseline", str(baseline)]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "baselined" in out
+
+
+def test_baseline_entries_survive_line_drift(tmp_path, capsys):
+    import json
+
+    baseline = tmp_path / "baseline.json"
+    lint_main(
+        [str(FIXTURES / "bad_tree" / "rng.py"), "--write-baseline", str(baseline)]
+    )
+    capsys.readouterr()
+    document = json.loads(baseline.read_text(encoding="utf-8"))
+    assert document["format"] == "repro.lint-baseline/1"
+    for entry in document["findings"]:
+        assert set(entry) == {"rule", "path", "message"}  # no line numbers
+
+
+def test_unreadable_baseline_is_usage_error(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{nope", encoding="utf-8")
+    code = lint_main(
+        [str(FIXTURES / "clean_tree"), "--baseline", str(bad)]
+    )
+    assert code == 2
+
+
+def test_update_golden_writes_transcript(tmp_path, capsys, monkeypatch):
+    import repro.analysis.golden as golden_mod
+
+    target = tmp_path / "transcript.json"
+    monkeypatch.setattr(golden_mod, "GOLDEN_PATH", target)
+    code = lint_main(["--update-golden"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert target.is_file()
+    assert "golden transcript written" in out

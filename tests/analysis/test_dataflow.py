@@ -1,0 +1,185 @@
+"""Unit tests for the interprocedural dataflow layer."""
+
+import ast
+
+import pytest
+
+from repro.analysis.dataflow import ModuleDataflow, is_set_expr, walk_body
+from repro.analysis.engine import ModuleContext
+
+
+def df_of(source):
+    ctx = ModuleContext.parse("m.py", source)
+    return ctx, ModuleDataflow.of(ctx)
+
+
+def call_in(ctx, qualname):
+    """First Call node inside the named function."""
+    for fn in ast.walk(ctx.tree):
+        if isinstance(fn, ast.FunctionDef):
+            parent = ctx.parent(fn)
+            qual = (
+                f"{parent.name}.{fn.name}"
+                if isinstance(parent, ast.ClassDef)
+                else fn.name
+            )
+            if qual == qualname:
+                for node in ast.walk(fn):
+                    if isinstance(node, ast.Call):
+                        return node
+    raise AssertionError(f"no call in {qualname}")
+
+
+class TestSummaries:
+    def test_cached_per_context(self):
+        ctx, df = df_of("def f():\n    return 1\n")
+        assert ModuleDataflow.of(ctx) is df
+
+    def test_returns_set_direct(self):
+        ctx, df = df_of(
+            "def parts(doc):\n"
+            "    return {k for k in doc}\n"
+            "def caller(doc):\n"
+            "    return parts(doc)\n"
+        )
+        assert df.returns_set("caller", call_in(ctx, "caller"))
+
+    def test_returns_set_transitive(self):
+        ctx, df = df_of(
+            "def leaf(doc):\n"
+            "    return set(doc)\n"
+            "def mid(doc):\n"
+            "    return leaf(doc)\n"
+            "def caller(doc):\n"
+            "    return mid(doc)\n"
+        )
+        assert df.returns_set("caller", call_in(ctx, "caller"))
+
+    def test_returns_list_not_set(self):
+        ctx, df = df_of(
+            "def parts(doc):\n"
+            "    return sorted(set(doc))\n"
+            "def caller(doc):\n"
+            "    return parts(doc)\n"
+        )
+        assert not df.returns_set("caller", call_in(ctx, "caller"))
+
+    def test_self_method_resolution(self):
+        ctx, df = df_of(
+            "class Store:\n"
+            "    def _keys(self):\n"
+            "        return {1, 2}\n"
+            "    def dump(self):\n"
+            "        return self._keys()\n"
+        )
+        assert df.returns_set("Store.dump", call_in(ctx, "Store.dump"))
+
+    def test_unordered_helper_detected(self):
+        ctx, df = df_of(
+            "def render(doc):\n"
+            "    return [k for k in {k for k in doc}]\n"
+            "def caller(doc):\n"
+            "    return render(doc)\n"
+        )
+        helper = df.performs_unordered_iteration(
+            "caller", call_in(ctx, "caller")
+        )
+        assert helper == "render"
+
+    def test_unordered_param_positions(self):
+        ctx, df = df_of(
+            "def render(prefix, parts):\n"
+            "    return [p for p in parts]\n"
+            "def caller(doc):\n"
+            "    return render('x', doc)\n"
+        )
+        assert df.unordered_param_positions(
+            "caller", call_in(ctx, "caller")
+        ) == [1]
+
+    def test_sorted_iteration_is_ordered(self):
+        ctx, df = df_of(
+            "def render(parts):\n"
+            "    return [p for p in sorted(parts)]\n"
+            "def caller(doc):\n"
+            "    return render(doc)\n"
+        )
+        assert (
+            df.performs_unordered_iteration("caller", call_in(ctx, "caller"))
+            is None
+        )
+        assert df.unordered_param_positions(
+            "caller", call_in(ctx, "caller")
+        ) == []
+
+
+class TestClassView:
+    SRC = (
+        "def _shared_reset(obj):\n"
+        "    obj._count = 0\n"
+        "class _Base:\n"
+        "    def reset(self):\n"
+        "        _shared_reset(self)\n"
+        "class ThingCollector(_Base):\n"
+        "    def __init__(self):\n"
+        "        self._count = 0\n"
+        "    def react(self, last):\n"
+        "        self._bump()\n"
+        "    def _bump(self):\n"
+        "        self._count += 1\n"
+    )
+
+    def test_linearized_methods(self):
+        _, df = df_of(self.SRC)
+        view = df.class_view("ThingCollector")
+        assert {"reset", "__init__", "react", "_bump"} <= set(view.methods)
+
+    def test_reachable_closure(self):
+        _, df = df_of(self.SRC)
+        view = df.class_view("ThingCollector")
+        assert view.reachable({"react"}) == {"react", "_bump"}
+
+    def test_attrs_assigned_through_module_helper(self):
+        # _shared_reset(self) writes obj._count: reset restores _count.
+        _, df = df_of(self.SRC)
+        view = df.class_view("ThingCollector")
+        assert "_count" in view.attrs_assigned({"reset"})
+
+    def test_method_writes(self):
+        _, df = df_of(self.SRC)
+        view = df.class_view("ThingCollector")
+        assert "_count" in view.method_writes("_bump")
+
+
+class TestHelpers:
+    @pytest.mark.parametrize(
+        "expr, expected",
+        [
+            ("{1, 2}", True),
+            ("{k for k in d}", True),
+            ("set(d)", True),
+            ("frozenset(d)", True),
+            ("[1, 2]", False),
+            ("sorted(d)", False),
+            ("{1: 2}", False),
+        ],
+    )
+    def test_is_set_expr(self, expr, expected):
+        ctx = ModuleContext.parse("m.py", f"x = {expr}\n")
+        node = ctx.tree.body[0].value
+        assert is_set_expr(ctx, node) is expected
+
+    def test_walk_body_skips_nested_defs(self):
+        fn = ast.parse(
+            "def outer():\n"
+            "    a = 1\n"
+            "    def inner():\n"
+            "        b = 2\n"
+            "    return a\n"
+        ).body[0]
+        names = {
+            node.id
+            for node in walk_body(fn)
+            if isinstance(node, ast.Name)
+        }
+        assert "a" in names and "b" not in names

@@ -1,0 +1,99 @@
+"""CONF007 — golden-transcript audit tests.
+
+The checked-in transcript must replay byte-for-byte at HEAD, and a
+deliberate one-draw perturbation of the decision loop must be caught —
+the audit is only worth its runtime if it actually trips on drift.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.golden import (
+    GOLDEN_FORMAT,
+    GOLDEN_PATH,
+    build_transcript,
+    record_golden,
+    replay_golden,
+)
+from repro.streams.injection import PoisonInjector
+
+
+def test_golden_file_checked_in():
+    assert GOLDEN_PATH.is_file(), (
+        "tests/analysis/golden/transcript.json is missing — regenerate "
+        "with `repro lint --update-golden`"
+    )
+    document = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    assert document["format"] == GOLDEN_FORMAT
+    assert len(document["cells"]) == 3
+    for cell in document["cells"]:
+        assert len(cell["rounds"]) == 12
+        for entry in cell["rounds"]:
+            assert entry["state_sha256"]
+
+
+def test_replay_clean_at_head():
+    assert replay_golden() == []
+
+
+def test_transcript_is_deterministic():
+    assert build_transcript() == build_transcript()
+
+
+def test_missing_file_is_finding(tmp_path):
+    findings = replay_golden(tmp_path / "nope.json")
+    assert [f.rule for f in findings] == ["CONF007"]
+    assert "missing" in findings[0].message
+
+
+def test_corrupt_file_is_finding(tmp_path):
+    path = tmp_path / "transcript.json"
+    path.write_text("{not json", encoding="utf-8")
+    findings = replay_golden(path)
+    assert [f.rule for f in findings] == ["CONF007"]
+    assert "not valid JSON" in findings[0].message
+
+
+def test_record_golden_round_trips(tmp_path):
+    path = record_golden(tmp_path / "golden" / "transcript.json")
+    assert replay_golden(path) == []
+
+
+def test_perturbed_rng_draw_is_caught(monkeypatch):
+    # Deliberate regression: burn one extra jitter draw per materialize.
+    # Every downstream draw shifts, the state fingerprints (and usually
+    # the poison placements) diverge, and CONF007 must fire.
+    original = PoisonInjector.materialize
+
+    def skewed(self, batch, position):
+        self._rng.uniform()
+        return original(self, batch, position)
+
+    monkeypatch.setattr(PoisonInjector, "materialize", skewed)
+    findings = replay_golden()
+    assert [f.rule for f in findings] == ["CONF007"]
+    assert "diverged" in findings[0].message
+
+
+def test_divergence_names_cell_and_round(tmp_path):
+    transcript = build_transcript()
+    transcript["cells"][1]["rounds"][4]["n_retained"] += 1
+    path = tmp_path / "transcript.json"
+    from repro.runtime.store import canonical_json
+
+    path.write_text(canonical_json(transcript) + "\n", encoding="utf-8")
+    findings = replay_golden(path)
+    assert len(findings) == 1
+    message = findings[0].message
+    assert "round 5" in message and "n_retained" in message
+
+
+@pytest.mark.slow
+def test_auditor_runs_conf007():
+    from repro.analysis.conformance import ConformanceAuditor
+
+    auditor = ConformanceAuditor(
+        checks={"CONF007"}, subprocess_checks=False
+    )
+    assert auditor.audit() == []

@@ -117,3 +117,32 @@ def test_iter_python_files_dedups_and_sorts(tmp_path):
     (tmp_path / "a.py").write_text("y = 2\n")
     files = list(iter_python_files([str(tmp_path), str(tmp_path / "a.py")]))
     assert [f.name for f in files] == ["a.py", "b.py"]
+
+
+def test_def_noqa_covers_decorator_lines(engine):
+    # A finding anchored to a decorator line is suppressed by the noqa
+    # on the decorated def line — the natural place to write it.
+    source = (
+        "import random\n"
+        "import functools\n"
+        "@functools.lru_cache(maxsize=int(random.random() * 8))\n"
+        "def cached():  # repro: noqa[REP001]\n"
+        "    return 1\n"
+    )
+    assert engine.lint_source(source) == []
+
+
+def test_def_noqa_propagation_keeps_other_rules(engine):
+    source = (
+        "import random\n"
+        "import functools\n"
+        "@functools.lru_cache(maxsize=int(random.random() * 8))\n"
+        "def cached():  # repro: noqa[REP004]\n"
+        "    return 1\n"
+    )
+    assert [f.rule for f in engine.lint_source(source)] == ["REP001"]
+
+
+def test_undecorated_def_noqa_unchanged(engine):
+    source = "import random\nx = random.random()  # repro: noqa[REP001]\n"
+    assert engine.lint_source(source) == []

@@ -308,3 +308,305 @@ class TestRep005:
             "self._round = 0  # repro: noqa[REP005]\n    def react",
         )
         assert rules_in(engine, src) == []
+
+
+# --------------------------------------------------------------------- #
+# REP003 interprocedural — taint through local helpers and methods
+# --------------------------------------------------------------------- #
+class TestRep003Interprocedural:
+    def test_helper_returning_set_iterated(self, engine):
+        src = (
+            "def _parts(doc):\n"
+            "    return {k for k in doc}\n"
+            "def fingerprint(doc):\n"
+            "    return '|'.join(_parts(doc))\n"
+        )
+        assert rules_in(engine, src) == ["REP003"]
+
+    def test_helper_chain_two_deep(self, engine):
+        # _parts -> _raw_parts: the set travels two helper hops.
+        src = (
+            "def _raw_parts(doc):\n"
+            "    return set(doc)\n"
+            "def _parts(doc):\n"
+            "    return _raw_parts(doc)\n"
+            "def fingerprint(doc):\n"
+            "    out = []\n"
+            "    for part in _parts(doc):\n"
+            "        out.append(part)\n"
+            "    return out\n"
+        )
+        assert rules_in(engine, src) == ["REP003"]
+
+    def test_self_method_returning_set(self, engine):
+        src = (
+            "class Store:\n"
+            "    def _keys(self):\n"
+            "        return {k for k in self._docs}\n"
+            "    def state_dict(self):\n"
+            "        return list(self._keys())\n"
+        )
+        assert rules_in(engine, src) == ["REP003"]
+
+    def test_helper_iterating_set_unordered(self, engine):
+        # The helper launders the iteration, not the instability.
+        src = (
+            "def _render(parts):\n"
+            "    return [p for p in parts]\n"
+            "def cache_key(doc):\n"
+            "    return _render({k for k in doc})\n"
+        )
+        assert rules_in(engine, src) == ["REP003"]
+
+    def test_sorted_helper_result_clean(self, engine):
+        src = (
+            "def _parts(doc):\n"
+            "    return {k for k in doc}\n"
+            "def fingerprint(doc):\n"
+            "    return '|'.join(sorted(_parts(doc)))\n"
+        )
+        assert rules_in(engine, src) == []
+
+    def test_helper_sorting_internally_clean(self, engine):
+        src = (
+            "def _render(parts):\n"
+            "    return [p for p in sorted(parts)]\n"
+            "def cache_key(doc):\n"
+            "    return _render({k for k in doc})\n"
+        )
+        assert rules_in(engine, src) == []
+
+    def test_local_bound_to_set_returning_helper(self, engine):
+        src = (
+            "def _parts(doc):\n"
+            "    return {k for k in doc}\n"
+            "def spec_hash(doc):\n"
+            "    parts = _parts(doc)\n"
+            "    return ','.join(parts)\n"
+        )
+        assert rules_in(engine, src) == ["REP003"]
+
+    def test_outside_canonical_function_clean(self, engine):
+        # The interprocedural sinks still apply only inside
+        # canonicalizing functions.
+        src = (
+            "def _parts(doc):\n"
+            "    return {k for k in doc}\n"
+            "def summarize(doc):\n"
+            "    return list(_parts(doc))\n"
+        )
+        assert rules_in(engine, src) == []
+
+
+# --------------------------------------------------------------------- #
+# REP006 — fusion purity
+# --------------------------------------------------------------------- #
+_MUTABLE_PARAM_LANES = (
+    "import numpy as np\n"
+    "class EmaLanes:\n"
+    "    fusion_family = 'ema'\n"
+    "    fusion_params = ('alpha', 'level')\n"
+    "    def __init__(self, instances):\n"
+    "        self._alpha = np.array([inst.alpha for inst in instances])\n"
+    "        self._level = np.array([inst.level for inst in instances])\n"
+    "    def react_many(self, last):\n"
+    "        self._level = self._alpha * last + self._level\n"
+    "        return self._level\n"
+)
+
+
+class TestRep006:
+    def test_mutated_param_column_flagged(self, engine):
+        assert rules_in(engine, _MUTABLE_PARAM_LANES) == ["REP006"]
+
+    def test_fusion_state_declaration_clean(self, engine):
+        src = _MUTABLE_PARAM_LANES.replace(
+            "    fusion_params = ('alpha', 'level')\n",
+            "    fusion_params = ('alpha',)\n"
+            "    fusion_state = ('level',)\n",
+        )
+        assert rules_in(engine, src) == []
+
+    def test_non_tuple_declaration_flagged(self, engine):
+        src = (
+            "class BadLanes:\n"
+            "    fusion_family = 'bad'\n"
+            "    fusion_params = ['alpha']\n"
+        )
+        assert rules_in(engine, src) == ["REP006"]
+
+    def test_duplicate_column_flagged(self, engine):
+        src = (
+            "class DupLanes:\n"
+            "    fusion_family = 'dup'\n"
+            "    fusion_params = ('alpha', 'alpha')\n"
+        )
+        assert rules_in(engine, src) == ["REP006"]
+
+    def test_state_mutating_closure_flagged(self, engine):
+        src = (
+            "class ClosureLanes:\n"
+            "    fusion_family = 'closure'\n"
+            "    fusion_params = ()\n"
+            "    def __init__(self):\n"
+            "        self._count = 0\n"
+            "    def compile_program(self):\n"
+            "        def program(batch):\n"
+            "            self._count += 1\n"
+            "            return batch\n"
+            "        return program\n"
+        )
+        assert rules_in(engine, src) == ["REP006"]
+
+    def test_pure_closure_clean(self, engine):
+        src = (
+            "class PureLanes:\n"
+            "    fusion_family = 'pure'\n"
+            "    fusion_params = ('gain',)\n"
+            "    def __init__(self, instances):\n"
+            "        self._gain = [inst.gain for inst in instances]\n"
+            "    def compile_program(self):\n"
+            "        gain = self._gain\n"
+            "        def program(batch):\n"
+            "            return [g * batch for g in gain]\n"
+            "        return program\n"
+        )
+        assert rules_in(engine, src) == []
+
+    def test_empty_family_not_scoped(self, engine):
+        # The fallback/base declaration shape: family '' never fuses.
+        src = _MUTABLE_PARAM_LANES.replace("'ema'", "''")
+        assert rules_in(engine, src) == []
+
+
+# --------------------------------------------------------------------- #
+# REP007 — deferred-writeback safety
+# --------------------------------------------------------------------- #
+class TestRep007:
+    def test_play_path_tenant_write_flagged(self, engine):
+        src = (
+            "class EagerLanes:\n"
+            "    fusion_family = 'eager'\n"
+            "    fusion_params = ()\n"
+            "    def __init__(self, instances):\n"
+            "        self.instances = list(instances)\n"
+            "    def react_many(self, out):\n"
+            "        for r, inst in enumerate(self.instances):\n"
+            "            inst._current = out[r]\n"
+            "        return out\n"
+            "    def finalize(self):\n"
+            "        pass\n"
+        )
+        assert rules_in(engine, src) == ["REP007"]
+
+    def test_finalize_helper_write_clean(self, engine):
+        src = (
+            "class DeferredLanes:\n"
+            "    fusion_family = 'deferred'\n"
+            "    fusion_params = ()\n"
+            "    def __init__(self, instances):\n"
+            "        self.instances = list(instances)\n"
+            "    def finalize(self):\n"
+            "        self._write_back()\n"
+            "    def _write_back(self):\n"
+            "        for inst in self.instances:\n"
+            "            inst._current = 0.0\n"
+        )
+        assert rules_in(engine, src) == []
+
+    def test_bit_state_copy_flagged(self, engine):
+        src = (
+            "import numpy as np\n"
+            "def clone(rng):\n"
+            "    shadow = np.random.PCG64()\n"
+            "    shadow.state = rng.bit_generator.state\n"
+            "    return np.random.Generator(shadow)\n"
+        )
+        assert rules_in(engine, src) == ["REP007"]
+
+    def test_rng_state_helpers_exempt(self, engine):
+        src = (
+            "import copy\n"
+            "def rng_state(rng):\n"
+            "    return copy.deepcopy(rng.bit_generator.state)\n"
+            "def set_rng_state(rng, state):\n"
+            "    rng.bit_generator.state = copy.deepcopy(state)\n"
+        )
+        assert rules_in(engine, src) == []
+
+    def test_unrelated_state_attribute_clean(self, engine):
+        # `.state` on a non-bit-generator object is not RNG bit-state.
+        src = (
+            "def snapshot(machine):\n"
+            "    return machine.state\n"
+        )
+        assert rules_in(engine, src) == []
+
+
+# --------------------------------------------------------------------- #
+# REP008 — snapshot completeness
+# --------------------------------------------------------------------- #
+_FORGETFUL = (
+    "class ForgetfulCollector:\n"
+    "    def __init__(self, t_th):\n"
+    "        self.t_th = float(t_th)\n"
+    "        self._streak = 0\n"
+    "    def react(self, last):\n"
+    "        self._streak += 1\n"
+    "        return self.t_th\n"
+    "    def reset(self):\n"
+    "        self._streak = 0\n"
+    "    def export_state(self):\n"
+    "        return {}\n"
+    "    def import_state(self, state):\n"
+    "        pass\n"
+)
+
+
+class TestRep008:
+    def test_uncovered_play_state_flagged(self, engine):
+        assert rules_in(engine, _FORGETFUL) == ["REP008"]
+
+    def test_export_read_covers(self, engine):
+        src = _FORGETFUL.replace(
+            "        return {}\n",
+            "        return {'streak': self._streak}\n",
+        )
+        assert rules_in(engine, src) == []
+
+    def test_import_assign_covers(self, engine):
+        src = _FORGETFUL.replace(
+            "        pass\n",
+            "        self._streak = int(state['streak'])\n",
+        )
+        assert rules_in(engine, src) == []
+
+    def test_export_helper_read_covers(self, engine):
+        # Coverage resolves through export_state's own helpers.
+        src = _FORGETFUL.replace(
+            "        return {}\n",
+            "        return self._doc()\n"
+            "    def _doc(self):\n"
+            "        return {'streak': self._streak}\n",
+        )
+        assert rules_in(engine, src) == []
+
+    def test_no_export_surface_not_scoped(self, engine):
+        # Without export_state the class is REP005's problem, not ours.
+        src = (
+            "class PlainCollector:\n"
+            "    def __init__(self):\n"
+            "        self._streak = 0\n"
+            "    def react(self, last):\n"
+            "        self._streak += 1\n"
+            "    def reset(self):\n"
+            "        self._streak = 0\n"
+        )
+        assert rules_in(engine, src) == []
+
+    def test_constant_attr_not_flagged(self, engine):
+        # t_th is never play-mutated: no coverage demanded.
+        src = _FORGETFUL.replace(
+            "        self._streak += 1\n", "        pass\n"
+        ).replace("        self._streak = 0\n", "        pass\n")
+        assert rules_in(engine, src) == []

@@ -133,7 +133,7 @@ class TestFusionPlanner:
         batch = _observation_batch(4, seed=7)
         reacted = lanes.react_many(batch)
         want = [inst.react(batch.rep(r)) for r, inst in enumerate(solo)]
-        for got, expected in zip(reacted, want):
+        for got, expected in zip(reacted, want, strict=False):
             if expected is None:
                 assert np.isnan(got)
             else:

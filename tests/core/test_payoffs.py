@@ -12,13 +12,13 @@ class TestGainCostFamilies:
         gain = power_poison_gain(scale=2.0, exponent=2.0)
         xs = np.linspace(0, 1, 11)
         vals = [gain(x) for x in xs]
-        assert all(b >= a for a, b in zip(vals, vals[1:]))
+        assert all(b >= a for a, b in zip(vals, vals[1:], strict=False))
 
     def test_trim_cost_decreasing(self):
         cost = power_trim_cost(scale=1.5, exponent=1.0)
         xs = np.linspace(0, 1, 11)
         vals = [cost(x) for x in xs]
-        assert all(b <= a for a, b in zip(vals, vals[1:]))
+        assert all(b <= a for a, b in zip(vals, vals[1:], strict=False))
 
     def test_trim_cost_zero_at_one(self):
         assert power_trim_cost()(1.0) == 0.0

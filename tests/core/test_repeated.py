@@ -81,7 +81,7 @@ class TestTheorem3:
     def test_max_compromise_decreasing_in_p(self, d):
         m = RepeatedGameModel(4.0, 2.0, d)
         values = [m.max_compromise(p) for p in (0.0, 0.25, 0.5, 0.75, 1.0)]
-        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:], strict=False))
 
     def test_boundary_delta_prefers_defection(self):
         # At delta exactly equal to the bound, compliance is not strict.

@@ -158,7 +158,7 @@ class TestExternalLoop:
         assert_results_identical(result, full)
         assert [d.index for d in decisions] == list(range(1, spec.rounds + 1))
         # The decisions mirror the board, round for round.
-        for decision, record in zip(decisions, result.to_records()):
+        for decision, record in zip(decisions, result.to_records(), strict=False):
             assert decision.threshold == record["trim_percentile"]
             assert decision.n_retained == record["n_retained"]
             assert decision.betrayal == record["betrayal"]

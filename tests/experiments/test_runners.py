@@ -111,7 +111,7 @@ class TestClassifierRunners:
         results = {r.scheme: r for r in run_svm_experiment(config)}
         assert results["groundtruth"].accuracy > 0.95
         # Ground truth beats every defended/undefended variant.
-        for name, res in results.items():
+        for _name, res in results.items():
             assert res.accuracy <= results["groundtruth"].accuracy + 1e-9
         # The ideal sub-threshold attack survives and hurts: worse than
         # the fully-trimmed Tit-for-tat defense.

@@ -145,7 +145,7 @@ class TestPlayRepBatch:
     def test_matches_individual_play(self):
         specs = _grid(repetitions=3).expand()[:3]
         batched = play_rep_batch(specs)
-        for spec, result in zip(specs, batched):
+        for spec, result in zip(specs, batched, strict=False):
             assert spec.play().to_records() == result.to_records()
 
     def test_single_spec_short_circuits(self):
@@ -236,7 +236,7 @@ class TestReviewRegressions:
         specs = grid.expand()
         game = build_batched_game(specs)
         game.run()
-        for spec, collector in zip(specs, game.collectors):
+        for spec, collector in zip(specs, game.collectors, strict=False):
             solo_game = spec.build()
             solo_game.run()
             solo_collector = solo_game.collector

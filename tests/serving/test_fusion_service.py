@@ -65,7 +65,7 @@ class TestHeterogeneousFusion:
         sids = [service.open(spec) for spec in specs]
         for _ in range(specs[0].rounds):
             service.submit_many(sids)
-        for sid, reference in zip(sids, solo):
+        for sid, reference in zip(sids, solo, strict=False):
             assert_results_identical(service.close(sid), reference)
         # The whole heterogeneous population rode ONE cohort per round.
         assert service.stats.lockstep_rounds == specs[0].rounds
@@ -87,7 +87,7 @@ class TestHeterogeneousFusion:
         sids = [service.open(spec) for spec in specs]
         for _ in range(specs[0].rounds):
             service.submit_many(sids)
-        for sid, reference in zip(sids, solo):
+        for sid, reference in zip(sids, solo, strict=False):
             assert_results_identical(service.close(sid), reference)
         assert service.stats.solo_rounds == 0
 
@@ -120,10 +120,10 @@ class TestHeterogeneousFusion:
         restored = service.session(late)
         while not restored.done:
             service.submit(late)
-        for sid, reference in zip(sids[:4], solo[:4]):
+        for sid, reference in zip(sids[:4], solo[:4], strict=False):
             assert_results_identical(service.close(sid), reference)
         # Late joiners played fewer fused rounds; finish them out.
-        for sid, reference in zip(sids[4:], solo[4:]):
+        for sid, reference in zip(sids[4:], solo[4:], strict=False):
             session = service.session(sid)
             while not session.done:
                 service.submit(sid)
@@ -136,7 +136,7 @@ class TestHeterogeneousFusion:
         sids = [service.open(spec) for spec in specs]
         for _ in range(specs[0].rounds):
             service.submit_many(sids)
-        for sid, reference in zip(sids, solo):
+        for sid, reference in zip(sids, solo, strict=False):
             assert_results_identical(service.close(sid), reference)
         # 6 tenants in 2-lane chunks -> 3 lockstep passes per round.
         assert service.stats.lockstep_rounds == 3 * specs[0].rounds
@@ -154,7 +154,7 @@ class TestHeterogeneousFusion:
         sids = [service.open(spec) for spec in specs]
         for _ in range(specs[0].rounds):
             service.submit_many(sids)
-        for sid, reference in zip(sids, solo):
+        for sid, reference in zip(sids, solo, strict=False):
             assert_results_identical(service.close(sid), reference)
         # The taxi pair fused; the lone control tenant went solo.
         assert service.stats.lockstep_lanes == 2 * specs[0].rounds
@@ -203,7 +203,7 @@ class TestCohortCache:
         remaining = sids[1:]
         for _ in range(specs[0].rounds - 2):
             service.submit_many(remaining)
-        for sid, reference in zip(remaining, solo[1:]):
+        for sid, reference in zip(remaining, solo[1:], strict=False):
             assert_results_identical(service.close(sid), reference)
 
     def test_session_accessor_invalidates(self):
@@ -219,7 +219,7 @@ class TestCohortCache:
         for _ in range(specs[0].rounds - 1):
             service.submit_many(sids)
         assert service.stats.lane_builds > builds_before
-        for sid, reference in zip(sids, solo):
+        for sid, reference in zip(sids, solo, strict=False):
             assert_results_identical(service.close(sid), reference)
 
     def test_cache_disabled_rebuilds_every_round(self):
@@ -231,7 +231,7 @@ class TestCohortCache:
             service.submit_many(sids)
         assert service.stats.lane_builds == specs[0].rounds
         assert service.stats.lane_cache_hits == 0
-        for sid, reference in zip(sids, solo):
+        for sid, reference in zip(sids, solo, strict=False):
             assert_results_identical(service.close(sid), reference)
 
     def test_cache_size_validation(self):

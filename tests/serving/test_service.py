@@ -55,7 +55,7 @@ class TestLockstepByteIdentity:
         sids = [service.open(spec) for spec in specs]
         for _ in range(specs[0].rounds):
             service.submit_many(sids)
-        for sid, reference in zip(sids, solo):
+        for sid, reference in zip(sids, solo, strict=False):
             assert_results_identical(service.close(sid), reference)
         assert service.stats.lockstep_rounds == specs[0].rounds
         assert service.stats.solo_rounds == 0
@@ -74,7 +74,7 @@ class TestLockstepByteIdentity:
                     service.submit(sid)
             else:
                 service.submit_many(sids)
-        for sid, reference in zip(sids, solo):
+        for sid, reference in zip(sids, solo, strict=False):
             assert_results_identical(service.close(sid), reference)
         assert service.stats.solo_rounds > 0
         assert service.stats.lockstep_rounds > 0
@@ -88,7 +88,7 @@ class TestLockstepByteIdentity:
         sids = [service.open(spec_a), service.open(spec_b)]
         for _ in range(spec_a.rounds):
             mux = service.submit_many(sids)
-            for sid, solo_session in zip(sids, solo_sessions):
+            for sid, solo_session in zip(sids, solo_sessions, strict=False):
                 expected = solo_session.submit()
                 got = mux[sid]
                 assert got.observation == expected.observation
@@ -113,7 +113,7 @@ class TestLockstepByteIdentity:
         sids_a = [service.open(s) for s in spec_a]
         sids_b = [service.open(s) for s in spec_b]
         service.submit(sids_a[0])  # laggard: one round ahead of its group
-        for t in range(spec_a[0].rounds):
+        for _t in range(spec_a[0].rounds):
             everyone = [
                 sid
                 for sid in sids_a + sids_b
@@ -122,7 +122,7 @@ class TestLockstepByteIdentity:
             if everyone:
                 service.submit_many(everyone)
         # The laggard finished early; everyone ends byte-identical.
-        for sid, reference in zip(sids_a + sids_b, solo):
+        for sid, reference in zip(sids_a + sids_b, solo, strict=False):
             assert_results_identical(service.close(sid), reference)
 
 
@@ -212,7 +212,7 @@ class TestEvictionAndResidency:
             service.submit_many(sids)  # transparently restores the tenant
         assert service.stats.evictions == 1
         assert service.stats.restores == 1
-        for sid, reference in zip(sids, solo):
+        for sid, reference in zip(sids, solo, strict=False):
             assert_results_identical(service.close(sid), reference)
 
     def test_evict_is_idempotent_and_survives_double_submit(self):

@@ -180,7 +180,7 @@ class TestTenantQuarantine:
         references = [solo_reference(spec) for spec in specs[1:]]
         for _ in range(specs[1].rounds - healthy_rounds - 1):
             service.submit_many(sids[1:])
-        for sid, expected in zip(sids[1:], references):
+        for sid, expected in zip(sids[1:], references, strict=False):
             assert_results_identical(service.close(sid), expected)
 
     def test_quarantined_id_can_be_reopened(self, tmp_path):
